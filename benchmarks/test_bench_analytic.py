@@ -1,0 +1,106 @@
+"""Experiment M1: analytical performance evaluation vs simulation.
+
+§5 mentions P-NUT's analytical (non-simulation) performance tools. The
+timed reachability graph of the §2 model is a finite semi-Markov process;
+solving it yields *exact* steady-state place averages and throughputs.
+This benchmark regenerates the Figure-5 quantities analytically and
+checks the simulator converges to them — two independent implementations
+of the same semantics agreeing is the strongest internal validation the
+reproduction has.
+"""
+
+import pytest
+
+from conftest import SEED
+
+from repro.analysis.stat import compute_statistics
+from repro.processor import build_pipeline_net
+from repro.reachability import build_timed_graph, steady_state
+from repro.sim import simulate
+
+
+@pytest.fixture(scope="module")
+def analytic():
+    return steady_state(build_pipeline_net())
+
+
+def test_bench_m1_solver(benchmark):
+    net = build_pipeline_net()
+    graph = build_timed_graph(net)
+
+    def solve():
+        return steady_state(net, graph=graph)
+
+    result = benchmark.pedantic(solve, rounds=3, iterations=1)
+    print(f"\nanalytic steady state over {result.states} timed states")
+    print(f"  Bus_busy = {result.place_averages['Bus_busy']:.4f}  "
+          f"Issue throughput = {result.throughput('Issue'):.4f}")
+    benchmark.extra_info["states"] = result.states
+    benchmark.extra_info["bus_busy"] = round(
+        result.place_averages["Bus_busy"], 4)
+    benchmark.extra_info["issue"] = round(result.throughput("Issue"), 4)
+    assert not result.absorbing
+    # Paper's Figure 5 values, now derived with zero simulation noise.
+    assert result.place_averages["Bus_busy"] == pytest.approx(0.658, abs=0.05)
+    assert result.throughput("Issue") == pytest.approx(0.1238, rel=0.1)
+
+
+def test_bench_m1_simulation_converges_to_analytic(benchmark, analytic):
+    """Longer simulations approach the analytic values monotonically in
+    error (law of large numbers check)."""
+    net = build_pipeline_net()
+    target_bus = analytic.place_averages["Bus_busy"]
+    target_ipc = analytic.throughput("Issue")
+
+    def measure():
+        errors = []
+        for horizon in (2_000, 20_000, 100_000):
+            stats = compute_statistics(
+                simulate(net, until=horizon, seed=SEED).events)
+            bus_err = abs(stats.places["Bus_busy"].avg_tokens - target_bus)
+            ipc_err = abs(
+                stats.transitions["Issue"].throughput - target_ipc)
+            errors.append((horizon, bus_err, ipc_err))
+        return errors
+
+    errors = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\n{'horizon':>8} {'bus err':>9} {'ipc err':>9}")
+    for horizon, bus_err, ipc_err in errors:
+        print(f"{horizon:>8} {bus_err:>9.4f} {ipc_err:>9.4f}")
+    benchmark.extra_info["errors"] = [
+        {"horizon": h, "bus": round(b, 5), "ipc": round(i, 5)}
+        for h, b, i in errors]
+    # The longest run must be very close to the analytic answer (single
+    # seed: a ~2% absolute gap on the bus is within sampling noise for an
+    # autocorrelated 0/1 signal).
+    _h, bus_err, ipc_err = errors[-1]
+    assert bus_err < 0.02
+    assert ipc_err < 0.005
+    # And not farther than the shortest run by any meaningful margin.
+    assert errors[-1][1] <= errors[0][1] + 0.005
+
+
+def test_bench_m1_identities_exact(analytic, benchmark):
+    """Conservation identities hold *exactly* in the analytic solution."""
+
+    def check():
+        bus = analytic.place_averages["Bus_busy"]
+        parts = (analytic.place_averages["pre_fetching"]
+                 + analytic.place_averages["fetching"]
+                 + analytic.place_averages["storing"])
+        assert parts == pytest.approx(bus, abs=1e-9)
+        assert (analytic.place_averages["Bus_busy"]
+                + analytic.place_averages["Bus_free"]) == pytest.approx(
+            1.0, abs=1e-9)
+        exec_sum = sum(
+            analytic.throughput(f"exec_type_{i}") for i in range(1, 6))
+        assert exec_sum == pytest.approx(analytic.throughput("Issue"),
+                                         abs=1e-9)
+        # Type selection balances issue (every decoded instr is issued).
+        type_sum = sum(
+            analytic.throughput(f"Type_{i}") for i in (1, 2, 3))
+        assert type_sum == pytest.approx(analytic.throughput("Issue"),
+                                         abs=1e-9)
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,98 @@
+"""Experiment B1: Petri-net model vs cycle-accurate baseline.
+
+The ground-truth cross-validation: the §2 Timed Petri Net and the
+hand-coded per-cycle state machine implement the same pipeline; their
+instruction rates and bus utilizations must agree closely across the
+memory-latency design space. Also exercises the §4.1 interop claim: the
+baseline emits a P-NUT trace that the stat tool consumes directly.
+"""
+
+import pytest
+
+from conftest import SEED, pipeline_stats
+
+from repro.analysis.stat import compute_statistics
+from repro.processor import (
+    CycleAccuratePipeline,
+    compare_metrics,
+    metrics_from_baseline,
+    metrics_from_stats,
+    run_baseline,
+)
+from repro.processor.config import PipelineConfig
+
+
+def test_bench_b1_headline_agreement(benchmark):
+    def both():
+        tpn = metrics_from_stats(pipeline_stats(until=20_000, seed=SEED))
+        base = metrics_from_baseline(run_baseline(cycles=20_000, seed=SEED))
+        return tpn, base
+
+    tpn, base = benchmark.pedantic(both, rounds=1, iterations=1)
+    print("\n" + compare_metrics(tpn, base))
+    benchmark.extra_info["tpn_ipc"] = round(tpn.instructions_per_cycle, 4)
+    benchmark.extra_info["baseline_ipc"] = round(
+        base.instructions_per_cycle, 4)
+    assert tpn.instructions_per_cycle == pytest.approx(
+        base.instructions_per_cycle, rel=0.10)
+    assert tpn.bus_utilization == pytest.approx(
+        base.bus_utilization, rel=0.10)
+    assert tpn.bus_prefetch == pytest.approx(base.bus_prefetch, rel=0.15)
+    assert tpn.bus_store == pytest.approx(base.bus_store, rel=0.20)
+
+
+def test_bench_b1_agreement_across_memory_sweep(benchmark):
+    """Agreement must hold across the design space, not just one point."""
+
+    def sweep():
+        rows = []
+        for latency in (2, 5, 8):
+            config = PipelineConfig().with_memory_cycles(latency)
+            tpn = pipeline_stats(until=8000, seed=SEED, config=config)
+            base = run_baseline(config, cycles=8000, seed=SEED)
+            rows.append((latency,
+                         tpn.transitions["Issue"].throughput,
+                         base.ipc))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n{'mem':>4} {'TPN IPC':>9} {'baseline':>9} {'ratio':>7}")
+    for latency, tpn_ipc, base_ipc in rows:
+        print(f"{latency:>4} {tpn_ipc:>9.4f} {base_ipc:>9.4f} "
+              f"{tpn_ipc / base_ipc:>7.3f}")
+    for _latency, tpn_ipc, base_ipc in rows:
+        assert tpn_ipc == pytest.approx(base_ipc, rel=0.12)
+
+
+def test_bench_b1_trace_interop(benchmark):
+    """§4.1: 'Traces can be easily generated from SIMSCRIPT simulations as
+    well as any other simulation language' - the baseline's trace flows
+    through the same stat tool."""
+
+    def run():
+        pipe = CycleAccuratePipeline(seed=SEED)
+        counters, events = pipe.run_with_trace(10_000)
+        return counters, compute_statistics(events)
+
+    counters, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.places["Bus_busy"].avg_tokens == pytest.approx(
+        counters.bus_utilization, abs=0.01)
+    assert stats.transitions["Issue"].ends == counters.instructions_issued
+    assert stats.places["Full_I_buffers"].avg_tokens == pytest.approx(
+        counters.mean_full_buffers, abs=0.15)
+
+
+def test_bench_b1_engine_overhead(benchmark):
+    """Relative tool cost: events/second of the TPN engine (informational;
+    the baseline is a specialized state machine and will be faster)."""
+    from repro.processor import build_pipeline_net
+    from repro.sim import simulate
+
+    net = build_pipeline_net()
+
+    def run():
+        return simulate(net, until=10_000, seed=SEED)
+
+    result = benchmark(run)
+    benchmark.extra_info["events"] = result.events_started
+    assert result.events_started > 5000

@@ -1,0 +1,85 @@
+"""Experiment C1: the §3 probabilistic cache extension.
+
+Sweeps the cache hit ratio from 0 to 1 on the cached pipeline variant.
+Shape: IPC rises monotonically with the hit ratio, bus utilization falls
+(hits hold the bus for 1 cycle instead of 5), and the hit ratio realized
+by the frequency-based split matches the configured ratio.
+"""
+
+import pytest
+
+from conftest import SEED
+
+from repro.analysis.stat import compute_statistics
+from repro.processor import CacheConfig, build_cached_pipeline_net
+from repro.sim import simulate
+
+HIT_RATIOS = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+def run_point(hit_ratio, until=8000):
+    cache = CacheConfig(instruction_hit_ratio=hit_ratio,
+                        data_hit_ratio=hit_ratio)
+    net = build_cached_pipeline_net(cache=cache)
+    result = simulate(net, until=until, seed=SEED)
+    return compute_statistics(result.events)
+
+
+def test_bench_c1_hit_ratio_sweep(benchmark):
+    def sweep():
+        rows = []
+        for hit in HIT_RATIOS:
+            stats = run_point(hit)
+            rows.append({
+                "hit": hit,
+                "ipc": stats.transitions["Issue"].throughput,
+                "bus": stats.places["Bus_busy"].avg_tokens,
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n{'hit':>6} {'IPC':>8} {'bus':>7}")
+    for row in rows:
+        print(f"{row['hit']:>6.2f} {row['ipc']:>8.4f} {row['bus']:>7.3f}")
+    benchmark.extra_info["series"] = [
+        {k: round(v, 4) for k, v in row.items()} for row in rows]
+
+    ipcs = [row["ipc"] for row in rows]
+    buses = [row["bus"] for row in rows]
+    # Monotone improvement (small tolerance for stochastic noise).
+    assert all(b >= a - 0.004 for a, b in zip(ipcs, ipcs[1:]))
+    assert ipcs[-1] > ipcs[0] * 1.15
+    # Bus load falls as hits shorten the holds.
+    assert buses[-1] < buses[0] * 0.75
+
+
+def test_bench_c1_realized_hit_ratio(benchmark):
+    def run():
+        return run_point(0.75, until=20_000)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    hits = stats.transitions["Start_prefetch_hit"].ends
+    misses = stats.transitions["Start_prefetch_miss"].ends
+    realized = hits / (hits + misses)
+    print(f"\nrealized instruction hit ratio: {realized:.3f} (target 0.75)")
+    benchmark.extra_info["realized"] = round(realized, 4)
+    assert realized == pytest.approx(0.75, abs=0.04)
+    data_hits = stats.transitions["operand_fetch_hit"].ends
+    data_misses = stats.transitions["operand_fetch_miss"].ends
+    assert data_hits / (data_hits + data_misses) == pytest.approx(
+        0.75, abs=0.06)
+
+
+def test_bench_c1_degenerate_equals_uncached(benchmark):
+    """Hit ratio 0 must behave like the plain §2 model."""
+    from conftest import pipeline_stats
+
+    def both():
+        return run_point(0.0, until=10_000), pipeline_stats(until=10_000,
+                                                            seed=SEED)
+
+    cached, plain = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert cached.transitions["Issue"].throughput == pytest.approx(
+        plain.transitions["Issue"].throughput, rel=0.08)
+    assert cached.places["Bus_busy"].avg_tokens == pytest.approx(
+        plain.places["Bus_busy"].avg_tokens, abs=0.05)

@@ -1,0 +1,76 @@
+"""Experiment Fig 1: the instruction pre-fetch subnet.
+
+Regenerates Figure 1's model (6-word buffer, two-at-a-time prefetch,
+inhibiting conditions), verifies its structure matches the paper's prose,
+and measures prefetch throughput of the subnet in isolation: with a
+dedicated bus and a 5-cycle memory, decode (1 cycle/word) is the
+bottleneck, so the subnet sustains ~1 word/cycle decode-limited flow.
+"""
+
+import pytest
+
+from repro.analysis.stat import compute_statistics
+from repro.core.validate import validate_net
+from repro.processor import build_prefetch_net
+from repro.sim import simulate
+
+
+def run_subnet():
+    net = build_prefetch_net(standalone=True)
+    result = simulate(net, until=5000, seed=11)
+    return net, compute_statistics(result.events)
+
+
+def test_bench_fig1_structure(benchmark):
+    net = benchmark(build_prefetch_net)
+    # Paper: "a buffer pool of 6 words ... pre-fetched two-at-a-time".
+    assert net.place("Empty_I_buffers").initial_tokens == 6
+    assert net.inputs_of("Start_prefetch")["Empty_I_buffers"] == 2
+    assert net.outputs_of("End_prefetch")["Full_I_buffers"] == 2
+    # "inhibiting conditions requiring inhibitor arcs".
+    assert set(net.inhibitors_of("Start_prefetch")) == {
+        "Operand_fetch_pending", "Result_store_pending"}
+    # Enabling delay models the memory; firing time models the decode.
+    assert net.transition("End_prefetch").enabling_time.mean() == 5
+    assert net.transition("Decode").firing_time.mean() == 1
+    assert validate_net(net).ok()
+
+
+def test_bench_fig1_isolated_throughput(benchmark):
+    _net, stats = benchmark.pedantic(run_subnet, rounds=3, iterations=1)
+    prefetches = stats.transitions["End_prefetch"]
+    decodes = stats.transitions["Decode"]
+    # Words flow: 2 per prefetch, 1 per decode.
+    words_in = 2 * prefetches.ends
+    words_out = decodes.ends
+    print(f"\nwords prefetched {words_in}, decoded {words_out}")
+    benchmark.extra_info["words_per_cycle"] = round(
+        words_out / stats.run.length, 4)
+    assert words_in == pytest.approx(words_out, abs=8)
+    # The decode stage (1 cycle/word) outruns memory (5 cycles / 2 words):
+    # steady state is memory-limited at ~2 words / (5 + epsilon) cycles.
+    rate = words_out / stats.run.length
+    assert rate == pytest.approx(2 / 5, abs=0.07)
+    # With decode faster than memory, the isolated buffer hovers near
+    # EMPTY — the near-full buffer of Figure 5 (avg 4.6) only appears in
+    # the full model where operand fetches throttle stage 2.
+    assert stats.places["Full_I_buffers"].avg_tokens < 2.0
+
+
+def test_bench_fig1_inhibitors_block_prefetch(benchmark):
+    """Claiming the inhibiting conditions stops prefetching entirely."""
+
+    def run_blocked():
+        from repro.lang import format_net, parse_net
+
+        # Inject a pending operand fetch that never clears (via the DSL).
+        text = format_net(build_prefetch_net(standalone=True))
+        text = text.replace("place Operand_fetch_pending",
+                            "place Operand_fetch_pending = 1")
+        blocked = parse_net(text)
+        result = simulate(blocked, until=500, seed=1)
+        return compute_statistics(result.events,
+                                  transition_names=["Start_prefetch"])
+
+    stats = benchmark.pedantic(run_blocked, rounds=3, iterations=1)
+    assert stats.transitions["Start_prefetch"].starts == 0

@@ -1,0 +1,82 @@
+"""Experiment Fig 2: decoding, address calculation and operand fetching.
+
+Regenerates Figure 2's subnet, checks the instruction-mix frequencies and
+the 2-cycle-per-operand address calculation, and measures the stage-2
+service time per instruction type in isolation (dedicated bus): type 1
+needs no memory, type 2 one access (2 + 5 cycles + handshakes), type 3
+two — the paper's motivation for stage 2 being the pipeline bottleneck.
+"""
+
+import pytest
+
+from repro.analysis.stat import compute_statistics
+from repro.processor import build_decoder_net
+from repro.processor.config import PipelineConfig
+from repro.sim import simulate
+
+
+def run_subnet(mix=(70, 20, 10), until=5000):
+    config = PipelineConfig(type_frequencies=mix)
+    net = build_decoder_net(config, standalone=True)
+    result = simulate(net, until=until, seed=21)
+    return compute_statistics(result.events)
+
+
+def test_bench_fig2_structure(benchmark):
+    net = benchmark(build_decoder_net)
+    assert net.transition("Type_1").frequency == 70
+    assert net.transition("Type_2").frequency == 20
+    assert net.transition("Type_3").frequency == 10
+    assert net.outputs_of("Type_3")["eaddr_pending"] == 2
+    t = net.transition("calc_eaddr")
+    assert t.firing_time.mean() == 2
+    assert t.max_concurrent == 1  # one address adder: serialized
+
+
+def test_bench_fig2_mix_realized(benchmark):
+    stats = benchmark.pedantic(run_subnet, rounds=3, iterations=1)
+    counts = [stats.transitions[f"Type_{i}"].ends for i in (1, 2, 3)]
+    total = sum(counts)
+    shares = [c / total for c in counts]
+    print(f"\nrealized mix: {[round(s, 3) for s in shares]}")
+    benchmark.extra_info["realized_mix"] = [round(s, 4) for s in shares]
+    assert shares[0] == pytest.approx(0.70, abs=0.04)
+    assert shares[1] == pytest.approx(0.20, abs=0.04)
+    assert shares[2] == pytest.approx(0.10, abs=0.03)
+
+
+def test_bench_fig2_stage_time_scales_with_operands(benchmark):
+    """Pure mixes isolate per-type stage-2 service time: each memory
+    operand adds ~2 (addr calc) + 5 (memory) cycles."""
+
+    def sweep():
+        rates = {}
+        for name, mix in (("t1", (1, 1e-9, 1e-9)),
+                          ("t2", (1e-9, 1, 1e-9)),
+                          ("t3", (1e-9, 1e-9, 1))):
+            stats = run_subnet(mix=mix, until=4000)
+            rates[name] = stats.transitions["drain_issued"].throughput
+        return rates
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    times = {k: 1 / v for k, v in rates.items()}
+    print(f"\nstage-2 cycles/instruction: "
+          f"{ {k: round(v, 2) for k, v in times.items()} }")
+    benchmark.extra_info["cycles_per_instr"] = {
+        k: round(v, 3) for k, v in times.items()}
+    # Type 1: decode only (~1-2 cycles). The first operand adds addr-calc
+    # (2) + memory (5) = 7 cycles; the SECOND operand's addr calc hides
+    # under the first operand's fetch, so its marginal cost is just the
+    # memory access (~5 cycles) - pipelining inside stage 2.
+    assert times["t1"] < 3
+    assert times["t2"] - times["t1"] == pytest.approx(7, abs=1.5)
+    assert times["t3"] - times["t2"] == pytest.approx(5, abs=1.5)
+
+
+def test_bench_fig2_operand_conservation(benchmark):
+    stats = benchmark.pedantic(run_subnet, rounds=1, iterations=1)
+    fetches = stats.transitions["end_operand_fetch"].ends
+    expected = (stats.transitions["Type_2"].ends
+                + 2 * stats.transitions["Type_3"].ends)
+    # All requested operands are eventually fetched (± in-flight tail).
+    assert fetches == pytest.approx(expected, abs=3)

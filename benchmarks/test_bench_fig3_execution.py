@@ -1,0 +1,74 @@
+"""Experiment Fig 3: instruction execution and result storing.
+
+Regenerates Figure 3's subnet and checks the execution-delay distribution
+(1/2/5/10/50 cycles at .5/.3/.1/.05/.05), the 0.2 store probability, and
+the §4.2 reading of the statistics: "the percentage of time the execution
+unit spends executing each type of instruction" from the avg-concurrent
+column.
+"""
+
+import pytest
+
+from repro.analysis.stat import compute_statistics
+from repro.processor import build_execution_net
+from repro.sim import simulate
+
+
+def run_subnet(until=20_000):
+    net = build_execution_net(standalone=True)
+    result = simulate(net, until=until, seed=31)
+    return compute_statistics(result.events)
+
+
+def test_bench_fig3_structure(benchmark):
+    net = benchmark(build_execution_net)
+    for i, (cycles, probability) in enumerate(
+        zip((1, 2, 5, 10, 50), (0.5, 0.3, 0.1, 0.05, 0.05)), start=1
+    ):
+        t = net.transition(f"exec_type_{i}")
+        assert t.firing_time.mean() == cycles
+        assert t.frequency == probability
+    assert net.transition("begin_store").frequency == pytest.approx(0.2)
+    assert net.transition("end_store").enabling_time.mean() == 5
+
+
+def test_bench_fig3_delay_distribution(benchmark):
+    stats = benchmark.pedantic(run_subnet, rounds=1, iterations=1)
+    ends = {i: stats.transitions[f"exec_type_{i}"].ends for i in range(1, 6)}
+    total = sum(ends.values())
+    shares = {i: n / total for i, n in ends.items()}
+    print(f"\nexecution class shares: "
+          f"{ {i: round(s, 3) for i, s in shares.items()} }")
+    benchmark.extra_info["shares"] = {i: round(s, 4) for i, s in shares.items()}
+    for i, expected in zip(range(1, 6), (0.5, 0.3, 0.1, 0.05, 0.05)):
+        assert shares[i] == pytest.approx(expected, abs=0.035)
+
+
+def test_bench_fig3_store_probability(benchmark):
+    stats = benchmark.pedantic(run_subnet, rounds=1, iterations=1)
+    stores = stats.transitions["begin_store"].ends
+    skips = stats.transitions["no_store"].ends
+    share = stores / (stores + skips)
+    print(f"\nstore fraction: {share:.3f} (paper: 0.2)")
+    benchmark.extra_info["store_fraction"] = round(share, 4)
+    assert share == pytest.approx(0.2, abs=0.03)
+
+
+def test_bench_fig3_time_split_by_class(benchmark):
+    """§4.2: avg concurrent firings give the time split across classes.
+
+    Expected busy share of class i ~ p_i * c_i / sum(p*c): the 50-cycle
+    class dominates wall time despite 5% frequency — the long-tail effect
+    Figure 5 shows (exec_type_5 avg 0.29 vs exec_type_1 avg 0.0618).
+    """
+    stats = benchmark.pedantic(run_subnet, rounds=1, iterations=1)
+    weights = [0.5 * 1, 0.3 * 2, 0.1 * 5, 0.05 * 10, 0.05 * 50]
+    total_weight = sum(weights)
+    busy = [stats.transitions[f"exec_type_{i}"].avg_concurrent
+            for i in range(1, 6)]
+    total_busy = sum(busy)
+    for i, weight in enumerate(weights):
+        assert busy[i] / total_busy == pytest.approx(
+            weight / total_weight, abs=0.06)
+    # The tail class occupies the most time.
+    assert busy[4] == max(busy)

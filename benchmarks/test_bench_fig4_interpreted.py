@@ -1,0 +1,83 @@
+"""Experiment Fig 4: the interpreted (table-driven) operand-fetch net.
+
+Regenerates the Figure-4 skeleton from the paper's textual notation —
+``type = irand[1, max-type]; number-of-operands-needed = operands[type]``
+with the fetch/done predicates — and validates the loop semantics. Then
+scales the idea to the full §3 claim: a 30-addressing-mode instruction
+set whose net is barely bigger than the 3-type one.
+"""
+
+import pytest
+
+from repro.analysis.stat import compute_statistics
+from repro.processor import (
+    build_figure4_net,
+    build_interpreted_pipeline,
+    build_pipeline_net,
+    default_isa,
+)
+from repro.sim import simulate
+
+
+def test_bench_fig4_skeleton(benchmark):
+    def run():
+        net = build_figure4_net()
+        result = simulate(net, until=5000, seed=41)
+        return compute_statistics(result.events)
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    decodes = stats.transitions["Decode"].ends
+    fetches = stats.transitions["fetch_operand"].ends
+    dones = stats.transitions["operand_fetching_done"].ends
+    print(f"\n{decodes} decodes, {fetches} operand fetches, {dones} dones")
+    benchmark.extra_info["operands_per_instr"] = round(fetches / decodes, 4)
+    # irand[1,3] over the table (0,1,2): one operand per instruction mean.
+    assert fetches / decodes == pytest.approx(1.0, abs=0.12)
+    # Every decoded instruction finishes its loop (± the in-flight tail).
+    assert dones == pytest.approx(decodes, abs=2)
+
+
+def test_bench_fig4_net_size_vs_explicit(benchmark):
+    """§3: table-driven nets stay small as the ISA grows.
+
+    An explicit model needs ~1 subnet (3+ transitions) per addressing
+    mode; the interpreted model adds zero transitions per mode.
+    """
+    isa = default_isa()  # 30 modes
+
+    def build():
+        return build_interpreted_pipeline(isa)
+
+    net = benchmark(build)
+    plain = build_pipeline_net()
+    print(f"\ninterpreted net: {len(net.transition_names())} transitions "
+          f"for {len(isa)} modes; plain 3-type net: "
+          f"{len(plain.transition_names())}")
+    benchmark.extra_info["transitions"] = len(net.transition_names())
+    benchmark.extra_info["modes"] = len(isa)
+    # Stays within ~kilobyte-scale: no per-mode blowup.
+    assert len(net.transition_names()) <= len(plain.transition_names()) + 5
+
+
+def test_bench_fig4_full_interpreted_run(benchmark):
+    isa = default_isa()
+
+    def run():
+        net = build_interpreted_pipeline(isa)
+        result = simulate(net, until=10_000, seed=47)
+        return compute_statistics(result.events)
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    issues = stats.transitions["Issue"].ends
+    assert issues > 200
+    # Table-driven realizations track the ISA expectations.
+    extra = stats.transitions["get_extra_word"].ends / issues
+    operands = stats.transitions["end_fetch"].ends / issues
+    print(f"\nextra words/instr {extra:.3f} "
+          f"(ISA expects {isa.expected('extra_words'):.3f}); "
+          f"operands/instr {operands:.3f} "
+          f"(ISA expects {isa.mean_operands():.3f})")
+    benchmark.extra_info["extra_words_per_instr"] = round(extra, 4)
+    benchmark.extra_info["operands_per_instr"] = round(operands, 4)
+    assert extra == pytest.approx(isa.expected("extra_words"), rel=0.2)
+    assert operands == pytest.approx(isa.mean_operands(), rel=0.2)

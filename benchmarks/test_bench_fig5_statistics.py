@@ -1,0 +1,96 @@
+"""Experiment Fig 5: the performance statistics report.
+
+Regenerates the paper's Figure 5 — RUN / EVENT / PLACE statistics of the
+§2 pipeline model over 10 000 cycles — and checks every reported quantity
+against the paper's values (shape tolerances; the runs are stochastic and
+the 1987 RNG is unknown). The benchmark times the full tool path:
+simulate -> trace -> stat.
+"""
+
+import pytest
+
+from conftest import PAPER_CYCLES, PAPER_FIGURE5, SEED, pipeline_stats
+
+from repro.analysis.report import full_report
+from repro.processor import FIGURE5_PLACES, figure5_transition_order
+
+
+def test_bench_figure5_report(benchmark):
+    stats = benchmark.pedantic(pipeline_stats, rounds=3, iterations=1)
+
+    report = full_report(stats, figure5_transition_order(), FIGURE5_PLACES)
+    print()
+    print(report)
+
+    measured = {
+        "issue_throughput": stats.transitions["Issue"].throughput,
+        "bus_busy": stats.places["Bus_busy"].avg_tokens,
+        "pre_fetching": stats.places["pre_fetching"].avg_tokens,
+        "fetching": stats.places["fetching"].avg_tokens,
+        "storing": stats.places["storing"].avg_tokens,
+        "full_buffers": stats.places["Full_I_buffers"].avg_tokens,
+        "empty_buffers": stats.places["Empty_I_buffers"].avg_tokens,
+        "decoder_ready": stats.places["Decoder_ready"].avg_tokens,
+        "execution_unit": stats.places["Execution_unit"].avg_tokens,
+    }
+    benchmark.extra_info["paper"] = {
+        k: v for k, v in PAPER_FIGURE5.items() if k in measured
+    }
+    benchmark.extra_info["measured"] = {
+        k: round(v, 4) for k, v in measured.items()
+    }
+
+    paper = PAPER_FIGURE5
+    # Instruction processing rate (the headline number).
+    assert measured["issue_throughput"] == pytest.approx(
+        paper["issue_throughput"], rel=0.15)
+    # Bus utilization and its decomposition.
+    assert measured["bus_busy"] == pytest.approx(paper["bus_busy"], abs=0.07)
+    assert measured["pre_fetching"] == pytest.approx(
+        paper["pre_fetching"], abs=0.06)
+    assert measured["fetching"] == pytest.approx(paper["fetching"], abs=0.06)
+    assert measured["storing"] == pytest.approx(paper["storing"], abs=0.04)
+    assert measured["bus_busy"] == pytest.approx(
+        measured["pre_fetching"] + measured["fetching"] + measured["storing"],
+        rel=1e-9)
+    # Buffer occupancy and stage utilizations.
+    assert measured["full_buffers"] == pytest.approx(
+        paper["full_buffers"], abs=0.7)
+    assert measured["empty_buffers"] == pytest.approx(
+        paper["empty_buffers"], abs=0.45)
+    assert measured["decoder_ready"] < 0.05  # stage 2 is the bottleneck
+    assert measured["execution_unit"] == pytest.approx(
+        paper["execution_unit"], abs=0.08)
+
+
+def test_bench_figure5_type_mix(benchmark):
+    stats = benchmark.pedantic(pipeline_stats, rounds=1, iterations=1,
+                               kwargs={"seed": SEED + 1})
+    counts = [stats.transitions[f"Type_{i}"].ends for i in (1, 2, 3)]
+    total = sum(counts)
+    paper_counts = PAPER_FIGURE5["type_counts"]
+    paper_total = sum(paper_counts)
+    print(f"\ntype mix measured {counts} vs paper {list(paper_counts)}")
+    benchmark.extra_info["measured_counts"] = counts
+    benchmark.extra_info["paper_counts"] = list(paper_counts)
+    for mine, theirs in zip(counts, paper_counts):
+        assert mine / total == pytest.approx(theirs / paper_total, abs=0.05)
+
+
+def test_bench_figure5_littles_law_identities(paper_run_stats, benchmark):
+    """avg-concurrent = throughput x firing-time for each exec class, the
+    §4.2 interpretation the paper's Figure 5 exhibits."""
+    stats = paper_run_stats
+
+    def check():
+        for i, cycles in enumerate((1, 2, 5, 10, 50), start=1):
+            t = stats.transitions[f"exec_type_{i}"]
+            if t.ends >= 20:
+                assert t.avg_concurrent == pytest.approx(
+                    t.throughput * cycles, rel=0.05)
+        return True
+
+    assert benchmark(check)
+    exec_sum = stats.throughput_sum([f"exec_type_{i}" for i in range(1, 6)])
+    assert exec_sum == pytest.approx(
+        stats.transitions["Issue"].throughput, abs=0.002)

@@ -1,0 +1,121 @@
+"""Experiment Fig 7: timing analysis using tracertool.
+
+Regenerates Figure 7's display: Bus_busy activity decomposed into
+pre-fetching / operand-fetching / result-storing rows, the five execution
+transitions, a user-defined function summing them, and the
+empty-buffer-slot trace, with markers timing an event pair. Asserts the
+decomposition identity (bus = prefetch + fetch + store at every sample)
+and benchmarks the probe-extraction path.
+"""
+
+import pytest
+
+from conftest import SEED
+
+from repro.analysis import (
+    MarkerSet,
+    TracerSession,
+    WaveformOptions,
+    render_waveforms,
+)
+from repro.processor import build_pipeline_net
+from repro.sim import simulate
+
+PROBES = [
+    "Bus_busy", "pre_fetching", "fetching", "storing",
+    "exec_type_1", "exec_type_2", "exec_type_3", "exec_type_4",
+    "exec_type_5", "Empty_I_buffers",
+]
+
+FIGURE7_ROWS = [
+    "Bus_busy", "pre_fetching", "fetching", "storing",
+    "exec_type_1", "exec_type_2", "exec_type_3", "exec_type_4",
+    "exec_type_5", "all_exec", "Empty_I_buffers",
+]
+
+
+def make_session():
+    result = simulate(build_pipeline_net(), until=2000, seed=SEED)
+    session = TracerSession(result.events, PROBES)
+    session.define(
+        "all_exec", lambda *values: sum(values),
+        "exec_type_1", "exec_type_2", "exec_type_3", "exec_type_4",
+        "exec_type_5",
+    )
+    return session
+
+
+def test_bench_fig7_probe_extraction(benchmark):
+    session = benchmark.pedantic(make_session, rounds=3, iterations=1)
+    assert set(FIGURE7_ROWS) <= set(session.names())
+
+
+def test_bench_fig7_waveform_render(benchmark):
+    session = make_session()
+    stack = [session.signal(name) for name in FIGURE7_ROWS]
+
+    def render():
+        return render_waveforms(
+            stack, WaveformOptions(width=72, start=0, end=300))
+
+    text = benchmark(render)
+    print()
+    print(text)
+    lines = text.splitlines()
+    assert lines[0].startswith("Bus_busy")
+    assert len(lines) >= len(FIGURE7_ROWS) + 1  # rows + axis
+
+
+def test_bench_fig7_bus_decomposition_identity(benchmark):
+    """Figure 7's first four rows: the bus trace equals the sum of its
+    three activity rows at every instant."""
+    session = make_session()
+    busy = session.signal("Bus_busy")
+    parts = session.define(
+        "parts", lambda a, b, c: a + b + c,
+        "pre_fetching", "fetching", "storing",
+    )
+
+    def check():
+        for t in range(0, 2000, 3):
+            assert busy.at(t) == parts.at(t)
+        return True
+
+    assert benchmark(check)
+
+
+def test_bench_fig7_markers_time_bus_transaction(benchmark):
+    session = make_session()
+    bus = session.signal("Bus_busy")
+
+    def measure():
+        markers = MarkerSet()
+        intervals = bus.intervals_where(lambda v: v > 0)
+        start, end = intervals[0]
+        markers.place("O", start)
+        markers.place("X", end)
+        return markers.interval("O", "X"), intervals
+
+    duration, intervals = benchmark.pedantic(measure, rounds=3, iterations=1)
+    print(f"\nfirst bus transaction: {duration:g} cycles; "
+          f"{len(intervals)} transactions in 2000 cycles")
+    benchmark.extra_info["first_transaction_cycles"] = duration
+    assert duration >= 5  # at least one 5-cycle memory access
+    # Mean bus hold: a prefetch/fetch/store holds >= 5 cycles, and
+    # back-to-back transactions merge into longer busy intervals.
+    mean_hold = sum(e - s for s, e in intervals) / len(intervals)
+    assert mean_hold >= 5
+    benchmark.extra_info["mean_hold_cycles"] = round(mean_hold, 3)
+
+
+def test_bench_fig7_empty_buffer_statistics(benchmark):
+    session = make_session()
+    empty = session.signal("Empty_I_buffers")
+
+    def stats():
+        return (empty.time_average(), empty.minimum(), empty.maximum())
+
+    avg, low, high = benchmark(stats)
+    print(f"\nEmpty_I_buffers: avg {avg:.3f}, range [{low:g}, {high:g}]")
+    assert 0 <= low <= high <= 6
+    assert avg == pytest.approx(0.8, abs=0.5)  # paper: 0.7576

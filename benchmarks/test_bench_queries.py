@@ -1,0 +1,119 @@
+"""Experiment Q1-Q4: the §4.4 verification queries.
+
+Runs the paper's four queries against a 10 000-cycle trace (tracertool's
+"test") and proves the provable ones over the untimed reachability graph
+(the RG analyzer's "prove"), timing both paths. Also demonstrates the
+paper's bug-detection scenario: injecting the "non-zero timing" modeling
+bug makes query Q1 fail with a counterexample.
+"""
+
+import pytest
+
+from conftest import SEED
+
+from repro.analysis.query import check_trace
+from repro.lang import format_net, parse_net
+from repro.processor import build_pipeline_net
+from repro.reachability import RgChecker, build_untimed_graph
+from repro.sim import simulate
+
+Q1 = "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]"
+Q2 = "exists s in (S-{#0}) [ Empty_I_buffers(s) = 6 ]"
+Q3 = "Exists s in S [ exec_type_5(s) > 0 ]"
+Q4 = "forall s in {s' in S | Bus_busy(s')} [ inev(s, Bus_free(C), true) ]"
+
+
+@pytest.fixture(scope="module")
+def trace_events():
+    result = simulate(build_pipeline_net(), until=10_000, seed=SEED)
+    return result.events
+
+
+def test_bench_q1_bus_invariant_on_trace(benchmark, trace_events):
+    result = benchmark.pedantic(
+        check_trace, args=(trace_events, Q1), rounds=3, iterations=1)
+    print("\n" + result.explain())
+    assert result.holds
+
+
+def test_bench_q2_buffer_empties_again(benchmark, trace_events):
+    result = benchmark.pedantic(
+        check_trace, args=(trace_events, Q2), rounds=3, iterations=1)
+    print("\n" + result.explain())
+    # The paper poses this as a question, not an assertion; in a loaded
+    # steady state the buffer virtually never fully drains back to 6.
+    benchmark.extra_info["holds"] = result.holds
+
+
+def test_bench_q3_type5_executed(benchmark, trace_events):
+    result = benchmark.pedantic(
+        check_trace, args=(trace_events, Q3), rounds=3, iterations=1)
+    print("\n" + result.explain())
+    assert result.holds
+    assert result.witness is not None
+
+
+def test_bench_q4_bus_inevitably_freed(benchmark, trace_events):
+    """Q4 on one trace is a *test*, and a truncated observation window can
+    fail it honestly: if the run ends while a transaction holds the bus,
+    the trailing busy states are never freed *within the trace*. The
+    paper's caveat — "this is not a proof of any kind" — is exactly this.
+    The proof over all behaviours is the RG benchmark below."""
+    result = benchmark.pedantic(
+        check_trace, args=(trace_events, Q4), rounds=3, iterations=1)
+    print("\n" + result.explain())
+    benchmark.extra_info["holds_on_trace"] = result.holds
+    if not result.holds:
+        # The only admissible counterexamples are end-of-trace artifacts:
+        # busy states after the last moment the bus was observed free.
+        from repro.trace.states import fold_states
+
+        last_free = max(
+            (s.time for s in fold_states(trace_events)
+             if s.marking["Bus_free"] == 1),
+            default=0.0,
+        )
+        assert result.counterexample is not None
+        assert result.counterexample.time >= last_free
+
+
+def test_bench_q1_q4_proved_on_reachability_graph(benchmark):
+    """The same questions as proofs over ALL behaviours ([MR87])."""
+    net = build_pipeline_net()
+
+    def prove():
+        graph = build_untimed_graph(net)
+        checker = RgChecker(graph, net)
+        return graph, checker.check(Q1), checker.check(Q4)
+
+    graph, q1, q4 = benchmark.pedantic(prove, rounds=3, iterations=1)
+    print(f"\nproved over {len(graph)} states: Q1={q1} Q4={q4}")
+    benchmark.extra_info["states"] = len(graph)
+    assert q1 and q4
+
+
+def test_bench_bug_injection_detected(benchmark):
+    """§4.4: 'An error in the model (for example a non-zero timing in a
+    transition) may cause a token to be removed from both places at the
+    same time.' Inject exactly that bug; Q1 must fail with a
+    counterexample."""
+    text = format_net(build_pipeline_net())
+    # end_store releases the bus; give it a firing time instead of its
+    # enabling time - the bus token vanishes for 5 cycles.
+    buggy_text = text.replace(
+        "end_store [enab=5]: storing + Bus_busy -> Bus_free + Execution_unit",
+        "end_store [fire=5]: storing + Bus_busy -> Bus_free + Execution_unit",
+    )
+    assert buggy_text != text
+    buggy = parse_net(buggy_text)
+
+    def check():
+        result = simulate(buggy, until=3000, seed=SEED)
+        return check_trace(result.events, Q1)
+
+    verdict = benchmark.pedantic(check, rounds=3, iterations=1)
+    print("\n" + verdict.explain())
+    assert not verdict.holds
+    assert verdict.counterexample is not None
+    state = verdict.counterexample
+    assert state.marking["Bus_free"] + state.marking["Bus_busy"] == 0

@@ -1,0 +1,68 @@
+"""Experiment S1: memory speed / clock rate sensitivity.
+
+The paper's introduction motivates the whole enterprise with "memory
+speed and processor clock rate can have a strong yet difficult to predict
+impact on the performance". This sweep quantifies it on the §2 model:
+memory latency from 1 to 12 processor cycles (equivalently, scaling the
+clock against a fixed memory). Shape assertions: IPC decreases
+monotonically, bus utilization rises toward saturation, and the marginal
+cost of a latency cycle grows once the bus saturates.
+"""
+
+import pytest
+
+from conftest import SEED, pipeline_stats
+
+from repro.processor.config import PipelineConfig
+
+LATENCIES = (1, 2, 3, 5, 8, 12)
+
+
+def run_sweep():
+    rows = []
+    for latency in LATENCIES:
+        config = PipelineConfig().with_memory_cycles(latency)
+        stats = pipeline_stats(until=6000, seed=SEED, config=config)
+        rows.append({
+            "memory_cycles": latency,
+            "ipc": stats.transitions["Issue"].throughput,
+            "bus": stats.places["Bus_busy"].avg_tokens,
+            "full_buffers": stats.places["Full_I_buffers"].avg_tokens,
+        })
+    return rows
+
+
+def test_bench_s1_memory_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print(f"\n{'mem':>4} {'IPC':>8} {'cyc/instr':>10} {'bus':>7} {'buf':>6}")
+    for row in rows:
+        print(f"{row['memory_cycles']:>4} {row['ipc']:>8.4f} "
+              f"{1 / row['ipc']:>10.2f} {row['bus']:>7.3f} "
+              f"{row['full_buffers']:>6.2f}")
+    benchmark.extra_info["series"] = [
+        {k: round(v, 4) for k, v in row.items()} for row in rows
+    ]
+
+    ipcs = [row["ipc"] for row in rows]
+    buses = [row["bus"] for row in rows]
+    # IPC strictly falls with memory latency.
+    assert all(a > b for a, b in zip(ipcs, ipcs[1:]))
+    # Bus utilization rises toward saturation.
+    assert all(a < b + 0.02 for a, b in zip(buses, buses[1:]))
+    assert buses[-1] > 0.8
+    # Strong effect: 12x slower memory costs > 2x the instruction rate.
+    assert ipcs[0] / ipcs[-1] > 2.0
+
+
+def test_bench_s1_paper_point_on_curve(benchmark):
+    """The paper's operating point (5-cycle memory) sits on the sweep's
+    curve at the Figure-5 values."""
+
+    def run():
+        config = PipelineConfig()  # memory = 5
+        return pipeline_stats(until=10_000, seed=SEED, config=config)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.transitions["Issue"].throughput == pytest.approx(
+        0.1238, rel=0.15)
+    assert stats.places["Bus_busy"].avg_tokens == pytest.approx(0.66, abs=0.07)

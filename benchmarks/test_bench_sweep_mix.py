@@ -1,0 +1,52 @@
+"""Experiment S2: instruction-mix sensitivity.
+
+Sweeps the 0/1/2-memory-operand type frequencies from register-heavy to
+memory-heavy around the paper's 70-20-10 point. Shape: more memory
+operands -> lower IPC and higher bus load; prefetch activity is crowded
+out by operand traffic (the inhibitor arcs at work).
+"""
+
+from conftest import SEED, pipeline_stats
+
+from repro.processor.config import PipelineConfig
+
+MIXES = ((90, 8, 2), (80, 14, 6), (70, 20, 10), (50, 30, 20), (30, 40, 30))
+
+
+def run_sweep():
+    rows = []
+    for mix in MIXES:
+        config = PipelineConfig().with_mix(*mix)
+        stats = pipeline_stats(until=6000, seed=SEED, config=config)
+        rows.append({
+            "mix": mix,
+            "ipc": stats.transitions["Issue"].throughput,
+            "bus": stats.places["Bus_busy"].avg_tokens,
+            "prefetch": stats.places["pre_fetching"].avg_tokens,
+            "operand": stats.places["fetching"].avg_tokens,
+        })
+    return rows
+
+
+def test_bench_s2_mix_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print(f"\n{'mix':>12} {'IPC':>8} {'bus':>7} {'prefetch':>9} {'operand':>8}")
+    for row in rows:
+        mix_text = "/".join(str(x) for x in row["mix"])
+        print(f"{mix_text:>12} {row['ipc']:>8.4f} {row['bus']:>7.3f} "
+              f"{row['prefetch']:>9.3f} {row['operand']:>8.3f}")
+    benchmark.extra_info["series"] = [
+        {"mix": "/".join(map(str, r["mix"])),
+         "ipc": round(r["ipc"], 4), "bus": round(r["bus"], 4)}
+        for r in rows
+    ]
+
+    ipcs = [row["ipc"] for row in rows]
+    operands = [row["operand"] for row in rows]
+    # Memory-heavier mixes run strictly slower and fetch more operands.
+    assert all(a > b for a, b in zip(ipcs, ipcs[1:]))
+    assert all(a <= b + 0.01 for a, b in zip(operands, operands[1:]))
+    # Register-only-heavy vs memory-heavy: > 1.3x instruction rate.
+    assert ipcs[0] / ipcs[-1] > 1.3
+    # Operand traffic grows to rival prefetch traffic at the heavy end.
+    assert rows[-1]["operand"] > rows[-1]["prefetch"] * 0.8

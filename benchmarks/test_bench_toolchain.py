@@ -1,0 +1,107 @@
+"""Experiment T1: throughput of the tool paths themselves.
+
+The paper's §4.1 workflow is simulator -> (filter) -> analysis, streamed
+without intermediate files. This module benchmarks each stage on the
+pipeline model's traces: raw engine event rate, trace serialization and
+parsing, the streaming filter, the stat tool, and the fully-piped
+simulate->filter->stat composition (no materialized trace).
+"""
+
+import io
+
+import pytest
+
+from conftest import SEED
+
+from repro.analysis.stat import compute_statistics
+from repro.processor import build_pipeline_net
+from repro.sim import Simulator, simulate
+from repro.trace.events import TraceHeader
+from repro.trace.filter import TraceFilter
+from repro.trace.serialize import read_trace, write_trace
+
+
+@pytest.fixture(scope="module")
+def reference_run():
+    return simulate(build_pipeline_net(), until=10_000, seed=SEED)
+
+
+def test_bench_t1_engine_event_rate(benchmark):
+    net = build_pipeline_net()
+
+    def run():
+        return simulate(net, until=10_000, seed=SEED)
+
+    result = benchmark(run)
+    events_per_sec = result.events_started / benchmark.stats["mean"]
+    print(f"\n~{events_per_sec:,.0f} firings/second")
+    benchmark.extra_info["firings"] = result.events_started
+
+
+def test_bench_t1_trace_write(benchmark, reference_run):
+    def write():
+        buffer = io.StringIO()
+        write_trace(buffer, TraceHeader("pipeline", 1, SEED),
+                    reference_run.events)
+        return buffer.getvalue()
+
+    text = benchmark(write)
+    benchmark.extra_info["bytes"] = len(text)
+    assert text.startswith("#PNUT-TRACE")
+
+
+def test_bench_t1_trace_read(benchmark, reference_run):
+    buffer = io.StringIO()
+    write_trace(buffer, TraceHeader("pipeline", 1, SEED),
+                reference_run.events)
+    text = buffer.getvalue()
+
+    def read():
+        _header, events = read_trace(io.StringIO(text))
+        return sum(1 for _ in events)
+
+    count = benchmark(read)
+    assert count == len(reference_run.events)
+
+
+def test_bench_t1_filter_stream(benchmark, reference_run):
+    keep = ["Bus_busy", "Bus_free", "pre_fetching", "fetching", "storing"]
+
+    def filter_all():
+        f = TraceFilter(keep_places=keep, keep_transitions=[])
+        return sum(1 for _ in f.apply(reference_run.events))
+
+    kept = benchmark(filter_all)
+    total = len(reference_run.events)
+    print(f"\nfilter kept {kept}/{total} events "
+          f"({100 * kept / total:.0f}%)")
+    benchmark.extra_info["kept"] = kept
+    benchmark.extra_info["total"] = total
+    assert kept < total
+
+
+def test_bench_t1_stat_tool(benchmark, reference_run):
+    stats = benchmark(compute_statistics, reference_run.events)
+    assert stats.run.events_started == reference_run.events_started
+
+
+def test_bench_t1_piped_composition(benchmark):
+    """simulate | filter | stat with no materialized trace anywhere —
+    the paper's 'output directly plugged into the input of analysis
+    tools'. Memory stays O(places), not O(trace)."""
+    net = build_pipeline_net()
+    keep = ["Bus_busy", "Bus_free"]
+
+    def piped():
+        simulator = Simulator(net, seed=SEED)
+        stream = simulator.stream(until=10_000)
+        filtered = TraceFilter(keep_places=keep,
+                               keep_transitions=[]).apply(stream)
+        return compute_statistics(filtered)
+
+    stats = benchmark.pedantic(piped, rounds=3, iterations=1)
+    # The filtered pipeline still yields the exact bus utilization.
+    full = compute_statistics(
+        simulate(net, until=10_000, seed=SEED).events)
+    assert stats.places["Bus_busy"].avg_tokens == pytest.approx(
+        full.places["Bus_busy"].avg_tokens, rel=1e-9)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Enabling times as timeouts: the paper's protocol-modeling aside.
+
+§1 notes that the enabling time "is particularly convenient for modeling
+timeouts in communications protocols": a timeout transition must stay
+continuously enabled (the awaited event keeps NOT happening) for the
+timeout period before it fires — and is disabled (clock reset) the moment
+the acknowledgement arrives.
+
+This example models a stop-and-wait sender over a lossy channel: send,
+await ack; on timeout, retransmit. It shows why firing times cannot
+express this (§1: "firing times can be easily simulated using enabling
+times but the opposite is not true") — a firing-time timeout would grab
+the token and time out even when the ack arrives in time.
+
+Run: python examples/protocol_timeout.py
+"""
+
+from repro import NetBuilder, simulate, compute_statistics
+from repro.analysis import check_trace, full_report
+
+TIMEOUT = 10      # sender timeout (cycles)
+NET_DELAY = 3     # one-way channel latency
+LOSS_PERCENT = 30  # per-transmission loss probability
+
+
+def build_protocol():
+    b = NetBuilder("stop-and-wait")
+    b.place("ready_to_send", tokens=1)
+    b.place("in_channel")
+    b.place("awaiting_ack")
+    b.place("ack_in_flight")
+    b.place("delivered")
+    b.place("retransmissions")
+
+    b.event(
+        "send",
+        inputs={"ready_to_send": 1},
+        outputs={"in_channel": 1, "awaiting_ack": 1},
+        description="transmit a frame, start waiting",
+    )
+    # The channel either delivers (70%) or loses (30%) the frame.
+    b.event(
+        "deliver",
+        inputs={"in_channel": 1},
+        outputs={"ack_in_flight": 1},
+        frequency=100 - LOSS_PERCENT,
+        firing_time=NET_DELAY,
+        description="frame crosses the channel",
+    )
+    b.event(
+        "lose",
+        inputs={"in_channel": 1},
+        outputs={},
+        frequency=LOSS_PERCENT,
+        firing_time=NET_DELAY,
+        description="channel drops the frame",
+    )
+    b.event(
+        "ack_arrives",
+        inputs={"ack_in_flight": 1, "awaiting_ack": 1},
+        outputs={"delivered": 1, "ready_to_send": 1},
+        firing_time=NET_DELAY,
+        description="ack returns; sender proceeds",
+    )
+    # THE timeout: must stay continuously enabled for TIMEOUT cycles.
+    # If the ack consumes awaiting_ack first, the clock is reset.
+    b.event(
+        "timeout",
+        inputs={"awaiting_ack": 1},
+        outputs={"ready_to_send": 1, "retransmissions": 1},
+        enabling_time=TIMEOUT,
+        description="no ack within the window: retransmit",
+    )
+    return b.build()
+
+
+def main() -> None:
+    net = build_protocol()
+    print(net.summary())
+
+    result = simulate(net, until=5000, seed=13)
+    stats = compute_statistics(result.events)
+    print("\n" + full_report(stats))
+
+    delivered = stats.transitions["ack_arrives"].ends
+    timeouts = stats.transitions["timeout"].ends
+    sends = stats.transitions["send"].ends
+    print(f"\n{sends} transmissions, {delivered} delivered+acked, "
+          f"{timeouts} timeouts")
+    print(f"goodput: {delivered / sends:.2f} per transmission "
+          f"(loss {LOSS_PERCENT}%, so ~{(100 - LOSS_PERCENT) ** 2 / 10000:.2f}"
+          " surviving both ways)")
+
+    # Timeouts only fire when no ack is pending to consume awaiting_ack
+    # first — verify the sender never double-books:
+    verdict = check_trace(
+        result.events,
+        "forall s in S [ ready_to_send(s) + awaiting_ack(s) "
+        "+ ack_arrives(s) + send(s) <= 1 ]",
+    )
+    print("\nsender state machine is single-token:")
+    print(verdict.explain())
+
+    # Every wait eventually resolves (ack or timeout):
+    verdict = check_trace(
+        result.events,
+        "forall s in {s' in S | awaiting_ack(s')} "
+        "[ inev(s, ready_to_send(C) = 1, true) ]",
+    )
+    print("\nevery wait resolves (ack or retransmission):")
+    print(verdict.explain())
+
+
+if __name__ == "__main__":
+    main()

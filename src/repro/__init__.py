@@ -1,0 +1,58 @@
+"""repro — a reproduction of Razouk's P-NUT system (DAC 1988).
+
+Extended Timed Petri Nets for modeling pipelined processors, plus the
+tool suite the paper describes: simulator, trace filter, statistical
+analysis, tracertool (timing analysis and trace verification),
+reachability-graph analyzers with temporal logic, and an animator.
+
+Quickstart::
+
+    from repro import build_pipeline_net, simulate, compute_statistics
+
+    net = build_pipeline_net()
+    result = simulate(net, until=10_000, seed=1)
+    stats = compute_statistics(result.events)
+    print(stats.transitions["Issue"].throughput)   # instructions / cycle
+"""
+
+from .analysis import compute_statistics, full_report
+from .core import (
+    Environment,
+    Marking,
+    NetBuilder,
+    PetriNet,
+    Place,
+    PnutError,
+    Transition,
+    validate_net,
+)
+from .processor import PAPER_CONFIG, PipelineConfig, build_pipeline_net
+from .sim import Experiment, SimulationResult, Simulator, simulate
+from .trace import TraceFilter, fold_states, read_trace, write_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Environment",
+    "Experiment",
+    "Marking",
+    "NetBuilder",
+    "PAPER_CONFIG",
+    "PetriNet",
+    "PipelineConfig",
+    "Place",
+    "PnutError",
+    "SimulationResult",
+    "Simulator",
+    "TraceFilter",
+    "Transition",
+    "build_pipeline_net",
+    "compute_statistics",
+    "fold_states",
+    "full_report",
+    "read_trace",
+    "simulate",
+    "validate_net",
+    "write_trace",
+    "__version__",
+]

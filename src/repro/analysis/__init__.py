@@ -1,0 +1,62 @@
+"""Analysis tools consuming traces: stat, reports, tracertool, queries."""
+
+from .batch_means import (
+    BatchMeansResult,
+    batch_means,
+    suggest_warmup,
+    throughput_batch_means,
+)
+from .query import QueryResult, TraceChecker, check_trace, parse_query
+from .report import event_section, full_report, place_section, run_section, troff_report
+from .stat import (
+    PlaceStats,
+    RunStats,
+    TraceStatistics,
+    TransitionStats,
+    compute_statistics,
+)
+from .tracer import (
+    Marker,
+    MarkerSet,
+    Signal,
+    TracerSession,
+    combine,
+    extract_signals,
+    sum_signals,
+)
+from .waveform import (
+    WaveformOptions,
+    render_waveforms,
+    sample_table,
+)
+
+__all__ = [
+    "BatchMeansResult",
+    "Marker",
+    "MarkerSet",
+    "PlaceStats",
+    "QueryResult",
+    "RunStats",
+    "Signal",
+    "TraceChecker",
+    "TraceStatistics",
+    "TracerSession",
+    "TransitionStats",
+    "WaveformOptions",
+    "batch_means",
+    "check_trace",
+    "combine",
+    "compute_statistics",
+    "event_section",
+    "extract_signals",
+    "full_report",
+    "parse_query",
+    "place_section",
+    "render_waveforms",
+    "run_section",
+    "sample_table",
+    "suggest_warmup",
+    "sum_signals",
+    "throughput_batch_means",
+    "troff_report",
+]

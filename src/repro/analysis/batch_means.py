@@ -1,0 +1,201 @@
+"""Single-run steady-state output analysis: warmup removal + batch means.
+
+The replication approach (:class:`repro.sim.experiment.Experiment`) pays
+the warmup cost once per replication. The classical alternative for
+steady-state quantities is one long run: discard the initial transient
+(Welch-style warmup truncation), split the remainder into contiguous time
+batches, and treat the per-batch time-averages as approximately
+independent observations for a confidence interval.
+
+The batched quantity is any probe signal (place tokens, transition
+concurrency) extracted from the trace; throughput-style rates batch the
+event counts instead. This is the discipline §4.2's "performance
+estimates" implicitly rely on, made explicit and testable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..core.errors import QueryEvaluationError, TraceError
+from ..trace.events import EventKind, TraceEvent
+from .tracer import Signal, extract_signals
+
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class BatchMeansResult:
+    """Steady-state estimate from one long run."""
+
+    probe: str
+    mean: float
+    stdev_of_batches: float
+    ci_half_width: float
+    confidence: float
+    batches: int
+    warmup: float
+    batch_width: float
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci_half_width
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci_half_width
+
+    def pretty(self) -> str:
+        return (
+            f"{self.probe}: {self.mean:.6g} +/- {self.ci_half_width:.3g} "
+            f"({int(self.confidence * 100)}% CI, {self.batches} batches of "
+            f"{self.batch_width:g} after warmup {self.warmup:g})"
+        )
+
+
+def _signal_batch_means(
+    signal: Signal, warmup: float, batches: int
+) -> list[float]:
+    start = signal.times[0] + warmup
+    end = signal.end_time
+    if end <= start:
+        raise QueryEvaluationError(
+            f"warmup {warmup} leaves no observation window"
+        )
+    width = (end - start) / batches
+    means = []
+    for i in range(batches):
+        lo = start + i * width
+        hi = lo + width
+        # Integrate the step function over [lo, hi).
+        area = 0.0
+        t = lo
+        while t < hi:
+            value = signal.at(t + 1e-12)
+            # Next change point after t.
+            import bisect
+
+            index = bisect.bisect_right(signal.times, t)
+            next_change = signal.times[index] if index < len(signal.times) \
+                else hi
+            upper = min(next_change, hi)
+            area += value * (upper - t)
+            if upper <= t:
+                break
+            t = upper
+        means.append(area / width)
+    return means
+
+
+def batch_means(
+    events: Iterable[TraceEvent],
+    probe: str,
+    warmup: float = 0.0,
+    batches: int = 10,
+    confidence: float = 0.95,
+) -> BatchMeansResult:
+    """Steady-state time-average of a probe with a batch-means CI.
+
+    ``probe`` is resolved like tracertool probes (place tokens, transition
+    concurrency, variable). Use ``batches >= 5``; widths shrink the CI
+    only while batches stay roughly independent.
+    """
+    if confidence not in _Z:
+        raise QueryEvaluationError(f"confidence must be one of {sorted(_Z)}")
+    if batches < 2:
+        raise QueryEvaluationError("need at least 2 batches")
+    signal = extract_signals(list(events), [probe])[probe]
+    means = _signal_batch_means(signal, warmup, batches)
+    mean = sum(means) / len(means)
+    variance = sum((m - mean) ** 2 for m in means) / (len(means) - 1)
+    stdev = math.sqrt(variance)
+    half = _Z[confidence] * stdev / math.sqrt(len(means))
+    width = (signal.end_time - (signal.times[0] + warmup)) / batches
+    return BatchMeansResult(probe, mean, stdev, half, confidence,
+                            batches, warmup, width)
+
+
+def throughput_batch_means(
+    events: Iterable[TraceEvent],
+    transition: str,
+    warmup: float = 0.0,
+    batches: int = 10,
+    confidence: float = 0.95,
+) -> BatchMeansResult:
+    """Batch-means CI for a transition's completion rate."""
+    if confidence not in _Z:
+        raise QueryEvaluationError(f"confidence must be one of {sorted(_Z)}")
+    if batches < 2:
+        raise QueryEvaluationError("need at least 2 batches")
+    completion_times: list[float] = []
+    start_time = 0.0
+    end_time = 0.0
+    saw_init = False
+    for event in events:
+        if event.kind is EventKind.INIT:
+            saw_init = True
+            start_time = event.time
+        end_time = event.time
+        if event.transition == transition and event.kind in (
+            EventKind.END, EventKind.FIRE,
+        ):
+            completion_times.append(event.time)
+    if not saw_init:
+        raise TraceError("trace contains no INIT event")
+    lo = start_time + warmup
+    if end_time <= lo:
+        raise QueryEvaluationError(
+            f"warmup {warmup} leaves no observation window"
+        )
+    width = (end_time - lo) / batches
+    counts = [0] * batches
+    for t in completion_times:
+        if t < lo:
+            continue
+        index = min(int((t - lo) / width), batches - 1)
+        counts[index] += 1
+    rates = [c / width for c in counts]
+    mean = sum(rates) / batches
+    variance = sum((r - mean) ** 2 for r in rates) / (batches - 1)
+    stdev = math.sqrt(variance)
+    half = _Z[confidence] * stdev / math.sqrt(batches)
+    return BatchMeansResult(f"throughput({transition})", mean, stdev, half,
+                            confidence, batches, warmup, width)
+
+
+def suggest_warmup(
+    events: Iterable[TraceEvent], probe: str, window_fraction: float = 0.05
+) -> float:
+    """A crude Welch-style warmup suggestion.
+
+    Smooths the probe over windows of ``window_fraction`` of the run and
+    returns the earliest time after which the smoothed trajectory stays
+    within one smoothed-range-tenth of its final plateau. Heuristic —
+    inspect the signal when it matters.
+    """
+    signal = extract_signals(list(events), [probe])[probe]
+    span = signal.end_time - signal.times[0]
+    if span <= 0:
+        return 0.0
+    window = max(span * window_fraction, 1e-9)
+    samples = 100
+    step = span / samples
+    smoothed = []
+    for i in range(samples):
+        t0 = signal.times[0] + i * step
+        value = sum(
+            signal.at(t0 + j * window / 8) for j in range(8)
+        ) / 8
+        smoothed.append((t0, value))
+    final = sum(v for _, v in smoothed[-max(samples // 5, 1):]) / max(
+        samples // 5, 1)
+    spread = max(v for _, v in smoothed) - min(v for _, v in smoothed)
+    tolerance = spread / 10 if spread > 0 else 0.0
+    for t0, value in smoothed:
+        if abs(value - final) <= tolerance:
+            rest = [v for t, v in smoothed if t >= t0]
+            if all(abs(v - final) <= 2 * tolerance for v in rest):
+                return t0 - signal.times[0]
+    return span * 0.1

@@ -1,0 +1,17 @@
+"""The §4.4 trace-verification query language (parser + evaluator)."""
+
+from .evaluate import (
+    CURRENT_STATE_VAR,
+    QueryResult,
+    TraceChecker,
+    check_trace,
+)
+from .parser import parse_query
+
+__all__ = [
+    "CURRENT_STATE_VAR",
+    "QueryResult",
+    "TraceChecker",
+    "check_trace",
+    "parse_query",
+]

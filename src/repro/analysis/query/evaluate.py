@@ -1,0 +1,252 @@
+"""Evaluation of verification queries over simulation traces (paper §4.4).
+
+Tracertool "tests (rather than proves)" correctness: a query is evaluated
+against the finite state sequence of one trace. The evaluator reports not
+just a verdict but a *witness* (for a satisfied ``exists``) or a
+*counterexample* (for a violated ``forall``) state, which is what makes
+the tool useful for debugging models.
+
+``inev(s, P, Q)`` on a linear trace means: scanning forward from ``s``, a
+state satisfying ``P`` occurs, and ``Q`` holds at every scanned state
+before it (strong until). The paper's reading — "from every state where
+the bus is busy, inevitably we reached a state where the bus was free" —
+is ``inev`` with ``Q = true``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ...core.errors import QueryEvaluationError
+from ...trace.events import TraceEvent
+from ...trace.states import TraceState, state_list
+from .parser import (
+    AllStates,
+    Apply,
+    BinOp,
+    BoolLit,
+    Compare,
+    Expr,
+    Inev,
+    Logic,
+    Not,
+    Num,
+    Quantifier,
+    SetComprehension,
+    SetDiff,
+    SetExpr,
+    SetLiteral,
+    parse_query,
+)
+
+#: The implicit state variable bound inside ``inev``'s P and Q.
+CURRENT_STATE_VAR = "C"
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Verdict plus diagnostic information."""
+
+    query: str
+    holds: bool
+    witness: TraceState | None = None
+    counterexample: TraceState | None = None
+    states_checked: int = 0
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def explain(self) -> str:
+        verdict = "HOLDS" if self.holds else "FAILS"
+        parts = [f"{verdict}: {self.query}"]
+        if self.witness is not None:
+            parts.append(
+                f"  witness: state #{self.witness.index} at time "
+                f"{self.witness.time:g} ({self.witness.marking.pretty()})"
+            )
+        if self.counterexample is not None:
+            parts.append(
+                f"  counterexample: state #{self.counterexample.index} at time "
+                f"{self.counterexample.time:g} "
+                f"({self.counterexample.marking.pretty()})"
+            )
+        parts.append(f"  states checked: {self.states_checked}")
+        return "\n".join(parts)
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    raise QueryEvaluationError(
+        f"expected a boolean or numeric condition, got {value!r}"
+    )
+
+
+class TraceChecker:
+    """Evaluate parsed queries against a materialized state sequence."""
+
+    def __init__(self, states: Sequence[TraceState]) -> None:
+        if not states:
+            raise QueryEvaluationError("cannot query an empty trace")
+        self.states = list(states)
+
+    # -- public API -----------------------------------------------------------
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "TraceChecker":
+        return cls(state_list(events))
+
+    def check(self, query: str) -> QueryResult:
+        """Parse and evaluate; track witness/counterexample for a
+        top-level quantifier."""
+        ast = parse_query(query)
+        if isinstance(ast, Quantifier):
+            return self._check_quantifier(query, ast)
+        value = self._eval(ast, {})
+        return QueryResult(query, _truthy(value),
+                           states_checked=len(self.states))
+
+    def evaluate(self, query: str, state: TraceState | None = None) -> Any:
+        """Evaluate an expression; ``state`` binds the variable ``s``."""
+        ast = parse_query(query)
+        bindings = {} if state is None else {"s": state}
+        return self._eval(ast, bindings)
+
+    # -- internals --------------------------------------------------------------
+
+    def _check_quantifier(self, query: str, ast: Quantifier) -> QueryResult:
+        domain = self._eval_set(ast.source, {})
+        checked = 0
+        for state in domain:
+            checked += 1
+            value = _truthy(self._eval(ast.body, {ast.var: state}))
+            if ast.kind == "forall" and not value:
+                return QueryResult(query, False, counterexample=state,
+                                   states_checked=checked)
+            if ast.kind == "exists" and value:
+                return QueryResult(query, True, witness=state,
+                                   states_checked=checked)
+        holds = ast.kind == "forall"
+        return QueryResult(query, holds, states_checked=checked)
+
+    def _eval(self, node: Expr, bindings: dict[str, TraceState]) -> Any:
+        if isinstance(node, Num):
+            return node.value
+        if isinstance(node, BoolLit):
+            return node.value
+        if isinstance(node, Apply):
+            state = bindings.get(node.state_var)
+            if state is None:
+                raise QueryEvaluationError(
+                    f"unbound state variable {node.state_var!r} in "
+                    f"{node.probe}({node.state_var})"
+                )
+            return state.value(node.probe)
+        if isinstance(node, BinOp):
+            left = self._eval(node.left, bindings)
+            right = self._eval(node.right, bindings)
+            try:
+                if node.op == "+":
+                    return left + right
+                if node.op == "-":
+                    return left - right
+                if node.op == "*":
+                    return left * right
+                if node.op == "/":
+                    return left / right
+            except (TypeError, ZeroDivisionError) as exc:
+                raise QueryEvaluationError(
+                    f"arithmetic error in {node.op!r}: {exc}"
+                ) from exc
+            raise QueryEvaluationError(f"unknown operator {node.op!r}")
+        if isinstance(node, Compare):
+            left = self._eval(node.left, bindings)
+            right = self._eval(node.right, bindings)
+            try:
+                if node.op == "=":
+                    return left == right
+                if node.op == "!=":
+                    return left != right
+                if node.op == "<":
+                    return left < right
+                if node.op == "<=":
+                    return left <= right
+                if node.op == ">":
+                    return left > right
+                if node.op == ">=":
+                    return left >= right
+            except TypeError as exc:
+                raise QueryEvaluationError(
+                    f"cannot compare {left!r} {node.op} {right!r}"
+                ) from exc
+            raise QueryEvaluationError(f"unknown comparison {node.op!r}")
+        if isinstance(node, Not):
+            return not _truthy(self._eval(node.operand, bindings))
+        if isinstance(node, Logic):
+            left = _truthy(self._eval(node.left, bindings))
+            if node.op == "and":
+                return left and _truthy(self._eval(node.right, bindings))
+            return left or _truthy(self._eval(node.right, bindings))
+        if isinstance(node, Quantifier):
+            domain = self._eval_set(node.source, bindings)
+            if node.kind == "forall":
+                return all(
+                    _truthy(self._eval(node.body, {**bindings, node.var: s}))
+                    for s in domain
+                )
+            return any(
+                _truthy(self._eval(node.body, {**bindings, node.var: s}))
+                for s in domain
+            )
+        if isinstance(node, Inev):
+            return self._eval_inev(node, bindings)
+        raise QueryEvaluationError(f"cannot evaluate node {node!r}")
+
+    def _eval_inev(self, node: Inev, bindings: dict[str, TraceState]) -> bool:
+        origin = bindings.get(node.state_var)
+        if origin is None:
+            raise QueryEvaluationError(
+                f"unbound state variable {node.state_var!r} in inev(...)"
+            )
+        for state in self.states[origin.index:]:
+            inner = {**bindings, CURRENT_STATE_VAR: state}
+            if _truthy(self._eval(node.target, inner)):
+                return True
+            if not _truthy(self._eval(node.constraint, inner)):
+                return False
+        return False
+
+    def _eval_set(
+        self, node: SetExpr, bindings: dict[str, TraceState]
+    ) -> list[TraceState]:
+        if isinstance(node, AllStates):
+            return self.states
+        if isinstance(node, SetLiteral):
+            out = []
+            for index in node.indices:
+                if not 0 <= index < len(self.states):
+                    raise QueryEvaluationError(
+                        f"state #{index} out of range 0..{len(self.states) - 1}"
+                    )
+                out.append(self.states[index])
+            return out
+        if isinstance(node, SetDiff):
+            left = self._eval_set(node.left, bindings)
+            right = {s.index for s in self._eval_set(node.right, bindings)}
+            return [s for s in left if s.index not in right]
+        if isinstance(node, SetComprehension):
+            source = self._eval_set(node.source, bindings)
+            return [
+                s for s in source
+                if _truthy(self._eval(node.predicate, {**bindings, node.var: s}))
+            ]
+        raise QueryEvaluationError(f"cannot evaluate set {node!r}")
+
+
+def check_trace(events: Iterable[TraceEvent], query: str) -> QueryResult:
+    """One-call convenience: fold states, parse and evaluate."""
+    return TraceChecker.from_events(events).check(query)

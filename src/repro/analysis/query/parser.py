@@ -1,0 +1,391 @@
+"""Parser for the trace-verification query language (paper §4.4).
+
+The concrete syntax follows the paper's examples::
+
+    forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]
+    exists s in (S-{#0}) [ Empty_I_buffers(s) = 6 ]
+    Exists s in S [ exec_type_5(s) > 0 ]
+    forall s in {s' in S | Bus_busy(s')} [ inev(s, Bus_free(C), true) ]
+
+* ``S`` is the set of all states in the trace; ``#0`` is the initial
+  state; ``S - {#0}`` is set difference; ``{s' in S | pred(s')}`` is set
+  comprehension.
+* ``name(s)`` applies a probe to a bound state: token count of a place,
+  concurrent firings of a transition, or a scalar variable.
+* ``inev(s, P, Q)`` is the paper's inevitability operator: from state
+  ``s``, a state satisfying ``P`` is inevitably reached, with ``Q``
+  required to hold along the way (strong until ``A[Q U P]``; the paper's
+  examples use ``Q = true``). Inside ``P``/``Q`` the identifier ``C``
+  denotes the state currently scanned.
+* Keywords (``forall``/``exists``/``in``/``inev``/``and``/``or``/``not``/
+  ``true``/``false``) are case-insensitive; identifiers may contain primes
+  (``s'``).
+
+The parser produces a small AST shared by the trace evaluator
+(:mod:`repro.analysis.query.evaluate`) and the reachability-graph checker
+(:mod:`repro.reachability.ctl`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+from ...core.errors import QuerySyntaxError
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    value: float
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+
+
+@dataclass(frozen=True)
+class Apply:
+    """``probe(state_var)`` — probe a bound state."""
+
+    probe: str
+    state_var: str
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # + - * /
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Compare:
+    op: str  # = != < <= > >=
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Logic:
+    op: str  # and / or
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Quantifier:
+    kind: str  # forall / exists
+    var: str
+    source: "SetExpr"
+    body: "Expr"
+
+
+@dataclass(frozen=True)
+class Inev:
+    state_var: str
+    target: "Expr"  # P, may reference C
+    constraint: "Expr"  # Q, may reference C
+
+
+@dataclass(frozen=True)
+class AllStates:
+    pass
+
+
+@dataclass(frozen=True)
+class SetDiff:
+    left: "SetExpr"
+    right: "SetExpr"
+
+
+@dataclass(frozen=True)
+class SetLiteral:
+    indices: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SetComprehension:
+    var: str
+    source: "SetExpr"
+    predicate: "Expr"
+
+
+Expr = Union[Num, BoolLit, Apply, BinOp, Compare, Not, Logic, Quantifier, Inev]
+SetExpr = Union[AllStates, SetDiff, SetLiteral, SetComprehension]
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(\.\d+)?)
+  | (?P<state>\#\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<op><=|>=|==|!=|<>|\|\||&&|[-+*/=<>\[\](){},|])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"forall", "exists", "in", "inev", "and", "or", "not",
+             "true", "false"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # number / state / ident / keyword / op
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QuerySyntaxError(position, f"unexpected character {text[position]!r}")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "ident" and value.lower() in _KEYWORDS:
+            tokens.append(_Token("keyword", value.lower(), match.start()))
+        elif kind == "op" and value in ("||", "&&"):
+            tokens.append(_Token("keyword", "or" if value == "||" else "and",
+                                 match.start()))
+        else:
+            tokens.append(_Token(kind, value, match.start()))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser (recursive descent)
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError(len(self.text), "unexpected end of query")
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise QuerySyntaxError(
+                token.position, f"expected {wanted!r}, got {token.text!r}"
+            )
+        return token
+
+    def _accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self._peek()
+        if token and token.kind == kind and (text is None or token.text == text):
+            self.index += 1
+            return token
+        return None
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self.expression()
+        leftover = self._peek()
+        if leftover is not None:
+            raise QuerySyntaxError(
+                leftover.position, f"unexpected trailing input {leftover.text!r}"
+            )
+        return expr
+
+    def expression(self) -> Expr:
+        return self.or_expr()
+
+    def or_expr(self) -> Expr:
+        left = self.and_expr()
+        while self._accept("keyword", "or"):
+            left = Logic("or", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> Expr:
+        left = self.not_expr()
+        while self._accept("keyword", "and"):
+            left = Logic("and", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> Expr:
+        if self._accept("keyword", "not"):
+            return Not(self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> Expr:
+        left = self.additive()
+        token = self._peek()
+        if token and token.kind == "op" and token.text in (
+            "=", "==", "!=", "<>", "<", "<=", ">", ">=",
+        ):
+            self._next()
+            op = {"==": "=", "<>": "!="}.get(token.text, token.text)
+            right = self.additive()
+            return Compare(op, left, right)
+        return left
+
+    def additive(self) -> Expr:
+        left = self.multiplicative()
+        while True:
+            token = self._peek()
+            if token and token.kind == "op" and token.text in ("+", "-"):
+                self._next()
+                left = BinOp(token.text, left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self) -> Expr:
+        left = self.unary()
+        while True:
+            token = self._peek()
+            if token and token.kind == "op" and token.text in ("*", "/"):
+                self._next()
+                left = BinOp(token.text, left, self.unary())
+            else:
+                return left
+
+    def unary(self) -> Expr:
+        if self._accept("op", "-"):
+            return BinOp("-", Num(0.0), self.unary())
+        return self.primary()
+
+    def primary(self) -> Expr:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError(len(self.text), "unexpected end of query")
+        if token.kind == "number":
+            self._next()
+            return Num(float(token.text))
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self._next()
+            return BoolLit(token.text == "true")
+        if token.kind == "keyword" and token.text in ("forall", "exists"):
+            return self.quantifier()
+        if token.kind == "keyword" and token.text == "inev":
+            return self.inevitability()
+        if token.kind == "op" and token.text == "(":
+            self._next()
+            inner = self.expression()
+            self._expect("op", ")")
+            return inner
+        if token.kind == "ident":
+            self._next()
+            if self._accept("op", "("):
+                var = self._expect("ident").text
+                self._expect("op", ")")
+                return Apply(token.text, var)
+            raise QuerySyntaxError(
+                token.position,
+                f"bare identifier {token.text!r}; probes must be applied "
+                "to a state variable, e.g. "
+                f"{token.text}(s)",
+            )
+        raise QuerySyntaxError(token.position, f"unexpected token {token.text!r}")
+
+    def quantifier(self) -> Expr:
+        kind = self._next().text  # forall / exists
+        var = self._expect("ident").text
+        self._expect("keyword", "in")
+        source = self.set_expression()
+        self._expect("op", "[")
+        body = self.expression()
+        self._expect("op", "]")
+        return Quantifier(kind, var, source, body)
+
+    def inevitability(self) -> Expr:
+        self._expect("keyword", "inev")
+        self._expect("op", "(")
+        var = self._expect("ident").text
+        self._expect("op", ",")
+        target = self.expression()
+        self._expect("op", ",")
+        constraint = self.expression()
+        self._expect("op", ")")
+        return Inev(var, target, constraint)
+
+    # -- set expressions ------------------------------------------------------
+
+    def set_expression(self) -> SetExpr:
+        left = self.set_term()
+        while True:
+            token = self._peek()
+            if token and token.kind == "op" and token.text == "-":
+                self._next()
+                left = SetDiff(left, self.set_term())
+            else:
+                return left
+
+    def set_term(self) -> SetExpr:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError(len(self.text), "unexpected end of set expression")
+        if token.kind == "ident" and token.text == "S":
+            self._next()
+            return AllStates()
+        if token.kind == "op" and token.text == "(":
+            self._next()
+            inner = self.set_expression()
+            self._expect("op", ")")
+            return inner
+        if token.kind == "op" and token.text == "{":
+            self._next()
+            return self.set_body()
+        raise QuerySyntaxError(
+            token.position, f"expected a state set, got {token.text!r}"
+        )
+
+    def set_body(self) -> SetExpr:
+        token = self._peek()
+        if token and token.kind == "state":
+            indices = [int(self._next().text[1:])]
+            while self._accept("op", ","):
+                state = self._expect("state")
+                indices.append(int(state.text[1:]))
+            self._expect("op", "}")
+            return SetLiteral(tuple(indices))
+        if token and token.kind == "ident":
+            var = self._next().text
+            self._expect("keyword", "in")
+            source = self.set_expression()
+            self._expect("op", "|")
+            predicate = self.expression()
+            self._expect("op", "}")
+            return SetComprehension(var, source, predicate)
+        position = token.position if token else len(self.text)
+        raise QuerySyntaxError(position, "malformed set literal")
+
+
+def parse_query(text: str) -> Expr:
+    """Parse a query; raises :class:`QuerySyntaxError` with position info."""
+    return _Parser(text).parse()

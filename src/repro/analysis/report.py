@@ -1,0 +1,141 @@
+"""Report formatting for the stat tool (paper Figure 5).
+
+Two emitters: a plain-text aligned table matching Figure 5's layout
+("RUN STATISTICS" / "EVENT STATISTICS" / "PLACE STATISTICS") and a
+tbl/troff emitter, since the paper's reports were "produced ... in format
+suitable for processing by text processing tools (tbl and troff)".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .stat import TraceStatistics
+
+
+def _number(value: float, digits: int = 6) -> str:
+    """Compact numeric rendering: integers plain, floats trimmed."""
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.{digits}g}"
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def run_section(stats: TraceStatistics) -> str:
+    run = stats.run
+    pairs = [
+        ("Run number", str(run.run_number)),
+        ("Initial clock value", _number(run.initial_clock)),
+        ("Length of Simulation", _number(run.length)),
+        ("Events started", str(run.events_started)),
+        ("Events finished", str(run.events_finished)),
+    ]
+    width = max(len(k) for k, _ in pairs)
+    body = "\n".join(f"{k.ljust(width)}  {v}" for k, v in pairs)
+    return "RUN STATISTICS\n\n" + body
+
+
+def event_section(stats: TraceStatistics, order: Sequence[str] | None = None) -> str:
+    names = list(order) if order else sorted(stats.transitions)
+    headers = [
+        "Transition", "Min/Max", "Avg", "Standard", "Starts", "Throughput",
+    ]
+    sub = ["(name)", "Concurrent", "Concurrent", "Deviation", "/Ends", ""]
+    rows = []
+    for name in names:
+        t = stats.transitions[name]
+        rows.append([
+            name,
+            f"{t.min_concurrent}/{t.max_concurrent}",
+            _number(round(t.avg_concurrent, 6)),
+            _number(round(t.stdev_concurrent, 6)),
+            f"{t.starts}/{t.ends}",
+            f"{t.throughput:.6g}",
+        ])
+    table = _table(headers, [sub] + rows)
+    return f"EVENT STATISTICS\n\nRun number {stats.run.run_number}\n\n" + table
+
+
+def place_section(stats: TraceStatistics, order: Sequence[str] | None = None) -> str:
+    names = list(order) if order else sorted(stats.places)
+    headers = ["Place", "Min/Max", "Avg", "Standard"]
+    sub = ["(name)", "Tokens", "Tokens", "Deviation"]
+    rows = []
+    for name in names:
+        p = stats.places[name]
+        rows.append([
+            name,
+            f"{p.min_tokens}/{p.max_tokens}",
+            _number(round(p.avg_tokens, 6)),
+            _number(round(p.stdev_tokens, 6)),
+        ])
+    table = _table(headers, [sub] + rows)
+    return f"PLACE STATISTICS\n\nRun number {stats.run.run_number}\n\n" + table
+
+
+def full_report(
+    stats: TraceStatistics,
+    transition_order: Sequence[str] | None = None,
+    place_order: Sequence[str] | None = None,
+) -> str:
+    """The complete Figure-5-style report."""
+    return "\n\n".join([
+        run_section(stats),
+        event_section(stats, transition_order),
+        place_section(stats, place_order),
+    ])
+
+
+def troff_report(
+    stats: TraceStatistics,
+    transition_order: Sequence[str] | None = None,
+    place_order: Sequence[str] | None = None,
+) -> str:
+    """tbl/troff source for the same report (paper §4.2)."""
+    t_names = list(transition_order) if transition_order else sorted(stats.transitions)
+    p_names = list(place_order) if place_order else sorted(stats.places)
+    run = stats.run
+    lines = [
+        '.ce', 'RUN STATISTICS', '.sp',
+        '.TS', 'l l.',
+        f"Run number\t{run.run_number}",
+        f"Initial clock value\t{_number(run.initial_clock)}",
+        f"Length of Simulation\t{_number(run.length)}",
+        f"Events started\t{run.events_started}",
+        f"Events finished\t{run.events_finished}",
+        '.TE', '.sp',
+        '.ce', 'EVENT STATISTICS', '.sp',
+        '.TS', 'box tab(;);', 'l c c c c c.',
+        "Transition;Min/Max;Avg;Standard;Starts;Throughput",
+    ]
+    for name in t_names:
+        t = stats.transitions[name]
+        lines.append(
+            f"{name};{t.min_concurrent}/{t.max_concurrent};"
+            f"{_number(round(t.avg_concurrent, 6))};"
+            f"{_number(round(t.stdev_concurrent, 6))};"
+            f"{t.starts}/{t.ends};{t.throughput:.6g}"
+        )
+    lines += ['.TE', '.sp', '.ce', 'PLACE STATISTICS', '.sp',
+              '.TS', 'box tab(;);', 'l c c c.',
+              "Place;Min/Max;Avg;Standard"]
+    for name in p_names:
+        p = stats.places[name]
+        lines.append(
+            f"{name};{p.min_tokens}/{p.max_tokens};"
+            f"{_number(round(p.avg_tokens, 6))};"
+            f"{_number(round(p.stdev_tokens, 6))}"
+        )
+    lines.append('.TE')
+    return "\n".join(lines)

@@ -1,0 +1,262 @@
+"""Tracertool part 1: the software logic state analyzer (paper §4.4).
+
+"Probes are placed at relevant inputs ... and the resulting timing traces
+are examined": a :class:`Signal` is the step-function of one probe — the
+token count of a place, the concurrent-firing count of a transition, or a
+scalar variable — over simulation time. Users may "define arbitrary
+functions ... on places and transitions": :func:`combine` builds derived
+signals pointwise (e.g. the Figure-7 sum of all execution transitions).
+
+Markers can be positioned in the trace to identify critical events and
+measure the time between them (:class:`MarkerSet`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from ..core.errors import QueryEvaluationError, TraceError
+from ..trace.events import TraceEvent
+from ..trace.states import TraceState, fold_states
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A piecewise-constant signal: value changes at ``times[i]``.
+
+    ``times`` is strictly increasing; ``values[i]`` holds on
+    ``[times[i], times[i+1])``. The signal is defined from ``times[0]``
+    (usually the trace's initial clock) to ``end_time``.
+    """
+
+    name: str
+    times: tuple[float, ...]
+    values: tuple[float, ...]
+    end_time: float
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.values) or not self.times:
+            raise TraceError(f"signal {self.name!r}: times/values mismatch")
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise TraceError(f"signal {self.name!r}: times not increasing")
+
+    # -- sampling ---------------------------------------------------------
+
+    def at(self, time: float) -> float:
+        """Value at ``time`` (clamped to the definition range)."""
+        if time <= self.times[0]:
+            return self.values[0]
+        index = bisect.bisect_right(self.times, time) - 1
+        return self.values[index]
+
+    def sample(self, times: Sequence[float]) -> list[float]:
+        return [self.at(t) for t in times]
+
+    def changes(self) -> Iterable[tuple[float, float]]:
+        """(time, new_value) change points."""
+        return zip(self.times, self.values)
+
+    # -- aggregate views ----------------------------------------------------
+
+    def minimum(self) -> float:
+        return min(self.values)
+
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def time_average(self) -> float:
+        """Time-weighted mean over the definition range."""
+        span = self.end_time - self.times[0]
+        if span <= 0:
+            return float(self.values[-1])
+        area = 0.0
+        for i, value in enumerate(self.values):
+            upper = self.times[i + 1] if i + 1 < len(self.times) else self.end_time
+            area += value * (upper - self.times[i])
+        return area / span
+
+    def duration_at_level(self, predicate: Callable[[float], bool]) -> float:
+        """Total time the signal satisfies ``predicate`` (e.g. > 0)."""
+        total = 0.0
+        for i, value in enumerate(self.values):
+            if predicate(value):
+                upper = self.times[i + 1] if i + 1 < len(self.times) else self.end_time
+                total += upper - self.times[i]
+        return total
+
+    def intervals_where(
+        self, predicate: Callable[[float], bool]
+    ) -> list[tuple[float, float]]:
+        """Maximal [start, end) intervals where ``predicate`` holds."""
+        spans: list[tuple[float, float]] = []
+        open_start: float | None = None
+        for i, value in enumerate(self.values):
+            upper = self.times[i + 1] if i + 1 < len(self.times) else self.end_time
+            if predicate(value):
+                if open_start is None:
+                    open_start = self.times[i]
+            else:
+                if open_start is not None:
+                    spans.append((open_start, self.times[i]))
+                    open_start = None
+            del upper
+        if open_start is not None:
+            spans.append((open_start, self.end_time))
+        return spans
+
+    def edges(self, rising: bool = True) -> list[float]:
+        """Times where the signal rises above zero (or falls to zero)."""
+        out: list[float] = []
+        previous = self.values[0]
+        for time, value in zip(self.times[1:], self.values[1:]):
+            if rising and previous == 0 and value > 0:
+                out.append(time)
+            if not rising and previous > 0 and value == 0:
+                out.append(time)
+            previous = value
+        return out
+
+
+def _dedupe(points: list[tuple[float, float]], end_time: float,
+            name: str) -> Signal:
+    """Collapse repeated timestamps/values into a canonical Signal."""
+    times: list[float] = []
+    values: list[float] = []
+    for time, value in points:
+        if times and time == times[-1]:
+            values[-1] = value
+        elif not times or value != values[-1]:
+            times.append(time)
+            values.append(value)
+    return Signal(name, tuple(times), tuple(values), end_time)
+
+
+def extract_signals(
+    events: Iterable[TraceEvent], probes: Sequence[str]
+) -> dict[str, Signal]:
+    """Probe a trace: one signal per name (place, transition or variable).
+
+    Name resolution follows :meth:`TraceState.value`: place token count,
+    else concurrent firings, else scalar variable, else constant 0.
+    """
+    raw: dict[str, list[tuple[float, float]]] = {p: [] for p in probes}
+    end_time = 0.0
+    for state in fold_states(events):
+        end_time = state.time
+        for probe in probes:
+            value = float(state.value(probe))
+            series = raw[probe]
+            if not series:
+                series.append((state.time, value))
+            elif series[-1][1] != value or series[-1][0] == state.time:
+                series.append((state.time, value))
+    if not raw or any(not series for series in raw.values()):
+        missing = [p for p, series in raw.items() if not series]
+        if missing:
+            raise TraceError(f"trace is empty; no signal for {missing}")
+    return {
+        probe: _dedupe(series, end_time, probe)
+        for probe, series in raw.items()
+    }
+
+
+def combine(
+    name: str,
+    operation: Callable[..., float],
+    *signals: Signal,
+) -> Signal:
+    """Pointwise combination — the paper's user-defined functions.
+
+    The result changes only at the union of the operands' change points,
+    e.g. ``combine("all_exec", lambda *v: sum(v), s1, ..., s5)`` rebuilds
+    Figure 7's summed execution activity.
+    """
+    if not signals:
+        raise QueryEvaluationError("combine() needs at least one signal")
+    merged_times = sorted({t for s in signals for t in s.times})
+    end_time = max(s.end_time for s in signals)
+    points = [
+        (t, float(operation(*(s.at(t) for s in signals))))
+        for t in merged_times
+    ]
+    return _dedupe(points, end_time, name)
+
+
+def sum_signals(name: str, *signals: Signal) -> Signal:
+    """Convenience: the Figure-7 "sum of activities" function."""
+    return combine(name, lambda *values: sum(values), *signals)
+
+
+@dataclass(frozen=True)
+class Marker:
+    """A named time position in the trace (paper: "Markers can be
+    positioned in the trace to identify critical events")."""
+
+    name: str
+    time: float
+    note: str = ""
+
+
+@dataclass
+class MarkerSet:
+    """Markers plus the timing arithmetic between them."""
+
+    markers: dict[str, Marker] = field(default_factory=dict)
+
+    def place(self, name: str, time: float, note: str = "") -> Marker:
+        marker = Marker(name, time, note)
+        self.markers[name] = marker
+        return marker
+
+    def place_at_edge(
+        self, name: str, signal: Signal, occurrence: int = 0,
+        rising: bool = True, note: str = "",
+    ) -> Marker:
+        """Position a marker on the n-th rising/falling edge of a signal."""
+        edges = signal.edges(rising=rising)
+        if occurrence >= len(edges):
+            raise QueryEvaluationError(
+                f"signal {signal.name!r} has only {len(edges)} "
+                f"{'rising' if rising else 'falling'} edge(s)"
+            )
+        return self.place(name, edges[occurrence], note)
+
+    def interval(self, start: str, end: str) -> float:
+        """Time between two markers (the tracertool 'O <-> X' readout)."""
+        for name in (start, end):
+            if name not in self.markers:
+                raise QueryEvaluationError(f"unknown marker {name!r}")
+        return self.markers[end].time - self.markers[start].time
+
+    def ordered(self) -> list[Marker]:
+        return sorted(self.markers.values(), key=lambda m: m.time)
+
+
+class TracerSession:
+    """A convenience wrapper bundling probes, functions and markers.
+
+    Mirrors a tracertool working session: load a trace, select probes,
+    define functions, position markers, render (via
+    :mod:`repro.analysis.waveform`) or measure.
+    """
+
+    def __init__(self, events: Iterable[TraceEvent], probes: Sequence[str]):
+        self.signals = extract_signals(list(events), probes)
+        self.markers = MarkerSet()
+
+    def signal(self, name: str) -> Signal:
+        if name not in self.signals:
+            raise QueryEvaluationError(f"no probe named {name!r}")
+        return self.signals[name]
+
+    def define(self, name: str, operation: Callable[..., float],
+               *operands: str) -> Signal:
+        """Add a derived signal from existing ones by name."""
+        signal = combine(name, operation, *(self.signal(o) for o in operands))
+        self.signals[name] = signal
+        return signal
+
+    def names(self) -> list[str]:
+        return list(self.signals)

@@ -1,0 +1,166 @@
+"""ASCII waveform rendering: the Figure-7 timing display.
+
+Renders a stack of signals over a time window the way tracertool plots
+them: one labeled row per signal, a shared time axis, and optional marker
+columns. Binary signals render as low/high line segments; multi-valued
+signals (like the number of empty instruction-buffer slots) render their
+sampled magnitude as digit rows or as a scaled bar.
+
+The output is deterministic plain text so examples and tests can assert
+on it, and wide enough traces downsample to the requested column count.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.errors import QueryEvaluationError
+from .tracer import Marker, Signal
+
+#: Characters for scaled (analog-style) rendering, low to high.
+_LEVELS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class WaveformOptions:
+    """Rendering options."""
+
+    width: int = 72
+    start: float | None = None
+    end: float | None = None
+    label_width: int = 24
+    binary_low: str = "_"
+    binary_high: str = "#"
+    show_axis: bool = True
+    axis_ticks: int = 5
+
+    def __post_init__(self) -> None:
+        if self.width < 8:
+            raise QueryEvaluationError("waveform width must be >= 8")
+        if self.axis_ticks < 2:
+            raise QueryEvaluationError("need at least 2 axis ticks")
+
+
+def _window(signals: Sequence[Signal], options: WaveformOptions) -> tuple[float, float]:
+    start = options.start
+    end = options.end
+    if start is None:
+        start = min(s.times[0] for s in signals)
+    if end is None:
+        end = max(s.end_time for s in signals)
+    if end <= start:
+        raise QueryEvaluationError(
+            f"empty waveform window [{start}, {end}]"
+        )
+    return start, end
+
+
+def _sample_times(start: float, end: float, width: int) -> list[float]:
+    step = (end - start) / width
+    return [start + (i + 0.5) * step for i in range(width)]
+
+
+def render_signal_row(
+    signal: Signal, options: WaveformOptions, start: float, end: float
+) -> str:
+    """One row: label, then the signal drawn across the window."""
+    samples = signal.sample(_sample_times(start, end, options.width))
+    low = min(samples)
+    high = max(samples)
+    label = signal.name[: options.label_width].ljust(options.label_width)
+    if high <= 1 and low >= 0 and all(v in (0.0, 1.0) for v in samples):
+        body = "".join(
+            options.binary_high if v else options.binary_low for v in samples
+        )
+    elif high == low:
+        body = "".join(_LEVELS[0] if high == 0 else _LEVELS[-1]
+                       for _ in samples)
+    else:
+        span = high - low
+        body = "".join(
+            _LEVELS[min(int((v - low) / span * (len(_LEVELS) - 1)),
+                        len(_LEVELS) - 1)]
+            for v in samples
+        )
+    return f"{label}|{body}|"
+
+
+def render_axis(options: WaveformOptions, start: float, end: float) -> str:
+    """The shared time axis row with evenly spaced tick labels."""
+    ticks = options.axis_ticks
+    row = [" "] * options.width
+    labels: list[tuple[int, str]] = []
+    for i in range(ticks):
+        fraction = i / (ticks - 1)
+        column = min(int(fraction * (options.width - 1)), options.width - 1)
+        row[column] = "+"
+        time = start + fraction * (end - start)
+        text = f"{time:g}"
+        labels.append((column, text))
+    axis = "".join(row)
+    label_row = [" "] * (options.width + 8)
+    for column, text in labels:
+        position = min(column, options.width - len(text))
+        for j, ch in enumerate(text):
+            label_row[position + j] = ch
+    prefix = " " * options.label_width
+    return (
+        f"{prefix}|{axis}|\n{prefix} " + "".join(label_row).rstrip()
+    )
+
+
+def render_marker_row(
+    markers: Sequence[Marker], options: WaveformOptions, start: float, end: float
+) -> str:
+    """Marker positions as a labeled column row (tracertool's O/X cursors)."""
+    row = [" "] * options.width
+    for marker in markers:
+        if not start <= marker.time <= end:
+            continue
+        fraction = (marker.time - start) / (end - start)
+        column = min(int(fraction * options.width), options.width - 1)
+        row[column] = marker.name[0] if marker.name else "|"
+    label = "markers"[: options.label_width].ljust(options.label_width)
+    return f"{label}|{''.join(row)}|"
+
+
+def render_waveforms(
+    signals: Sequence[Signal],
+    options: WaveformOptions | None = None,
+    markers: Sequence[Marker] = (),
+) -> str:
+    """The full Figure-7-style display: signals, markers, axis."""
+    if not signals:
+        raise QueryEvaluationError("no signals to render")
+    options = options or WaveformOptions()
+    start, end = _window(signals, options)
+    rows = [render_signal_row(s, options, start, end) for s in signals]
+    if markers:
+        rows.append(render_marker_row(markers, options, start, end))
+    if options.show_axis:
+        rows.append(render_axis(options, start, end))
+    return "\n".join(rows)
+
+
+def sample_table(
+    signals: Sequence[Signal],
+    columns: int = 10,
+    start: float | None = None,
+    end: float | None = None,
+) -> str:
+    """Numeric companion to the waveform: sampled values as a table."""
+    if not signals:
+        raise QueryEvaluationError("no signals to tabulate")
+    lo = start if start is not None else min(s.times[0] for s in signals)
+    hi = end if end is not None else max(s.end_time for s in signals)
+    if hi <= lo:
+        raise QueryEvaluationError(f"empty table window [{lo}, {hi}]")
+    times = _sample_times(lo, hi, columns)
+    header = ["time".ljust(14)] + [f"{t:10.4g}" for t in times]
+    lines = ["".join(header)]
+    for signal in signals:
+        cells = [signal.name[:14].ljust(14)]
+        cells += [f"{signal.at(t):10.4g}" for t in times]
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Animator: net layout, canvas rendering, token-flow frames, playback."""
+
+from .frames import Frame, FrameGenerator
+from .layout import Layout, NodePosition, compute_layout
+from .player import Player, animate
+from .render import Canvas, NetRenderer
+
+__all__ = [
+    "Canvas",
+    "Frame",
+    "FrameGenerator",
+    "Layout",
+    "NetRenderer",
+    "NodePosition",
+    "Player",
+    "animate",
+    "compute_layout",
+]

@@ -1,0 +1,122 @@
+"""Automatic net layout for the animator (paper §4.3).
+
+Places and transitions are assigned grid positions by a layered (Sugiyama
+style) heuristic: breadth-first layering from the initially-marked places,
+then barycenter ordering within each layer to reduce arc crossings. The
+result is deterministic — same net, same layout — so rendered frames are
+testable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..core.net import PetriNet
+
+
+@dataclass(frozen=True)
+class NodePosition:
+    """Grid position of one node (layer = row, slot = column)."""
+
+    name: str
+    kind: str  # "place" | "transition"
+    layer: int
+    slot: int
+
+
+@dataclass
+class Layout:
+    """Node positions plus the arcs to draw."""
+
+    positions: dict[str, NodePosition]
+    layers: list[list[str]]
+    arcs: list[tuple[str, str, int, bool]]  # (source, target, weight, inhibitor)
+
+    def size(self) -> tuple[int, int]:
+        """(rows, columns) of the grid."""
+        rows = len(self.layers)
+        cols = max((len(layer) for layer in self.layers), default=0)
+        return rows, cols
+
+
+def _neighbors(net: PetriNet) -> dict[str, set[str]]:
+    graph: dict[str, set[str]] = {
+        name: set() for name in
+        list(net.place_names()) + list(net.transition_names())
+    }
+    for t in net.transition_names():
+        for p in net.inputs_of(t):
+            graph[p].add(t)
+        for p in net.outputs_of(t):
+            graph[t].add(p)
+        for p in net.inhibitors_of(t):
+            graph[p].add(t)
+    return graph
+
+
+def compute_layout(net: PetriNet) -> Layout:
+    """Layer the net's bipartite graph and order nodes within layers."""
+    successors = _neighbors(net)
+    marked = [p for p in net.place_names() if net.place(p).initial_tokens > 0]
+    roots = marked or net.place_names() or net.transition_names()
+
+    # BFS layering; unreachable nodes are appended afterwards.
+    layer_of: dict[str, int] = {}
+    queue: deque[str] = deque()
+    for root in roots:
+        if root not in layer_of:
+            layer_of[root] = 0
+            queue.append(root)
+    while queue:
+        node = queue.popleft()
+        for succ in successors[node]:
+            if succ not in layer_of:
+                layer_of[succ] = layer_of[node] + 1
+                queue.append(succ)
+    max_layer = max(layer_of.values(), default=0)
+    for name in successors:
+        if name not in layer_of:
+            max_layer += 1
+            layer_of[name] = max_layer
+
+    layers: list[list[str]] = [[] for _ in range(max(layer_of.values()) + 1)]
+    for name in successors:
+        layers[layer_of[name]].append(name)
+    for layer in layers:
+        layer.sort()  # deterministic base order
+
+    # One barycenter pass: order each layer by the mean slot of the
+    # previous layer's neighbours.
+    predecessors: dict[str, set[str]] = {name: set() for name in successors}
+    for source, targets in successors.items():
+        for target in targets:
+            predecessors[target].add(source)
+    for index in range(1, len(layers)):
+        previous_slots = {name: i for i, name in enumerate(layers[index - 1])}
+
+        def barycenter(name: str) -> float:
+            anchors = [previous_slots[p] for p in predecessors[name]
+                       if p in previous_slots]
+            return sum(anchors) / len(anchors) if anchors else float(
+                len(previous_slots)
+            )
+
+        layers[index].sort(key=lambda name: (barycenter(name), name))
+
+    positions: dict[str, NodePosition] = {}
+    place_names = set(net.place_names())
+    for row, layer in enumerate(layers):
+        for slot, name in enumerate(layer):
+            kind = "place" if name in place_names else "transition"
+            positions[name] = NodePosition(name, kind, row, slot)
+
+    arcs: list[tuple[str, str, int, bool]] = []
+    for t in net.transition_names():
+        for p, w in net.inputs_of(t).items():
+            arcs.append((p, t, w, False))
+        for p, w in net.outputs_of(t).items():
+            arcs.append((t, p, w, False))
+        for p, w in net.inhibitors_of(t).items():
+            arcs.append((p, t, w, True))
+    return Layout(positions, layers, arcs)

@@ -1,0 +1,90 @@
+"""Animation playback: single-step or run through a trace (paper §4.3).
+
+"Simulation traces can be processed by an animation tool which allows the
+user to single-step through the trace or to animate the entire trace."
+:class:`Player` wraps a frame stream with exactly those controls; output
+goes to any text stream (stdout by default) with ANSI clear-screen
+between frames when ``interactive`` is set.
+"""
+
+from __future__ import annotations
+
+import sys
+import time as _time
+from collections.abc import Iterable, Iterator
+
+from ..core.errors import AnimationError
+from ..core.net import PetriNet
+from ..trace.events import TraceEvent
+from .frames import Frame, FrameGenerator
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+class Player:
+    """Step/play interface over the frame stream of one trace."""
+
+    def __init__(
+        self,
+        net: PetriNet,
+        events: Iterable[TraceEvent],
+        flow_steps: int = 2,
+    ) -> None:
+        generator = FrameGenerator(net, flow_steps=flow_steps)
+        self._frames: Iterator[Frame] = generator.frames(events)
+        self._current: Frame | None = None
+        self.frames_shown = 0
+
+    # -- single-stepping ------------------------------------------------------
+
+    def step(self) -> Frame | None:
+        """Advance one frame; None when the trace is exhausted."""
+        self._current = next(self._frames, None)
+        if self._current is not None:
+            self.frames_shown += 1
+        return self._current
+
+    @property
+    def current(self) -> Frame | None:
+        return self._current
+
+    # -- playback ----------------------------------------------------------------
+
+    def play(
+        self,
+        stream=None,
+        delay: float = 0.0,
+        max_frames: int | None = None,
+        interactive: bool = False,
+    ) -> int:
+        """Animate the whole trace; returns the number of frames shown."""
+        out = stream if stream is not None else sys.stdout
+        shown = 0
+        while True:
+            if max_frames is not None and shown >= max_frames:
+                break
+            frame = self.step()
+            if frame is None:
+                break
+            if interactive:
+                out.write(_CLEAR)
+            out.write(frame.text)
+            out.write("\n\n")
+            shown += 1
+            if delay > 0:
+                _time.sleep(delay)
+        return shown
+
+
+def animate(
+    net: PetriNet,
+    events: Iterable[TraceEvent],
+    stream=None,
+    max_frames: int | None = 40,
+    flow_steps: int = 2,
+) -> int:
+    """One-call animation of a trace (bounded by ``max_frames``)."""
+    if max_frames is not None and max_frames < 1:
+        raise AnimationError("max_frames must be positive")
+    player = Player(net, events, flow_steps=flow_steps)
+    return player.play(stream=stream, max_frames=max_frames)

@@ -1,0 +1,148 @@
+"""Character-canvas rendering of nets with live token counts (Figure 6).
+
+Places render as ``(name:3)`` ovals, transitions as ``[name]`` boxes
+(``[name*2]`` while firing twice concurrently), arcs as orthogonal
+polylines with ``>``/``v`` arrowheads (``o`` heads for inhibitors). The
+canvas is plain text so animation frames diff cleanly in tests and play
+in any terminal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..core.errors import AnimationError
+from .layout import Layout
+
+#: Grid cell size in characters.
+CELL_WIDTH = 26
+CELL_HEIGHT = 4
+
+
+class Canvas:
+    """A mutable character grid with last-writer-wins semantics."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise AnimationError("canvas must be at least 1x1")
+        self.height = rows
+        self.width = cols
+        self._grid = [[" "] * cols for _ in range(rows)]
+
+    def put(self, row: int, col: int, text: str) -> None:
+        if row < 0 or row >= self.height:
+            return
+        for offset, ch in enumerate(text):
+            col_index = col + offset
+            if 0 <= col_index < self.width:
+                self._grid[row][col_index] = ch
+
+    def get(self, row: int, col: int) -> str:
+        return self._grid[row][col]
+
+    def render(self) -> str:
+        return "\n".join("".join(row).rstrip() for row in self._grid)
+
+
+def _cell_anchor(layer: int, slot: int) -> tuple[int, int]:
+    """Top-left character coordinate of a grid cell."""
+    return layer * CELL_HEIGHT, slot * CELL_WIDTH
+
+
+def _node_label(
+    name: str,
+    kind: str,
+    tokens: Mapping[str, int],
+    firings: Mapping[str, int],
+    max_width: int = CELL_WIDTH - 2,
+) -> str:
+    if kind == "place":
+        count = tokens.get(name, 0)
+        text = f"({name}:{count})"
+    else:
+        active = firings.get(name, 0)
+        text = f"[{name}*{active}]" if active else f"[{name}]"
+    if len(text) > max_width:
+        text = text[: max_width - 2] + (")" if kind == "place" else "]")
+    return text
+
+
+class NetRenderer:
+    """Renders a laid-out net with a given marking into a Canvas."""
+
+    def __init__(self, layout: Layout) -> None:
+        self.layout = layout
+        rows, cols = layout.size()
+        if rows == 0 or cols == 0:
+            raise AnimationError("cannot render an empty net")
+        self.canvas_rows = rows * CELL_HEIGHT
+        self.canvas_cols = cols * CELL_WIDTH
+
+    # -- geometry ----------------------------------------------------------
+
+    def node_center(self, name: str) -> tuple[int, int]:
+        position = self.layout.positions[name]
+        row, col = _cell_anchor(position.layer, position.slot)
+        return row + 1, col + CELL_WIDTH // 2
+
+    def arc_path(self, source: str, target: str) -> list[tuple[int, int]]:
+        """Orthogonal polyline between node centers (row, col) points."""
+        src_row, src_col = self.node_center(source)
+        dst_row, dst_col = self.node_center(target)
+        if src_row == dst_row:
+            return [(src_row, c) for c in _span(src_col, dst_col)]
+        mid_row = src_row + (1 if dst_row > src_row else -1)
+        path = [(r, src_col) for r in _span(src_row, mid_row)]
+        path += [(mid_row, c) for c in _span(src_col, dst_col)][1:]
+        path += [(r, dst_col) for r in _span(mid_row, dst_row)][1:]
+        return path
+
+    # -- drawing -----------------------------------------------------------------
+
+    def base_canvas(
+        self,
+        tokens: Mapping[str, int],
+        firings: Mapping[str, int] | None = None,
+    ) -> Canvas:
+        firings = firings or {}
+        canvas = Canvas(self.canvas_rows, self.canvas_cols)
+        for source, target, _weight, inhibitor in self.layout.arcs:
+            self._draw_arc(canvas, source, target, inhibitor)
+        for name, position in self.layout.positions.items():
+            row, col = _cell_anchor(position.layer, position.slot)
+            label = _node_label(name, position.kind, tokens, firings)
+            start = col + max((CELL_WIDTH - len(label)) // 2, 0)
+            canvas.put(row + 1, start, label)
+        return canvas
+
+    def _draw_arc(self, canvas: Canvas, source: str, target: str,
+                  inhibitor: bool) -> None:
+        path = self.arc_path(source, target)
+        for index in range(1, len(path) - 1):
+            row, col = path[index]
+            prev_row = path[index - 1][0]
+            next_row = path[index + 1][0]
+            if prev_row == row == next_row:
+                ch = "-"
+            elif path[index - 1][1] == col == path[index + 1][1]:
+                ch = "|"
+            else:
+                ch = "+"
+            if canvas.get(row, col) == " ":
+                canvas.put(row, col, ch)
+        if len(path) >= 2:
+            row, col = path[-2]
+            end_row, end_col = path[-1]
+            if inhibitor:
+                head = "o"
+            elif row == end_row:
+                head = ">" if end_col > col else "<"
+            else:
+                head = "v" if end_row > row else "^"
+            canvas.put(row, col, head)
+
+
+def _span(a: int, b: int) -> list[int]:
+    if a <= b:
+        return list(range(a, b + 1))
+    return list(range(a, b - 1, -1))

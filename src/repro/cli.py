@@ -1,0 +1,280 @@
+"""P-NUT-style command line front ends.
+
+The paper's toolkit is a set of small programs connected by traces; this
+module exposes the same workflow as subcommands of one executable::
+
+    pnut sim net.pn --until 10000 --seed 42 > run.trace
+    pnut filter run.trace --places Bus_busy,Bus_free > bus.trace
+    pnut stat run.trace
+    pnut tracer run.trace --probes Bus_busy,pre_fetching --end 200
+    pnut check run.trace "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]"
+    pnut reach net.pn --query "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]"
+    pnut animate net.pn --until 40 --frames 12
+    pnut validate net.pn
+    pnut fmt net.pn
+
+Traces stream through stdin/stdout (use ``-`` for stdin), so the
+simulator output "can be directly plugged into the input of analysis
+tools" exactly as §4.1 describes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.query import check_trace
+from .analysis.report import full_report, troff_report
+from .analysis.stat import compute_statistics
+from .analysis.tracer import extract_signals
+from .analysis.waveform import WaveformOptions, render_waveforms
+from .animation.player import animate as _animate
+from .core.errors import PnutError
+from .core.validate import Severity, validate_net
+from .lang.format import format_net
+from .lang.parser import parse_net
+from .reachability.ctl import RgChecker
+from .reachability.properties import analyze_net
+from .reachability.untimed import build_untimed_graph
+from .sim.engine import Simulator
+from .trace.filter import TraceFilter
+from .trace.serialize import format_event, format_header, read_trace, write_trace
+
+
+def _open_text(path: str):
+    if path == "-":
+        return sys.stdin
+    return open(path, "r", encoding="utf-8")
+
+
+def _load_net(path: str):
+    with _open_text(path) as handle:
+        return parse_net(handle.read())
+
+
+def _split_names(value: str | None) -> list[str] | None:
+    if value is None:
+        return None
+    return [name.strip() for name in value.split(",") if name.strip()]
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_sim(args: argparse.Namespace) -> int:
+    net = _load_net(args.net)
+    simulator = Simulator(net, seed=args.seed, run_number=args.run)
+    out = sys.stdout if args.output == "-" else open(
+        args.output, "w", encoding="utf-8")
+    try:
+        for line in format_header(simulator.header()):
+            out.write(line + "\n")
+        for event in simulator.stream(until=args.until,
+                                      max_events=args.max_events):
+            out.write(format_event(event) + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    return 0
+
+
+def cmd_filter(args: argparse.Namespace) -> int:
+    keep_places = _split_names(args.places)
+    keep_transitions = _split_names(args.transitions)
+    with _open_text(args.trace) as handle:
+        header, events = read_trace(handle)
+        filtered = TraceFilter(keep_places, keep_transitions).apply(events)
+        write_trace(sys.stdout, header, filtered)
+    return 0
+
+
+def cmd_stat(args: argparse.Namespace) -> int:
+    with _open_text(args.trace) as handle:
+        header, events = read_trace(handle)
+        stats = compute_statistics(events, run_number=header.run_number)
+    report = troff_report(stats) if args.troff else full_report(stats)
+    print(report)
+    return 0
+
+
+def cmd_tracer(args: argparse.Namespace) -> int:
+    probes = _split_names(args.probes) or []
+    if not probes:
+        print("tracer: --probes is required", file=sys.stderr)
+        return 2
+    with _open_text(args.trace) as handle:
+        _header, events = read_trace(handle)
+        signals = extract_signals(events, probes)
+    options = WaveformOptions(width=args.width, start=args.start, end=args.end)
+    print(render_waveforms([signals[p] for p in probes], options))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    with _open_text(args.trace) as handle:
+        _header, events = read_trace(handle)
+        result = check_trace(events, args.query)
+    print(result.explain())
+    return 0 if result.holds else 1
+
+
+def cmd_reach(args: argparse.Namespace) -> int:
+    net = _load_net(args.net)
+    if args.query:
+        graph = build_untimed_graph(net, max_states=args.max_states)
+        checker = RgChecker(graph, net)
+        holds = checker.check(args.query)
+        print(f"{'HOLDS' if holds else 'FAILS'} over {len(graph)} states: "
+              f"{args.query}")
+        return 0 if holds else 1
+    properties = analyze_net(net, max_states=args.max_states)
+    print(properties.pretty())
+    return 0
+
+
+def cmd_analytic(args: argparse.Namespace) -> int:
+    from .reachability.markov import steady_state
+
+    net = _load_net(args.net)
+    result = steady_state(net, max_states=args.max_states)
+    print(result.pretty())
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    from .reachability.coverability import structural_bounds
+
+    net = _load_net(args.net)
+    bounds = structural_bounds(net, max_nodes=args.max_states)
+    unbounded = sorted(p for p, b in bounds.items() if b == float("inf"))
+    for place in sorted(bounds):
+        bound = bounds[place]
+        text = "unbounded" if bound == float("inf") else str(int(bound))
+        print(f"{place}: {text}")
+    if unbounded:
+        print(f"UNBOUNDED places: {', '.join(unbounded)}")
+        return 1
+    print("net is structurally bounded")
+    return 0
+
+
+def cmd_animate(args: argparse.Namespace) -> int:
+    net = _load_net(args.net)
+    simulator = Simulator(net, seed=args.seed)
+    events = simulator.stream(until=args.until)
+    _animate(net, events, stream=sys.stdout, max_frames=args.frames)
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    net = _load_net(args.net)
+    report = validate_net(net)
+    print(report.pretty())
+    has_errors = any(d.severity is Severity.ERROR for d in report.diagnostics)
+    return 1 if has_errors else 0
+
+
+def cmd_fmt(args: argparse.Namespace) -> int:
+    net = _load_net(args.net)
+    sys.stdout.write(format_net(net, lossy=args.lossy))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pnut",
+        description="P-NUT reproduced: Timed Petri Net tools (Razouk, DAC 1988)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("sim", help="simulate a net, emit a trace")
+    p_sim.add_argument("net", help="net description file (- for stdin)")
+    p_sim.add_argument("--until", type=float, default=None)
+    p_sim.add_argument("--max-events", type=int, default=None)
+    p_sim.add_argument("--seed", type=int, default=None)
+    p_sim.add_argument("--run", type=int, default=1)
+    p_sim.add_argument("-o", "--output", default="-")
+    p_sim.set_defaults(fn=cmd_sim)
+
+    p_filter = sub.add_parser("filter", help="project a trace")
+    p_filter.add_argument("trace")
+    p_filter.add_argument("--places", default=None)
+    p_filter.add_argument("--transitions", default=None)
+    p_filter.set_defaults(fn=cmd_filter)
+
+    p_stat = sub.add_parser("stat", help="Figure-5 statistics report")
+    p_stat.add_argument("trace")
+    p_stat.add_argument("--troff", action="store_true")
+    p_stat.set_defaults(fn=cmd_stat)
+
+    p_tracer = sub.add_parser("tracer", help="Figure-7 timing waveforms")
+    p_tracer.add_argument("trace")
+    p_tracer.add_argument("--probes", required=True)
+    p_tracer.add_argument("--width", type=int, default=72)
+    p_tracer.add_argument("--start", type=float, default=None)
+    p_tracer.add_argument("--end", type=float, default=None)
+    p_tracer.set_defaults(fn=cmd_tracer)
+
+    p_check = sub.add_parser("check", help="verify a query against a trace")
+    p_check.add_argument("trace")
+    p_check.add_argument("query")
+    p_check.set_defaults(fn=cmd_check)
+
+    p_reach = sub.add_parser("reach", help="reachability analysis / proofs")
+    p_reach.add_argument("net")
+    p_reach.add_argument("--max-states", type=int, default=100_000)
+    p_reach.add_argument("--query", default=None)
+    p_reach.set_defaults(fn=cmd_reach)
+
+    p_analytic = sub.add_parser(
+        "analytic", help="exact steady state via the timed graph")
+    p_analytic.add_argument("net")
+    p_analytic.add_argument("--max-states", type=int, default=50_000)
+    p_analytic.set_defaults(fn=cmd_analytic)
+
+    p_bounds = sub.add_parser(
+        "bounds", help="Karp-Miller structural bounds (no inhibitors)")
+    p_bounds.add_argument("net")
+    p_bounds.add_argument("--max-states", type=int, default=50_000)
+    p_bounds.set_defaults(fn=cmd_bounds)
+
+    p_animate = sub.add_parser("animate", help="token-flow animation")
+    p_animate.add_argument("net")
+    p_animate.add_argument("--until", type=float, default=50)
+    p_animate.add_argument("--seed", type=int, default=None)
+    p_animate.add_argument("--frames", type=int, default=20)
+    p_animate.set_defaults(fn=cmd_animate)
+
+    p_validate = sub.add_parser("validate", help="structural validation")
+    p_validate.add_argument("net")
+    p_validate.set_defaults(fn=cmd_validate)
+
+    p_fmt = sub.add_parser("fmt", help="parse and pretty-print a net")
+    p_fmt.add_argument("net")
+    p_fmt.add_argument("--lossy", action="store_true")
+    p_fmt.set_defaults(fn=cmd_fmt)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except PnutError as error:
+        print(f"pnut: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

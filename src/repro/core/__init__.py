@@ -1,0 +1,110 @@
+"""Core extended Timed Petri Net model (the paper's §1).
+
+Public surface:
+
+* :class:`~repro.core.net.PetriNet`, :class:`~repro.core.net.Place`,
+  :class:`~repro.core.net.Transition` — the structural model.
+* :class:`~repro.core.builder.NetBuilder` — fluent construction.
+* :class:`~repro.core.marking.Marking` — immutable token distributions.
+* Delay models (:mod:`repro.core.time_model`) for firing/enabling times.
+* :class:`~repro.core.inscription.Environment` with predicates/actions.
+* Structural validation and P/T-invariant computation.
+"""
+
+from .builder import NetBuilder
+from .errors import (
+    ActionError,
+    AnimationError,
+    DuplicateNodeError,
+    ImmediateLoopError,
+    LanguageError,
+    MarkingError,
+    NetDefinitionError,
+    PnutError,
+    QueryError,
+    QueryEvaluationError,
+    QuerySyntaxError,
+    ReachabilityError,
+    SimulationError,
+    StateSpaceLimitError,
+    TraceError,
+    TraceFormatError,
+    UnknownNodeError,
+)
+from .frequency import choose_weighted, expected_shares, normalize_frequencies
+from .inscription import Action, Environment, Predicate, always_true, no_action
+from .invariants import (
+    Invariant,
+    conserved_sets,
+    incidence_matrix,
+    invariant_value,
+    p_invariant_basis,
+    p_semiflows,
+    t_invariant_basis,
+    t_semiflows,
+)
+from .marking import Marking, marking_of
+from .net import PetriNet, Place, Transition
+from .time_model import (
+    ZERO_DELAY,
+    ConstantDelay,
+    Delay,
+    DiscreteDelay,
+    ExponentialDelay,
+    UniformDelay,
+    as_delay,
+)
+from .validate import Diagnostic, Severity, ValidationReport, validate_net
+
+__all__ = [
+    "Action",
+    "ActionError",
+    "AnimationError",
+    "ConstantDelay",
+    "Delay",
+    "Diagnostic",
+    "DiscreteDelay",
+    "DuplicateNodeError",
+    "Environment",
+    "ExponentialDelay",
+    "ImmediateLoopError",
+    "Invariant",
+    "LanguageError",
+    "Marking",
+    "MarkingError",
+    "NetBuilder",
+    "NetDefinitionError",
+    "PetriNet",
+    "Place",
+    "PnutError",
+    "Predicate",
+    "QueryError",
+    "QueryEvaluationError",
+    "QuerySyntaxError",
+    "ReachabilityError",
+    "Severity",
+    "SimulationError",
+    "StateSpaceLimitError",
+    "TraceError",
+    "TraceFormatError",
+    "Transition",
+    "UniformDelay",
+    "UnknownNodeError",
+    "ValidationReport",
+    "ZERO_DELAY",
+    "always_true",
+    "as_delay",
+    "choose_weighted",
+    "conserved_sets",
+    "expected_shares",
+    "incidence_matrix",
+    "invariant_value",
+    "marking_of",
+    "no_action",
+    "normalize_frequencies",
+    "p_invariant_basis",
+    "p_semiflows",
+    "t_invariant_basis",
+    "t_semiflows",
+    "validate_net",
+]

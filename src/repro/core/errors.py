@@ -1,0 +1,129 @@
+"""Exception hierarchy for the repro (P-NUT reproduction) library.
+
+All library-raised exceptions derive from :class:`PnutError` so callers can
+catch one base class. Subclasses mark distinct failure domains: model
+construction, simulation runtime, trace handling, query parsing/evaluation,
+and reachability analysis.
+"""
+
+from __future__ import annotations
+
+
+class PnutError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class NetDefinitionError(PnutError):
+    """A Petri net was constructed inconsistently.
+
+    Examples: duplicate place names, arcs that reference unknown nodes,
+    negative arc weights, or a transition with a negative firing time.
+    """
+
+
+class UnknownNodeError(NetDefinitionError):
+    """A place or transition name was looked up but does not exist."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        self.kind = kind
+        self.name = name
+        super().__init__(f"unknown {kind}: {name!r}")
+
+
+class DuplicateNodeError(NetDefinitionError):
+    """A place or transition with the same name was defined twice."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        self.kind = kind
+        self.name = name
+        super().__init__(f"duplicate {kind}: {name!r}")
+
+
+class MarkingError(PnutError):
+    """An operation on a marking was invalid (e.g. negative token count)."""
+
+
+class SimulationError(PnutError):
+    """The simulator entered an invalid state or received bad input."""
+
+
+class ImmediateLoopError(SimulationError):
+    """Immediate (zero-delay) transitions fired endlessly at one instant.
+
+    The per-instant immediate-firing budget guards against models whose
+    zero-time transitions re-enable each other forever. The offending
+    transition names are reported to aid debugging.
+    """
+
+    def __init__(self, time: float, transitions: list[str], budget: int) -> None:
+        self.time = time
+        self.transitions = transitions
+        self.budget = budget
+        names = ", ".join(sorted(set(transitions))[:8])
+        super().__init__(
+            f"more than {budget} immediate firings at time {time} "
+            f"(transitions involved: {names}); the model likely contains a "
+            "zero-delay loop"
+        )
+
+
+class ActionError(SimulationError):
+    """A transition action or predicate raised or returned a bad value."""
+
+
+class TraceError(PnutError):
+    """A trace stream was malformed or used inconsistently."""
+
+
+class TraceFormatError(TraceError):
+    """A serialized trace line could not be parsed."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        self.line_number = line_number
+        self.line = line
+        self.reason = reason
+        super().__init__(f"trace line {line_number}: {reason}: {line!r}")
+
+
+class QueryError(PnutError):
+    """A tracertool/reachability query was malformed or failed to evaluate."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text could not be parsed."""
+
+    def __init__(self, position: int, message: str) -> None:
+        self.position = position
+        super().__init__(f"query syntax error at position {position}: {message}")
+
+
+class QueryEvaluationError(QueryError):
+    """The query referenced unknown names or applied bad operations."""
+
+
+class ReachabilityError(PnutError):
+    """Reachability analysis failed (e.g. the state space is unbounded)."""
+
+
+class StateSpaceLimitError(ReachabilityError):
+    """Exploration exceeded the configured state budget."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        super().__init__(
+            f"state space exceeded the exploration limit of {limit} states; "
+            "the net may be unbounded or the limit too small"
+        )
+
+
+class LanguageError(PnutError):
+    """The textual net description could not be lexed/parsed/compiled."""
+
+    def __init__(self, line: int, column: int, message: str) -> None:
+        self.line = line
+        self.column = column
+        super().__init__(f"line {line}, column {column}: {message}")
+
+
+class AnimationError(PnutError):
+    """Animation layout or rendering failed."""

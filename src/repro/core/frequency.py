@@ -1,0 +1,60 @@
+"""Probabilistic conflict resolution (paper §1, Woo/Phelps/Sidwell 1986).
+
+Competing events carry relative firing *frequencies*; firing
+*probabilities* are computed dynamically during simulation from the set of
+transitions that momentarily compete. This module implements that dynamic
+renormalization as a small, separately testable helper used by the
+simulation engine and the timed reachability analyzer.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+
+from .errors import SimulationError
+
+
+def normalize_frequencies(frequencies: Mapping[str, float]) -> dict[str, float]:
+    """Turn relative frequencies into probabilities summing to 1.
+
+    >>> normalize_frequencies({"a": 70, "b": 20, "c": 10})["a"]
+    0.7
+    """
+    total = float(sum(frequencies.values()))
+    if total <= 0:
+        raise SimulationError("competing set has non-positive total frequency")
+    return {name: freq / total for name, freq in frequencies.items()}
+
+
+def choose_weighted(
+    rng: random.Random,
+    candidates: Sequence[str],
+    frequencies: Mapping[str, float],
+) -> str:
+    """Draw one candidate with probability proportional to its frequency.
+
+    The candidate order does not affect the distribution; draws depend only
+    on the RNG state and the frequency values.
+    """
+    if not candidates:
+        raise SimulationError("cannot choose from an empty competing set")
+    if len(candidates) == 1:
+        return candidates[0]
+    weights = [frequencies.get(name, 1.0) for name in candidates]
+    if any(w <= 0 for w in weights):
+        raise SimulationError("competing transition has non-positive frequency")
+    return rng.choices(candidates, weights=weights, k=1)[0]
+
+
+def expected_shares(
+    candidates: Sequence[str], frequencies: Mapping[str, float]
+) -> dict[str, float]:
+    """The long-run probability share of each candidate if the same set
+    competed repeatedly — used by reports and tests.
+
+    >>> expected_shares(["t1", "t2"], {"t1": 3, "t2": 1})
+    {'t1': 0.75, 't2': 0.25}
+    """
+    subset = {name: frequencies.get(name, 1.0) for name in candidates}
+    return normalize_frequencies(subset)

@@ -1,0 +1,147 @@
+"""Predicates and actions: the interpreted-net extension (paper §1, §3).
+
+Predicates are data-dependent pre-conditions evaluated against a variable
+:class:`Environment`; actions are data transformations run when a firing
+completes. The paper's example::
+
+    type = irand[1, max-type];
+    number-of-operands-needed = operands[type];
+
+maps here to an action calling ``env.irand(1, env["max_type"])`` and
+indexing a table stored in the environment. Predicates/actions are plain
+Python callables taking the environment; the textual language in
+``repro.lang.expr`` compiles the paper's notation into such callables.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from .errors import ActionError
+
+Predicate = Callable[["Environment"], bool]
+Action = Callable[["Environment"], None]
+
+
+class Environment:
+    """Mutable variable store shared by all predicates/actions of a net.
+
+    Variable names follow the paper's convention: hyphens in the textual
+    language are normalized to underscores. Values may be ints, floats,
+    bools, strings or (for tables) tuples/lists indexed from 1 like the
+    paper's ``operands[type]`` table.
+
+    The environment owns a reference to the simulation RNG so actions can
+    call :meth:`irand` reproducibly.
+    """
+
+    def __init__(
+        self,
+        variables: Mapping[str, Any] | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self._vars: dict[str, Any] = dict(variables or {})
+        self.rng = rng if rng is not None else random.Random()
+
+    # -- variable access -------------------------------------------------
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._vars[name]
+        except KeyError:
+            raise ActionError(f"undefined variable {name!r}") from None
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        self._vars[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vars
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._vars.get(name, default)
+
+    def as_dict(self) -> dict[str, Any]:
+        """A snapshot copy of all variables."""
+        return dict(self._vars)
+
+    def update(self, values: Mapping[str, Any]) -> None:
+        self._vars.update(values)
+
+    # -- paper built-ins --------------------------------------------------
+
+    def irand(self, low: int, high: int) -> int:
+        """Uniform random integer in ``[low, high]`` inclusive (paper's irand)."""
+        if low > high:
+            raise ActionError(f"irand bounds reversed: [{low}, {high}]")
+        return self.rng.randint(low, high)
+
+    def table(self, name: str, index: int) -> Any:
+        """1-based table lookup matching the paper's ``operands[type]``.
+
+        The table is a sequence stored as variable ``name``.
+        """
+        seq = self[name]
+        if not isinstance(seq, (list, tuple)):
+            raise ActionError(f"variable {name!r} is not a table")
+        if not 1 <= index <= len(seq):
+            raise ActionError(
+                f"table {name!r} index {index} out of range 1..{len(seq)}"
+            )
+        return seq[index - 1]
+
+    def snapshot_scalars(self) -> dict[str, Any]:
+        """Scalars only (ints/floats/bools/strings) — what traces record.
+
+        Tables are part of the model definition, not of the evolving state,
+        so they are excluded from trace deltas.
+        """
+        return {
+            k: v
+            for k, v in self._vars.items()
+            if isinstance(v, (int, float, bool, str))
+        }
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._vars.items()))
+        return f"Environment({inner})"
+
+
+def always_true(_env: Environment) -> bool:
+    """The default predicate: the transition has no data guard."""
+    return True
+
+
+def no_action(_env: Environment) -> None:
+    """The default action: the firing does not transform data."""
+
+
+def check_predicate(pred: Predicate, env: Environment, transition_name: str) -> bool:
+    """Evaluate a predicate defensively, wrapping failures in ActionError."""
+    try:
+        result = pred(env)
+    except ActionError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - user code boundary
+        raise ActionError(
+            f"predicate of transition {transition_name!r} raised {exc!r}"
+        ) from exc
+    if not isinstance(result, bool):
+        raise ActionError(
+            f"predicate of transition {transition_name!r} returned non-bool "
+            f"{result!r}"
+        )
+    return result
+
+
+def run_action(action: Action, env: Environment, transition_name: str) -> None:
+    """Run an action defensively, wrapping failures in ActionError."""
+    try:
+        action(env)
+    except ActionError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - user code boundary
+        raise ActionError(
+            f"action of transition {transition_name!r} raised {exc!r}"
+        ) from exc

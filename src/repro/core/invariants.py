@@ -1,0 +1,248 @@
+"""Place and transition invariants of the underlying (untimed) net.
+
+A P-invariant is an integer weighting ``x`` of places with ``x . C = 0``
+(``C`` the incidence matrix): the weighted token sum is conserved by every
+atomic firing. The paper's bus-modeling discipline — "the sum of the
+tokens on Bus_free and Bus_busy should always equal one" (§4.2, §4.4) —
+is exactly a P-invariant with weight 1 on both places, and the reachability
+analyzer uses these invariants as proofs where tracertool only tests.
+
+Timed caveat: while a transition is *firing*, its consumed tokens sit
+inside the transition, so a P-invariant holds for the quantity
+``x·M + Σ_in-flight x·inputs(t)``; :func:`invariant_value` computes that
+corrected value so the simulator's states can be checked too.
+
+Two computations are provided:
+
+* :func:`incidence_matrix` / :func:`rational_nullspace` — a basis of all
+  invariants via exact fraction Gaussian elimination.
+* :func:`p_semiflows` / :func:`t_semiflows` — the non-negative
+  (semi-positive) invariants via the classical Farkas algorithm, reduced
+  to minimal support.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from fractions import Fraction
+from math import gcd
+
+from .marking import Marking
+from .net import PetriNet
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """An integer weighting over node names with zero net effect."""
+
+    weights: Mapping[str, int]
+    kind: str  # "P" or "T"
+
+    def support(self) -> frozenset[str]:
+        return frozenset(n for n, w in self.weights.items() if w)
+
+    def pretty(self) -> str:
+        terms = [
+            (f"{w}*" if w != 1 else "") + name
+            for name, w in sorted(self.weights.items())
+            if w
+        ]
+        return " + ".join(terms) if terms else "0"
+
+
+def incidence_matrix(net: PetriNet) -> tuple[list[str], list[str], list[list[int]]]:
+    """The |P| x |T| incidence matrix C with C[p][t] = W(t,p) - W(p,t).
+
+    Inhibitor arcs do not move tokens and are excluded.
+    """
+    places = net.place_names()
+    transitions = net.transition_names()
+    p_index = {p: i for i, p in enumerate(places)}
+    matrix = [[0] * len(transitions) for _ in places]
+    for j, t in enumerate(transitions):
+        for p, w in net.inputs_of(t).items():
+            matrix[p_index[p]][j] -= w
+        for p, w in net.outputs_of(t).items():
+            matrix[p_index[p]][j] += w
+    return places, transitions, matrix
+
+
+def rational_nullspace(matrix: list[list[int]]) -> list[list[Fraction]]:
+    """Basis of the (right) nullspace of ``matrix`` over the rationals."""
+    if not matrix:
+        return []
+    rows = [list(map(Fraction, row)) for row in matrix]
+    n_cols = len(rows[0])
+    pivots: list[int] = []
+    r = 0
+    for c in range(n_cols):
+        pivot_row = next((i for i in range(r, len(rows)) if rows[i][c] != 0), None)
+        if pivot_row is None:
+            continue
+        rows[r], rows[pivot_row] = rows[pivot_row], rows[r]
+        pivot = rows[r][c]
+        rows[r] = [v / pivot for v in rows[r]]
+        for i in range(len(rows)):
+            if i != r and rows[i][c] != 0:
+                factor = rows[i][c]
+                rows[i] = [a - factor * b for a, b in zip(rows[i], rows[r])]
+        pivots.append(c)
+        r += 1
+        if r == len(rows):
+            break
+    free_cols = [c for c in range(n_cols) if c not in pivots]
+    basis: list[list[Fraction]] = []
+    for free in free_cols:
+        vec = [Fraction(0)] * n_cols
+        vec[free] = Fraction(1)
+        for row_idx, pivot_col in enumerate(pivots):
+            vec[pivot_col] = -rows[row_idx][free]
+        basis.append(vec)
+    return basis
+
+
+def _to_integer_vector(vec: list[Fraction]) -> list[int]:
+    """Scale a rational vector to the smallest integer multiple."""
+    denominators = [f.denominator for f in vec if f != 0]
+    if not denominators:
+        return [0] * len(vec)
+    lcm = 1
+    for d in denominators:
+        lcm = lcm * d // gcd(lcm, d)
+    ints = [int(f * lcm) for f in vec]
+    g = 0
+    for v in ints:
+        g = gcd(g, abs(v))
+    if g > 1:
+        ints = [v // g for v in ints]
+    # Normalize sign: first non-zero positive.
+    first = next((v for v in ints if v != 0), 0)
+    if first < 0:
+        ints = [-v for v in ints]
+    return ints
+
+
+def p_invariant_basis(net: PetriNet) -> list[Invariant]:
+    """All P-invariants as an integer basis (may contain negative weights)."""
+    places, _transitions, matrix = incidence_matrix(net)
+    transposed = [list(col) for col in zip(*matrix)] if matrix else []
+    basis = rational_nullspace(transposed)
+    result = []
+    for vec in basis:
+        ints = _to_integer_vector(vec)
+        result.append(Invariant(dict(zip(places, ints)), "P"))
+    return result
+
+
+def t_invariant_basis(net: PetriNet) -> list[Invariant]:
+    """All T-invariants (firing-count vectors with zero net effect)."""
+    _places, transitions, matrix = incidence_matrix(net)
+    basis = rational_nullspace(matrix)
+    result = []
+    for vec in basis:
+        ints = _to_integer_vector(vec)
+        result.append(Invariant(dict(zip(transitions, ints)), "T"))
+    return result
+
+
+def _farkas(matrix: list[list[int]], names: list[str]) -> list[Invariant]:
+    """Semi-positive nullspace vectors of ``matrix``^T x = 0 via Farkas.
+
+    ``matrix`` rows correspond to ``names``; columns are constraints to
+    eliminate. Returns minimal-support non-negative integer solutions.
+    """
+    n = len(names)
+    if n == 0:
+        return []
+    n_cols = len(matrix[0]) if matrix else 0
+    # Rows: [constraint part | identity part]
+    rows: list[tuple[list[int], list[int]]] = [
+        (list(matrix[i]), [1 if j == i else 0 for j in range(n)])
+        for i in range(n)
+    ]
+    for col in range(n_cols):
+        positive = [row for row in rows if row[0][col] > 0]
+        negative = [row for row in rows if row[0][col] < 0]
+        zero = [row for row in rows if row[0][col] == 0]
+        new_rows = list(zero)
+        for pos in positive:
+            for neg in negative:
+                a, b = pos[0][col], -neg[0][col]
+                g = gcd(a, b)
+                ca, cb = b // g, a // g
+                combo_c = [ca * x + cb * y for x, y in zip(pos[0], neg[0])]
+                combo_i = [ca * x + cb * y for x, y in zip(pos[1], neg[1])]
+                gg = 0
+                for v in combo_c + combo_i:
+                    gg = gcd(gg, abs(v))
+                if gg > 1:
+                    combo_c = [v // gg for v in combo_c]
+                    combo_i = [v // gg for v in combo_i]
+                new_rows.append((combo_c, combo_i))
+        rows = new_rows
+        if len(rows) > 4096:
+            # Combinatorial blow-up guard: keep minimal-support rows first.
+            rows.sort(key=lambda r: sum(1 for v in r[1] if v))
+            rows = rows[:4096]
+    solutions = [row[1] for row in rows if not any(row[0])]
+    # Reduce to minimal support, dropping duplicates and supersets.
+    invariants: list[Invariant] = []
+    supports: list[frozenset[str]] = []
+    for vec in sorted(solutions, key=lambda v: sum(1 for x in v if x)):
+        if not any(vec):
+            continue
+        support = frozenset(names[i] for i, v in enumerate(vec) if v)
+        if any(existing <= support for existing in supports):
+            continue
+        supports.append(support)
+        invariants.append(
+            Invariant({names[i]: vec[i] for i in range(n)}, kind="")
+        )
+    return invariants
+
+
+def p_semiflows(net: PetriNet) -> list[Invariant]:
+    """Minimal-support non-negative P-invariants (conservation laws)."""
+    places, _transitions, matrix = incidence_matrix(net)
+    found = _farkas(matrix, places)
+    return [Invariant(inv.weights, "P") for inv in found]
+
+
+def t_semiflows(net: PetriNet) -> list[Invariant]:
+    """Minimal-support non-negative T-invariants (reproducing firings)."""
+    _places, transitions, matrix = incidence_matrix(net)
+    transposed = [list(col) for col in zip(*matrix)] if matrix else []
+    found = _farkas(transposed, transitions)
+    return [Invariant(inv.weights, "T") for inv in found]
+
+
+def invariant_value(
+    net: PetriNet,
+    invariant: Invariant,
+    marking: Marking,
+    in_flight: Mapping[str, int] | None = None,
+) -> int:
+    """The invariant's weighted sum, corrected for in-flight firings.
+
+    ``in_flight`` maps transition name to its number of concurrent firings;
+    tokens consumed by those firings are counted back in, making the value
+    constant across a timed simulation as well.
+    """
+    total = sum(w * marking[p] for p, w in invariant.weights.items())
+    for t, count in (in_flight or {}).items():
+        if count:
+            for p, w in net.inputs_of(t).items():
+                total += count * w * invariant.weights.get(p, 0)
+    return total
+
+
+def conserved_sets(net: PetriNet) -> list[frozenset[str]]:
+    """Supports of unit-weight semiflows: sets of places whose token sum is
+    constant — e.g. ``{Bus_free, Bus_busy}`` in the paper's model."""
+    result = []
+    for inv in p_semiflows(net):
+        weights = {w for w in inv.weights.values() if w}
+        if weights == {1}:
+            result.append(inv.support())
+    return result

@@ -1,0 +1,132 @@
+"""Markings: token distributions over the places of a net.
+
+A :class:`Marking` maps place names to non-negative integer token counts.
+It behaves like an immutable multiset with arithmetic helpers used by the
+simulator and the reachability analyzers. Places absent from the mapping
+hold zero tokens, so two markings that differ only in explicit zeros are
+equal and hash identically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from .errors import MarkingError
+
+
+class Marking(Mapping[str, int]):
+    """An immutable mapping from place name to token count.
+
+    Zero counts are normalized away so equality and hashing depend only on
+    the places that actually hold tokens.
+
+    >>> m = Marking({"a": 2, "b": 0})
+    >>> m["a"], m["b"], m["zzz"]
+    (2, 0, 0)
+    >>> m == Marking({"a": 2})
+    True
+    """
+
+    __slots__ = ("_counts", "_hash")
+
+    def __init__(self, counts: Mapping[str, int] | Iterable[tuple[str, int]] = ()) -> None:
+        items = counts.items() if isinstance(counts, Mapping) else counts
+        cleaned: dict[str, int] = {}
+        for place, count in items:
+            if not isinstance(count, int):
+                raise MarkingError(f"token count for {place!r} must be int, got {count!r}")
+            if count < 0:
+                raise MarkingError(f"negative token count for {place!r}: {count}")
+            if count:
+                cleaned[place] = count
+        self._counts = cleaned
+        self._hash: int | None = None
+
+    # -- Mapping protocol ------------------------------------------------
+
+    def __getitem__(self, place: str) -> int:
+        return self._counts.get(place, 0)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, place: object) -> bool:
+        return place in self._counts
+
+    # -- identity --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Marking):
+            return self._counts == other._counts
+        if isinstance(other, Mapping):
+            return self._counts == {p: n for p, n in other.items() if n}
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._counts.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{p}={n}" for p, n in sorted(self._counts.items()))
+        return f"Marking({inner})"
+
+    # -- arithmetic ------------------------------------------------------
+
+    def add(self, deltas: Mapping[str, int]) -> "Marking":
+        """Return a new marking with ``deltas`` tokens added per place."""
+        merged = dict(self._counts)
+        for place, count in deltas.items():
+            merged[place] = merged.get(place, 0) + count
+        return Marking(merged)
+
+    def subtract(self, deltas: Mapping[str, int]) -> "Marking":
+        """Return a new marking with ``deltas`` tokens removed per place.
+
+        Raises :class:`MarkingError` if any count would go negative.
+        """
+        merged = dict(self._counts)
+        for place, count in deltas.items():
+            new = merged.get(place, 0) - count
+            if new < 0:
+                raise MarkingError(
+                    f"cannot remove {count} token(s) from {place!r} holding "
+                    f"{merged.get(place, 0)}"
+                )
+            merged[place] = new
+        return Marking(merged)
+
+    def covers(self, requirement: Mapping[str, int]) -> bool:
+        """True if this marking holds at least ``requirement`` tokens."""
+        return all(self._counts.get(p, 0) >= n for p, n in requirement.items())
+
+    def total(self) -> int:
+        """Total number of tokens across all places."""
+        return sum(self._counts.values())
+
+    def restricted_to(self, places: Iterable[str]) -> "Marking":
+        """Project the marking onto a subset of places."""
+        keep = set(places)
+        return Marking({p: n for p, n in self._counts.items() if p in keep})
+
+    def as_dict(self) -> dict[str, int]:
+        """A plain mutable dict copy (only non-zero entries)."""
+        return dict(self._counts)
+
+    def pretty(self) -> str:
+        """Human-readable one-line rendering, sorted by place name."""
+        if not self._counts:
+            return "(empty)"
+        return " ".join(f"{p}={n}" for p, n in sorted(self._counts.items()))
+
+
+def marking_of(**counts: int) -> Marking:
+    """Keyword-argument convenience constructor.
+
+    >>> marking_of(Bus_free=1, Empty_I_buffers=6)["Empty_I_buffers"]
+    6
+    """
+    return Marking(counts)

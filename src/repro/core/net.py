@@ -1,0 +1,449 @@
+"""The extended Timed Petri Net model (the paper's §1).
+
+A :class:`PetriNet` holds named :class:`Place` and :class:`Transition`
+objects joined by weighted input arcs, weighted output arcs and inhibitor
+arcs. Transitions carry the paper's extensions: a *firing time* (tokens are
+hidden inside the transition while it fires), an *enabling time* (the
+transition must stay continuously enabled this long before it may fire,
+with tokens visible on the places), a relative *firing frequency* used for
+probabilistic conflict resolution, and optional *predicate*/*action*
+inscriptions over a shared variable environment.
+
+The net object is purely structural — it never evolves. Dynamics live in
+``repro.sim`` (token game over time) and ``repro.reachability`` (state
+space exploration).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from .errors import DuplicateNodeError, NetDefinitionError, UnknownNodeError
+from .inscription import Action, Environment, Predicate, always_true, check_predicate, no_action
+from .marking import Marking
+from .time_model import ZERO_DELAY, Delay, as_delay
+
+
+@dataclass(frozen=True)
+class Place:
+    """A condition holder.
+
+    ``initial_tokens`` seeds the initial marking. ``capacity`` is advisory:
+    it is checked by the validator and the reachability analyzer but not
+    enforced by the simulator (the paper's nets bound places structurally,
+    e.g. the 6-slot instruction buffer).
+    """
+
+    name: str
+    initial_tokens: int = 0
+    capacity: int | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetDefinitionError("place name must be non-empty")
+        if self.initial_tokens < 0:
+            raise NetDefinitionError(
+                f"place {self.name!r}: initial tokens must be >= 0"
+            )
+        if self.capacity is not None and self.capacity < self.initial_tokens:
+            raise NetDefinitionError(
+                f"place {self.name!r}: capacity {self.capacity} below initial "
+                f"tokens {self.initial_tokens}"
+            )
+
+
+@dataclass(frozen=True)
+class Transition:
+    """An event.
+
+    ``firing_time`` and ``enabling_time`` are :class:`Delay` objects (plain
+    numbers are accepted and coerced). ``frequency`` is the relative firing
+    frequency among simultaneously competing transitions (paper §1, WPS86).
+    ``max_concurrent`` caps simultaneous firings; ``None`` means
+    infinite-server semantics (paper §4.2 allows a transition to "fire many
+    times simultaneously").
+    """
+
+    name: str
+    firing_time: Delay = ZERO_DELAY
+    enabling_time: Delay = ZERO_DELAY
+    frequency: float = 1.0
+    predicate: Predicate = always_true
+    action: Action = no_action
+    max_concurrent: int | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetDefinitionError("transition name must be non-empty")
+        object.__setattr__(self, "firing_time", as_delay(self.firing_time))
+        object.__setattr__(self, "enabling_time", as_delay(self.enabling_time))
+        if self.frequency <= 0:
+            raise NetDefinitionError(
+                f"transition {self.name!r}: frequency must be > 0, got {self.frequency}"
+            )
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise NetDefinitionError(
+                f"transition {self.name!r}: max_concurrent must be >= 1"
+            )
+
+    def is_immediate(self) -> bool:
+        """True when both delays are identically zero."""
+        return self.firing_time.is_zero() and self.enabling_time.is_zero()
+
+    def is_timed(self) -> bool:
+        return not self.is_immediate()
+
+
+@dataclass
+class _TransitionArcs:
+    """Internal arc bundles per transition (input/output/inhibitor)."""
+
+    inputs: dict[str, int] = field(default_factory=dict)
+    outputs: dict[str, int] = field(default_factory=dict)
+    inhibitors: dict[str, int] = field(default_factory=dict)
+
+
+class PetriNet:
+    """An extended Timed Petri Net.
+
+    Nodes are addressed by name. Arcs are added with :meth:`add_input`,
+    :meth:`add_output` and :meth:`add_inhibitor`; repeated additions on the
+    same (place, transition) pair accumulate weight, matching the usual
+    multigraph-to-weight folding.
+    """
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self._places: dict[str, Place] = {}
+        self._transitions: dict[str, Transition] = {}
+        self._arcs: dict[str, _TransitionArcs] = {}
+        self._initial_variables: dict[str, object] = {}
+
+    # -- node management ---------------------------------------------------
+
+    def add_place(
+        self,
+        name: str | Place,
+        initial_tokens: int = 0,
+        capacity: int | None = None,
+        description: str = "",
+    ) -> Place:
+        """Register a place; returns the (frozen) Place object."""
+        place = name if isinstance(name, Place) else Place(
+            name, initial_tokens, capacity, description
+        )
+        if place.name in self._places:
+            raise DuplicateNodeError("place", place.name)
+        if place.name in self._transitions:
+            raise NetDefinitionError(
+                f"name {place.name!r} already used by a transition"
+            )
+        self._places[place.name] = place
+        return place
+
+    def add_transition(self, transition: str | Transition, **kwargs) -> Transition:
+        """Register a transition; accepts a name plus Transition kwargs."""
+        if isinstance(transition, str):
+            transition = Transition(transition, **kwargs)
+        elif kwargs:
+            raise NetDefinitionError(
+                "pass either a Transition object or a name with kwargs, not both"
+            )
+        if transition.name in self._transitions:
+            raise DuplicateNodeError("transition", transition.name)
+        if transition.name in self._places:
+            raise NetDefinitionError(
+                f"name {transition.name!r} already used by a place"
+            )
+        self._transitions[transition.name] = transition
+        self._arcs[transition.name] = _TransitionArcs()
+        return transition
+
+    def replace_transition(self, transition: Transition) -> None:
+        """Swap a transition's attributes while keeping its arcs.
+
+        Used by model variants (e.g. the time-semantics ablation) to change
+        delays without rebuilding the whole net.
+        """
+        if transition.name not in self._transitions:
+            raise UnknownNodeError("transition", transition.name)
+        self._transitions[transition.name] = transition
+
+    def remove_transition(self, name: str) -> None:
+        """Delete a transition and all its arcs.
+
+        Used by model variants that replace a whole access path (e.g. the
+        cache extension swapping a memory access for a hit/miss split).
+        """
+        if name not in self._transitions:
+            raise UnknownNodeError("transition", name)
+        del self._transitions[name]
+        del self._arcs[name]
+
+    # -- arc management ------------------------------------------------------
+
+    def _require_place(self, name: str) -> None:
+        if name not in self._places:
+            raise UnknownNodeError("place", name)
+
+    def _require_transition(self, name: str) -> None:
+        if name not in self._transitions:
+            raise UnknownNodeError("transition", name)
+
+    def add_input(self, place: str, transition: str, weight: int = 1) -> None:
+        """Arc place -> transition consuming ``weight`` tokens per firing."""
+        self._check_arc(place, transition, weight)
+        arcs = self._arcs[transition].inputs
+        arcs[place] = arcs.get(place, 0) + weight
+
+    def add_output(self, transition: str, place: str, weight: int = 1) -> None:
+        """Arc transition -> place producing ``weight`` tokens per firing."""
+        self._check_arc(place, transition, weight)
+        arcs = self._arcs[transition].outputs
+        arcs[place] = arcs.get(place, 0) + weight
+
+    def add_inhibitor(self, place: str, transition: str, threshold: int = 1) -> None:
+        """Inhibitor arc: transition enabled only if place holds < threshold.
+
+        The default threshold of 1 is the paper's "dark bubble" arc: the
+        place must be empty.
+        """
+        self._check_arc(place, transition, threshold)
+        arcs = self._arcs[transition].inhibitors
+        existing = arcs.get(place)
+        arcs[place] = threshold if existing is None else min(existing, threshold)
+
+    def _check_arc(self, place: str, transition: str, weight: int) -> None:
+        self._require_place(place)
+        self._require_transition(transition)
+        if weight < 1:
+            raise NetDefinitionError(
+                f"arc weight between {place!r} and {transition!r} must be >= 1, "
+                f"got {weight}"
+            )
+
+    # -- initial state ---------------------------------------------------------
+
+    def set_variable(self, name: str, value: object) -> None:
+        """Declare an initial environment variable (for interpreted nets)."""
+        self._initial_variables[name] = value
+
+    def initial_marking(self) -> Marking:
+        """The marking induced by the places' initial token counts."""
+        return Marking({p.name: p.initial_tokens for p in self._places.values()})
+
+    def initial_environment(self, rng=None) -> Environment:
+        """A fresh environment seeded with the declared variables."""
+        return Environment(self._initial_variables, rng=rng)
+
+    @property
+    def initial_variables(self) -> Mapping[str, object]:
+        return dict(self._initial_variables)
+
+    # -- structure queries -------------------------------------------------------
+
+    @property
+    def places(self) -> Mapping[str, Place]:
+        return dict(self._places)
+
+    @property
+    def transitions(self) -> Mapping[str, Transition]:
+        return dict(self._transitions)
+
+    def place(self, name: str) -> Place:
+        self._require_place(name)
+        return self._places[name]
+
+    def transition(self, name: str) -> Transition:
+        self._require_transition(name)
+        return self._transitions[name]
+
+    def place_names(self) -> list[str]:
+        return list(self._places)
+
+    def transition_names(self) -> list[str]:
+        return list(self._transitions)
+
+    def inputs_of(self, transition: str) -> Mapping[str, int]:
+        """Input arc weights of a transition: place -> weight."""
+        self._require_transition(transition)
+        return dict(self._arcs[transition].inputs)
+
+    def outputs_of(self, transition: str) -> Mapping[str, int]:
+        """Output arc weights of a transition: place -> weight."""
+        self._require_transition(transition)
+        return dict(self._arcs[transition].outputs)
+
+    def inhibitors_of(self, transition: str) -> Mapping[str, int]:
+        """Inhibitor thresholds of a transition: place -> threshold."""
+        self._require_transition(transition)
+        return dict(self._arcs[transition].inhibitors)
+
+    def preset_of_place(self, place: str) -> Mapping[str, int]:
+        """Transitions producing into a place: transition -> weight."""
+        self._require_place(place)
+        return {
+            t: arcs.outputs[place]
+            for t, arcs in self._arcs.items()
+            if place in arcs.outputs
+        }
+
+    def postset_of_place(self, place: str) -> Mapping[str, int]:
+        """Transitions consuming from a place: transition -> weight."""
+        self._require_place(place)
+        return {
+            t: arcs.inputs[place]
+            for t, arcs in self._arcs.items()
+            if place in arcs.inputs
+        }
+
+    def inhibited_by_place(self, place: str) -> Mapping[str, int]:
+        """Transitions inhibited by a place: transition -> threshold."""
+        self._require_place(place)
+        return {
+            t: arcs.inhibitors[place]
+            for t, arcs in self._arcs.items()
+            if place in arcs.inhibitors
+        }
+
+    def conflict_groups(self) -> list[set[str]]:
+        """Partition transitions into structural conflict groups.
+
+        Two transitions conflict structurally when they share an input
+        place; the partition is the transitive closure. Probabilistic
+        frequencies resolve choices inside a group.
+        """
+        parent: dict[str, str] = {t: t for t in self._transitions}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: str, b: str) -> None:
+            parent[find(a)] = find(b)
+
+        for place in self._places:
+            consumers = list(self.postset_of_place(place))
+            for other in consumers[1:]:
+                union(consumers[0], other)
+        groups: dict[str, set[str]] = {}
+        for t in self._transitions:
+            groups.setdefault(find(t), set()).add(t)
+        return sorted(groups.values(), key=lambda g: sorted(g)[0])
+
+    # -- enabling --------------------------------------------------------------------
+
+    def is_marking_enabled(self, transition: str, marking: Marking) -> bool:
+        """Token-enabled: inputs covered and no inhibitor tripped.
+
+        Ignores predicates; see :meth:`is_enabled` for the full check.
+        """
+        arcs = self._arcs[transition]
+        if not marking.covers(arcs.inputs):
+            return False
+        return all(marking[p] < thr for p, thr in arcs.inhibitors.items())
+
+    def is_enabled(
+        self, transition: str, marking: Marking, env: Environment | None = None
+    ) -> bool:
+        """Fully enabled: token-enabled and the predicate holds."""
+        if not self.is_marking_enabled(transition, marking):
+            return False
+        t = self._transitions[transition]
+        if t.predicate is always_true or env is None:
+            return True
+        return check_predicate(t.predicate, env, transition)
+
+    def enabled_transitions(
+        self, marking: Marking, env: Environment | None = None
+    ) -> list[str]:
+        """All fully enabled transitions in definition order."""
+        return [
+            t for t in self._transitions if self.is_enabled(t, marking, env)
+        ]
+
+    def enabling_degree(self, transition: str, marking: Marking) -> int:
+        """How many times the transition could start firing from ``marking``.
+
+        Limited by input tokens (and by 1 if the transition is inhibited or
+        has no inputs — a source transition is conventionally degree 1).
+        """
+        arcs = self._arcs[transition]
+        if not self.is_marking_enabled(transition, marking):
+            return 0
+        if not arcs.inputs:
+            return 1
+        return min(marking[p] // w for p, w in arcs.inputs.items())
+
+    # -- transformation helpers ------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "PetriNet":
+        """A structural deep copy (nodes are immutable, so shared)."""
+        clone = PetriNet(name or self.name)
+        for place in self._places.values():
+            clone.add_place(place)
+        for transition in self._transitions.values():
+            clone.add_transition(transition)
+        for t, arcs in self._arcs.items():
+            clone._arcs[t] = _TransitionArcs(
+                dict(arcs.inputs), dict(arcs.outputs), dict(arcs.inhibitors)
+            )
+        clone._initial_variables = dict(self._initial_variables)
+        return clone
+
+    def merge(self, other: "PetriNet", shared_places: Iterable[str] = ()) -> None:
+        """Graft another net into this one, fusing ``shared_places``.
+
+        Used to compose the pipeline model from the Figure 1/2/3 subnets:
+        places named in ``shared_places`` must exist in both nets with the
+        same initial tokens and are identified; all other node names must
+        be disjoint.
+        """
+        shared = set(shared_places)
+        for pname, place in other._places.items():
+            if pname in shared:
+                if pname not in self._places:
+                    raise UnknownNodeError("place", pname)
+                mine = self._places[pname]
+                if mine.initial_tokens != place.initial_tokens:
+                    raise NetDefinitionError(
+                        f"shared place {pname!r} has conflicting initial tokens: "
+                        f"{mine.initial_tokens} vs {place.initial_tokens}"
+                    )
+            else:
+                self.add_place(place)
+        for transition in other._transitions.values():
+            self.add_transition(transition)
+        for t, arcs in other._arcs.items():
+            self._arcs[t] = _TransitionArcs(
+                dict(arcs.inputs), dict(arcs.outputs), dict(arcs.inhibitors)
+            )
+        for var, value in other._initial_variables.items():
+            existing = self._initial_variables.get(var, value)
+            if existing != value:
+                raise NetDefinitionError(
+                    f"merged nets disagree on variable {var!r}: {existing!r} vs {value!r}"
+                )
+            self._initial_variables[var] = value
+
+    def __repr__(self) -> str:
+        return (
+            f"PetriNet({self.name!r}, places={len(self._places)}, "
+            f"transitions={len(self._transitions)})"
+        )
+
+    def summary(self) -> str:
+        """A short multi-line structural summary for logs and examples."""
+        lines = [f"net {self.name}: {len(self._places)} places, "
+                 f"{len(self._transitions)} transitions"]
+        timed = [t.name for t in self._transitions.values() if t.is_timed()]
+        lines.append(f"  timed transitions: {len(timed)}")
+        inhibs = sum(len(a.inhibitors) for a in self._arcs.values())
+        lines.append(f"  inhibitor arcs: {inhibs}")
+        lines.append(f"  initial marking: {self.initial_marking().pretty()}")
+        return "\n".join(lines)

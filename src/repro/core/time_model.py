@@ -1,0 +1,222 @@
+"""Delay models for firing times and enabling times.
+
+The paper's models use constant delays measured in processor cycles, but a
+few extensions (cache behaviour, memory with refresh jitter) are easier to
+express with random delays. A *delay* is anything with a ``sample(rng)``
+method returning a non-negative number; :func:`as_delay` coerces plain
+numbers to :class:`ConstantDelay`.
+
+Firing times and enabling times share these classes; the *interpretation*
+differs (see ``repro.sim.engine``): during a firing time tokens are hidden
+inside the transition, during an enabling time they stay visible on the
+input places.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from .errors import NetDefinitionError
+
+
+@runtime_checkable
+class Delay(Protocol):
+    """Protocol for delay distributions."""
+
+    def sample(self, rng) -> float:
+        """Draw one delay value (non-negative)."""
+        ...
+
+    def mean(self) -> float:
+        """Expected value, used by reports and validators."""
+        ...
+
+    def is_zero(self) -> bool:
+        """True if the delay is identically zero (immediate)."""
+        ...
+
+    def is_constant(self) -> bool:
+        """True if every sample returns the same value."""
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantDelay:
+    """A deterministic delay of ``value`` time units."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise NetDefinitionError(f"delay must be non-negative, got {self.value}")
+        if not math.isfinite(self.value):
+            raise NetDefinitionError(f"delay must be finite, got {self.value}")
+
+    def sample(self, rng) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def is_constant(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"ConstantDelay({self.value})"
+
+
+ZERO_DELAY = ConstantDelay(0)
+
+
+@dataclass(frozen=True)
+class UniformDelay:
+    """A delay drawn uniformly from ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise NetDefinitionError(
+                f"uniform delay requires 0 <= low <= high, got [{self.low}, {self.high}]"
+            )
+
+    def sample(self, rng) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2
+
+    def is_zero(self) -> bool:
+        return self.high == 0
+
+    def is_constant(self) -> bool:
+        return self.low == self.high
+
+
+@dataclass(frozen=True)
+class ExponentialDelay:
+    """An exponentially distributed delay with the given ``mean_value``."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise NetDefinitionError(
+                f"exponential delay requires mean > 0, got {self.mean_value}"
+            )
+
+    def sample(self, rng) -> float:
+        return rng.expovariate(1.0 / self.mean_value)
+
+    def mean(self) -> float:
+        return self.mean_value
+
+    def is_zero(self) -> bool:
+        return False
+
+    def is_constant(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class DiscreteDelay:
+    """A delay drawn from explicit ``values`` with relative ``weights``.
+
+    Useful for table-driven instruction timing where an execution delay is
+    one of a handful of cycle counts.
+    """
+
+    values: Sequence[float]
+    weights: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.weights) or not self.values:
+            raise NetDefinitionError("DiscreteDelay needs matching, non-empty values/weights")
+        if any(v < 0 for v in self.values):
+            raise NetDefinitionError("DiscreteDelay values must be non-negative")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise NetDefinitionError("DiscreteDelay weights must be non-negative with positive sum")
+        object.__setattr__(self, "values", tuple(self.values))
+        object.__setattr__(self, "weights", tuple(self.weights))
+
+    def sample(self, rng) -> float:
+        return rng.choices(self.values, weights=self.weights, k=1)[0]
+
+    def mean(self) -> float:
+        total = sum(self.weights)
+        return sum(v * w for v, w in zip(self.values, self.weights)) / total
+
+    def is_zero(self) -> bool:
+        return all(v == 0 for v in self.values)
+
+    def is_constant(self) -> bool:
+        return len(set(self.values)) == 1
+
+
+class DataDelay:
+    """A delay computed from the variable environment (paper §3).
+
+    Table-driven instruction models "use the instruction type ... to
+    calculate firing times, enabling times and the number of times to
+    iterate through loops": a ``DataDelay`` holds a function of the
+    :class:`~repro.core.inscription.Environment` (and optionally the RNG)
+    evaluated when the firing starts, e.g.::
+
+        DataDelay(lambda env: env.table("exec_cycles", env["type"]))
+
+    Data delays are simulation-only: they are not constant, so the timed
+    reachability analyzer rejects nets containing them, and ``mean()`` is
+    undefined (NaN).
+    """
+
+    def __init__(self, fn, description: str = "") -> None:
+        self.fn = fn
+        self.description = description or getattr(fn, "__name__", "<data>")
+
+    def sample(self, rng) -> float:
+        raise NetDefinitionError(
+            "DataDelay needs the environment; it can only be sampled by "
+            "the simulator (sample_in_context)"
+        )
+
+    def sample_in_context(self, rng, env) -> float:
+        value = float(self.fn(env))
+        if value < 0 or not math.isfinite(value):
+            raise NetDefinitionError(
+                f"data delay {self.description!r} produced invalid value {value}"
+            )
+        return value
+
+    def mean(self) -> float:
+        return math.nan
+
+    def is_zero(self) -> bool:
+        return False
+
+    def is_constant(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"DataDelay({self.description})"
+
+
+def as_delay(value: float | int | Delay) -> Delay:
+    """Coerce a number to :class:`ConstantDelay`; pass delays through.
+
+    >>> as_delay(5).mean()
+    5
+    >>> as_delay(ConstantDelay(2)).mean()
+    2
+    """
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return ConstantDelay(value)
+    if isinstance(value, Delay):
+        return value
+    raise NetDefinitionError(f"cannot interpret {value!r} as a delay")

@@ -1,0 +1,180 @@
+"""Structural validation of nets before simulation or analysis.
+
+The paper observes (§4.4) that "many incorrect simulation models produce
+performance data which appears on the surface to be quite reasonable" —
+the validator catches the purely structural mistakes before a single token
+moves: disconnected nodes, transitions that can never be enabled, arcs
+that overrun advisory capacities, immediate self-loops, and the classic
+modeling bug the paper calls out (a non-zero firing time on a transition
+that is supposed to move a token between two mutually-exclusive places
+instantaneously).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .net import PetriNet
+
+
+class Severity(Enum):
+    """Diagnostic severity. ERRORs make :func:`validate_net` raise on demand."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding."""
+
+    severity: Severity
+    code: str
+    message: str
+    subject: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code} {self.subject}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings for one net."""
+
+    net_name: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def ok(self) -> bool:
+        return not self.errors
+
+    def pretty(self) -> str:
+        if not self.diagnostics:
+            return f"net {self.net_name}: no findings"
+        return "\n".join(str(d) for d in self.diagnostics)
+
+
+def validate_net(net: PetriNet) -> ValidationReport:
+    """Run all structural checks and return a report."""
+    report = ValidationReport(net.name)
+    add = report.diagnostics.append
+    marking = net.initial_marking()
+
+    # Dead structure: transitions with no arcs at all.
+    for tname in net.transition_names():
+        inputs = net.inputs_of(tname)
+        outputs = net.outputs_of(tname)
+        inhibitors = net.inhibitors_of(tname)
+        if not inputs and not outputs and not inhibitors:
+            add(Diagnostic(Severity.ERROR, "T-ISOLATED",
+                           f"transition has no arcs", tname))
+        if not inputs and not inhibitors:
+            add(Diagnostic(Severity.WARNING, "T-SOURCE",
+                           "transition has no pre-conditions; it is a token "
+                           "source that is always enabled", tname))
+        if not outputs:
+            add(Diagnostic(Severity.INFO, "T-SINK",
+                           "transition produces no tokens (token sink)", tname))
+
+        # Input weight can never be satisfied within a known capacity.
+        for place, weight in inputs.items():
+            cap = net.place(place).capacity
+            if cap is not None and weight > cap:
+                add(Diagnostic(Severity.ERROR, "ARC-OVER-CAPACITY",
+                               f"needs {weight} tokens from {place!r} whose "
+                               f"capacity is {cap}; never enabled", tname))
+
+        # Inhibitor and input on the same place with weight >= threshold can
+        # never be enabled.
+        for place, threshold in inhibitors.items():
+            weight = inputs.get(place, 0)
+            if weight >= threshold:
+                add(Diagnostic(Severity.ERROR, "ARC-CONTRADICTION",
+                               f"requires {weight} tokens from {place!r} but is "
+                               f"inhibited at {threshold}; never enabled", tname))
+
+        # The paper's §4.4 bug: a timed transition on what looks like a
+        # mutual-exclusion shuttle. Heuristic: warn when a transition with a
+        # non-zero firing time both consumes from and produces to places
+        # that carry "free/busy"-style complementary names.
+        t = net.transition(tname)
+        if not t.firing_time.is_zero():
+            shuttled = set(inputs) & _complements(set(outputs))
+            if shuttled:
+                add(Diagnostic(
+                    Severity.WARNING, "TIMED-SHUTTLE",
+                    "non-zero firing time while moving tokens between "
+                    f"complementary places {sorted(shuttled)}; the tokens "
+                    "will vanish from both places during the firing "
+                    "(paper §4.2) — consider an enabling time instead",
+                    tname,
+                ))
+
+        # Immediate structural self-loop: an immediate transition whose
+        # outputs cover its own inputs refires forever.
+        if t.is_immediate() and inputs and all(
+            net.outputs_of(tname).get(p, 0) >= w for p, w in inputs.items()
+        ) and not inhibitors and t.predicate.__name__ == "always_true":
+            add(Diagnostic(Severity.ERROR, "IMMEDIATE-LIVELOCK",
+                           "immediate transition whose outputs re-enable its "
+                           "own inputs; it will livelock", tname))
+
+    # Place checks.
+    consumed = {p for t in net.transition_names() for p in net.inputs_of(t)}
+    produced = {p for t in net.transition_names() for p in net.outputs_of(t)}
+    inhibiting = {p for t in net.transition_names() for p in net.inhibitors_of(t)}
+    for pname, place in net.places.items():
+        touched = pname in consumed or pname in produced or pname in inhibiting
+        if not touched:
+            add(Diagnostic(Severity.WARNING, "P-ISOLATED",
+                           "place is connected to no transition", pname))
+        if pname in produced and pname not in consumed and place.capacity is not None:
+            add(Diagnostic(Severity.WARNING, "P-ACCUMULATOR",
+                           "place is produced into but never consumed; its "
+                           f"capacity {place.capacity} will eventually be "
+                           "exceeded", pname))
+        if place.capacity is not None and marking[pname] > place.capacity:
+            add(Diagnostic(Severity.ERROR, "P-OVER-CAPACITY",
+                           f"initial tokens {marking[pname]} exceed capacity "
+                           f"{place.capacity}", pname))
+
+    # Dead-on-arrival: no transition enabled at the initial marking and the
+    # net has at least one transition with inputs.
+    has_transitions = bool(net.transition_names())
+    if has_transitions and not net.enabled_transitions(marking):
+        add(Diagnostic(Severity.WARNING, "NET-DEAD-START",
+                       "no transition is enabled at the initial marking",
+                       net.name))
+    return report
+
+
+_COMPLEMENT_HINTS = [
+    ("free", "busy"), ("busy", "free"),
+    ("empty", "full"), ("full", "empty"),
+    ("idle", "active"), ("active", "idle"),
+    ("ready", "running"), ("running", "ready"),
+]
+
+
+def _complements(names: set[str]) -> set[str]:
+    """Names whose free/busy style complement could exist: map each output
+    name to the input names it complements."""
+    result: set[str] = set()
+    for name in names:
+        lowered = name.lower()
+        for a, b in _COMPLEMENT_HINTS:
+            if a in lowered:
+                result.add(name.lower().replace(a, b))
+                result.add(name.replace(a, b))
+                result.add(name.replace(a.capitalize(), b.capitalize()))
+                result.add(name.replace(a.upper(), b.upper()))
+    return result

@@ -1,0 +1,27 @@
+"""Textual net description language and inscription expression language."""
+
+from .expr import (
+    CompiledAction,
+    CompiledPredicate,
+    compile_action,
+    compile_predicate,
+    parse_expression,
+    parse_statements,
+)
+from .dot import net_to_dot, reachability_to_dot
+from .format import format_net, line_count
+from .parser import parse_net
+
+__all__ = [
+    "CompiledAction",
+    "CompiledPredicate",
+    "compile_action",
+    "compile_predicate",
+    "format_net",
+    "net_to_dot",
+    "line_count",
+    "parse_expression",
+    "parse_net",
+    "reachability_to_dot",
+    "parse_statements",
+]

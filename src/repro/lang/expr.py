@@ -1,0 +1,445 @@
+"""The predicate/action expression language (paper §3).
+
+The paper attaches textual predicates and actions to transitions::
+
+    [[][type]
+        type = irand[1, max-type];
+        number-of-operands-needed = operands[type];
+    ]
+
+    [ [] [] number-of-operands-needed > 0 ]
+
+This module implements that notation (with hyphens normalized to
+underscores, as Python identifiers require): a small expression language
+with arithmetic, comparisons, boolean connectives, the ``irand[lo, hi]``
+built-in and 1-based table indexing ``table[index]``. Actions are
+semicolon-separated assignment statements; predicates are single boolean
+expressions.
+
+:func:`compile_predicate` / :func:`compile_action` produce plain callables
+over :class:`~repro.core.inscription.Environment`, so DSL-defined and
+Python-defined inscriptions are interchangeable. The compiled callables
+remember their source text (``.source``) so the net formatter can
+round-trip them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Union
+
+from ..core.errors import ActionError, LanguageError
+from ..core.inscription import Environment
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    value: float
+
+
+@dataclass(frozen=True)
+class Bool:
+    value: bool
+
+
+@dataclass(frozen=True)
+class Name:
+    name: str
+
+
+@dataclass(frozen=True)
+class Index:
+    """1-based table lookup ``table[expr]``."""
+
+    table: str
+    index: "ExprNode"
+
+
+@dataclass(frozen=True)
+class Irand:
+    low: "ExprNode"
+    high: "ExprNode"
+
+
+@dataclass(frozen=True)
+class Arith:
+    op: str
+    left: "ExprNode"
+    right: "ExprNode"
+
+
+@dataclass(frozen=True)
+class Rel:
+    op: str
+    left: "ExprNode"
+    right: "ExprNode"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    op: str
+    left: "ExprNode"
+    right: "ExprNode"
+
+
+@dataclass(frozen=True)
+class NotOp:
+    operand: "ExprNode"
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: str
+    value: "ExprNode"
+
+
+ExprNode = Union[Num, Bool, Name, Index, Irand, Arith, Rel, BoolOp, NotOp]
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|==|!=|<>|[-+*/%=<>\[\](),;])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "true", "false", "irand"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise LanguageError(1, position + 1,
+                                f"unexpected character {text[position]!r}")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "ident" and value.lower() in _KEYWORDS:
+            tokens.append(_Token("keyword", value.lower(), match.start()))
+        else:
+            tokens.append(_Token(kind, value, match.start()))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise LanguageError(1, len(self.text) + 1, "unexpected end of input")
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise LanguageError(
+                1, token.position + 1,
+                f"expected {text or kind!r}, got {token.text!r}",
+            )
+        return token
+
+    def _accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self._peek()
+        if token and token.kind == kind and (text is None or token.text == text):
+            self.index += 1
+            return token
+        return None
+
+    def at_end(self) -> bool:
+        return self._peek() is None
+
+    # -- statements -----------------------------------------------------------
+
+    def statements(self) -> list[Assign]:
+        """``name = expr ; name = expr ; ...`` (trailing ; optional)."""
+        out: list[Assign] = []
+        while not self.at_end():
+            target = self._expect("ident").text
+            self._expect("op", "=")
+            value = self.expression()
+            out.append(Assign(target, value))
+            if not self._accept("op", ";"):
+                break
+        leftover = self._peek()
+        if leftover is not None:
+            raise LanguageError(1, leftover.position + 1,
+                                f"unexpected {leftover.text!r} after statement")
+        return out
+
+    # -- expressions -----------------------------------------------------------
+
+    def expression(self) -> ExprNode:
+        return self.or_expr()
+
+    def or_expr(self) -> ExprNode:
+        left = self.and_expr()
+        while self._accept("keyword", "or"):
+            left = BoolOp("or", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> ExprNode:
+        left = self.not_expr()
+        while self._accept("keyword", "and"):
+            left = BoolOp("and", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> ExprNode:
+        if self._accept("keyword", "not"):
+            return NotOp(self.not_expr())
+        return self.relational()
+
+    def relational(self) -> ExprNode:
+        left = self.additive()
+        token = self._peek()
+        if token and token.kind == "op" and token.text in (
+            "==", "=", "!=", "<>", "<", "<=", ">", ">=",
+        ):
+            self._next()
+            op = {"==": "=", "<>": "!="}.get(token.text, token.text)
+            return Rel(op, left, self.additive())
+        return left
+
+    def additive(self) -> ExprNode:
+        left = self.multiplicative()
+        while True:
+            token = self._peek()
+            if token and token.kind == "op" and token.text in ("+", "-"):
+                self._next()
+                left = Arith(token.text, left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self) -> ExprNode:
+        left = self.unary()
+        while True:
+            token = self._peek()
+            if token and token.kind == "op" and token.text in ("*", "/", "%"):
+                self._next()
+                left = Arith(token.text, left, self.unary())
+            else:
+                return left
+
+    def unary(self) -> ExprNode:
+        if self._accept("op", "-"):
+            return Arith("-", Num(0.0), self.unary())
+        return self.primary()
+
+    def primary(self) -> ExprNode:
+        token = self._peek()
+        if token is None:
+            raise LanguageError(1, len(self.text) + 1, "unexpected end of input")
+        if token.kind == "number":
+            self._next()
+            return Num(float(token.text))
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self._next()
+            return Bool(token.text == "true")
+        if token.kind == "keyword" and token.text == "irand":
+            self._next()
+            self._expect("op", "[")
+            low = self.expression()
+            self._expect("op", ",")
+            high = self.expression()
+            self._expect("op", "]")
+            return Irand(low, high)
+        if token.kind == "ident":
+            self._next()
+            if self._accept("op", "["):
+                index = self.expression()
+                self._expect("op", "]")
+                return Index(token.text, index)
+            return Name(token.text)
+        if token.kind == "op" and token.text == "(":
+            self._next()
+            inner = self.expression()
+            self._expect("op", ")")
+            return inner
+        raise LanguageError(1, token.position + 1,
+                            f"unexpected token {token.text!r}")
+
+
+def parse_expression(text: str) -> ExprNode:
+    parser = _Parser(text)
+    node = parser.expression()
+    leftover = parser._peek()
+    if leftover is not None:
+        raise LanguageError(1, leftover.position + 1,
+                            f"unexpected trailing {leftover.text!r}")
+    return node
+
+
+def parse_statements(text: str) -> list[Assign]:
+    return _Parser(text).statements()
+
+
+# ---------------------------------------------------------------------------
+# Evaluation / compilation
+# ---------------------------------------------------------------------------
+
+
+def _evaluate(node: ExprNode, env: Environment) -> Any:
+    if isinstance(node, Num):
+        value = node.value
+        return int(value) if value.is_integer() else value
+    if isinstance(node, Bool):
+        return node.value
+    if isinstance(node, Name):
+        return env[node.name]
+    if isinstance(node, Index):
+        index = _evaluate(node.index, env)
+        if not isinstance(index, int):
+            raise ActionError(
+                f"table index for {node.table!r} must be an integer, "
+                f"got {index!r}"
+            )
+        return env.table(node.table, index)
+    if isinstance(node, Irand):
+        low = _evaluate(node.low, env)
+        high = _evaluate(node.high, env)
+        return env.irand(int(low), int(high))
+    if isinstance(node, Arith):
+        left = _evaluate(node.left, env)
+        right = _evaluate(node.right, env)
+        try:
+            if node.op == "+":
+                return left + right
+            if node.op == "-":
+                return left - right
+            if node.op == "*":
+                return left * right
+            if node.op == "/":
+                return left / right
+            if node.op == "%":
+                return left % right
+        except (TypeError, ZeroDivisionError) as exc:
+            raise ActionError(f"arithmetic error: {exc}") from exc
+    if isinstance(node, Rel):
+        left = _evaluate(node.left, env)
+        right = _evaluate(node.right, env)
+        if node.op == "=":
+            return left == right
+        if node.op == "!=":
+            return left != right
+        if node.op == "<":
+            return left < right
+        if node.op == "<=":
+            return left <= right
+        if node.op == ">":
+            return left > right
+        if node.op == ">=":
+            return left >= right
+    if isinstance(node, BoolOp):
+        left = _truthy(_evaluate(node.left, env))
+        if node.op == "and":
+            return left and _truthy(_evaluate(node.right, env))
+        return left or _truthy(_evaluate(node.right, env))
+    if isinstance(node, NotOp):
+        return not _truthy(_evaluate(node.operand, env))
+    raise ActionError(f"cannot evaluate {node!r}")
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    raise ActionError(f"expected boolean/numeric condition, got {value!r}")
+
+
+class CompiledPredicate:
+    """A predicate compiled from DSL text; carries its source for
+    round-tripping through the net formatter."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source.strip()
+        self._ast = parse_expression(source)
+        self.__name__ = f"predicate({self.source})"
+
+    def __call__(self, env: Environment) -> bool:
+        return _truthy(_evaluate(self._ast, env))
+
+    def __repr__(self) -> str:
+        return f"CompiledPredicate({self.source!r})"
+
+
+class CompiledAction:
+    """An action compiled from DSL statements; carries its source."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source.strip()
+        self._statements = parse_statements(source)
+        self.__name__ = f"action({self.source})"
+
+    def __call__(self, env: Environment) -> None:
+        for statement in self._statements:
+            env[statement.target] = _evaluate(statement.value, env)
+
+    def __repr__(self) -> str:
+        return f"CompiledAction({self.source!r})"
+
+
+def compile_predicate(text: str) -> CompiledPredicate:
+    """Compile the paper's predicate notation to a callable.
+
+    >>> from repro.core.inscription import Environment
+    >>> pred = compile_predicate("number_of_operands_needed > 0")
+    >>> pred(Environment({"number_of_operands_needed": 2}))
+    True
+    """
+    return CompiledPredicate(text)
+
+
+def compile_action(text: str) -> CompiledAction:
+    """Compile the paper's action notation to a callable.
+
+    >>> from repro.core.inscription import Environment
+    >>> import random
+    >>> act = compile_action(
+    ...     "type = irand[1, max_type]; "
+    ...     "number_of_operands_needed = operands[type]"
+    ... )
+    >>> env = Environment({"max_type": 3, "operands": (0, 1, 2),
+    ...                    "type": 0, "number_of_operands_needed": 0},
+    ...                   rng=random.Random(1))
+    >>> act(env)
+    >>> env["number_of_operands_needed"] == env.table("operands", env["type"])
+    True
+    """
+    return CompiledAction(text)

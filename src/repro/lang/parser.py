@@ -1,0 +1,284 @@
+"""Parser for the textual net description language.
+
+The paper notes the complete pipeline model is expressible "textually
+(for some of our textually based tools) in roughly 25 lines". This is
+that format — line-oriented, one transition per line::
+
+    net pipeline
+    var max_type = 3
+    var operands = [0, 1, 2]
+    place Bus_free = 1 cap 1
+    place Empty_I_buffers = 6
+    Start_prefetch: Bus_free + 2*Empty_I_buffers + ~Operand_fetch_pending -> Bus_busy + pre_fetching
+    End_prefetch [enab=5]: pre_fetching + Bus_busy -> Bus_free + 2*Full_I_buffers
+    Decode [fire=1, action: type = irand[1, max_type]]: Full_I_buffers + Decoder_ready -> Decoded_instruction + Empty_I_buffers
+    Type_1 [freq=70, pred: type = 1]: Decoded_instruction -> ready
+
+Syntax summary:
+
+* ``place NAME [= tokens] [cap N]`` — explicit place declaration
+  (places mentioned only in arcs are created with zero tokens);
+* ``NAME [attrs]: inputs -> outputs`` — a transition; terms are
+  ``place``, ``k*place`` (weight), ``~place`` (inhibitor, threshold 1) or
+  ``~k*place`` (threshold k); ``0`` denotes an empty side;
+* attributes: ``fire=NUM``, ``enab=NUM``, ``freq=NUM``, ``max=N``,
+  ``pred: <expression>``, ``action: <statements>`` (the expression
+  language of :mod:`repro.lang.expr`);
+* ``var NAME = literal`` — initial environment variables; literals are
+  numbers, ``true``/``false``, quoted strings, or ``[...]`` tables;
+* ``#`` starts a comment; a trailing ``\\`` continues the line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core.builder import NetBuilder
+from ..core.errors import LanguageError
+from ..core.net import PetriNet
+from .expr import compile_action, compile_predicate
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _fail(line_no: int, message: str, column: int = 1):
+    raise LanguageError(line_no, column, message)
+
+
+def _parse_literal(text: str, line_no: int):
+    text = text.strip()
+    if not text:
+        _fail(line_no, "missing literal value")
+    if text.lower() == "true":
+        return True
+    if text.lower() == "false":
+        return False
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1]
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return ()
+        return tuple(_parse_literal(part, line_no) for part in inner.split(","))
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        _fail(line_no, f"cannot parse literal {text!r}")
+
+
+def _split_top_level(text: str, separator: str) -> list[str]:
+    """Split on a separator, ignoring separators inside (), [] or quotes."""
+    parts: list[str] = []
+    depth = 0
+    in_quote = False
+    current: list[str] = []
+    for ch in text:
+        if ch == '"':
+            in_quote = not in_quote
+            current.append(ch)
+        elif in_quote:
+            current.append(ch)
+        elif ch in "([":
+            depth += 1
+            current.append(ch)
+        elif ch in ")]":
+            depth -= 1
+            current.append(ch)
+        elif ch == separator and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_term(term: str, line_no: int) -> tuple[str, int, bool]:
+    """One arc term -> (place, weight, is_inhibitor)."""
+    term = term.strip()
+    inhibitor = False
+    if term.startswith("~"):
+        inhibitor = True
+        term = term[1:].strip()
+    weight = 1
+    if "*" in term:
+        weight_text, _, name = term.partition("*")
+        try:
+            weight = int(weight_text.strip())
+        except ValueError:
+            _fail(line_no, f"bad arc weight {weight_text.strip()!r}")
+        term = name.strip()
+    else:
+        match = re.match(r"^(\d+)\s+(.+)$", term)
+        if match:
+            weight = int(match.group(1))
+            term = match.group(2).strip()
+    if not _NAME_RE.match(term):
+        _fail(line_no, f"bad place name {term!r}")
+    if weight < 1:
+        _fail(line_no, f"arc weight must be >= 1, got {weight}")
+    return term, weight, inhibitor
+
+
+def _parse_side(
+    text: str, line_no: int, allow_inhibitors: bool
+) -> tuple[dict[str, int], dict[str, int]]:
+    """Arc side -> (weights, inhibitor thresholds)."""
+    weights: dict[str, int] = {}
+    inhibitors: dict[str, int] = {}
+    text = text.strip()
+    if text == "0" or not text:
+        return weights, inhibitors
+    for raw in _split_top_level(text, "+"):
+        place, weight, inhibitor = _parse_term(raw, line_no)
+        if inhibitor:
+            if not allow_inhibitors:
+                _fail(line_no, "inhibitor arcs are only valid on the input side")
+            inhibitors[place] = min(inhibitors.get(place, weight), weight)
+        else:
+            weights[place] = weights.get(place, 0) + weight
+    return weights, inhibitors
+
+
+def _parse_attributes(text: str, line_no: int) -> dict:
+    out: dict = {}
+    for raw in _split_top_level(text, ","):
+        part = raw.strip()
+        if not part:
+            continue
+        lowered = part.lower()
+        if lowered.startswith("pred:"):
+            out["predicate"] = compile_predicate(part[5:])
+            continue
+        if lowered.startswith("action:"):
+            out["action"] = compile_action(part[7:])
+            continue
+        key, eq, value = part.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if not eq:
+            _fail(line_no, f"malformed attribute {part!r}")
+        try:
+            number = float(value)
+        except ValueError:
+            _fail(line_no, f"attribute {key!r} needs a number, got {value!r}")
+        if key == "fire":
+            out["firing_time"] = number
+        elif key == "enab":
+            out["enabling_time"] = number
+        elif key == "freq":
+            out["frequency"] = number
+        elif key == "max":
+            out["max_concurrent"] = int(number)
+        else:
+            _fail(line_no, f"unknown attribute {key!r}")
+    return out
+
+
+def parse_net(text: str) -> PetriNet:
+    """Parse a full textual net description."""
+    builder: NetBuilder | None = None
+    pending = ""
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if pending:
+            line = pending + " " + line.strip()
+            pending = ""
+        if line.endswith("\\"):
+            pending = line[:-1].strip()
+            continue
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("net "):
+            if builder is not None:
+                _fail(line_no, "duplicate net declaration")
+            name = line[4:].strip()
+            if not name:
+                _fail(line_no, "net needs a name")
+            builder = NetBuilder(name)
+            continue
+        if builder is None:
+            builder = NetBuilder("net")
+        if line.startswith("var "):
+            body = line[4:]
+            name, eq, value = body.partition("=")
+            name = name.strip()
+            if not eq or not _NAME_RE.match(name):
+                _fail(line_no, f"malformed var declaration {body!r}")
+            builder.variable(name, _parse_literal(value, line_no))
+            continue
+        if line.startswith("place "):
+            body = line[6:].strip()
+            capacity = None
+            cap_match = re.search(r"\bcap\s+(\d+)\s*$", body)
+            if cap_match:
+                capacity = int(cap_match.group(1))
+                body = body[: cap_match.start()].strip()
+            name, eq, tokens_text = body.partition("=")
+            name = name.strip()
+            tokens = 0
+            if eq:
+                try:
+                    tokens = int(tokens_text.strip())
+                except ValueError:
+                    _fail(line_no, f"bad token count {tokens_text.strip()!r}")
+            if not _NAME_RE.match(name):
+                _fail(line_no, f"bad place name {name!r}")
+            builder.place(name, tokens=tokens, capacity=capacity)
+            continue
+        # Transition line: NAME [attrs]: lhs -> rhs
+        head, colon, body = _partition_colon(line)
+        if not colon:
+            _fail(line_no, f"expected 'name [attrs]: inputs -> outputs', got {line!r}")
+        head = head.strip()
+        attributes: dict = {}
+        bracket = head.find("[")
+        if bracket != -1:
+            if not head.endswith("]"):
+                _fail(line_no, "unterminated attribute list")
+            attributes = _parse_attributes(head[bracket + 1:-1], line_no)
+            head = head[:bracket].strip()
+        if not _NAME_RE.match(head):
+            _fail(line_no, f"bad transition name {head!r}")
+        if "->" not in body:
+            _fail(line_no, "transition needs 'inputs -> outputs'")
+        lhs_text, _, rhs_text = body.partition("->")
+        inputs, inhibitors = _parse_side(lhs_text, line_no, allow_inhibitors=True)
+        outputs, bad = _parse_side(rhs_text, line_no, allow_inhibitors=False)
+        assert not bad
+        builder.event(
+            head,
+            inputs=inputs,
+            outputs=outputs,
+            inhibitors=inhibitors,
+            **attributes,
+        )
+    if pending:
+        _fail(len(text.splitlines()) + 1, "dangling line continuation")
+    if builder is None:
+        raise LanguageError(1, 1, "empty net description")
+    return builder.build()
+
+
+def _partition_colon(line: str) -> tuple[str, str, str]:
+    """Split at the first colon outside brackets/quotes (attribute bodies
+    like ``action: x = tbl[2]`` contain colons)."""
+    depth = 0
+    in_quote = False
+    for i, ch in enumerate(line):
+        if ch == '"':
+            in_quote = not in_quote
+        elif in_quote:
+            continue
+        elif ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ":" and depth == 0:
+            return line[:i], ":", line[i + 1:]
+    return line, "", ""

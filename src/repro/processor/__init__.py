@@ -1,0 +1,75 @@
+"""Pipelined processor models: the paper's evaluation workload (§2, §3)."""
+
+from .baseline import (
+    BaselineStats,
+    BusOwner,
+    CycleAccuratePipeline,
+    Stage2Phase,
+    run_baseline,
+)
+from .cache import build_cached_pipeline_net
+from .config import PAPER_CONFIG, CacheConfig, PipelineConfig
+from .decoder import add_decode_stage, build_decoder_net
+from .extensions import build_dual_bus_pipeline, build_writeback_pipeline
+from .execution import (
+    add_execution_stage,
+    build_execution_net,
+    exec_transition_names,
+)
+from .interpreted import (
+    FIGURE4_TEXT,
+    build_figure4_net,
+    build_interpreted_pipeline,
+)
+from .isa import InstructionClass, InstructionSet, default_isa, paper_isa
+from .metrics import (
+    ProcessorMetrics,
+    compare_metrics,
+    metrics_from_baseline,
+    metrics_from_stats,
+)
+from .model import (
+    FIGURE5_PLACES,
+    FIGURE5_TRANSITIONS,
+    build_pipeline_net,
+    bus_activity_places,
+    figure5_transition_order,
+)
+from .prefetch import add_prefetch_stage, build_prefetch_net
+
+__all__ = [
+    "BaselineStats",
+    "BusOwner",
+    "CacheConfig",
+    "CycleAccuratePipeline",
+    "FIGURE4_TEXT",
+    "FIGURE5_PLACES",
+    "FIGURE5_TRANSITIONS",
+    "InstructionClass",
+    "InstructionSet",
+    "PAPER_CONFIG",
+    "PipelineConfig",
+    "ProcessorMetrics",
+    "Stage2Phase",
+    "add_decode_stage",
+    "add_execution_stage",
+    "add_prefetch_stage",
+    "build_cached_pipeline_net",
+    "build_decoder_net",
+    "build_dual_bus_pipeline",
+    "build_execution_net",
+    "build_figure4_net",
+    "build_interpreted_pipeline",
+    "build_pipeline_net",
+    "build_prefetch_net",
+    "build_writeback_pipeline",
+    "bus_activity_places",
+    "compare_metrics",
+    "default_isa",
+    "exec_transition_names",
+    "figure5_transition_order",
+    "metrics_from_baseline",
+    "metrics_from_stats",
+    "paper_isa",
+    "run_baseline",
+]

@@ -1,0 +1,303 @@
+"""A hand-coded cycle-accurate simulator of the §2 pipeline (baseline).
+
+This is the comparator the Petri-net model is validated against: the same
+3-stage pipeline written as an explicit per-cycle state machine, with no
+Petri net anywhere. Cross-checking its instruction rate and bus
+utilization against the TPN model's Figure-5 statistics is the
+reproduction's ground-truth test — if the two disagree badly, one of the
+models is wrong.
+
+It also demonstrates the paper's §4.1 claim that the trace format is
+modeling-technique-agnostic ("Traces can be easily generated from
+SIMSCRIPT simulations as well as any other simulation language"):
+:meth:`CycleAccuratePipeline.run` can emit a P-NUT trace whose place
+names match the Petri model, and the stat tool / tracertool consume it
+unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..trace.events import TraceEvent, TraceHeader
+from .config import PipelineConfig
+
+
+class BusOwner(Enum):
+    IDLE = "idle"
+    PREFETCH = "prefetch"
+    OPERAND = "operand"
+    STORE = "store"
+
+
+class Stage2Phase(Enum):
+    IDLE = "idle"
+    DECODING = "decoding"
+    ADDR_CALC = "addr-calc"
+    WAIT_BUS = "wait-bus"
+    WAIT_OPERAND = "wait-operand"
+    READY = "ready"
+
+
+@dataclass
+class BaselineStats:
+    """Counters mirroring the quantities Figure 5 reports."""
+
+    cycles: int = 0
+    instructions_issued: int = 0
+    instructions_decoded: int = 0
+    type_counts: list[int] = field(default_factory=lambda: [0, 0, 0])
+    bus_busy_cycles: int = 0
+    prefetch_cycles: int = 0
+    operand_cycles: int = 0
+    store_cycles: int = 0
+    exec_busy_cycles: int = 0
+    buffer_word_cycles: int = 0  # sum of full words per cycle
+    stores_performed: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions_issued / self.cycles if self.cycles else 0.0
+
+    @property
+    def bus_utilization(self) -> float:
+        return self.bus_busy_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def mean_full_buffers(self) -> float:
+        return self.buffer_word_cycles / self.cycles if self.cycles else 0.0
+
+
+class CycleAccuratePipeline:
+    """Per-cycle state machine of the paper's 3-stage pipeline.
+
+    Arbitration order when the bus frees (matching the TPN inhibitors:
+    operand fetches and result stores block pre-fetching): store, then
+    operand fetch, then pre-fetch (needs >= ``prefetch_words`` empty slots).
+    """
+
+    def __init__(self, config: PipelineConfig | None = None,
+                 seed: int | None = None) -> None:
+        self.config = config or PipelineConfig()
+        self.rng = random.Random(seed)
+        self.seed = seed
+
+        # Bus / memory.
+        self.bus_owner = BusOwner.IDLE
+        self.bus_remaining = 0
+        # Instruction buffer.
+        self.full_words = 0
+        # Stage 2.
+        self.phase = Stage2Phase.IDLE
+        self.phase_remaining = 0
+        self.operands_left = 0
+        self.instr_type = 0  # 1..3
+        # Stage 3.
+        self.exec_remaining = 0
+        self.store_pending = False
+        self.exec_busy = False
+
+        self.stats = BaselineStats()
+
+    # -- random draws matching the paper's distributions --------------------------
+
+    def _draw_type(self) -> int:
+        f0, f1, f2 = self.config.type_frequencies
+        roll = self.rng.uniform(0, f0 + f1 + f2)
+        if roll < f0:
+            return 1
+        if roll < f0 + f1:
+            return 2
+        return 3
+
+    def _draw_exec_cycles(self) -> float:
+        cycles = self.rng.choices(
+            self.config.execution_cycles,
+            weights=self.config.execution_probabilities,
+        )[0]
+        return cycles
+
+    def _draw_store(self) -> bool:
+        return self.rng.random() < self.config.store_probability
+
+    # -- one simulated cycle ----------------------------------------------------
+
+    def step(self) -> None:
+        config = self.config
+        stats = self.stats
+
+        # 1. Memory/bus progress.
+        if self.bus_owner is not BusOwner.IDLE:
+            self.bus_remaining -= 1
+            if self.bus_remaining <= 0:
+                finished = self.bus_owner
+                self.bus_owner = BusOwner.IDLE
+                if finished is BusOwner.PREFETCH:
+                    self.full_words = min(
+                        self.full_words + config.prefetch_words,
+                        config.buffer_words,
+                    )
+                elif finished is BusOwner.OPERAND:
+                    self.operands_left -= 1
+                    if self.operands_left > 0:
+                        self.phase = Stage2Phase.ADDR_CALC
+                        self.phase_remaining = int(config.eaddr_cycles_per_operand)
+                    else:
+                        self.phase = Stage2Phase.READY
+                elif finished is BusOwner.STORE:
+                    self.stats.stores_performed += 1
+                    self.exec_busy = False
+
+        # 2. Stage 3 execution progress.
+        if self.exec_busy and self.exec_remaining > 0:
+            self.exec_remaining -= 1
+            if self.exec_remaining == 0:
+                if self._draw_store():
+                    self.store_pending = True  # waits for the bus
+                else:
+                    self.exec_busy = False
+
+        # 3. Stage 2 progress.
+        if self.phase is Stage2Phase.DECODING:
+            self.phase_remaining -= 1
+            if self.phase_remaining <= 0:
+                self.instr_type = self._draw_type()
+                stats.type_counts[self.instr_type - 1] += 1
+                stats.instructions_decoded += 1
+                self.operands_left = self.instr_type - 1
+                if self.operands_left > 0:
+                    self.phase = Stage2Phase.ADDR_CALC
+                    self.phase_remaining = int(config.eaddr_cycles_per_operand)
+                else:
+                    self.phase = Stage2Phase.READY
+        elif self.phase is Stage2Phase.ADDR_CALC:
+            self.phase_remaining -= 1
+            if self.phase_remaining <= 0:
+                self.phase = Stage2Phase.WAIT_BUS
+        # WAIT_BUS / WAIT_OPERAND handled by arbitration below.
+
+        # 4. Issue: ready instruction moves to a free execution unit.
+        if self.phase is Stage2Phase.READY and not self.exec_busy \
+                and not self.store_pending:
+            self.exec_busy = True
+            self.exec_remaining = int(self._draw_exec_cycles())
+            stats.instructions_issued += 1
+            self.phase = Stage2Phase.IDLE
+
+        # 5. Start decoding the next instruction.
+        if self.phase is Stage2Phase.IDLE and self.full_words > 0:
+            self.full_words -= 1
+            self.phase = Stage2Phase.DECODING
+            self.phase_remaining = int(config.decode_cycles)
+
+        # 6. Bus arbitration (store > operand > prefetch).
+        if self.bus_owner is BusOwner.IDLE:
+            if self.store_pending:
+                self.store_pending = False
+                self.bus_owner = BusOwner.STORE
+                self.bus_remaining = int(config.memory_cycles)
+            elif self.phase is Stage2Phase.WAIT_BUS:
+                self.phase = Stage2Phase.WAIT_OPERAND
+                self.bus_owner = BusOwner.OPERAND
+                self.bus_remaining = int(config.memory_cycles)
+            elif (
+                config.buffer_words - self.full_words - self._words_in_flight()
+                >= config.prefetch_words
+            ):
+                self.bus_owner = BusOwner.PREFETCH
+                self.bus_remaining = int(config.memory_cycles)
+
+        # 7. Per-cycle statistics.
+        stats.cycles += 1
+        if self.bus_owner is not BusOwner.IDLE:
+            stats.bus_busy_cycles += 1
+            if self.bus_owner is BusOwner.PREFETCH:
+                stats.prefetch_cycles += 1
+            elif self.bus_owner is BusOwner.OPERAND:
+                stats.operand_cycles += 1
+            else:
+                stats.store_cycles += 1
+        # Stage 3 is "busy" while occupied by an instruction: executing,
+        # waiting for the store bus, or storing — matching the TPN metric
+        # 1 - avg(Execution_unit).
+        if self.exec_busy:
+            stats.exec_busy_cycles += 1
+        stats.buffer_word_cycles += self.full_words
+
+    def _words_in_flight(self) -> int:
+        return (
+            self.config.prefetch_words
+            if self.bus_owner is BusOwner.PREFETCH
+            else 0
+        )
+
+    # -- running -------------------------------------------------------------------
+
+    def run(self, cycles: int) -> BaselineStats:
+        for _ in range(cycles):
+            self.step()
+        return self.stats
+
+    def run_with_trace(self, cycles: int) -> tuple[BaselineStats, list[TraceEvent]]:
+        """Run while emitting a P-NUT trace of the observable places.
+
+        Place names match the Petri model (``Bus_busy``,
+        ``Full_I_buffers`` ...) so the stat tool computes comparable
+        utilizations; ``Issue`` fires as an instantaneous event per issued
+        instruction.
+        """
+        events: list[TraceEvent] = [TraceEvent.init({
+            "Bus_busy": 0,
+            "Full_I_buffers": 0,
+            "pre_fetching": 0,
+            "fetching": 0,
+            "storing": 0,
+        })]
+        seq = 1
+        previous = {
+            "Bus_busy": 0, "Full_I_buffers": 0,
+            "pre_fetching": 0, "fetching": 0, "storing": 0,
+        }
+        issued_before = 0
+        for cycle in range(cycles):
+            self.step()
+            current = {
+                "Bus_busy": 0 if self.bus_owner is BusOwner.IDLE else 1,
+                "Full_I_buffers": self.full_words,
+                "pre_fetching": 1 if self.bus_owner is BusOwner.PREFETCH else 0,
+                "fetching": 1 if self.bus_owner is BusOwner.OPERAND else 0,
+                "storing": 1 if self.bus_owner is BusOwner.STORE else 0,
+            }
+            removed = {
+                k: previous[k] - v for k, v in current.items()
+                if v < previous[k]
+            }
+            added = {
+                k: v - previous[k] for k, v in current.items()
+                if v > previous[k]
+            }
+            if removed or added:
+                events.append(TraceEvent.delta(seq, cycle + 1, removed, added))
+                seq += 1
+            if self.stats.instructions_issued > issued_before:
+                for _ in range(self.stats.instructions_issued - issued_before):
+                    events.append(TraceEvent.fire(seq, cycle + 1, "Issue", {}, {}))
+                    seq += 1
+                issued_before = self.stats.instructions_issued
+            previous = current
+        events.append(TraceEvent.eot(seq, cycles))
+        return self.stats, events
+
+    def trace_header(self) -> TraceHeader:
+        return TraceHeader("cycle-accurate-baseline", 1, self.seed)
+
+
+def run_baseline(
+    config: PipelineConfig | None = None,
+    cycles: int = 10_000,
+    seed: int | None = None,
+) -> BaselineStats:
+    """One-call baseline run."""
+    return CycleAccuratePipeline(config, seed).run(cycles)

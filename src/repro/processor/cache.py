@@ -1,0 +1,128 @@
+"""§3 cache extension: probabilistic instruction/data caches.
+
+"Instruction and data caches are quite common and can be easily modeled
+probabilistically, assuming some given hit ratio." A cached access is
+modeled as a probabilistic split *at access start*: the hit path holds the
+bus for ``hit_cycles`` (typically 1), the miss path for the full memory
+latency. The split transitions carry the hit ratio as relative firing
+frequencies, so the WPS86 conflict resolution implements the hit ratio
+exactly.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import NetBuilder
+from ..core.net import PetriNet
+from .config import CacheConfig, PipelineConfig
+from .decoder import add_decode_stage
+from .execution import add_execution_stage
+from .prefetch import add_prefetch_stage
+
+
+def _split_access(
+    builder: NetBuilder,
+    prefix: str,
+    request_inputs: dict[str, int],
+    request_inhibitors: dict[str, int],
+    busy_place: str,
+    hit_busy_place: str,
+    done_outputs: dict[str, int],
+    hit_ratio: float,
+    hit_cycles: float,
+    miss_cycles: float,
+) -> None:
+    """Replace one bus access with a hit/miss pair of paths."""
+    if hit_ratio > 0:
+        builder.event(
+            f"{prefix}_hit",
+            inputs=request_inputs,
+            inhibitors=request_inhibitors,
+            outputs={hit_busy_place: 1, "Bus_busy": 1},
+            frequency=hit_ratio,
+            description=f"{prefix}: cache hit",
+        )
+        builder.event(
+            f"end_{prefix}_hit",
+            inputs={hit_busy_place: 1, "Bus_busy": 1},
+            outputs={**done_outputs, "Bus_free": 1},
+            enabling_time=hit_cycles,
+            description=f"{prefix}: hit served in {hit_cycles} cycle(s)",
+        )
+    if hit_ratio < 1:
+        builder.event(
+            f"{prefix}_miss",
+            inputs=request_inputs,
+            inhibitors=request_inhibitors,
+            outputs={busy_place: 1, "Bus_busy": 1},
+            frequency=1 - hit_ratio,
+            description=f"{prefix}: cache miss, full memory access",
+        )
+        builder.event(
+            f"end_{prefix}_miss",
+            inputs={busy_place: 1, "Bus_busy": 1},
+            outputs={**done_outputs, "Bus_free": 1},
+            enabling_time=miss_cycles,
+            description=f"{prefix}: miss served by memory",
+        )
+
+
+def build_cached_pipeline_net(
+    config: PipelineConfig | None = None,
+    cache: CacheConfig | None = None,
+) -> PetriNet:
+    """The §2 pipeline with §3 caches on instruction and operand fetches.
+
+    Result stores are write-through (always pay the memory latency), the
+    common 1988 design point. With both hit ratios at 0 the model is
+    behaviourally identical to :func:`build_pipeline_net` (the split
+    degenerates to the miss path); the cache benchmark sweeps the ratios.
+    """
+    config = config or PipelineConfig()
+    cache = cache or CacheConfig()
+    builder = NetBuilder("cached-pipelined-processor")
+    add_prefetch_stage(builder, config)
+    add_decode_stage(builder, config)
+    add_execution_stage(builder, config)
+    net = builder.net
+
+    # --- replace the prefetch access with a hit/miss split ----------------
+    net.remove_transition("Start_prefetch")
+    net.remove_transition("End_prefetch")
+    builder.place("prefetch_hit_busy",
+                  description="instruction-cache hit occupies the bus briefly")
+    inhibitors: dict[str, int] = {}
+    if config.prefetch_inhibited_by_operands:
+        inhibitors["Operand_fetch_pending"] = 1
+    if config.prefetch_inhibited_by_stores:
+        inhibitors["Result_store_pending"] = 1
+    _split_access(
+        builder,
+        prefix="Start_prefetch",
+        request_inputs={"Bus_free": 1, "Empty_I_buffers": config.prefetch_words},
+        request_inhibitors=inhibitors,
+        busy_place="pre_fetching",
+        hit_busy_place="prefetch_hit_busy",
+        done_outputs={"Full_I_buffers": config.prefetch_words},
+        hit_ratio=cache.instruction_hit_ratio,
+        hit_cycles=cache.hit_cycles,
+        miss_cycles=config.memory_cycles,
+    )
+
+    # --- replace the operand access with a hit/miss split ------------------
+    net.remove_transition("start_operand_fetch")
+    net.remove_transition("end_operand_fetch")
+    builder.place("fetch_hit_busy",
+                  description="data-cache hit occupies the bus briefly")
+    _split_access(
+        builder,
+        prefix="operand_fetch",
+        request_inputs={"Operand_fetch_pending": 1, "Bus_free": 1},
+        request_inhibitors={},
+        busy_place="fetching",
+        hit_busy_place="fetch_hit_busy",
+        done_outputs={"operand_ready": 1},
+        hit_ratio=cache.data_hit_ratio,
+        hit_cycles=cache.hit_cycles,
+        miss_cycles=config.memory_cycles,
+    )
+    return builder.build()

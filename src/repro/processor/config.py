@@ -1,0 +1,138 @@
+"""Configuration of the example pipelined processor (paper §2).
+
+The paper's parameters, verbatim:
+
+1. 3-stage pipeline: pre-fetch / decode+address-calc+operand-fetch /
+   execute+store.
+2. Pre-fetch starts when the bus is free, there is room in the instruction
+   buffer, and no operand reads or result writes are pending.
+3. Instruction buffer: 6 one-word slots, pre-fetched two-at-a-time.
+4. Instruction types: zero-, one- and two-memory-operand, frequencies
+   70-20-10.
+5. Each instruction stores a result with probability 0.2.
+6. Decoding takes 1 cycle; address calculation 2 cycles per memory operand.
+7. Execution takes 1-2-5-10-50 cycles with probabilities .5-.3-.1-.05-.05.
+8. A memory access takes 5 cycles.
+
+Every number is a field of :class:`PipelineConfig` so the benchmark sweeps
+(memory speed, instruction mix, buffer size) vary them without touching
+the model-building code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..core.errors import NetDefinitionError
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """All parameters of the §2 pipelined-processor model."""
+
+    # Instruction buffer (paper item 3).
+    buffer_words: int = 6
+    prefetch_words: int = 2
+
+    # Memory and decode timing (items 6, 8).
+    memory_cycles: float = 5
+    decode_cycles: float = 1
+    eaddr_cycles_per_operand: float = 2
+
+    # Instruction mix: relative frequencies of 0/1/2-memory-operand
+    # instruction types (item 4).
+    type_frequencies: tuple[float, float, float] = (70.0, 20.0, 10.0)
+
+    # Result store probability (item 5) expressed as store/no-store
+    # relative frequencies.
+    store_probability: float = 0.2
+
+    # Execution delay distribution (item 7).
+    execution_cycles: tuple[float, ...] = (1, 2, 5, 10, 50)
+    execution_probabilities: tuple[float, ...] = (0.5, 0.3, 0.1, 0.05, 0.05)
+
+    # Whether operand fetches / result stores inhibit pre-fetching
+    # (item 2; switched off by the inhibitor-ablation benchmark).
+    prefetch_inhibited_by_operands: bool = True
+    prefetch_inhibited_by_stores: bool = True
+
+    def __post_init__(self) -> None:
+        if self.buffer_words < 1:
+            raise NetDefinitionError("buffer_words must be >= 1")
+        if not 1 <= self.prefetch_words <= self.buffer_words:
+            raise NetDefinitionError(
+                "prefetch_words must be within [1, buffer_words]"
+            )
+        if self.memory_cycles < 0 or self.decode_cycles < 0:
+            raise NetDefinitionError("cycle counts must be non-negative")
+        if len(self.type_frequencies) != 3 or any(
+            f < 0 for f in self.type_frequencies
+        ) or sum(self.type_frequencies) <= 0:
+            raise NetDefinitionError(
+                "type_frequencies needs three non-negative values, positive sum"
+            )
+        if not 0 <= self.store_probability <= 1:
+            raise NetDefinitionError("store_probability must be in [0, 1]")
+        if len(self.execution_cycles) != len(self.execution_probabilities):
+            raise NetDefinitionError(
+                "execution_cycles and execution_probabilities must align"
+            )
+        if any(p < 0 for p in self.execution_probabilities) or sum(
+            self.execution_probabilities
+        ) <= 0:
+            raise NetDefinitionError(
+                "execution_probabilities must be non-negative, positive sum"
+            )
+
+    # -- derived quantities used by reports and analytic sanity checks -----
+
+    @property
+    def type_probabilities(self) -> tuple[float, float, float]:
+        total = sum(self.type_frequencies)
+        a, b, c = self.type_frequencies
+        return (a / total, b / total, c / total)
+
+    @property
+    def mean_operands_per_instruction(self) -> float:
+        p0, p1, p2 = self.type_probabilities
+        return p1 + 2 * p2
+
+    @property
+    def mean_execution_cycles(self) -> float:
+        total = sum(self.execution_probabilities)
+        return sum(
+            c * p for c, p in zip(self.execution_cycles, self.execution_probabilities)
+        ) / total
+
+    def with_memory_cycles(self, cycles: float) -> "PipelineConfig":
+        return replace(self, memory_cycles=cycles)
+
+    def with_mix(self, f0: float, f1: float, f2: float) -> "PipelineConfig":
+        return replace(self, type_frequencies=(f0, f1, f2))
+
+
+PAPER_CONFIG = PipelineConfig()
+"""The exact configuration of the paper's §2 example."""
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """§3 extension: probabilistic instruction/data caches.
+
+    A hit serves the access instantly (``hit_cycles``, default 1); a miss
+    pays the memory latency of the underlying :class:`PipelineConfig`.
+    """
+
+    instruction_hit_ratio: float = 0.0
+    data_hit_ratio: float = 0.0
+    hit_cycles: float = 1
+
+    def __post_init__(self) -> None:
+        for name, ratio in (
+            ("instruction_hit_ratio", self.instruction_hit_ratio),
+            ("data_hit_ratio", self.data_hit_ratio),
+        ):
+            if not 0 <= ratio <= 1:
+                raise NetDefinitionError(f"{name} must be in [0, 1]")
+        if self.hit_cycles < 0:
+            raise NetDefinitionError("hit_cycles must be non-negative")

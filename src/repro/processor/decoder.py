@@ -1,0 +1,143 @@
+"""Figure 2: decoding, address calculation and operand fetching.
+
+The instruction mix is modeled by assigning firing frequencies to the
+competing transitions ``Type_1``/``Type_2``/``Type_3`` (zero-, one- and
+two-memory-operand instructions, 70-20-10 in the paper). Address
+calculation is the ``calc_eaddr`` transition at 2 cycles per memory
+operand (serialized: the stage has one address adder). Operand fetches
+claim the bus exactly like pre-fetches do, and the ``Operand_fetch_pending``
+place doubles as the inhibiting condition that gives operand fetches
+priority over instruction pre-fetching (Figure 1).
+
+Because ``Decoder_ready`` admits a single instruction into stage 2 at a
+time (it is only returned by ``Issue`` in Figure 3), the operand tokens in
+flight always belong to one instruction, so the per-type join transitions
+``operands_ready_1`` / ``operands_ready_2`` can count ``operand_ready``
+tokens without colored tokens.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import NetBuilder
+from ..core.net import PetriNet
+from .config import PipelineConfig
+
+SHARED_PLACES = (
+    "Bus_free",
+    "Bus_busy",
+    "Decoder_ready",
+    "Decoded_instruction",
+    "Operand_fetch_pending",
+    "ready_to_issue_instruction",
+)
+
+
+def add_decode_stage(builder: NetBuilder, config: PipelineConfig) -> None:
+    """Add the Figure-2 places and events to a builder.
+
+    Expects ``Decoded_instruction``, ``Bus_free``, ``Bus_busy`` and
+    ``Operand_fetch_pending`` to exist (created by the Figure-1 stage or
+    by :func:`build_decoder_net`).
+    """
+    builder.place("eaddr_pending", tokens=0,
+                  description="memory operands awaiting address calculation")
+    builder.place("type2_waiting", tokens=0,
+                  description="a one-operand instruction awaits its operand")
+    builder.place("type3_waiting", tokens=0,
+                  description="a two-operand instruction awaits its operands")
+    builder.place("fetching", tokens=0,
+                  description="an operand fetch occupies the bus")
+    builder.place("operand_ready", tokens=0,
+                  description="fetched operands of the current instruction")
+    builder.place("ready_to_issue_instruction", tokens=0,
+                  description="stage 2 done; instruction waits for stage 3")
+
+    f0, f1, f2 = config.type_frequencies
+    builder.event(
+        "Type_1",
+        inputs={"Decoded_instruction": 1},
+        outputs={"ready_to_issue_instruction": 1},
+        frequency=f0,
+        description="register-only instruction: no memory operands",
+    )
+    builder.event(
+        "Type_2",
+        inputs={"Decoded_instruction": 1},
+        outputs={"eaddr_pending": 1, "type2_waiting": 1},
+        frequency=f1,
+        description="one-memory-operand instruction",
+    )
+    builder.event(
+        "Type_3",
+        inputs={"Decoded_instruction": 1},
+        outputs={"eaddr_pending": 2, "type3_waiting": 1},
+        frequency=f2,
+        description="two-memory-operand instruction",
+    )
+    builder.event(
+        "calc_eaddr",
+        inputs={"eaddr_pending": 1},
+        outputs={"Operand_fetch_pending": 1},
+        firing_time=config.eaddr_cycles_per_operand,
+        max_concurrent=1,
+        description="effective-address calculation, one operand at a time",
+    )
+    builder.event(
+        "start_operand_fetch",
+        inputs={"Operand_fetch_pending": 1, "Bus_free": 1},
+        outputs={"fetching": 1, "Bus_busy": 1},
+        description="operand read claims the bus",
+    )
+    builder.event(
+        "end_operand_fetch",
+        inputs={"fetching": 1, "Bus_busy": 1},
+        outputs={"Bus_free": 1, "operand_ready": 1},
+        enabling_time=config.memory_cycles,
+        description="operand arrives after the memory latency",
+    )
+    builder.event(
+        "operands_ready_1",
+        inputs={"type2_waiting": 1, "operand_ready": 1},
+        outputs={"ready_to_issue_instruction": 1},
+        description="the single operand arrived",
+    )
+    builder.event(
+        "operands_ready_2",
+        inputs={"type3_waiting": 1, "operand_ready": 2},
+        outputs={"ready_to_issue_instruction": 1},
+        description="both operands arrived",
+    )
+
+
+def build_decoder_net(
+    config: PipelineConfig | None = None, standalone: bool = False
+) -> PetriNet:
+    """The Figure-2 net on its own.
+
+    With ``standalone=True``, harness transitions feed decoded
+    instructions in (one at a time, as ``Decoder_ready`` would) and drain
+    issued instructions, so the subnet runs in isolation.
+    """
+    config = config or PipelineConfig()
+    builder = NetBuilder("fig2-decoder")
+    builder.place("Bus_free", tokens=1, capacity=1)
+    builder.place("Bus_busy", tokens=0, capacity=1)
+    builder.place("Decoded_instruction", tokens=0)
+    builder.place("Operand_fetch_pending", tokens=0)
+    add_decode_stage(builder, config)
+    if standalone:
+        builder.place("Decoder_ready", tokens=1, capacity=1)
+        builder.event(
+            "feed_decoded",
+            inputs={"Decoder_ready": 1},
+            outputs={"Decoded_instruction": 1},
+            firing_time=config.decode_cycles,
+            description="harness: stand-in for Figure 1's Decode",
+        )
+        builder.event(
+            "drain_issued",
+            inputs={"ready_to_issue_instruction": 1},
+            outputs={"Decoder_ready": 1},
+            description="harness: stand-in for Figure 3's Issue",
+        )
+    return builder.build()

@@ -1,0 +1,130 @@
+"""Figure 3: instruction execution and result storing.
+
+``Execution_unit`` models the third pipeline stage as a physical resource.
+``Issue`` moves a finished stage-2 instruction into the execution unit and
+only then returns ``Decoder_ready`` — the handshake that makes stage 2 the
+observable bottleneck in Figure 5. Five competing transitions
+``exec_type_1`` … ``exec_type_5`` model the execution-delay distribution
+with appropriate firing frequencies and firing times (1/2/5/10/50 cycles
+at .5/.3/.1/.05/.05). After execution an instruction stores a result with
+probability 0.2, contending for the bus exactly like fetches do; the
+``Result_store_pending`` place is the second inhibiting condition on
+``Start_prefetch``.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import NetBuilder
+from ..core.net import PetriNet
+from .config import PipelineConfig
+
+SHARED_PLACES = (
+    "Bus_free",
+    "Bus_busy",
+    "Decoder_ready",
+    "ready_to_issue_instruction",
+    "Result_store_pending",
+)
+
+#: Name pattern of the execution transitions, used by stats mappings.
+EXEC_TRANSITIONS = ("exec_type_1", "exec_type_2", "exec_type_3",
+                    "exec_type_4", "exec_type_5")
+
+
+def exec_transition_names(config: PipelineConfig) -> tuple[str, ...]:
+    """exec_type_1..N for the configured execution distribution."""
+    return tuple(
+        f"exec_type_{i + 1}" for i in range(len(config.execution_cycles))
+    )
+
+
+def add_execution_stage(builder: NetBuilder, config: PipelineConfig) -> None:
+    """Add the Figure-3 places and events to a builder.
+
+    Expects ``ready_to_issue_instruction``, ``Decoder_ready``,
+    ``Bus_free``/``Bus_busy`` and ``Result_store_pending`` to exist.
+    """
+    builder.place("Execution_unit", tokens=1, capacity=1,
+                  description="pipeline stage 3 is free")
+    builder.place("Issued_instruction", tokens=0,
+                  description="instruction inside the execution unit")
+    builder.place("executed", tokens=0,
+                  description="execution done; result disposition pending")
+    builder.place("storing", tokens=0,
+                  description="a result store occupies the bus")
+
+    builder.event(
+        "Issue",
+        inputs={"ready_to_issue_instruction": 1, "Execution_unit": 1},
+        outputs={"Issued_instruction": 1, "Decoder_ready": 1},
+        description="hand the instruction to stage 3; stage 2 becomes free",
+    )
+    for index, (cycles, probability) in enumerate(
+        zip(config.execution_cycles, config.execution_probabilities), start=1
+    ):
+        builder.event(
+            f"exec_type_{index}",
+            inputs={"Issued_instruction": 1},
+            outputs={"executed": 1},
+            firing_time=cycles,
+            frequency=probability,
+            description=f"execution delay of {cycles} cycle(s)",
+        )
+    store_freq = config.store_probability
+    skip_freq = 1.0 - config.store_probability
+    if skip_freq > 0:
+        builder.event(
+            "no_store",
+            inputs={"executed": 1},
+            outputs={"Execution_unit": 1},
+            frequency=skip_freq,
+            description="no result to store; stage 3 becomes free",
+        )
+    if store_freq > 0:
+        builder.event(
+            "begin_store",
+            inputs={"executed": 1},
+            outputs={"Result_store_pending": 1},
+            frequency=store_freq,
+            description="the instruction must store its result",
+        )
+        builder.event(
+            "start_store",
+            inputs={"Result_store_pending": 1, "Bus_free": 1},
+            outputs={"storing": 1, "Bus_busy": 1},
+            description="result write claims the bus",
+        )
+        builder.event(
+            "end_store",
+            inputs={"storing": 1, "Bus_busy": 1},
+            outputs={"Bus_free": 1, "Execution_unit": 1},
+            enabling_time=config.memory_cycles,
+            description="write completes after the memory latency",
+        )
+
+
+def build_execution_net(
+    config: PipelineConfig | None = None, standalone: bool = False
+) -> PetriNet:
+    """The Figure-3 net on its own.
+
+    With ``standalone=True`` a harness feed produces a steady supply of
+    ready-to-issue instructions (re-using the ``Decoder_ready`` handshake).
+    """
+    config = config or PipelineConfig()
+    builder = NetBuilder("fig3-execution")
+    builder.place("Bus_free", tokens=1, capacity=1)
+    builder.place("Bus_busy", tokens=0, capacity=1)
+    builder.place("ready_to_issue_instruction", tokens=0)
+    builder.place("Decoder_ready", tokens=1, capacity=1)
+    builder.place("Result_store_pending", tokens=0)
+    add_execution_stage(builder, config)
+    if standalone:
+        builder.event(
+            "feed_ready",
+            inputs={"Decoder_ready": 1},
+            outputs={"ready_to_issue_instruction": 1},
+            firing_time=config.decode_cycles,
+            description="harness: stand-in for stage 2 output",
+        )
+    return builder.build()

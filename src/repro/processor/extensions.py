@@ -1,0 +1,150 @@
+"""Architectural extensions beyond the paper's §2 machine.
+
+§3 argues the modeling approach extends to "more complex pipelined
+processors". This module exercises that claim with two design variants a
+1988 architect would actually have studied:
+
+* :func:`build_dual_bus_pipeline` — a Harvard-style split: instruction
+  fetches use a dedicated instruction bus while operand fetches and
+  result stores share a data bus. The single-bus contention (and both
+  inhibitor arcs) disappears; the remaining coupling is purely through
+  the pipeline handshakes.
+* :func:`build_writeback_pipeline` — a one-slot store buffer: the
+  execution unit retires into the buffer immediately and a background
+  drain performs the memory write, overlapping stores with execution
+  (the classic write-buffer optimization).
+
+Both reuse the Figure-1/2/3 stage builders wherever the structure is
+unchanged, so diffs against the base model are easy to audit.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import NetBuilder
+from ..core.net import PetriNet
+from .config import PipelineConfig
+from .decoder import add_decode_stage
+from .execution import add_execution_stage
+from .prefetch import add_prefetch_stage
+
+
+def build_dual_bus_pipeline(config: PipelineConfig | None = None) -> PetriNet:
+    """The §2 machine with split instruction/data buses.
+
+    Structural changes against :func:`build_pipeline_net`:
+
+    * ``IBus_free``/``IBus_busy`` serve ``Start_prefetch``/``End_prefetch``;
+    * ``Bus_free``/``Bus_busy`` (kept under their original names so the
+      stat mappings still apply) serve operand fetches and stores;
+    * the inhibitor arcs vanish — their purpose was to arbitrate the
+      single shared bus.
+    """
+    config = config or PipelineConfig()
+    builder = NetBuilder("dual-bus-pipelined-processor")
+
+    # Instruction side: a private bus.
+    builder.place("IBus_free", tokens=1, capacity=1,
+                  description="dedicated instruction bus is idle")
+    builder.place("IBus_busy", capacity=1)
+    builder.place("Empty_I_buffers", tokens=config.buffer_words,
+                  capacity=config.buffer_words)
+    builder.place("Full_I_buffers", capacity=config.buffer_words)
+    builder.place("pre_fetching")
+    builder.place("Decoder_ready", tokens=1, capacity=1)
+    builder.place("Decoded_instruction")
+    builder.place("Operand_fetch_pending")
+    builder.place("Result_store_pending")
+    builder.event(
+        "Start_prefetch",
+        inputs={"IBus_free": 1, "Empty_I_buffers": config.prefetch_words},
+        outputs={"IBus_busy": 1, "pre_fetching": 1},
+        description="prefetch claims the instruction bus (no inhibitors)",
+    )
+    builder.event(
+        "End_prefetch",
+        inputs={"pre_fetching": 1, "IBus_busy": 1},
+        outputs={"IBus_free": 1, "Full_I_buffers": config.prefetch_words},
+        enabling_time=config.memory_cycles,
+    )
+    builder.event(
+        "Decode",
+        inputs={"Full_I_buffers": 1, "Decoder_ready": 1},
+        outputs={"Decoded_instruction": 1, "Empty_I_buffers": 1},
+        firing_time=config.decode_cycles,
+    )
+
+    # Data side: the shared bus keeps its original names.
+    builder.place("Bus_free", tokens=1, capacity=1,
+                  description="data bus (operands + stores)")
+    builder.place("Bus_busy", capacity=1)
+    add_decode_stage(builder, config)
+    add_execution_stage(builder, config)
+    return builder.build()
+
+
+def build_writeback_pipeline(
+    config: PipelineConfig | None = None, buffer_slots: int = 1
+) -> PetriNet:
+    """The §2 machine with a store (write) buffer of ``buffer_slots``.
+
+    The execution unit frees as soon as the result enters the buffer; a
+    background drain transition performs the actual bus write. Stores
+    thus overlap execution, at the cost of extra prefetch interference
+    (the drain still inhibits prefetching via ``Result_store_pending``).
+    """
+    config = config or PipelineConfig()
+    if buffer_slots < 1:
+        raise ValueError("buffer_slots must be >= 1")
+    builder = NetBuilder("writeback-pipelined-processor")
+    add_prefetch_stage(builder, config)
+    add_decode_stage(builder, config)
+
+    # Execution stage, rebuilt with the store buffer.
+    builder.place("Execution_unit", tokens=1, capacity=1)
+    builder.place("Issued_instruction")
+    builder.place("executed")
+    builder.place("storing")
+    builder.place("store_buffer_free", tokens=buffer_slots,
+                  capacity=buffer_slots,
+                  description="free write-buffer slots")
+    builder.event(
+        "Issue",
+        inputs={"ready_to_issue_instruction": 1, "Execution_unit": 1},
+        outputs={"Issued_instruction": 1, "Decoder_ready": 1},
+    )
+    for index, (cycles, probability) in enumerate(
+        zip(config.execution_cycles, config.execution_probabilities), start=1
+    ):
+        builder.event(
+            f"exec_type_{index}",
+            inputs={"Issued_instruction": 1},
+            outputs={"executed": 1},
+            firing_time=cycles,
+            frequency=probability,
+        )
+    builder.event(
+        "no_store",
+        inputs={"executed": 1},
+        outputs={"Execution_unit": 1},
+        frequency=1.0 - config.store_probability,
+    )
+    builder.event(
+        "buffer_store",
+        inputs={"executed": 1, "store_buffer_free": 1},
+        outputs={"Result_store_pending": 1, "Execution_unit": 1},
+        frequency=config.store_probability,
+        description="retire into the write buffer; unit frees immediately",
+    )
+    builder.event(
+        "start_store",
+        inputs={"Result_store_pending": 1, "Bus_free": 1},
+        outputs={"storing": 1, "Bus_busy": 1},
+    )
+    builder.event(
+        "end_store",
+        inputs={"storing": 1, "Bus_busy": 1},
+        outputs={"Bus_free": 1, "store_buffer_free": 1},
+        enabling_time=config.memory_cycles,
+        description="drain completes; the buffer slot frees",
+    )
+    return builder.build()

@@ -1,0 +1,258 @@
+"""Table-driven (interpreted) pipeline models (paper §3, Figure 4).
+
+Instead of one subnet per instruction type/addressing mode, a single
+``Decode`` transition randomly selects the instruction type and stores it
+in the variable environment; predicates and actions then drive loops that
+remove additional instruction words from the buffer, fetch the right
+number of operands, and compute data-dependent firing times. "The Petri
+net itself would be used to model what Petri nets model best: the
+contention for the bus and the synchronization between different portions
+of the pipeline."
+
+Two builders:
+
+* :func:`build_figure4_net` — the paper's Figure 4 skeleton (operand
+  fetching only, buffer interaction omitted), constructed *from the
+  textual language* with the paper's exact predicates and actions.
+* :func:`build_interpreted_pipeline` — the full 3-stage pipeline driven by
+  an :class:`~repro.processor.isa.InstructionSet` table: variable-length
+  instructions, per-mode address calculation, table-driven execution
+  times and store probabilities.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import NetBuilder
+from ..core.inscription import Environment
+from ..core.net import PetriNet
+from ..core.time_model import DataDelay
+from ..lang.expr import compile_action, compile_predicate
+from ..lang.parser import parse_net
+from .config import PipelineConfig
+from .isa import InstructionSet, default_isa
+from .prefetch import add_prefetch_stage
+
+FIGURE4_TEXT = """
+net fig4-operand-fetch
+var max_type = 3
+var operands = [0, 1, 2]
+var type = 1
+var number_of_operands_needed = 0
+place Decoder_ready = 1 cap 1
+place Decoded_instruction
+place operand_phase
+place requesting
+place operand_fetching_done_p
+Decode [fire=1, action: type = irand[1, max_type]; number_of_operands_needed = operands[type]]: Decoder_ready -> Decoded_instruction
+begin_operand_phase: Decoded_instruction -> operand_phase
+fetch_operand [pred: number_of_operands_needed > 0]: operand_phase -> requesting
+end_fetch [enab=5, action: number_of_operands_needed = number_of_operands_needed - 1]: requesting -> operand_phase
+operand_fetching_done [pred: number_of_operands_needed = 0]: operand_phase -> operand_fetching_done_p
+recycle: operand_fetching_done_p -> Decoder_ready
+"""
+
+
+def build_figure4_net() -> PetriNet:
+    """The Figure-4 interpreted net, parsed from the paper's notation.
+
+    The ``recycle`` transition closes the loop so the skeleton runs as a
+    standalone experiment (the paper omits the buffer interaction).
+    """
+    return parse_net(FIGURE4_TEXT)
+
+
+def _select_type_action(set_size_total: int):
+    """Decode's type-selection: roll against cumulative thresholds.
+
+    Stored tables: ``type_thresholds`` (cumulative scaled frequencies),
+    ``operands_table``, ``extra_words_table`` — the paper's
+    ``type = irand[...]; number-of-operands-needed = operands[type]``
+    generalized to a weighted distribution.
+    """
+
+    def action(env: Environment) -> None:
+        roll = env.irand(1, set_size_total)
+        thresholds = env["type_thresholds"]
+        selected = len(thresholds)
+        for index, threshold in enumerate(thresholds, start=1):
+            if roll <= threshold:
+                selected = index
+                break
+        env["type"] = selected
+        env["number_of_operands_needed"] = env.table("operands_table", selected)
+        env["extra_words_needed"] = env.table("extra_words_table", selected)
+
+    action.__name__ = "select_instruction_type"
+    return action
+
+
+def _issue_action(env: Environment) -> None:
+    """Latch the decoded type into the execution stage's own variable so
+    the next instruction's decode cannot clobber it."""
+    env["exec_type"] = env["type"]
+
+
+def _store_roll_action(env: Environment) -> None:
+    env["store_roll"] = env.irand(1, 100)
+
+
+def build_interpreted_pipeline(
+    isa: InstructionSet | None = None,
+    config: PipelineConfig | None = None,
+) -> PetriNet:
+    """The full table-driven 3-stage pipeline (paper §3).
+
+    The prefetch stage is Figure 1 unchanged. Stage 2 decodes, consumes
+    the instruction's extra words from the buffer (variable-length
+    instructions), then loops one operand at a time: address calculation
+    with a per-mode ``DataDelay``, bus acquisition, memory latency,
+    decrement. Stage 3 executes with a table-driven firing time and rolls
+    a table-driven store probability.
+    """
+    isa = isa or default_isa()
+    config = config or PipelineConfig()
+    builder = NetBuilder("interpreted-pipeline")
+    add_prefetch_stage(builder, config)
+
+    thresholds = isa.cumulative_thresholds()
+    builder.variable("type_thresholds", thresholds)
+    builder.variable("operands_table", isa.operand_table())
+    builder.variable("extra_words_table", isa.extra_word_table())
+    builder.variable("eaddr_table", isa.eaddr_table())
+    builder.variable("exec_table", isa.exec_table())
+    builder.variable("store_table", isa.store_table())
+    builder.variable("type", 1)
+    builder.variable("exec_type", 1)
+    builder.variable("number_of_operands_needed", 0)
+    builder.variable("extra_words_needed", 0)
+    builder.variable("store_roll", 100)
+
+    # Stage-2 phases.
+    builder.place("words_phase", description="consuming extra instruction words")
+    builder.place("operand_phase", description="operand fetch loop")
+    builder.place("operand_requesting",
+                  description="one operand's address computed; bus needed")
+    builder.place("ready_to_issue_instruction")
+
+    # The Figure-1 Decode moves a word to Decoded_instruction; the
+    # interpreted decode replaces its action with type selection. We
+    # re-declare the transition's inscription by replacing it on the net.
+    net = builder.net
+    decode = net.transition("Decode")
+    from dataclasses import replace as _replace
+
+    net.replace_transition(_replace(
+        decode, action=_select_type_action(thresholds[-1] if thresholds else 1)
+    ))
+
+    builder.event(
+        "begin_word_phase",
+        inputs={"Decoded_instruction": 1},
+        outputs={"words_phase": 1},
+        description="decoded; start consuming the instruction's extra words",
+    )
+    builder.event(
+        "get_extra_word",
+        inputs={"words_phase": 1, "Full_I_buffers": 1},
+        outputs={"words_phase": 1, "Empty_I_buffers": 1},
+        predicate=compile_predicate("extra_words_needed > 0"),
+        action=compile_action(
+            "extra_words_needed = extra_words_needed - 1"
+        ),
+        description="variable-length instruction: take one more word",
+    )
+    builder.event(
+        "words_done",
+        inputs={"words_phase": 1},
+        outputs={"operand_phase": 1},
+        predicate=compile_predicate("extra_words_needed = 0"),
+        description="instruction completely fetched from the buffer",
+    )
+    builder.event(
+        "fetch_operand",
+        inputs={"operand_phase": 1},
+        outputs={"operand_requesting": 1, "Operand_fetch_pending": 1},
+        predicate=compile_predicate("number_of_operands_needed > 0"),
+        firing_time=DataDelay(
+            lambda env: env.table("eaddr_table", env["type"]),
+            "eaddr_table[type]",
+        ),
+        description="address calculation for the next operand (per-mode cycles)",
+    )
+    builder.event(
+        "start_operand_fetch",
+        inputs={"Operand_fetch_pending": 1, "Bus_free": 1},
+        outputs={"fetching": 1, "Bus_busy": 1},
+        description="operand read claims the bus",
+    )
+    builder.event(
+        "end_fetch",
+        inputs={"fetching": 1, "Bus_busy": 1, "operand_requesting": 1},
+        outputs={"Bus_free": 1, "operand_phase": 1},
+        enabling_time=config.memory_cycles,
+        action=compile_action(
+            "number_of_operands_needed = number_of_operands_needed - 1"
+        ),
+        description="operand arrives; loop for the next one",
+    )
+    builder.event(
+        "operand_fetching_done",
+        inputs={"operand_phase": 1},
+        outputs={"ready_to_issue_instruction": 1},
+        predicate=compile_predicate("number_of_operands_needed = 0"),
+        description="all operands fetched",
+    )
+
+    # Stage 3: table-driven execution and store.
+    builder.place("Execution_unit", tokens=1, capacity=1)
+    builder.place("Issued_instruction")
+    builder.place("executed")
+    builder.place("storing")
+    builder.event(
+        "Issue",
+        inputs={"ready_to_issue_instruction": 1, "Execution_unit": 1},
+        outputs={"Issued_instruction": 1, "Decoder_ready": 1},
+        action=_issue_action,
+        description="hand off to stage 3; latch the type",
+    )
+    builder.event(
+        "execute",
+        inputs={"Issued_instruction": 1},
+        outputs={"executed": 1},
+        firing_time=DataDelay(
+            lambda env: env.table("exec_table", env["exec_type"]),
+            "exec_table[exec_type]",
+        ),
+        action=_store_roll_action,
+        description="table-driven execution delay",
+    )
+    builder.event(
+        "do_store",
+        inputs={"executed": 1},
+        outputs={"Result_store_pending": 1},
+        predicate=lambda env: env["store_roll"] <= env.table(
+            "store_table", env["exec_type"]
+        ),
+        description="this instruction stores its result",
+    )
+    builder.event(
+        "skip_store",
+        inputs={"executed": 1},
+        outputs={"Execution_unit": 1},
+        predicate=lambda env: env["store_roll"] > env.table(
+            "store_table", env["exec_type"]
+        ),
+        description="no result store",
+    )
+    builder.event(
+        "start_store",
+        inputs={"Result_store_pending": 1, "Bus_free": 1},
+        outputs={"storing": 1, "Bus_busy": 1},
+    )
+    builder.event(
+        "end_store",
+        inputs={"storing": 1, "Bus_busy": 1},
+        outputs={"Bus_free": 1, "Execution_unit": 1},
+        enabling_time=config.memory_cycles,
+    )
+    return builder.build()

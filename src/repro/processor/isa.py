@@ -1,0 +1,166 @@
+"""Instruction-set tables for the table-driven model (paper §3).
+
+"Typically modern microprocessors may support as many as 30 addressing
+modes, each of which requires different length instructions, and places a
+different load on the bus to main memory. Rather than using a separate
+subnet for each addressing mode it is possible to construct a table-driven
+model of the instruction set."
+
+An :class:`InstructionClass` is one row of that table: relative frequency,
+instruction length (extra words beyond the first), memory operand count,
+address-calculation cycles per operand, execution cycles, and the result
+store probability (percent). :func:`default_isa` generates a deterministic
+30-class table spanning the addressing-mode space; :func:`paper_isa` is
+the 3-class table equivalent to the §2 model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import NetDefinitionError
+
+
+@dataclass(frozen=True)
+class InstructionClass:
+    """One instruction type / addressing-mode combination."""
+
+    name: str
+    frequency: float
+    extra_words: int          # instruction length - 1 (variable length)
+    operands: int             # memory operands to fetch
+    eaddr_cycles: int         # address-calc cycles per operand
+    exec_cycles: int          # execution firing time
+    store_percent: int        # chance (0-100) of storing a result
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise NetDefinitionError(f"{self.name}: frequency must be > 0")
+        if self.extra_words < 0 or self.operands < 0:
+            raise NetDefinitionError(f"{self.name}: negative field")
+        if self.exec_cycles < 1 or self.eaddr_cycles < 0:
+            raise NetDefinitionError(f"{self.name}: bad cycle count")
+        if not 0 <= self.store_percent <= 100:
+            raise NetDefinitionError(f"{self.name}: store_percent out of range")
+
+
+@dataclass(frozen=True)
+class InstructionSet:
+    """An ordered table of instruction classes with 1-based indexing
+    (matching the paper's ``operands[type]`` convention)."""
+
+    classes: tuple[InstructionClass, ...]
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise NetDefinitionError("instruction set must not be empty")
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise NetDefinitionError("duplicate instruction class names")
+
+    def __len__(self) -> int:
+        return len(self.classes)
+
+    def __getitem__(self, index: int) -> InstructionClass:
+        """1-based lookup, like the paper's tables."""
+        if not 1 <= index <= len(self.classes):
+            raise NetDefinitionError(
+                f"instruction type {index} out of range 1..{len(self.classes)}"
+            )
+        return self.classes[index - 1]
+
+    # -- tables for the interpreted net's environment -----------------------
+
+    def frequency_table(self) -> tuple[float, ...]:
+        return tuple(c.frequency for c in self.classes)
+
+    def operand_table(self) -> tuple[int, ...]:
+        return tuple(c.operands for c in self.classes)
+
+    def extra_word_table(self) -> tuple[int, ...]:
+        return tuple(c.extra_words for c in self.classes)
+
+    def eaddr_table(self) -> tuple[int, ...]:
+        return tuple(c.eaddr_cycles for c in self.classes)
+
+    def exec_table(self) -> tuple[int, ...]:
+        return tuple(c.exec_cycles for c in self.classes)
+
+    def store_table(self) -> tuple[int, ...]:
+        return tuple(c.store_percent for c in self.classes)
+
+    def cumulative_thresholds(self) -> tuple[int, ...]:
+        """Integer cumulative frequency thresholds scaled to 1..total.
+
+        Used by the interpreted net's type-selection action: draw
+        ``roll = irand[1, total]`` and pick the first class whose
+        threshold is >= roll.
+        """
+        total = 0.0
+        out = []
+        for c in self.classes:
+            total += c.frequency
+            out.append(round(total))
+        return tuple(out)
+
+    # -- analytic expectations (for tests and reports) -------------------------
+
+    def expected(self, field: str) -> float:
+        total = sum(c.frequency for c in self.classes)
+        return sum(
+            getattr(c, field) * c.frequency for c in self.classes
+        ) / total
+
+    def mean_operands(self) -> float:
+        return self.expected("operands")
+
+    def mean_exec_cycles(self) -> float:
+        return self.expected("exec_cycles")
+
+    def mean_words(self) -> float:
+        return 1 + self.expected("extra_words")
+
+
+def paper_isa() -> InstructionSet:
+    """The §2 model as a 3-row table (70/20/10 type mix).
+
+    Execution time in §2 is drawn independently of the type; the
+    table-driven equivalent folds the expected execution time into each
+    class (the benchmark compares distributions explicitly).
+    """
+    return InstructionSet((
+        InstructionClass("reg_only", 70, 0, 0, 0, 1, 20),
+        InstructionClass("one_mem", 20, 0, 1, 2, 2, 20),
+        InstructionClass("two_mem", 10, 0, 2, 2, 5, 20),
+    ))
+
+
+def default_isa(modes: int = 30, seed_structure: int = 3) -> InstructionSet:
+    """A deterministic ~30-class addressing-mode table (paper §3).
+
+    Classes systematically sweep operand counts (0-2), instruction lengths
+    (1-3 words), address-calculation effort (1-4 cycles) and execution
+    times (1-50 cycles). Frequencies fall off geometrically so simple
+    modes dominate, like real instruction mixes.
+    """
+    if modes < 1:
+        raise NetDefinitionError("need at least one addressing mode")
+    exec_ladder = (1, 2, 5, 10, 50)
+    classes = []
+    for i in range(modes):
+        operands = i % seed_structure
+        extra_words = (i // 3) % 3
+        eaddr = 1 + (i % 4)
+        exec_cycles = exec_ladder[i % len(exec_ladder)]
+        frequency = max(100.0 * (0.82 ** i), 0.5)
+        store_percent = (i * 7) % 41  # 0..40%, deterministic spread
+        classes.append(InstructionClass(
+            name=f"mode_{i + 1:02d}",
+            frequency=round(frequency, 2),
+            extra_words=extra_words,
+            operands=operands,
+            eaddr_cycles=eaddr,
+            exec_cycles=exec_cycles,
+            store_percent=store_percent,
+        ))
+    return InstructionSet(tuple(classes))

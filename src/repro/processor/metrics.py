@@ -1,0 +1,166 @@
+"""Mapping stat-tool output to processor-level concepts (paper §4.2).
+
+"The mapping between this information and higher-level concepts such as
+processor utilization is left up to the user. This mapping, however, is
+usually straightforward": this module is that mapping, written once —
+instruction processing rate from ``Issue``'s throughput, bus utilization
+from ``Bus_busy``'s time-averaged tokens, the bus-activity breakdown from
+the ``pre_fetching``/``fetching``/``storing`` places, stage utilizations
+from the stage-resource places, and the per-class execution time split
+from the exec transitions' concurrent-firing averages.
+
+Works for the plain §2 model, the cached variant, and (via duck-typed
+counters) the cycle-accurate baseline, so benchmarks compare all three in
+the same units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.stat import TraceStatistics
+from .baseline import BaselineStats
+
+
+@dataclass(frozen=True)
+class ProcessorMetrics:
+    """Processor-level summary derived from a run."""
+
+    cycles: float
+    instructions_per_cycle: float
+    cycles_per_instruction: float
+    bus_utilization: float
+    bus_prefetch: float
+    bus_operand: float
+    bus_store: float
+    decoder_busy: float
+    execution_busy: float
+    mean_full_buffers: float
+    exec_class_busy: dict[str, float] = field(default_factory=dict)
+    type_mix: dict[str, float] = field(default_factory=dict)
+
+    def pretty(self) -> str:
+        lines = [
+            f"cycles simulated:        {self.cycles:g}",
+            f"instructions / cycle:    {self.instructions_per_cycle:.4f}",
+            f"cycles / instruction:    {self.cycles_per_instruction:.2f}",
+            f"bus utilization:         {self.bus_utilization:.3f}",
+            f"  prefetching:           {self.bus_prefetch:.3f}",
+            f"  operand fetching:      {self.bus_operand:.3f}",
+            f"  result storing:        {self.bus_store:.3f}",
+            f"decoder (stage 2) busy:  {self.decoder_busy:.3f}",
+            f"execution unit busy:     {self.execution_busy:.3f}",
+            f"mean full buffer words:  {self.mean_full_buffers:.2f}",
+        ]
+        if self.type_mix:
+            mix = "  ".join(f"{k}={v:.3f}" for k, v in self.type_mix.items())
+            lines.append(f"instruction mix:         {mix}")
+        if self.exec_class_busy:
+            split = "  ".join(
+                f"{k}={v:.3f}" for k, v in self.exec_class_busy.items()
+            )
+            lines.append(f"execution time split:    {split}")
+        return "\n".join(lines)
+
+
+def _place_avg(stats: TraceStatistics, name: str) -> float:
+    place = stats.places.get(name)
+    return place.avg_tokens if place else 0.0
+
+
+def metrics_from_stats(
+    stats: TraceStatistics,
+    issue_transition: str = "Issue",
+    exec_transitions: tuple[str, ...] = (),
+    type_transitions: tuple[str, ...] = (),
+) -> ProcessorMetrics:
+    """Derive processor metrics from a Figure-5 statistics object."""
+    cycles = stats.run.length
+    issue = stats.transitions.get(issue_transition)
+    ipc = issue.throughput if issue else 0.0
+
+    # Cache variants split bus activity over hit/miss places; sum
+    # whichever of the known activity places exist.
+    prefetch = _place_avg(stats, "pre_fetching") + _place_avg(
+        stats, "prefetch_hit_busy")
+    operand = _place_avg(stats, "fetching") + _place_avg(stats, "fetch_hit_busy")
+    store = _place_avg(stats, "storing")
+
+    exec_busy = {
+        name: stats.transitions[name].avg_concurrent
+        for name in exec_transitions
+        if name in stats.transitions
+    }
+    type_counts = {
+        name: stats.transitions[name].ends
+        for name in type_transitions
+        if name in stats.transitions
+    }
+    total_types = sum(type_counts.values())
+    type_mix = (
+        {name: count / total_types for name, count in type_counts.items()}
+        if total_types
+        else {}
+    )
+    return ProcessorMetrics(
+        cycles=cycles,
+        instructions_per_cycle=ipc,
+        cycles_per_instruction=(1 / ipc) if ipc else float("inf"),
+        bus_utilization=_place_avg(stats, "Bus_busy"),
+        bus_prefetch=prefetch,
+        bus_operand=operand,
+        bus_store=store,
+        decoder_busy=1.0 - _place_avg(stats, "Decoder_ready"),
+        execution_busy=1.0 - _place_avg(stats, "Execution_unit"),
+        mean_full_buffers=_place_avg(stats, "Full_I_buffers"),
+        exec_class_busy=exec_busy,
+        type_mix=type_mix,
+    )
+
+
+def metrics_from_baseline(stats: BaselineStats) -> ProcessorMetrics:
+    """The same metrics computed from the cycle-accurate baseline."""
+    cycles = float(stats.cycles)
+    ipc = stats.ipc
+    total_types = sum(stats.type_counts) or 1
+    return ProcessorMetrics(
+        cycles=cycles,
+        instructions_per_cycle=ipc,
+        cycles_per_instruction=(1 / ipc) if ipc else float("inf"),
+        bus_utilization=stats.bus_utilization,
+        bus_prefetch=stats.prefetch_cycles / cycles if cycles else 0.0,
+        bus_operand=stats.operand_cycles / cycles if cycles else 0.0,
+        bus_store=stats.store_cycles / cycles if cycles else 0.0,
+        decoder_busy=float("nan"),  # the baseline does not track stage-2 idle
+        execution_busy=stats.exec_busy_cycles / cycles if cycles else 0.0,
+        mean_full_buffers=stats.mean_full_buffers,
+        type_mix={
+            f"Type_{i + 1}": count / total_types
+            for i, count in enumerate(stats.type_counts)
+        },
+    )
+
+
+def compare_metrics(
+    left: ProcessorMetrics, right: ProcessorMetrics,
+    left_name: str = "petri-net", right_name: str = "baseline",
+) -> str:
+    """Side-by-side comparison table for benchmark output."""
+    rows = [
+        ("instructions/cycle", left.instructions_per_cycle,
+         right.instructions_per_cycle),
+        ("bus utilization", left.bus_utilization, right.bus_utilization),
+        ("bus: prefetch", left.bus_prefetch, right.bus_prefetch),
+        ("bus: operand", left.bus_operand, right.bus_operand),
+        ("bus: store", left.bus_store, right.bus_store),
+        ("execution busy", left.execution_busy, right.execution_busy),
+        ("mean full buffers", left.mean_full_buffers, right.mean_full_buffers),
+    ]
+    width = max(len(r[0]) for r in rows)
+    lines = [f"{'metric'.ljust(width)}  {left_name:>12}  {right_name:>12}  {'ratio':>7}"]
+    for name, a, b in rows:
+        ratio = a / b if b else float("inf")
+        lines.append(
+            f"{name.ljust(width)}  {a:12.4f}  {b:12.4f}  {ratio:7.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""The complete 3-stage pipelined processor model (paper §2, Figures 1-3).
+
+:func:`build_pipeline_net` assembles the pre-fetch, decode and execution
+stages into one net by building them against a single
+:class:`~repro.core.builder.NetBuilder` — the shared places (the bus, the
+instruction buffer interface, the stage resources and the two inhibiting
+"pending" pools) are created once by the Figure-1 stage and referenced by
+the others.
+
+"The resulting complete model can be expressed graphically in one or two
+pages and textually ... in roughly 25 lines": the equivalent textual form
+of this net is produced by :func:`repro.lang.format.format_net`.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import NetBuilder
+from ..core.net import PetriNet
+from .config import PipelineConfig
+from .decoder import add_decode_stage
+from .execution import add_execution_stage, exec_transition_names
+from .prefetch import add_prefetch_stage
+
+#: The transitions Figure 5 reports, in the paper's row order.
+FIGURE5_TRANSITIONS = (
+    "Issue", "Type_1", "Type_2", "Type_3",
+    "exec_type_1", "exec_type_2", "exec_type_3", "exec_type_4", "exec_type_5",
+)
+
+#: The places Figure 5 reports, in the paper's row order.
+FIGURE5_PLACES = (
+    "Full_I_buffers", "Empty_I_buffers", "pre_fetching", "fetching",
+    "storing", "Bus_busy", "Decoder_ready", "Execution_unit",
+    "ready_to_issue_instruction",
+)
+
+
+def build_pipeline_net(config: PipelineConfig | None = None) -> PetriNet:
+    """The full §2 model with the paper's (or a modified) configuration."""
+    config = config or PipelineConfig()
+    builder = NetBuilder("pipelined-processor")
+    add_prefetch_stage(builder, config)
+    add_decode_stage(builder, config)
+    add_execution_stage(builder, config)
+    return builder.build()
+
+
+def figure5_transition_order(config: PipelineConfig | None = None) -> tuple[str, ...]:
+    """Figure 5's transition rows, adapted to the configured exec classes."""
+    config = config or PipelineConfig()
+    return ("Issue", "Type_1", "Type_2", "Type_3") + exec_transition_names(config)
+
+
+def bus_activity_places() -> tuple[str, ...]:
+    """The bus-breakdown places of §4.2: prefetching, fetching, storing."""
+    return ("pre_fetching", "fetching", "storing")

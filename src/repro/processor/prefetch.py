@@ -1,0 +1,105 @@
+"""Figure 1: instruction pre-fetching into the instruction buffer.
+
+The modeled situation (paper §1): a pool of 6 one-word instruction buffers
+pre-fetched two-at-a-time. Pre-fetching starts whenever the bus is free,
+at least two buffer slots are empty, and no operand fetch or result store
+is pending — the latter two are *inhibiting* conditions drawn as dark
+bubbles in the figure. The 5-cycle memory access is an *enabling* delay on
+``End_prefetch`` (tokens stay visible on ``pre_fetching``/``Bus_busy``, so
+their time-averaged token counts measure bus usage, §4.2), while the
+1-cycle decode is a *firing* time on ``Decode``.
+
+Place/transition names follow the paper's Figures 1 and 5 exactly.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import NetBuilder
+from ..core.net import PetriNet
+from .config import PipelineConfig
+
+#: Places this subnet shares with the Figure 2/3 subnets when assembled
+#: into the full pipeline model.
+SHARED_PLACES = (
+    "Bus_free",
+    "Bus_busy",
+    "Decoder_ready",
+    "Decoded_instruction",
+    "Operand_fetch_pending",
+    "Result_store_pending",
+)
+
+
+def add_prefetch_stage(builder: NetBuilder, config: PipelineConfig) -> None:
+    """Add the Figure-1 places and events to a builder."""
+    builder.place("Bus_free", tokens=1, capacity=1,
+                  description="the single memory bus is idle")
+    builder.place("Bus_busy", tokens=0, capacity=1,
+                  description="the bus is carrying an access")
+    builder.place("Empty_I_buffers", tokens=config.buffer_words,
+                  capacity=config.buffer_words,
+                  description="free instruction-buffer words")
+    builder.place("Full_I_buffers", tokens=0, capacity=config.buffer_words,
+                  description="pre-fetched instruction words")
+    builder.place("pre_fetching", tokens=0,
+                  description="an instruction pre-fetch occupies the bus")
+    builder.place("Operand_fetch_pending", tokens=0,
+                  description="operand reads waiting for the bus (inhibits prefetch)")
+    builder.place("Result_store_pending", tokens=0,
+                  description="result writes waiting for the bus (inhibits prefetch)")
+    builder.place("Decoder_ready", tokens=1, capacity=1,
+                  description="pipeline stage 2 is free")
+    builder.place("Decoded_instruction", tokens=0,
+                  description="an instruction decoded, awaiting type selection")
+
+    inhibitors: dict[str, int] = {}
+    if config.prefetch_inhibited_by_operands:
+        inhibitors["Operand_fetch_pending"] = 1
+    if config.prefetch_inhibited_by_stores:
+        inhibitors["Result_store_pending"] = 1
+
+    builder.event(
+        "Start_prefetch",
+        inputs={"Bus_free": 1, "Empty_I_buffers": config.prefetch_words},
+        inhibitors=inhibitors,
+        outputs={"Bus_busy": 1, "pre_fetching": 1},
+        description="claim the bus and begin fetching a buffer pair",
+    )
+    builder.event(
+        "End_prefetch",
+        inputs={"pre_fetching": 1, "Bus_busy": 1},
+        outputs={"Bus_free": 1, "Full_I_buffers": config.prefetch_words},
+        enabling_time=config.memory_cycles,
+        description="memory access completes after the memory latency",
+    )
+    builder.event(
+        "Decode",
+        inputs={"Full_I_buffers": 1, "Decoder_ready": 1},
+        outputs={"Decoded_instruction": 1, "Empty_I_buffers": 1},
+        firing_time=config.decode_cycles,
+        description="decode one instruction word (stage 2 claims it)",
+    )
+
+
+def build_prefetch_net(
+    config: PipelineConfig | None = None, standalone: bool = False
+) -> PetriNet:
+    """The Figure-1 net on its own.
+
+    With ``standalone=True`` a drain transition is added that consumes
+    ``Decoded_instruction`` and recycles ``Decoder_ready``, closing the net
+    so it can run forever in isolation (test/bench harness only — not part
+    of the paper's figure).
+    """
+    config = config or PipelineConfig()
+    builder = NetBuilder("fig1-prefetch")
+    add_prefetch_stage(builder, config)
+    if standalone:
+        builder.event(
+            "consume_decoded",
+            inputs={"Decoded_instruction": 1},
+            outputs={"Decoder_ready": 1},
+            firing_time=config.decode_cycles,
+            description="harness: drain decoded instructions",
+        )
+    return builder.build()

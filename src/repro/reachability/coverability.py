@@ -1,0 +1,182 @@
+"""Karp-Miller coverability analysis for nets without inhibitor arcs.
+
+The explicit reachability builders enumerate states and therefore diverge
+on unbounded nets (they stop at the state cap). The classical
+Karp-Miller construction instead *finitely* decides boundedness by
+accelerating strictly-growing paths to the symbolic token count ω
+("arbitrarily many"): if a new marking strictly dominates an ancestor on
+the same path, every strictly larger place is pumped to ω.
+
+Inhibitor arcs break the monotonicity argument the construction relies
+on, so nets containing them are rejected (the bounded pipeline models
+are analyzed exactly by :mod:`repro.reachability.untimed` instead).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.errors import ReachabilityError, StateSpaceLimitError
+from ..core.marking import Marking
+from ..core.net import PetriNet
+
+#: The symbolic "arbitrarily many tokens" value.
+OMEGA = math.inf
+
+
+@dataclass(frozen=True)
+class OmegaMarking:
+    """A marking whose counts may be ω (math.inf)."""
+
+    counts: tuple[tuple[str, float], ...]
+
+    @staticmethod
+    def of(values: dict[str, float]) -> "OmegaMarking":
+        cleaned = {p: v for p, v in values.items() if v != 0}
+        return OmegaMarking(tuple(sorted(cleaned.items())))
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.counts)
+
+    def __getitem__(self, place: str) -> float:
+        return dict(self.counts).get(place, 0)
+
+    def dominates(self, other: "OmegaMarking") -> bool:
+        mine = self.as_dict()
+        theirs = other.as_dict()
+        return all(mine.get(p, 0) >= v for p, v in theirs.items())
+
+    def strictly_dominates(self, other: "OmegaMarking") -> bool:
+        return self.dominates(other) and self != other
+
+    def omega_places(self) -> set[str]:
+        return {p for p, v in self.counts if v == OMEGA}
+
+    def pretty(self) -> str:
+        if not self.counts:
+            return "(empty)"
+        return " ".join(
+            f"{p}={'w' if v == OMEGA else int(v)}" for p, v in self.counts
+        )
+
+
+@dataclass
+class CoverabilityNode:
+    """One node of the Karp-Miller tree."""
+
+    marking: OmegaMarking
+    parent: int | None
+    via: str | None
+    children: list[int] = field(default_factory=list)
+
+
+def _enabled(net: PetriNet, marking: OmegaMarking, transition: str) -> bool:
+    m = marking.as_dict()
+    return all(m.get(p, 0) >= w for p, w in net.inputs_of(transition).items())
+
+
+def _fire(net: PetriNet, marking: OmegaMarking, transition: str) -> OmegaMarking:
+    m = marking.as_dict()
+    for p, w in net.inputs_of(transition).items():
+        if m.get(p, 0) != OMEGA:
+            m[p] = m.get(p, 0) - w
+    for p, w in net.outputs_of(transition).items():
+        if m.get(p, 0) != OMEGA:
+            m[p] = m.get(p, 0) + w
+    return OmegaMarking.of(m)
+
+
+def build_coverability_tree(
+    net: PetriNet,
+    initial: Marking | None = None,
+    max_nodes: int = 50_000,
+) -> list[CoverabilityNode]:
+    """The Karp-Miller tree (as a node list with parent/child links).
+
+    Raises :class:`ReachabilityError` for nets with inhibitor arcs and
+    :class:`StateSpaceLimitError` if ``max_nodes`` is exceeded (the tree
+    itself is always finite, but adversarial nets can make it enormous).
+    """
+    for t in net.transition_names():
+        if net.inhibitors_of(t):
+            raise ReachabilityError(
+                "coverability analysis requires a net without inhibitor "
+                f"arcs; transition {t!r} has one"
+            )
+    start = initial if initial is not None else net.initial_marking()
+    root = OmegaMarking.of({p: float(n) for p, n in start.items()})
+    nodes: list[CoverabilityNode] = [CoverabilityNode(root, None, None)]
+    seen: dict[OmegaMarking, int] = {root: 0}
+    queue: deque[int] = deque([0])
+
+    while queue:
+        index = queue.popleft()
+        marking = nodes[index].marking
+        for t in net.transition_names():
+            if not _enabled(net, marking, t):
+                continue
+            successor = _fire(net, marking, t)
+            # Acceleration: pump places that strictly grew along the path.
+            ancestor_index: int | None = index
+            pumped = successor.as_dict()
+            accelerated = False
+            while ancestor_index is not None:
+                ancestor = nodes[ancestor_index].marking
+                if successor.strictly_dominates(ancestor):
+                    for p, v in pumped.items():
+                        if v != OMEGA and v > ancestor[p]:
+                            pumped[p] = OMEGA
+                            accelerated = True
+                ancestor_index = nodes[ancestor_index].parent
+            if accelerated:
+                successor = OmegaMarking.of(pumped)
+            if successor in seen:
+                # Still record the edge for liveness-style queries.
+                nodes[index].children.append(seen[successor])
+                continue
+            if len(nodes) >= max_nodes:
+                raise StateSpaceLimitError(max_nodes)
+            node_id = len(nodes)
+            nodes.append(CoverabilityNode(successor, index, t))
+            nodes[index].children.append(node_id)
+            seen[successor] = node_id
+            queue.append(node_id)
+    return nodes
+
+
+def unbounded_places(
+    net: PetriNet, initial: Marking | None = None, max_nodes: int = 50_000
+) -> set[str]:
+    """Places that can grow without bound (ω somewhere in the tree)."""
+    nodes = build_coverability_tree(net, initial, max_nodes)
+    out: set[str] = set()
+    for node in nodes:
+        out |= node.marking.omega_places()
+    return out
+
+
+def structural_bounds(
+    net: PetriNet, initial: Marking | None = None, max_nodes: int = 50_000
+) -> dict[str, float]:
+    """Per-place suprema over the coverability tree (ω = unbounded).
+
+    For bounded nets these match :func:`~repro.reachability.properties.
+    place_bounds`; for unbounded ones this terminates where explicit
+    enumeration cannot.
+    """
+    nodes = build_coverability_tree(net, initial, max_nodes)
+    bounds: dict[str, float] = {p: 0.0 for p in net.place_names()}
+    for node in nodes:
+        for p, v in node.marking.counts:
+            if v > bounds.get(p, 0.0):
+                bounds[p] = v
+    return bounds
+
+
+def is_structurally_bounded(
+    net: PetriNet, initial: Marking | None = None, max_nodes: int = 50_000
+) -> bool:
+    """True iff no place can grow without bound from the initial marking."""
+    return not unbounded_places(net, initial, max_nodes)

@@ -1,0 +1,286 @@
+"""Branching-time temporal logic over reachability graphs (paper §4.4).
+
+The [MR87] reachability graph analyzer "allows users to enter high-level
+specification of the expected behavior of a system in first-order
+predicate calculus and in branching time temporal logic" and checks *all
+possible behaviors* against it. This module provides:
+
+* the classical CTL satisfaction-set operators (EX/EF/EG/EU and their
+  universal duals) as explicit fixpoint computations over a
+  :class:`~repro.reachability.graph.ReachabilityGraph`;
+* :class:`RgChecker`, which evaluates the *same query language* tracertool
+  uses on traces (``forall``/``exists``/``inev``) against the graph — the
+  same question asked of one trace can be *proved* over all behaviours.
+
+Deadlock states are treated as stuttering (an implicit self-loop), the
+usual convention that keeps AF/EG well-defined on finite graphs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from ..core.errors import QueryEvaluationError
+from ..core.marking import Marking
+from ..core.net import PetriNet
+from ..analysis.query.parser import (
+    AllStates,
+    Apply,
+    BinOp,
+    BoolLit,
+    Compare,
+    Expr,
+    Inev,
+    Logic,
+    Not,
+    Num,
+    Quantifier,
+    SetComprehension,
+    SetDiff,
+    SetExpr,
+    SetLiteral,
+    parse_query,
+)
+from .graph import ReachabilityGraph
+
+StatePredicate = Callable[[Marking], bool]
+
+
+class CtlChecker:
+    """CTL satisfaction sets over an (untimed) reachability graph."""
+
+    def __init__(self, graph: ReachabilityGraph) -> None:
+        self.graph = graph
+        self._all = set(graph.node_ids())
+        # Successor map with stuttering at deadlocks.
+        self._succ: dict[int, list[int]] = {}
+        self._pred: dict[int, list[int]] = {n: [] for n in self._all}
+        for node in self._all:
+            targets = [e.target for e in graph.successors(node)] or [node]
+            self._succ[node] = targets
+            for target in targets:
+                self._pred[target].append(node)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _as_set(self, states: Iterable[int] | StatePredicate) -> set[int]:
+        if callable(states):
+            return {
+                n for n in self._all
+                if states(self.graph.state_of(n))  # type: ignore[arg-type]
+            }
+        return set(states)
+
+    # -- existential operators ---------------------------------------------------
+
+    def ex(self, phi: Iterable[int] | StatePredicate) -> set[int]:
+        """EX phi: some successor satisfies phi."""
+        target = self._as_set(phi)
+        return {n for n in self._all if any(s in target for s in self._succ[n])}
+
+    def eu(self, phi: Iterable[int] | StatePredicate,
+           psi: Iterable[int] | StatePredicate) -> set[int]:
+        """E[phi U psi]: some path keeps phi until psi holds."""
+        phi_set = self._as_set(phi)
+        sat = set(self._as_set(psi))
+        frontier = list(sat)
+        while frontier:
+            node = frontier.pop()
+            for pred in self._pred[node]:
+                if pred not in sat and pred in phi_set:
+                    sat.add(pred)
+                    frontier.append(pred)
+        return sat
+
+    def ef(self, phi: Iterable[int] | StatePredicate) -> set[int]:
+        """EF phi: phi reachable along some path."""
+        return self.eu(self._all, phi)
+
+    def eg(self, phi: Iterable[int] | StatePredicate) -> set[int]:
+        """EG phi: some path satisfies phi forever (greatest fixpoint)."""
+        sat = set(self._as_set(phi))
+        changed = True
+        while changed:
+            changed = False
+            for node in list(sat):
+                if not any(s in sat for s in self._succ[node]):
+                    sat.discard(node)
+                    changed = True
+        return sat
+
+    # -- universal operators (duals) ------------------------------------------------
+
+    def ax(self, phi: Iterable[int] | StatePredicate) -> set[int]:
+        """AX phi: every successor satisfies phi."""
+        target = self._as_set(phi)
+        return {n for n in self._all if all(s in target for s in self._succ[n])}
+
+    def af(self, phi: Iterable[int] | StatePredicate) -> set[int]:
+        """AF phi: phi inevitable on every path."""
+        return self._all - self.eg(self._all - self._as_set(phi))
+
+    def ag(self, phi: Iterable[int] | StatePredicate) -> set[int]:
+        """AG phi: phi holds on every reachable state of every path."""
+        return self._all - self.ef(self._all - self._as_set(phi))
+
+    def au(self, phi: Iterable[int] | StatePredicate,
+           psi: Iterable[int] | StatePredicate) -> set[int]:
+        """A[phi U psi] via the standard least fixpoint."""
+        phi_set = self._as_set(phi)
+        sat = set(self._as_set(psi))
+        changed = True
+        while changed:
+            changed = False
+            for node in self._all - sat:
+                if node in phi_set and all(s in sat for s in self._succ[node]):
+                    sat.add(node)
+                    changed = True
+        return sat
+
+    # -- top-level convenience ----------------------------------------------------
+
+    def holds_initially(self, sat: set[int]) -> bool:
+        return self.graph.initial in sat
+
+
+class RgChecker:
+    """Evaluate the §4.4 query language over a reachability graph.
+
+    Probes resolve against markings: a place name yields its token count;
+    a transition name yields 1/0 for enabled/disabled (``net`` required
+    for transition probes). ``inev(s, P, Q)`` means ``A[Q U P]`` from the
+    bound state — a *proof* over all interleavings rather than a test of
+    one trace.
+    """
+
+    def __init__(self, graph: ReachabilityGraph, net: PetriNet | None = None):
+        self.graph = graph
+        self.net = net
+        self.ctl = CtlChecker(graph)
+        self._inev_cache: dict[int, set[int]] = {}
+
+    # -- probing ---------------------------------------------------------------
+
+    def probe(self, name: str, node: int) -> float:
+        state = self.graph.state_of(node)
+        if not isinstance(state, Marking):
+            raise QueryEvaluationError(
+                "RgChecker expects an untimed (marking) graph"
+            )
+        if name in state:
+            return float(state[name])
+        if self.net is not None:
+            if name in self.net.places:
+                return float(state[name])
+            if name in self.net.transitions:
+                return 1.0 if self.net.is_marking_enabled(name, state) else 0.0
+        return float(state[name])
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def check(self, query: str) -> bool:
+        ast = parse_query(query)
+        value = self._eval(ast, {})
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)):
+            return value != 0
+        raise QueryEvaluationError(f"query produced non-boolean {value!r}")
+
+    def satisfaction_set(self, query: str, var: str = "s") -> set[int]:
+        """Nodes where the body holds with ``var`` bound to the node."""
+        ast = parse_query(query)
+        return {
+            n for n in self.graph.node_ids()
+            if self._truthy(self._eval(ast, {var: n}))
+        }
+
+    def _truthy(self, value) -> bool:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)):
+            return value != 0
+        raise QueryEvaluationError(f"non-boolean condition {value!r}")
+
+    def _eval(self, node: Expr, bindings: dict[str, int]):
+        if isinstance(node, Num):
+            return node.value
+        if isinstance(node, BoolLit):
+            return node.value
+        if isinstance(node, Apply):
+            bound = bindings.get(node.state_var)
+            if bound is None:
+                raise QueryEvaluationError(
+                    f"unbound state variable {node.state_var!r}"
+                )
+            return self.probe(node.probe, bound)
+        if isinstance(node, BinOp):
+            left = self._eval(node.left, bindings)
+            right = self._eval(node.right, bindings)
+            ops = {"+": lambda: left + right, "-": lambda: left - right,
+                   "*": lambda: left * right, "/": lambda: left / right}
+            return ops[node.op]()
+        if isinstance(node, Compare):
+            left = self._eval(node.left, bindings)
+            right = self._eval(node.right, bindings)
+            ops = {"=": left == right, "!=": left != right, "<": left < right,
+                   "<=": left <= right, ">": left > right, ">=": left >= right}
+            return ops[node.op]
+        if isinstance(node, Not):
+            return not self._truthy(self._eval(node.operand, bindings))
+        if isinstance(node, Logic):
+            left = self._truthy(self._eval(node.left, bindings))
+            if node.op == "and":
+                return left and self._truthy(self._eval(node.right, bindings))
+            return left or self._truthy(self._eval(node.right, bindings))
+        if isinstance(node, Quantifier):
+            domain = self._eval_set(node.source, bindings)
+            values = (
+                self._truthy(self._eval(node.body, {**bindings, node.var: n}))
+                for n in domain
+            )
+            return all(values) if node.kind == "forall" else any(values)
+        if isinstance(node, Inev):
+            return self._eval_inev(node, bindings)
+        raise QueryEvaluationError(f"cannot evaluate node {node!r}")
+
+    def _eval_inev(self, node: Inev, bindings: dict[str, int]) -> bool:
+        origin = bindings.get(node.state_var)
+        if origin is None:
+            raise QueryEvaluationError(
+                f"unbound state variable {node.state_var!r} in inev(...)"
+            )
+        key = id(node)
+        if key not in self._inev_cache:
+            target = {
+                n for n in self.graph.node_ids()
+                if self._truthy(self._eval(node.target, {"C": n}))
+            }
+            constraint = {
+                n for n in self.graph.node_ids()
+                if self._truthy(self._eval(node.constraint, {"C": n}))
+            }
+            self._inev_cache[key] = self.ctl.au(constraint, target)
+        return origin in self._inev_cache[key]
+
+    def _eval_set(self, node: SetExpr, bindings: dict[str, int]) -> list[int]:
+        if isinstance(node, AllStates):
+            return list(self.graph.node_ids())
+        if isinstance(node, SetLiteral):
+            for index in node.indices:
+                if not 0 <= index < len(self.graph):
+                    raise QueryEvaluationError(
+                        f"state #{index} out of range"
+                    )
+            return list(node.indices)
+        if isinstance(node, SetDiff):
+            right = set(self._eval_set(node.right, bindings))
+            return [n for n in self._eval_set(node.left, bindings)
+                    if n not in right]
+        if isinstance(node, SetComprehension):
+            return [
+                n for n in self._eval_set(node.source, bindings)
+                if self._truthy(self._eval(node.predicate,
+                                           {**bindings, node.var: n}))
+            ]
+        raise QueryEvaluationError(f"cannot evaluate set {node!r}")

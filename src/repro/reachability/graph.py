@@ -1,0 +1,183 @@
+"""Reachability graph data structure shared by the analyzers.
+
+Nodes are states (markings for the untimed analyzer [MR87]; timed
+configurations for the timed analyzer [RP84]); edges carry the fired
+transition (or a time advance) and a duration. The graph is the substrate
+for the property checks (:mod:`repro.reachability.properties`) and the
+branching-time temporal-logic checker (:mod:`repro.reachability.ctl`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Iterator
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge: ``source --label/duration--> target`` (node ids)."""
+
+    source: int
+    target: int
+    label: str
+    duration: float = 0.0
+
+
+@dataclass
+class ReachabilityGraph:
+    """An explicit state graph with O(1) id<->state lookup."""
+
+    states: list[Hashable] = field(default_factory=list)
+    edges: list[Edge] = field(default_factory=list)
+    initial: int = 0
+    complete: bool = True  # False when exploration hit the state cap
+
+    _index: dict[Hashable, int] = field(default_factory=dict, repr=False)
+    _successors: dict[int, list[Edge]] = field(default_factory=dict, repr=False)
+    _predecessors: dict[int, list[Edge]] = field(default_factory=dict, repr=False)
+
+    # -- construction ------------------------------------------------------
+
+    def add_state(self, state: Hashable) -> tuple[int, bool]:
+        """Intern a state; returns (id, was_new)."""
+        existing = self._index.get(state)
+        if existing is not None:
+            return existing, False
+        node_id = len(self.states)
+        self.states.append(state)
+        self._index[state] = node_id
+        self._successors[node_id] = []
+        self._predecessors[node_id] = []
+        return node_id, True
+
+    def add_edge(self, source: int, target: int, label: str,
+                 duration: float = 0.0) -> Edge:
+        edge = Edge(source, target, label, duration)
+        self.edges.append(edge)
+        self._successors[source].append(edge)
+        self._predecessors[target].append(edge)
+        return edge
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def id_of(self, state: Hashable) -> int | None:
+        return self._index.get(state)
+
+    def state_of(self, node_id: int) -> Hashable:
+        return self.states[node_id]
+
+    def successors(self, node_id: int) -> list[Edge]:
+        return self._successors.get(node_id, [])
+
+    def predecessors(self, node_id: int) -> list[Edge]:
+        return self._predecessors.get(node_id, [])
+
+    def out_degree(self, node_id: int) -> int:
+        return len(self._successors.get(node_id, []))
+
+    def node_ids(self) -> range:
+        return range(len(self.states))
+
+    def deadlocks(self) -> list[int]:
+        """States with no outgoing edges."""
+        return [n for n in self.node_ids() if not self._successors.get(n)]
+
+    def edge_labels(self) -> set[str]:
+        return {e.label for e in self.edges}
+
+    def states_where(self, predicate: Callable[[Hashable], bool]) -> list[int]:
+        return [n for n in self.node_ids() if predicate(self.states[n])]
+
+    # -- traversal ----------------------------------------------------------
+
+    def bfs_order(self, start: int | None = None) -> Iterator[int]:
+        """Breadth-first node order from ``start`` (default: initial)."""
+        from collections import deque
+
+        origin = self.initial if start is None else start
+        seen = {origin}
+        queue = deque([origin])
+        while queue:
+            node = queue.popleft()
+            yield node
+            for edge in self._successors.get(node, []):
+                if edge.target not in seen:
+                    seen.add(edge.target)
+                    queue.append(edge.target)
+
+    def reachable_from(self, start: int | None = None) -> set[int]:
+        return set(self.bfs_order(start))
+
+    def path_to(self, target: int, start: int | None = None) -> list[Edge] | None:
+        """A shortest (fewest-edges) path, or None if unreachable."""
+        from collections import deque
+
+        origin = self.initial if start is None else start
+        if origin == target:
+            return []
+        parent: dict[int, Edge] = {}
+        seen = {origin}
+        queue = deque([origin])
+        while queue:
+            node = queue.popleft()
+            for edge in self._successors.get(node, []):
+                if edge.target in seen:
+                    continue
+                parent[edge.target] = edge
+                if edge.target == target:
+                    path = [edge]
+                    while path[0].source != origin:
+                        path.insert(0, parent[path[0].source])
+                    return path
+                seen.add(edge.target)
+                queue.append(edge.target)
+        return None
+
+    def min_time_to(
+        self, predicate: Callable[[Hashable], bool], start: int | None = None
+    ) -> float | None:
+        """Earliest cumulative edge duration to reach a matching state.
+
+        Dijkstra over edge durations — the timed graph's timing
+        verification primitive ("how soon can the bus be free again?").
+        """
+        import heapq
+
+        origin = self.initial if start is None else start
+        best: dict[int, float] = {origin: 0.0}
+        heap: list[tuple[float, int]] = [(0.0, origin)]
+        while heap:
+            time, node = heapq.heappop(heap)
+            if time > best.get(node, float("inf")):
+                continue
+            if predicate(self.states[node]):
+                return time
+            for edge in self._successors.get(node, []):
+                candidate = time + edge.duration
+                if candidate < best.get(edge.target, float("inf")):
+                    best[edge.target] = candidate
+                    heapq.heappush(heap, (candidate, edge.target))
+        return None
+
+    def to_networkx(self):
+        """Export as a networkx MultiDiGraph (layout, SCCs, dot export)."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph()
+        for node in self.node_ids():
+            graph.add_node(node, state=self.states[node])
+        for edge in self.edges:
+            graph.add_edge(edge.source, edge.target, label=edge.label,
+                           duration=edge.duration)
+        return graph
+
+    def summary(self) -> str:
+        dead = len(self.deadlocks())
+        return (
+            f"{len(self.states)} states, {len(self.edges)} edges, "
+            f"{dead} deadlock state(s)"
+            + ("" if self.complete else " [TRUNCATED at state cap]")
+        )

@@ -1,0 +1,277 @@
+"""Analytical performance evaluation via the timed reachability graph.
+
+The paper's §5 notes that "Other tools support analytical (as opposed to
+simulation) performance evaluation". For nets with *constant* delays and
+probabilistic frequencies, the timed reachability graph is a semi-Markov
+process:
+
+* a state with startable transitions branches instantaneously; the branch
+  probabilities come from the relative firing frequencies renormalized
+  over the startable set (exactly the simulator's WPS86 rule);
+* a state with no startable transitions has a single time-advance edge
+  whose duration is its sojourn time;
+* terminal states (deadlocks) are absorbing.
+
+Solving the embedded discrete-time chain for its stationary distribution
+and weighting by sojourn times yields *exact* steady-state quantities —
+time-averaged tokens per place and throughput per transition — the same
+columns the stat tool estimates from one simulation run. Comparing the
+two is a strong end-to-end validation: the simulator and the analyzer
+implement the same semantics through entirely different code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.errors import ReachabilityError
+from ..core.marking import Marking
+from ..core.net import PetriNet
+from .graph import ReachabilityGraph
+from .timed import ADVANCE, TimedExplorer, TimedState, build_timed_graph
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """Analytical steady-state results for one net."""
+
+    place_averages: dict[str, float]
+    transition_throughputs: dict[str, float]
+    mean_cycle_time: float
+    states: int
+    absorbing: bool = False
+
+    def utilization(self, place: str) -> float:
+        return self.place_averages.get(place, 0.0)
+
+    def throughput(self, transition: str) -> float:
+        return self.transition_throughputs.get(transition, 0.0)
+
+    def pretty(self) -> str:
+        lines = [f"steady state over {self.states} timed states"]
+        if self.absorbing:
+            lines.append("  (chain absorbs: averages are pre-absorption)")
+        lines.append("  place averages:")
+        for name, value in sorted(self.place_averages.items()):
+            if value > 1e-12:
+                lines.append(f"    {name}: {value:.6f}")
+        lines.append("  transition throughputs:")
+        for name, value in sorted(self.transition_throughputs.items()):
+            if value > 1e-12:
+                lines.append(f"    {name}: {value:.6f}")
+        return "\n".join(lines)
+
+
+def _edge_probabilities(
+    graph: ReachabilityGraph, net: PetriNet, node: int
+) -> list[tuple[float, "object"]]:
+    """(probability, edge) pairs for one state's outgoing edges."""
+    edges = graph.successors(node)
+    if not edges:
+        return []
+    if len(edges) == 1:
+        return [(1.0, edges[0])]
+    # Probabilistic choice among startable transitions (no advance edge
+    # can coexist with choice edges by construction).
+    frequencies = []
+    for edge in edges:
+        if edge.label == ADVANCE:
+            raise ReachabilityError(
+                "timed graph mixes advance and choice edges; "
+                "this should be impossible"
+            )
+        frequencies.append(net.transition(edge.label).frequency)
+    total = sum(frequencies)
+    return [(f / total, e) for f, e in zip(frequencies, edges)]
+
+
+def steady_state(
+    net: PetriNet,
+    max_states: int = 50_000,
+    graph: ReachabilityGraph | None = None,
+) -> SteadyState:
+    """Solve the semi-Markov process of the timed reachability graph.
+
+    Requires constant delays (enforced by the timed graph builder) and a
+    finite state space. For nets with absorbing deadlocks the embedded
+    chain's stationary vector concentrates on the absorbing states; the
+    result is flagged ``absorbing`` and the time-averages are taken over
+    the recurrent part.
+    """
+    if graph is None:
+        graph = build_timed_graph(net, max_states=max_states)
+    if not graph.complete:
+        raise ReachabilityError("timed graph truncated; increase max_states")
+    n = len(graph)
+    if n == 0:
+        raise ReachabilityError("empty state space")
+
+    # Embedded DTMC transition matrix (sparse: the timed graph averages
+    # under two edges per state).
+    from scipy import sparse
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    sojourn = np.zeros(n)
+    deadlocks: set[int] = set()
+    for node in graph.node_ids():
+        pairs = _edge_probabilities(graph, net, node)
+        if not pairs:
+            rows.append(node)
+            cols.append(node)
+            vals.append(1.0)  # absorbing deadlock
+            deadlocks.add(node)
+            continue
+        for p, edge in pairs:
+            rows.append(node)
+            cols.append(edge.target)
+            vals.append(p)
+            sojourn[node] += p * edge.duration
+    probability = sparse.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+    pi = _stationary_distribution(probability, graph.initial)
+
+    weights = pi * sojourn
+    total_time = float(weights.sum())
+    absorbing = bool(
+        total_time <= 0
+        or any(pi[node] > 1e-9 for node in deadlocks)
+    )
+    if total_time <= 0:
+        # All stationary mass sits on zero-sojourn states. If those are
+        # deadlocks, the long-run time average IS the absorbing marking
+        # (the chain spends almost all time stuck there) and every
+        # throughput is zero. Otherwise the model loops through immediate
+        # states forever, which has no meaningful time average.
+        mass_on_deadlocks = sum(pi[node] for node in deadlocks)
+        if mass_on_deadlocks <= 0:
+            raise ReachabilityError(
+                "all stationary mass sits on zero-sojourn states; the net "
+                "has no recurrent timed behaviour"
+            )
+        place_avgs = {p: 0.0 for p in net.place_names()}
+        for node in deadlocks:
+            if pi[node] <= 0:
+                continue
+            state = graph.state_of(node)
+            assert isinstance(state, TimedState)
+            for p in state.marking:
+                place_avgs[p] += (pi[node] / mass_on_deadlocks
+                                  * state.marking[p])
+        return SteadyState(
+            place_averages=place_avgs,
+            transition_throughputs={t: 0.0 for t in net.transition_names()},
+            mean_cycle_time=float("inf"),
+            states=n,
+            absorbing=True,
+        )
+
+    # Time-averaged tokens per place.
+    place_names = net.place_names()
+    place_avgs = {p: 0.0 for p in place_names}
+    for node in range(n):
+        weight = weights[node]
+        if weight <= 0:
+            continue
+        state = graph.state_of(node)
+        assert isinstance(state, TimedState)
+        for p in state.marking:
+            place_avgs[p] += weight * state.marking[p]
+    for p in place_avgs:
+        place_avgs[p] /= total_time
+
+    # Throughputs: expected traversals of t-labeled edges per unit time.
+    throughputs = {t: 0.0 for t in net.transition_names()}
+    for node in range(n):
+        if pi[node] <= 0:
+            continue
+        for p, edge in _edge_probabilities(graph, net, node):
+            if edge.label != ADVANCE:
+                throughputs[edge.label] += pi[node] * p
+    for t in throughputs:
+        throughputs[t] /= total_time
+
+    mean_cycle = total_time / float(pi.sum()) if pi.sum() else 0.0
+    return SteadyState(
+        place_averages=place_avgs,
+        transition_throughputs=throughputs,
+        mean_cycle_time=mean_cycle,
+        states=n,
+        absorbing=absorbing,
+    )
+
+
+def _stationary_distribution(P, initial: int) -> np.ndarray:
+    """Stationary vector of the embedded chain (sparse).
+
+    Power iteration from the initial state drains transient mass and
+    identifies the recurrent class actually reached; a sparse direct
+    solve of ``pi (P - I) = 0, sum(pi) = 1`` restricted to that support
+    then gives the exact stationary vector. Falls back to the averaged
+    power iterates if the restricted system is singular (e.g. periodic
+    or multi-class supports).
+    """
+    from scipy import sparse
+    from scipy.sparse import linalg as splinalg
+
+    n = P.shape[0]
+    pi = np.zeros(n)
+    pi[initial] = 1.0
+    accumulator = np.zeros(n)
+    steps = min(max(200, n // 4), 1500)
+    for _ in range(steps):
+        pi = pi @ P  # csr row-vector product stays sparse-fast
+        pi = np.asarray(pi).ravel()
+        accumulator += pi
+    averaged = accumulator / accumulator.sum()
+
+    support = np.where(averaged > 1e-14)[0]
+    if len(support) == 0:
+        return averaged
+    sub = P[np.ix_(support, support)] if not sparse.issparse(P) else \
+        P[support, :][:, support]
+    k = len(support)
+    # Solve (sub^T - I) x = 0 with the last equation replaced by sum = 1.
+    A = (sub.T - sparse.identity(k, format="csr")).tolil()
+    A[k - 1, :] = 1.0
+    b = np.zeros(k)
+    b[k - 1] = 1.0
+    try:
+        solution = splinalg.spsolve(A.tocsr(), b)
+    except Exception:  # singular: fall back to the averaged iterates
+        return averaged
+    if not np.all(np.isfinite(solution)) or solution.min() < -1e-6:
+        return averaged
+    refined = np.zeros(n)
+    refined[support] = np.clip(solution, 0, None)
+    total = refined.sum()
+    if total <= 0:
+        return averaged
+    return refined / total
+
+
+def analytic_figure5(
+    net: PetriNet, max_states: int = 50_000
+) -> SteadyState:
+    """Convenience alias: the analytical counterpart of the stat tool."""
+    return steady_state(net, max_states=max_states)
+
+
+def compare_with_simulation(
+    analytic: SteadyState,
+    simulated_places: dict[str, float],
+    simulated_throughputs: dict[str, float],
+) -> list[tuple[str, float, float]]:
+    """(name, analytic, simulated) rows for every overlapping quantity."""
+    rows = []
+    for name, value in sorted(analytic.place_averages.items()):
+        if name in simulated_places:
+            rows.append((f"place {name}", value, simulated_places[name]))
+    for name, value in sorted(analytic.transition_throughputs.items()):
+        if name in simulated_throughputs:
+            rows.append((f"throughput {name}", value,
+                         simulated_throughputs[name]))
+    return rows

@@ -1,0 +1,193 @@
+"""Classical net properties derived from the untimed reachability graph.
+
+These are the "prove" counterparts (paper §4.4, [MR87]) of tracertool's
+trace tests: boundedness, safety, deadlock freedom, transition liveness,
+home states / reversibility, and exhaustive invariant verification.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..core.invariants import Invariant
+from ..core.marking import Marking
+from ..core.net import PetriNet
+from .graph import ReachabilityGraph
+from .untimed import build_untimed_graph
+
+
+def _markings(graph: ReachabilityGraph) -> list[Marking]:
+    out = []
+    for state in graph.states:
+        if not isinstance(state, Marking):
+            raise TypeError(
+                "property analysis expects an untimed (marking) graph"
+            )
+        out.append(state)
+    return out
+
+
+def place_bounds(graph: ReachabilityGraph) -> dict[str, tuple[int, int]]:
+    """Per-place (min, max) token counts over all reachable markings."""
+    bounds: dict[str, tuple[int, int]] = {}
+    for marking in _markings(graph):
+        for place in set(marking) | set(bounds):
+            count = marking[place]
+            low, high = bounds.get(place, (count, count))
+            bounds[place] = (min(low, count), max(high, count))
+    return bounds
+
+
+def is_safe(graph: ReachabilityGraph) -> bool:
+    """1-bounded: no place ever holds more than one token."""
+    return all(high <= 1 for _, high in place_bounds(graph).values())
+
+
+def is_bounded(graph: ReachabilityGraph, bound: int) -> bool:
+    """k-bounded over the explored graph (meaningful when complete)."""
+    return all(high <= bound for _, high in place_bounds(graph).values())
+
+
+def deadlock_markings(graph: ReachabilityGraph) -> list[Marking]:
+    return [graph.state_of(n) for n in graph.deadlocks()]  # type: ignore[misc]
+
+
+def quasi_live_transitions(graph: ReachabilityGraph) -> set[str]:
+    """Transitions that fire at least once somewhere (L1-live)."""
+    return graph.edge_labels()
+
+
+def dead_transitions(net: PetriNet, graph: ReachabilityGraph) -> set[str]:
+    """Transitions that can never fire from the initial marking."""
+    return set(net.transition_names()) - quasi_live_transitions(graph)
+
+
+def live_transitions(net: PetriNet, graph: ReachabilityGraph) -> set[str]:
+    """Fully live (L4) transitions: from *every* reachable state, a state
+    enabling the transition remains reachable."""
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(graph.node_ids())
+    nxg.add_edges_from((e.source, e.target) for e in graph.edges)
+    reverse = nxg.reverse(copy=False)
+    all_nodes = set(graph.node_ids())
+    live: set[str] = set()
+    for name in net.transition_names():
+        enabled_at = {
+            n for n in graph.node_ids()
+            if net.is_marking_enabled(name, graph.state_of(n))  # type: ignore[arg-type]
+        }
+        if not enabled_at:
+            continue
+        can_reach = set(enabled_at)
+        for seed in enabled_at:
+            can_reach |= nx.descendants(reverse, seed)
+            if can_reach == all_nodes:
+                break
+        if can_reach == all_nodes:
+            live.add(name)
+    return live
+
+
+def home_states(graph: ReachabilityGraph) -> list[int]:
+    """States reachable from every reachable state.
+
+    These are exactly the members of the unique sink SCC of the graph's
+    condensation (none exist when there are several sinks).
+    """
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(graph.node_ids())
+    nxg.add_edges_from((e.source, e.target) for e in graph.edges)
+    condensation = nx.condensation(nxg)
+    sinks = [n for n in condensation.nodes if condensation.out_degree(n) == 0]
+    if len(sinks) != 1:
+        return []
+    return sorted(condensation.nodes[sinks[0]]["members"])
+
+
+def is_reversible(graph: ReachabilityGraph) -> bool:
+    """The initial marking is a home state."""
+    return graph.initial in home_states(graph)
+
+
+def verify_invariant(
+    graph: ReachabilityGraph, weights: Mapping[str, int], expected: int
+) -> tuple[bool, Marking | None]:
+    """Prove (over all reachable markings) a weighted token-sum invariant.
+
+    Returns (holds, first_violating_marking). This is the RG-analyzer
+    proof of the property tracertool only tests:
+    ``Bus_busy(s) + Bus_free(s) = 1`` for all reachable s.
+    """
+    for marking in _markings(graph):
+        value = sum(w * marking[p] for p, w in weights.items())
+        if value != expected:
+            return False, marking
+    return True, None
+
+
+def verify_p_invariant(
+    graph: ReachabilityGraph, invariant: Invariant
+) -> tuple[bool, Marking | None]:
+    """Verify a computed P-invariant against the explored state space."""
+    markings = _markings(graph)
+    if not markings:
+        return True, None
+    initial = graph.state_of(graph.initial)
+    expected = sum(
+        w * initial[p] for p, w in invariant.weights.items()  # type: ignore[index]
+    )
+    return verify_invariant(graph, invariant.weights, expected)
+
+
+@dataclass(frozen=True)
+class NetProperties:
+    """A one-shot property report for a net."""
+
+    states: int
+    edges: int
+    complete: bool
+    bounded_at: int
+    safe: bool
+    deadlock_count: int
+    dead_transitions: frozenset[str]
+    live_transitions: frozenset[str]
+    reversible: bool
+    has_home_state: bool
+
+    def pretty(self) -> str:
+        lines = [
+            f"states: {self.states} ({'complete' if self.complete else 'TRUNCATED'})",
+            f"edges: {self.edges}",
+            f"max bound: {self.bounded_at} ({'safe' if self.safe else 'not safe'})",
+            f"deadlocks: {self.deadlock_count}",
+            f"dead transitions: {sorted(self.dead_transitions) or 'none'}",
+            f"live transitions: {sorted(self.live_transitions) or 'none'}",
+            f"reversible: {self.reversible}",
+            f"home state exists: {self.has_home_state}",
+        ]
+        return "\n".join(lines)
+
+
+def analyze_net(
+    net: PetriNet, max_states: int = 100_000, strict: bool = True
+) -> NetProperties:
+    """Build the untimed graph and compute the standard property bundle."""
+    graph = build_untimed_graph(net, max_states=max_states, strict=strict)
+    bounds = place_bounds(graph)
+    max_bound = max((high for _, high in bounds.values()), default=0)
+    homes = home_states(graph)
+    return NetProperties(
+        states=len(graph),
+        edges=len(graph.edges),
+        complete=graph.complete,
+        bounded_at=max_bound,
+        safe=max_bound <= 1,
+        deadlock_count=len(graph.deadlocks()),
+        dead_transitions=frozenset(dead_transitions(net, graph)),
+        live_transitions=frozenset(live_transitions(net, graph)),
+        reversible=graph.initial in homes,
+        has_home_state=bool(homes),
+    )

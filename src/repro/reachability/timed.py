@@ -1,0 +1,222 @@
+"""Timed reachability graph construction (paper §4, [RP84]).
+
+A timed state is a marking plus the *residual clocks*: the remaining
+firing times of in-flight transitions and the remaining enabling delays
+of enabled-but-waiting transitions. Exploration branches over every
+startable transition (the choices the simulator resolves randomly) and
+advances time deterministically to the next clock expiry otherwise, so
+the graph contains every timed behaviour of the net.
+
+Requirements and abstractions:
+
+* All delays must be **constant** (the paper's processor models are);
+  stochastic delays make the timed state space uncountable.
+* Predicates/actions are abstracted (see the untimed module's note).
+* Edges carry durations: firing-start edges take 0 time, time-advance
+  edges take the elapsed delta — so :meth:`ReachabilityGraph.min_time_to`
+  answers "how soon can ...?" timing-verification questions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..core.errors import ReachabilityError, StateSpaceLimitError
+from ..core.marking import Marking
+from ..core.net import PetriNet
+from .graph import ReachabilityGraph
+
+#: Label used for time-advance edges.
+ADVANCE = "<advance>"
+
+
+@dataclass(frozen=True)
+class TimedState:
+    """Marking + residual firing clocks + residual enabling clocks.
+
+    ``firing`` and ``clocks`` are sorted tuples of (transition, remaining)
+    pairs, making states canonical and hashable.
+    """
+
+    marking: Marking
+    firing: tuple[tuple[str, float], ...] = ()
+    clocks: tuple[tuple[str, float], ...] = ()
+
+    def in_flight_count(self, transition: str) -> int:
+        return sum(1 for name, _ in self.firing if name == transition)
+
+    def clock_of(self, transition: str) -> float | None:
+        for name, remaining in self.clocks:
+            if name == transition:
+                return remaining
+        return None
+
+    def pretty(self) -> str:
+        parts = [self.marking.pretty()]
+        if self.firing:
+            parts.append("firing{" + ", ".join(
+                f"{n}:{r:g}" for n, r in self.firing) + "}")
+        if self.clocks:
+            parts.append("enab{" + ", ".join(
+                f"{n}:{r:g}" for n, r in self.clocks) + "}")
+        return " ".join(parts)
+
+
+def _constant(delay, what: str, name: str) -> float:
+    if not delay.is_constant():
+        raise ReachabilityError(
+            f"timed reachability requires constant delays; the {what} of "
+            f"{name!r} is stochastic"
+        )
+    return delay.mean()
+
+
+class TimedExplorer:
+    """Successor computation for :class:`TimedState`."""
+
+    def __init__(self, net: PetriNet) -> None:
+        self.net = net
+        self.firing_time: dict[str, float] = {}
+        self.enabling_time: dict[str, float] = {}
+        self.max_concurrent: dict[str, int | None] = {}
+        for name, transition in net.transitions.items():
+            self.firing_time[name] = _constant(
+                transition.firing_time, "firing time", name)
+            self.enabling_time[name] = _constant(
+                transition.enabling_time, "enabling time", name)
+            self.max_concurrent[name] = transition.max_concurrent
+
+    # -- clock bookkeeping ---------------------------------------------------
+
+    def _rebuild_clocks(
+        self,
+        marking: Marking,
+        previous: dict[str, float],
+        reset: str | None = None,
+    ) -> tuple[tuple[str, float], ...]:
+        """Clocks after a state change.
+
+        Still-enabled transitions keep their residual delay (continuous
+        enablement); newly enabled ones start fresh; disabled ones drop
+        out; the just-fired transition (``reset``) restarts if re-enabled.
+        """
+        clocks: list[tuple[str, float]] = []
+        for name in self.net.transition_names():
+            if self.enabling_time[name] == 0:
+                continue
+            if not self.net.is_marking_enabled(name, marking):
+                continue
+            if name != reset and name in previous:
+                clocks.append((name, previous[name]))
+            else:
+                clocks.append((name, self.enabling_time[name]))
+        return tuple(sorted(clocks))
+
+    def initial_state(self, marking: Marking | None = None) -> TimedState:
+        m = marking if marking is not None else self.net.initial_marking()
+        return TimedState(m, (), self._rebuild_clocks(m, {}))
+
+    # -- successor relation -----------------------------------------------------
+
+    def startable(self, state: TimedState) -> list[str]:
+        out = []
+        for name in self.net.transition_names():
+            if not self.net.is_marking_enabled(name, state.marking):
+                continue
+            cap = self.max_concurrent[name]
+            if cap is not None and state.in_flight_count(name) >= cap:
+                continue
+            if self.enabling_time[name] > 0:
+                if state.clock_of(name) != 0:
+                    continue
+            out.append(name)
+        return out
+
+    def successors(self, state: TimedState) -> list[tuple[str, float, TimedState]]:
+        """(label, duration, next_state) triples."""
+        startable = self.startable(state)
+        if startable:
+            return [(name, 0.0, self._start(state, name)) for name in startable]
+        advance = self._advance(state)
+        return [] if advance is None else [advance]
+
+    def _start(self, state: TimedState, name: str) -> TimedState:
+        marking = state.marking.subtract(self.net.inputs_of(name))
+        firing = list(state.firing)
+        if self.firing_time[name] == 0:
+            marking = marking.add(self.net.outputs_of(name))
+        else:
+            firing.append((name, self.firing_time[name]))
+        previous = dict(state.clocks)
+        clocks = self._rebuild_clocks(marking, previous, reset=name)
+        return TimedState(marking, tuple(sorted(firing)), clocks)
+
+    def _advance(self, state: TimedState) -> tuple[str, float, TimedState] | None:
+        pending = [r for _, r in state.firing] + [r for _, r in state.clocks if r > 0]
+        if not pending:
+            return None
+        delta = min(pending)
+        marking = state.marking
+        firing: list[tuple[str, float]] = []
+        for name, remaining in state.firing:
+            left = remaining - delta
+            if left <= 0:
+                marking = marking.add(self.net.outputs_of(name))
+            else:
+                firing.append((name, left))
+        previous = {
+            name: (remaining - delta if remaining > 0 else 0.0)
+            for name, remaining in state.clocks
+        }
+        clocks = self._rebuild_clocks(marking, previous)
+        successor = TimedState(marking, tuple(sorted(firing)), clocks)
+        return (ADVANCE, delta, successor)
+
+
+def build_timed_graph(
+    net: PetriNet,
+    initial: Marking | None = None,
+    max_states: int = 50_000,
+    strict: bool = True,
+) -> ReachabilityGraph:
+    """Breadth-first timed state-space exploration."""
+    explorer = TimedExplorer(net)
+    start = explorer.initial_state(initial)
+    graph = ReachabilityGraph()
+    start_id, _ = graph.add_state(start)
+    graph.initial = start_id
+    queue: deque[int] = deque([start_id])
+    while queue:
+        node = queue.popleft()
+        state = graph.state_of(node)
+        assert isinstance(state, TimedState)
+        for label, duration, successor in explorer.successors(state):
+            if graph.id_of(successor) is None and len(graph) >= max_states:
+                if strict:
+                    raise StateSpaceLimitError(max_states)
+                graph.complete = False
+                continue
+            succ_id, is_new = graph.add_state(successor)
+            graph.add_edge(node, succ_id, label, duration)
+            if is_new:
+                queue.append(succ_id)
+    return graph
+
+
+def earliest_time(
+    net: PetriNet,
+    place_condition,
+    initial: Marking | None = None,
+    max_states: int = 50_000,
+) -> float | None:
+    """Minimum time for the marking to satisfy ``place_condition``.
+
+    ``place_condition`` receives a :class:`Marking`. This is the timed
+    analyzer's headline query: e.g. the earliest time the instruction
+    buffer can fill completely.
+    """
+    graph = build_timed_graph(net, initial=initial, max_states=max_states)
+    return graph.min_time_to(
+        lambda s: place_condition(s.marking)  # type: ignore[union-attr]
+    )

@@ -1,0 +1,78 @@
+"""Untimed reachability graph construction (paper §4, [MR87]).
+
+The untimed analyzer explores the *atomic-firing* interpretation of the
+net: a firing removes its input tokens and deposits its outputs in one
+step, ignoring all delays. Every interleaving of enabled transitions is
+explored, so properties proved here hold for *all* behaviours — this is
+the "prove" counterpart to tracertool's "test" (§4.4).
+
+Predicates/actions (interpreted nets) are data-dependent and generally
+make the state space infinite; by default they are abstracted away
+(``respect_predicates=False``), which over-approximates the behaviours —
+safe for invariant proofs, potentially pessimistic for liveness. A
+bounded-variable model can opt in to exact predicate handling by
+providing a finite ``environment_states`` abstraction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.errors import StateSpaceLimitError
+from ..core.marking import Marking
+from ..core.net import PetriNet
+from .graph import ReachabilityGraph
+
+
+def fire_atomic(net: PetriNet, marking: Marking, transition: str) -> Marking:
+    """The atomic (untimed) firing rule: M - inputs + outputs."""
+    return marking.subtract(net.inputs_of(transition)).add(
+        net.outputs_of(transition)
+    )
+
+
+def build_untimed_graph(
+    net: PetriNet,
+    initial: Marking | None = None,
+    max_states: int = 100_000,
+    strict: bool = True,
+) -> ReachabilityGraph:
+    """Breadth-first exploration of the untimed state space.
+
+    ``max_states`` bounds exploration; with ``strict=True`` exceeding it
+    raises :class:`StateSpaceLimitError`, otherwise the graph is returned
+    with ``complete=False`` (useful for "explore what fits" workflows).
+    """
+    start = initial if initial is not None else net.initial_marking()
+    graph = ReachabilityGraph()
+    start_id, _ = graph.add_state(start)
+    graph.initial = start_id
+    queue: deque[int] = deque([start_id])
+    transition_names = net.transition_names()
+
+    while queue:
+        node = queue.popleft()
+        marking = graph.state_of(node)
+        assert isinstance(marking, Marking)
+        for name in transition_names:
+            if not net.is_marking_enabled(name, marking):
+                continue
+            successor = fire_atomic(net, marking, name)
+            if graph.id_of(successor) is None and len(graph) >= max_states:
+                if strict:
+                    raise StateSpaceLimitError(max_states)
+                graph.complete = False
+                continue
+            succ_id, is_new = graph.add_state(successor)
+            graph.add_edge(node, succ_id, name)
+            if is_new:
+                queue.append(succ_id)
+    return graph
+
+
+def enumerate_markings(
+    net: PetriNet, max_states: int = 100_000
+) -> list[Marking]:
+    """All reachable markings (atomic semantics), breadth-first order."""
+    graph = build_untimed_graph(net, max_states=max_states)
+    return [graph.state_of(n) for n in graph.bfs_order()]  # type: ignore[misc]

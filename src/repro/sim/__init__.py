@@ -1,0 +1,23 @@
+"""Discrete-event simulation of extended Timed Petri Nets (paper §4.1)."""
+
+from .commands import CommandScript, execute_commands, run_script_text
+from .engine import SimulationResult, Simulator, simulate
+from .experiment import (
+    Experiment,
+    ExperimentResult,
+    MetricSummary,
+    summarize_metric,
+)
+
+__all__ = [
+    "CommandScript",
+    "Experiment",
+    "ExperimentResult",
+    "MetricSummary",
+    "SimulationResult",
+    "Simulator",
+    "execute_commands",
+    "run_script_text",
+    "simulate",
+    "summarize_metric",
+]

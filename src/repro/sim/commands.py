@@ -1,0 +1,97 @@
+"""The simulator's command mini-language (paper §4.1).
+
+"The input to the simulator is a Petri Net and a few simulation commands
+that allow a user to control the duration of one or more simulation
+experiments." This module interprets that command vocabulary::
+
+    seed 42          # RNG seed for the next run
+    run 10000        # simulate 10000 time units, emit one trace
+    runs 3 10000     # three replications of 10000 units (seeds derived)
+    limit 5000       # cap on started events for subsequent runs
+    quiet            # suppress per-run summary lines
+
+Commands come one per line; ``#`` starts a comment. The interpreter yields
+(:class:`~repro.trace.events.TraceHeader`, event-iterator) pairs so the CLI
+can stream each run's trace to a file or a downstream tool.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..core.errors import SimulationError
+from ..core.net import PetriNet
+from ..trace.events import TraceEvent, TraceHeader
+from .engine import Simulator
+
+
+class CommandScript:
+    """Parsed simulation commands."""
+
+    def __init__(self, lines: Iterable[str]) -> None:
+        self.steps: list[tuple[str, tuple[float, ...]]] = []
+        for number, raw in enumerate(lines, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            keyword = parts[0].lower()
+            try:
+                args = tuple(float(x) for x in parts[1:])
+            except ValueError as exc:
+                raise SimulationError(
+                    f"command line {number}: bad number in {line!r}"
+                ) from exc
+            if keyword == "seed" and len(args) == 1:
+                self.steps.append(("seed", args))
+            elif keyword == "run" and len(args) == 1 and args[0] > 0:
+                self.steps.append(("run", args))
+            elif keyword == "runs" and len(args) == 2 and all(a > 0 for a in args):
+                self.steps.append(("runs", args))
+            elif keyword == "limit" and len(args) == 1 and args[0] > 0:
+                self.steps.append(("limit", args))
+            elif keyword == "quiet" and not args:
+                self.steps.append(("quiet", ()))
+            else:
+                raise SimulationError(
+                    f"command line {number}: unknown or malformed command {line!r}"
+                )
+
+
+def execute_commands(
+    net: PetriNet, script: CommandScript
+) -> Iterator[tuple[TraceHeader, Iterator[TraceEvent]]]:
+    """Run the script against a net, yielding one trace per ``run``.
+
+    Each ``run``/``runs`` step creates fresh :class:`Simulator` objects so
+    the runs are independent; ``seed`` applies to subsequent runs, with
+    replication seeds derived as ``seed + replication_index``.
+    """
+    seed: int | None = None
+    limit: int | None = None
+    run_number = 0
+    for keyword, args in script.steps:
+        if keyword == "seed":
+            seed = int(args[0])
+        elif keyword == "limit":
+            limit = int(args[0])
+        elif keyword == "quiet":
+            continue
+        elif keyword == "run":
+            run_number += 1
+            sim = Simulator(net, seed=seed, run_number=run_number)
+            yield sim.header(), sim.stream(until=args[0], max_events=limit)
+        elif keyword == "runs":
+            count, duration = int(args[0]), args[1]
+            for i in range(count):
+                run_number += 1
+                run_seed = None if seed is None else seed + i
+                sim = Simulator(net, seed=run_seed, run_number=run_number)
+                yield sim.header(), sim.stream(until=duration, max_events=limit)
+
+
+def run_script_text(
+    net: PetriNet, text: str
+) -> Iterator[tuple[TraceHeader, Iterator[TraceEvent]]]:
+    """Parse and execute a command script given as one string."""
+    return execute_commands(net, CommandScript(text.splitlines()))

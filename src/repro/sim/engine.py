@@ -1,0 +1,407 @@
+"""The P-NUT simulator: a discrete-event engine that "pushes" tokens
+around a Timed Petri Net (paper §4.1).
+
+Semantics (DESIGN.md §4):
+
+* A transition is *enabled* when its input places cover the arc weights,
+  every inhibitor place is below its threshold, and its predicate holds.
+* A transition with enabling time *d* must stay continuously enabled for
+  *d* before it becomes *startable*; its tokens remain visible on the
+  places during the wait. Disabling resets the clock; starting a firing
+  consumes the enablement (the clock restarts if it remains enabled).
+* Starting a firing removes the input tokens (emitting a ``START`` delta);
+  they are held inside the transition for the firing time; completion
+  deposits the output tokens, runs the action, and emits an ``END`` delta.
+* When several transitions are startable at one instant they compete:
+  winners are drawn with probability proportional to their relative
+  frequencies, re-evaluated after every start (dynamic renormalization,
+  WPS86).
+* Immediate transitions (zero enabling and firing time) complete inline;
+  a per-instant budget guards against zero-delay livelock.
+
+The engine knows nothing about analysis: it emits a stream of
+:class:`~repro.trace.events.TraceEvent` that downstream tools consume,
+optionally without ever materializing the trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.errors import ImmediateLoopError, SimulationError
+from ..core.frequency import choose_weighted
+from ..core.inscription import Environment, always_true, no_action, run_action
+from ..core.marking import Marking
+from ..core.net import PetriNet
+from ..trace.events import TraceEvent, TraceHeader
+
+_END = 0  # heap entry kinds; END before READY at equal (time, kind) rank
+_READY = 1
+
+
+@dataclass
+class SimulationResult:
+    """A completed run: header, the full event list and summary counters."""
+
+    header: TraceHeader
+    events: list[TraceEvent]
+    final_time: float
+    events_started: int
+    events_finished: int
+    final_marking: Marking
+    final_variables: dict[str, Any] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+
+class Simulator:
+    """One simulation experiment over a net.
+
+    The object is single-use per run: create, then either iterate
+    :meth:`stream` or call :meth:`run`. ``seed`` makes runs reproducible;
+    the environment shares the engine RNG so ``irand`` draws from the same
+    stream.
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        seed: int | None = None,
+        run_number: int = 1,
+        immediate_budget: int = 10_000,
+    ) -> None:
+        self.net = net
+        self.seed = seed
+        self.run_number = run_number
+        self.immediate_budget = immediate_budget
+        self.rng = random.Random(seed)
+        self.env = net.initial_environment(rng=self.rng)
+
+        self._marking: dict[str, int] = net.initial_marking().as_dict()
+        self._time: float = 0.0
+        self._heap: list[tuple[float, int, int, str]] = []
+        self._heap_seq = 0
+        self._trace_seq = 0
+        self._in_flight: dict[str, int] = {t: 0 for t in net.transition_names()}
+        self._enabled_since: dict[str, float | None] = {}
+        self._ready_at: dict[str, float | None] = {}
+        self.events_started = 0
+        self.events_finished = 0
+        self._started = False
+
+        # Static dependency indexes: which transitions to re-check when a
+        # place changes, and which have data-dependent predicates.
+        self._dependents: dict[str, set[str]] = {p: set() for p in net.place_names()}
+        self._predicated: set[str] = set()
+        self._frequencies: dict[str, float] = {}
+        self._transition_names = net.transition_names()
+        self._inputs: dict[str, dict[str, int]] = {}
+        self._outputs: dict[str, dict[str, int]] = {}
+        self._inhibitors: dict[str, dict[str, int]] = {}
+        self._transitions: dict[str, Any] = {}
+        for t in self._transition_names:
+            transition = net.transition(t)
+            self._transitions[t] = transition
+            self._frequencies[t] = transition.frequency
+            self._inputs[t] = dict(net.inputs_of(t))
+            self._outputs[t] = dict(net.outputs_of(t))
+            self._inhibitors[t] = dict(net.inhibitors_of(t))
+            for p in self._inputs[t]:
+                self._dependents[p].add(t)
+            for p in self._inhibitors[t]:
+                self._dependents[p].add(t)
+            if transition.predicate is not always_true:
+                self._predicated.add(t)
+            self._enabled_since[t] = None
+            self._ready_at[t] = None
+
+    # -- public API ---------------------------------------------------------
+
+    def header(self) -> TraceHeader:
+        return TraceHeader(self.net.name, self.run_number, self.seed)
+
+    def stream(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> Iterator[TraceEvent]:
+        """Generate the trace lazily: INIT, deltas, then EOT.
+
+        ``until`` stops the clock at that time (events scheduled exactly at
+        ``until`` still complete, matching the paper's run of length 10000
+        finishing events at the final instant). ``max_events`` bounds the
+        number of started firings instead (for exploratory runs).
+        """
+        if self._started:
+            raise SimulationError("Simulator.stream() may only be called once")
+        self._started = True
+        if until is None and max_events is None:
+            raise SimulationError("provide until=, max_events=, or both")
+
+        out: list[TraceEvent] = []
+        self._out = out
+        self._emit_init()
+        yield from self._drain(out)
+
+        self._refresh_enablement(self._transition_names)
+        self._process_instant()
+        yield from self._drain(out)
+
+        while self._heap:
+            next_time = self._heap[0][0]
+            if until is not None and next_time > until:
+                break
+            if max_events is not None and self.events_started >= max_events:
+                break
+            self._time = next_time
+            self._advance_one_instant(next_time)
+            yield from self._drain(out)
+
+        final_time = until if until is not None else self._time
+        self._time = final_time
+        self._emit(TraceEvent.eot(self._next_seq(), final_time))
+        yield from self._drain(out)
+
+    def run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> SimulationResult:
+        """Run to completion and materialize the trace."""
+        events = list(self.stream(until=until, max_events=max_events))
+        return SimulationResult(
+            header=self.header(),
+            events=events,
+            final_time=self._time,
+            events_started=self.events_started,
+            events_finished=self.events_finished,
+            final_marking=Marking(self._marking),
+            final_variables=self.env.snapshot_scalars(),
+        )
+
+    @property
+    def now(self) -> float:
+        return self._time
+
+    def marking(self) -> Marking:
+        return Marking(self._marking)
+
+    def in_flight(self) -> dict[str, int]:
+        return {t: n for t, n in self._in_flight.items() if n}
+
+    # -- engine internals -------------------------------------------------------
+
+    def _drain(self, out: list[TraceEvent]) -> Iterator[TraceEvent]:
+        if out:
+            ready = list(out)
+            out.clear()
+            yield from ready
+
+    def _next_seq(self) -> int:
+        seq = self._trace_seq
+        self._trace_seq += 1
+        return seq
+
+    def _emit(self, event: TraceEvent) -> None:
+        self._out.append(event)
+
+    def _emit_init(self) -> None:
+        self._trace_seq = 1
+        self._out.append(
+            TraceEvent.init(dict(self._marking), self.env.snapshot_scalars())
+        )
+
+    def _advance_one_instant(self, now: float) -> None:
+        """Drain every heap entry scheduled at ``now``, then fire."""
+        while self._heap and self._heap[0][0] == now:
+            _time, _kind, _seq, transition = heapq.heappop(self._heap)
+            if _kind == _END:
+                self._complete_firing(transition)
+            # _READY entries are pure wake-ups; startability is re-derived
+            # from _ready_at below, so stale entries are harmless.
+        self._process_instant()
+
+    def _schedule(self, time: float, kind: int, transition: str) -> None:
+        self._heap_seq += 1
+        heapq.heappush(self._heap, (time, kind, self._heap_seq, transition))
+
+    # -- enablement tracking ------------------------------------------------------
+
+    def _is_enabled(self, name: str) -> bool:
+        marking = self._marking
+        for p, w in self._inputs[name].items():
+            if marking.get(p, 0) < w:
+                return False
+        for p, thr in self._inhibitors[name].items():
+            if marking.get(p, 0) >= thr:
+                return False
+        transition = self._transitions[name]
+        if transition.predicate is not always_true:
+            from ..core.inscription import check_predicate
+
+            return check_predicate(transition.predicate, self.env, name)
+        return True
+
+    def _refresh_enablement(self, candidates) -> None:
+        """Re-derive enablement for the candidate transitions."""
+        now = self._time
+        for name in candidates:
+            enabled = self._is_enabled(name)
+            if enabled and self._enabled_since[name] is None:
+                self._begin_enablement(name, now)
+            elif not enabled and self._enabled_since[name] is not None:
+                self._enabled_since[name] = None
+                self._ready_at[name] = None
+
+    def _sample_delay(self, delay) -> float:
+        contextual = getattr(delay, "sample_in_context", None)
+        if contextual is not None:
+            return contextual(self.rng, self.env)
+        return delay.sample(self.rng)
+
+    def _begin_enablement(self, name: str, now: float) -> None:
+        self._enabled_since[name] = now
+        delay = self._sample_delay(self._transitions[name].enabling_time)
+        if delay < 0:
+            raise SimulationError(
+                f"enabling delay of {name!r} sampled negative: {delay}"
+            )
+        ready = now + delay
+        self._ready_at[name] = ready
+        if delay > 0:
+            self._schedule(ready, _READY, name)
+
+    def _affected_by(self, places, env_changed: bool, extra: str | None) -> set[str]:
+        affected: set[str] = set()
+        for p in places:
+            affected |= self._dependents.get(p, set())
+        if env_changed:
+            affected |= self._predicated
+        if extra is not None:
+            affected.add(extra)
+        return affected
+
+    # -- firing ----------------------------------------------------------------------
+
+    def _startable(self, name: str) -> bool:
+        ready = self._ready_at[name]
+        if ready is None or ready > self._time:
+            return False
+        transition = self._transitions[name]
+        if (
+            transition.max_concurrent is not None
+            and self._in_flight[name] >= transition.max_concurrent
+        ):
+            return False
+        return self._is_enabled(name)
+
+    def _process_instant(self) -> None:
+        """Fire startable transitions at the current instant until quiescent."""
+        budget = self.immediate_budget
+        fired: list[str] = []
+        while True:
+            candidates = [t for t in self._transition_names if self._startable(t)]
+            if not candidates:
+                break
+            winner = choose_weighted(self.rng, candidates, self._frequencies)
+            self._start_firing(winner)
+            fired.append(winner)
+            budget -= 1
+            if budget <= 0:
+                raise ImmediateLoopError(self._time, fired, self.immediate_budget)
+
+    def _start_firing(self, name: str) -> None:
+        now = self._time
+        inputs = self._inputs[name]
+        for p, w in inputs.items():
+            remaining = self._marking.get(p, 0) - w
+            if remaining < 0:
+                raise SimulationError(
+                    f"firing {name!r} would drive place {p!r} negative"
+                )
+            self._marking[p] = remaining
+        self.events_started += 1
+
+        duration = self._sample_delay(self._transitions[name].firing_time)
+        if duration < 0:
+            raise SimulationError(
+                f"firing time of {name!r} sampled negative: {duration}"
+            )
+
+        # The enablement that allowed this firing is consumed; if the
+        # transition is still enabled a fresh enabling period starts.
+        self._enabled_since[name] = None
+        self._ready_at[name] = None
+
+        if duration == 0:
+            # Atomic firing: removal and deposit in one trace delta, so
+            # zero-time token moves (Bus_free -> Bus_busy) never expose an
+            # intermediate state violating place invariants (paper §4.2).
+            outputs = self._outputs[name]
+            for p, w in outputs.items():
+                self._marking[p] = self._marking.get(p, 0) + w
+            self.events_finished += 1
+            var_updates = self._run_action(name)
+            self._emit(TraceEvent.fire(
+                self._next_seq(), now, name, inputs, outputs, var_updates
+            ))
+            touched = set(inputs) | set(outputs)
+            self._refresh_enablement(
+                self._affected_by(touched, bool(var_updates), name)
+            )
+        else:
+            self._in_flight[name] += 1
+            self._emit(TraceEvent.start(self._next_seq(), now, name, inputs))
+            self._refresh_enablement(self._affected_by(inputs, False, name))
+            self._schedule(now + duration, _END, name)
+
+    def _run_action(self, name: str) -> dict[str, Any]:
+        transition = self._transitions[name]
+        if transition.action is no_action:
+            return {}
+        before = self.env.snapshot_scalars()
+        run_action(transition.action, self.env, name)
+        after = self.env.snapshot_scalars()
+        return {
+            k: v for k, v in after.items() if before.get(k, _MISSING) != v
+        }
+
+    def _complete_firing(self, name: str) -> None:
+        now = self._time
+        outputs = self._outputs[name]
+        for p, w in outputs.items():
+            self._marking[p] = self._marking.get(p, 0) + w
+        self._in_flight[name] -= 1
+        if self._in_flight[name] < 0:
+            raise SimulationError(f"END without START for {name!r}")
+        self.events_finished += 1
+        var_updates = self._run_action(name)
+        self._emit(
+            TraceEvent.end(self._next_seq(), now, name, outputs, var_updates)
+        )
+        self._refresh_enablement(
+            self._affected_by(outputs, bool(var_updates), name)
+        )
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def simulate(
+    net: PetriNet,
+    until: float | None = None,
+    seed: int | None = None,
+    run_number: int = 1,
+    max_events: int | None = None,
+    immediate_budget: int = 10_000,
+) -> SimulationResult:
+    """One-call convenience: build a :class:`Simulator` and run it."""
+    sim = Simulator(net, seed=seed, run_number=run_number,
+                    immediate_budget=immediate_budget)
+    return sim.run(until=until, max_events=max_events)

@@ -1,0 +1,38 @@
+"""Trace representation, serialization, filtering and state folding.
+
+The trace decouples the simulation engine from the analysis tools (paper
+§4.1): a trace is the initial state plus a stream of state deltas, and any
+tool consuming :class:`~repro.trace.events.TraceEvent` streams works with
+any producer — the Petri net simulator, a parsed trace file, or the
+non-Petri baseline simulator.
+"""
+
+from .events import EventKind, TraceEvent, TraceHeader
+from .filter import TraceFilter, filter_trace
+from .serialize import (
+    MAGIC,
+    format_event,
+    format_header,
+    parse_event,
+    read_trace,
+    write_trace,
+)
+from .states import TraceState, final_state, fold_states, state_list
+
+__all__ = [
+    "EventKind",
+    "MAGIC",
+    "TraceEvent",
+    "TraceFilter",
+    "TraceHeader",
+    "TraceState",
+    "filter_trace",
+    "final_state",
+    "fold_states",
+    "format_event",
+    "format_header",
+    "parse_event",
+    "read_trace",
+    "state_list",
+    "write_trace",
+]

@@ -1,0 +1,117 @@
+"""Trace events: the decoupled simulator/analysis interchange (paper §4.1).
+
+A trace is "the description of the initial state of the system, followed
+by a series of state deltas describing how the state of the system changes
+over time". The representation is deliberately independent of Petri nets
+so any discrete-event producer can emit one (the paper mentions SIMSCRIPT;
+our non-Petri baseline simulator does exactly this).
+
+Event kinds:
+
+``INIT``
+    Full initial state: the marking and the scalar variables.
+``START``
+    A firing began: ``removed`` tokens left the named transition's input
+    places and are now held inside the transition.
+``END``
+    A firing completed: ``added`` tokens appeared on output places and
+    ``variables`` records the action's scalar updates.
+``FIRE``
+    An *instantaneous* firing (zero firing time): removal and deposit in a
+    single atomic delta. This is what keeps zero-time token moves — the
+    paper's ``Bus_free``/``Bus_busy`` shuttle — invariant-preserving at
+    every observable state (§4.2, §4.4).
+``DELTA``
+    An anonymous token delta (produced by the filter tool when the owning
+    transition was filtered out but the touched places were kept).
+``EOT``
+    End of trace, carrying the final simulation clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Mapping
+
+
+class EventKind(Enum):
+    INIT = "INIT"
+    START = "S"
+    END = "E"
+    FIRE = "F"
+    DELTA = "D"
+    EOT = "EOT"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One line of a trace.
+
+    ``removed``/``added`` are place -> positive token counts. For ``INIT``,
+    ``added`` holds the complete initial marking. ``variables`` holds the
+    full scalar snapshot for ``INIT`` and the updates for ``END``.
+    """
+
+    seq: int
+    time: float
+    kind: EventKind
+    transition: str | None = None
+    removed: Mapping[str, int] = field(default_factory=dict)
+    added: Mapping[str, int] = field(default_factory=dict)
+    variables: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "removed", dict(self.removed))
+        object.__setattr__(self, "added", dict(self.added))
+        object.__setattr__(self, "variables", dict(self.variables))
+
+    def touched_places(self) -> set[str]:
+        return set(self.removed) | set(self.added)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def init(marking: Mapping[str, int], variables: Mapping[str, Any] | None = None,
+             time: float = 0.0) -> "TraceEvent":
+        return TraceEvent(0, time, EventKind.INIT,
+                          added={p: n for p, n in marking.items() if n},
+                          variables=variables or {})
+
+    @staticmethod
+    def start(seq: int, time: float, transition: str,
+              removed: Mapping[str, int]) -> "TraceEvent":
+        return TraceEvent(seq, time, EventKind.START, transition, removed=removed)
+
+    @staticmethod
+    def end(seq: int, time: float, transition: str, added: Mapping[str, int],
+            variables: Mapping[str, Any] | None = None) -> "TraceEvent":
+        return TraceEvent(seq, time, EventKind.END, transition, added=added,
+                          variables=variables or {})
+
+    @staticmethod
+    def fire(seq: int, time: float, transition: str,
+             removed: Mapping[str, int], added: Mapping[str, int],
+             variables: Mapping[str, Any] | None = None) -> "TraceEvent":
+        return TraceEvent(seq, time, EventKind.FIRE, transition,
+                          removed=removed, added=added,
+                          variables=variables or {})
+
+    @staticmethod
+    def delta(seq: int, time: float, removed: Mapping[str, int],
+              added: Mapping[str, int]) -> "TraceEvent":
+        return TraceEvent(seq, time, EventKind.DELTA, removed=removed, added=added)
+
+    @staticmethod
+    def eot(seq: int, time: float) -> "TraceEvent":
+        return TraceEvent(seq, time, EventKind.EOT)
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """Metadata preceding the events."""
+
+    net_name: str = "net"
+    run_number: int = 1
+    seed: int | None = None
+    version: int = 1

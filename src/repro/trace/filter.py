@@ -1,0 +1,106 @@
+"""The trace filtering tool (paper §4.1).
+
+"Usually only a handful of places and transitions are of interest in
+performing a particular analysis" — the filter projects a trace onto a
+chosen vocabulary, producing a significantly smaller but still well-formed
+trace:
+
+* events of *kept* transitions survive with their token deltas restricted
+  to kept places;
+* events of *dropped* transitions that nevertheless touch kept places are
+  replaced by anonymous ``DELTA`` events carrying only the kept-place
+  deltas, so place statistics downstream remain exact;
+* everything else is dropped.
+
+The filter streams: it consumes and yields event iterators without
+buffering, so it composes with the simulator "plugged into" analysis tools
+without intermediate files.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from .events import EventKind, TraceEvent
+
+
+class TraceFilter:
+    """Projection of traces onto selected places and transitions.
+
+    ``keep_places`` / ``keep_transitions`` of ``None`` mean "keep all" of
+    that node kind (so a filter can restrict only one dimension).
+    """
+
+    def __init__(
+        self,
+        keep_places: Iterable[str] | None = None,
+        keep_transitions: Iterable[str] | None = None,
+        keep_variables: bool = True,
+    ) -> None:
+        self.keep_places = None if keep_places is None else frozenset(keep_places)
+        self.keep_transitions = (
+            None if keep_transitions is None else frozenset(keep_transitions)
+        )
+        self.keep_variables = keep_variables
+
+    # -- helpers ---------------------------------------------------------
+
+    def _restrict(self, tokens: dict) -> dict:
+        if self.keep_places is None:
+            return dict(tokens)
+        return {p: n for p, n in tokens.items() if p in self.keep_places}
+
+    def _transition_kept(self, name: str | None) -> bool:
+        if name is None:
+            return False
+        if self.keep_transitions is None:
+            return True
+        return name in self.keep_transitions
+
+    # -- the tool ----------------------------------------------------------
+
+    def apply(self, events: Iterable[TraceEvent]) -> Iterator[TraceEvent]:
+        """Yield the filtered event stream (re-sequenced from 0)."""
+        seq = 0
+        for event in events:
+            projected = self._project(event, seq)
+            if projected is not None:
+                yield projected
+                seq += 1
+
+    def _project(self, event: TraceEvent, seq: int) -> TraceEvent | None:
+        kind = event.kind
+        if kind is EventKind.INIT:
+            return TraceEvent(
+                seq, event.time, kind,
+                added=self._restrict(dict(event.added)),
+                variables=dict(event.variables) if self.keep_variables else {},
+            )
+        if kind is EventKind.EOT:
+            return TraceEvent(seq, event.time, kind)
+        removed = self._restrict(dict(event.removed))
+        added = self._restrict(dict(event.added))
+        if kind is EventKind.DELTA:
+            if not removed and not added:
+                return None
+            return TraceEvent(seq, event.time, kind, removed=removed, added=added)
+        if self._transition_kept(event.transition):
+            variables = (
+                dict(event.variables) if self.keep_variables else {}
+            )
+            return TraceEvent(seq, event.time, kind, event.transition,
+                              removed=removed, added=added, variables=variables)
+        # Dropped transition: preserve its effect on kept places anonymously.
+        if removed or added:
+            return TraceEvent(seq, event.time, EventKind.DELTA,
+                              removed=removed, added=added)
+        return None
+
+
+def filter_trace(
+    events: Iterable[TraceEvent],
+    keep_places: Iterable[str] | None = None,
+    keep_transitions: Iterable[str] | None = None,
+) -> Iterator[TraceEvent]:
+    """Functional shorthand for :class:`TraceFilter`."""
+    return TraceFilter(keep_places, keep_transitions).apply(events)

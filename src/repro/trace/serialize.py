@@ -1,0 +1,283 @@
+"""Text serialization of traces.
+
+One event per line so traces stream through pipes — the paper's simulator
+output "can be directly plugged into the input of analysis tools" (§4.1).
+The format::
+
+    #PNUT-TRACE 1
+    #NET pipeline
+    #RUN 1
+    #SEED 42
+    0 INIT Bus_free=1 Empty_I_buffers=6 | type=0
+    5 S Start_prefetch Bus_free=1 Empty_I_buffers=2
+    10 E Start_prefetch Bus_busy=1 pre_fetching=1 | type=3
+    12 D Bus_free=-1 Bus_busy=+1
+    10000 EOT
+
+``S`` lines list the tokens *removed*, ``E`` lines the tokens *added*,
+``D`` lines signed anonymous deltas; the ``|`` separator introduces scalar
+variable updates. Values may be ints, floats, booleans or quoted strings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any, TextIO
+
+from ..core.errors import TraceFormatError
+from .events import EventKind, TraceEvent, TraceHeader
+
+MAGIC = "#PNUT-TRACE"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{text}"'
+
+
+def _parse_value(text: str) -> Any:
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _format_time(time: float) -> str:
+    if float(time).is_integer():
+        return str(int(time))
+    return repr(time)
+
+
+def format_event(event: TraceEvent) -> str:
+    """Render one event as a single line."""
+    time_text = _format_time(event.time)
+    if event.kind is EventKind.INIT:
+        parts = [f"{p}={n}" for p, n in sorted(event.added.items())]
+        line = f"{time_text} INIT " + " ".join(parts)
+        if event.variables:
+            line += " | " + " ".join(
+                f"{k}={_format_value(v)}" for k, v in sorted(event.variables.items())
+            )
+        return line.rstrip()
+    if event.kind is EventKind.EOT:
+        return f"{time_text} EOT"
+    if event.kind is EventKind.DELTA:
+        terms = [f"{p}=-{n}" for p, n in sorted(event.removed.items())]
+        terms += [f"{p}=+{n}" for p, n in sorted(event.added.items())]
+        return f"{time_text} D " + " ".join(terms)
+    if event.kind is EventKind.FIRE:
+        terms = [f"{p}=-{n}" for p, n in sorted(event.removed.items())]
+        terms += [f"{p}=+{n}" for p, n in sorted(event.added.items())]
+        line = f"{time_text} F {event.transition}"
+        if terms:
+            line += " " + " ".join(terms)
+        if event.variables:
+            line += " | " + " ".join(
+                f"{k}={_format_value(v)}" for k, v in sorted(event.variables.items())
+            )
+        return line
+    tokens = event.removed if event.kind is EventKind.START else event.added
+    parts = [f"{p}={n}" for p, n in sorted(tokens.items())]
+    line = f"{time_text} {event.kind.value} {event.transition}"
+    if parts:
+        line += " " + " ".join(parts)
+    if event.kind is EventKind.END and event.variables:
+        line += " | " + " ".join(
+            f"{k}={_format_value(v)}" for k, v in sorted(event.variables.items())
+        )
+    return line
+
+
+def format_header(header: TraceHeader) -> list[str]:
+    lines = [f"{MAGIC} {header.version}", f"#NET {header.net_name}",
+             f"#RUN {header.run_number}"]
+    if header.seed is not None:
+        lines.append(f"#SEED {header.seed}")
+    return lines
+
+
+def write_trace(
+    stream: TextIO, header: TraceHeader, events: Iterable[TraceEvent]
+) -> int:
+    """Write a full trace; returns the number of event lines written."""
+    for line in format_header(header):
+        stream.write(line + "\n")
+    count = 0
+    for event in events:
+        stream.write(format_event(event) + "\n")
+        count += 1
+    return count
+
+
+def _split_tokens(parts: list[str], line_no: int, line: str) -> dict[str, int]:
+    result: dict[str, int] = {}
+    for part in parts:
+        name, eq, value = part.partition("=")
+        if not eq:
+            raise TraceFormatError(line_no, line, f"expected name=count, got {part!r}")
+        try:
+            result[name] = int(value)
+        except ValueError:
+            raise TraceFormatError(line_no, line, f"bad token count {value!r}") from None
+    return result
+
+
+def _split_variables(text: str, line_no: int, line: str) -> dict[str, Any]:
+    result: dict[str, Any] = {}
+    for part in _split_quoted(text):
+        name, eq, value = part.partition("=")
+        if not eq:
+            raise TraceFormatError(line_no, line, f"expected name=value, got {part!r}")
+        result[name] = _parse_value(value)
+    return result
+
+
+def _split_quoted(text: str) -> list[str]:
+    """Split on spaces but keep quoted strings intact."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quote = False
+    escaped = False
+    for ch in text:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\" and in_quote:
+            current.append(ch)
+            escaped = True
+        elif ch == '"':
+            in_quote = not in_quote
+            current.append(ch)
+        elif ch == " " and not in_quote:
+            if current:
+                parts.append("".join(current))
+                current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _split_signed(
+    parts: list[str], line_no: int, line: str
+) -> tuple[dict[str, int], dict[str, int]]:
+    removed: dict[str, int] = {}
+    added: dict[str, int] = {}
+    for part in parts:
+        name, eq, value = part.partition("=")
+        if not eq or not value or value[0] not in "+-":
+            raise TraceFormatError(line_no, line,
+                                   f"expected signed count, got {part!r}")
+        try:
+            count = int(value[1:])
+        except ValueError:
+            raise TraceFormatError(line_no, line,
+                                   f"bad token count {value!r}") from None
+        (added if value[0] == "+" else removed)[name] = count
+    return removed, added
+
+
+def parse_event(line: str, seq: int, line_no: int = 0) -> TraceEvent:
+    """Parse one event line (no header lines)."""
+    body, _, var_text = line.partition(" | ")
+    fields = body.split()
+    if len(fields) < 2:
+        raise TraceFormatError(line_no, line, "too few fields")
+    try:
+        time = float(fields[0])
+    except ValueError:
+        raise TraceFormatError(line_no, line, f"bad time {fields[0]!r}") from None
+    kind_text = fields[1]
+    if kind_text == "INIT":
+        marking = _split_tokens(fields[2:], line_no, line)
+        variables = _split_variables(var_text, line_no, line) if var_text else {}
+        return TraceEvent(seq, time, EventKind.INIT, added=marking,
+                          variables=variables)
+    if kind_text == "EOT":
+        return TraceEvent(seq, time, EventKind.EOT)
+    if kind_text == "D":
+        removed, added = _split_signed(fields[2:], line_no, line)
+        return TraceEvent(seq, time, EventKind.DELTA, removed=removed, added=added)
+    if kind_text == "F":
+        if len(fields) < 3:
+            raise TraceFormatError(line_no, line, "missing transition name")
+        transition = fields[2]
+        removed, added = _split_signed(fields[3:], line_no, line)
+        variables = _split_variables(var_text, line_no, line) if var_text else {}
+        return TraceEvent(seq, time, EventKind.FIRE, transition,
+                          removed=removed, added=added, variables=variables)
+    if kind_text in ("S", "E"):
+        if len(fields) < 3:
+            raise TraceFormatError(line_no, line, "missing transition name")
+        transition = fields[2]
+        tokens = _split_tokens(fields[3:], line_no, line)
+        if kind_text == "S":
+            return TraceEvent(seq, time, EventKind.START, transition,
+                              removed=tokens)
+        variables = _split_variables(var_text, line_no, line) if var_text else {}
+        return TraceEvent(seq, time, EventKind.END, transition, added=tokens,
+                          variables=variables)
+    raise TraceFormatError(line_no, line, f"unknown event kind {kind_text!r}")
+
+
+def read_trace(lines: Iterable[str]) -> tuple[TraceHeader, Iterator[TraceEvent]]:
+    """Parse a trace; header eagerly, events lazily (streamable).
+
+    The returned iterator must be consumed from the same underlying
+    iterable (e.g. an open file).
+    """
+    iterator = iter(lines)
+    net_name, run_number, seed, version = "net", 1, None, 1
+    first_event_line: str | None = None
+    line_no = 0
+    for raw in iterator:
+        line_no += 1
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith(MAGIC):
+            version = int(line.split()[1])
+        elif line.startswith("#NET "):
+            net_name = line[5:].strip()
+        elif line.startswith("#RUN "):
+            run_number = int(line[5:].strip())
+        elif line.startswith("#SEED "):
+            seed = int(line[6:].strip())
+        elif line.startswith("#"):
+            continue
+        else:
+            first_event_line = line
+            break
+    header = TraceHeader(net_name, run_number, seed, version)
+
+    def events() -> Iterator[TraceEvent]:
+        seq = 0
+        nonlocal line_no
+        if first_event_line is not None:
+            yield parse_event(first_event_line, seq, line_no)
+            seq += 1
+        for raw in iterator:
+            line_no += 1
+            line = raw.rstrip("\n")
+            if not line.strip() or line.startswith("#"):
+                continue
+            yield parse_event(line, seq, line_no)
+            seq += 1
+
+    return header, events()

@@ -1,0 +1,130 @@
+"""Folding trace deltas into explicit system states.
+
+The verification queries of §4.4 quantify over "all the states in the
+simulation trace" (the set ``S``, with ``#0`` the initial state). This
+module reconstructs that state sequence from the delta stream: each event
+produces the state holding *after* the event is applied; state ``#0`` is
+the state established by the ``INIT`` event.
+
+A :class:`TraceState` exposes exactly what the paper's query notation
+reads: ``Bus_busy(s)`` — tokens on a place — and ``exec_type_5(s)`` — the
+number of concurrent firings of a transition — plus scalar variables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.errors import TraceError
+from ..core.marking import Marking
+from .events import EventKind, TraceEvent
+
+
+@dataclass(frozen=True)
+class TraceState:
+    """A snapshot of the system between trace events."""
+
+    index: int
+    time: float
+    marking: Marking
+    firing_counts: Mapping[str, int] = field(default_factory=dict)
+    variables: Mapping[str, Any] = field(default_factory=dict)
+    event: TraceEvent | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "firing_counts", dict(self.firing_counts))
+        object.__setattr__(self, "variables", dict(self.variables))
+
+    def tokens(self, place: str) -> int:
+        """Token count of a place (0 for unknown places)."""
+        return self.marking[place]
+
+    def firings(self, transition: str) -> int:
+        """Concurrent in-flight firings of a transition."""
+        return self.firing_counts.get(transition, 0)
+
+    def value(self, name: str) -> Any:
+        """Place tokens, else firing count, else variable value.
+
+        This is the lookup rule the query language uses for ``name(s)``.
+        """
+        if name in self.marking:
+            return self.marking[name]
+        if name in self.firing_counts:
+            return self.firing_counts[name]
+        if name in self.variables:
+            return self.variables[name]
+        # A place holding zero tokens is simply absent from the marking.
+        return 0
+
+    def __repr__(self) -> str:
+        return f"TraceState(#{self.index} @{self.time} {self.marking.pretty()})"
+
+
+def fold_states(events: Iterable[TraceEvent]) -> Iterator[TraceState]:
+    """Yield the state sequence induced by a trace (state #0 first).
+
+    Raises :class:`TraceError` if the trace does not begin with ``INIT``
+    or if a delta would drive a place negative.
+    """
+    iterator = iter(events)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return
+    if first.kind is not EventKind.INIT:
+        raise TraceError(f"trace must start with INIT, got {first.kind.value}")
+    marking = Marking(first.added)
+    firing_counts: dict[str, int] = {}
+    variables: dict[str, Any] = dict(first.variables)
+    index = 0
+    yield TraceState(index, first.time, marking, firing_counts, variables, first)
+    for event in iterator:
+        if event.kind is EventKind.INIT:
+            raise TraceError("duplicate INIT event in trace")
+        if event.kind is EventKind.EOT:
+            index += 1
+            yield TraceState(index, event.time, marking, firing_counts,
+                             variables, event)
+            break
+        if event.removed:
+            marking = marking.subtract(event.removed)
+        if event.added:
+            marking = marking.add(event.added)
+        if event.kind is EventKind.FIRE:
+            # Atomic firing: tokens moved in one delta, no in-flight window.
+            variables.update(event.variables)
+        elif event.kind is EventKind.START:
+            assert event.transition is not None
+            firing_counts[event.transition] = (
+                firing_counts.get(event.transition, 0) + 1
+            )
+        elif event.kind is EventKind.END:
+            assert event.transition is not None
+            current = firing_counts.get(event.transition, 0)
+            if current <= 0:
+                raise TraceError(
+                    f"END of {event.transition!r} without a matching START"
+                )
+            firing_counts[event.transition] = current - 1
+            variables.update(event.variables)
+        index += 1
+        yield TraceState(index, event.time, marking, firing_counts,
+                         variables, event)
+
+
+def state_list(events: Iterable[TraceEvent]) -> list[TraceState]:
+    """Materialize the full state sequence (small traces / tests)."""
+    return list(fold_states(events))
+
+
+def final_state(events: Iterable[TraceEvent]) -> TraceState:
+    """The last state of the trace (streams without materializing)."""
+    last: TraceState | None = None
+    for state in fold_states(events):
+        last = state
+    if last is None:
+        raise TraceError("empty trace has no final state")
+    return last

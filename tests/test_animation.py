@@ -1,0 +1,198 @@
+"""Tests for the animator: layout, rendering, frames, player."""
+
+import io
+
+import pytest
+
+from repro.animation.frames import FrameGenerator
+from repro.animation.layout import compute_layout
+from repro.animation.player import Player, animate
+from repro.animation.render import Canvas, NetRenderer
+from repro.core.builder import NetBuilder
+from repro.core.errors import AnimationError
+from repro.sim.engine import simulate
+
+
+def small_net():
+    b = NetBuilder("anim")
+    b.place("src", tokens=2)
+    b.place("dst")
+    b.event("move", inputs={"src": 1}, outputs={"dst": 1}, firing_time=2,
+            max_concurrent=1)
+    return b.build()
+
+
+class TestLayout:
+    def test_all_nodes_positioned(self):
+        net = small_net()
+        layout = compute_layout(net)
+        assert set(layout.positions) == {"src", "dst", "move"}
+
+    def test_layering_follows_flow(self):
+        layout = compute_layout(small_net())
+        assert layout.positions["src"].layer < layout.positions["move"].layer
+        assert layout.positions["move"].layer < layout.positions["dst"].layer
+
+    def test_kinds_assigned(self):
+        layout = compute_layout(small_net())
+        assert layout.positions["src"].kind == "place"
+        assert layout.positions["move"].kind == "transition"
+
+    def test_arcs_collected(self):
+        layout = compute_layout(small_net())
+        assert ("src", "move", 1, False) in layout.arcs
+        assert ("move", "dst", 1, False) in layout.arcs
+
+    def test_inhibitor_arcs_flagged(self):
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.place("blocker")
+        b.event("t", inputs={"a": 1}, outputs={"c": 1},
+                inhibitors={"blocker": 1})
+        layout = compute_layout(b.build())
+        assert ("blocker", "t", 1, True) in layout.arcs
+
+    def test_deterministic(self):
+        from repro.processor import build_pipeline_net
+
+        l1 = compute_layout(build_pipeline_net())
+        l2 = compute_layout(build_pipeline_net())
+        assert l1.positions == l2.positions
+
+    def test_pipeline_layout_size_sane(self):
+        from repro.processor import build_pipeline_net
+
+        layout = compute_layout(build_pipeline_net())
+        rows, cols = layout.size()
+        assert rows >= 3
+        assert cols >= 2
+
+
+class TestCanvas:
+    def test_put_get_render(self):
+        canvas = Canvas(2, 10)
+        canvas.put(0, 0, "hello")
+        canvas.put(1, 3, "x")
+        text = canvas.render()
+        assert text.splitlines()[0] == "hello"
+        assert text.splitlines()[1] == "   x"
+
+    def test_out_of_bounds_clipped(self):
+        canvas = Canvas(1, 4)
+        canvas.put(0, 2, "abcdef")  # overruns
+        canvas.put(5, 0, "zz")      # below canvas
+        assert canvas.render() == "  ab"
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(AnimationError):
+            Canvas(0, 5)
+
+
+class TestRenderer:
+    def test_labels_include_token_counts(self):
+        net = small_net()
+        renderer = NetRenderer(compute_layout(net))
+        text = renderer.base_canvas({"src": 2, "dst": 0}).render()
+        assert "(src:2)" in text
+        assert "(dst:0)" in text
+        assert "[move]" in text
+
+    def test_firing_count_shown(self):
+        net = small_net()
+        renderer = NetRenderer(compute_layout(net))
+        text = renderer.base_canvas({}, {"move": 2}).render()
+        assert "[move*2]" in text
+
+    def test_arcs_drawn(self):
+        net = small_net()
+        renderer = NetRenderer(compute_layout(net))
+        text = renderer.base_canvas({"src": 2}).render()
+        assert "|" in text or "v" in text
+
+    def test_arc_path_endpoints(self):
+        net = small_net()
+        renderer = NetRenderer(compute_layout(net))
+        path = renderer.arc_path("src", "move")
+        assert path[0] == renderer.node_center("src")
+        assert path[-1] == renderer.node_center("move")
+
+
+class TestFrames:
+    def test_frame_stream_starts_with_initial_state(self):
+        net = small_net()
+        result = simulate(net, until=10, seed=0)
+        frames = list(FrameGenerator(net, flow_steps=1).frames(result.events))
+        assert frames[0].caption == "initial state"
+        assert "(src:2)" in frames[0].text
+
+    def test_flow_frames_inserted(self):
+        net = small_net()
+        result = simulate(net, until=10, seed=0)
+        frames = list(FrameGenerator(net, flow_steps=2).frames(result.events))
+        captions = [f.caption for f in frames]
+        assert any(c.startswith("start move") for c in captions)
+        assert any(c.startswith("end move") for c in captions)
+        # Flow frames show the moving token marker.
+        moving = [f for f in frames if "*" in f.text.replace("[move*", "")]
+        assert moving
+
+    def test_token_counts_update_after_event(self):
+        net = small_net()
+        result = simulate(net, until=10, seed=0)
+        frames = list(FrameGenerator(net, flow_steps=1).frames(result.events))
+        final = frames[-1]
+        assert "(dst:2)" in final.text
+
+    def test_frame_headers_carry_time(self):
+        net = small_net()
+        result = simulate(net, until=10, seed=0)
+        frames = list(FrameGenerator(net, flow_steps=1).frames(result.events))
+        assert frames[0].text.startswith("t=0")
+
+
+class TestPlayer:
+    def test_step_by_step(self):
+        net = small_net()
+        result = simulate(net, until=10, seed=0)
+        player = Player(net, result.events, flow_steps=1)
+        first = player.step()
+        assert first is not None
+        assert player.current is first
+        count = 1
+        while player.step() is not None:
+            count += 1
+        assert count == player.frames_shown
+        assert player.step() is None  # exhausted stays exhausted
+
+    def test_play_to_stream(self):
+        net = small_net()
+        result = simulate(net, until=10, seed=0)
+        buffer = io.StringIO()
+        shown = Player(net, result.events, flow_steps=1).play(
+            stream=buffer, max_frames=5
+        )
+        assert shown == 5
+        assert buffer.getvalue().count("t=") == 5
+
+    def test_animate_helper(self):
+        net = small_net()
+        result = simulate(net, until=10, seed=0)
+        buffer = io.StringIO()
+        shown = animate(net, result.events, stream=buffer, max_frames=3)
+        assert shown == 3
+
+    def test_animate_rejects_bad_max_frames(self):
+        net = small_net()
+        result = simulate(net, until=10, seed=0)
+        with pytest.raises(AnimationError):
+            animate(net, result.events, max_frames=0)
+
+    def test_pipeline_animation_smoke(self):
+        from repro.processor import build_pipeline_net
+
+        net = build_pipeline_net()
+        result = simulate(net, until=30, seed=1)
+        buffer = io.StringIO()
+        shown = animate(net, result.events, stream=buffer, max_frames=10)
+        assert shown == 10
+        assert "Bus_free" in buffer.getvalue()

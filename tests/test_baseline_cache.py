@@ -1,0 +1,205 @@
+"""Tests for the cycle-accurate baseline, the cache extension, and the
+processor metrics mapping."""
+
+import math
+
+import pytest
+
+from repro.analysis.stat import compute_statistics
+from repro.processor.baseline import (
+    BusOwner,
+    CycleAccuratePipeline,
+    run_baseline,
+)
+from repro.processor.cache import build_cached_pipeline_net
+from repro.processor.config import CacheConfig, PipelineConfig
+from repro.processor.metrics import (
+    compare_metrics,
+    metrics_from_baseline,
+    metrics_from_stats,
+)
+from repro.processor.model import build_pipeline_net
+from repro.sim.engine import simulate
+
+
+class TestBaselineMechanics:
+    def test_deterministic_with_seed(self):
+        a = run_baseline(cycles=3000, seed=5)
+        b = run_baseline(cycles=3000, seed=5)
+        assert a.instructions_issued == b.instructions_issued
+        assert a.bus_busy_cycles == b.bus_busy_cycles
+
+    def test_progress(self):
+        stats = run_baseline(cycles=5000, seed=1)
+        assert stats.instructions_issued > 300
+        assert stats.cycles == 5000
+
+    def test_type_mix(self):
+        stats = run_baseline(cycles=20_000, seed=2)
+        total = sum(stats.type_counts)
+        assert stats.type_counts[0] / total == pytest.approx(0.7, abs=0.04)
+        assert stats.type_counts[1] / total == pytest.approx(0.2, abs=0.04)
+        assert stats.type_counts[2] / total == pytest.approx(0.1, abs=0.03)
+
+    def test_bus_breakdown_sums(self):
+        stats = run_baseline(cycles=5000, seed=3)
+        assert (
+            stats.prefetch_cycles + stats.operand_cycles + stats.store_cycles
+            == stats.bus_busy_cycles
+        )
+
+    def test_buffer_never_overflows(self):
+        pipe = CycleAccuratePipeline(seed=4)
+        for _ in range(5000):
+            pipe.step()
+            assert 0 <= pipe.full_words <= pipe.config.buffer_words
+
+    def test_store_priority_blocks_prefetch(self):
+        # When a store is pending and the bus frees, the store wins.
+        pipe = CycleAccuratePipeline(seed=0)
+        pipe.store_pending = True
+        pipe.full_words = 0  # prefetch also wants the bus
+        pipe.step()
+        assert pipe.bus_owner is BusOwner.STORE
+
+    def test_trace_emission_is_valid(self):
+        pipe = CycleAccuratePipeline(seed=6)
+        stats, events = pipe.run_with_trace(2000)
+        trace_stats = compute_statistics(events)
+        # Bus utilization computed from the trace matches the counters.
+        assert trace_stats.places["Bus_busy"].avg_tokens == pytest.approx(
+            stats.bus_utilization, abs=0.01
+        )
+        assert trace_stats.transitions["Issue"].ends == stats.instructions_issued
+
+
+class TestBaselineCrossValidation:
+    """The headline cross-check: TPN model vs cycle-accurate baseline."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        net = build_pipeline_net()
+        stats = compute_statistics(simulate(net, until=20_000, seed=10).events)
+        tpn = metrics_from_stats(stats)
+        base = metrics_from_baseline(run_baseline(cycles=20_000, seed=10))
+        return tpn, base
+
+    def test_ipc_agrees(self, pair):
+        tpn, base = pair
+        assert tpn.instructions_per_cycle == pytest.approx(
+            base.instructions_per_cycle, rel=0.10
+        )
+
+    def test_bus_utilization_agrees(self, pair):
+        tpn, base = pair
+        assert tpn.bus_utilization == pytest.approx(
+            base.bus_utilization, rel=0.10
+        )
+
+    def test_bus_breakdown_agrees(self, pair):
+        tpn, base = pair
+        assert tpn.bus_prefetch == pytest.approx(base.bus_prefetch, rel=0.15)
+        assert tpn.bus_operand == pytest.approx(base.bus_operand, rel=0.20)
+        assert tpn.bus_store == pytest.approx(base.bus_store, rel=0.20)
+
+    def test_execution_busy_agrees(self, pair):
+        tpn, base = pair
+        assert tpn.execution_busy == pytest.approx(
+            base.execution_busy, rel=0.15
+        )
+
+    def test_comparison_table_renders(self, pair):
+        tpn, base = pair
+        table = compare_metrics(tpn, base)
+        assert "instructions/cycle" in table
+        assert "ratio" in table
+
+
+class TestCacheExtension:
+    def test_zero_hit_ratio_equivalent_to_plain(self):
+        plain = compute_statistics(
+            simulate(build_pipeline_net(), until=10_000, seed=8).events
+        )
+        cached = compute_statistics(
+            simulate(build_cached_pipeline_net(cache=CacheConfig()),
+                     until=10_000, seed=8).events
+        )
+        plain_ipc = plain.transitions["Issue"].throughput
+        cached_ipc = cached.transitions["Issue"].throughput
+        assert cached_ipc == pytest.approx(plain_ipc, rel=0.10)
+
+    def test_hits_speed_up_pipeline(self):
+        def ipc(hit):
+            cache = CacheConfig(instruction_hit_ratio=hit, data_hit_ratio=hit)
+            net = build_cached_pipeline_net(cache=cache)
+            stats = compute_statistics(simulate(net, until=10_000, seed=8).events)
+            return stats.transitions["Issue"].throughput
+
+        assert ipc(0.9) > ipc(0.5) > ipc(0.0)
+
+    def test_hits_lower_bus_utilization(self):
+        def bus(hit):
+            cache = CacheConfig(instruction_hit_ratio=hit, data_hit_ratio=hit)
+            net = build_cached_pipeline_net(cache=cache)
+            stats = compute_statistics(simulate(net, until=10_000, seed=8).events)
+            return stats.places["Bus_busy"].avg_tokens
+
+        assert bus(0.9) < bus(0.0)
+
+    def test_hit_ratio_realized(self):
+        cache = CacheConfig(instruction_hit_ratio=0.8, data_hit_ratio=0.0)
+        net = build_cached_pipeline_net(cache=cache)
+        stats = compute_statistics(simulate(net, until=20_000, seed=9).events)
+        hits = stats.transitions["Start_prefetch_hit"].ends
+        misses = stats.transitions["Start_prefetch_miss"].ends
+        assert hits / (hits + misses) == pytest.approx(0.8, abs=0.05)
+
+    def test_bus_invariant_still_holds(self):
+        from repro.analysis.query import check_trace
+
+        cache = CacheConfig(instruction_hit_ratio=0.7, data_hit_ratio=0.7)
+        net = build_cached_pipeline_net(cache=cache)
+        result = simulate(net, until=3000, seed=2)
+        assert check_trace(
+            result.events, "forall s in S [ Bus_free(s) + Bus_busy(s) = 1 ]"
+        ).holds
+
+    def test_full_hit_ratio_has_no_miss_transitions(self):
+        cache = CacheConfig(instruction_hit_ratio=1.0, data_hit_ratio=1.0)
+        net = build_cached_pipeline_net(cache=cache)
+        assert "Start_prefetch_miss" not in net.transitions
+        assert "operand_fetch_miss" not in net.transitions
+
+
+class TestMetricsMapping:
+    def test_from_stats_fields(self):
+        stats = compute_statistics(
+            simulate(build_pipeline_net(), until=5000, seed=1).events
+        )
+        m = metrics_from_stats(
+            stats,
+            exec_transitions=tuple(f"exec_type_{i}" for i in range(1, 6)),
+            type_transitions=("Type_1", "Type_2", "Type_3"),
+        )
+        assert 0 < m.instructions_per_cycle < 1
+        assert m.cycles_per_instruction == pytest.approx(
+            1 / m.instructions_per_cycle
+        )
+        assert m.bus_utilization == pytest.approx(
+            m.bus_prefetch + m.bus_operand + m.bus_store, abs=1e-9
+        )
+        assert 0.9 < sum(m.type_mix.values()) <= 1.0001
+        assert len(m.exec_class_busy) == 5
+
+    def test_pretty_renders(self):
+        stats = compute_statistics(
+            simulate(build_pipeline_net(), until=2000, seed=1).events
+        )
+        text = metrics_from_stats(stats).pretty()
+        assert "instructions / cycle" in text
+        assert "bus utilization" in text
+
+    def test_baseline_mapping_nan_for_untracked(self):
+        m = metrics_from_baseline(run_baseline(cycles=1000, seed=1))
+        assert math.isnan(m.decoder_busy)
+        assert m.bus_utilization >= 0

@@ -1,0 +1,134 @@
+"""Tests for single-run steady-state analysis (repro.analysis.batch_means)."""
+
+import pytest
+
+from repro.analysis.batch_means import (
+    batch_means,
+    suggest_warmup,
+    throughput_batch_means,
+)
+from repro.core.builder import NetBuilder
+from repro.core.errors import QueryEvaluationError, TraceError
+from repro.sim import simulate
+from repro.trace.events import TraceEvent
+
+
+def square_wave_net(high=3, low=1):
+    """A place that alternates 1 token for `high` cycles, 0 for `low`."""
+    b = NetBuilder()
+    b.place("on")
+    b.place("off", tokens=1)
+    b.event("rise", inputs={"off": 1}, outputs={"on": 1}, enabling_time=low)
+    b.event("fall", inputs={"on": 1}, outputs={"off": 1}, enabling_time=high)
+    return b.build()
+
+
+class TestBatchMeans:
+    def test_constant_signal_zero_width_ci(self):
+        events = [
+            TraceEvent.init({"p": 3}),
+            TraceEvent.eot(1, 100.0),
+        ]
+        result = batch_means(events, "p", batches=5)
+        assert result.mean == pytest.approx(3.0)
+        assert result.ci_half_width == pytest.approx(0.0)
+
+    def test_square_wave_mean(self):
+        net = square_wave_net(high=3, low=1)
+        result = simulate(net, until=4000, seed=1)
+        estimate = batch_means(result.events, "on", warmup=100, batches=8)
+        assert estimate.mean == pytest.approx(0.75, abs=0.02)
+        assert estimate.ci_low <= 0.75 <= estimate.ci_high + 0.02
+
+    def test_hand_computed_batches(self):
+        # p: 0 on [0,10), 2 on [10,20): two batches of width 10.
+        events = [
+            TraceEvent.init({}),
+            TraceEvent.fire(1, 10.0, "t", {}, {"p": 2}),
+            TraceEvent.eot(2, 20.0),
+        ]
+        result = batch_means(events, "p", batches=2)
+        assert result.mean == pytest.approx(1.0)
+        assert result.stdev_of_batches == pytest.approx(
+            ((0 - 1) ** 2 + (2 - 1) ** 2) ** 0.5)  # sd of {0,2} = sqrt(2)
+
+    def test_warmup_removes_transient(self):
+        # 0 tokens for the first 50, then constant 4.
+        events = [
+            TraceEvent.init({}),
+            TraceEvent.fire(1, 50.0, "t", {}, {"p": 4}),
+            TraceEvent.eot(2, 100.0),
+        ]
+        with_warmup = batch_means(events, "p", warmup=50, batches=5)
+        assert with_warmup.mean == pytest.approx(4.0)
+        without = batch_means(events, "p", batches=5)
+        assert without.mean == pytest.approx(2.0)
+
+    def test_bad_parameters_rejected(self):
+        events = [TraceEvent.init({"p": 1}), TraceEvent.eot(1, 10.0)]
+        with pytest.raises(QueryEvaluationError):
+            batch_means(events, "p", batches=1)
+        with pytest.raises(QueryEvaluationError):
+            batch_means(events, "p", confidence=0.5)
+        with pytest.raises(QueryEvaluationError):
+            batch_means(events, "p", warmup=100)
+
+    def test_pretty(self):
+        events = [TraceEvent.init({"p": 1}), TraceEvent.eot(1, 10.0)]
+        text = batch_means(events, "p", batches=2).pretty()
+        assert "p:" in text and "CI" in text
+
+
+class TestThroughputBatchMeans:
+    def test_deterministic_rate(self):
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("tick", inputs={"a": 1}, outputs={"a": 1}, firing_time=2)
+        result = simulate(b.build(), until=2000, seed=1)
+        estimate = throughput_batch_means(result.events, "tick",
+                                          warmup=100, batches=5)
+        assert estimate.mean == pytest.approx(0.5, abs=0.01)
+        assert estimate.ci_half_width < 0.02
+
+    def test_matches_stat_tool(self):
+        from repro.analysis.stat import compute_statistics
+        from repro.processor import build_pipeline_net
+
+        result = simulate(build_pipeline_net(), until=20_000, seed=2)
+        stats = compute_statistics(result.events)
+        estimate = throughput_batch_means(result.events, "Issue",
+                                          warmup=1000, batches=10)
+        assert estimate.mean == pytest.approx(
+            stats.transitions["Issue"].throughput, rel=0.08)
+        # The analytic value (0.118) should sit inside a generous CI.
+        assert estimate.ci_low - 0.01 <= 0.118 <= estimate.ci_high + 0.01
+
+    def test_counts_fire_events(self):
+        events = [
+            TraceEvent.init({}),
+            TraceEvent.fire(1, 2.0, "t", {}, {}),
+            TraceEvent.fire(2, 6.0, "t", {}, {}),
+            TraceEvent.eot(3, 10.0),
+        ]
+        estimate = throughput_batch_means(events, "t", batches=2)
+        assert estimate.mean == pytest.approx(0.2)
+
+    def test_missing_init_rejected(self):
+        with pytest.raises(TraceError):
+            throughput_batch_means([TraceEvent.eot(0, 5.0)], "t", batches=2)
+
+
+class TestSuggestWarmup:
+    def test_transient_then_plateau(self):
+        # Ramp: p grows to 5 over the first fifth, then stays.
+        events = [TraceEvent.init({})]
+        for i in range(5):
+            events.append(
+                TraceEvent.fire(i + 1, (i + 1) * 20.0, "t", {}, {"p": 1}))
+        events.append(TraceEvent.eot(6, 1000.0))
+        warmup = suggest_warmup(events, "p")
+        assert 0 <= warmup <= 400  # finds the plateau reasonably early
+
+    def test_constant_signal_zero_warmup(self):
+        events = [TraceEvent.init({"p": 2}), TraceEvent.eot(1, 100.0)]
+        assert suggest_warmup(events, "p") <= 10

@@ -1,0 +1,211 @@
+"""End-to-end tests of the pnut command line (repro.cli)."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.lang.format import format_net
+from repro.processor import build_pipeline_net
+
+
+@pytest.fixture(scope="module")
+def net_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "pipeline.pn"
+    path.write_text(format_net(build_pipeline_net()))
+    return str(path)
+
+
+@pytest.fixture()
+def trace_file(net_file, tmp_path):
+    path = tmp_path / "run.trace"
+    code = main(["sim", net_file, "--until", "400", "--seed", "5",
+                 "-o", str(path)])
+    assert code == 0
+    return str(path)
+
+
+def run_cli(args, stdin_text=None):
+    """Invoke main() capturing stdout/stderr."""
+    old_out, old_err, old_in = sys.stdout, sys.stderr, sys.stdin
+    sys.stdout = io.StringIO()
+    sys.stderr = io.StringIO()
+    if stdin_text is not None:
+        sys.stdin = io.StringIO(stdin_text)
+    try:
+        code = main(args)
+        return code, sys.stdout.getvalue(), sys.stderr.getvalue()
+    finally:
+        sys.stdout, sys.stderr, sys.stdin = old_out, old_err, old_in
+
+
+class TestSim:
+    def test_trace_written(self, trace_file):
+        content = open(trace_file).read()
+        assert content.startswith("#PNUT-TRACE")
+        assert "EOT" in content
+
+    def test_sim_to_stdout(self, net_file):
+        code, out, _err = run_cli(
+            ["sim", net_file, "--until", "50", "--seed", "1"]
+        )
+        assert code == 0
+        assert "#NET pipelined-processor" in out
+
+    def test_net_from_stdin(self):
+        text = "place a = 1\nt: a -> b\n"
+        code, out, _err = run_cli(["sim", "-", "--until", "5"], stdin_text=text)
+        assert code == 0
+        assert "F t" in out
+
+
+class TestStat:
+    def test_report_sections(self, trace_file):
+        code, out, _err = run_cli(["stat", trace_file])
+        assert code == 0
+        assert "RUN STATISTICS" in out
+        assert "PLACE STATISTICS" in out
+        assert "Issue" in out
+
+    def test_troff_mode(self, trace_file):
+        code, out, _err = run_cli(["stat", trace_file, "--troff"])
+        assert code == 0
+        assert ".TS" in out
+
+
+class TestFilter:
+    def test_projection(self, trace_file):
+        code, out, _err = run_cli(
+            ["filter", trace_file, "--places", "Bus_busy,Bus_free",
+             "--transitions", ""]
+        )
+        assert code == 0
+        assert "Bus_busy" in out
+        assert "Empty_I_buffers" not in out.split("\n", 5)[4]
+
+
+class TestTracer:
+    def test_waveform_output(self, trace_file):
+        code, out, _err = run_cli(
+            ["tracer", trace_file, "--probes", "Bus_busy,pre_fetching",
+             "--width", "40", "--end", "200"]
+        )
+        assert code == 0
+        assert "Bus_busy" in out
+        assert "|" in out
+
+    def test_missing_probes_rejected(self, trace_file):
+        code, _out, err = run_cli(["tracer", trace_file, "--probes", ""])
+        assert code == 2
+        assert "probes" in err
+
+
+class TestCheck:
+    def test_holding_query_exit_zero(self, trace_file):
+        code, out, _err = run_cli(
+            ["check", trace_file,
+             "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]"]
+        )
+        assert code == 0
+        assert "HOLDS" in out
+
+    def test_failing_query_exit_one(self, trace_file):
+        code, out, _err = run_cli(
+            ["check", trace_file, "forall s in S [ Bus_free(s) = 1 ]"]
+        )
+        assert code == 1
+        assert "FAILS" in out
+
+    def test_bad_query_exit_two(self, trace_file):
+        code, _out, err = run_cli(["check", trace_file, "forall s in ["])
+        assert code == 2
+        assert "pnut:" in err
+
+
+class TestReach:
+    def test_property_bundle(self, net_file):
+        code, out, _err = run_cli(["reach", net_file])
+        assert code == 0
+        assert "states:" in out
+        assert "deadlocks: 0" in out
+
+    def test_query_proof(self, net_file):
+        code, out, _err = run_cli(
+            ["reach", net_file, "--query",
+             "forall s in S [ Bus_free(s) + Bus_busy(s) = 1 ]"]
+        )
+        assert code == 0
+        assert "HOLDS" in out
+
+
+class TestAnimateValidateFmt:
+    def test_animate_frames(self, net_file):
+        code, out, _err = run_cli(
+            ["animate", net_file, "--until", "20", "--seed", "1",
+             "--frames", "4"]
+        )
+        assert code == 0
+        assert out.count("t=") == 4
+
+    def test_validate_clean_model(self, net_file):
+        code, out, _err = run_cli(["validate", net_file])
+        assert code == 0  # warnings allowed, no errors
+
+    def test_validate_broken_model(self, tmp_path):
+        bad = tmp_path / "bad.pn"
+        bad.write_text("place p = 1\nspin: p -> p\n")
+        code, out, _err = run_cli(["validate", str(bad)])
+        assert code == 1
+        assert "IMMEDIATE-LIVELOCK" in out
+
+    def test_fmt_round_trip(self, net_file):
+        code, out, _err = run_cli(["fmt", net_file])
+        assert code == 0
+        assert out == open(net_file).read()
+
+    def test_parse_error_exit_two(self, tmp_path):
+        bad = tmp_path / "syntax.pn"
+        bad.write_text("this is not a net ???\n")
+        code, _out, err = run_cli(["fmt", str(bad)])
+        assert code == 2
+        assert "pnut:" in err
+
+
+class TestAnalyticBounds:
+    def test_analytic_steady_state(self, net_file):
+        code, out, _err = run_cli(["analytic", net_file])
+        assert code == 0
+        assert "steady state" in out
+        assert "Bus_busy" in out
+        assert "Issue" in out
+
+    def test_bounds_on_bounded_net(self, tmp_path):
+        net = tmp_path / "bounded.pn"
+        # A bounded net WITHOUT inhibitor arcs (Karp-Miller requirement).
+        net.write_text(
+            "place free = 1\n"
+            "acquire: free -> busy\n"
+            "release [enab=2]: busy -> free\n"
+        )
+        code, out, _err = run_cli(["bounds", str(net)])
+        assert code == 0
+        assert "structurally bounded" in out
+        assert "free: 1" in out
+
+    def test_bounds_detects_unbounded(self, tmp_path):
+        net = tmp_path / "unbounded.pn"
+        net.write_text(
+            "place seed = 1\n"
+            "grow [fire=1]: seed -> seed + pool\n"
+        )
+        code, out, _err = run_cli(["bounds", str(net)])
+        assert code == 1
+        assert "UNBOUNDED" in out
+        assert "pool" in out
+
+    def test_bounds_rejects_inhibitors(self, net_file):
+        # The pipeline model has inhibitor arcs: must fail cleanly.
+        code, _out, err = run_cli(["bounds", net_file])
+        assert code == 2
+        assert "inhibitor" in err

@@ -1,0 +1,33 @@
+"""Run the doctests embedded in public-API docstrings.
+
+Keeps the documentation examples honest: if a docstring example drifts
+from the implementation, this module fails.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.builder
+import repro.core.frequency
+import repro.core.marking
+import repro.core.time_model
+import repro.lang.expr
+
+MODULES = [
+    repro.core.marking,
+    repro.core.builder,
+    repro.core.frequency,
+    repro.core.time_model,
+    repro.lang.expr,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module.__name__}"
+    )
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,396 @@
+"""Unit tests for the discrete-event simulation engine (repro.sim.engine).
+
+These tests pin the timed semantics documented in DESIGN.md §4: firing
+atomicity, token visibility during enabling vs firing delays, continuous
+enablement, probabilistic conflict resolution, immediate-loop protection,
+and trace well-formedness.
+"""
+
+import pytest
+
+from repro.core.builder import NetBuilder
+from repro.core.errors import ImmediateLoopError, SimulationError
+from repro.sim.engine import Simulator, simulate
+from repro.trace.events import EventKind
+from repro.trace.states import state_list
+
+
+def events_of(result, kind=None, transition=None):
+    out = []
+    for e in result.events:
+        if kind is not None and e.kind is not kind:
+            continue
+        if transition is not None and e.transition != transition:
+            continue
+        out.append(e)
+    return out
+
+
+class TestBasicFiring:
+    def test_single_immediate_firing(self):
+        net = (
+            NetBuilder()
+            .place("a", tokens=1)
+            .event("t", inputs={"a": 1}, outputs={"b": 1})
+            .build()
+        )
+        result = simulate(net, until=10, seed=0)
+        assert result.final_marking == {"b": 1}
+        assert result.events_started == 1
+        assert result.events_finished == 1
+
+    def test_trace_shape_init_start_end_eot(self):
+        net = (
+            NetBuilder()
+            .place("a", tokens=1)
+            .event("t", inputs={"a": 1}, outputs={"b": 1})
+            .build()
+        )
+        result = simulate(net, until=10, seed=0)
+        kinds = [e.kind for e in result.events]
+        assert kinds == [EventKind.INIT, EventKind.FIRE, EventKind.EOT]
+        assert result.events[-1].time == 10
+
+    def test_chain_fires_transitively(self):
+        net = (
+            NetBuilder()
+            .place("a", tokens=1)
+            .event("t1", inputs={"a": 1}, outputs={"b": 1})
+            .event("t2", inputs={"b": 1}, outputs={"c": 1})
+            .build()
+        )
+        result = simulate(net, until=10, seed=0)
+        assert result.final_marking == {"c": 1}
+
+    def test_weighted_arcs_consume_and_produce(self):
+        net = (
+            NetBuilder()
+            .place("a", tokens=6)
+            .event("t", inputs={"a": 2}, outputs={"b": 3})
+            .build()
+        )
+        result = simulate(net, until=10, seed=0)
+        assert result.final_marking == {"b": 9}
+        assert result.events_started == 3
+
+    def test_dead_net_stops_immediately(self):
+        net = NetBuilder().place("a", tokens=0).event(
+            "t", inputs={"a": 1}, outputs={"b": 1}
+        ).build()
+        result = simulate(net, until=100, seed=0)
+        assert result.events_started == 0
+        assert result.final_time == 100  # EOT still stamped at `until`
+
+
+class TestFiringTimeSemantics:
+    def test_tokens_hidden_during_firing(self):
+        net = (
+            NetBuilder()
+            .place("a", tokens=1)
+            .event("t", inputs={"a": 1}, outputs={"b": 1}, firing_time=5)
+            .build()
+        )
+        states = state_list(simulate(net, until=10, seed=0).events)
+        # After START (state 1): token neither on a nor b.
+        mid = states[1]
+        assert mid.marking["a"] == 0 and mid.marking["b"] == 0
+        assert mid.firings("t") == 1
+        # After END: token on b at time 5.
+        done = states[2]
+        assert done.marking["b"] == 1
+        assert done.time == 5
+
+    def test_firing_completes_exactly_at_until_boundary(self):
+        net = (
+            NetBuilder()
+            .place("a", tokens=1)
+            .event("t", inputs={"a": 1}, outputs={"b": 1}, firing_time=10)
+            .build()
+        )
+        result = simulate(net, until=10, seed=0)
+        assert result.final_marking == {"b": 1}
+        assert result.events_finished == 1
+
+    def test_in_flight_firing_unfinished_at_eot(self):
+        net = (
+            NetBuilder()
+            .place("a", tokens=1)
+            .event("t", inputs={"a": 1}, outputs={"b": 1}, firing_time=50)
+            .build()
+        )
+        result = simulate(net, until=10, seed=0)
+        assert result.events_started == 1
+        assert result.events_finished == 0
+        assert result.final_marking == {}
+
+    def test_infinite_server_concurrent_firings(self):
+        net = (
+            NetBuilder()
+            .place("a", tokens=3)
+            .event("t", inputs={"a": 1}, outputs={"b": 1}, firing_time=5)
+            .build()
+        )
+        result = simulate(net, until=20, seed=0)
+        states = state_list(result.events)
+        max_concurrent = max(s.firings("t") for s in states)
+        assert max_concurrent == 3  # all three start at time 0
+
+    def test_max_concurrent_serializes(self):
+        b = NetBuilder()
+        b.place("a", tokens=3)
+        b.event("t", inputs={"a": 1}, outputs={"done": 1}, firing_time=5,
+                max_concurrent=1)
+        net = b.build()
+        result = simulate(net, until=20, seed=0)
+        states = state_list(result.events)
+        assert max(s.firings("t") for s in states) == 1
+        ends = events_of(result, EventKind.END, "t")
+        assert [e.time for e in ends] == [5, 10, 15]
+
+
+class TestEnablingTimeSemantics:
+    def test_tokens_visible_during_enabling_delay(self):
+        net = (
+            NetBuilder()
+            .place("a", tokens=1)
+            .event("t", inputs={"a": 1}, outputs={"b": 1}, enabling_time=5)
+            .build()
+        )
+        result = simulate(net, until=10, seed=0)
+        states = state_list(result.events)
+        # State 0 (INIT): token on a, stays there until the start at t=5.
+        assert states[0].marking["a"] == 1
+        start = events_of(result, EventKind.FIRE, "t")[0]
+        assert start.time == 5
+
+    def test_enabling_clock_resets_when_disabled(self):
+        # Competitor steals the token at t=0; t_slow's enabling clock must
+        # restart when the token returns.
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("steal", inputs={"a": 1}, outputs={"hold": 1}, frequency=1000)
+        b.event("release", inputs={"hold": 1}, outputs={"a": 1},
+                firing_time=3)
+        b.event("slow", inputs={"a": 1}, outputs={"done": 1},
+                enabling_time=2, frequency=0.001)
+        net = b.build()
+        result = simulate(net, until=4.5, seed=1)
+        # Token returns to a at t=3; slow may start at 5 > 4.5, so never.
+        assert not events_of(result, EventKind.FIRE, "slow")
+
+    def test_enabling_delay_fires_after_continuous_period(self):
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("slow", inputs={"a": 1}, outputs={"done": 1}, enabling_time=2)
+        net = b.build()
+        result = simulate(net, until=10, seed=1)
+        start = events_of(result, EventKind.FIRE, "slow")[0]
+        assert start.time == 2
+
+    def test_enabling_consumed_after_firing_restarts_clock(self):
+        # Server with enabling delay 2 and 3 queued tokens: services at
+        # t=2, 4, 6 (each firing consumes the enablement; clock restarts).
+        b = NetBuilder()
+        b.place("queue", tokens=3)
+        b.event("serve", inputs={"queue": 1}, outputs={"served": 1},
+                enabling_time=2)
+        net = b.build()
+        result = simulate(net, until=10, seed=0)
+        starts = events_of(result, EventKind.FIRE, "serve")
+        assert [e.time for e in starts] == [2, 4, 6]
+
+    def test_mixed_enabling_then_firing_time(self):
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1},
+                enabling_time=3, firing_time=4)
+        net = b.build()
+        result = simulate(net, until=10, seed=0)
+        start = events_of(result, EventKind.START, "t")[0]
+        end = events_of(result, EventKind.END, "t")[0]
+        assert (start.time, end.time) == (3, 7)
+
+
+class TestConflictResolution:
+    def test_frequencies_bias_choice(self):
+        b = NetBuilder()
+        b.place("src", tokens=0)
+        # refill is a timed source producing one token per cycle (the
+        # max_concurrent cap keeps the input-less source single-server);
+        # two consumers with 3:1 frequencies compete for each token.
+        b.event("refill", inputs={}, outputs={"src": 1}, firing_time=1,
+                max_concurrent=1)
+        b.event("hot", inputs={"src": 1}, outputs={"h": 1}, frequency=75)
+        b.event("cold", inputs={"src": 1}, outputs={"c": 1}, frequency=25)
+        net = b.build()
+        result = simulate(net, until=4000, seed=7)
+        h = result.final_marking["h"]
+        c = result.final_marking["c"]
+        assert h + c > 3500
+        assert h / (h + c) == pytest.approx(0.75, abs=0.03)
+
+    def test_deterministic_with_seed(self):
+        b = NetBuilder()
+        b.place("src", tokens=50)
+        b.event("a", inputs={"src": 1}, outputs={"ra": 1})
+        b.event("b", inputs={"src": 1}, outputs={"rb": 1})
+        net = b.build()
+        r1 = simulate(net, until=10, seed=99)
+        r2 = simulate(net, until=10, seed=99)
+        assert [
+            (e.time, e.kind, e.transition) for e in r1.events
+        ] == [(e.time, e.kind, e.transition) for e in r2.events]
+
+    def test_structural_conflict_respects_tokens(self):
+        # Only 1 token: exactly one of the two competitors fires.
+        b = NetBuilder()
+        b.place("src", tokens=1)
+        b.event("a", inputs={"src": 1}, outputs={"ra": 1})
+        b.event("b", inputs={"src": 1}, outputs={"rb": 1})
+        net = b.build()
+        result = simulate(net, until=10, seed=3)
+        assert result.events_started == 1
+
+
+class TestInhibitors:
+    def test_inhibitor_blocks_until_cleared(self):
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.place("blocker", tokens=1)
+        b.event("clear", inputs={"blocker": 1}, outputs={"gone": 1},
+                enabling_time=5)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1},
+                inhibitors={"blocker": 1})
+        net = b.build()
+        result = simulate(net, until=10, seed=0)
+        start_t = events_of(result, EventKind.FIRE, "t")[0]
+        assert start_t.time == 5
+
+    def test_inhibitor_threshold_above_one(self):
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.place("pool", tokens=2)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1},
+                inhibitors={"pool": 3})
+        net = b.build()
+        result = simulate(net, until=10, seed=0)
+        assert result.final_marking["b"] == 1  # 2 < 3: not inhibited
+
+
+class TestPredicatesActions:
+    def test_action_updates_variables_in_trace(self):
+        b = NetBuilder()
+        b.variable("count", 0)
+        b.place("a", tokens=3)
+
+        def bump(env):
+            env["count"] = env["count"] + 1
+
+        b.event("t", inputs={"a": 1}, outputs={"b": 1}, action=bump,
+                firing_time=1, max_concurrent=1)
+        net = b.build()
+        result = simulate(net, until=10, seed=0)
+        assert result.final_variables["count"] == 3
+        ends = events_of(result, EventKind.END, "t")
+        assert [e.variables.get("count") for e in ends] == [1, 2, 3]
+
+    def test_predicate_gates_firing(self):
+        b = NetBuilder()
+        b.variable("gate", False)
+        b.place("a", tokens=1)
+        b.place("key", tokens=1)
+
+        def open_gate(env):
+            env["gate"] = True
+
+        b.event("unlock", inputs={"key": 1}, outputs={"used": 1},
+                firing_time=4, action=open_gate)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1},
+                predicate=lambda env: env["gate"])
+        net = b.build()
+        result = simulate(net, until=10, seed=0)
+        start_t = events_of(result, EventKind.FIRE, "t")[0]
+        assert start_t.time == 4
+
+    def test_irand_in_action_is_reproducible(self):
+        def roll(env):
+            env["roll"] = env.irand(1, 6)
+
+        def build():
+            b = NetBuilder()
+            b.variable("roll", 0)
+            b.place("a", tokens=5)
+            b.event("t", inputs={"a": 1}, outputs={"b": 1}, action=roll,
+                    firing_time=1, max_concurrent=1)
+            return b.build()
+
+        r1 = simulate(build(), until=10, seed=21)
+        r2 = simulate(build(), until=10, seed=21)
+        assert r1.final_variables == r2.final_variables
+
+
+class TestImmediateLoopGuard:
+    def test_livelock_detected(self):
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("spin", inputs={"a": 1}, outputs={"a": 1})
+        net = b.build()
+        with pytest.raises(ImmediateLoopError) as info:
+            simulate(net, until=10, seed=0, immediate_budget=50)
+        assert "spin" in str(info.value)
+
+    def test_budget_not_triggered_by_legitimate_bursts(self):
+        b = NetBuilder()
+        b.place("a", tokens=200)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1})
+        net = b.build()
+        result = simulate(net, until=10, seed=0, immediate_budget=500)
+        assert result.final_marking["b"] == 200
+
+
+class TestEngineHygiene:
+    def test_stream_single_use(self):
+        net = NetBuilder().place("a", tokens=1).event(
+            "t", inputs={"a": 1}, outputs={"b": 1}
+        ).build()
+        sim = Simulator(net, seed=0)
+        list(sim.stream(until=1))
+        with pytest.raises(SimulationError):
+            list(sim.stream(until=1))
+
+    def test_requires_stop_criterion(self):
+        net = NetBuilder().place("a", tokens=1).build()
+        sim = Simulator(net, seed=0)
+        with pytest.raises(SimulationError):
+            list(sim.stream())
+
+    def test_max_events_stops_run(self):
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("tick", inputs={"a": 1}, outputs={"a": 1}, firing_time=1)
+        net = b.build()
+        result = simulate(net, max_events=5, seed=0)
+        assert result.events_started == 5
+
+    def test_start_events_record_removed_tokens(self):
+        net = NetBuilder().place("a", tokens=2).event(
+            "t", inputs={"a": 2}, outputs={"b": 1}
+        ).build()
+        result = simulate(net, until=5, seed=0)
+        fire = events_of(result, EventKind.FIRE, "t")[0]
+        assert fire.removed == {"a": 2}
+
+    def test_end_events_record_added_tokens(self):
+        net = NetBuilder().place("a", tokens=2).event(
+            "t", inputs={"a": 2}, outputs={"b": 3}
+        ).build()
+        result = simulate(net, until=5, seed=0)
+        fire = events_of(result, EventKind.FIRE, "t")[0]
+        assert fire.added == {"b": 3}
+
+    def test_event_times_monotonic(self):
+        from repro.processor import build_pipeline_net
+
+        result = simulate(build_pipeline_net(), until=500, seed=5)
+        times = [e.time for e in result.events]
+        assert times == sorted(times)

@@ -1,0 +1,219 @@
+"""Engine edge cases: delay/predicate interplay, stochastic delays,
+float time, and trace bookkeeping subtleties."""
+
+import pytest
+
+from repro.core.builder import NetBuilder
+from repro.core.time_model import DataDelay, ExponentialDelay, UniformDelay
+from repro.sim.engine import simulate
+from repro.trace.events import EventKind
+from repro.trace.states import state_list
+
+
+def events_of(result, kind=None, transition=None):
+    return [
+        e for e in result.events
+        if (kind is None or e.kind is kind)
+        and (transition is None or e.transition == transition)
+    ]
+
+
+class TestPredicateEnablingInterplay:
+    def test_predicate_flip_resets_enabling_clock(self):
+        """A transition that is marking-enabled but predicate-disabled is
+        NOT continuously enabled: the clock starts when the predicate
+        turns true."""
+        b = NetBuilder()
+        b.variable("gate", False)
+        b.place("a", tokens=1)
+        b.place("key", tokens=1)
+
+        def open_gate(env):
+            env["gate"] = True
+
+        b.event("unlock", inputs={"key": 1}, outputs={"junk": 1},
+                firing_time=4, action=open_gate)
+        b.event("slow", inputs={"a": 1}, outputs={"b": 1},
+                enabling_time=3, predicate=lambda env: env["gate"])
+        result = simulate(b.build(), until=20, seed=0)
+        fire = events_of(result, EventKind.FIRE, "slow")[0]
+        # Gate opens at t=4; enabling runs 4..7.
+        assert fire.time == 7
+
+    def test_predicate_turning_false_disables_mid_delay(self):
+        """The predicate flips false during the enabling period: the
+        transition must not fire at its original maturity time."""
+        b = NetBuilder()
+        b.variable("allowed", True)
+        b.place("a", tokens=1)
+        b.place("trigger", tokens=1)
+
+        def forbid(env):
+            env["allowed"] = False
+
+        b.event("close", inputs={"trigger": 1}, outputs={"closed": 1},
+                firing_time=2, action=forbid)
+        b.event("slow", inputs={"a": 1}, outputs={"b": 1},
+                enabling_time=5, predicate=lambda env: env["allowed"])
+        result = simulate(b.build(), until=30, seed=0)
+        assert not events_of(result, transition="slow",
+                             kind=EventKind.FIRE)
+
+
+class TestStochasticDelays:
+    def test_uniform_firing_times_bounded(self):
+        b = NetBuilder()
+        b.place("a", tokens=40)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1},
+                firing_time=UniformDelay(2, 4), max_concurrent=1)
+        result = simulate(b.build(), until=300, seed=5)
+        starts = {e.time: e for e in events_of(result, EventKind.START, "t")}
+        ends = events_of(result, EventKind.END, "t")
+        durations = []
+        start_times = sorted(starts)
+        for i, end in enumerate(ends):
+            durations.append(end.time - start_times[i])
+        assert durations
+        assert all(2 <= d <= 4 for d in durations)
+
+    def test_exponential_enabling_times_mean(self):
+        b = NetBuilder()
+        b.place("queue", tokens=600)
+        b.event("serve", inputs={"queue": 1}, outputs={"done": 1},
+                enabling_time=ExponentialDelay(3))
+        result = simulate(b.build(), until=10_000, seed=9)
+        fires = events_of(result, EventKind.FIRE, "serve")
+        assert len(fires) > 100
+        gaps = [b2.time - a.time for a, b2 in zip(fires, fires[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap == pytest.approx(3, rel=0.2)
+
+    def test_data_delay_in_enabling_time(self):
+        b = NetBuilder()
+        b.variable("wait", 6)
+        b.place("a", tokens=1)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1},
+                enabling_time=DataDelay(lambda env: env["wait"]))
+        result = simulate(b.build(), until=20, seed=0)
+        fire = events_of(result, EventKind.FIRE, "t")[0]
+        assert fire.time == 6
+
+
+class TestFloatTime:
+    def test_fractional_delays(self):
+        b = NetBuilder()
+        b.place("a", tokens=3)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1},
+                firing_time=0.25, max_concurrent=1)
+        result = simulate(b.build(), until=1.0, seed=0)
+        ends = events_of(result, EventKind.END, "t")
+        assert [e.time for e in ends] == [0.25, 0.5, 0.75]
+
+    def test_fractional_until_boundary(self):
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1}, firing_time=0.5)
+        result = simulate(b.build(), until=0.5, seed=0)
+        assert result.events_finished == 1
+        assert result.final_time == 0.5
+
+
+class TestTraceBookkeeping:
+    def test_variables_only_in_trace_when_changed(self):
+        b = NetBuilder()
+        b.variable("x", 1)
+        b.place("a", tokens=2)
+
+        def noop_then_set(env):
+            if env["x"] == 1:
+                env["x"] = 1  # same value: no delta expected
+            else:
+                env["x"] = 99
+
+        b.event("t", inputs={"a": 1}, outputs={"b": 1}, firing_time=1,
+                max_concurrent=1, action=noop_then_set)
+        result = simulate(b.build(), until=10, seed=0)
+        ends = events_of(result, EventKind.END, "t")
+        assert ends[0].variables == {}  # value unchanged: no update
+
+    def test_eot_time_without_until_is_stop_point(self):
+        b = NetBuilder()
+        b.place("a", tokens=2)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1}, firing_time=3,
+                max_concurrent=1)
+        result = simulate(b.build(), max_events=2)
+        # The second start happens at t=3 (when the first firing ends);
+        # the run stops there with the second firing left in flight.
+        assert result.events[-1].kind is EventKind.EOT
+        assert result.events[-1].time == 3
+        assert result.events_started == 2
+        assert result.events_finished == 1
+
+    def test_marking_accessor_during_run(self):
+        from repro.sim.engine import Simulator
+
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1}, firing_time=5)
+        sim = Simulator(b.build(), seed=0)
+        stream = sim.stream(until=10)
+        next(stream)  # INIT
+        next(stream)  # START
+        assert sim.marking()["a"] == 0
+        assert sim.in_flight() == {"t": 1}
+
+    def test_zero_until_runs_instant_zero(self):
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1})
+        result = simulate(b.build(), until=0, seed=0)
+        # Immediate work at t=0 still happens; EOT at 0.
+        assert result.final_marking == {"b": 1}
+        assert result.final_time == 0
+
+    def test_states_reconstruct_final_marking(self):
+        from repro.processor import build_pipeline_net
+
+        result = simulate(build_pipeline_net(), until=777, seed=3)
+        states = state_list(result.events)
+        assert states[-1].marking == result.final_marking
+
+
+class TestSimultaneousEvents:
+    def test_two_ends_at_same_instant_both_complete(self):
+        b = NetBuilder()
+        b.place("a", tokens=2)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1}, firing_time=4)
+        result = simulate(b.build(), until=10, seed=0)
+        ends = events_of(result, EventKind.END, "t")
+        assert [e.time for e in ends] == [4, 4]
+        assert result.final_marking["b"] == 2
+
+    def test_end_enables_immediate_chain_same_instant(self):
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("slow", inputs={"a": 1}, outputs={"mid": 1}, firing_time=3)
+        b.event("fast1", inputs={"mid": 1}, outputs={"mid2": 1})
+        b.event("fast2", inputs={"mid2": 1}, outputs={"done": 1})
+        result = simulate(b.build(), until=10, seed=0)
+        done_fire = events_of(result, EventKind.FIRE, "fast2")[0]
+        assert done_fire.time == 3  # cascades within the instant
+
+    def test_competition_between_matured_enabling_delays(self):
+        # Both competitors mature at t=2 for a single token: exactly one
+        # fires, biased by frequency.
+        wins = {"x": 0, "y": 0}
+        for seed in range(40):
+            b = NetBuilder()
+            b.place("a", tokens=1)
+            b.event("x", inputs={"a": 1}, outputs={"rx": 1},
+                    enabling_time=2, frequency=3)
+            b.event("y", inputs={"a": 1}, outputs={"ry": 1},
+                    enabling_time=2, frequency=1)
+            result = simulate(b.build(), until=5, seed=seed)
+            if result.final_marking.get("rx"):
+                wins["x"] += 1
+            else:
+                wins["y"] += 1
+        assert wins["x"] + wins["y"] == 40
+        assert wins["x"] > wins["y"]  # 3:1 bias shows over 40 trials

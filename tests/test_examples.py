@@ -1,0 +1,79 @@
+"""Smoke tests: every example script runs cleanly and prints its artifact.
+
+Run as subprocesses so import side effects, argparse handling and exit
+codes are exercised exactly as a user would hit them.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "protocol_timeout.py",
+    "verification_workflow.py",
+]
+
+SLOW_EXAMPLES = [
+    "pipeline_processor.py",
+    "timing_analysis.py",
+    "interpreted_isa.py",
+    "queueing_network.py",
+]
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["RUN STATISTICS", "HOLDS"],
+    "protocol_timeout.py": ["timeouts", "HOLDS"],
+    "verification_workflow.py": ["TIMED-SHUTTLE", "FAILS", "PROVED"],
+    "pipeline_processor.py": ["EVENT STATISTICS", "instructions / cycle",
+                              "proved over all reachable states: True"],
+    "timing_analysis.py": ["Bus_busy", "O <-> X", "HOLDS"],
+    "interpreted_isa.py": ["addressing modes", "irand[1, max_type]"],
+    "queueing_network.py": ["Little's law", "batch-means"],
+}
+
+
+def run_example(name: str, *args: str) -> str:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {name}"
+    process = subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True,
+        text=True,
+        timeout=400,
+    )
+    assert process.returncode == 0, (
+        f"{name} exited {process.returncode}\nstderr:\n{process.stderr[-2000:]}"
+    )
+    return process.stdout
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    output = run_example(name)
+    for marker in EXPECTED_MARKERS[name]:
+        assert marker in output, f"{name}: missing {marker!r} in output"
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name):
+    output = run_example(name)
+    for marker in EXPECTED_MARKERS[name]:
+        assert marker in output, f"{name}: missing {marker!r} in output"
+
+
+def test_animation_example_with_flags():
+    output = run_example("animate_pipeline.py", "--frames", "4",
+                         "--until", "15", "--subnet")
+    assert output.count("t=") == 4
+    assert "Bus_free" in output
+
+
+def test_design_space_sweep_runs():
+    output = run_example("design_space_sweep.py")
+    assert "memory latency sweep" in output
+    assert "cache hit ratio" in output

@@ -1,0 +1,164 @@
+"""Tests for multi-run experiments and the simulation command language."""
+
+import pytest
+
+from repro.core.builder import NetBuilder
+from repro.core.errors import SimulationError
+from repro.sim.commands import CommandScript, execute_commands, run_script_text
+from repro.sim.experiment import Experiment, summarize_metric
+from repro.trace.events import EventKind
+
+
+def coin_net():
+    """Timed coin flips: heads/tails at equal frequency, 1 per cycle."""
+    b = NetBuilder("coin")
+    b.place("ready", tokens=1)
+    b.event("flip_heads", inputs={"ready": 1}, outputs={"h": 1, "back": 1},
+            frequency=1)
+    b.event("flip_tails", inputs={"ready": 1}, outputs={"t": 1, "back": 1},
+            frequency=1)
+    b.event("reset", inputs={"back": 1}, outputs={"ready": 1}, firing_time=1)
+    return b.build()
+
+
+class TestSummarizeMetric:
+    def test_mean_and_stdev(self):
+        summary = summarize_metric("m", [1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.stdev == pytest.approx(1.0)
+
+    def test_ci_contains_mean(self):
+        summary = summarize_metric("m", [1.0, 2.0, 3.0, 4.0], confidence=0.95)
+        assert summary.ci_low < summary.mean < summary.ci_high
+        assert summary.ci_half_width == pytest.approx(
+            1.96 * summary.stdev / 2, rel=0.01
+        )
+
+    def test_single_observation_zero_width(self):
+        summary = summarize_metric("m", [5.0])
+        assert summary.stdev == 0
+        assert summary.ci_half_width == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_metric("m", [])
+
+    def test_unknown_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_metric("m", [1.0], confidence=0.5)
+
+    def test_pretty(self):
+        text = summarize_metric("ipc", [0.1, 0.12]).pretty()
+        assert "ipc" in text and "CI" in text
+
+
+class TestExperiment:
+    def test_replications_independent_and_reproducible(self):
+        net = coin_net()
+        experiment = Experiment(
+            net, until=500,
+            metrics={"heads": lambda r: r.final_marking["h"]},
+            base_seed=7,
+        )
+        result1 = experiment.run(replications=4)
+        result2 = experiment.run(replications=4)
+        assert result1.metric("heads").values == result2.metric("heads").values
+        # Different seeds produce different observations (w.h.p.).
+        assert len(set(result1.metric("heads").values)) > 1
+
+    def test_metric_mean_near_expectation(self):
+        net = coin_net()
+        experiment = Experiment(
+            net, until=1000,
+            metrics={
+                "heads_share": lambda r: r.final_marking["h"]
+                / (r.final_marking["h"] + r.final_marking["t"]),
+            },
+            base_seed=1,
+        )
+        result = experiment.run(replications=8)
+        assert result.metric("heads_share").mean == pytest.approx(0.5, abs=0.05)
+
+    def test_run_numbers_assigned(self):
+        net = coin_net()
+        experiment = Experiment(net, until=50, metrics={}, base_seed=1)
+        result = experiment.run(replications=3)
+        assert [r.header.run_number for r in result.runs] == [1, 2, 3]
+
+    def test_invalid_parameters(self):
+        net = coin_net()
+        with pytest.raises(ValueError):
+            Experiment(net, until=0, metrics={})
+        with pytest.raises(ValueError):
+            Experiment(net, until=10, metrics={}).run(replications=0)
+
+    def test_pretty(self):
+        net = coin_net()
+        experiment = Experiment(
+            net, until=100, metrics={"h": lambda r: r.final_marking["h"]}
+        )
+        assert "replication" in experiment.run(2).pretty()
+
+
+class TestCommandScript:
+    def test_parse_full_script(self):
+        script = CommandScript([
+            "# experiment", "seed 42", "run 1000",
+            "runs 2 500", "limit 100", "quiet",
+        ])
+        keywords = [step[0] for step in script.steps]
+        assert keywords == ["seed", "run", "runs", "limit", "quiet"]
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(SimulationError):
+            CommandScript(["run abc"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SimulationError):
+            CommandScript(["jump 3"])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            CommandScript(["run -5"])
+
+    def test_comments_and_blanks_skipped(self):
+        script = CommandScript(["", "# only comments", "   "])
+        assert script.steps == []
+
+
+class TestExecuteCommands:
+    def test_single_run(self):
+        net = coin_net()
+        traces = list(run_script_text(net, "seed 5\nrun 100\n"))
+        assert len(traces) == 1
+        header, events = traces[0]
+        events = list(events)
+        assert header.seed == 5
+        assert events[0].kind is EventKind.INIT
+        assert events[-1].kind is EventKind.EOT
+        assert events[-1].time == 100
+
+    def test_replicated_runs_derive_seeds(self):
+        net = coin_net()
+        traces = list(run_script_text(net, "seed 10\nruns 3 50\n"))
+        assert [h.seed for h, _ in traces] == [10, 11, 12]
+        assert [h.run_number for h, _ in traces] == [1, 2, 3]
+        for _header, events in traces:
+            assert list(events)[-1].time == 50
+
+    def test_limit_applies(self):
+        net = coin_net()
+        traces = list(run_script_text(net, "limit 5\nrun 1000\n"))
+        _header, events = traces[0]
+        starts = [e for e in events
+                  if e.kind in (EventKind.START, EventKind.FIRE)]
+        assert len(starts) <= 6  # limit 5 starts (+ nothing extra)
+
+    def test_seed_applies_to_later_runs(self):
+        net = coin_net()
+        script = CommandScript(["run 50", "seed 3", "run 50"])
+        traces = list(execute_commands(net, script))
+        assert traces[0][0].seed is None
+        # Drain first iterator before the second (generators share state).
+        list(traces[0][1])
+        assert traces[1][0].seed == 3

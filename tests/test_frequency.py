@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.frequency (probabilistic conflict resolution)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.frequency import (
+    choose_weighted,
+    expected_shares,
+    normalize_frequencies,
+)
+
+
+class TestNormalize:
+    def test_paper_mix(self):
+        probs = normalize_frequencies({"t1": 70, "t2": 20, "t3": 10})
+        assert probs == {"t1": 0.7, "t2": 0.2, "t3": 0.1}
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(SimulationError):
+            normalize_frequencies({})
+
+
+class TestChooseWeighted:
+    def test_single_candidate_shortcut(self):
+        rng = random.Random(0)
+        assert choose_weighted(rng, ["only"], {}) == "only"
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            choose_weighted(random.Random(0), [], {})
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(SimulationError):
+            choose_weighted(random.Random(0), ["a", "b"], {"a": 0, "b": 1})
+
+    def test_missing_frequency_defaults_to_one(self):
+        rng = random.Random(1)
+        picks = {choose_weighted(rng, ["a", "b"], {}) for _ in range(100)}
+        assert picks == {"a", "b"}
+
+    def test_empirical_shares_match_frequencies(self):
+        rng = random.Random(123)
+        freqs = {"t1": 70, "t2": 20, "t3": 10}
+        counts = {"t1": 0, "t2": 0, "t3": 0}
+        n = 30_000
+        for _ in range(n):
+            counts[choose_weighted(rng, ["t1", "t2", "t3"], freqs)] += 1
+        assert counts["t1"] / n == pytest.approx(0.7, abs=0.02)
+        assert counts["t2"] / n == pytest.approx(0.2, abs=0.02)
+        assert counts["t3"] / n == pytest.approx(0.1, abs=0.02)
+
+    def test_dynamic_renormalization_on_subset(self):
+        # When only t2/t3 compete, their shares renormalize to 2/3 vs 1/3.
+        rng = random.Random(5)
+        freqs = {"t1": 70, "t2": 20, "t3": 10}
+        n = 30_000
+        t2 = sum(
+            1 for _ in range(n)
+            if choose_weighted(rng, ["t2", "t3"], freqs) == "t2"
+        )
+        assert t2 / n == pytest.approx(2 / 3, abs=0.02)
+
+    def test_deterministic_given_seed(self):
+        freqs = {"a": 1, "b": 2}
+        seq1 = [
+            choose_weighted(random.Random(9), ["a", "b"], freqs)
+            for _ in range(1)
+        ]
+        seq2 = [
+            choose_weighted(random.Random(9), ["a", "b"], freqs)
+            for _ in range(1)
+        ]
+        assert seq1 == seq2
+
+
+class TestExpectedShares:
+    def test_subset_shares(self):
+        shares = expected_shares(["t2", "t3"], {"t1": 70, "t2": 20, "t3": 10})
+        assert shares["t2"] == pytest.approx(2 / 3)
+        assert shares["t3"] == pytest.approx(1 / 3)
+
+    def test_unknown_names_default_weight(self):
+        shares = expected_shares(["x", "y"], {})
+        assert shares == {"x": 0.5, "y": 0.5}

@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.inscription (predicates/actions/environment)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ActionError
+from repro.core.inscription import (
+    Environment,
+    always_true,
+    check_predicate,
+    no_action,
+    run_action,
+)
+
+
+class TestEnvironment:
+    def test_get_set(self):
+        env = Environment({"x": 1})
+        env["y"] = 2
+        assert env["x"] == 1
+        assert env["y"] == 2
+
+    def test_undefined_variable_raises(self):
+        with pytest.raises(ActionError):
+            Environment()["ghost"]
+
+    def test_get_with_default(self):
+        assert Environment().get("ghost", 9) == 9
+
+    def test_contains(self):
+        env = Environment({"x": 1})
+        assert "x" in env
+        assert "y" not in env
+
+    def test_as_dict_is_copy(self):
+        env = Environment({"x": 1})
+        snapshot = env.as_dict()
+        snapshot["x"] = 99
+        assert env["x"] == 1
+
+    def test_update(self):
+        env = Environment({"x": 1})
+        env.update({"x": 2, "y": 3})
+        assert env["x"] == 2 and env["y"] == 3
+
+
+class TestIrand:
+    def test_inclusive_bounds(self):
+        env = Environment(rng=random.Random(0))
+        values = {env.irand(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_reversed_bounds_raise(self):
+        with pytest.raises(ActionError):
+            Environment().irand(3, 1)
+
+    def test_deterministic_with_seed(self):
+        a = Environment(rng=random.Random(42))
+        b = Environment(rng=random.Random(42))
+        assert [a.irand(1, 100) for _ in range(10)] == [
+            b.irand(1, 100) for _ in range(10)
+        ]
+
+
+class TestTables:
+    def test_one_based_lookup(self):
+        env = Environment({"operands": (0, 1, 2)})
+        assert env.table("operands", 1) == 0
+        assert env.table("operands", 3) == 2
+
+    def test_out_of_range_raises(self):
+        env = Environment({"operands": (0, 1)})
+        with pytest.raises(ActionError):
+            env.table("operands", 0)
+        with pytest.raises(ActionError):
+            env.table("operands", 3)
+
+    def test_non_table_raises(self):
+        env = Environment({"x": 5})
+        with pytest.raises(ActionError):
+            env.table("x", 1)
+
+
+class TestSnapshotScalars:
+    def test_excludes_tables(self):
+        env = Environment({"x": 1, "tbl": (1, 2), "name": "abc", "flag": True})
+        snap = env.snapshot_scalars()
+        assert snap == {"x": 1, "name": "abc", "flag": True}
+
+
+class TestGuards:
+    def test_always_true(self):
+        assert always_true(Environment()) is True
+
+    def test_no_action_noop(self):
+        env = Environment({"x": 1})
+        no_action(env)
+        assert env["x"] == 1
+
+    def test_check_predicate_wraps_exception(self):
+        def bad(env):
+            raise ValueError("boom")
+
+        with pytest.raises(ActionError, match="predicate of transition 't'"):
+            check_predicate(bad, Environment(), "t")
+
+    def test_check_predicate_rejects_non_bool(self):
+        with pytest.raises(ActionError, match="non-bool"):
+            check_predicate(lambda env: 1, Environment(), "t")
+
+    def test_run_action_wraps_exception(self):
+        def bad(env):
+            raise RuntimeError("boom")
+
+        with pytest.raises(ActionError, match="action of transition 't'"):
+            run_action(bad, Environment(), "t")
+
+    def test_run_action_passes_action_error_through(self):
+        def bad(env):
+            env["ghost"]
+
+        with pytest.raises(ActionError, match="undefined variable"):
+            run_action(bad, Environment(), "t")

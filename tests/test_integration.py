@@ -1,0 +1,168 @@
+"""Cross-subsystem integration tests: full workflows through the toolkit.
+
+Each test walks a realistic multi-tool path end to end — the way the
+paper's users chained the P-NUT programs — asserting consistency between
+independently implemented components at every hand-off.
+"""
+
+import io
+
+import pytest
+
+from repro.analysis.query import check_trace
+from repro.analysis.stat import compute_statistics
+from repro.analysis.tracer import TracerSession
+from repro.core.invariants import p_semiflows
+from repro.lang import format_net, parse_net
+from repro.processor import build_pipeline_net
+from repro.reachability import (
+    RgChecker,
+    build_untimed_graph,
+    steady_state,
+    verify_p_invariant,
+)
+from repro.sim import Simulator, simulate
+from repro.trace.filter import TraceFilter
+from repro.trace.serialize import read_trace, write_trace
+
+
+class TestDslToAnalysisWorkflow:
+    """DSL text -> net -> simulate -> serialize -> parse -> stat -> query."""
+
+    NET_TEXT = """
+    net assembly-line
+    place raw = 8
+    place machine_free = 1 cap 1
+    place inspecting
+    place good
+    place rework
+    load: raw + machine_free -> loaded
+    process [fire=3]: loaded -> inspecting
+    pass [freq=85, enab=1]: inspecting -> good + machine_free
+    fail [freq=15, enab=1]: inspecting -> rework + machine_free
+    retry [fire=2]: rework -> raw
+    ship [fire=4]: good -> raw
+    """
+
+    def test_full_path(self):
+        net = parse_net(self.NET_TEXT)
+        result = simulate(net, until=2000, seed=6)
+
+        # Serialize and re-read the trace (file hand-off).
+        buffer = io.StringIO()
+        write_trace(buffer, result.header, result.events)
+        buffer.seek(0)
+        _header, parsed_events = read_trace(buffer)
+        stats = compute_statistics(
+            list(parsed_events),
+            transition_names=net.transition_names(),
+        )
+
+        processed = stats.transitions["process"].ends
+        passed = stats.transitions["pass"].ends
+        failed = stats.transitions["fail"].ends
+        assert processed > 100
+        assert passed + failed == pytest.approx(processed, abs=1)
+        assert passed / (passed + failed) == pytest.approx(0.85, abs=0.08)
+
+        # The machine is exclusive at every state.
+        verdict = check_trace(
+            result.events,
+            "forall s in S [ machine_free(s) + loaded(s) + inspecting(s) "
+            "+ process(s) <= 1 ]",
+        )
+        assert verdict.holds
+
+    def test_round_trip_preserves_behaviour(self):
+        net = parse_net(self.NET_TEXT)
+        clone = parse_net(format_net(net))
+        a = simulate(net, until=300, seed=9)
+        b = simulate(clone, until=300, seed=9)
+        assert [(e.time, e.kind, e.transition) for e in a.events] == \
+            [(e.time, e.kind, e.transition) for e in b.events]
+
+
+class TestInvariantsAcrossTools:
+    """The same conservation law must be visible to every subsystem."""
+
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build_pipeline_net()
+
+    def test_semiflow_matches_rg_matches_trace(self, net):
+        bus_flow = next(
+            inv for inv in p_semiflows(net)
+            if inv.support() >= {"Bus_free", "Bus_busy"}
+        )
+        # 1. Linear algebra says it's invariant.
+        assert bus_flow.weights["Bus_free"] == bus_flow.weights["Bus_busy"]
+        # 2. The reachability graph proves it for all behaviours.
+        graph = build_untimed_graph(net)
+        holds, _ = verify_p_invariant(graph, bus_flow)
+        assert holds
+        # 3. A simulation trace obeys it.
+        result = simulate(net, until=1000, seed=12)
+        assert check_trace(
+            result.events, "forall s in S [ Bus_free(s) + Bus_busy(s) = 1 ]"
+        ).holds
+        # 4. The analytic solver's averages respect it exactly.
+        analytic = steady_state(net)
+        assert (analytic.place_averages["Bus_free"]
+                + analytic.place_averages["Bus_busy"]) == pytest.approx(1.0)
+
+    def test_rg_query_equals_ctl_equals_trace_test(self, net):
+        graph = build_untimed_graph(net)
+        checker = RgChecker(graph, net)
+        query = ("forall s in {s' in S | Bus_busy(s')} "
+                 "[ inev(s, Bus_free(C), true) ]")
+        assert checker.check(query)
+        # The trace test of the same property holds away from the
+        # truncated tail (checked thoroughly in the benchmarks).
+        result = simulate(net, until=600, seed=2)
+        verdict = check_trace(result.events, query)
+        if not verdict.holds:
+            assert verdict.counterexample.time > 500
+
+
+class TestStreamingPipelines:
+    def test_simulate_filter_stat_streams_without_materializing(self):
+        net = build_pipeline_net()
+        simulator = Simulator(net, seed=31)
+        filtered = TraceFilter(
+            keep_places=["Bus_busy", "Bus_free"], keep_transitions=[]
+        ).apply(simulator.stream(until=2000))
+        stats = compute_statistics(filtered)
+        reference = compute_statistics(
+            simulate(net, until=2000, seed=31).events)
+        assert stats.places["Bus_busy"].avg_tokens == pytest.approx(
+            reference.places["Bus_busy"].avg_tokens, rel=1e-12)
+
+    def test_tracer_on_filtered_trace(self):
+        net = build_pipeline_net()
+        result = simulate(net, until=800, seed=14)
+        filtered = list(TraceFilter(
+            keep_places=["Bus_busy"], keep_transitions=[]
+        ).apply(result.events))
+        session = TracerSession(filtered, ["Bus_busy"])
+        full_session = TracerSession(result.events, ["Bus_busy"])
+        assert session.signal("Bus_busy").time_average() == pytest.approx(
+            full_session.signal("Bus_busy").time_average(), rel=1e-12)
+
+
+class TestStatVsAnalyticVsBatchMeans:
+    """Three estimators of one quantity must agree."""
+
+    def test_three_way_agreement(self):
+        from repro.analysis.batch_means import batch_means
+
+        net = build_pipeline_net()
+        result = simulate(net, until=60_000, seed=8)
+        stat_value = compute_statistics(
+            result.events).places["Bus_busy"].avg_tokens
+        batch = batch_means(result.events, "Bus_busy", warmup=2000,
+                            batches=10)
+        analytic = steady_state(net).place_averages["Bus_busy"]
+        assert stat_value == pytest.approx(analytic, abs=0.02)
+        assert batch.mean == pytest.approx(analytic, abs=0.02)
+        # The batch-means CI should usually cover the analytic value.
+        assert batch.ci_low - 0.02 <= analytic <= batch.ci_high + 0.02

@@ -1,0 +1,364 @@
+"""Tests for the textual net language and the expression language."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ActionError, LanguageError
+from repro.core.inscription import Environment
+from repro.lang.expr import (
+    compile_action,
+    compile_predicate,
+    parse_expression,
+    parse_statements,
+)
+from repro.lang.format import format_net, line_count
+from repro.lang.parser import parse_net
+
+
+class TestExpressionParsing:
+    def test_arithmetic_precedence(self):
+        pred = compile_predicate("1 + 2 * 3 = 7")
+        assert pred(Environment())
+
+    def test_parentheses(self):
+        assert compile_predicate("(1 + 2) * 3 = 9")(Environment())
+
+    def test_unary_minus(self):
+        assert compile_predicate("-2 + 5 = 3")(Environment())
+
+    def test_division_and_modulo(self):
+        env = Environment()
+        assert compile_predicate("7 / 2 = 3.5")(env)
+        assert compile_predicate("7 % 2 = 1")(env)
+
+    def test_comparisons(self):
+        env = Environment({"x": 5})
+        assert compile_predicate("x >= 5")(env)
+        assert compile_predicate("x > 4")(env)
+        assert compile_predicate("x <= 5")(env)
+        assert compile_predicate("x != 4")(env)
+        assert compile_predicate("x <> 4")(env)  # paper-era not-equal
+        assert not compile_predicate("x < 5")(env)
+
+    def test_boolean_connectives(self):
+        env = Environment({"a": 1, "b": 0})
+        assert compile_predicate("a = 1 and not (b = 1)")(env)
+        assert compile_predicate("a = 2 or b = 0")(env)
+
+    def test_true_false_literals(self):
+        assert compile_predicate("true")(Environment())
+        assert not compile_predicate("false")(Environment())
+
+    def test_syntax_error_reported_with_position(self):
+        with pytest.raises(LanguageError):
+            parse_expression("1 + ")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(LanguageError):
+            parse_expression("1 + 2 zzz")
+
+
+class TestPaperNotation:
+    """The exact predicates/actions from the paper's §3."""
+
+    def test_decode_action(self):
+        action = compile_action(
+            "type = irand[1, max_type]; "
+            "number_of_operands_needed = operands[type]"
+        )
+        env = Environment(
+            {"max_type": 3, "operands": (0, 1, 2), "type": 0,
+             "number_of_operands_needed": -1},
+            rng=random.Random(7),
+        )
+        action(env)
+        assert env["type"] in (1, 2, 3)
+        assert env["number_of_operands_needed"] == env["operands"][env["type"] - 1]
+
+    def test_operand_fetching_done_predicate(self):
+        pred = compile_predicate("number_of_operands_needed = 0")
+        assert pred(Environment({"number_of_operands_needed": 0}))
+        assert not pred(Environment({"number_of_operands_needed": 2}))
+
+    def test_fetch_operand_predicate(self):
+        pred = compile_predicate("number_of_operands_needed > 0")
+        assert pred(Environment({"number_of_operands_needed": 1}))
+
+    def test_end_fetch_action(self):
+        action = compile_action(
+            "number_of_operands_needed = number_of_operands_needed - 1"
+        )
+        env = Environment({"number_of_operands_needed": 2})
+        action(env)
+        assert env["number_of_operands_needed"] == 1
+
+    def test_multiple_statements_with_trailing_semicolon(self):
+        statements = parse_statements("a = 1; b = 2;")
+        assert len(statements) == 2
+
+    def test_table_index_must_be_integer(self):
+        action = compile_action("x = tbl[1.5]")
+        with pytest.raises(ActionError):
+            action(Environment({"tbl": (1, 2), "x": 0}))
+
+    def test_undefined_variable_raises(self):
+        with pytest.raises(ActionError):
+            compile_predicate("ghost > 0")(Environment())
+
+    def test_compiled_objects_remember_source(self):
+        pred = compile_predicate("  x > 0 ")
+        assert pred.source == "x > 0"
+        action = compile_action(" x = 1 ")
+        assert action.source == "x = 1"
+
+
+class TestNetParsing:
+    SIMPLE = """
+    # a tiny net
+    net demo
+    var limit = 3
+    place a = 2 cap 4
+    place b
+    t1 [fire=1.5, freq=2]: a -> b
+    t2 [enab=3]: 2*b + ~a -> a
+    """
+
+    def test_nodes_created(self):
+        net = parse_net(self.SIMPLE)
+        assert net.name == "demo"
+        assert net.place("a").initial_tokens == 2
+        assert net.place("a").capacity == 4
+        assert set(net.transition_names()) == {"t1", "t2"}
+
+    def test_arcs(self):
+        net = parse_net(self.SIMPLE)
+        assert net.inputs_of("t1") == {"a": 1}
+        assert net.outputs_of("t1") == {"b": 1}
+        assert net.inputs_of("t2") == {"b": 2}
+        assert net.inhibitors_of("t2") == {"a": 1}
+
+    def test_attributes(self):
+        net = parse_net(self.SIMPLE)
+        assert net.transition("t1").firing_time.mean() == 1.5
+        assert net.transition("t1").frequency == 2
+        assert net.transition("t2").enabling_time.mean() == 3
+
+    def test_variables(self):
+        assert parse_net(self.SIMPLE).initial_variables == {"limit": 3}
+
+    def test_implicit_places(self):
+        net = parse_net("t: x -> y\n")
+        assert set(net.place_names()) == {"x", "y"}
+
+    def test_empty_sides(self):
+        net = parse_net("place out\nsrc [fire=1, max=1]: 0 -> out\nsink: out -> 0\n")
+        assert net.inputs_of("src") == {}
+        assert net.outputs_of("sink") == {}
+
+    def test_weight_with_space_syntax(self):
+        net = parse_net("t: 2 a -> 3 b\n")
+        assert net.inputs_of("t") == {"a": 2}
+        assert net.outputs_of("t") == {"b": 3}
+
+    def test_inhibitor_threshold(self):
+        net = parse_net("t: a + ~3*q -> b\n")
+        assert net.inhibitors_of("t") == {"q": 3}
+
+    def test_predicate_and_action_attributes(self):
+        text = (
+            "var n = 2\n"
+            "dec [pred: n > 0, action: n = n - 1]: a -> a\n"
+        )
+        net = parse_net(text)
+        env = Environment({"n": 2})
+        assert net.transition("dec").predicate(env)
+        net.transition("dec").action(env)
+        assert env["n"] == 1
+
+    def test_action_with_irand_comma_inside_brackets(self):
+        text = "var t = 0\nvar m = 3\nd [action: t = irand[1, m]]: a -> b\n"
+        net = parse_net(text)
+        env = Environment({"t": 0, "m": 3}, rng=random.Random(0))
+        net.transition("d").action(env)
+        assert env["t"] in (1, 2, 3)
+
+    def test_line_continuation(self):
+        text = "t: a + \\\n   b -> c\n"
+        net = parse_net(text)
+        assert set(net.inputs_of("t")) == {"a", "b"}
+
+    def test_comments_ignored(self):
+        net = parse_net("# hello\nt: a -> b  # trailing\n")
+        assert "t" in net.transition_names()
+
+    def test_table_variables(self):
+        net = parse_net('var tbl = [1, 2.5, true, "x"]\nt: a -> b\n')
+        assert net.initial_variables["tbl"] == (1, 2.5, True, "x")
+
+    def test_inhibitor_on_output_rejected(self):
+        with pytest.raises(LanguageError):
+            parse_net("t: a -> ~b\n")
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(LanguageError):
+            parse_net("t [wobble=3]: a -> b\n")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(LanguageError):
+            parse_net("t: a + b\n")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(LanguageError):
+            parse_net("   \n  \n")
+
+    def test_duplicate_net_line_rejected(self):
+        with pytest.raises(LanguageError):
+            parse_net("net a\nnet b\n")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_net("net ok\nplace fine = 1\nbroken [xyz: a -> b\n")
+        except LanguageError as error:
+            assert error.line == 3
+        else:
+            pytest.fail("expected LanguageError")
+
+
+class TestRoundTrip:
+    def test_pipeline_round_trips(self):
+        from repro.processor import build_pipeline_net
+
+        net = build_pipeline_net()
+        text = format_net(net)
+        clone = parse_net(text)
+        assert format_net(clone) == text
+
+    def test_round_trip_preserves_structure(self):
+        from repro.processor import build_pipeline_net
+
+        net = build_pipeline_net()
+        clone = parse_net(format_net(net))
+        assert set(clone.place_names()) == set(net.place_names())
+        assert set(clone.transition_names()) == set(net.transition_names())
+        for t in net.transition_names():
+            assert clone.inputs_of(t) == net.inputs_of(t)
+            assert clone.outputs_of(t) == net.outputs_of(t)
+            assert clone.inhibitors_of(t) == net.inhibitors_of(t)
+
+    def test_round_trip_behavioural_equivalence(self):
+        from repro.analysis import compute_statistics
+        from repro.processor import build_pipeline_net
+        from repro.sim import simulate
+
+        net = build_pipeline_net()
+        clone = parse_net(format_net(net))
+        s1 = compute_statistics(simulate(net, until=2000, seed=4).events)
+        s2 = compute_statistics(simulate(clone, until=2000, seed=4).events)
+        assert s1.transitions["Issue"].ends == s2.transitions["Issue"].ends
+
+    def test_figure4_round_trips_with_inscriptions(self):
+        from repro.processor.interpreted import build_figure4_net
+
+        net = build_figure4_net()
+        text = format_net(net)
+        assert "irand[1, max_type]" in text
+        clone = parse_net(text)
+        assert format_net(clone) == text
+
+    def test_python_inscription_requires_lossy(self):
+        from repro.core.builder import NetBuilder
+
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1},
+                predicate=lambda env: True)
+        net = b.build()
+        with pytest.raises(LanguageError):
+            format_net(net)
+        assert "t" in format_net(net, lossy=True)
+
+    def test_stochastic_delay_requires_lossy(self):
+        from repro.core.builder import NetBuilder
+        from repro.core.time_model import UniformDelay
+
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("t", inputs={"a": 1}, outputs={"b": 1},
+                firing_time=UniformDelay(1, 2))
+        net = b.build()
+        with pytest.raises(LanguageError):
+            format_net(net)
+        format_net(net, lossy=True)  # drops the delay, no crash
+
+    def test_line_count_of_paper_model(self):
+        # "roughly 25 lines": the transition body of the §2 model is 21
+        # lines; with place declarations and header it stays under 45.
+        from repro.processor import build_pipeline_net
+
+        assert line_count(build_pipeline_net()) <= 45
+
+
+class TestDotExport:
+    def test_net_dot_structure(self):
+        from repro.lang.dot import net_to_dot
+        from repro.processor import build_prefetch_net
+
+        dot = net_to_dot(build_prefetch_net())
+        assert dot.startswith('digraph "fig1-prefetch"')
+        assert "shape=circle" in dot  # places
+        assert "shape=box" in dot     # transitions
+        assert "arrowhead=odot" in dot  # inhibitor arcs
+        assert '"Empty_I_buffers" -> "Start_prefetch" [label="2"]' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_net_dot_marks_initial_tokens(self):
+        from repro.lang.dot import net_to_dot
+        from repro.processor import build_prefetch_net
+
+        dot = net_to_dot(build_prefetch_net())
+        assert "Bus_free\\n1" in dot
+
+    def test_net_dot_with_marking_snapshot(self):
+        from repro.lang.dot import net_to_dot
+        from repro.core.marking import Marking
+        from repro.processor import build_prefetch_net
+
+        net = build_prefetch_net()
+        dot = net_to_dot(net, marking=Marking({"Full_I_buffers": 3}))
+        assert "Full_I_buffers" in dot
+
+    def test_net_dot_delay_annotations(self):
+        from repro.lang.dot import net_to_dot
+        from repro.processor import build_prefetch_net
+
+        dot = net_to_dot(build_prefetch_net())
+        assert "enab=5" in dot
+        assert "fire=1" in dot
+        plain = net_to_dot(build_prefetch_net(), include_delays=False)
+        assert "enab=5" not in plain
+
+    def test_reachability_dot(self):
+        from repro.core.builder import NetBuilder
+        from repro.lang.dot import reachability_to_dot
+        from repro.reachability import build_untimed_graph
+
+        b = NetBuilder()
+        b.place("free", tokens=1)
+        b.event("acquire", inputs={"free": 1}, outputs={"busy": 1})
+        b.event("release", inputs={"busy": 1}, outputs={"free": 1},
+                firing_time=1)
+        graph = build_untimed_graph(b.build())
+        dot = reachability_to_dot(graph)
+        assert "digraph reachability" in dot
+        assert "peripheries=2" in dot  # initial state highlighted
+        assert "acquire" in dot and "release" in dot
+
+    def test_reachability_dot_truncation(self):
+        from repro.lang.dot import reachability_to_dot
+        from repro.processor import build_pipeline_net
+        from repro.reachability import build_untimed_graph
+
+        graph = build_untimed_graph(build_pipeline_net())
+        dot = reachability_to_dot(graph, max_states=10)
+        assert "more states" in dot

@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.marking."""
+
+import pytest
+
+from repro.core.errors import MarkingError
+from repro.core.marking import Marking, marking_of
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = Marking()
+        assert len(m) == 0
+        assert m.total() == 0
+
+    def test_from_dict(self):
+        m = Marking({"a": 2, "b": 1})
+        assert m["a"] == 2
+        assert m["b"] == 1
+
+    def test_from_pairs(self):
+        m = Marking([("a", 2), ("b", 1)])
+        assert m["a"] == 2
+
+    def test_zero_counts_normalized(self):
+        m = Marking({"a": 0, "b": 3})
+        assert "a" not in m
+        assert len(m) == 1
+
+    def test_missing_place_reads_zero(self):
+        assert Marking({"a": 1})["nonexistent"] == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MarkingError):
+            Marking({"a": -1})
+
+    def test_non_int_count_rejected(self):
+        with pytest.raises(MarkingError):
+            Marking({"a": 1.5})
+
+    def test_bool_is_int_but_small(self):
+        # bools are ints in Python; True == 1 is accepted by design.
+        assert Marking({"a": True})["a"] == 1
+
+    def test_keyword_constructor(self):
+        m = marking_of(x=3, y=0)
+        assert m["x"] == 3
+        assert "y" not in m
+
+
+class TestEqualityHashing:
+    def test_equal_ignores_explicit_zeros(self):
+        assert Marking({"a": 2, "b": 0}) == Marking({"a": 2})
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(Marking({"a": 2, "b": 0})) == hash(Marking({"a": 2}))
+
+    def test_usable_as_dict_key(self):
+        seen = {Marking({"a": 1}): "x"}
+        assert seen[Marking({"a": 1, "b": 0})] == "x"
+
+    def test_compare_with_plain_mapping(self):
+        assert Marking({"a": 1}) == {"a": 1, "b": 0}
+
+    def test_not_equal_different_counts(self):
+        assert Marking({"a": 1}) != Marking({"a": 2})
+
+
+class TestArithmetic:
+    def test_add(self):
+        m = Marking({"a": 1}).add({"a": 2, "b": 1})
+        assert m == Marking({"a": 3, "b": 1})
+
+    def test_add_does_not_mutate(self):
+        original = Marking({"a": 1})
+        original.add({"a": 5})
+        assert original["a"] == 1
+
+    def test_subtract(self):
+        m = Marking({"a": 3, "b": 1}).subtract({"a": 2, "b": 1})
+        assert m == Marking({"a": 1})
+
+    def test_subtract_to_negative_raises(self):
+        with pytest.raises(MarkingError):
+            Marking({"a": 1}).subtract({"a": 2})
+
+    def test_subtract_unknown_place_raises(self):
+        with pytest.raises(MarkingError):
+            Marking({"a": 1}).subtract({"zzz": 1})
+
+    def test_covers(self):
+        m = Marking({"a": 3, "b": 1})
+        assert m.covers({"a": 2})
+        assert m.covers({"a": 3, "b": 1})
+        assert not m.covers({"a": 4})
+        assert not m.covers({"c": 1})
+
+    def test_covers_empty_requirement(self):
+        assert Marking().covers({})
+
+    def test_total(self):
+        assert Marking({"a": 3, "b": 2}).total() == 5
+
+    def test_restricted_to(self):
+        m = Marking({"a": 1, "b": 2, "c": 3})
+        r = m.restricted_to(["a", "c", "zzz"])
+        assert r == Marking({"a": 1, "c": 3})
+
+    def test_as_dict_is_copy(self):
+        m = Marking({"a": 1})
+        d = m.as_dict()
+        d["a"] = 99
+        assert m["a"] == 1
+
+
+class TestRendering:
+    def test_pretty_sorted(self):
+        assert Marking({"b": 2, "a": 1}).pretty() == "a=1 b=2"
+
+    def test_pretty_empty(self):
+        assert Marking().pretty() == "(empty)"
+
+    def test_repr_round_trippable_content(self):
+        assert "a=1" in repr(Marking({"a": 1}))

@@ -1,0 +1,244 @@
+"""Tests for the analytic steady-state solver and coverability analysis."""
+
+import pytest
+
+from repro.analysis.stat import compute_statistics
+from repro.core.builder import NetBuilder
+from repro.core.errors import ReachabilityError, StateSpaceLimitError
+from repro.reachability.coverability import (
+    OMEGA,
+    OmegaMarking,
+    build_coverability_tree,
+    is_structurally_bounded,
+    structural_bounds,
+    unbounded_places,
+)
+from repro.reachability.markov import (
+    compare_with_simulation,
+    steady_state,
+)
+from repro.sim import simulate
+
+
+def mutex_net(service=2):
+    b = NetBuilder("mutex")
+    b.place("free", tokens=1)
+    b.place("busy")
+    b.event("acquire", inputs={"free": 1}, outputs={"busy": 1})
+    b.event("release", inputs={"busy": 1}, outputs={"free": 1},
+            enabling_time=service)
+    return b.build()
+
+
+class TestSteadyStateSmall:
+    def test_mutex_hand_computable(self):
+        # Cycle: acquire (0 time) then busy for 2; busy fraction = 1.
+        ss = steady_state(mutex_net())
+        assert ss.place_averages["busy"] == pytest.approx(1.0)
+        assert ss.place_averages.get("free", 0.0) == pytest.approx(0.0)
+        assert ss.throughput("release") == pytest.approx(0.5)
+        assert ss.throughput("acquire") == pytest.approx(0.5)
+
+    def test_two_phase_loop(self):
+        # work 3 cycles then rest 1 cycle: working 75% of the time.
+        b = NetBuilder()
+        b.place("idle", tokens=1)
+        b.place("working")
+        b.event("start", inputs={"idle": 1}, outputs={"working": 1},
+                enabling_time=1)
+        b.event("stop", inputs={"working": 1}, outputs={"idle": 1},
+                enabling_time=3)
+        ss = steady_state(b.build())
+        assert ss.place_averages["working"] == pytest.approx(0.75)
+        assert ss.place_averages["idle"] == pytest.approx(0.25)
+        assert ss.throughput("start") == pytest.approx(0.25)
+
+    def test_probabilistic_branch(self):
+        # 3:1 branch to services of equal length: throughputs split 3:1.
+        b = NetBuilder()
+        b.place("ready", tokens=1)
+        b.place("a")
+        b.place("b")
+        b.event("go_a", inputs={"ready": 1}, outputs={"a": 1}, frequency=3)
+        b.event("go_b", inputs={"ready": 1}, outputs={"b": 1}, frequency=1)
+        b.event("done_a", inputs={"a": 1}, outputs={"ready": 1},
+                enabling_time=4)
+        b.event("done_b", inputs={"b": 1}, outputs={"ready": 1},
+                enabling_time=4)
+        ss = steady_state(b.build())
+        assert ss.throughput("go_a") == pytest.approx(
+            3 * ss.throughput("go_b"), rel=1e-6)
+        assert ss.place_averages["a"] == pytest.approx(0.75, abs=1e-6)
+
+    def test_deadlocking_net_flagged_absorbing(self):
+        b = NetBuilder()
+        b.place("fuel", tokens=2)
+        b.event("burn", inputs={"fuel": 1}, outputs={"ash": 1},
+                enabling_time=1)
+        ss = steady_state(b.build())
+        assert ss.absorbing
+
+    def test_stochastic_delays_rejected(self):
+        from repro.core.time_model import UniformDelay
+
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("t", inputs={"a": 1}, outputs={"a": 1},
+                firing_time=UniformDelay(1, 2))
+        with pytest.raises(ReachabilityError):
+            steady_state(b.build())
+
+
+class TestSteadyStateVsSimulation:
+    """The headline validation: analytic == simulated (long run)."""
+
+    @pytest.fixture(scope="class")
+    def pipeline_pair(self):
+        from repro.processor import build_pipeline_net
+
+        net = build_pipeline_net()
+        analytic = steady_state(net)
+        stats = compute_statistics(
+            simulate(net, until=50_000, seed=3).events)
+        return analytic, stats
+
+    def test_bus_utilization(self, pipeline_pair):
+        analytic, stats = pipeline_pair
+        assert analytic.place_averages["Bus_busy"] == pytest.approx(
+            stats.places["Bus_busy"].avg_tokens, abs=0.02)
+
+    def test_issue_throughput(self, pipeline_pair):
+        analytic, stats = pipeline_pair
+        assert analytic.throughput("Issue") == pytest.approx(
+            stats.transitions["Issue"].throughput, rel=0.04)
+
+    def test_bus_breakdown(self, pipeline_pair):
+        analytic, stats = pipeline_pair
+        for place in ("pre_fetching", "fetching", "storing"):
+            assert analytic.place_averages[place] == pytest.approx(
+                stats.places[place].avg_tokens, abs=0.02)
+
+    def test_buffer_occupancy(self, pipeline_pair):
+        analytic, stats = pipeline_pair
+        assert analytic.place_averages["Full_I_buffers"] == pytest.approx(
+            stats.places["Full_I_buffers"].avg_tokens, abs=0.15)
+
+    def test_analytic_decomposition_identity(self, pipeline_pair):
+        analytic, _stats = pipeline_pair
+        parts = (analytic.place_averages["pre_fetching"]
+                 + analytic.place_averages["fetching"]
+                 + analytic.place_averages["storing"])
+        assert parts == pytest.approx(
+            analytic.place_averages["Bus_busy"], abs=1e-9)
+
+    def test_exec_throughputs_sum_to_issue(self, pipeline_pair):
+        analytic, _stats = pipeline_pair
+        exec_sum = sum(
+            analytic.throughput(f"exec_type_{i}") for i in range(1, 6))
+        assert exec_sum == pytest.approx(analytic.throughput("Issue"),
+                                         abs=1e-9)
+
+    def test_compare_rows(self, pipeline_pair):
+        analytic, stats = pipeline_pair
+        rows = compare_with_simulation(
+            analytic,
+            {p: s.avg_tokens for p, s in stats.places.items()},
+            {t: s.throughput for t, s in stats.transitions.items()},
+        )
+        assert rows
+        for _name, a, b in rows:
+            assert a == pytest.approx(b, abs=0.05)
+
+    def test_pretty(self, pipeline_pair):
+        analytic, _ = pipeline_pair
+        text = analytic.pretty()
+        assert "Bus_busy" in text
+        assert "Issue" in text
+
+
+class TestOmegaMarking:
+    def test_domination(self):
+        a = OmegaMarking.of({"p": 2, "q": 1})
+        b = OmegaMarking.of({"p": 1, "q": 1})
+        assert a.dominates(b)
+        assert a.strictly_dominates(b)
+        assert not b.dominates(a)
+
+    def test_omega_dominates_everything(self):
+        a = OmegaMarking.of({"p": OMEGA})
+        b = OmegaMarking.of({"p": 999})
+        assert a.dominates(b)
+        assert a.omega_places() == {"p"}
+
+    def test_pretty(self):
+        assert OmegaMarking.of({"p": OMEGA, "q": 2}).pretty() == "p=w q=2"
+
+
+class TestCoverability:
+    def test_bounded_net_no_omega(self):
+        net = mutex_net()
+        assert is_structurally_bounded(net)
+        assert unbounded_places(net) == set()
+        bounds = structural_bounds(net)
+        assert bounds["free"] == 1
+        assert bounds["busy"] == 1
+
+    def test_unbounded_producer_detected(self):
+        b = NetBuilder()
+        b.place("seed", tokens=1)
+        b.place("pool")
+        b.event("grow", inputs={"seed": 1}, outputs={"seed": 1, "pool": 1},
+                firing_time=1)
+        net = b.build()
+        assert not is_structurally_bounded(net)
+        assert unbounded_places(net) == {"pool"}
+        assert structural_bounds(net)["pool"] == OMEGA
+
+    def test_doubling_net_terminates(self):
+        # a -> 2a grows unboundedly; Karp-Miller still terminates where
+        # explicit enumeration would not.
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("double", inputs={"a": 1}, outputs={"a": 2}, firing_time=1)
+        net = b.build()
+        assert unbounded_places(net) == {"a"}
+
+    def test_tree_records_paths(self):
+        b = NetBuilder()
+        b.place("x", tokens=1)
+        b.event("t", inputs={"x": 1}, outputs={"y": 1}, firing_time=1)
+        nodes = build_coverability_tree(b.build())
+        assert len(nodes) == 2
+        assert nodes[1].via == "t"
+        assert nodes[1].parent == 0
+
+    def test_inhibitor_nets_rejected(self):
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.place("blocker")
+        b.event("t", inputs={"a": 1}, outputs={"a": 1},
+                inhibitors={"blocker": 1}, firing_time=1)
+        with pytest.raises(ReachabilityError):
+            build_coverability_tree(b.build())
+
+    def test_node_cap_enforced(self):
+        # A wide net: k parallel producer/consumer pairs explode the tree.
+        b = NetBuilder()
+        for i in range(6):
+            b.place(f"p{i}", tokens=1)
+            b.event(f"t{i}", inputs={f"p{i}": 1},
+                    outputs={f"p{(i + 1) % 6}": 1}, firing_time=1)
+        with pytest.raises(StateSpaceLimitError):
+            build_coverability_tree(b.build(), max_nodes=3)
+
+    def test_pipeline_model_is_structurally_bounded_without_inhibitors(self):
+        """The pipeline minus its inhibitor arcs is still bounded (the
+        handshakes bound it, not the inhibitors)."""
+        from repro.processor import PipelineConfig, build_pipeline_net
+
+        config = PipelineConfig(
+            prefetch_inhibited_by_operands=False,
+            prefetch_inhibited_by_stores=False,
+        )
+        net = build_pipeline_net(config)
+        assert is_structurally_bounded(net, max_nodes=100_000)

@@ -1,0 +1,283 @@
+"""Unit tests for repro.core.net (places, transitions, arcs, enabling)."""
+
+import pytest
+
+from repro.core.errors import (
+    DuplicateNodeError,
+    NetDefinitionError,
+    UnknownNodeError,
+)
+from repro.core.inscription import Environment
+from repro.core.marking import Marking
+from repro.core.net import PetriNet, Place, Transition
+from repro.core.time_model import ConstantDelay
+
+
+def simple_net() -> PetriNet:
+    """p1 --2--> t1 --> p2, with p3 inhibiting t1."""
+    net = PetriNet("simple")
+    net.add_place("p1", initial_tokens=2)
+    net.add_place("p2")
+    net.add_place("p3")
+    net.add_transition("t1")
+    net.add_input("p1", "t1", 2)
+    net.add_output("t1", "p2")
+    net.add_inhibitor("p3", "t1")
+    return net
+
+
+class TestPlace:
+    def test_defaults(self):
+        p = Place("x")
+        assert p.initial_tokens == 0
+        assert p.capacity is None
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            Place("")
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            Place("x", initial_tokens=-1)
+
+    def test_capacity_below_initial_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            Place("x", initial_tokens=5, capacity=3)
+
+
+class TestTransition:
+    def test_defaults_immediate(self):
+        t = Transition("t")
+        assert t.is_immediate()
+        assert not t.is_timed()
+
+    def test_numbers_coerced_to_delays(self):
+        t = Transition("t", firing_time=2, enabling_time=3)
+        assert t.firing_time == ConstantDelay(2)
+        assert t.enabling_time == ConstantDelay(3)
+        assert t.is_timed()
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            Transition("t", frequency=0)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            Transition("t", frequency=-1)
+
+    def test_bad_max_concurrent_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            Transition("t", max_concurrent=0)
+
+
+class TestNodeManagement:
+    def test_duplicate_place_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(DuplicateNodeError):
+            net.add_place("p")
+
+    def test_duplicate_transition_rejected(self):
+        net = PetriNet()
+        net.add_transition("t")
+        with pytest.raises(DuplicateNodeError):
+            net.add_transition("t")
+
+    def test_place_transition_name_collision_rejected(self):
+        net = PetriNet()
+        net.add_place("x")
+        with pytest.raises(NetDefinitionError):
+            net.add_transition("x")
+        net.add_transition("t")
+        with pytest.raises(NetDefinitionError):
+            net.add_place("t")
+
+    def test_unknown_lookup_raises(self):
+        net = PetriNet()
+        with pytest.raises(UnknownNodeError):
+            net.place("ghost")
+        with pytest.raises(UnknownNodeError):
+            net.transition("ghost")
+
+    def test_replace_transition_keeps_arcs(self):
+        net = simple_net()
+        net.replace_transition(Transition("t1", firing_time=9))
+        assert net.transition("t1").firing_time == ConstantDelay(9)
+        assert net.inputs_of("t1") == {"p1": 2}
+
+    def test_replace_unknown_transition_raises(self):
+        net = simple_net()
+        with pytest.raises(UnknownNodeError):
+            net.replace_transition(Transition("ghost"))
+
+
+class TestArcs:
+    def test_weights_accumulate(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_input("p", "t", 1)
+        net.add_input("p", "t", 2)
+        assert net.inputs_of("t") == {"p": 3}
+
+    def test_inhibitor_keeps_strictest_threshold(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_inhibitor("p", "t", 3)
+        net.add_inhibitor("p", "t", 2)
+        assert net.inhibitors_of("t") == {"p": 2}
+
+    def test_zero_weight_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        with pytest.raises(NetDefinitionError):
+            net.add_input("p", "t", 0)
+
+    def test_arc_to_unknown_place_rejected(self):
+        net = PetriNet()
+        net.add_transition("t")
+        with pytest.raises(UnknownNodeError):
+            net.add_input("ghost", "t")
+
+    def test_arc_to_unknown_transition_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(UnknownNodeError):
+            net.add_output("ghost", "p")
+
+    def test_place_centric_views(self):
+        net = simple_net()
+        assert net.postset_of_place("p1") == {"t1": 2}
+        assert net.preset_of_place("p2") == {"t1": 1}
+        assert net.inhibited_by_place("p3") == {"t1": 1}
+
+
+class TestEnabling:
+    def test_enabled_with_sufficient_tokens(self):
+        net = simple_net()
+        assert net.is_marking_enabled("t1", Marking({"p1": 2}))
+
+    def test_disabled_with_insufficient_tokens(self):
+        net = simple_net()
+        assert not net.is_marking_enabled("t1", Marking({"p1": 1}))
+
+    def test_inhibitor_blocks(self):
+        net = simple_net()
+        assert not net.is_marking_enabled("t1", Marking({"p1": 2, "p3": 1}))
+
+    def test_inhibitor_threshold(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_place("q")
+        net.add_transition("t")
+        net.add_input("p", "t")
+        net.add_inhibitor("q", "t", 3)
+        assert net.is_marking_enabled("t", Marking({"p": 1, "q": 2}))
+        assert not net.is_marking_enabled("t", Marking({"p": 1, "q": 3}))
+
+    def test_predicate_gating(self):
+        net = PetriNet()
+        net.add_place("p", initial_tokens=1)
+        net.add_transition(
+            Transition("t", predicate=lambda env: env["go"] is True)
+        )
+        net.add_input("p", "t")
+        env = Environment({"go": False})
+        assert not net.is_enabled("t", Marking({"p": 1}), env)
+        env["go"] = True
+        assert net.is_enabled("t", Marking({"p": 1}), env)
+
+    def test_enabled_transitions_listing(self):
+        net = simple_net()
+        assert net.enabled_transitions(Marking({"p1": 2})) == ["t1"]
+        assert net.enabled_transitions(Marking({"p1": 1})) == []
+
+    def test_enabling_degree(self):
+        net = simple_net()
+        assert net.enabling_degree("t1", Marking({"p1": 5})) == 2
+        assert net.enabling_degree("t1", Marking({"p1": 1})) == 0
+
+    def test_enabling_degree_source_transition(self):
+        net = PetriNet()
+        net.add_place("out")
+        net.add_transition("src")
+        net.add_output("src", "out")
+        assert net.enabling_degree("src", Marking()) == 1
+
+
+class TestConflictGroups:
+    def test_shared_input_conflict(self):
+        net = PetriNet()
+        net.add_place("p", initial_tokens=1)
+        for t in ("a", "b", "c"):
+            net.add_transition(t)
+        net.add_input("p", "a")
+        net.add_input("p", "b")
+        groups = net.conflict_groups()
+        merged = next(g for g in groups if "a" in g)
+        assert merged == {"a", "b"}
+        assert {"c"} in groups
+
+    def test_transitive_closure(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_place("q")
+        for t in ("a", "b", "c"):
+            net.add_transition(t)
+        net.add_input("p", "a")
+        net.add_input("p", "b")
+        net.add_input("q", "b")
+        net.add_input("q", "c")
+        groups = net.conflict_groups()
+        assert {"a", "b", "c"} in groups
+
+
+class TestCopyMerge:
+    def test_copy_is_independent(self):
+        net = simple_net()
+        clone = net.copy("clone")
+        clone.add_place("extra")
+        assert "extra" not in net.places
+        assert clone.inputs_of("t1") == net.inputs_of("t1")
+
+    def test_merge_shares_places(self):
+        a = PetriNet("a")
+        a.add_place("shared", initial_tokens=1)
+        a.add_transition("ta")
+        a.add_input("shared", "ta")
+
+        b = PetriNet("b")
+        b.add_place("shared", initial_tokens=1)
+        b.add_place("only_b")
+        b.add_transition("tb")
+        b.add_output("tb", "shared")
+
+        a.merge(b, shared_places=["shared"])
+        assert set(a.transition_names()) == {"ta", "tb"}
+        assert "only_b" in a.places
+        assert a.preset_of_place("shared") == {"tb": 1}
+
+    def test_merge_conflicting_initial_tokens_rejected(self):
+        a = PetriNet("a")
+        a.add_place("shared", initial_tokens=1)
+        b = PetriNet("b")
+        b.add_place("shared", initial_tokens=2)
+        with pytest.raises(NetDefinitionError):
+            a.merge(b, shared_places=["shared"])
+
+    def test_initial_marking(self):
+        net = simple_net()
+        assert net.initial_marking() == Marking({"p1": 2})
+
+    def test_initial_environment_variables(self):
+        net = PetriNet()
+        net.set_variable("x", 7)
+        env = net.initial_environment()
+        assert env["x"] == 7
+
+    def test_summary_mentions_counts(self):
+        text = simple_net().summary()
+        assert "3 places" in text
+        assert "1 transitions" in text

@@ -1,0 +1,450 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+Strategy notes: nets are generated *conservative* (every transition's
+input weight sum equals its output weight sum, all transitions timed) so
+token totals are exactly conserved and immediate livelock is impossible —
+this makes strong invariants checkable on arbitrary generated instances.
+"""
+
+from __future__ import annotations
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stat import compute_statistics
+from repro.analysis.tracer import extract_signals
+from repro.core.builder import NetBuilder
+from repro.core.invariants import invariant_value, p_semiflows
+from repro.core.marking import Marking
+from repro.lang.format import format_net
+from repro.lang.parser import parse_net
+from repro.reachability.untimed import build_untimed_graph, fire_atomic
+from repro.sim.engine import Simulator, simulate
+from repro.trace.events import EventKind, TraceEvent, TraceHeader
+from repro.trace.filter import TraceFilter
+from repro.trace.serialize import format_event, parse_event, read_trace, write_trace
+from repro.trace.states import fold_states, state_list
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+place_names = st.sampled_from(["p0", "p1", "p2", "p3", "p4"])
+
+token_counts = st.dictionaries(place_names, st.integers(0, 9), max_size=5)
+
+
+@st.composite
+def conservative_nets(draw):
+    """A random conservative net over <=5 places, timed transitions only."""
+    n_places = draw(st.integers(2, 5))
+    places = [f"p{i}" for i in range(n_places)]
+    builder = NetBuilder("generated")
+    for i, place in enumerate(places):
+        builder.place(place, tokens=draw(st.integers(0, 4)))
+    n_transitions = draw(st.integers(1, 5))
+    for index in range(n_transitions):
+        source = draw(st.sampled_from(places))
+        target = draw(st.sampled_from(places))
+        weight = draw(st.integers(1, 2))
+        builder.event(
+            f"t{index}",
+            inputs={source: weight},
+            outputs={target: weight},
+            firing_time=draw(st.sampled_from([1, 2, 3])),
+            frequency=draw(st.sampled_from([1.0, 2.0, 70.0])),
+            max_concurrent=draw(st.sampled_from([None, 1, 2])),
+        )
+    return builder.build()
+
+
+@st.composite
+def trace_events(draw):
+    """A single well-formed (standalone) trace event for serialization."""
+    kind = draw(st.sampled_from(list(EventKind)))
+    time = draw(st.floats(min_value=0, max_value=1e6, allow_nan=False,
+                          allow_infinity=False))
+    tokens = draw(token_counts.map(
+        lambda d: {k: v for k, v in d.items() if v > 0}))
+    tokens2 = draw(token_counts.map(
+        lambda d: {k: v for k, v in d.items() if v > 0}))
+    variables = draw(st.dictionaries(
+        st.sampled_from(["x", "y", "flag", "name"]),
+        st.one_of(
+            st.integers(-100, 100),
+            st.booleans(),
+            st.text(alphabet="abc xyz_", min_size=0, max_size=8),
+        ),
+        max_size=3,
+    ))
+    if kind is EventKind.INIT:
+        return TraceEvent.init(tokens, variables, time=time)
+    if kind is EventKind.EOT:
+        return TraceEvent.eot(0, time)
+    if kind is EventKind.START:
+        return TraceEvent.start(0, time, "t_name", tokens)
+    if kind is EventKind.END:
+        return TraceEvent.end(0, time, "t_name", tokens, variables)
+    if kind is EventKind.FIRE:
+        return TraceEvent.fire(0, time, "t_name", tokens, tokens2, variables)
+    return TraceEvent.delta(0, time, tokens, tokens2)
+
+
+# ---------------------------------------------------------------------------
+# Marking algebra
+# ---------------------------------------------------------------------------
+
+
+class TestMarkingProperties:
+    @given(token_counts)
+    def test_zero_normalization(self, counts):
+        m = Marking(counts)
+        assert all(m[p] > 0 for p in m)
+        assert m.total() == sum(counts.values())
+
+    @given(token_counts, token_counts)
+    def test_add_subtract_inverse(self, a, b):
+        m = Marking(a)
+        assert m.add(b).subtract(b) == m
+
+    @given(token_counts, token_counts)
+    def test_add_commutes(self, a, b):
+        assert Marking(a).add(b) == Marking(b).add(a)
+
+    @given(token_counts, token_counts)
+    def test_covers_iff_subtract_succeeds(self, a, b):
+        m = Marking(a)
+        if m.covers(b):
+            m.subtract(b)  # must not raise
+        else:
+            try:
+                m.subtract(b)
+            except Exception:
+                pass
+            else:
+                raise AssertionError("subtract succeeded without covers")
+
+    @given(token_counts)
+    def test_hash_eq_consistency(self, counts):
+        a = Marking(counts)
+        b = Marking(dict(counts))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @given(token_counts, st.sets(place_names))
+    def test_restriction_subset(self, counts, keep):
+        restricted = Marking(counts).restricted_to(keep)
+        assert set(restricted) <= keep
+
+
+# ---------------------------------------------------------------------------
+# Engine invariants on generated conservative nets
+# ---------------------------------------------------------------------------
+
+
+class TestEngineProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16))
+    def test_token_total_conserved(self, net, seed):
+        total0 = net.initial_marking().total()
+        result = simulate(net, until=50, seed=seed)
+        # Tokens on places plus tokens held inside in-flight firings.
+        states = state_list(result.events)
+        for state in states:
+            held = 0
+            for name, count in state.firing_counts.items():
+                if count:
+                    held += count * sum(net.inputs_of(name).values())
+            assert state.marking.total() + held == total0
+
+    @settings(max_examples=40, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16))
+    def test_trace_well_formed(self, net, seed):
+        result = simulate(net, until=50, seed=seed)
+        kinds = [e.kind for e in result.events]
+        assert kinds[0] is EventKind.INIT
+        assert kinds[-1] is EventKind.EOT
+        times = [e.time for e in result.events]
+        assert times == sorted(times)
+        # Folding never raises (matched starts/ends, no negative places).
+        state_list(result.events)
+
+    @settings(max_examples=40, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16))
+    def test_replay_determinism(self, net, seed):
+        r1 = simulate(net, until=30, seed=seed)
+        r2 = simulate(net, until=30, seed=seed)
+        assert [(e.time, e.kind, e.transition) for e in r1.events] == \
+            [(e.time, e.kind, e.transition) for e in r2.events]
+
+    @settings(max_examples=30, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16))
+    def test_p_invariants_hold_during_simulation(self, net, seed):
+        invariants = p_semiflows(net)
+        if not invariants:
+            return
+        expected = {
+            inv.pretty(): invariant_value(net, inv, net.initial_marking())
+            for inv in invariants
+        }
+        sim = Simulator(net, seed=seed)
+        marking: dict[str, int] = net.initial_marking().as_dict()
+        in_flight: dict[str, int] = {}
+        for event in sim.stream(until=40):
+            if event.kind in (EventKind.START, EventKind.FIRE):
+                for p, n in event.removed.items():
+                    marking[p] = marking.get(p, 0) - n
+            if event.kind in (EventKind.END, EventKind.FIRE):
+                for p, n in event.added.items():
+                    marking[p] = marking.get(p, 0) + n
+            if event.kind is EventKind.START:
+                in_flight[event.transition] = in_flight.get(event.transition, 0) + 1
+            elif event.kind is EventKind.END:
+                in_flight[event.transition] -= 1
+            for inv in invariants:
+                value = invariant_value(net, inv, Marking(marking), in_flight)
+                assert value == expected[inv.pretty()]
+
+    @settings(max_examples=30, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16))
+    def test_stat_consistency(self, net, seed):
+        result = simulate(net, until=50, seed=seed)
+        stats = compute_statistics(result.events)
+        for place in stats.places.values():
+            assert place.min_tokens <= place.avg_tokens <= place.max_tokens
+            assert place.stdev_tokens >= 0
+        for t in stats.transitions.values():
+            assert t.min_concurrent <= t.max_concurrent
+            assert t.starts >= t.ends
+            if stats.run.length > 0:
+                assert abs(t.throughput * stats.run.length - t.ends) < 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Trace serialization / filter
+# ---------------------------------------------------------------------------
+
+
+class TestTraceProperties:
+    @given(trace_events())
+    def test_event_line_round_trip(self, event):
+        parsed = parse_event(format_event(event), event.seq)
+        assert parsed.kind == event.kind
+        assert parsed.transition == event.transition
+        assert parsed.removed == event.removed
+        assert parsed.added == event.added
+        if event.kind in (EventKind.INIT, EventKind.END, EventKind.FIRE):
+            assert parsed.variables == event.variables
+
+    @settings(max_examples=30, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16))
+    def test_full_trace_file_round_trip(self, net, seed):
+        result = simulate(net, until=30, seed=seed)
+        buffer = io.StringIO()
+        write_trace(buffer, TraceHeader(net.name, 1, seed), result.events)
+        buffer.seek(0)
+        _header, parsed = read_trace(buffer)
+        parsed = list(parsed)
+        assert len(parsed) == len(result.events)
+        for a, b in zip(result.events, parsed):
+            assert (a.time, a.kind, a.transition) == (b.time, b.kind, b.transition)
+            assert a.removed == b.removed and a.added == b.added
+
+    @settings(max_examples=30, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16),
+           st.sets(place_names, min_size=1, max_size=3))
+    def test_filter_preserves_kept_place_trajectories(self, net, seed, keep):
+        result = simulate(net, until=40, seed=seed)
+        keep = {p for p in keep if p in net.places}
+        if not keep:
+            return
+        full = state_list(result.events)
+        filtered = state_list(
+            TraceFilter(keep_places=keep, keep_transitions=[]).apply(
+                result.events
+            )
+        )
+
+        def trajectory(states, place):
+            points = []
+            for s in states:
+                value = s.marking[place]
+                if not points or points[-1][1] != value:
+                    points.append((s.time, value))
+            return points
+
+        for place in keep:
+            assert trajectory(filtered, place) == trajectory(full, place)
+
+    @settings(max_examples=30, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16))
+    def test_signal_extraction_matches_states(self, net, seed):
+        result = simulate(net, until=40, seed=seed)
+        place = net.place_names()[0]
+        signal = extract_signals(result.events, [place])[place]
+        # Several states can share one timestamp (immediate cascades); the
+        # signal records the settled (last) value per instant.
+        settled: dict[float, int] = {}
+        for state in fold_states(result.events):
+            settled[state.time] = state.marking[place]
+        for time, value in settled.items():
+            assert signal.at(time + 1e-9) == value
+        assert signal.minimum() <= signal.time_average() <= signal.maximum()
+
+
+# ---------------------------------------------------------------------------
+# Language round trip
+# ---------------------------------------------------------------------------
+
+
+class TestLanguageProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(conservative_nets())
+    def test_format_parse_fixpoint(self, net):
+        text = format_net(net)
+        clone = parse_net(text)
+        assert format_net(clone) == text
+
+    @settings(max_examples=40, deadline=None)
+    @given(conservative_nets())
+    def test_parse_preserves_structure(self, net):
+        clone = parse_net(format_net(net))
+        assert set(clone.place_names()) == set(net.place_names())
+        for t in net.transition_names():
+            assert clone.inputs_of(t) == net.inputs_of(t)
+            assert clone.outputs_of(t) == net.outputs_of(t)
+            assert clone.transition(t).frequency == net.transition(t).frequency
+
+
+# ---------------------------------------------------------------------------
+# Reachability soundness
+# ---------------------------------------------------------------------------
+
+
+class TestReachabilityProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(conservative_nets())
+    def test_edges_are_firable(self, net):
+        graph = build_untimed_graph(net, max_states=2000, strict=False)
+        for edge in graph.edges:
+            source = graph.state_of(edge.source)
+            assert net.is_marking_enabled(edge.label, source)
+            assert fire_atomic(net, source, edge.label) == graph.state_of(
+                edge.target
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(conservative_nets())
+    def test_initial_marking_in_graph(self, net):
+        graph = build_untimed_graph(net, max_states=2000, strict=False)
+        assert graph.state_of(graph.initial) == net.initial_marking()
+
+    @settings(max_examples=20, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16))
+    def test_simulated_markings_are_reachable_atomically(self, net, seed):
+        """Quiescent simulator states (no firing in flight) must appear in
+        the untimed reachability graph."""
+        graph = build_untimed_graph(net, max_states=5000, strict=False)
+        if not graph.complete:
+            return
+        reachable = {graph.state_of(n) for n in graph.node_ids()}
+        result = simulate(net, until=30, seed=seed)
+        for state in fold_states(result.events):
+            if not any(state.firing_counts.values()):
+                assert state.marking in reachable
+
+
+# ---------------------------------------------------------------------------
+# Query language laws
+# ---------------------------------------------------------------------------
+
+
+class TestQueryLanguageProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16))
+    def test_excluded_middle(self, net, seed):
+        """forall s [ P(s) or not P(s) ] is a tautology for any probe."""
+        from repro.analysis.query import check_trace
+
+        result = simulate(net, until=25, seed=seed)
+        place = net.place_names()[0]
+        query = (f"forall s in S [ {place}(s) > 0 or not ({place}(s) > 0) ]")
+        assert check_trace(result.events, query).holds
+
+    @settings(max_examples=25, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16))
+    def test_forall_is_not_exists_not(self, net, seed):
+        """forall s [P] == not exists s [not P] (quantifier duality)."""
+        from repro.analysis.query import check_trace
+
+        result = simulate(net, until=25, seed=seed)
+        place = net.place_names()[0]
+        forall = check_trace(
+            result.events, f"forall s in S [ {place}(s) > 0 ]").holds
+        exists_not = check_trace(
+            result.events, f"exists s in S [ not ({place}(s) > 0) ]").holds
+        assert forall == (not exists_not)
+
+    @settings(max_examples=25, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16))
+    def test_comprehension_equals_implication(self, net, seed):
+        """forall s in {s' in S | Q(s')} [P(s)] == forall s [not Q or P]."""
+        from repro.analysis.query import check_trace
+
+        result = simulate(net, until=25, seed=seed)
+        places = net.place_names()
+        p, q = places[0], places[-1]
+        restricted = check_trace(
+            result.events,
+            f"forall s in {{s' in S | {q}(s') > 0}} [ {p}(s) >= 0 ]",
+        ).holds
+        implication = check_trace(
+            result.events,
+            f"forall s in S [ not ({q}(s) > 0) or {p}(s) >= 0 ]",
+        ).holds
+        assert restricted == implication
+
+    @settings(max_examples=25, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16))
+    def test_inev_true_target_always_holds(self, net, seed):
+        """inev(s, true, true) holds from every state (target met now)."""
+        from repro.analysis.query import check_trace
+
+        result = simulate(net, until=25, seed=seed)
+        assert check_trace(
+            result.events, "forall s in S [ inev(s, true, true) ]").holds
+
+
+# ---------------------------------------------------------------------------
+# Stat/tracer agreement
+# ---------------------------------------------------------------------------
+
+
+class TestCrossToolAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16))
+    def test_stat_avg_equals_signal_time_average(self, net, seed):
+        result = simulate(net, until=40, seed=seed)
+        stats = compute_statistics(result.events)
+        for place in list(net.place_names())[:2]:
+            signal = extract_signals(result.events, [place])[place]
+            expected = stats.places.get(place)
+            if expected is None:
+                continue
+            assert abs(signal.time_average() - expected.avg_tokens) < 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(conservative_nets(), st.integers(0, 2**16))
+    def test_batch_means_of_whole_run_equals_stat(self, net, seed):
+        """One batch over the whole run must equal the stat average."""
+        from repro.analysis.batch_means import batch_means
+
+        result = simulate(net, until=40, seed=seed)
+        stats = compute_statistics(result.events)
+        place = net.place_names()[0]
+        if place not in stats.places:
+            return
+        estimate = batch_means(result.events, place, batches=2)
+        assert abs(estimate.mean - stats.places[place].avg_tokens) < 1e-6

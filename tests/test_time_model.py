@@ -1,0 +1,140 @@
+"""Unit tests for repro.core.time_model (delay distributions)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import NetDefinitionError
+from repro.core.time_model import (
+    ZERO_DELAY,
+    ConstantDelay,
+    DiscreteDelay,
+    ExponentialDelay,
+    UniformDelay,
+    as_delay,
+)
+
+
+class TestConstantDelay:
+    def test_sample_is_value(self):
+        d = ConstantDelay(5)
+        assert d.sample(random.Random(0)) == 5
+        assert d.mean() == 5
+        assert d.is_constant()
+        assert not d.is_zero()
+
+    def test_zero(self):
+        assert ZERO_DELAY.is_zero()
+        assert ZERO_DELAY.mean() == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            ConstantDelay(-1)
+
+    def test_infinite_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            ConstantDelay(float("inf"))
+
+
+class TestUniformDelay:
+    def test_sample_within_bounds(self):
+        d = UniformDelay(2, 4)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 2 <= d.sample(rng) <= 4
+
+    def test_mean(self):
+        assert UniformDelay(2, 4).mean() == 3
+
+    def test_degenerate_is_constant(self):
+        assert UniformDelay(3, 3).is_constant()
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            UniformDelay(4, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            UniformDelay(-1, 2)
+
+
+class TestExponentialDelay:
+    def test_mean_parameter(self):
+        assert ExponentialDelay(5).mean() == 5
+
+    def test_sample_non_negative(self):
+        d = ExponentialDelay(2)
+        rng = random.Random(7)
+        assert all(d.sample(rng) >= 0 for _ in range(100))
+
+    def test_empirical_mean_close(self):
+        d = ExponentialDelay(3)
+        rng = random.Random(11)
+        values = [d.sample(rng) for _ in range(20_000)]
+        assert abs(sum(values) / len(values) - 3) < 0.15
+
+    def test_non_positive_mean_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            ExponentialDelay(0)
+
+
+class TestDiscreteDelay:
+    def test_mean_weighted(self):
+        d = DiscreteDelay([1, 2, 5, 10, 50], [0.5, 0.3, 0.1, 0.05, 0.05])
+        assert d.mean() == pytest.approx(
+            1 * 0.5 + 2 * 0.3 + 5 * 0.1 + 10 * 0.05 + 50 * 0.05
+        )
+
+    def test_samples_from_support(self):
+        d = DiscreteDelay([1, 2], [1, 1])
+        rng = random.Random(3)
+        assert {d.sample(rng) for _ in range(100)} == {1, 2}
+
+    def test_empirical_distribution(self):
+        d = DiscreteDelay([0, 10], [9, 1])
+        rng = random.Random(5)
+        hits = sum(1 for _ in range(10_000) if d.sample(rng) == 10)
+        assert 800 <= hits <= 1200
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            DiscreteDelay([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            DiscreteDelay([], [])
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            DiscreteDelay([-1], [1])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            DiscreteDelay([1], [0])
+
+    def test_constant_detection(self):
+        assert DiscreteDelay([2, 2], [1, 1]).is_constant()
+        assert not DiscreteDelay([1, 2], [1, 1]).is_constant()
+
+    def test_zero_detection(self):
+        assert DiscreteDelay([0, 0], [1, 2]).is_zero()
+
+
+class TestAsDelay:
+    def test_int_coerced(self):
+        assert as_delay(5) == ConstantDelay(5)
+
+    def test_float_coerced(self):
+        assert as_delay(2.5) == ConstantDelay(2.5)
+
+    def test_delay_passthrough(self):
+        d = UniformDelay(1, 2)
+        assert as_delay(d) is d
+
+    def test_bool_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            as_delay(True)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            as_delay("five")

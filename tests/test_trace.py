@@ -1,0 +1,276 @@
+"""Unit tests for repro.trace (events, serialization, states, filter)."""
+
+import io
+
+import pytest
+
+from repro.core.builder import NetBuilder
+from repro.core.errors import TraceError, TraceFormatError
+from repro.sim.engine import simulate
+from repro.trace.events import EventKind, TraceEvent, TraceHeader
+from repro.trace.filter import TraceFilter, filter_trace
+from repro.trace.serialize import (
+    format_event,
+    parse_event,
+    read_trace,
+    write_trace,
+)
+from repro.trace.states import final_state, fold_states, state_list
+
+
+def tiny_trace():
+    return [
+        TraceEvent.init({"a": 2, "b": 0}, {"x": 1}),
+        TraceEvent.start(1, 1.0, "t", {"a": 1}),
+        TraceEvent.end(2, 3.0, "t", {"b": 1}, {"x": 2}),
+        TraceEvent.eot(3, 10.0),
+    ]
+
+
+class TestEventBasics:
+    def test_init_strips_zeros(self):
+        e = TraceEvent.init({"a": 2, "b": 0})
+        assert e.added == {"a": 2}
+
+    def test_touched_places(self):
+        e = TraceEvent.delta(1, 0.0, {"a": 1}, {"b": 2})
+        assert e.touched_places() == {"a", "b"}
+
+    def test_events_are_defensive_copies(self):
+        removed = {"a": 1}
+        e = TraceEvent.start(1, 0.0, "t", removed)
+        removed["a"] = 99
+        assert e.removed == {"a": 1}
+
+
+class TestSerialization:
+    def test_round_trip_each_kind(self):
+        for event in tiny_trace():
+            line = format_event(event)
+            parsed = parse_event(line, event.seq)
+            assert parsed.kind == event.kind
+            assert parsed.time == event.time
+            assert parsed.transition == event.transition
+            assert parsed.removed == event.removed
+            assert parsed.added == event.added
+            assert parsed.variables == event.variables
+
+    def test_delta_round_trip(self):
+        e = TraceEvent.delta(5, 2.5, {"a": 1}, {"b": 2})
+        parsed = parse_event(format_event(e), 5)
+        assert parsed.removed == {"a": 1}
+        assert parsed.added == {"b": 2}
+        assert parsed.time == 2.5
+
+    def test_integer_times_compact(self):
+        assert format_event(TraceEvent.eot(0, 10.0)).startswith("10 ")
+
+    def test_string_variables_quoted(self):
+        e = TraceEvent.init({}, {"name": 'he said "hi"'})
+        parsed = parse_event(format_event(e), 0)
+        assert parsed.variables["name"] == 'he said "hi"'
+
+    def test_bool_variables(self):
+        e = TraceEvent.init({}, {"flag": True, "other": False})
+        parsed = parse_event(format_event(e), 0)
+        assert parsed.variables == {"flag": True, "other": False}
+
+    def test_float_variables(self):
+        e = TraceEvent.end(1, 1.0, "t", {}, {"ratio": 0.25})
+        parsed = parse_event(format_event(e), 1)
+        assert parsed.variables["ratio"] == 0.25
+
+    def test_bad_time_raises(self):
+        with pytest.raises(TraceFormatError):
+            parse_event("abc INIT", 0)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(TraceFormatError):
+            parse_event("1 WOBBLE t", 0)
+
+    def test_missing_transition_raises(self):
+        with pytest.raises(TraceFormatError):
+            parse_event("1 S", 0)
+
+    def test_bad_token_count_raises(self):
+        with pytest.raises(TraceFormatError):
+            parse_event("1 S t a=xyz", 0)
+
+    def test_unsigned_delta_raises(self):
+        with pytest.raises(TraceFormatError):
+            parse_event("1 D a=3", 0)
+
+
+class TestFileRoundTrip:
+    def test_write_then_read(self):
+        buffer = io.StringIO()
+        header = TraceHeader("mynet", 2, seed=7)
+        n = write_trace(buffer, header, tiny_trace())
+        assert n == 4
+        buffer.seek(0)
+        parsed_header, events = read_trace(buffer)
+        events = list(events)
+        assert parsed_header.net_name == "mynet"
+        assert parsed_header.run_number == 2
+        assert parsed_header.seed == 7
+        assert len(events) == 4
+        assert events[0].kind is EventKind.INIT
+        assert events[-1].kind is EventKind.EOT
+
+    def test_read_skips_blank_and_comment_lines(self):
+        text = "#PNUT-TRACE 1\n#NET x\n\n# a comment\n0 INIT a=1\n1 EOT\n"
+        header, events = read_trace(io.StringIO(text))
+        assert header.net_name == "x"
+        assert len(list(events)) == 2
+
+    def test_simulator_trace_round_trips(self):
+        net = (
+            NetBuilder("rt")
+            .place("a", tokens=4)
+            .event("t", inputs={"a": 1}, outputs={"b": 1}, firing_time=2,
+                   max_concurrent=1)
+            .build()
+        )
+        result = simulate(net, until=20, seed=3)
+        buffer = io.StringIO()
+        write_trace(buffer, result.header, result.events)
+        buffer.seek(0)
+        _header, parsed = read_trace(buffer)
+        parsed = list(parsed)
+        assert len(parsed) == len(result.events)
+        for original, round_tripped in zip(result.events, parsed):
+            assert original.kind == round_tripped.kind
+            assert original.time == round_tripped.time
+            assert original.removed == round_tripped.removed
+            assert original.added == round_tripped.added
+
+
+class TestStateFolding:
+    def test_initial_state_is_number_zero(self):
+        states = state_list(tiny_trace())
+        assert states[0].index == 0
+        assert states[0].marking["a"] == 2
+        assert states[0].variables == {"x": 1}
+
+    def test_state_progression(self):
+        states = state_list(tiny_trace())
+        after_start = states[1]
+        assert after_start.marking["a"] == 1
+        assert after_start.firings("t") == 1
+        after_end = states[2]
+        assert after_end.marking["b"] == 1
+        assert after_end.firings("t") == 0
+        assert after_end.variables["x"] == 2
+
+    def test_eot_state_carries_final_time(self):
+        states = state_list(tiny_trace())
+        assert states[-1].time == 10.0
+
+    def test_value_lookup_rule(self):
+        states = state_list(tiny_trace())
+        s = states[1]
+        assert s.value("a") == 1
+        assert s.value("t") == 1  # in-flight firings
+        assert s.value("x") == 1  # variable
+        assert s.value("missing") == 0
+
+    def test_missing_init_raises(self):
+        with pytest.raises(TraceError):
+            state_list(tiny_trace()[1:])
+
+    def test_duplicate_init_raises(self):
+        events = [tiny_trace()[0], tiny_trace()[0]]
+        with pytest.raises(TraceError):
+            state_list(events)
+
+    def test_end_without_start_raises(self):
+        events = [
+            TraceEvent.init({"a": 1}),
+            TraceEvent.end(1, 1.0, "t", {"b": 1}),
+        ]
+        with pytest.raises(TraceError):
+            state_list(events)
+
+    def test_negative_tokens_raise(self):
+        events = [
+            TraceEvent.init({"a": 1}),
+            TraceEvent.start(1, 1.0, "t", {"a": 2}),
+        ]
+        with pytest.raises(Exception):
+            state_list(events)
+
+    def test_final_state_streaming(self):
+        assert final_state(tiny_trace()).time == 10.0
+
+    def test_final_state_empty_trace_raises(self):
+        with pytest.raises(TraceError):
+            final_state([])
+
+    def test_fold_states_lazy(self):
+        gen = fold_states(iter(tiny_trace()))
+        first = next(gen)
+        assert first.index == 0
+
+
+class TestFilter:
+    def test_keep_all_is_identity_shape(self):
+        out = list(TraceFilter().apply(tiny_trace()))
+        assert [e.kind for e in out] == [e.kind for e in tiny_trace()]
+
+    def test_restrict_places(self):
+        f = TraceFilter(keep_places=["b"])
+        out = list(f.apply(tiny_trace()))
+        init = out[0]
+        assert init.added == {}
+        end = [e for e in out if e.kind is EventKind.END][0]
+        assert end.added == {"b": 1}
+
+    def test_dropped_transition_becomes_delta(self):
+        f = TraceFilter(keep_places=["a"], keep_transitions=[])
+        out = list(f.apply(tiny_trace()))
+        kinds = [e.kind for e in out]
+        assert EventKind.DELTA in kinds
+        assert EventKind.START not in kinds
+        delta = [e for e in out if e.kind is EventKind.DELTA][0]
+        assert delta.removed == {"a": 1}
+
+    def test_dropped_transition_without_kept_places_vanishes(self):
+        f = TraceFilter(keep_places=["zzz"], keep_transitions=[])
+        out = list(f.apply(tiny_trace()))
+        assert [e.kind for e in out] == [EventKind.INIT, EventKind.EOT]
+
+    def test_filtered_states_match_original_on_kept_places(self):
+        net = (
+            NetBuilder()
+            .place("a", tokens=5)
+            .event("t1", inputs={"a": 1}, outputs={"b": 1}, firing_time=1,
+                   max_concurrent=1)
+            .event("t2", inputs={"b": 1}, outputs={"c": 1}, firing_time=2,
+                   max_concurrent=1)
+            .build()
+        )
+        result = simulate(net, until=30, seed=1)
+        full = state_list(result.events)
+        filtered = state_list(filter_trace(result.events, keep_places=["b"]))
+        # The b-trajectory (time, value at change) must match.
+        def trajectory(states):
+            points = []
+            for s in states:
+                value = s.marking["b"]
+                if not points or points[-1][1] != value:
+                    points.append((s.time, value))
+            return points
+
+        assert trajectory(filtered) == trajectory(full)
+
+    def test_variables_can_be_dropped(self):
+        f = TraceFilter(keep_variables=False)
+        out = list(f.apply(tiny_trace()))
+        assert out[0].variables == {}
+        end = [e for e in out if e.kind is EventKind.END][0]
+        assert end.variables == {}
+
+    def test_resequencing(self):
+        f = TraceFilter(keep_places=["zzz"], keep_transitions=[])
+        out = list(f.apply(tiny_trace()))
+        assert [e.seq for e in out] == list(range(len(out)))

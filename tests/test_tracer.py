@@ -1,0 +1,269 @@
+"""Tests for tracertool signals, markers and waveform rendering."""
+
+import pytest
+
+from repro.analysis.tracer import (
+    MarkerSet,
+    Signal,
+    TracerSession,
+    combine,
+    extract_signals,
+    sum_signals,
+)
+from repro.analysis.waveform import (
+    WaveformOptions,
+    render_waveforms,
+    sample_table,
+)
+from repro.core.errors import QueryEvaluationError, TraceError
+from repro.trace.events import TraceEvent
+
+
+def square_trace():
+    """p: 0 on [0,2), 1 on [2,6), 0 on [6,10]; q counts 0->3."""
+    return [
+        TraceEvent.init({}),
+        TraceEvent.fire(1, 2.0, "up", {}, {"p": 1, "q": 1}),
+        TraceEvent.fire(2, 4.0, "bump", {}, {"q": 1}),
+        TraceEvent.fire(3, 6.0, "down", {"p": 1}, {"q": 1}),
+        TraceEvent.eot(4, 10.0),
+    ]
+
+
+class TestSignalBasics:
+    def test_construction_validates(self):
+        with pytest.raises(TraceError):
+            Signal("x", (0.0, 0.0), (1.0, 2.0), 5.0)  # non-increasing
+        with pytest.raises(TraceError):
+            Signal("x", (), (), 5.0)  # empty
+
+    def test_at_sampling(self):
+        s = Signal("x", (0.0, 2.0, 6.0), (0.0, 1.0, 0.0), 10.0)
+        assert s.at(-1) == 0
+        assert s.at(0) == 0
+        assert s.at(2) == 1
+        assert s.at(5.9) == 1
+        assert s.at(6) == 0
+        assert s.at(100) == 0
+
+    def test_min_max(self):
+        s = Signal("x", (0.0, 1.0), (2.0, 7.0), 4.0)
+        assert s.minimum() == 2
+        assert s.maximum() == 7
+
+    def test_time_average(self):
+        s = Signal("x", (0.0, 2.0, 6.0), (0.0, 1.0, 0.0), 10.0)
+        assert s.time_average() == pytest.approx(0.4)  # 4 of 10 units high
+
+    def test_duration_at_level(self):
+        s = Signal("x", (0.0, 2.0, 6.0), (0.0, 1.0, 0.0), 10.0)
+        assert s.duration_at_level(lambda v: v > 0) == pytest.approx(4)
+
+    def test_intervals_where(self):
+        s = Signal("x", (0.0, 2.0, 6.0), (0.0, 1.0, 0.0), 10.0)
+        assert s.intervals_where(lambda v: v > 0) == [(2.0, 6.0)]
+
+    def test_interval_open_at_end(self):
+        s = Signal("x", (0.0, 3.0), (0.0, 1.0), 10.0)
+        assert s.intervals_where(lambda v: v > 0) == [(3.0, 10.0)]
+
+    def test_edges(self):
+        s = Signal("x", (0.0, 2.0, 6.0, 8.0), (0.0, 1.0, 0.0, 2.0), 10.0)
+        assert s.edges(rising=True) == [2.0, 8.0]
+        assert s.edges(rising=False) == [6.0]
+
+
+class TestExtraction:
+    def test_place_signal(self):
+        signals = extract_signals(square_trace(), ["p"])
+        p = signals["p"]
+        assert p.at(1) == 0
+        assert p.at(3) == 1
+        assert p.at(7) == 0
+        assert p.end_time == 10.0
+
+    def test_counter_signal(self):
+        q = extract_signals(square_trace(), ["q"])["q"]
+        assert q.at(1) == 0
+        assert q.at(3) == 1
+        assert q.at(5) == 2
+        assert q.at(9) == 3
+
+    def test_transition_concurrency_signal(self):
+        events = [
+            TraceEvent.init({"a": 1}),
+            TraceEvent.start(1, 1.0, "t", {"a": 1}),
+            TraceEvent.end(2, 4.0, "t", {"b": 1}),
+            TraceEvent.eot(3, 6.0),
+        ]
+        t = extract_signals(events, ["t"])["t"]
+        assert t.at(0.5) == 0
+        assert t.at(2) == 1
+        assert t.at(5) == 0
+
+    def test_unknown_probe_reads_zero(self):
+        ghost = extract_signals(square_trace(), ["ghost"])["ghost"]
+        assert ghost.maximum() == 0
+
+
+class TestCombination:
+    def test_sum_signals(self):
+        signals = extract_signals(square_trace(), ["p", "q"])
+        total = sum_signals("total", signals["p"], signals["q"])
+        assert total.at(3) == 2  # p=1, q=1
+        assert total.at(5) == 3  # p=1, q=2
+
+    def test_combine_arbitrary_function(self):
+        signals = extract_signals(square_trace(), ["p", "q"])
+        diff = combine("diff", lambda p, q: q - p, signals["p"], signals["q"])
+        assert diff.at(3) == 0
+        assert diff.at(9) == 3
+
+    def test_combine_requires_signals(self):
+        with pytest.raises(QueryEvaluationError):
+            combine("empty", lambda: 0)
+
+
+class TestMarkers:
+    def test_interval_measurement(self):
+        markers = MarkerSet()
+        markers.place("O", 54.0)
+        markers.place("X", 94.0)
+        assert markers.interval("O", "X") == pytest.approx(40.0)
+
+    def test_place_at_edge(self):
+        signals = extract_signals(square_trace(), ["p"])
+        markers = MarkerSet()
+        m = markers.place_at_edge("rise", signals["p"], occurrence=0)
+        assert m.time == 2.0
+        m2 = markers.place_at_edge("fall", signals["p"], rising=False)
+        assert m2.time == 6.0
+        assert markers.interval("rise", "fall") == pytest.approx(4.0)
+
+    def test_missing_edge_rejected(self):
+        signals = extract_signals(square_trace(), ["p"])
+        with pytest.raises(QueryEvaluationError):
+            MarkerSet().place_at_edge("x", signals["p"], occurrence=5)
+
+    def test_unknown_marker_rejected(self):
+        with pytest.raises(QueryEvaluationError):
+            MarkerSet().interval("a", "b")
+
+    def test_ordered(self):
+        markers = MarkerSet()
+        markers.place("b", 5.0)
+        markers.place("a", 1.0)
+        assert [m.name for m in markers.ordered()] == ["a", "b"]
+
+
+class TestSession:
+    def test_probe_and_define(self):
+        session = TracerSession(square_trace(), ["p", "q"])
+        session.define("sum", lambda p, q: p + q, "p", "q")
+        assert session.signal("sum").at(5) == 3
+        assert "sum" in session.names()
+
+    def test_unknown_probe_rejected(self):
+        session = TracerSession(square_trace(), ["p"])
+        with pytest.raises(QueryEvaluationError):
+            session.signal("nope")
+
+
+class TestWaveformRendering:
+    def test_binary_signal_rendering(self):
+        signals = extract_signals(square_trace(), ["p"])
+        text = render_waveforms([signals["p"]],
+                                WaveformOptions(width=20, show_axis=False))
+        line = text.splitlines()[0]
+        assert line.startswith("p")
+        body = line.split("|")[1]
+        assert "#" in body and "_" in body
+        # High section sits in the middle (2..6 of 0..10).
+        assert body[0] == "_" and body[-1] == "_"
+
+    def test_multilevel_signal_rendering(self):
+        signals = extract_signals(square_trace(), ["q"])
+        text = render_waveforms([signals["q"]],
+                                WaveformOptions(width=20, show_axis=False))
+        body = text.splitlines()[0].split("|")[1]
+        assert body[0] == " "   # low level
+        assert body[-1] == "@"  # high level
+
+    def test_axis_row(self):
+        signals = extract_signals(square_trace(), ["p"])
+        text = render_waveforms([signals["p"]],
+                                WaveformOptions(width=20, axis_ticks=3))
+        assert "10" in text  # end-time label
+        assert "+" in text
+
+    def test_marker_row(self):
+        signals = extract_signals(square_trace(), ["p"])
+        markers = MarkerSet()
+        markers.place("O", 2.0)
+        markers.place("X", 6.0)
+        text = render_waveforms(
+            [signals["p"]], WaveformOptions(width=20, show_axis=False),
+            markers=markers.ordered(),
+        )
+        marker_line = text.splitlines()[1]
+        assert "O" in marker_line and "X" in marker_line
+        assert marker_line.index("O") < marker_line.index("X")
+
+    def test_window_restriction(self):
+        signals = extract_signals(square_trace(), ["p"])
+        text = render_waveforms(
+            [signals["p"]],
+            WaveformOptions(width=10, start=2.0, end=6.0, show_axis=False),
+        )
+        body = text.splitlines()[0].split("|")[1]
+        assert body == "#" * 10  # entirely high inside [2, 6)
+
+    def test_empty_window_rejected(self):
+        signals = extract_signals(square_trace(), ["p"])
+        with pytest.raises(QueryEvaluationError):
+            render_waveforms([signals["p"]],
+                             WaveformOptions(start=5.0, end=5.0))
+
+    def test_no_signals_rejected(self):
+        with pytest.raises(QueryEvaluationError):
+            render_waveforms([])
+
+    def test_sample_table(self):
+        signals = extract_signals(square_trace(), ["p", "q"])
+        text = sample_table(list(signals.values()), columns=5)
+        assert "time" in text
+        assert "p" in text and "q" in text
+        assert len(text.splitlines()) == 3
+
+    def test_figure7_stack(self):
+        """The full Figure-7 probe stack over a real pipeline trace."""
+        from repro.processor import build_pipeline_net
+        from repro.sim import simulate
+
+        result = simulate(build_pipeline_net(), until=400, seed=7)
+        session = TracerSession(result.events, [
+            "Bus_busy", "pre_fetching", "fetching", "storing",
+            "exec_type_1", "exec_type_2", "exec_type_3", "exec_type_4",
+            "exec_type_5", "Empty_I_buffers",
+        ])
+        session.define(
+            "all_exec", lambda *values: sum(values),
+            "exec_type_1", "exec_type_2", "exec_type_3", "exec_type_4",
+            "exec_type_5",
+        )
+        stack = [session.signal(name) for name in (
+            "Bus_busy", "pre_fetching", "fetching", "storing", "all_exec",
+            "Empty_I_buffers",
+        )]
+        text = render_waveforms(stack, WaveformOptions(width=60))
+        lines = text.splitlines()
+        assert len(lines) >= 7  # 6 signals + axis
+        assert lines[0].startswith("Bus_busy")
+        # Bus activity decomposition: busy whenever any component is busy.
+        busy = session.signal("Bus_busy")
+        parts = session.define(
+            "parts", lambda a, b, c: a + b + c,
+            "pre_fetching", "fetching", "storing",
+        )
+        for t in range(0, 400, 7):
+            assert busy.at(t) == parts.at(t)

@@ -1,0 +1,153 @@
+"""Unit tests for the structural validator (repro.core.validate)."""
+
+from repro.core.builder import NetBuilder
+from repro.core.validate import Severity, validate_net
+
+
+def codes(report, severity=None):
+    return [
+        d.code for d in report.diagnostics
+        if severity is None or d.severity is severity
+    ]
+
+
+class TestTransitionChecks:
+    def test_isolated_transition_is_error(self):
+        net = NetBuilder().build()
+        net.add_transition("lonely")
+        report = validate_net(net)
+        assert "T-ISOLATED" in codes(report, Severity.ERROR)
+        assert not report.ok()
+
+    def test_source_transition_warns(self):
+        net = (
+            NetBuilder().place("out").event("src", outputs={"out": 1}).build()
+        )
+        report = validate_net(net)
+        assert "T-SOURCE" in codes(report, Severity.WARNING)
+
+    def test_sink_transition_info(self):
+        net = (
+            NetBuilder()
+            .place("a", tokens=1)
+            .event("sink", inputs={"a": 1})
+            .build()
+        )
+        report = validate_net(net)
+        assert "T-SINK" in codes(report)
+
+    def test_arc_over_capacity_is_error(self):
+        b = NetBuilder()
+        b.place("small", tokens=1, capacity=2)
+        b.event("greedy", inputs={"small": 3}, outputs={"x": 1})
+        report = validate_net(b.build())
+        assert "ARC-OVER-CAPACITY" in codes(report, Severity.ERROR)
+
+    def test_contradictory_inhibitor_is_error(self):
+        b = NetBuilder()
+        b.place("p", tokens=1)
+        b.event("t", inputs={"p": 1}, outputs={"q": 1}, inhibitors={"p": 1})
+        report = validate_net(b.build())
+        assert "ARC-CONTRADICTION" in codes(report, Severity.ERROR)
+
+    def test_inhibitor_above_weight_ok(self):
+        b = NetBuilder()
+        b.place("p", tokens=1)
+        # Consumes 1 but only inhibited at 3+: satisfiable.
+        b.event("t", inputs={"p": 1}, outputs={"q": 1}, inhibitors={"p": 3})
+        report = validate_net(b.build())
+        assert "ARC-CONTRADICTION" not in codes(report)
+
+    def test_immediate_livelock_detected(self):
+        b = NetBuilder()
+        b.place("p", tokens=1)
+        b.event("spin", inputs={"p": 1}, outputs={"p": 1})
+        report = validate_net(b.build())
+        assert "IMMEDIATE-LIVELOCK" in codes(report, Severity.ERROR)
+
+    def test_timed_self_loop_not_livelock(self):
+        b = NetBuilder()
+        b.place("p", tokens=1)
+        b.event("tick", inputs={"p": 1}, outputs={"p": 1}, firing_time=1)
+        report = validate_net(b.build())
+        assert "IMMEDIATE-LIVELOCK" not in codes(report)
+
+    def test_timed_shuttle_warning_for_bus_bug(self):
+        # The paper's §4.4 example bug: a firing time on a transition that
+        # moves the token between Bus_busy and Bus_free.
+        b = NetBuilder()
+        b.place("Bus_busy", tokens=1)
+        b.place("Bus_free")
+        b.event("release", inputs={"Bus_busy": 1}, outputs={"Bus_free": 1},
+                firing_time=2)
+        report = validate_net(b.build())
+        assert "TIMED-SHUTTLE" in codes(report, Severity.WARNING)
+
+    def test_instantaneous_shuttle_clean(self):
+        b = NetBuilder()
+        b.place("Bus_busy", tokens=1)
+        b.place("Bus_free")
+        b.event("release", inputs={"Bus_busy": 1}, outputs={"Bus_free": 1})
+        report = validate_net(b.build())
+        assert "TIMED-SHUTTLE" not in codes(report)
+
+
+class TestPlaceChecks:
+    def test_isolated_place_warns(self):
+        net = NetBuilder().place("orphan").build()
+        report = validate_net(net)
+        assert "P-ISOLATED" in codes(report, Severity.WARNING)
+
+    def test_accumulator_with_capacity_warns(self):
+        b = NetBuilder()
+        b.place("src", tokens=1)
+        b.place("pool", capacity=5)
+        b.event("fill", inputs={"src": 1}, outputs={"pool": 1, "src": 1},
+                firing_time=1)
+        report = validate_net(b.build())
+        assert "P-ACCUMULATOR" in codes(report, Severity.WARNING)
+
+    def test_over_capacity_initial_is_error(self):
+        # Place() itself rejects capacity < initial, so build the check
+        # through a net whose marking exceeds capacity via merge paths is
+        # impossible; the validator still guards the direct case.
+        b = NetBuilder()
+        b.place("ok", tokens=2, capacity=4)
+        b.event("t", inputs={"ok": 1}, outputs={"ok": 1}, firing_time=1)
+        report = validate_net(b.build())
+        assert "P-OVER-CAPACITY" not in codes(report)
+
+
+class TestNetLevelChecks:
+    def test_dead_start_warns(self):
+        b = NetBuilder()
+        b.place("empty")
+        b.event("t", inputs={"empty": 1}, outputs={"out": 1})
+        report = validate_net(b.build())
+        assert "NET-DEAD-START" in codes(report, Severity.WARNING)
+
+    def test_live_start_clean(self):
+        b = NetBuilder()
+        b.place("p", tokens=1)
+        b.event("t", inputs={"p": 1}, outputs={"q": 1})
+        report = validate_net(b.build())
+        assert "NET-DEAD-START" not in codes(report)
+
+    def test_pipeline_model_has_no_errors(self):
+        from repro.processor import build_pipeline_net
+
+        report = validate_net(build_pipeline_net())
+        assert report.ok(), report.pretty()
+
+    def test_report_pretty_mentions_findings(self):
+        net = NetBuilder().place("orphan").build()
+        text = validate_net(net).pretty()
+        assert "P-ISOLATED" in text
+
+    def test_clean_net_pretty(self):
+        b = NetBuilder()
+        b.place("p", tokens=1)
+        b.event("t", inputs={"p": 1}, outputs={"q": 1})
+        b.event("back", inputs={"q": 1}, outputs={"p": 1}, firing_time=1)
+        report = validate_net(b.build())
+        assert report.ok()
