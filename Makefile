@@ -1,0 +1,24 @@
+# One-command entry points for the two suites (and a collection smoke
+# check so a broken benchmark import fails fast without paying for the
+# full run). PYTHONPATH is set here so no install step is needed.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-co test-all
+
+## tier-1: the unit/integration suite plus benchmarks (the repo gate)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## the benchmark/experiment suite only
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## smoke check: benchmarks must at least collect cleanly
+bench-co:
+	$(PYTHON) -m pytest benchmarks -q --co
+
+## unit tests, then the benchmark collection smoke check
+test-all: bench-co
+	$(PYTHON) -m pytest tests -q

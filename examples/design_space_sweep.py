@@ -11,7 +11,7 @@ cache hit ratio, and watch the instruction rate and bus saturation move.
 Run: python examples/design_space_sweep.py
 """
 
-from repro.analysis import compute_statistics
+from repro.analysis import StatisticsObserver
 from repro.processor import (
     CacheConfig,
     PipelineConfig,
@@ -25,7 +25,12 @@ SEED = 5
 
 
 def run_ipc_bus(net):
-    stats = compute_statistics(simulate(net, until=CYCLES, seed=SEED).events)
+    # Statistics stream through an observer: each sweep point simulates
+    # at full engine speed without materializing its trace.
+    observer = StatisticsObserver()
+    simulate(net, until=CYCLES, seed=SEED, observers=[observer],
+             keep_events=False)
+    stats = observer.result()
     return (stats.transitions["Issue"].throughput,
             stats.places["Bus_busy"].avg_tokens)
 

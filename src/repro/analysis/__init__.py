@@ -3,6 +3,7 @@
 from .batch_means import (
     BatchMeansResult,
     batch_means,
+    batch_means_from_signal,
     suggest_warmup,
     throughput_batch_means,
 )
@@ -11,6 +12,7 @@ from .report import event_section, full_report, place_section, run_section, trof
 from .stat import (
     PlaceStats,
     RunStats,
+    StatisticsObserver,
     TraceStatistics,
     TransitionStats,
     compute_statistics,
@@ -19,6 +21,7 @@ from .tracer import (
     Marker,
     MarkerSet,
     Signal,
+    SignalObserver,
     TracerSession,
     combine,
     extract_signals,
@@ -38,12 +41,15 @@ __all__ = [
     "QueryResult",
     "RunStats",
     "Signal",
+    "SignalObserver",
+    "StatisticsObserver",
     "TraceChecker",
     "TraceStatistics",
     "TracerSession",
     "TransitionStats",
     "WaveformOptions",
     "batch_means",
+    "batch_means_from_signal",
     "check_trace",
     "combine",
     "compute_statistics",

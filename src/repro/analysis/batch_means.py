@@ -89,6 +89,33 @@ def _signal_batch_means(
     return means
 
 
+def batch_means_from_signal(
+    signal: Signal,
+    warmup: float = 0.0,
+    batches: int = 10,
+    confidence: float = 0.95,
+) -> BatchMeansResult:
+    """Batch-means CI computed directly from a probed :class:`Signal`.
+
+    This is the zero-materialization entry point: extract the signal
+    online with :class:`~repro.analysis.tracer.SignalObserver` attached
+    to a ``keep_events=False`` run, then batch it here without the trace
+    ever existing as a list.
+    """
+    if confidence not in _Z:
+        raise QueryEvaluationError(f"confidence must be one of {sorted(_Z)}")
+    if batches < 2:
+        raise QueryEvaluationError("need at least 2 batches")
+    means = _signal_batch_means(signal, warmup, batches)
+    mean = sum(means) / len(means)
+    variance = sum((m - mean) ** 2 for m in means) / (len(means) - 1)
+    stdev = math.sqrt(variance)
+    half = _Z[confidence] * stdev / math.sqrt(len(means))
+    width = (signal.end_time - (signal.times[0] + warmup)) / batches
+    return BatchMeansResult(signal.name, mean, stdev, half, confidence,
+                            batches, warmup, width)
+
+
 def batch_means(
     events: Iterable[TraceEvent],
     probe: str,
@@ -100,21 +127,16 @@ def batch_means(
 
     ``probe`` is resolved like tracertool probes (place tokens, transition
     concurrency, variable). Use ``batches >= 5``; widths shrink the CI
-    only while batches stay roughly independent.
+    only while batches stay roughly independent. The event iterable is
+    streamed, never materialized — so arguments are validated *before*
+    the (possibly single-use) stream is consumed.
     """
     if confidence not in _Z:
         raise QueryEvaluationError(f"confidence must be one of {sorted(_Z)}")
     if batches < 2:
         raise QueryEvaluationError("need at least 2 batches")
-    signal = extract_signals(list(events), [probe])[probe]
-    means = _signal_batch_means(signal, warmup, batches)
-    mean = sum(means) / len(means)
-    variance = sum((m - mean) ** 2 for m in means) / (len(means) - 1)
-    stdev = math.sqrt(variance)
-    half = _Z[confidence] * stdev / math.sqrt(len(means))
-    width = (signal.end_time - (signal.times[0] + warmup)) / batches
-    return BatchMeansResult(probe, mean, stdev, half, confidence,
-                            batches, warmup, width)
+    signal = extract_signals(events, [probe])[probe]
+    return batch_means_from_signal(signal, warmup, batches, confidence)
 
 
 def throughput_batch_means(
@@ -175,7 +197,7 @@ def suggest_warmup(
     within one smoothed-range-tenth of its final plateau. Heuristic —
     inspect the signal when it matters.
     """
-    signal = extract_signals(list(events), [probe])[probe]
+    signal = extract_signals(events, [probe])[probe]
     span = signal.end_time - signal.times[0]
     if span <= 0:
         return 0.0

@@ -144,6 +144,172 @@ class TraceStatistics:
         return self.places[place].avg_tokens
 
 
+class StatisticsObserver:
+    """Streaming stat tool: the Figure-5 statistics as a trace observer.
+
+    Attach to a run (``simulate(net, observers=[obs], keep_events=False)``)
+    or feed events by hand via :meth:`on_event`; call :meth:`result` once
+    the trace (or its prefix of interest) has been consumed. Memory stays
+    O(places + transitions), never O(trace length) — the paper's "plug
+    the simulator straight into the analysis tools" (§4.1).
+
+    :func:`compute_statistics` is a thin wrapper over this class, so the
+    streamed and materialized paths produce bit-identical results.
+    """
+
+    def __init__(
+        self,
+        run_number: int = 1,
+        place_names: Iterable[str] = (),
+        transition_names: Iterable[str] = (),
+    ) -> None:
+        self.run_number = run_number
+        self._place_names = tuple(place_names)
+        self._transition_names = tuple(transition_names)
+        self._place_acc: dict[str, _TimeWeighted] = {}
+        self._trans_acc: dict[str, _TimeWeighted] = {}
+        self._starts: dict[str, int] = {}
+        self._ends: dict[str, int] = {}
+        self._initial_clock = 0.0
+        self._final_clock = 0.0
+        self._started_total = 0
+        self._finished_total = 0
+        self._saw_init = False
+        self._saw_eot = False
+        self._result: TraceStatistics | None = None
+
+    # -- accumulator rows --------------------------------------------------
+
+    def _place_row(self, name: str) -> _TimeWeighted:
+        row = self._place_acc.get(name)
+        if row is None:
+            row = _TimeWeighted()
+            row.start(self._initial_clock, 0)
+            self._place_acc[name] = row
+        return row
+
+    def _trans_row(self, name: str) -> _TimeWeighted:
+        row = self._trans_acc.get(name)
+        if row is None:
+            row = _TimeWeighted()
+            row.start(self._initial_clock, 0)
+            self._trans_acc[name] = row
+            self._starts.setdefault(name, 0)
+            self._ends.setdefault(name, 0)
+        return row
+
+    # -- streaming ---------------------------------------------------------
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Fold one trace event into the running statistics."""
+        if self._saw_eot:
+            # Statistics close at EOT; ignore any trailing events (the
+            # materialized path stopped consuming here too).
+            return
+        # New events invalidate any mid-run result() snapshot; the
+        # integration windows continue seamlessly from the finalize point.
+        self._result = None
+        self._final_clock = event.time
+        kind = event.kind
+        if kind is EventKind.INIT:
+            self._saw_init = True
+            self._initial_clock = event.time
+            for name in self._place_names:
+                self._place_row(name)
+            for name in self._transition_names:
+                self._trans_row(name)
+            for place, count in event.added.items():
+                self._place_row(place).start(event.time, count)
+            return
+        if not self._saw_init:
+            raise TraceError("trace events before INIT")
+        if kind is EventKind.EOT:
+            self._saw_eot = True
+            return
+        time = event.time
+        for place, count in event.removed.items():
+            row = self._place_row(place)
+            row.update(time, row.value - count)
+            if row.value < 0:
+                raise TraceError(
+                    f"place {place!r} driven negative at time {time}"
+                )
+        for place, count in event.added.items():
+            row = self._place_row(place)
+            row.update(time, row.value + count)
+        if kind is EventKind.START:
+            assert event.transition is not None
+            row = self._trans_row(event.transition)
+            row.update(time, row.value + 1)
+            self._starts[event.transition] = (
+                self._starts.get(event.transition, 0) + 1
+            )
+            self._started_total += 1
+        elif kind is EventKind.END:
+            assert event.transition is not None
+            row = self._trans_row(event.transition)
+            row.update(time, row.value - 1)
+            self._ends[event.transition] = (
+                self._ends.get(event.transition, 0) + 1
+            )
+            self._finished_total += 1
+        elif kind is EventKind.FIRE:
+            # Instantaneous firing: register the zero-width concurrency
+            # blip (the paper's Figure 5 shows Max Concurrent 1 even for
+            # immediate transitions like Issue) without affecting the
+            # time-weighted average.
+            assert event.transition is not None
+            row = self._trans_row(event.transition)
+            row.update(time, row.value + 1)
+            row.update(time, row.value - 1)
+            self._starts[event.transition] = (
+                self._starts.get(event.transition, 0) + 1
+            )
+            self._ends[event.transition] = (
+                self._ends.get(event.transition, 0) + 1
+            )
+            self._started_total += 1
+            self._finished_total += 1
+
+    __call__ = on_event
+
+    # -- finalization ------------------------------------------------------
+
+    def result(self) -> TraceStatistics:
+        """Close the integration windows and return the statistics.
+
+        Idempotent: repeated calls return the same (cached) object.
+        Truncated traces (no EOT) are tolerated; statistics close at the
+        last event seen.
+        """
+        if self._result is not None:
+            return self._result
+        if not self._saw_init:
+            raise TraceError("trace contains no INIT event")
+        final_clock = self._final_clock
+        length = final_clock - self._initial_clock
+
+        places = {}
+        for name, row in self._place_acc.items():
+            mean, stdev = row.finalize(final_clock)
+            places[name] = PlaceStats(name, row.minimum, row.maximum, mean, stdev)
+        transitions = {}
+        for name, row in self._trans_acc.items():
+            mean, stdev = row.finalize(final_clock)
+            throughput = self._ends.get(name, 0) / length if length > 0 else 0.0
+            transitions[name] = TransitionStats(
+                name, row.minimum, row.maximum, mean, stdev,
+                self._starts.get(name, 0), self._ends.get(name, 0), throughput,
+            )
+        self._result = TraceStatistics(
+            run=RunStats(self.run_number, self._initial_clock, length,
+                         self._started_total, self._finished_total),
+            places=places,
+            transitions=transitions,
+        )
+        return self._result
+
+
 def compute_statistics(
     events: Iterable[TraceEvent],
     run_number: int = 1,
@@ -154,113 +320,18 @@ def compute_statistics(
 
     ``place_names``/``transition_names`` pre-register vocabulary so nodes
     that never change still get rows (a place that stays at its initial
-    count, a transition that never fires).
+    count, a transition that never fires). Accepts any event iterable —
+    a materialized list or a live :meth:`Simulator.stream` — and consumes
+    it through :class:`StatisticsObserver`, stopping at EOT.
     """
-    place_acc: dict[str, _TimeWeighted] = {}
-    trans_acc: dict[str, _TimeWeighted] = {}
-    starts: dict[str, int] = {}
-    ends: dict[str, int] = {}
-    initial_clock = 0.0
-    final_clock = 0.0
-    started_total = 0
-    finished_total = 0
-    saw_init = False
-    saw_eot = False
-
-    def place_row(name: str) -> _TimeWeighted:
-        row = place_acc.get(name)
-        if row is None:
-            row = _TimeWeighted()
-            row.start(initial_clock, 0)
-            place_acc[name] = row
-        return row
-
-    def trans_row(name: str) -> _TimeWeighted:
-        row = trans_acc.get(name)
-        if row is None:
-            row = _TimeWeighted()
-            row.start(initial_clock, 0)
-            trans_acc[name] = row
-            starts.setdefault(name, 0)
-            ends.setdefault(name, 0)
-        return row
-
-    for event in events:
-        final_clock = event.time
-        if event.kind is EventKind.INIT:
-            saw_init = True
-            initial_clock = event.time
-            for name in place_names:
-                place_row(name)
-            for name in transition_names:
-                trans_row(name)
-            for place, count in event.added.items():
-                row = place_row(place)
-                row.start(event.time, count)
-            continue
-        if not saw_init:
-            raise TraceError("trace events before INIT")
-        if event.kind is EventKind.EOT:
-            saw_eot = True
-            break
-        for place, count in event.removed.items():
-            row = place_row(place)
-            row.update(event.time, row.value - count)
-            if row.value < 0:
-                raise TraceError(
-                    f"place {place!r} driven negative at time {event.time}"
-                )
-        for place, count in event.added.items():
-            row = place_row(place)
-            row.update(event.time, row.value + count)
-        if event.kind is EventKind.START:
-            assert event.transition is not None
-            row = trans_row(event.transition)
-            row.update(event.time, row.value + 1)
-            starts[event.transition] = starts.get(event.transition, 0) + 1
-            started_total += 1
-        elif event.kind is EventKind.END:
-            assert event.transition is not None
-            row = trans_row(event.transition)
-            row.update(event.time, row.value - 1)
-            ends[event.transition] = ends.get(event.transition, 0) + 1
-            finished_total += 1
-        elif event.kind is EventKind.FIRE:
-            # Instantaneous firing: register the zero-width concurrency
-            # blip (the paper's Figure 5 shows Max Concurrent 1 even for
-            # immediate transitions like Issue) without affecting the
-            # time-weighted average.
-            assert event.transition is not None
-            row = trans_row(event.transition)
-            row.update(event.time, row.value + 1)
-            row.update(event.time, row.value - 1)
-            starts[event.transition] = starts.get(event.transition, 0) + 1
-            ends[event.transition] = ends.get(event.transition, 0) + 1
-            started_total += 1
-            finished_total += 1
-
-    if not saw_init:
-        raise TraceError("trace contains no INIT event")
-    if not saw_eot:
-        # Tolerate truncated traces; statistics close at the last event.
-        pass
-    length = final_clock - initial_clock
-
-    places = {}
-    for name, row in place_acc.items():
-        mean, stdev = row.finalize(final_clock)
-        places[name] = PlaceStats(name, row.minimum, row.maximum, mean, stdev)
-    transitions = {}
-    for name, row in trans_acc.items():
-        mean, stdev = row.finalize(final_clock)
-        throughput = ends.get(name, 0) / length if length > 0 else 0.0
-        transitions[name] = TransitionStats(
-            name, row.minimum, row.maximum, mean, stdev,
-            starts.get(name, 0), ends.get(name, 0), throughput,
-        )
-    return TraceStatistics(
-        run=RunStats(run_number, initial_clock, length,
-                     started_total, finished_total),
-        places=places,
-        transitions=transitions,
+    observer = StatisticsObserver(
+        run_number=run_number,
+        place_names=place_names,
+        transition_names=transition_names,
     )
+    on_event = observer.on_event
+    for event in events:
+        on_event(event)
+        if event.kind is EventKind.EOT:
+            break
+    return observer.result()

@@ -18,8 +18,9 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
 from ..core.errors import QueryEvaluationError, TraceError
-from ..trace.events import TraceEvent
-from ..trace.states import TraceState, fold_states
+from ..core.marking import Marking
+from ..trace.events import EventKind, TraceEvent
+from ..trace.states import TraceState, fold_states  # noqa: F401  (re-export)
 
 
 @dataclass(frozen=True)
@@ -133,6 +134,114 @@ def _dedupe(points: list[tuple[float, float]], end_time: float,
     return Signal(name, tuple(times), tuple(values), end_time)
 
 
+class SignalObserver:
+    """Streaming probe extraction: tracertool signals as a trace observer.
+
+    Attach to a run (``simulate(net, observers=[obs], keep_events=False)``)
+    or feed events by hand via :meth:`on_event`; call :meth:`signals`
+    (or :meth:`signal`) once the trace has been consumed. The folded
+    system state is maintained incrementally — memory is O(places +
+    probes + signal change points), never O(trace length).
+
+    Name resolution follows :meth:`TraceState.value`: place token count,
+    else concurrent firings, else scalar variable, else constant 0.
+    :func:`extract_signals` is a thin wrapper over this class, so the
+    streamed and materialized paths produce identical signals.
+    """
+
+    def __init__(self, probes: Sequence[str]) -> None:
+        self._probes = list(probes)
+        self._raw: dict[str, list[tuple[float, float]]] = {
+            p: [] for p in self._probes
+        }
+        self._end_time = 0.0
+        self._marking = Marking()
+        self._firing_counts: dict[str, int] = {}
+        self._variables: dict[str, float] = {}
+        self._saw_init = False
+        self._saw_eot = False
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Fold one trace event and sample every probe."""
+        if self._saw_eot:
+            return
+        kind = event.kind
+        if kind is EventKind.INIT:
+            if self._saw_init:
+                raise TraceError("duplicate INIT event in trace")
+            self._saw_init = True
+            self._marking = Marking(event.added)
+            self._variables = dict(event.variables)
+            self._sample(event.time)
+            return
+        if not self._saw_init:
+            raise TraceError(f"trace must start with INIT, got {kind.value}")
+        if kind is EventKind.EOT:
+            self._saw_eot = True
+            self._sample(event.time)
+            return
+        if event.removed:
+            self._marking = self._marking.subtract(event.removed)
+        if event.added:
+            self._marking = self._marking.add(event.added)
+        if kind is EventKind.FIRE:
+            # Atomic firing: tokens moved in one delta, no in-flight window.
+            self._variables.update(event.variables)
+        elif kind is EventKind.START:
+            assert event.transition is not None
+            self._firing_counts[event.transition] = (
+                self._firing_counts.get(event.transition, 0) + 1
+            )
+        elif kind is EventKind.END:
+            assert event.transition is not None
+            current = self._firing_counts.get(event.transition, 0)
+            if current <= 0:
+                raise TraceError(
+                    f"END of {event.transition!r} without a matching START"
+                )
+            self._firing_counts[event.transition] = current - 1
+            self._variables.update(event.variables)
+        self._sample(event.time)
+
+    __call__ = on_event
+
+    def _sample(self, time: float) -> None:
+        self._end_time = time
+        marking = self._marking
+        firing_counts = self._firing_counts
+        variables = self._variables
+        for probe in self._probes:
+            if probe in marking:
+                value = float(marking[probe])
+            elif probe in firing_counts:
+                value = float(firing_counts[probe])
+            elif probe in variables:
+                value = float(variables[probe])
+            else:
+                # A place holding zero tokens is simply absent.
+                value = 0.0
+            series = self._raw[probe]
+            if not series:
+                series.append((time, value))
+            elif series[-1][1] != value or series[-1][0] == time:
+                series.append((time, value))
+
+    def signals(self) -> dict[str, Signal]:
+        """The probed signals folded so far (one per probe name)."""
+        missing = [p for p, series in self._raw.items() if not series]
+        if missing:
+            raise TraceError(f"trace is empty; no signal for {missing}")
+        return {
+            probe: _dedupe(series, self._end_time, probe)
+            for probe, series in self._raw.items()
+        }
+
+    def signal(self, name: str) -> Signal:
+        if name not in self._raw:
+            raise QueryEvaluationError(f"no probe named {name!r}")
+        return self.signals()[name]
+
+
 def extract_signals(
     events: Iterable[TraceEvent], probes: Sequence[str]
 ) -> dict[str, Signal]:
@@ -140,26 +249,14 @@ def extract_signals(
 
     Name resolution follows :meth:`TraceState.value`: place token count,
     else concurrent firings, else scalar variable, else constant 0.
+    Accepts any event iterable — a materialized list or a live stream —
+    and consumes it through :class:`SignalObserver`.
     """
-    raw: dict[str, list[tuple[float, float]]] = {p: [] for p in probes}
-    end_time = 0.0
-    for state in fold_states(events):
-        end_time = state.time
-        for probe in probes:
-            value = float(state.value(probe))
-            series = raw[probe]
-            if not series:
-                series.append((state.time, value))
-            elif series[-1][1] != value or series[-1][0] == state.time:
-                series.append((state.time, value))
-    if not raw or any(not series for series in raw.values()):
-        missing = [p for p, series in raw.items() if not series]
-        if missing:
-            raise TraceError(f"trace is empty; no signal for {missing}")
-    return {
-        probe: _dedupe(series, end_time, probe)
-        for probe, series in raw.items()
-    }
+    observer = SignalObserver(probes)
+    on_event = observer.on_event
+    for event in events:
+        on_event(event)
+    return observer.signals()
 
 
 def combine(
@@ -243,7 +340,7 @@ class TracerSession:
     """
 
     def __init__(self, events: Iterable[TraceEvent], probes: Sequence[str]):
-        self.signals = extract_signals(list(events), probes)
+        self.signals = extract_signals(events, probes)
         self.markers = MarkerSet()
 
     def signal(self, name: str) -> Signal:

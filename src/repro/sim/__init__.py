@@ -1,7 +1,7 @@
 """Discrete-event simulation of extended Timed Petri Nets (paper §4.1)."""
 
 from .commands import CommandScript, execute_commands, run_script_text
-from .engine import SimulationResult, Simulator, simulate
+from .engine import Observer, SimulationResult, Simulator, simulate
 from .experiment import (
     Experiment,
     ExperimentResult,
@@ -14,6 +14,7 @@ __all__ = [
     "Experiment",
     "ExperimentResult",
     "MetricSummary",
+    "Observer",
     "SimulationResult",
     "Simulator",
     "execute_commands",

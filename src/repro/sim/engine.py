@@ -21,31 +21,101 @@ Semantics (DESIGN.md §4):
 
 The engine knows nothing about analysis: it emits a stream of
 :class:`~repro.trace.events.TraceEvent` that downstream tools consume,
-optionally without ever materializing the trace.
+optionally without ever materializing the trace (pass ``observers=`` and
+run with ``keep_events=False``).
+
+Incremental scheduling invariants
+---------------------------------
+
+The hot path never rescans the whole transition set. Enablement and
+startability are maintained incrementally around four cached facts:
+
+* ``_deficit[t]`` counts the unsatisfied structural conditions of *t*
+  (input arcs below their weight, inhibitor places at/above their
+  threshold). *t* is token-enabled iff the deficit is zero. Applying a
+  marking delta updates deficits only for the arcs whose satisfaction
+  actually *crossed* — a place change that stays on one side of every
+  arc threshold costs one integer comparison per attached arc.
+* ``_ready_at[t] is not None``  ⟺  *t* was fully enabled (deficit zero
+  and predicate true) at the last settle that touched it;
+  ``_ready_at[t]`` is the instant its enabling delay elapses.
+* ``_startable[t]``  ⟺  ``_ready_at[t]`` has been reached by the clock
+  and ``max_concurrent`` is not saturated.
+* Per conflict group (transitions sharing input places, see
+  :meth:`PetriNet.conflict_groups`) the engine lazily caches the
+  candidate list for conflict resolution; only groups whose members
+  flipped startability are rebuilt before a draw, so the weighted choice
+  renormalizes nothing but the group that changed.
+
+A transition *enters* the startable set when (a) a settle finds it newly
+enabled with zero enabling delay, (b) its ``_READY`` wake-up pops off the
+event heap once the enabling delay elapses, or (c) a completion drops its
+in-flight count below ``max_concurrent`` while it is still ready. It
+*leaves* the set when a settle finds its deficit positive or predicate
+false (the enabling clock resets), when starting a firing consumes its
+enablement, or when a start saturates ``max_concurrent``.
+
+All deltas of one trace event are applied *before* the crossed
+transitions settle, so a place that dips and recovers within a single
+atomic firing never resets anyone's enabling clock — identical to the
+pre-incremental engine's refresh-after-the-whole-delta behaviour.
+Settles run in the net's definition order, which keeps delay-sampling
+reproducible regardless of hash seeds. Predicates must be pure functions
+of the environment: they are evaluated once per settle (and after every
+environment change), not once per conflict-resolution scan, so a
+predicate that consumes randomness or depends on hidden mutable state
+would replay differently than under the pre-incremental engine.
 """
 
 from __future__ import annotations
 
-import heapq
 import random
+from bisect import bisect
 from collections.abc import Iterator
 from dataclasses import dataclass, field
-from typing import Any
+from heapq import heappop, heappush
+from itertools import accumulate
+from typing import Any, Callable
 
 from ..core.errors import ImmediateLoopError, SimulationError
-from ..core.frequency import choose_weighted
-from ..core.inscription import Environment, always_true, no_action, run_action
+from ..core.inscription import (
+    Environment,
+    always_true,
+    check_predicate,
+    no_action,
+    run_action,
+)
 from ..core.marking import Marking
 from ..core.net import PetriNet
-from ..trace.events import TraceEvent, TraceHeader
+from ..core.time_model import ConstantDelay
+from ..trace.events import (
+    EventKind,
+    TraceEvent,
+    TraceHeader,
+    _fast_event,
+    _obj_new,
+    _obj_set,
+)
 
 _END = 0  # heap entry kinds; END before READY at equal (time, kind) rank
 _READY = 1
 
 
+def _discard(_event) -> None:
+    """Event sink for keep_events=False runs with no observers."""
+
+#: An observer is notified of every emitted event, in trace order. Plain
+#: callables and objects with an ``on_event`` method are both accepted.
+Observer = Callable[[TraceEvent], Any]
+
+
 @dataclass
 class SimulationResult:
-    """A completed run: header, the full event list and summary counters."""
+    """A completed run: header, the full event list and summary counters.
+
+    When the run was made with ``keep_events=False`` the ``events`` list
+    is empty — attached observers are then the only trace consumers.
+    """
 
     header: TraceHeader
     events: list[TraceEvent]
@@ -65,7 +135,9 @@ class Simulator:
     The object is single-use per run: create, then either iterate
     :meth:`stream` or call :meth:`run`. ``seed`` makes runs reproducible;
     the environment shares the engine RNG so ``irand`` draws from the same
-    stream.
+    stream. ``observers`` attach streaming trace consumers (e.g.
+    :class:`~repro.analysis.stat.StatisticsObserver`): each sees every
+    event, including ``INIT`` and ``EOT``, as it is produced.
     """
 
     def __init__(
@@ -74,6 +146,7 @@ class Simulator:
         seed: int | None = None,
         run_number: int = 1,
         immediate_budget: int = 10_000,
+        observers: tuple[Observer, ...] | list[Observer] = (),
     ) -> None:
         self.net = net
         self.seed = seed
@@ -81,44 +154,152 @@ class Simulator:
         self.immediate_budget = immediate_budget
         self.rng = random.Random(seed)
         self.env = net.initial_environment(rng=self.rng)
+        self._observer_fns: tuple[Callable[[TraceEvent], Any], ...] = tuple(
+            o.on_event if hasattr(o, "on_event") else o for o in observers
+        )
 
-        self._marking: dict[str, int] = net.initial_marking().as_dict()
         self._time: float = 0.0
-        self._heap: list[tuple[float, int, int, str]] = []
+        self._heap: list[tuple[float, int, int, int]] = []
         self._heap_seq = 0
         self._trace_seq = 0
-        self._in_flight: dict[str, int] = {t: 0 for t in net.transition_names()}
-        self._enabled_since: dict[str, float | None] = {}
-        self._ready_at: dict[str, float | None] = {}
         self.events_started = 0
         self.events_finished = 0
         self._started = False
+        self._keep_events = True
+        self._out: list[TraceEvent] = []
 
-        # Static dependency indexes: which transitions to re-check when a
-        # place changes, and which have data-dependent predicates.
-        self._dependents: dict[str, set[str]] = {p: set() for p in net.place_names()}
-        self._predicated: set[str] = set()
-        self._frequencies: dict[str, float] = {}
-        self._transition_names = net.transition_names()
-        self._inputs: dict[str, dict[str, int]] = {}
-        self._outputs: dict[str, dict[str, int]] = {}
-        self._inhibitors: dict[str, dict[str, int]] = {}
-        self._transitions: dict[str, Any] = {}
-        for t in self._transition_names:
-            transition = net.transition(t)
-            self._transitions[t] = transition
-            self._frequencies[t] = transition.frequency
-            self._inputs[t] = dict(net.inputs_of(t))
-            self._outputs[t] = dict(net.outputs_of(t))
-            self._inhibitors[t] = dict(net.inhibitors_of(t))
-            for p in self._inputs[t]:
-                self._dependents[p].add(t)
-            for p in self._inhibitors[t]:
-                self._dependents[p].add(t)
-            if transition.predicate is not always_true:
-                self._predicated.add(t)
-            self._enabled_since[t] = None
-            self._ready_at[t] = None
+        # -- integer-indexed static structure -----------------------------
+        self._pnames: list[str] = net.place_names()
+        pindex = {p: i for i, p in enumerate(self._pnames)}
+        self._tnames: list[str] = net.transition_names()
+        tindex = {t: i for i, t in enumerate(self._tnames)}
+        n_places = len(self._pnames)
+        n_trans = len(self._tnames)
+
+        initial = net.initial_marking()
+        self._tokens: list[int] = [initial[p] for p in self._pnames]
+
+        self._transitions: list[Any] = [net.transition(t) for t in self._tnames]
+        self._freq: list[float] = [t.frequency for t in self._transitions]
+        self._predicates: list[Any] = [t.predicate for t in self._transitions]
+        self._predicated: list[bool] = [
+            t.predicate is not always_true for t in self._transitions
+        ]
+        self._predicated_ids: tuple[int, ...] = tuple(
+            i for i, p in enumerate(self._predicated) if p
+        )
+        self._has_action: list[bool] = [
+            t.action is not no_action for t in self._transitions
+        ]
+        self._max_concurrent: list[int | None] = [
+            t.max_concurrent for t in self._transitions
+        ]
+        self._in_flight: list[int] = [0] * n_trans
+        self._enabled_since: list[float | None] = [None] * n_trans
+        self._ready_at: list[float | None] = [None] * n_trans
+        self._enabling_const: list[float | None] = [
+            t.enabling_time.value if isinstance(t.enabling_time, ConstantDelay)
+            else None
+            for t in self._transitions
+        ]
+        self._firing_const: list[float | None] = [
+            t.firing_time.value if isinstance(t.firing_time, ConstantDelay)
+            else None
+            for t in self._transitions
+        ]
+
+        # Arc tables, index-keyed for the hot path and name-keyed dicts
+        # shared (uncopied, never mutated) into the emitted trace events.
+        self._in_arcs: list[tuple[tuple[int, int], ...]] = []
+        self._out_arcs: list[tuple[tuple[int, int], ...]] = []
+        self._inputs_dict: list[dict[str, int]] = []
+        self._outputs_dict: list[dict[str, int]] = []
+        consumers: list[list[tuple[int, int]]] = [[] for _ in range(n_places)]
+        inhibited: list[list[tuple[int, int]]] = [[] for _ in range(n_places)]
+        self._deficit: list[int] = [0] * n_trans
+        for ti, name in enumerate(self._tnames):
+            inputs = dict(net.inputs_of(name))
+            outputs = dict(net.outputs_of(name))
+            inhibitors = dict(net.inhibitors_of(name))
+            self._inputs_dict.append(inputs)
+            self._outputs_dict.append(outputs)
+            self._in_arcs.append(
+                tuple((pindex[p], w) for p, w in inputs.items())
+            )
+            self._out_arcs.append(
+                tuple((pindex[p], w) for p, w in outputs.items())
+            )
+            deficit = 0
+            for p, w in inputs.items():
+                pi = pindex[p]
+                consumers[pi].append((ti, w))
+                if self._tokens[pi] < w:
+                    deficit += 1
+            for p, thr in inhibitors.items():
+                pi = pindex[p]
+                inhibited[pi].append((ti, thr))
+                if self._tokens[pi] >= thr:
+                    deficit += 1
+            self._deficit[ti] = deficit
+        self._consumers: list[tuple[tuple[int, int], ...]] = [
+            tuple(arcs) for arcs in consumers
+        ]
+        self._inhibited: list[tuple[tuple[int, int], ...]] = [
+            tuple(arcs) for arcs in inhibited
+        ]
+        # Combined signed deltas for instantaneous firings: removal and
+        # deposit fold into one pass (places whose net change is zero are
+        # skipped entirely — their transient dip can't change any
+        # enablement observed after the atomic delta). START deltas carry
+        # pre-negated weights so the apply loop is branch-free.
+        self._fire_arcs: list[tuple[tuple[int, int], ...]] = []
+        self._start_arcs: list[tuple[tuple[int, int], ...]] = []
+        for ti in range(n_trans):
+            net_delta: dict[int, int] = {}
+            for pi, w in self._in_arcs[ti]:
+                net_delta[pi] = net_delta.get(pi, 0) - w
+            for pi, w in self._out_arcs[ti]:
+                net_delta[pi] = net_delta.get(pi, 0) + w
+            self._fire_arcs.append(
+                tuple((pi, d) for pi, d in net_delta.items() if d)
+            )
+            self._start_arcs.append(
+                tuple((pi, -w) for pi, w in self._in_arcs[ti])
+            )
+
+        # Per-conflict-group candidate bookkeeping: membership is static;
+        # candidate lists are rebuilt lazily, only for groups whose
+        # members flipped startability since the last draw.
+        self._group_of: list[int] = [0] * n_trans
+        self._group_members: list[tuple[int, ...]] = []
+        for group in net.conflict_groups():
+            g = len(self._group_members)
+            members = tuple(sorted(tindex[t] for t in group))
+            self._group_members.append(members)
+            for ti in members:
+                self._group_of[ti] = g
+        n_groups = len(self._group_members)
+        self._group_count: list[int] = [0] * n_groups
+        self._group_stale: list[bool] = [False] * n_groups
+        self._group_cand: list[list[int]] = [[] for _ in range(n_groups)]
+        self._group_cum: list[list[float]] = [[] for _ in range(n_groups)]
+        self._active_groups: set[int] = set()
+        # Candidate-set memo: the same competing subsets of a group recur
+        # constantly, so (candidate list, cumulative weights) pairs are
+        # cached per group, keyed by the bitmask of startable members.
+        self._member_bit: list[int] = [0] * n_trans
+        for members in self._group_members:
+            for position, ti in enumerate(members):
+                self._member_bit[ti] = 1 << position
+        self._group_mask: list[int] = [0] * n_groups
+        self._group_memo: list[dict[int, tuple[list[int], list[float]]]] = [
+            {} for _ in range(n_groups)
+        ]
+        self._startable: list[bool] = [False] * n_trans
+        self._n_startable = 0
+        self._draw_stale = True
+        self._candidates: list[int] = []
+        self._cum_weights: list[float] = []
 
     # -- public API ---------------------------------------------------------
 
@@ -135,18 +316,12 @@ class Simulator:
         finishing events at the final instant). ``max_events`` bounds the
         number of started firings instead (for exploratory runs).
         """
-        if self._started:
-            raise SimulationError("Simulator.stream() may only be called once")
-        self._started = True
-        if until is None and max_events is None:
-            raise SimulationError("provide until=, max_events=, or both")
-
-        out: list[TraceEvent] = []
-        self._out = out
+        self._begin_run(until, max_events)
+        out = self._out
         self._emit_init()
         yield from self._drain(out)
 
-        self._refresh_enablement(self._transition_names)
+        self._settle(list(range(len(self._tnames))))
         self._process_instant()
         yield from self._drain(out)
 
@@ -166,31 +341,408 @@ class Simulator:
         yield from self._drain(out)
 
     def run(
-        self, until: float | None = None, max_events: int | None = None
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        keep_events: bool = True,
     ) -> SimulationResult:
-        """Run to completion and materialize the trace."""
-        events = list(self.stream(until=until, max_events=max_events))
+        """Run to completion; materialize the trace unless ``keep_events``
+        is false (observers still see every event).
+
+        This is the specialized fast path: the whole event loop (conflict
+        resolution, firing, completion, settling) runs in one function
+        with engine state bound to locals exactly once per run.
+        :meth:`stream` is its lazily-yielding twin built from the shared
+        out-of-line building blocks; both produce identical traces (a
+        parity test pins this).
+        """
+        self._keep_events = keep_events
+        self._begin_run(until, max_events)
+        out = self._out
+        self._emit_init()
+        self._settle(list(range(len(self._tnames))))
+
+        # -- one-time local binding of all engine state --------------------
+        heap = self._heap
+        tokens = self._tokens
+        deficit = self._deficit
+        consumers = self._consumers
+        inhibited = self._inhibited
+        enabled_since = self._enabled_since
+        ready_at = self._ready_at
+        enabling_const = self._enabling_const
+        firing_const = self._firing_const
+        startable_flags = self._startable
+        in_flight = self._in_flight
+        max_concurrent = self._max_concurrent
+        group_of = self._group_of
+        group_count = self._group_count
+        group_stale = self._group_stale
+        group_cand = self._group_cand
+        group_members = self._group_members
+        group_mask = self._group_mask
+        member_bit = self._member_bit
+        active_groups = self._active_groups
+        predicated = self._predicated
+        predicated_ids = self._predicated_ids
+        has_action = self._has_action
+        tnames = self._tnames
+        start_arcs = self._start_arcs
+        out_arcs = self._out_arcs
+        fire_arcs = self._fire_arcs
+        inputs_dict = self._inputs_dict
+        outputs_dict = self._outputs_dict
+        emit = self._emit
+        # With no consumers at all, events need not even be constructed;
+        # counters, marking and variables still evolve identically.
+        make_events = emit is not _discard
+        rng_random = self.rng.random
+        fire_kind = EventKind.FIRE
+        start_kind = EventKind.START
+        end_kind = EventKind.END
+        immediate_budget = self.immediate_budget
+        empty: dict[str, Any] = {}
+        n_startable = self._n_startable
+        draw_stale = self._draw_stale
+        trace_seq = self._trace_seq
+        events_started = self.events_started
+        events_finished = self.events_finished
+        time_ = self._time
+
+        def settle_pend(pend: list[int]) -> None:
+            # Closure twin of _settle, sharing the bound locals.
+            nonlocal n_startable, draw_stale
+            if len(pend) > 1:
+                pend.sort()
+            prev = -1
+            now = time_
+            for tj in pend:
+                if tj == prev:
+                    continue
+                prev = tj
+                if deficit[tj] == 0:
+                    if predicated[tj]:
+                        enabled = check_predicate(
+                            self._predicates[tj], self.env, tnames[tj]
+                        )
+                    else:
+                        enabled = True
+                else:
+                    enabled = False
+                if enabled:
+                    if enabled_since[tj] is None:
+                        delay = enabling_const[tj]
+                        if delay == 0:
+                            enabled_since[tj] = now
+                            ready_at[tj] = now
+                        else:
+                            self._begin_enablement(tj, now, delay)
+                elif enabled_since[tj] is not None:
+                    enabled_since[tj] = None
+                    ready_at[tj] = None
+                ready = ready_at[tj]
+                if ready is None or ready > now:
+                    startable = False
+                else:
+                    cap = max_concurrent[tj]
+                    startable = cap is None or in_flight[tj] < cap
+                if startable != startable_flags[tj]:
+                    startable_flags[tj] = startable
+                    g = group_of[tj]
+                    count = group_count[g]
+                    if startable:
+                        n_startable += 1
+                        group_count[g] = count + 1
+                        if count == 0:
+                            active_groups.add(g)
+                    else:
+                        n_startable -= 1
+                        group_count[g] = count - 1
+                        if count == 1:
+                            active_groups.discard(g)
+                    group_mask[g] ^= member_bit[tj]
+                    group_stale[g] = True
+                    draw_stale = True
+
+        heap_end_seq = 0  # END-entry tiebreak; never compared against the
+        # READY entries' self._heap_seq because the kind field differs.
+        pend: list[int] = []  # reused crossing buffer, cleared per event
+        while True:
+            # -- fire startable transitions at this instant ----------------
+            if n_startable:
+                budget = immediate_budget
+                fired: list[int] = []
+                while n_startable:
+                    if n_startable == 1:
+                        # Singleton: the only startable transition wins
+                        # outright — no RNG draw, no draw preparation.
+                        g = next(iter(active_groups))
+                        if group_stale[g]:
+                            for ti in group_members[g]:
+                                if startable_flags[ti]:
+                                    break
+                        else:
+                            ti = group_cand[g][0]
+                    else:
+                        if draw_stale:
+                            self._n_startable = n_startable
+                            self._prepare_draw()
+                            draw_stale = False
+                        candidates = self._candidates
+                        if len(candidates) == 1:
+                            ti = candidates[0]
+                        else:
+                            # Bit-compatible inline of rng.choices(...):
+                            # one uniform draw over the cached cumulative
+                            # weights of the competing set.
+                            cum = self._cum_weights
+                            total = cum[-1] + 0.0
+                            ti = candidates[bisect(
+                                cum, rng_random() * total, 0, len(candidates) - 1
+                            )]
+                    duration = firing_const[ti]
+                    if duration is None:
+                        duration = self._sample_delay(
+                            self._transitions[ti].firing_time
+                        )
+                        if duration < 0:
+                            raise SimulationError(
+                                f"firing time of {tnames[ti]!r} sampled "
+                                f"negative: {duration}"
+                            )
+                    pend.clear()
+                    arcs = fire_arcs[ti] if duration == 0 else start_arcs[ti]
+                    for pi, w in arcs:
+                        old = tokens[pi]
+                        new = old + w
+                        if new < 0:
+                            raise SimulationError(
+                                f"firing {tnames[ti]!r} would drive place "
+                                f"{self._pnames[pi]!r} negative"
+                            )
+                        tokens[pi] = new
+                        for tj, tw in consumers[pi]:
+                            if (old >= tw) != (new >= tw):
+                                deficit[tj] += 1 if old >= tw else -1
+                                pend.append(tj)
+                        for tj, thr in inhibited[pi]:
+                            if (old >= thr) != (new >= thr):
+                                deficit[tj] += 1 if new >= thr else -1
+                                pend.append(tj)
+                    events_started += 1
+                    # The enablement is consumed; a fresh enabling period
+                    # starts in the settle if still enabled.
+                    enabled_since[ti] = None
+                    ready_at[ti] = None
+                    pend.append(ti)
+                    if duration == 0:
+                        events_finished += 1
+                        if has_action[ti]:
+                            var_updates = self._run_action(ti)
+                            if var_updates:
+                                pend.extend(predicated_ids)
+                        else:
+                            var_updates = empty
+                        seq = trace_seq
+                        trace_seq = seq + 1
+                        if make_events:
+                            # Inline of _fast_event (hot path).
+                            event = _obj_new(TraceEvent)
+                            _obj_set(event, "seq", seq)
+                            _obj_set(event, "time", time_)
+                            _obj_set(event, "kind", fire_kind)
+                            _obj_set(event, "transition", tnames[ti])
+                            _obj_set(event, "removed", inputs_dict[ti])
+                            _obj_set(event, "added", outputs_dict[ti])
+                            _obj_set(event, "variables", var_updates)
+                            emit(event)
+                        if (
+                            len(pend) == 1
+                            and not predicated[ti]
+                            and enabling_const[ti] == 0
+                        ):
+                            # No deficit crossed anywhere (so the winner
+                            # is still token-enabled) and its enabling
+                            # delay is zero: re-arm it directly. Its
+                            # startable flag was true and stays true —
+                            # nothing else changed.
+                            enabled_since[ti] = time_
+                            ready_at[ti] = time_
+                        else:
+                            settle_pend(pend)
+                    else:
+                        in_flight[ti] += 1
+                        seq = trace_seq
+                        trace_seq = seq + 1
+                        if make_events:
+                            # Inline of _fast_event (hot path).
+                            event = _obj_new(TraceEvent)
+                            _obj_set(event, "seq", seq)
+                            _obj_set(event, "time", time_)
+                            _obj_set(event, "kind", start_kind)
+                            _obj_set(event, "transition", tnames[ti])
+                            _obj_set(event, "removed", inputs_dict[ti])
+                            _obj_set(event, "added", empty)
+                            _obj_set(event, "variables", empty)
+                            emit(event)
+                        settle_pend(pend)
+                        heap_end_seq += 1
+                        heappush(heap, (time_ + duration, _END, heap_end_seq, ti))
+                    fired.append(ti)
+                    budget -= 1
+                    if budget <= 0:
+                        self._sync_counters(
+                            time_, trace_seq, events_started,
+                            events_finished, n_startable, draw_stale,
+                        )
+                        raise ImmediateLoopError(
+                            time_, [tnames[t] for t in fired], immediate_budget
+                        )
+            # -- advance the clock to the next scheduled instant -----------
+            if not heap:
+                break
+            next_time = heap[0][0]
+            if until is not None and next_time > until:
+                break
+            if max_events is not None and events_started >= max_events:
+                break
+            time_ = next_time
+            self._time = next_time
+            while heap and heap[0][0] == next_time:
+                _t, kind, _s, ti = heappop(heap)
+                if kind == _END:
+                    # Inline twin of _complete_firing.
+                    pend.clear()
+                    for pi, w in out_arcs[ti]:
+                        old = tokens[pi]
+                        new = old + w
+                        tokens[pi] = new
+                        for tj, tw in consumers[pi]:
+                            if (old >= tw) != (new >= tw):
+                                deficit[tj] += 1 if old >= tw else -1
+                                pend.append(tj)
+                        for tj, thr in inhibited[pi]:
+                            if (old >= thr) != (new >= thr):
+                                deficit[tj] += 1 if new >= thr else -1
+                                pend.append(tj)
+                    remaining = in_flight[ti] - 1
+                    if remaining < 0:
+                        raise SimulationError(
+                            f"END without START for {tnames[ti]!r}"
+                        )
+                    in_flight[ti] = remaining
+                    events_finished += 1
+                    if has_action[ti]:
+                        var_updates = self._run_action(ti)
+                        if var_updates:
+                            pend.extend(predicated_ids)
+                    else:
+                        var_updates = empty
+                    pend.append(ti)
+                    seq = trace_seq
+                    trace_seq = seq + 1
+                    if make_events:
+                        # Inline of _fast_event (hot path).
+                        event = _obj_new(TraceEvent)
+                        _obj_set(event, "seq", seq)
+                        _obj_set(event, "time", time_)
+                        _obj_set(event, "kind", end_kind)
+                        _obj_set(event, "transition", tnames[ti])
+                        _obj_set(event, "removed", empty)
+                        _obj_set(event, "added", outputs_dict[ti])
+                        _obj_set(event, "variables", var_updates)
+                        emit(event)
+                    settle_pend(pend)
+                else:
+                    # _READY wake-up: the enabling delay may have elapsed.
+                    # Startability is re-derived from _ready_at, so stale
+                    # entries are harmless.
+                    ready = ready_at[ti]
+                    if ready is None or ready > time_:
+                        startable = False
+                    else:
+                        cap = max_concurrent[ti]
+                        startable = cap is None or in_flight[ti] < cap
+                    if startable != startable_flags[ti]:
+                        startable_flags[ti] = startable
+                        g = group_of[ti]
+                        count = group_count[g]
+                        if startable:
+                            n_startable += 1
+                            group_count[g] = count + 1
+                            if count == 0:
+                                active_groups.add(g)
+                        else:
+                            n_startable -= 1
+                            group_count[g] = count - 1
+                            if count == 1:
+                                active_groups.discard(g)
+                        group_mask[g] ^= member_bit[ti]
+                        group_stale[g] = True
+                        draw_stale = True
+
+        final_time = until if until is not None else time_
+        self._sync_counters(
+            final_time, trace_seq, events_started, events_finished,
+            n_startable, draw_stale,
+        )
+        self._emit(TraceEvent.eot(self._next_seq(), final_time))
         return SimulationResult(
             header=self.header(),
-            events=events,
+            events=out,
             final_time=self._time,
             events_started=self.events_started,
             events_finished=self.events_finished,
-            final_marking=Marking(self._marking),
+            final_marking=self.marking(),
             final_variables=self.env.snapshot_scalars(),
         )
+
+    def _sync_counters(
+        self,
+        time_: float,
+        trace_seq: int,
+        events_started: int,
+        events_finished: int,
+        n_startable: int,
+        draw_stale: bool,
+    ) -> None:
+        """Fold run()'s loop-local counters back into engine state."""
+        self._time = time_
+        self._trace_seq = trace_seq
+        self.events_started = events_started
+        self.events_finished = events_finished
+        self._n_startable = n_startable
+        self._draw_stale = draw_stale
 
     @property
     def now(self) -> float:
         return self._time
 
     def marking(self) -> Marking:
-        return Marking(self._marking)
+        return Marking(dict(zip(self._pnames, self._tokens)))
 
     def in_flight(self) -> dict[str, int]:
-        return {t: n for t, n in self._in_flight.items() if n}
+        return {
+            self._tnames[ti]: n
+            for ti, n in enumerate(self._in_flight)
+            if n
+        }
 
     # -- engine internals -------------------------------------------------------
+
+    def _begin_run(self, until: float | None, max_events: int | None) -> None:
+        if self._started:
+            raise SimulationError(
+                "Simulator is single-use: run()/stream() may only be "
+                "called once"
+            )
+        self._started = True
+        if until is None and max_events is None:
+            raise SimulationError("provide until=, max_events=, or both")
+        # Specialize the per-event emit path: with no observers it is a
+        # bare list append (or a no-op sink when events are discarded).
+        if not self._observer_fns:
+            self._emit = self._out.append if self._keep_events else _discard
 
     def _drain(self, out: list[TraceEvent]) -> Iterator[TraceEvent]:
         if out:
@@ -200,59 +752,140 @@ class Simulator:
 
     def _next_seq(self) -> int:
         seq = self._trace_seq
-        self._trace_seq += 1
+        self._trace_seq = seq + 1
         return seq
 
     def _emit(self, event: TraceEvent) -> None:
-        self._out.append(event)
+        if self._keep_events:
+            self._out.append(event)
+        for notify in self._observer_fns:
+            notify(event)
 
     def _emit_init(self) -> None:
         self._trace_seq = 1
-        self._out.append(
-            TraceEvent.init(dict(self._marking), self.env.snapshot_scalars())
-        )
+        self._emit(TraceEvent.init(
+            dict(zip(self._pnames, self._tokens)), self.env.snapshot_scalars()
+        ))
 
     def _advance_one_instant(self, now: float) -> None:
         """Drain every heap entry scheduled at ``now``, then fire."""
-        while self._heap and self._heap[0][0] == now:
-            _time, _kind, _seq, transition = heapq.heappop(self._heap)
-            if _kind == _END:
-                self._complete_firing(transition)
-            # _READY entries are pure wake-ups; startability is re-derived
-            # from _ready_at below, so stale entries are harmless.
+        heap = self._heap
+        while heap and heap[0][0] == now:
+            _time, kind, _seq, ti = heappop(heap)
+            if kind == _END:
+                self._complete_firing(ti)
+            else:
+                # _READY wake-up: the enabling delay may have elapsed.
+                # Startability is re-derived from _ready_at, so entries
+                # made stale by an intervening disable are harmless.
+                self._update_startable(ti)
         self._process_instant()
 
-    def _schedule(self, time: float, kind: int, transition: str) -> None:
+    def _schedule(self, time: float, kind: int, ti: int) -> None:
         self._heap_seq += 1
-        heapq.heappush(self._heap, (time, kind, self._heap_seq, transition))
+        heappush(self._heap, (time, kind, self._heap_seq, ti))
 
     # -- enablement tracking ------------------------------------------------------
 
-    def _is_enabled(self, name: str) -> bool:
-        marking = self._marking
-        for p, w in self._inputs[name].items():
-            if marking.get(p, 0) < w:
-                return False
-        for p, thr in self._inhibitors[name].items():
-            if marking.get(p, 0) >= thr:
-                return False
-        transition = self._transitions[name]
-        if transition.predicate is not always_true:
-            from ..core.inscription import check_predicate
+    def _settle(self, pend: list[int]) -> None:
+        """Re-derive enablement/startability for the pending transitions.
 
-            return check_predicate(transition.predicate, self.env, name)
-        return True
-
-    def _refresh_enablement(self, candidates) -> None:
-        """Re-derive enablement for the candidate transitions."""
+        ``pend`` holds the (possibly duplicated) ids of transitions whose
+        deficit crossed zero, whose enablement was consumed or whose
+        in-flight count changed; they settle in definition order so any
+        delay sampling stays reproducible.
+        """
+        if len(pend) > 1:
+            pend = sorted(set(pend))
         now = self._time
-        for name in candidates:
-            enabled = self._is_enabled(name)
-            if enabled and self._enabled_since[name] is None:
-                self._begin_enablement(name, now)
-            elif not enabled and self._enabled_since[name] is not None:
-                self._enabled_since[name] = None
-                self._ready_at[name] = None
+        deficit = self._deficit
+        predicated = self._predicated
+        enabled_since = self._enabled_since
+        ready_at = self._ready_at
+        enabling_const = self._enabling_const
+        startable_flags = self._startable
+        in_flight = self._in_flight
+        max_concurrent = self._max_concurrent
+        group_of = self._group_of
+        group_count = self._group_count
+        group_stale = self._group_stale
+        active_groups = self._active_groups
+        for ti in pend:
+            if deficit[ti] == 0:
+                if predicated[ti]:
+                    enabled = check_predicate(
+                        self._predicates[ti], self.env, self._tnames[ti]
+                    )
+                else:
+                    enabled = True
+            else:
+                enabled = False
+            if enabled:
+                if enabled_since[ti] is None:
+                    delay = enabling_const[ti]
+                    if delay == 0:
+                        enabled_since[ti] = now
+                        ready_at[ti] = now
+                    else:
+                        self._begin_enablement(ti, now, delay)
+            elif enabled_since[ti] is not None:
+                enabled_since[ti] = None
+                ready_at[ti] = None
+            # Inline startability sync (see _update_startable) and
+            # conflict-group flip accounting (see _flip_startable).
+            ready = ready_at[ti]
+            if ready is None or ready > now:
+                startable = False
+            else:
+                cap = max_concurrent[ti]
+                startable = cap is None or in_flight[ti] < cap
+            if startable != startable_flags[ti]:
+                startable_flags[ti] = startable
+                g = group_of[ti]
+                count = group_count[g]
+                if startable:
+                    self._n_startable += 1
+                    group_count[g] = count + 1
+                    if count == 0:
+                        active_groups.add(g)
+                else:
+                    self._n_startable -= 1
+                    group_count[g] = count - 1
+                    if count == 1:
+                        active_groups.discard(g)
+                self._group_mask[g] ^= self._member_bit[ti]
+                group_stale[g] = True
+                self._draw_stale = True
+
+    def _update_startable(self, ti: int) -> None:
+        """Sync the cached startability flag of one transition."""
+        ready = self._ready_at[ti]
+        if ready is None or ready > self._time:
+            startable = False
+        else:
+            cap = self._max_concurrent[ti]
+            startable = cap is None or self._in_flight[ti] < cap
+        if startable != self._startable[ti]:
+            self._startable[ti] = startable
+            self._flip_startable(ti, startable)
+
+    def _flip_startable(self, ti: int, startable: bool) -> None:
+        """Account a startability flip in the conflict-group indexes."""
+        g = self._group_of[ti]
+        count = self._group_count[g]
+        if startable:
+            self._n_startable += 1
+            self._group_count[g] = count + 1
+            if count == 0:
+                self._active_groups.add(g)
+        else:
+            self._n_startable -= 1
+            self._group_count[g] = count - 1
+            if count == 1:
+                self._active_groups.discard(g)
+        self._group_mask[g] ^= self._member_bit[ti]
+        self._group_stale[g] = True
+        self._draw_stale = True
 
     def _sample_delay(self, delay) -> float:
         contextual = getattr(delay, "sample_in_context", None)
@@ -260,129 +893,340 @@ class Simulator:
             return contextual(self.rng, self.env)
         return delay.sample(self.rng)
 
-    def _begin_enablement(self, name: str, now: float) -> None:
-        self._enabled_since[name] = now
-        delay = self._sample_delay(self._transitions[name].enabling_time)
-        if delay < 0:
-            raise SimulationError(
-                f"enabling delay of {name!r} sampled negative: {delay}"
-            )
-        ready = now + delay
-        self._ready_at[name] = ready
-        if delay > 0:
-            self._schedule(ready, _READY, name)
-
-    def _affected_by(self, places, env_changed: bool, extra: str | None) -> set[str]:
-        affected: set[str] = set()
-        for p in places:
-            affected |= self._dependents.get(p, set())
-        if env_changed:
-            affected |= self._predicated
-        if extra is not None:
-            affected.add(extra)
-        return affected
+    def _begin_enablement(self, ti: int, now: float,
+                          delay: float | None) -> None:
+        self._enabled_since[ti] = now
+        if delay is None:
+            delay = self._sample_delay(self._transitions[ti].enabling_time)
+            if delay < 0:
+                raise SimulationError(
+                    f"enabling delay of {self._tnames[ti]!r} sampled "
+                    f"negative: {delay}"
+                )
+        if delay == 0:
+            self._ready_at[ti] = now
+        else:
+            ready = now + delay
+            self._ready_at[ti] = ready
+            self._schedule(ready, _READY, ti)
 
     # -- firing ----------------------------------------------------------------------
 
-    def _startable(self, name: str) -> bool:
-        ready = self._ready_at[name]
-        if ready is None or ready > self._time:
-            return False
-        transition = self._transitions[name]
-        if (
-            transition.max_concurrent is not None
-            and self._in_flight[name] >= transition.max_concurrent
-        ):
-            return False
-        return self._is_enabled(name)
+    def _prepare_draw(self) -> None:
+        """Bind the competing set for the next conflict-resolution draw.
+
+        Rebuilds only the stale conflict groups; with one active group
+        its candidate list is used directly, otherwise the active groups
+        merge into one definition-ordered list. Cumulative weights are
+        derived exactly as :func:`random.Random.choices` would.
+        """
+        active = self._active_groups
+        group_cand = self._group_cand
+        group_cum = self._group_cum
+        group_stale = self._group_stale
+        if len(active) == 1:
+            g = next(iter(active))
+            if group_stale[g]:
+                self._rebuild_group(g)
+            self._candidates = group_cand[g]
+            self._cum_weights = group_cum[g]
+        else:
+            merged: list[int] = []
+            for g in active:
+                if group_stale[g]:
+                    self._rebuild_group(g)
+                merged.extend(group_cand[g])
+            merged.sort()
+            freq = self._freq
+            self._candidates = merged
+            self._cum_weights = list(
+                accumulate([freq[ti] for ti in merged])
+            )
+        self._draw_stale = False
+
+    def _rebuild_group(self, g: int) -> None:
+        """Re-derive one group's candidate list and cumulative weights,
+        memoized by the bitmask of its startable members.
+
+        The running total reproduces ``itertools.accumulate`` (and hence
+        :func:`random.Random.choices`) bit for bit: adding the first
+        weight to +0.0 is exact, and subsequent additions associate
+        left-to-right identically. Memoized lists are shared and must
+        never be mutated in place.
+        """
+        memo = self._group_memo[g]
+        mask = self._group_mask[g]
+        entry = memo.get(mask)
+        if entry is None:
+            startable = self._startable
+            freq = self._freq
+            cand: list[int] = []
+            cum: list[float] = []
+            total = 0.0
+            for ti in self._group_members[g]:
+                if startable[ti]:
+                    cand.append(ti)
+                    total += freq[ti]
+                    cum.append(total)
+            entry = (cand, cum)
+            memo[mask] = entry
+        self._group_cand[g] = entry[0]
+        self._group_cum[g] = entry[1]
+        self._group_stale[g] = False
 
     def _process_instant(self) -> None:
-        """Fire startable transitions at the current instant until quiescent."""
+        """Fire startable transitions at the current instant until quiescent.
+
+        This is THE hot loop: conflict resolution, token-delta application
+        with deficit-crossing detection, event emission and the settle of
+        crossed transitions are all inlined with one-time local binding.
+        The out-of-line building blocks (:meth:`_prepare_draw`,
+        :meth:`_settle`, :meth:`_run_action`, :meth:`_begin_enablement`)
+        keep the exact same semantics for the cold paths that share them.
+        """
+        if not self._n_startable:
+            return
         budget = self.immediate_budget
-        fired: list[str] = []
-        while True:
-            candidates = [t for t in self._transition_names if self._startable(t)]
-            if not candidates:
-                break
-            winner = choose_weighted(self.rng, candidates, self._frequencies)
-            self._start_firing(winner)
-            fired.append(winner)
+        fired: list[int] = []
+        rng_random = self.rng.random
+        now = self._time
+        tokens = self._tokens
+        deficit = self._deficit
+        consumers = self._consumers
+        inhibited = self._inhibited
+        enabled_since = self._enabled_since
+        ready_at = self._ready_at
+        enabling_const = self._enabling_const
+        firing_const = self._firing_const
+        startable_flags = self._startable
+        in_flight = self._in_flight
+        max_concurrent = self._max_concurrent
+        group_of = self._group_of
+        group_count = self._group_count
+        group_stale = self._group_stale
+        group_cand = self._group_cand
+        group_mask = self._group_mask
+        member_bit = self._member_bit
+        active_groups = self._active_groups
+        predicated = self._predicated
+        has_action = self._has_action
+        tnames = self._tnames
+        start_arcs = self._start_arcs
+        fire_arcs = self._fire_arcs
+        inputs_dict = self._inputs_dict
+        outputs_dict = self._outputs_dict
+        emit = self._emit
+        fire_kind = EventKind.FIRE
+        start_kind = EventKind.START
+        n_startable = self._n_startable
+        draw_stale = self._draw_stale
+        while n_startable:
+            # -- conflict resolution ---------------------------------------
+            if n_startable == 1:
+                # Singleton fast path: the only startable transition wins
+                # outright (no RNG draw), skipping full draw preparation.
+                g = next(iter(active_groups))
+                if group_stale[g]:
+                    self._prepare_draw()
+                    draw_stale = False
+                ti = group_cand[g][0]
+            else:
+                if draw_stale:
+                    self._prepare_draw()
+                    draw_stale = False
+                candidates = self._candidates
+                if len(candidates) == 1:
+                    ti = candidates[0]
+                else:
+                    # Bit-compatible inline of rng.choices(candidates,
+                    # weights, k=1)[0]: one uniform draw over the cached
+                    # cumulative weights of the competing set.
+                    cum = self._cum_weights
+                    total = cum[-1] + 0.0
+                    ti = candidates[
+                        bisect(cum, rng_random() * total, 0, len(candidates) - 1)
+                    ]
+            # -- fire the winner -------------------------------------------
+            duration = firing_const[ti]
+            if duration is None:
+                duration = self._sample_delay(self._transitions[ti].firing_time)
+                if duration < 0:
+                    raise SimulationError(
+                        f"firing time of {tnames[ti]!r} sampled "
+                        f"negative: {duration}"
+                    )
+            pend: list[int] = []
+            if duration == 0:
+                # Atomic firing: removal and deposit in one trace delta
+                # (precombined signed arcs), so zero-time token moves
+                # (Bus_free -> Bus_busy) never expose an intermediate
+                # state violating place invariants (paper §4.2).
+                arcs = fire_arcs[ti]
+            else:
+                arcs = start_arcs[ti]
+            for pi, w in arcs:
+                old = tokens[pi]
+                new = old + w
+                if new < 0:
+                    raise SimulationError(
+                        f"firing {tnames[ti]!r} would drive place "
+                        f"{self._pnames[pi]!r} negative"
+                    )
+                tokens[pi] = new
+                for tj, tw in consumers[pi]:
+                    if (old >= tw) != (new >= tw):
+                        deficit[tj] += 1 if old >= tw else -1
+                        pend.append(tj)
+                for tj, thr in inhibited[pi]:
+                    if (old >= thr) != (new >= thr):
+                        deficit[tj] += 1 if new >= thr else -1
+                        pend.append(tj)
+            self.events_started += 1
+            # The enablement that allowed this firing is consumed; if the
+            # transition is still enabled a fresh enabling period starts.
+            enabled_since[ti] = None
+            ready_at[ti] = None
+            pend.append(ti)
+            if duration == 0:
+                self.events_finished += 1
+                if has_action[ti]:
+                    var_updates = self._run_action(ti)
+                    if var_updates:
+                        pend.extend(self._predicated_ids)
+                else:
+                    var_updates = {}
+                seq = self._trace_seq
+                self._trace_seq = seq + 1
+                emit(_fast_event(
+                    seq, now, fire_kind, tnames[ti],
+                    inputs_dict[ti], outputs_dict[ti], var_updates,
+                ))
+            else:
+                in_flight[ti] += 1
+                seq = self._trace_seq
+                self._trace_seq = seq + 1
+                emit(_fast_event(
+                    seq, now, start_kind, tnames[ti], inputs_dict[ti], {}, {},
+                ))
+            # -- settle crossed transitions (inline of _settle) ------------
+            if len(pend) > 1:
+                pend.sort()
+            prev = -1
+            for tj in pend:
+                if tj == prev:
+                    continue
+                prev = tj
+                if deficit[tj] == 0:
+                    if predicated[tj]:
+                        enabled = check_predicate(
+                            self._predicates[tj], self.env, tnames[tj]
+                        )
+                    else:
+                        enabled = True
+                else:
+                    enabled = False
+                if enabled:
+                    if enabled_since[tj] is None:
+                        delay = enabling_const[tj]
+                        if delay == 0:
+                            enabled_since[tj] = now
+                            ready_at[tj] = now
+                        else:
+                            self._begin_enablement(tj, now, delay)
+                elif enabled_since[tj] is not None:
+                    enabled_since[tj] = None
+                    ready_at[tj] = None
+                ready = ready_at[tj]
+                if ready is None or ready > now:
+                    startable = False
+                else:
+                    cap = max_concurrent[tj]
+                    startable = cap is None or in_flight[tj] < cap
+                if startable != startable_flags[tj]:
+                    startable_flags[tj] = startable
+                    g = group_of[tj]
+                    count = group_count[g]
+                    if startable:
+                        n_startable += 1
+                        group_count[g] = count + 1
+                        if count == 0:
+                            active_groups.add(g)
+                    else:
+                        n_startable -= 1
+                        group_count[g] = count - 1
+                        if count == 1:
+                            active_groups.discard(g)
+                    group_mask[g] ^= member_bit[tj]
+                    group_stale[g] = True
+                    draw_stale = True
+            if duration != 0:
+                self._schedule(now + duration, _END, ti)
+            fired.append(ti)
             budget -= 1
             if budget <= 0:
-                raise ImmediateLoopError(self._time, fired, self.immediate_budget)
-
-    def _start_firing(self, name: str) -> None:
-        now = self._time
-        inputs = self._inputs[name]
-        for p, w in inputs.items():
-            remaining = self._marking.get(p, 0) - w
-            if remaining < 0:
-                raise SimulationError(
-                    f"firing {name!r} would drive place {p!r} negative"
+                self._n_startable = n_startable
+                self._draw_stale = draw_stale
+                raise ImmediateLoopError(
+                    self._time,
+                    [tnames[t] for t in fired],
+                    self.immediate_budget,
                 )
-            self._marking[p] = remaining
-        self.events_started += 1
+        self._n_startable = n_startable
+        self._draw_stale = draw_stale
 
-        duration = self._sample_delay(self._transitions[name].firing_time)
-        if duration < 0:
-            raise SimulationError(
-                f"firing time of {name!r} sampled negative: {duration}"
-            )
+    def _apply_delta(self, arcs, pend: list[int]) -> None:
+        """Apply one (signed-weight) token delta, recording deficit
+        crossings in ``pend``. Used by the completion path; the firing
+        paths inline the same loop."""
+        tokens = self._tokens
+        consumers = self._consumers
+        inhibited = self._inhibited
+        deficit = self._deficit
+        for pi, w in arcs:
+            old = tokens[pi]
+            new = old + w
+            tokens[pi] = new
+            for tj, tw in consumers[pi]:
+                if (old >= tw) != (new >= tw):
+                    deficit[tj] += 1 if old >= tw else -1
+                    pend.append(tj)
+            for tj, thr in inhibited[pi]:
+                if (old >= thr) != (new >= thr):
+                    deficit[tj] += 1 if new >= thr else -1
+                    pend.append(tj)
 
-        # The enablement that allowed this firing is consumed; if the
-        # transition is still enabled a fresh enabling period starts.
-        self._enabled_since[name] = None
-        self._ready_at[name] = None
-
-        if duration == 0:
-            # Atomic firing: removal and deposit in one trace delta, so
-            # zero-time token moves (Bus_free -> Bus_busy) never expose an
-            # intermediate state violating place invariants (paper §4.2).
-            outputs = self._outputs[name]
-            for p, w in outputs.items():
-                self._marking[p] = self._marking.get(p, 0) + w
-            self.events_finished += 1
-            var_updates = self._run_action(name)
-            self._emit(TraceEvent.fire(
-                self._next_seq(), now, name, inputs, outputs, var_updates
-            ))
-            touched = set(inputs) | set(outputs)
-            self._refresh_enablement(
-                self._affected_by(touched, bool(var_updates), name)
-            )
-        else:
-            self._in_flight[name] += 1
-            self._emit(TraceEvent.start(self._next_seq(), now, name, inputs))
-            self._refresh_enablement(self._affected_by(inputs, False, name))
-            self._schedule(now + duration, _END, name)
-
-    def _run_action(self, name: str) -> dict[str, Any]:
-        transition = self._transitions[name]
+    def _run_action(self, ti: int) -> dict[str, Any]:
+        transition = self._transitions[ti]
         if transition.action is no_action:
             return {}
         before = self.env.snapshot_scalars()
-        run_action(transition.action, self.env, name)
+        run_action(transition.action, self.env, self._tnames[ti])
         after = self.env.snapshot_scalars()
         return {
             k: v for k, v in after.items() if before.get(k, _MISSING) != v
         }
 
-    def _complete_firing(self, name: str) -> None:
+    def _complete_firing(self, ti: int) -> None:
         now = self._time
-        outputs = self._outputs[name]
-        for p, w in outputs.items():
-            self._marking[p] = self._marking.get(p, 0) + w
-        self._in_flight[name] -= 1
-        if self._in_flight[name] < 0:
-            raise SimulationError(f"END without START for {name!r}")
+        pend: list[int] = []
+        self._apply_delta(self._out_arcs[ti], pend)
+        remaining = self._in_flight[ti] - 1
+        if remaining < 0:
+            raise SimulationError(f"END without START for {self._tnames[ti]!r}")
+        self._in_flight[ti] = remaining
         self.events_finished += 1
-        var_updates = self._run_action(name)
-        self._emit(
-            TraceEvent.end(self._next_seq(), now, name, outputs, var_updates)
-        )
-        self._refresh_enablement(
-            self._affected_by(outputs, bool(var_updates), name)
-        )
+        if self._has_action[ti]:
+            var_updates = self._run_action(ti)
+            if var_updates:
+                pend.extend(self._predicated_ids)
+        else:
+            var_updates = {}
+        pend.append(ti)
+        self._emit(_fast_event(
+            self._next_seq(), now, EventKind.END, self._tnames[ti],
+            {}, self._outputs_dict[ti], var_updates,
+        ))
+        self._settle(pend)
 
 
 class _Missing:
@@ -400,8 +1244,15 @@ def simulate(
     run_number: int = 1,
     max_events: int | None = None,
     immediate_budget: int = 10_000,
+    observers: tuple[Observer, ...] | list[Observer] = (),
+    keep_events: bool = True,
 ) -> SimulationResult:
-    """One-call convenience: build a :class:`Simulator` and run it."""
+    """One-call convenience: build a :class:`Simulator` and run it.
+
+    ``observers`` stream every event online; with ``keep_events=False``
+    the returned result carries no event list (O(places + transitions)
+    memory, the paper's "plug the simulator into the analysis tools").
+    """
     sim = Simulator(net, seed=seed, run_number=run_number,
-                    immediate_budget=immediate_budget)
-    return sim.run(until=until, max_events=max_events)
+                    immediate_budget=immediate_budget, observers=observers)
+    return sim.run(until=until, max_events=max_events, keep_events=keep_events)

@@ -6,16 +6,25 @@ to control the duration of one or more simulation experiments" (§4.1).
 aggregates any scalar metric extracted from each run, reporting mean,
 standard deviation and a normal-approximation confidence interval —
 the standard discipline for interpreting stochastic simulation output.
+
+Replications are independent by construction (seed ``base_seed + i``), so
+``run(workers=N)`` can fan them across forked processes; results are
+byte-identical to the serial path because each replication's simulation
+and metric evaluation depend only on its own seed, and the parent
+reassembles values in replication order before summarizing.
 """
 
 from __future__ import annotations
 
 import math
+import multiprocessing
+import traceback
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
+from ..analysis.stat import StatisticsObserver, TraceStatistics
 from ..core.net import PetriNet
-from .engine import SimulationResult, simulate
+from .engine import SimulationResult, Simulator
 
 # Two-sided z quantiles for the confidence levels we expose.
 _Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
@@ -87,8 +96,13 @@ class Experiment:
     """Run a net repeatedly and summarize scalar metrics.
 
     ``metrics`` maps a metric name to a function of the
-    :class:`SimulationResult` for one run. Seeds are ``base_seed + run``
-    so an experiment is exactly reproducible yet runs are independent.
+    :class:`SimulationResult` for one run. ``stat_metrics`` maps a metric
+    name to a function of the streamed
+    :class:`~repro.analysis.stat.TraceStatistics` — those are computed by
+    a :class:`~repro.analysis.stat.StatisticsObserver` attached to the
+    run, so they work even with ``keep_events=False`` (no event list is
+    ever materialized). Seeds are ``base_seed + run`` so an experiment is
+    exactly reproducible yet runs are independent.
     """
 
     def __init__(
@@ -98,31 +112,146 @@ class Experiment:
         metrics: dict[str, Callable[[SimulationResult], float]],
         base_seed: int = 1,
         confidence: float = 0.95,
+        stat_metrics: dict[str, Callable[[TraceStatistics], float]] | None = None,
     ) -> None:
         if until <= 0:
             raise ValueError("until must be positive")
         self.net = net
         self.until = until
         self.metrics = dict(metrics)
+        self.stat_metrics = dict(stat_metrics or {})
+        overlap = self.metrics.keys() & self.stat_metrics.keys()
+        if overlap:
+            raise ValueError(f"metric names declared twice: {sorted(overlap)}")
         self.base_seed = base_seed
         self.confidence = confidence
 
-    def run(self, replications: int = 5) -> ExperimentResult:
+    # -- one replication ---------------------------------------------------
+
+    def _metric_names(self) -> list[str]:
+        return list(self.metrics) + list(self.stat_metrics)
+
+    def _replicate(
+        self, index: int, keep_events: bool
+    ) -> tuple[SimulationResult, dict[str, float]]:
+        """Simulate replication ``index`` and evaluate every metric."""
+        observers = []
+        stats_observer = None
+        if self.stat_metrics:
+            stats_observer = StatisticsObserver(
+                run_number=index + 1,
+                place_names=self.net.place_names(),
+                transition_names=self.net.transition_names(),
+            )
+            observers.append(stats_observer)
+        sim = Simulator(
+            self.net,
+            seed=self.base_seed + index,
+            run_number=index + 1,
+            observers=observers,
+        )
+        result = sim.run(until=self.until, keep_events=keep_events)
+        values = {name: fn(result) for name, fn in self.metrics.items()}
+        if stats_observer is not None:
+            statistics = stats_observer.result()
+            for name, fn in self.stat_metrics.items():
+                values[name] = fn(statistics)
+        return result, values
+
+    # -- the experiment ----------------------------------------------------
+
+    def run(
+        self,
+        replications: int = 5,
+        workers: int = 1,
+        keep_events: bool = True,
+    ) -> ExperimentResult:
+        """Run all replications, serially or across forked workers.
+
+        ``workers > 1`` fans independent replications over processes
+        (fork start method; falls back to serial where fork is
+        unavailable). Metric values — and therefore every
+        :class:`MetricSummary` — are identical to the ``workers=1`` path.
+        ``keep_events=False`` drops the per-run event lists (use
+        ``stat_metrics`` or counter-based ``metrics`` then); it also
+        keeps the parallel path cheap, since events never cross the
+        process boundary.
+        """
         if replications < 1:
             raise ValueError("need at least one replication")
-        runs = [
-            simulate(
-                self.net,
-                until=self.until,
-                seed=self.base_seed + i,
-                run_number=i + 1,
-            )
-            for i in range(replications)
-        ]
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        workers = min(workers, replications)
+        if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+            pairs = self._run_forked(replications, workers, keep_events)
+        else:
+            pairs = [
+                self._replicate(i, keep_events) for i in range(replications)
+            ]
+        runs = [result for result, _values in pairs]
         summaries = {
             name: summarize_metric(
-                name, [fn(run) for run in runs], self.confidence
+                name,
+                [values[name] for _result, values in pairs],
+                self.confidence,
             )
-            for name, fn in self.metrics.items()
+            for name in self._metric_names()
         }
         return ExperimentResult(runs, summaries)
+
+    def _run_forked(
+        self, replications: int, workers: int, keep_events: bool
+    ) -> list[tuple[SimulationResult, dict[str, float]]]:
+        """Fan replications across forked worker processes.
+
+        Fork semantics matter: the net (with its arbitrary predicate /
+        action / delay callables) is inherited by memory image, never
+        pickled. Only the per-replication results return through a pipe.
+        """
+        ctx = multiprocessing.get_context("fork")
+        chunks = [list(range(w, replications, workers)) for w in range(workers)]
+        children = []
+        for chunk in chunks:
+            if not chunk:
+                continue
+            receiver, sender = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=self._child_main, args=(sender, chunk, keep_events)
+            )
+            process.start()
+            sender.close()
+            children.append((process, receiver, chunk))
+
+        indexed: dict[int, tuple[SimulationResult, dict[str, float]]] = {}
+        failure: str | None = None
+        for process, receiver, chunk in children:
+            try:
+                status, payload = receiver.recv()
+            except EOFError:
+                status, payload = "error", (
+                    f"worker for replications {chunk} died without a result"
+                )
+            if status == "ok":
+                for index, result, values in payload:
+                    indexed[index] = (result, values)
+            elif failure is None:
+                failure = payload
+            receiver.close()
+        for process, _receiver, _chunk in children:
+            process.join()
+        if failure is not None:
+            raise RuntimeError(f"experiment worker failed:\n{failure}")
+        return [indexed[i] for i in range(replications)]
+
+    def _child_main(self, sender, indices, keep_events: bool) -> None:
+        """Worker entry point (runs in the forked child)."""
+        try:
+            payload = []
+            for index in indices:
+                result, values = self._replicate(index, keep_events)
+                payload.append((index, result, values))
+            sender.send(("ok", payload))
+        except BaseException:  # noqa: BLE001 - full traceback to parent
+            sender.send(("error", traceback.format_exc()))
+        finally:
+            sender.close()

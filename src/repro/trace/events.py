@@ -44,13 +44,19 @@ class EventKind(Enum):
     EOT = "EOT"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One line of a trace.
 
     ``removed``/``added`` are place -> positive token counts. For ``INIT``,
     ``added`` holds the complete initial marking. ``variables`` holds the
     full scalar snapshot for ``INIT`` and the updates for ``END``.
+
+    Event mappings are logically immutable: consumers must never mutate
+    ``removed``/``added``/``variables``. Plain ``dict`` arguments are
+    stored without copying (the simulator emits millions of events and
+    shares its static per-transition arc dicts across them); any other
+    mapping type is defensively copied.
     """
 
     seq: int
@@ -62,9 +68,12 @@ class TraceEvent:
     variables: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "removed", dict(self.removed))
-        object.__setattr__(self, "added", dict(self.added))
-        object.__setattr__(self, "variables", dict(self.variables))
+        if type(self.removed) is not dict:
+            object.__setattr__(self, "removed", dict(self.removed))
+        if type(self.added) is not dict:
+            object.__setattr__(self, "added", dict(self.added))
+        if type(self.variables) is not dict:
+            object.__setattr__(self, "variables", dict(self.variables))
 
     def touched_places(self) -> set[str]:
         return set(self.removed) | set(self.added)
@@ -74,37 +83,67 @@ class TraceEvent:
     @staticmethod
     def init(marking: Mapping[str, int], variables: Mapping[str, Any] | None = None,
              time: float = 0.0) -> "TraceEvent":
-        return TraceEvent(0, time, EventKind.INIT,
-                          added={p: n for p, n in marking.items() if n},
-                          variables=variables or {})
+        return _fast_event(0, time, EventKind.INIT, None, {},
+                           {p: n for p, n in marking.items() if n},
+                           dict(variables) if variables else {})
 
     @staticmethod
     def start(seq: int, time: float, transition: str,
               removed: Mapping[str, int]) -> "TraceEvent":
-        return TraceEvent(seq, time, EventKind.START, transition, removed=removed)
+        return _fast_event(seq, time, EventKind.START, transition,
+                           _as_dict(removed), {}, {})
 
     @staticmethod
     def end(seq: int, time: float, transition: str, added: Mapping[str, int],
             variables: Mapping[str, Any] | None = None) -> "TraceEvent":
-        return TraceEvent(seq, time, EventKind.END, transition, added=added,
-                          variables=variables or {})
+        return _fast_event(seq, time, EventKind.END, transition, {},
+                           _as_dict(added), _as_dict(variables or {}))
 
     @staticmethod
     def fire(seq: int, time: float, transition: str,
              removed: Mapping[str, int], added: Mapping[str, int],
              variables: Mapping[str, Any] | None = None) -> "TraceEvent":
-        return TraceEvent(seq, time, EventKind.FIRE, transition,
-                          removed=removed, added=added,
-                          variables=variables or {})
+        return _fast_event(seq, time, EventKind.FIRE, transition,
+                           _as_dict(removed), _as_dict(added),
+                           _as_dict(variables or {}))
 
     @staticmethod
     def delta(seq: int, time: float, removed: Mapping[str, int],
               added: Mapping[str, int]) -> "TraceEvent":
-        return TraceEvent(seq, time, EventKind.DELTA, removed=removed, added=added)
+        return _fast_event(seq, time, EventKind.DELTA, None,
+                           _as_dict(removed), _as_dict(added), {})
 
     @staticmethod
     def eot(seq: int, time: float) -> "TraceEvent":
-        return TraceEvent(seq, time, EventKind.EOT)
+        return _fast_event(seq, time, EventKind.EOT, None, {}, {}, {})
+
+
+_obj_new = object.__new__
+_obj_set = object.__setattr__
+
+
+def _as_dict(mapping):
+    """Uphold the mapping contract on the factory path: plain dicts pass
+    through uncopied, any other mapping type is coerced to a dict."""
+    return mapping if type(mapping) is dict else dict(mapping)
+
+
+def _fast_event(seq, time, kind, transition, removed, added, variables):
+    """Build a TraceEvent without __init__/defensive-copy overhead.
+
+    The trusted fast path for event producers: mappings are stored as
+    given (engine arc dicts are shared, never copied) and must not be
+    mutated afterwards.
+    """
+    event = _obj_new(TraceEvent)
+    _obj_set(event, "seq", seq)
+    _obj_set(event, "time", time)
+    _obj_set(event, "kind", kind)
+    _obj_set(event, "transition", transition)
+    _obj_set(event, "removed", removed)
+    _obj_set(event, "added", added)
+    _obj_set(event, "variables", variables)
+    return event
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,222 @@
+"""Parity tests for the zero-materialization observer pipeline.
+
+The streamed consumers (StatisticsObserver, SignalObserver, the
+batch-means signal path) must produce bit-identical results to the
+materialized-events path — on the §2 pipeline net, the interpreted-ISA
+net, and a net dominated by zero-time FIRE events — and the parallel
+Experiment must reproduce the serial one byte for byte.
+"""
+
+import pytest
+
+from repro.analysis.batch_means import batch_means, batch_means_from_signal
+from repro.analysis.stat import StatisticsObserver, compute_statistics
+from repro.analysis.tracer import SignalObserver, extract_signals
+from repro.core.builder import NetBuilder
+from repro.core.errors import TraceError
+from repro.processor import (
+    FIGURE5_PLACES,
+    build_pipeline_net,
+    figure5_transition_order,
+)
+from repro.processor.interpreted import build_figure4_net
+from repro.sim import Experiment, Simulator, simulate
+from repro.trace.events import EventKind
+
+
+def zero_time_net():
+    """A net whose trace is dominated by zero-time FIRE events."""
+    b = NetBuilder()
+    b.place("src", tokens=40)
+    b.event("spin", inputs={"src": 1}, outputs={"mid": 1})        # FIRE
+    b.event("relay", inputs={"mid": 1}, outputs={"sink": 1})      # FIRE
+    b.event("drain", inputs={"sink": 2}, outputs={"out": 1},
+            firing_time=1, max_concurrent=2)                      # START/END
+    return b.build()
+
+
+CASES = [
+    ("pipeline", build_pipeline_net, 2_000, 1988),
+    ("interpreted", build_figure4_net, 2_000, 41),
+    ("zero_time", zero_time_net, 50, 7),
+]
+
+
+def run_both(build, until, seed, observer_factory):
+    """One streamed run (keep_events=False) and one materialized run."""
+    observer = observer_factory()
+    streamed_result = simulate(build(), until=until, seed=seed,
+                               observers=[observer], keep_events=False)
+    materialized = simulate(build(), until=until, seed=seed)
+    return observer, streamed_result, materialized
+
+
+class TestStatisticsObserverParity:
+    @pytest.mark.parametrize("name,build,until,seed", CASES)
+    def test_streamed_equals_materialized(self, name, build, until, seed):
+        net = build()
+        places = net.place_names()
+        transitions = net.transition_names()
+        observer, streamed_result, materialized = run_both(
+            build, until, seed,
+            lambda: StatisticsObserver(place_names=places,
+                                       transition_names=transitions),
+        )
+        expected = compute_statistics(
+            materialized.events, place_names=places,
+            transition_names=transitions,
+        )
+        got = observer.result()
+        assert got == expected  # dataclass equality: bit-identical floats
+        assert streamed_result.events == []
+        assert streamed_result.events_started == materialized.events_started
+        assert streamed_result.final_marking == materialized.final_marking
+
+    def test_figure5_vocabulary(self):
+        observer = StatisticsObserver(
+            place_names=FIGURE5_PLACES,
+            transition_names=figure5_transition_order(),
+        )
+        simulate(build_pipeline_net(), until=500, seed=1,
+                 observers=[observer], keep_events=False)
+        stats = observer.result()
+        for place in FIGURE5_PLACES:
+            assert place in stats.places
+        for transition in figure5_transition_order():
+            assert transition in stats.transitions
+
+    def test_result_is_idempotent(self):
+        observer = StatisticsObserver()
+        simulate(zero_time_net(), until=50, seed=7,
+                 observers=[observer], keep_events=False)
+        assert observer.result() is observer.result()
+
+    def test_requires_init(self):
+        with pytest.raises(TraceError):
+            StatisticsObserver().result()
+
+
+class TestSignalObserverParity:
+    @pytest.mark.parametrize("name,build,until,seed", CASES)
+    def test_streamed_equals_materialized(self, name, build, until, seed):
+        net = build()
+        probes = (net.place_names()[:3] + net.transition_names()[:2])
+        observer, _streamed, materialized = run_both(
+            build, until, seed, lambda: SignalObserver(probes)
+        )
+        expected = extract_signals(materialized.events, probes)
+        assert observer.signals() == expected
+
+    def test_variable_probe(self):
+        b = NetBuilder()
+        b.variable("count", 0)
+        b.place("a", tokens=3)
+
+        def bump(env):
+            env["count"] = env["count"] + 1
+
+        b.event("t", inputs={"a": 1}, outputs={"b": 1}, action=bump,
+                firing_time=1, max_concurrent=1)
+        net = b.build()
+        observer = SignalObserver(["count"])
+        simulate(net, until=10, seed=0, observers=[observer],
+                 keep_events=False)
+        signal = observer.signal("count")
+        assert signal.at(0.5) == 0.0
+        assert signal.at(3.5) == 3.0
+
+
+class TestBatchMeansStreaming:
+    def test_signal_path_equals_event_path(self):
+        result = simulate(build_pipeline_net(), until=2_000, seed=1988)
+        via_events = batch_means(result.events, "Bus_busy", warmup=100,
+                                 batches=5)
+        observer = SignalObserver(["Bus_busy"])
+        simulate(build_pipeline_net(), until=2_000, seed=1988,
+                 observers=[observer], keep_events=False)
+        via_signal = batch_means_from_signal(
+            observer.signal("Bus_busy"), warmup=100, batches=5
+        )
+        assert via_signal == via_events
+
+    def test_batch_means_accepts_live_stream(self):
+        sim = Simulator(build_pipeline_net(), seed=3)
+        result = batch_means(sim.stream(until=500), "Bus_busy", batches=4)
+        assert 0.0 <= result.mean <= 1.0
+
+
+class TestObserverPlumbing:
+    def test_observers_see_init_and_eot(self):
+        kinds = []
+        simulate(zero_time_net(), until=50, seed=7,
+                 observers=[lambda e: kinds.append(e.kind)],
+                 keep_events=False)
+        assert kinds[0] is EventKind.INIT
+        assert kinds[-1] is EventKind.EOT
+
+    def test_observer_sees_same_events_as_materialized(self):
+        seen = []
+        streamed = simulate(build_pipeline_net(), until=300, seed=5,
+                            observers=[seen.append])
+        assert seen == streamed.events
+
+    def test_stream_matches_run(self):
+        streamed = list(
+            Simulator(build_pipeline_net(), seed=1988).stream(until=2_000)
+        )
+        ran = simulate(build_pipeline_net(), until=2_000, seed=1988).events
+        assert streamed == ran
+
+    def test_observers_fire_during_stream(self):
+        count = []
+        sim = Simulator(zero_time_net(), seed=7,
+                        observers=[lambda e: count.append(e)])
+        events = list(sim.stream(until=50))
+        assert count == events
+
+
+class TestParallelExperiment:
+    def metrics(self):
+        return {
+            "events": lambda r: float(r.events_started),
+            "final_out": lambda r: float(r.final_marking["out"]),
+        }
+
+    def test_workers_byte_identical(self):
+        def build_exp():
+            return Experiment(zero_time_net(), until=50,
+                              metrics=self.metrics(), base_seed=11)
+
+        serial = build_exp().run(replications=5, workers=1)
+        parallel = build_exp().run(replications=5, workers=4)
+        assert serial.metrics == parallel.metrics
+        for a, b in zip(serial.runs, parallel.runs):
+            assert a.events == b.events
+            assert a.final_marking == b.final_marking
+
+    def test_workers_with_stat_metrics_and_no_events(self):
+        exp = Experiment(
+            build_pipeline_net(), until=500, metrics={},
+            stat_metrics={
+                "issue": lambda s: s.transitions["Issue"].throughput,
+            },
+            base_seed=2,
+        )
+        serial = exp.run(replications=4, workers=1, keep_events=False)
+        parallel = exp.run(replications=4, workers=4, keep_events=False)
+        assert serial.metrics["issue"] == parallel.metrics["issue"]
+        assert all(run.events == [] for run in parallel.runs)
+
+    def test_worker_failure_surfaces(self):
+        exp = Experiment(
+            zero_time_net(), until=50,
+            metrics={"boom": lambda r: 1 / 0},
+            base_seed=1,
+        )
+        with pytest.raises(RuntimeError, match="ZeroDivisionError"):
+            exp.run(replications=2, workers=2)
+
+    def test_worker_count_validation(self):
+        exp = Experiment(zero_time_net(), until=50, metrics={})
+        with pytest.raises(ValueError):
+            exp.run(replications=2, workers=0)

@@ -36,11 +36,21 @@ class TestEventBasics:
         e = TraceEvent.delta(1, 0.0, {"a": 1}, {"b": 2})
         assert e.touched_places() == {"a", "b"}
 
-    def test_events_are_defensive_copies(self):
+    def test_non_dict_mappings_are_copied(self):
+        # Plain dicts are stored as-is (the engine's zero-copy fast path —
+        # event mappings are logically immutable); any other mapping type
+        # is defensively copied into a dict at construction.
+        import types
+
+        removed = types.MappingProxyType({"a": 1})
+        e = TraceEvent(1, 0.0, EventKind.START, "t", removed=removed)
+        assert type(e.removed) is dict
+        assert e.removed == {"a": 1}
+
+    def test_engine_constructors_share_dicts(self):
         removed = {"a": 1}
         e = TraceEvent.start(1, 0.0, "t", removed)
-        removed["a"] = 99
-        assert e.removed == {"a": 1}
+        assert e.removed is removed  # trusted fast path: no copy
 
 
 class TestSerialization:
