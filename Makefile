@@ -5,11 +5,18 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-co test-all
+.PHONY: test bench bench-co test-all serve-smoke
 
-## tier-1: the unit/integration suite plus benchmarks (the repo gate)
+## tier-1: the unit/integration suite plus benchmarks (the repo gate),
+## then the end-to-end service smoke (real `pnut serve` subprocess)
 test:
 	$(PYTHON) -m pytest -x -q
+	$(MAKE) serve-smoke
+
+## boot a pnut server, run the Figure-5 job, check the pinned trace
+## SHA-256 and the compiled-net cache counters, shut down cleanly
+serve-smoke:
+	$(PYTHON) -m repro.service.smoke
 
 ## the benchmark/experiment suite only
 bench:

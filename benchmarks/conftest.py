@@ -11,6 +11,9 @@ EXPERIMENTS.md generator.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.analysis.stat import TraceStatistics, compute_statistics
@@ -38,6 +41,24 @@ PAPER_FIGURE5 = {
     "execution_unit": 0.2739,
     "type_counts": (887, 247, 104),
 }
+
+
+#: The perf-trajectory file benchmark modules append to.
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def append_trajectory(entry: dict) -> None:
+    """Append one record to ``BENCH_engine.json`` (last 50 kept)."""
+    history = []
+    if BENCH_JSON.exists():
+        try:
+            history = json.loads(BENCH_JSON.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = []
+    history.append(entry)
+    BENCH_JSON.write_text(json.dumps(history[-50:], indent=1) + "\n")
 
 
 def pipeline_stats(until: float = PAPER_CYCLES, seed: int = SEED,

@@ -22,13 +22,11 @@ PRs have a perf trajectory to compare against.
 from __future__ import annotations
 
 import hashlib
-import json
 import resource
 import time
 from datetime import datetime, timezone
-from pathlib import Path
 
-from conftest import PAPER_CYCLES, SEED
+from conftest import PAPER_CYCLES, SEED, append_trajectory
 
 from repro.analysis.stat import StatisticsObserver
 from repro.processor import (
@@ -62,9 +60,6 @@ REFERENCE_STATS = {
     "exec_type_1_avg": 0.0544,
 }
 
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
-
-
 def _digest(events) -> str:
     h = hashlib.sha256()
     for e in events:
@@ -84,19 +79,6 @@ def _best_of(fn, rounds: int = 5) -> tuple[float, object]:
         result = fn()
         best = min(best, time.perf_counter() - start)
     return best, result
-
-
-def _write_trajectory(entry: dict) -> None:
-    history = []
-    if BENCH_JSON.exists():
-        try:
-            history = json.loads(BENCH_JSON.read_text())
-        except (json.JSONDecodeError, OSError):
-            history = []
-    if not isinstance(history, list):
-        history = []
-    history.append(entry)
-    BENCH_JSON.write_text(json.dumps(history[-50:], indent=1) + "\n")
 
 
 def test_bench_engine_hotpath_throughput(benchmark):
@@ -129,7 +111,7 @@ def test_bench_engine_hotpath_throughput(benchmark):
     )
 
     peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    _write_trajectory({
+    append_trajectory({
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "model": "pipelined-processor",
         "cycles": PAPER_CYCLES,

@@ -1,0 +1,203 @@
+"""Service throughput and compiled-net cache latency.
+
+This PR's subsystem claim: a long-lived ``pnut serve`` process answers
+repeated jobs on one model without re-paying parse/validate/compile
+(compiled-net cache + forked `Simulator` skeletons) while multiplexing
+many concurrent clients over an asyncio front end and a forked worker
+pool.
+
+Three measurements, pinned to the paper's Figure-5 reference model:
+
+* **correctness** — a service run of the Figure-5 net (10 000 cycles,
+  seed 1988) must return statistics *byte-identical* to the in-process
+  ``simulate()`` path, and the warm resubmission must skip parse/compile
+  (asserted via the cache counters);
+* **cache latency** — cold-compile vs cache-hit submission latency on
+  near-empty runs (the compile overhead a cache hit saves);
+* **throughput** — jobs/sec sustained with ≥ 8 concurrent client
+  threads hammering one server; appended to ``BENCH_engine.json`` so
+  future PRs have a service trajectory next to the engine's.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from datetime import datetime, timezone
+
+from conftest import PAPER_CYCLES, SEED, append_trajectory
+
+from repro.analysis.report import canonical_json, statistics_payload
+from repro.analysis.stat import compute_statistics
+from repro.lang.format import format_net
+from repro.processor import build_pipeline_net
+from repro.service import ServerThread
+from repro.sim import simulate
+
+#: Concurrency level the acceptance criteria call for.
+N_CLIENTS = 8
+#: Jobs per client thread in the throughput run.
+JOBS_PER_CLIENT = 4
+#: Cycles per throughput job: long enough to be real work, short enough
+#: that the benchmark stays in CI budget.
+THROUGHPUT_CYCLES = 500
+
+
+def test_bench_service_figure5_byte_identity(benchmark):
+    """The acceptance criterion: service == in-process, and the warm
+    resubmission is a pure cache hit."""
+    source = format_net(build_pipeline_net())
+    server = ServerThread(workers=2)
+    try:
+        def run_pair():
+            with server.client() as client:
+                cold = client.submit(source, until=PAPER_CYCLES, seed=SEED)
+                warm = client.submit(source, until=PAPER_CYCLES, seed=SEED)
+                counters = client.server_stats()["cache"]
+            return cold, warm, counters
+
+        cold, warm, counters = benchmark.pedantic(run_pair, rounds=1,
+                                                  iterations=1)
+    finally:
+        server.stop()
+
+    local = simulate(build_pipeline_net(), until=PAPER_CYCLES, seed=SEED)
+    expected = canonical_json(statistics_payload(
+        compute_statistics(local.events)
+    ))
+    assert cold.stats_json() == expected
+    assert warm.stats_json() == expected
+    # The second submission skipped parse and compile entirely.
+    assert not cold.cached and warm.cached
+    assert counters["misses"] == 1
+    assert counters["hits"] >= 1
+    benchmark.extra_info["figure5_stats_bytes"] = len(expected)
+    benchmark.extra_info["cache_counters"] = counters
+
+
+def test_bench_service_cache_latency(benchmark):
+    """Cold-compile vs cache-hit submission latency (near-empty runs)."""
+    server = ServerThread(workers=1)
+    base = format_net(build_pipeline_net())
+    try:
+        with server.client() as client:
+            cold_times = []
+            warm_times = []
+            for i in range(10):
+                # A unique net name defeats the cache: every submission
+                # pays the full parse/validate/compile.
+                variant = base.replace(
+                    "net pipelined-processor", f"net pipelined-cold-{i}", 1
+                )
+                start = time.perf_counter()
+                client.submit(variant, until=1, seed=1)
+                cold_times.append(time.perf_counter() - start)
+            client.submit(base, until=1, seed=1)  # prime
+            for i in range(10):
+                start = time.perf_counter()
+                client.submit(base, until=1, seed=1)
+                warm_times.append(time.perf_counter() - start)
+            counters = client.server_stats()["cache"]
+    finally:
+        server.stop()
+
+    cold_ms = 1000 * min(cold_times)
+    warm_ms = 1000 * min(warm_times)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["cold_compile_ms"] = round(cold_ms, 3)
+    benchmark.extra_info["cache_hit_ms"] = round(warm_ms, 3)
+    benchmark.extra_info["compile_overhead_x"] = round(cold_ms / warm_ms, 2)
+
+    # The cache layer itself, without socket/fork round-trip noise: a
+    # cold lookup pays parse + canonicalize + compile, a raw hit is one
+    # hash + dict probe, and a per-run skeleton fork sits in between.
+    from repro.service.cache import CompiledNetCache
+
+    def best_of(fn, rounds=200):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return 1000 * best
+
+    cold_lookup_ms = best_of(
+        lambda: CompiledNetCache().get(base), rounds=50
+    )
+    cache = CompiledNetCache()
+    entry = cache.get(base)
+    hit_lookup_ms = best_of(lambda: cache.get(base))
+    fork_ms = best_of(lambda: entry.simulator(seed=1))
+    benchmark.extra_info["cold_lookup_ms"] = round(cold_lookup_ms, 4)
+    benchmark.extra_info["hit_lookup_ms"] = round(hit_lookup_ms, 4)
+    benchmark.extra_info["skeleton_fork_ms"] = round(fork_ms, 4)
+    assert hit_lookup_ms < cold_lookup_ms
+    assert counters["misses"] == 11  # 10 variants + the primed base
+    assert counters["hits"] >= 10
+    # A cache hit must be measurably cheaper than a cold compile.
+    assert warm_ms < cold_ms
+
+
+def test_bench_service_concurrent_throughput(benchmark):
+    """Jobs/sec with >= 8 concurrent clients; feeds BENCH_engine.json."""
+    source = format_net(build_pipeline_net())
+    workers = min(8, max(2, (os.cpu_count() or 2) - 1))
+    server = ServerThread(workers=workers)
+    errors: list[BaseException] = []
+    try:
+        with server.client() as primer:
+            primer.submit(source, until=10, seed=0)  # warm the cache
+
+        def client_main(client_index: int) -> None:
+            try:
+                with server.client() as client:
+                    for j in range(JOBS_PER_CLIENT):
+                        result = client.submit(
+                            source, until=THROUGHPUT_CYCLES,
+                            seed=client_index * 1000 + j,
+                        )
+                        assert result.summary["events_started"] > 0
+            except BaseException as error:  # noqa: BLE001 - reraised below
+                errors.append(error)
+
+        def hammer():
+            threads = [
+                threading.Thread(target=client_main, args=(i,))
+                for i in range(N_CLIENTS)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return time.perf_counter() - start
+
+        elapsed = benchmark.pedantic(hammer, rounds=1, iterations=1)
+        with server.client() as client:
+            queue_stats = client.server_stats()["queue"]
+            cache_stats = client.server_stats()["cache"]
+    finally:
+        server.stop()
+
+    assert not errors, errors[0]
+    total_jobs = N_CLIENTS * JOBS_PER_CLIENT
+    jobs_per_sec = total_jobs / elapsed
+    assert queue_stats["completed"] >= total_jobs
+    assert queue_stats["failed"] == 0
+    # Every job after the primer rode the compiled-net cache.
+    assert cache_stats["misses"] == 1
+
+    benchmark.extra_info["concurrent_clients"] = N_CLIENTS
+    benchmark.extra_info["server_workers"] = workers
+    benchmark.extra_info["jobs_per_sec"] = round(jobs_per_sec, 1)
+    append_trajectory({
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "model": "pipelined-processor",
+        "service_concurrent_clients": N_CLIENTS,
+        "service_workers": workers,
+        "service_jobs": total_jobs,
+        "service_job_cycles": THROUGHPUT_CYCLES,
+        "service_jobs_per_sec": round(jobs_per_sec, 1),
+        "service_cache": cache_stats,
+    })

@@ -8,7 +8,9 @@ suitable for processing by text processing tools (tbl and troff)".
 
 from __future__ import annotations
 
+import json
 from collections.abc import Sequence
+from typing import Any
 
 from .stat import TraceStatistics
 
@@ -95,6 +97,56 @@ def full_report(
         event_section(stats, transition_order),
         place_section(stats, place_order),
     ])
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace.
+
+    Both ``pnut stat --json`` / ``pnut check --json`` and the simulation
+    service serialize through this, so the same statistics are
+    byte-comparable no matter which path produced them.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def statistics_payload(stats: TraceStatistics) -> dict:
+    """The full Figure-5 statistics as a JSON-ready dict.
+
+    Floats are carried verbatim (no rounding): equal statistics give
+    byte-equal :func:`canonical_json` output, which the service
+    acceptance tests rely on.
+    """
+    run = stats.run
+    return {
+        "run": {
+            "run_number": run.run_number,
+            "initial_clock": run.initial_clock,
+            "length": run.length,
+            "events_started": run.events_started,
+            "events_finished": run.events_finished,
+        },
+        "transitions": {
+            name: {
+                "min_concurrent": t.min_concurrent,
+                "max_concurrent": t.max_concurrent,
+                "avg_concurrent": t.avg_concurrent,
+                "stdev_concurrent": t.stdev_concurrent,
+                "starts": t.starts,
+                "ends": t.ends,
+                "throughput": t.throughput,
+            }
+            for name, t in stats.transitions.items()
+        },
+        "places": {
+            name: {
+                "min_tokens": p.min_tokens,
+                "max_tokens": p.max_tokens,
+                "avg_tokens": p.avg_tokens,
+                "stdev_tokens": p.stdev_tokens,
+            }
+            for name, p in stats.places.items()
+        },
+    }
 
 
 def troff_report(

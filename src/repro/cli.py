@@ -5,7 +5,7 @@ module exposes the same workflow as subcommands of one executable::
 
     pnut sim net.pn --until 10000 --seed 42 > run.trace
     pnut filter run.trace --places Bus_busy,Bus_free > bus.trace
-    pnut stat run.trace
+    pnut stat run.trace [--json]
     pnut tracer run.trace --probes Bus_busy,pre_fetching --end 200
     pnut check run.trace "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]"
     pnut reach net.pn --query "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]"
@@ -16,6 +16,14 @@ module exposes the same workflow as subcommands of one executable::
 Traces stream through stdin/stdout (use ``-`` for stdin), so the
 simulator output "can be directly plugged into the input of analysis
 tools" exactly as §4.1 describes.
+
+The same workflow also runs against a long-lived simulation service
+(:mod:`repro.service`) with byte-identical output::
+
+    pnut serve --socket /tmp/pnut.sock --workers 4
+    pnut submit net.pn --until 10000 --seed 1988 --socket /tmp/pnut.sock
+    pnut submit net.pn --until 10000 --seed 1988 --trace --socket /tmp/pnut.sock
+    pnut jobs --socket /tmp/pnut.sock
 """
 
 from __future__ import annotations
@@ -24,7 +32,12 @@ import argparse
 import sys
 
 from .analysis.query import check_trace
-from .analysis.report import full_report, troff_report
+from .analysis.report import (
+    canonical_json,
+    full_report,
+    statistics_payload,
+    troff_report,
+)
 from .analysis.stat import compute_statistics
 from .analysis.tracer import extract_signals
 from .analysis.waveform import WaveformOptions, render_waveforms
@@ -94,6 +107,9 @@ def cmd_stat(args: argparse.Namespace) -> int:
     with _open_text(args.trace) as handle:
         header, events = read_trace(handle)
         stats = compute_statistics(events, run_number=header.run_number)
+    if args.json:
+        print(canonical_json(statistics_payload(stats)))
+        return 0
     report = troff_report(stats) if args.troff else full_report(stats)
     print(report)
     return 0
@@ -116,7 +132,14 @@ def cmd_check(args: argparse.Namespace) -> int:
     with _open_text(args.trace) as handle:
         _header, events = read_trace(handle)
         result = check_trace(events, args.query)
-    print(result.explain())
+    if args.json:
+        print(canonical_json({
+            "query": result.query,
+            "holds": result.holds,
+            "states_checked": result.states_checked,
+        }))
+    else:
+        print(result.explain())
     return 0 if result.holds else 1
 
 
@@ -182,6 +205,108 @@ def cmd_fmt(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- the simulation service -------------------------------------------------
+
+
+def _service_client(args: argparse.Namespace):
+    from .service.client import ServiceClient
+
+    try:
+        if args.socket:
+            return ServiceClient(unix_path=args.socket, timeout=args.timeout)
+        if args.port is not None:
+            return ServiceClient(host=args.host, port=args.port,
+                                 timeout=args.timeout)
+    except OSError as error:
+        print(f"pnut: cannot connect to server: {error}", file=sys.stderr)
+        return None
+    print("pnut: provide --socket PATH or --port N", file=sys.stderr)
+    return None
+
+
+def _add_endpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--socket", default=None,
+                        help="Unix socket path of the server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="client I/O timeout in seconds")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service.server import run_server
+
+    if (args.socket is None) == (args.port is None):
+        print("pnut serve: provide --socket PATH or --port N",
+              file=sys.stderr)
+        return 2
+
+    def ready(address: str) -> None:
+        print(f"pnut serve: listening on {address}", flush=True)
+
+    try:
+        asyncio.run(run_server(
+            host=None if args.socket else args.host,
+            port=args.port,
+            unix_path=args.socket,
+            workers=args.workers,
+            cache_capacity=args.cache_size,
+            max_pending=args.max_pending,
+            ready_callback=ready,
+        ))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    with _open_text(args.net) as handle:
+        net_source = handle.read()
+    client = _service_client(args)
+    if client is None:
+        return 2
+    with client:
+        result = client.submit(
+            net_source,
+            until=args.until,
+            max_events=args.max_events,
+            seed=args.seed,
+            run_number=args.run,
+            outputs=("trace",) if args.trace else ("stats",),
+            priority=args.priority,
+            on_trace_line=print if args.trace else None,
+        )
+        if not args.trace:
+            # Byte-identical to `pnut stat --json` over the same run.
+            print(result.stats_json())
+        summary = result.summary
+        print(
+            f"pnut submit: {result.job_id} "
+            f"{'cache-hit' if result.cached else 'cold'} "
+            f"events={summary.get('trace_events')} "
+            f"sha256={summary.get('trace_sha256')}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    if client is None:
+        return 2
+    with client:
+        if args.server_stats:
+            frame = client.server_stats()
+            frame.pop("id", None)
+            print(canonical_json(frame))
+            return 0
+        for record in client.jobs():
+            print(canonical_json(record))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
@@ -212,6 +337,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_stat = sub.add_parser("stat", help="Figure-5 statistics report")
     p_stat.add_argument("trace")
     p_stat.add_argument("--troff", action="store_true")
+    p_stat.add_argument("--json", action="store_true",
+                        help="canonical JSON (byte-comparable with the "
+                             "service's stats output)")
     p_stat.set_defaults(fn=cmd_stat)
 
     p_tracer = sub.add_parser("tracer", help="Figure-7 timing waveforms")
@@ -225,6 +353,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_check = sub.add_parser("check", help="verify a query against a trace")
     p_check.add_argument("trace")
     p_check.add_argument("query")
+    p_check.add_argument("--json", action="store_true",
+                         help="canonical JSON verdict")
     p_check.set_defaults(fn=cmd_check)
 
     p_reach = sub.add_parser("reach", help="reachability analysis / proofs")
@@ -260,6 +390,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_fmt.add_argument("net")
     p_fmt.add_argument("--lossy", action="store_true")
     p_fmt.set_defaults(fn=cmd_fmt)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the asyncio simulation service")
+    p_serve.add_argument("--socket", default=None,
+                         help="listen on a Unix socket path")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="listen on TCP (0 picks a free port)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="simulation worker pool size")
+    p_serve.add_argument("--cache-size", type=int, default=32,
+                         help="compiled-net cache capacity")
+    p_serve.add_argument("--max-pending", type=int, default=256,
+                         help="queued-job bound before backpressure")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="run a net on a pnut server, stream the results")
+    p_submit.add_argument("net", help="net description file (- for stdin)")
+    p_submit.add_argument("--until", type=float, default=None)
+    p_submit.add_argument("--max-events", type=int, default=None)
+    p_submit.add_argument("--seed", type=int, default=None)
+    p_submit.add_argument("--run", type=int, default=1)
+    p_submit.add_argument("--priority", type=int, default=0)
+    p_submit.add_argument("--trace", action="store_true",
+                          help="stream the trace to stdout instead of the "
+                               "Figure-5 statistics JSON")
+    _add_endpoint_arguments(p_submit)
+    p_submit.set_defaults(fn=cmd_submit)
+
+    p_jobs = sub.add_parser("jobs", help="list a pnut server's jobs")
+    p_jobs.add_argument("--server-stats", action="store_true",
+                        help="print cache/queue counters instead")
+    _add_endpoint_arguments(p_jobs)
+    p_jobs.set_defaults(fn=cmd_jobs)
 
     return parser
 

@@ -265,6 +265,22 @@ def parse_net(text: str) -> PetriNet:
     return builder.build()
 
 
+def canonical_net_source(text: str) -> str:
+    """Parse and pretty-print: the hash-stable canonical form of a net.
+
+    Two descriptions of the same net — differing in whitespace, comments,
+    attribute order, implicit place declarations or line continuations —
+    canonicalize to the same string, so SHA-256 of the canonical form is a
+    stable identity for caching compiled nets (:mod:`repro.service`).
+    Round-trip stability (``canonical(canonical(x)) == canonical(x)``)
+    follows from :func:`repro.lang.format.format_net` being a parseable
+    fixed point.
+    """
+    from .format import format_net
+
+    return format_net(parse_net(text))
+
+
 def _partition_colon(line: str) -> tuple[str, str, str]:
     """Split at the first colon outside brackets/quotes (attribute bodies
     like ``action: x = tbl[2]`` contain colons)."""

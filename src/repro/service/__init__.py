@@ -1,0 +1,48 @@
+"""The simulation service: nets as serveable programs (ROADMAP north star).
+
+The paper's P-NUT workflow is a pipeline of small one-shot tools; this
+package grows it into a long-lived entry point that multiplexes many
+clients over one process:
+
+* :mod:`~repro.service.protocol` — the NDJSON wire format shared by
+  server and client;
+* :mod:`~repro.service.cache` — a compiled-net cache keyed by SHA-256 of
+  the canonical net source, so repeated jobs on the same model skip
+  parse/validate/compile and share one immutable :class:`Simulator`
+  skeleton cheaply forked per run;
+* :mod:`~repro.service.queue` — a priority job queue with cancellation
+  and backpressure;
+* :mod:`~repro.service.server` — the asyncio NDJSON-over-TCP/Unix-socket
+  server (``pnut serve``) whose worker pool reuses the forked-worker
+  machinery of :mod:`repro.sim.experiment` for CPU-bound runs;
+* :mod:`~repro.service.client` — a thin synchronous client
+  (``pnut submit`` / ``pnut jobs``) producing output byte-identical to
+  the in-process path.
+"""
+
+from .cache import CompiledNet, CompiledNetCache
+from .client import JobResult, RemoteError, ServiceClient
+from .harness import ServerThread
+from .protocol import JobSpec, ProtocolError, ServiceError, decode, encode
+from .queue import Job, JobQueue, JobState, QueueFullError
+from .server import SimulationService, run_server
+
+__all__ = [
+    "CompiledNet",
+    "CompiledNetCache",
+    "Job",
+    "JobQueue",
+    "JobResult",
+    "JobSpec",
+    "JobState",
+    "ProtocolError",
+    "QueueFullError",
+    "RemoteError",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "SimulationService",
+    "decode",
+    "encode",
+    "run_server",
+]

@@ -1,0 +1,198 @@
+"""The compiled-net cache: parse/validate/compile once, fork per run.
+
+A net travels to the service as source text. Compiling it — parsing,
+building the :class:`~repro.core.net.PetriNet` and constructing the
+:class:`~repro.sim.engine.Simulator` arc tables — dwarfs the cost of
+starting one more run, so the cache keeps one immutable *skeleton*
+simulator per distinct net and every job gets a cheap
+:meth:`Simulator.fork` of it (bit-identical traces to a from-scratch
+construction; the tests pin this).
+
+Keying is two-level:
+
+* the **raw key** hashes the source text verbatim — a warm resubmission
+  of the same bytes skips even the parse;
+* the **canonical key** hashes
+  :func:`repro.lang.parser.canonical_net_source` plus the compile
+  options, so reformatted/commented variants of one net share a single
+  compiled entry (the parse is paid, the compile is not).
+
+Counters expose exactly which path a lookup took; the service acceptance
+criteria assert on them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.net import PetriNet
+from ..lang.format import format_net
+from ..lang.parser import parse_net
+from ..sim.engine import Observer, Simulator
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CompiledNet:
+    """One immutable cache entry: canonical source, net and skeleton."""
+
+    key: str
+    source: str
+    net: PetriNet
+    template: Simulator
+    immediate_budget: int
+
+    def simulator(
+        self,
+        seed: int | None = None,
+        run_number: int = 1,
+        observers: tuple[Observer, ...] | list[Observer] = (),
+    ) -> Simulator:
+        """A fresh run over the shared skeleton (see :meth:`Simulator.fork`)."""
+        return self.template.fork(
+            seed=seed,
+            run_number=run_number,
+            immediate_budget=self.immediate_budget,
+            observers=observers,
+        )
+
+
+@dataclass
+class CacheStats:
+    """Lookup counters; ``hits``/``canonical_hits`` never recompile."""
+
+    hits: int = 0
+    canonical_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def to_payload(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "canonical_hits": self.canonical_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class CompiledNetCache:
+    """LRU cache of :class:`CompiledNet`, safe to share across threads.
+
+    The server calls :meth:`get` from worker threads (cold compiles are
+    kept off the event loop), so all bookkeeping runs under one lock;
+    the entries themselves are immutable and the skeletons are forked,
+    never mutated, by their users.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, CompiledNet] = OrderedDict()
+        # raw-source alias -> canonical key, plus the reverse index so an
+        # eviction drops its aliases too.
+        self._raw_alias: dict[str, str] = {}
+        self._aliases_of: dict[str, list[str]] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _options_tag(self, immediate_budget: int) -> str:
+        return f"immediate_budget={immediate_budget}"
+
+    def get(self, source: str, immediate_budget: int = 10_000) -> CompiledNet:
+        """Look up (or compile) the net described by ``source``."""
+        return self.lookup(source, immediate_budget)[0]
+
+    def lookup(
+        self, source: str, immediate_budget: int = 10_000
+    ) -> tuple[CompiledNet, str]:
+        """Like :meth:`get`, also reporting how the entry was found:
+        ``"hit"`` (raw bytes seen before — no parse, no compile),
+        ``"canonical_hit"`` (new formatting of a known net — parsed,
+        compile skipped) or ``"miss"`` (full compile)."""
+        raw_key = _sha256(self._options_tag(immediate_budget) + "\x00" + source)
+        with self._lock:
+            key = self._raw_alias.get(raw_key)
+            if key is not None:
+                entry = self._entries[key]
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry, "hit"
+
+        # Parse outside the lock: canonicalization is the expensive part
+        # and must not serialize concurrent lookups of other nets.
+        net = parse_net(source)
+        canonical = format_net(net)
+        key = _sha256(self._options_tag(immediate_budget) + "\x00" + canonical)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._add_alias(raw_key, key)
+                self.stats.canonical_hits += 1
+                return entry, "canonical_hit"
+
+        template = Simulator(net, immediate_budget=immediate_budget)
+        entry = CompiledNet(
+            key=key,
+            source=canonical,
+            net=net,
+            template=template,
+            immediate_budget=immediate_budget,
+        )
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                # Raced with another compiling thread; keep the first.
+                self._entries.move_to_end(key)
+                self._add_alias(raw_key, key)
+                self.stats.canonical_hits += 1
+                return existing, "canonical_hit"
+            self._entries[key] = entry
+            self._add_alias(raw_key, key)
+            self.stats.misses += 1
+            while len(self._entries) > self.capacity:
+                evicted_key, _ = self._entries.popitem(last=False)
+                for alias in self._aliases_of.pop(evicted_key, ()):
+                    self._raw_alias.pop(alias, None)
+                self.stats.evictions += 1
+        return entry, "miss"
+
+    #: Raw-bytes aliases kept per entry. Bounds alias-map growth when a
+    #: long-lived server sees endless formatting variants of one hot net
+    #: (each variant would otherwise pin a raw key forever).
+    MAX_ALIASES_PER_ENTRY = 8
+
+    def _add_alias(self, raw_key: str, key: str) -> None:
+        if self._raw_alias.get(raw_key) == key:
+            return
+        aliases = self._aliases_of.setdefault(key, [])
+        while len(aliases) >= self.MAX_ALIASES_PER_ENTRY:
+            self._raw_alias.pop(aliases.pop(0), None)
+        self._raw_alias[raw_key] = key
+        aliases.append(raw_key)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._raw_alias.clear()
+            self._aliases_of.clear()
+
+    def to_payload(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                **self.stats.to_payload(),
+            }

@@ -1,0 +1,198 @@
+"""Synchronous client for the simulation service.
+
+Thin by design: one socket, NDJSON frames, blocking reads. ``pnut
+submit`` / ``pnut jobs`` and the tests drive it; anything the in-process
+toolchain computes (statistics, traces) arrives byte-identical through
+here, so the examples and query/report tools can run against a server
+without changing their output.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..analysis.report import canonical_json
+from .protocol import JobSpec, ServiceError, decode, encode
+
+
+class RemoteError(ServiceError):
+    """An error frame returned by the server."""
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass
+class JobResult:
+    """A completed submission as seen by the client."""
+
+    job_id: str
+    cached: bool
+    summary: dict[str, Any]
+    stats: dict[str, Any] | None = None
+    trace_lines: list[str] | None = None
+
+    @property
+    def trace_sha256(self) -> str:
+        return self.summary["trace_sha256"]
+
+    def stats_json(self) -> str:
+        """Canonical JSON of the statistics — byte-comparable with
+        ``pnut stat --json`` over the same run."""
+        if self.stats is None:
+            raise ServiceError("job was submitted without the 'stats' output")
+        return canonical_json(self.stats)
+
+
+class ServiceClient:
+    """Blocking NDJSON client over a Unix or TCP socket."""
+
+    def __init__(
+        self,
+        unix_path: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        if (unix_path is None) == (host is None):
+            raise ValueError("provide either unix_path or host/port")
+        if unix_path is not None:
+            self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            if timeout is not None:
+                self._socket.settimeout(timeout)
+            self._socket.connect(unix_path)
+        else:
+            self._socket = socket.create_connection((host, port),
+                                                    timeout=timeout)
+        self._file = self._socket.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, op: str, **fields: Any) -> int:
+        self._next_id += 1
+        frame = {"op": op, "id": self._next_id, **fields}
+        self._file.write(encode(frame))
+        self._file.flush()
+        return self._next_id
+
+    def _read_frame(self) -> dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("connection closed by server")
+        return decode(line)
+
+    def _wait(self, request_id: int) -> dict[str, Any]:
+        """Next frame for this request; raises on error frames."""
+        while True:
+            frame = self._read_frame()
+            if frame.get("id") != request_id:
+                continue  # a frame for an abandoned request
+            if frame.get("type") == "error":
+                raise RemoteError(frame.get("error", "unknown error"),
+                                  frame.get("code", "error"))
+            return frame
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- operations --------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self._wait(self._request("ping"))
+
+    def server_stats(self) -> dict[str, Any]:
+        return self._wait(self._request("server-stats"))
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._wait(self._request("jobs"))["jobs"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._wait(self._request("status", job=job_id))
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self._wait(self._request("cancel", job=job_id))["ok"])
+
+    def shutdown(self) -> None:
+        self._wait(self._request("shutdown"))
+
+    def submit(
+        self,
+        net_source: str,
+        until: float | None = None,
+        max_events: int | None = None,
+        seed: int | None = None,
+        run_number: int = 1,
+        outputs: tuple[str, ...] = ("stats",),
+        priority: int = 0,
+        on_trace_line: Callable[[str], None] | None = None,
+        collect_trace: bool = False,
+    ) -> JobResult:
+        """Submit one job and block until its result.
+
+        Trace lines (when the ``trace`` output is subscribed) stream
+        through ``on_trace_line`` as batches arrive and/or accumulate in
+        ``JobResult.trace_lines`` when ``collect_trace`` is true.
+        """
+        spec = JobSpec(
+            net_source=net_source,
+            until=until,
+            max_events=max_events,
+            seed=seed,
+            run_number=run_number,
+            outputs=tuple(outputs),
+            priority=priority,
+        )
+        request_id = self._request("submit", **spec.to_payload())
+        accepted = self._wait(request_id)
+        if accepted.get("type") != "accepted":
+            raise ServiceError(f"expected accepted frame, got {accepted!r}")
+        job_id = accepted["job"]
+        trace_lines: list[str] | None = [] if collect_trace else None
+        while True:
+            frame = self._wait(request_id)
+            kind = frame.get("type")
+            if kind == "trace":
+                for line in frame.get("lines", ()):
+                    if on_trace_line is not None:
+                        on_trace_line(line)
+                    if trace_lines is not None:
+                        trace_lines.append(line)
+            elif kind == "result":
+                return JobResult(
+                    job_id=job_id,
+                    cached=bool(frame.get("cached")),
+                    summary=frame.get("summary", {}),
+                    stats=frame.get("stats"),
+                    trace_lines=trace_lines,
+                )
+            else:
+                raise ServiceError(
+                    f"unexpected frame {kind!r} while waiting for {job_id}"
+                )
+
+    def submit_nowait(self, net_source: str, **kwargs: Any) -> str:
+        """Fire-and-forget submission; returns the job id.
+
+        The result frames for this request are discarded by later waits,
+        so poll :meth:`status` / :meth:`jobs` to observe completion. Used
+        for queue-management flows (priorities, cancellation).
+        """
+        spec = JobSpec(net_source=net_source, **kwargs)
+        request_id = self._request("submit", **spec.to_payload())
+        accepted = self._wait(request_id)
+        if accepted.get("type") != "accepted":
+            raise ServiceError(f"expected accepted frame, got {accepted!r}")
+        return accepted["job"]

@@ -1,0 +1,60 @@
+"""In-process embedding harness: a service on its own thread.
+
+For tests, benchmarks and applications that want a live server without a
+subprocess: :class:`ServerThread` runs a :class:`SimulationService` on a
+private event loop in a daemon thread, bound to a Unix socket in a
+temporary directory, and tears everything down via the service's public
+:meth:`~SimulationService.request_shutdown`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import shutil
+import tempfile
+import threading
+
+from .client import ServiceClient
+from .server import SimulationService
+
+
+class ServerThread:
+    """A :class:`SimulationService` on a private event loop."""
+
+    def __init__(self, **service_kwargs) -> None:
+        self.tmp = tempfile.mkdtemp(prefix="pnut-serve-")
+        self.socket_path = os.path.join(self.tmp, "pnut.sock")
+        self.service: SimulationService | None = None
+        self._ready = threading.Event()
+        self._kwargs = service_kwargs
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=15):
+            raise RuntimeError("service thread did not start")
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self.service = SimulationService(**self._kwargs)
+        await self.service.start(unix_path=self.socket_path)
+        self._ready.set()
+        await self.service.serve_forever()
+
+    def client(self, timeout: float = 120.0) -> ServiceClient:
+        """A fresh client connected to this server."""
+        return ServiceClient(unix_path=self.socket_path, timeout=timeout)
+
+    def stop(self) -> None:
+        """Shut the service down and remove the socket directory."""
+        if self._thread.is_alive() and self.service is not None:
+            self.service.request_shutdown()
+        self._thread.join(timeout=15)
+        shutil.rmtree(self.tmp, ignore_errors=True)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,190 @@
+"""NDJSON wire protocol shared by the service server and client.
+
+One JSON object per line, UTF-8, ``\\n``-terminated — the service twin of
+the paper's "one event per line" trace format, so requests and responses
+stream through sockets exactly as traces stream through pipes.
+
+Requests carry an ``op`` and a client-chosen ``id`` echoed on every
+response for that request::
+
+    {"op": "submit", "id": 1, "net": "...", "until": 10000, "seed": 1988,
+     "outputs": ["stats", "trace"], "priority": 0}
+    {"op": "status", "id": 2, "job": "j1"}
+    {"op": "cancel", "id": 3, "job": "j1"}
+    {"op": "jobs", "id": 4}
+    {"op": "server-stats", "id": 5}
+    {"op": "ping", "id": 6}
+    {"op": "shutdown", "id": 7}
+
+A ``submit`` answers ``{"type": "accepted", "job": "j1", ...}``, then —
+for subscribed outputs — streams ``{"type": "trace", "lines": [...]}``
+batches as the forked worker produces them, and finishes with one
+``{"type": "result", ...}`` (or ``{"type": "error", ...}``). Statistics
+inside results are rendered with
+:func:`repro.analysis.report.canonical_json`, byte-comparable with
+``pnut stat --json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.errors import PnutError
+
+
+class ServiceError(PnutError):
+    """Base class for simulation-service failures."""
+
+
+class ProtocolError(ServiceError):
+    """A malformed frame or request payload."""
+
+
+PROTOCOL_VERSION = 1
+
+#: Result channels a job may subscribe to. ``summary`` (counters, final
+#: time, trace SHA-256) is always included in the result frame.
+VALID_OUTPUTS = ("stats", "trace")
+
+#: Trace lines are batched into frames of this many lines so the full
+#: trace is never materialized server-side (streaming granularity).
+TRACE_BATCH_LINES = 512
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """One message -> one NDJSON frame (UTF-8 bytes including ``\\n``)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode(line: bytes | str) -> dict[str, Any]:
+    """One NDJSON frame -> message dict; raises :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"bad JSON frame: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def _require(payload: dict, key: str, kinds, what: str):
+    value = payload.get(key)
+    if not isinstance(value, kinds):
+        raise ProtocolError(f"submit needs {key!r}: {what}")
+    return value
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything one simulation job needs, as carried on the wire.
+
+    ``outputs`` picks the streamed channels (see :data:`VALID_OUTPUTS`);
+    ``priority`` orders the queue (higher first, FIFO within a level);
+    ``seed`` pins the run — the service never invents seeds, so a spec
+    replays bit-identically in-process and behind the service.
+    """
+
+    net_source: str
+    until: float | None = None
+    max_events: int | None = None
+    seed: int | None = None
+    run_number: int = 1
+    outputs: tuple[str, ...] = ("stats",)
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.until is None and self.max_events is None:
+            raise ProtocolError("job needs until=, max_events=, or both")
+        bad = [o for o in self.outputs if o not in VALID_OUTPUTS]
+        if bad:
+            raise ProtocolError(
+                f"unknown outputs {bad}; valid: {list(VALID_OUTPUTS)}"
+            )
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "JobSpec":
+        net_source = _require(payload, "net", str, "the net source text")
+        until = payload.get("until")
+        if until is not None and not isinstance(until, (int, float)):
+            raise ProtocolError("'until' must be a number")
+        max_events = payload.get("max_events")
+        if max_events is not None and not isinstance(max_events, int):
+            raise ProtocolError("'max_events' must be an integer")
+        seed = payload.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ProtocolError("'seed' must be an integer")
+        run_number = payload.get("run", 1)
+        if not isinstance(run_number, int):
+            raise ProtocolError("'run' must be an integer")
+        outputs = payload.get("outputs", ["stats"])
+        if not isinstance(outputs, list) or not all(
+            isinstance(o, str) for o in outputs
+        ):
+            raise ProtocolError("'outputs' must be a list of channel names")
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int):
+            raise ProtocolError("'priority' must be an integer")
+        return cls(
+            net_source=net_source,
+            until=float(until) if until is not None else None,
+            max_events=max_events,
+            seed=seed,
+            run_number=run_number,
+            outputs=tuple(outputs),
+            priority=priority,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"net": self.net_source}
+        if self.until is not None:
+            payload["until"] = self.until
+        if self.max_events is not None:
+            payload["max_events"] = self.max_events
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        if self.run_number != 1:
+            payload["run"] = self.run_number
+        payload["outputs"] = list(self.outputs)
+        if self.priority:
+            payload["priority"] = self.priority
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# Response frame constructors (server side; the client pattern-matches on
+# the ``type`` field).
+# ---------------------------------------------------------------------------
+
+
+def error_frame(request_id: Any, message: str, code: str = "error",
+                job_id: str | None = None) -> dict[str, Any]:
+    frame: dict[str, Any] = {
+        "type": "error", "id": request_id, "code": code, "error": message,
+    }
+    if job_id is not None:
+        frame["job"] = job_id
+    return frame
+
+
+def accepted_frame(request_id: Any, job_id: str,
+                   position: int) -> dict[str, Any]:
+    return {
+        "type": "accepted", "id": request_id, "job": job_id,
+        "position": position,
+    }
+
+
+def trace_frame(request_id: Any, job_id: str,
+                lines: list[str]) -> dict[str, Any]:
+    return {"type": "trace", "id": request_id, "job": job_id, "lines": lines}
+
+
+def result_frame(request_id: Any, job_id: str,
+                 result: dict[str, Any]) -> dict[str, Any]:
+    return {"type": "result", "id": request_id, "job": job_id, **result}

@@ -1,0 +1,278 @@
+"""Priority job queue with cancellation, backpressure and fan-out.
+
+The queue is the seam between the asyncio front end (connections
+submitting jobs) and the worker pool (forked CPU-bound runs). Jobs carry
+their own pub/sub: every frame a worker produces is fanned out to the
+asyncio queues of whoever subscribed (normally just the submitting
+connection), so results stream without the queue knowing about sockets.
+
+Scheduling is strict priority (higher first), FIFO within a level.
+Cancellation of a queued job is lazy — the entry stays in the heap and is
+skipped when popped — which keeps :meth:`JobQueue.get` O(log n) without a
+secondary index. Backpressure is a hard bound on queued-not-yet-running
+jobs: past it, :meth:`submit` raises :class:`QueueFullError` and the
+server answers with a ``backpressure`` error frame instead of buffering
+unboundedly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import time
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Any, Callable
+
+from .protocol import JobSpec, ServiceError
+
+
+class QueueFullError(ServiceError):
+    """Submission rejected: the pending queue is at capacity."""
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def finished(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted simulation plus its streaming subscribers."""
+
+    #: Frames buffered per subscriber before backpressure engages. With
+    #: 512-line trace batches this bounds per-subscriber buffering to a
+    #: few MB — the server never materializes a full trace, even for a
+    #: client that reads slower than the simulation produces.
+    SUBSCRIBER_BUFFER_FRAMES = 64
+    #: How long a streamed frame may wait for a full subscriber before
+    #: that subscriber is dropped as a slow consumer.
+    SLOW_CONSUMER_TIMEOUT = 30.0
+
+    id: str
+    spec: JobSpec
+    seq: int
+    state: JobState = JobState.QUEUED
+    cached: bool = False
+    error: str | None = None
+    result: dict[str, Any] | None = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Set by the executing worker while the job runs; invoked (in the
+    #: event loop) to kill the forked child on cancellation.
+    cancel_hook: Callable[[], None] | None = None
+    _subscribers: list[asyncio.Queue] = field(default_factory=list)
+
+    def subscribe(self) -> asyncio.Queue:
+        """A queue receiving every subsequent frame; ``None`` ends it."""
+        queue: asyncio.Queue = asyncio.Queue(
+            maxsize=self.SUBSCRIBER_BUFFER_FRAMES
+        )
+        self._subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        if queue in self._subscribers:
+            self._subscribers.remove(queue)
+
+    def _drop_subscriber(self, queue: asyncio.Queue) -> None:
+        """Evict a subscriber that stopped draining: clear its backlog
+        and leave a terminal verdict so its pump ends deterministically."""
+        self.unsubscribe(queue)
+        while not queue.empty():
+            queue.get_nowait()
+        queue.put_nowait({
+            "type": "error", "job": self.id, "code": "slow-consumer",
+            "error": "client fell too far behind the result stream",
+        })
+        queue.put_nowait(None)
+
+    def publish(self, frame: dict[str, Any] | None) -> None:
+        """Fan one control/terminal frame out to every subscriber.
+
+        Control frames never wait: a subscriber whose buffer is full has
+        already stalled past the streaming backpressure window, so its
+        buffered stream frames are sacrificed to guarantee the terminal
+        frame (and the ``None`` end marker) always lands.
+        """
+        for queue in list(self._subscribers):
+            try:
+                queue.put_nowait(frame)
+            except asyncio.QueueFull:
+                while queue.qsize() >= queue.maxsize:
+                    queue.get_nowait()
+                queue.put_nowait(frame)
+
+    async def publish_stream(self, frame: dict[str, Any]) -> None:
+        """Fan one streamed frame out, awaiting buffer space.
+
+        This is the server-side backpressure seam: the executing worker
+        awaits here, which pauses draining the child's pipe, which blocks
+        the child once the pipe fills. A subscriber that stays full for
+        :data:`SLOW_CONSUMER_TIMEOUT` is dropped rather than allowed to
+        stall the job forever."""
+        for queue in list(self._subscribers):
+            try:
+                queue.put_nowait(frame)
+            except asyncio.QueueFull:
+                try:
+                    await asyncio.wait_for(
+                        queue.put(frame), timeout=self.SLOW_CONSUMER_TIMEOUT
+                    )
+                except asyncio.TimeoutError:
+                    self._drop_subscriber(queue)
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "job": self.id,
+            "state": self.state.value,
+            "priority": self.spec.priority,
+            "seed": self.spec.seed,
+            "cached": self.cached,
+            "submitted_at": self.submitted_at,
+        }
+        if self.started_at is not None:
+            payload["started_at"] = self.started_at
+        if self.finished_at is not None:
+            payload["finished_at"] = self.finished_at
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class JobQueue:
+    """Asyncio-side priority queue over :class:`Job` records.
+
+    Single-event-loop use: ``submit``/``cancel`` run on the loop,
+    ``get`` is awaited by the worker coroutines. Every heap entry owns
+    exactly one semaphore permit, so a lazily-skipped cancelled entry
+    consumes the permit that was released for it and the accounting
+    stays exact.
+    """
+
+    #: Finished jobs kept for ``pnut jobs`` / ``status`` history.
+    HISTORY_LIMIT = 256
+
+    def __init__(self, max_pending: int = 256) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.max_pending = max_pending
+        self._heap: list[tuple[int, int, Job]] = []
+        self._available = asyncio.Semaphore(0)
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._seq = 0
+        self._pending = 0
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+
+    # -- submission / retrieval -------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        if self._pending >= self.max_pending:
+            raise QueueFullError(
+                f"queue full: {self._pending} pending jobs "
+                f"(max_pending={self.max_pending})"
+            )
+        self._seq += 1
+        job = Job(id=f"j{self._seq}", spec=spec, seq=self._seq)
+        self._jobs[job.id] = job
+        self._order.append(job.id)
+        self._trim_history()
+        heappush(self._heap, (-spec.priority, self._seq, job))
+        self._pending += 1
+        self.submitted += 1
+        self._available.release()
+        return job
+
+    async def get(self) -> Job:
+        """Next runnable job by (priority, FIFO); skips cancelled entries."""
+        while True:
+            await self._available.acquire()
+            _neg_priority, _seq, job = heappop(self._heap)
+            if job.state is JobState.CANCELLED:
+                continue
+            self._pending -= 1
+            job.state = JobState.RUNNING
+            job.started_at = time.time()
+            return job
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def job(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        return [self._jobs[job_id] for job_id in self._order]
+
+    def cancel(self, job_id: str) -> bool:
+        """True if the job was cancelled (queued or running)."""
+        job = self._jobs.get(job_id)
+        if job is None or job.state.finished:
+            return False
+        if job.state is JobState.QUEUED:
+            job.state = JobState.CANCELLED
+            job.finished_at = time.time()
+            self._pending -= 1
+            self.cancelled += 1
+            # Terminal frame first so a client blocked in submit() gets a
+            # verdict, then end-of-stream (same shape as a running-job
+            # cancellation reported by the worker).
+            job.publish({
+                "type": "error", "job": job.id, "code": "cancelled",
+                "error": f"job {job.id} cancelled",
+            })
+            job.publish(None)
+            return True
+        # Running: kill the forked child; the executing worker observes
+        # the state change and closes the job out.
+        job.state = JobState.CANCELLED
+        self.cancelled += 1
+        if job.cancel_hook is not None:
+            job.cancel_hook()
+        return True
+
+    def finish(self, job: Job, result: dict[str, Any] | None,
+               error: str | None) -> None:
+        """Worker-side completion (also closes out cancelled runs)."""
+        if job.state is JobState.CANCELLED:
+            pass  # state and counter already set by cancel()
+        elif error is not None:
+            job.state = JobState.FAILED
+            job.error = error
+            self.failed += 1
+        else:
+            job.state = JobState.DONE
+            job.result = result
+            self.completed += 1
+        job.finished_at = time.time()
+        job.cancel_hook = None
+
+    def _trim_history(self) -> None:
+        while len(self._order) > self.HISTORY_LIMIT:
+            oldest = self._jobs.get(self._order[0])
+            if oldest is not None and not oldest.state.finished:
+                break  # never forget live jobs, even under churn
+            self._order.pop(0)
+            if oldest is not None:
+                del self._jobs[oldest.id]
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "pending": self._pending,
+            "max_pending": self.max_pending,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+        }

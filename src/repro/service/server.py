@@ -1,0 +1,459 @@
+"""The asyncio simulation server behind ``pnut serve``.
+
+Architecture: connections are cheap asyncio tasks that parse NDJSON
+requests and subscribe to jobs; simulation work happens in a small worker
+pool. Each worker coroutine pulls the highest-priority job, resolves its
+net through the :class:`CompiledNetCache`, and runs the simulation in a
+**forked child** via the same :class:`~repro.sim.experiment.ForkedTask`
+machinery that fans out :class:`~repro.sim.Experiment` replications — the
+compiled net (with its callables) is inherited by memory image, never
+pickled, and the GIL never serializes two runs. Results stream back
+through the child's pipe as batched trace lines plus one final summary;
+the full trace is never materialized server-side (``keep_events=False``).
+
+Platforms without ``fork`` fall back to running jobs on threads: same
+protocol, same results, reduced parallelism and no mid-run cancellation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from typing import Any
+
+from ..analysis.report import statistics_payload
+from ..analysis.stat import StatisticsObserver
+from ..core.errors import PnutError
+from ..sim.experiment import ForkedTask, fork_available
+from ..trace.events import TraceHeader
+from ..trace.serialize import format_event, format_header
+from .cache import CompiledNet, CompiledNetCache
+from .protocol import (
+    PROTOCOL_VERSION,
+    TRACE_BATCH_LINES,
+    JobSpec,
+    ProtocolError,
+    accepted_frame,
+    decode,
+    encode,
+    error_frame,
+)
+from .queue import Job, JobQueue, JobState, QueueFullError
+
+#: StreamReader line limit: net sources and trace batches are long lines.
+_LINE_LIMIT = 16 * 1024 * 1024
+
+
+def execute_job(compiled: CompiledNet, spec: JobSpec, emit) -> dict[str, Any]:
+    """Run one job to completion; the CPU-bound leaf of the service.
+
+    Runs inside the forked child (or a thread on fork-less platforms).
+    ``emit`` streams intermediate payloads — batches of serialized trace
+    lines — while statistics accumulate in a streaming observer; the
+    trace itself is never materialized (``keep_events=False``). The
+    returned payload is the job's ``result`` frame body: a summary
+    (counters, final time, SHA-256 of the serialized trace) plus the
+    Figure-5 statistics when subscribed.
+    """
+    want_stats = "stats" in spec.outputs
+    want_trace = "trace" in spec.outputs
+
+    sha = hashlib.sha256()
+    lines_seen = 0
+    batch: list[str] = []
+
+    def flush() -> None:
+        if batch:
+            emit({"channel": "trace", "lines": list(batch)})
+            batch.clear()
+
+    header = TraceHeader(compiled.net.name, spec.run_number, spec.seed)
+    for line in format_header(header):
+        sha.update(line.encode("utf-8") + b"\n")
+        if want_trace:
+            batch.append(line)
+
+    def on_event(event) -> None:
+        nonlocal lines_seen
+        line = format_event(event)
+        sha.update(line.encode("utf-8") + b"\n")
+        lines_seen += 1
+        if want_trace:
+            batch.append(line)
+            if len(batch) >= TRACE_BATCH_LINES:
+                flush()
+
+    observers: list[Any] = []
+    stats_observer = None
+    if want_stats:
+        stats_observer = StatisticsObserver(run_number=spec.run_number)
+        observers.append(stats_observer)
+    observers.append(on_event)
+
+    simulator = compiled.simulator(
+        seed=spec.seed, run_number=spec.run_number, observers=observers
+    )
+    result = simulator.run(
+        until=spec.until, max_events=spec.max_events, keep_events=False
+    )
+    flush()
+
+    payload: dict[str, Any] = {
+        "summary": {
+            "net": compiled.net.name,
+            "seed": spec.seed,
+            "run": spec.run_number,
+            "final_time": result.final_time,
+            "events_started": result.events_started,
+            "events_finished": result.events_finished,
+            "trace_events": lines_seen,
+            "trace_sha256": sha.hexdigest(),
+            "cache_key": compiled.key,
+        }
+    }
+    if stats_observer is not None:
+        payload["stats"] = statistics_payload(stats_observer.result())
+    return payload
+
+
+class SimulationService:
+    """One server instance: cache + queue + worker pool + listeners."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_capacity: int = 32,
+        max_pending: int = 256,
+        immediate_budget: int = 10_000,
+        use_fork: bool | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.cache = CompiledNetCache(capacity=cache_capacity)
+        self.queue = JobQueue(max_pending=max_pending)
+        self.workers = workers
+        self.immediate_budget = immediate_budget
+        self.use_fork = fork_available() if use_fork is None else use_fork
+        self._worker_tasks: list[asyncio.Task] = []
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.address: str | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(
+        self,
+        host: str | None = None,
+        port: int | None = None,
+        unix_path: str | None = None,
+    ) -> str:
+        """Bind the listener, start the worker pool, return the address."""
+        if (unix_path is None) == (host is None):
+            raise ValueError("provide either unix_path or host/port")
+        self._loop = asyncio.get_running_loop()
+        self._worker_tasks = [
+            asyncio.create_task(self._worker(), name=f"pnut-worker-{i}")
+            for i in range(self.workers)
+        ]
+        if unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=unix_path, limit=_LINE_LIMIT
+            )
+            self.address = f"unix:{unix_path}"
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=host, port=port, limit=_LINE_LIMIT
+            )
+            bound = self._server.sockets[0].getsockname()
+            self.address = f"tcp:{bound[0]}:{bound[1]}"
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`shutdown`)."""
+        await self._shutdown.wait()
+        await self._close()
+
+    async def shutdown(self) -> None:
+        self._shutdown.set()
+
+    def request_shutdown(self) -> None:
+        """Thread-safe shutdown trigger (for embedders/harnesses)."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+
+    async def _close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Kill running children, then the worker tasks themselves.
+        for job in self.queue.jobs():
+            if job.state is JobState.RUNNING:
+                self.queue.cancel(job.id)
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+
+    # -- worker pool -------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self.queue.get()
+            try:
+                await self._execute(job)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # noqa: BLE001 - keep the pool alive
+                self._finish(job, None, f"internal error: {error!r}")
+
+    async def _execute(self, job: Job) -> None:
+        spec = job.spec
+        try:
+            compiled, outcome = await asyncio.to_thread(
+                self.cache.lookup, spec.net_source, self.immediate_budget
+            )
+        except PnutError as error:
+            self._finish(job, None, f"net error: {error}", code="net-error")
+            return
+        job.cached = outcome != "miss"
+        if job.state is JobState.CANCELLED:
+            self._finish(job, None, None)
+            return
+
+        value: dict[str, Any] | None = None
+        error_text: str | None = None
+        if self.use_fork:
+            task = ForkedTask(execute_job, (compiled, spec),
+                              label=f"job {job.id}")
+            job.cancel_hook = task.terminate
+            try:
+                while True:
+                    kind, payload = await asyncio.to_thread(task.next_message)
+                    if kind == "msg":
+                        # Awaiting here pauses the pipe drain, which
+                        # blocks the child once the pipe fills: streamed
+                        # traces stay bounded end to end.
+                        await self._publish_stream(job, payload)
+                    elif kind == "ok":
+                        value = payload
+                        break
+                    else:
+                        error_text = payload
+                        break
+            finally:
+                await asyncio.to_thread(task.join)
+        else:
+            loop = asyncio.get_running_loop()
+
+            def emit(payload: dict[str, Any]) -> None:
+                # Blocks the executor thread until the subscribers have
+                # buffer space — the inline twin of the pipe backpressure.
+                asyncio.run_coroutine_threadsafe(
+                    self._publish_stream(job, payload), loop
+                ).result()
+
+            try:
+                value = await asyncio.to_thread(execute_job, compiled, spec,
+                                                emit)
+            except PnutError as error:
+                error_text = str(error)
+        self._finish(job, value, error_text)
+
+    async def _publish_stream(self, job: Job, payload: dict[str, Any]) -> None:
+        if payload.get("channel") == "trace":
+            await job.publish_stream({
+                "type": "trace", "job": job.id, "lines": payload["lines"],
+            })
+
+    def _finish(self, job: Job, value: dict[str, Any] | None,
+                error_text: str | None, code: str = "job-failed") -> None:
+        cancelled = job.state is JobState.CANCELLED
+        self.queue.finish(job, value, None if cancelled else error_text)
+        if cancelled:
+            job.publish({
+                "type": "error", "job": job.id, "code": "cancelled",
+                "error": f"job {job.id} cancelled",
+            })
+        elif error_text is not None:
+            job.publish({
+                "type": "error", "job": job.id, "code": code,
+                "error": error_text,
+            })
+        else:
+            assert value is not None
+            job.publish({
+                "type": "result", "job": job.id, "cached": job.cached,
+                **value,
+            })
+        job.publish(None)
+
+    # -- connections -------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        pumps: list[asyncio.Task] = []
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ConnectionResetError:
+                    break
+                except ValueError:
+                    # readline() signals an over-limit frame as ValueError
+                    # (it swallows LimitOverrunError internally); the
+                    # stream is beyond repair at that point.
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode(line)
+                except ProtocolError as error:
+                    await self._send(writer, write_lock,
+                                     error_frame(None, str(error)))
+                    continue
+                pump = await self._dispatch(message, writer, write_lock)
+                if pump is not None:
+                    # Drop completed pumps so a long-lived connection
+                    # submitting many jobs doesn't accumulate dead tasks.
+                    pumps = [p for p in pumps if not p.done()]
+                    pumps.append(pump)
+        finally:
+            for pump in pumps:
+                pump.cancel()
+            await asyncio.gather(*pumps, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                # The loop may be tearing down (shutdown) while this
+                # close completes; the transport is gone either way.
+                pass
+
+    async def _dispatch(
+        self,
+        message: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> asyncio.Task | None:
+        request_id = message.get("id")
+        op = message.get("op")
+        send = lambda frame: self._send(writer, write_lock, frame)  # noqa: E731
+
+        if op == "ping":
+            await send({"type": "pong", "id": request_id,
+                        "version": PROTOCOL_VERSION})
+            return None
+        if op == "submit":
+            try:
+                spec = JobSpec.from_payload(message)
+            except ProtocolError as error:
+                await send(error_frame(request_id, str(error), "bad-request"))
+                return None
+            try:
+                job = self.queue.submit(spec)
+            except QueueFullError as error:
+                await send(error_frame(request_id, str(error), "backpressure"))
+                return None
+            # Subscribe before the first await so no frame can be missed.
+            subscription = job.subscribe()
+            await send(accepted_frame(
+                request_id, job.id,
+                position=self.queue.to_payload()["pending"],
+            ))
+            return asyncio.create_task(
+                self._pump(job, subscription, request_id, writer, write_lock)
+            )
+        if op == "status":
+            job = self.queue.job(str(message.get("job")))
+            if job is None:
+                await send(error_frame(request_id, "unknown job",
+                                       "unknown-job"))
+            else:
+                await send({"type": "status", "id": request_id,
+                            **job.to_payload()})
+            return None
+        if op == "cancel":
+            job_id = str(message.get("job"))
+            ok = self.queue.cancel(job_id)
+            await send({"type": "cancelled", "id": request_id,
+                        "job": job_id, "ok": ok})
+            return None
+        if op == "jobs":
+            await send({
+                "type": "jobs", "id": request_id,
+                "jobs": [job.to_payload() for job in self.queue.jobs()],
+            })
+            return None
+        if op == "server-stats":
+            await send({
+                "type": "server-stats", "id": request_id,
+                "version": PROTOCOL_VERSION,
+                "workers": self.workers,
+                "fork": self.use_fork,
+                "cache": self.cache.to_payload(),
+                "queue": self.queue.to_payload(),
+            })
+            return None
+        if op == "shutdown":
+            await send({"type": "bye", "id": request_id})
+            await self.shutdown()
+            return None
+        await send(error_frame(request_id, f"unknown op {op!r}", "bad-request"))
+        return None
+
+    async def _pump(
+        self,
+        job: Job,
+        subscription: asyncio.Queue,
+        request_id: Any,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        """Forward one job's frames to the submitting connection."""
+        try:
+            while True:
+                frame = await subscription.get()
+                if frame is None:
+                    break
+                await self._send(writer, write_lock,
+                                 {**frame, "id": request_id})
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            job.unsubscribe(subscription)
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        frame: dict[str, Any],
+    ) -> None:
+        async with write_lock:
+            writer.write(encode(frame))
+            await writer.drain()
+
+
+async def run_server(
+    host: str | None = None,
+    port: int | None = None,
+    unix_path: str | None = None,
+    workers: int = 2,
+    cache_capacity: int = 32,
+    max_pending: int = 256,
+    ready_callback=None,
+) -> None:
+    """Start a service and serve until shutdown (the ``pnut serve`` body)."""
+    service = SimulationService(
+        workers=workers,
+        cache_capacity=cache_capacity,
+        max_pending=max_pending,
+    )
+    address = await service.start(host=host, port=port, unix_path=unix_path)
+    if ready_callback is not None:
+        ready_callback(address)
+    await service.serve_forever()

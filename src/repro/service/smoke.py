@@ -1,0 +1,112 @@
+"""`make serve-smoke`: boot a real server, run the Figure-5 job, verify.
+
+The smoke path exercises the full deployment shape — a ``pnut serve``
+subprocess on a Unix socket, a client over the wire — and pins the
+result: the serialized trace of the paper's Figure-5 reference run
+(10 000 cycles, seed 1988) must hash to the recorded SHA-256, a warm
+resubmission must hit the compiled-net cache without recompiling, and
+the server must shut down cleanly on request.
+
+Run it directly::
+
+    python -m repro.service.smoke
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from ..lang.format import format_net
+from ..processor import build_pipeline_net
+from .client import ServiceClient
+
+#: The paper's reference run (benchmarks/conftest.py uses the same pair).
+PAPER_CYCLES = 10_000
+SEED = 1988
+
+#: SHA-256 of the serialized Figure-5 reference trace (header lines plus
+#: 11 559 event lines, one '\n' after each) as streamed by the service —
+#: byte-identical to ``pnut sim`` and ``write_trace`` output.
+REFERENCE_TRACE_SHA256 = (
+    "5caece3235a7134ef4a07ff978f88fdd5e540f255e0de06432f33c5ca2722835"
+)
+REFERENCE_EVENT_COUNT = 11_559
+
+
+def _fail(message: str) -> int:
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    net_source = format_net(build_pipeline_net())
+    with tempfile.TemporaryDirectory(prefix="pnut-smoke-") as tmp:
+        socket_path = str(Path(tmp) / "pnut.sock")
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--socket", socket_path, "--workers", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while not Path(socket_path).exists():
+                if server.poll() is not None or time.monotonic() > deadline:
+                    output = server.stdout.read() if server.stdout else ""
+                    return _fail(f"server did not come up:\n{output}")
+                time.sleep(0.05)
+
+            with ServiceClient(unix_path=socket_path, timeout=300.0) as client:
+                cold = client.submit(
+                    net_source, until=PAPER_CYCLES, seed=SEED,
+                    outputs=("stats", "trace"), collect_trace=False,
+                )
+                if cold.summary["trace_events"] != REFERENCE_EVENT_COUNT:
+                    return _fail(
+                        f"expected {REFERENCE_EVENT_COUNT} events, got "
+                        f"{cold.summary['trace_events']}"
+                    )
+                if cold.trace_sha256 != REFERENCE_TRACE_SHA256:
+                    return _fail(
+                        f"trace SHA-256 drifted: {cold.trace_sha256}"
+                    )
+                if cold.cached:
+                    return _fail("first submission reported a cache hit")
+
+                warm = client.submit(net_source, until=PAPER_CYCLES,
+                                     seed=SEED)
+                if not warm.cached:
+                    return _fail("warm submission missed the compiled-net "
+                                 "cache")
+                if warm.trace_sha256 != REFERENCE_TRACE_SHA256:
+                    return _fail("warm run trace diverged from the cold run")
+                counters = client.server_stats()["cache"]
+                if counters["misses"] != 1 or counters["hits"] < 1:
+                    return _fail(f"unexpected cache counters: {counters}")
+
+                client.shutdown()
+
+            try:
+                code = server.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                return _fail("server did not exit after shutdown")
+            if code != 0:
+                return _fail(f"server exited with status {code}")
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+    print(
+        "serve-smoke: OK "
+        f"(Figure-5 run: {REFERENCE_EVENT_COUNT} events, "
+        f"sha256={REFERENCE_TRACE_SHA256[:16]}..., cache hit on resubmit, "
+        "clean shutdown)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,10 @@ from .engine import Observer, SimulationResult, Simulator, simulate
 from .experiment import (
     Experiment,
     ExperimentResult,
+    ForkedTask,
     MetricSummary,
+    fork_available,
+    map_forked,
     summarize_metric,
 )
 
@@ -13,11 +16,14 @@ __all__ = [
     "CommandScript",
     "Experiment",
     "ExperimentResult",
+    "ForkedTask",
     "MetricSummary",
     "Observer",
     "SimulationResult",
     "Simulator",
     "execute_commands",
+    "fork_available",
+    "map_forked",
     "run_script_text",
     "simulate",
     "summarize_metric",

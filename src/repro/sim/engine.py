@@ -301,10 +301,109 @@ class Simulator:
         self._candidates: list[int] = []
         self._cum_weights: list[float] = []
 
+    # Attributes derived purely from the net: shared by reference between
+    # a skeleton and its forks (immutable tuples/dicts, or — for
+    # ``_group_memo`` — append-only caches of immutable entries).
+    _SKELETON_ATTRS = (
+        "net",
+        "_pnames",
+        "_tnames",
+        "_transitions",
+        "_freq",
+        "_predicates",
+        "_predicated",
+        "_predicated_ids",
+        "_has_action",
+        "_max_concurrent",
+        "_enabling_const",
+        "_firing_const",
+        "_in_arcs",
+        "_out_arcs",
+        "_inputs_dict",
+        "_outputs_dict",
+        "_consumers",
+        "_inhibited",
+        "_fire_arcs",
+        "_start_arcs",
+        "_group_of",
+        "_group_members",
+        "_member_bit",
+        "_group_memo",
+    )
+
     # -- public API ---------------------------------------------------------
 
     def header(self) -> TraceHeader:
         return TraceHeader(self.net.name, self.run_number, self.seed)
+
+    def fork(
+        self,
+        seed: int | None = None,
+        run_number: int = 1,
+        immediate_budget: int | None = None,
+        observers: tuple[Observer, ...] | list[Observer] = (),
+    ) -> "Simulator":
+        """Clone this (never-run) simulator as a fresh run over the same net.
+
+        The compiled static structure — arc tables, conflict groups,
+        frequencies, compiled predicates/actions and the conflict-draw
+        memo — is shared by reference; only the per-run mutable state
+        (marking, deficits, heap, RNG, environment) is reinitialized. A
+        fork therefore costs O(places + transitions) list copies instead
+        of the full arc-table compilation, yet its trace is bit-identical
+        to ``Simulator(net, seed=seed, ...)``. This is how a compiled-net
+        cache (:mod:`repro.service`) or a multi-run sweep amortizes one
+        skeleton across many runs.
+        """
+        if self._started:
+            raise SimulationError(
+                "fork() requires a pristine skeleton: this Simulator has "
+                "already run"
+            )
+        clone = object.__new__(Simulator)
+        for name in self._SKELETON_ATTRS:
+            setattr(clone, name, getattr(self, name))
+        clone.seed = seed
+        clone.run_number = run_number
+        clone.immediate_budget = (
+            self.immediate_budget if immediate_budget is None
+            else immediate_budget
+        )
+        clone.rng = random.Random(seed)
+        clone.env = clone.net.initial_environment(rng=clone.rng)
+        clone._observer_fns = tuple(
+            o.on_event if hasattr(o, "on_event") else o for o in observers
+        )
+        clone._time = 0.0
+        clone._heap = []
+        clone._heap_seq = 0
+        clone._trace_seq = 0
+        clone.events_started = 0
+        clone.events_finished = 0
+        clone._started = False
+        clone._keep_events = True
+        clone._out = []
+        # Pristine per-run state: tokens and deficits are still at their
+        # initial values on a never-run skeleton, so plain copies suffice.
+        clone._tokens = list(self._tokens)
+        clone._deficit = list(self._deficit)
+        n_trans = len(self._tnames)
+        n_groups = len(self._group_members)
+        clone._in_flight = [0] * n_trans
+        clone._enabled_since = [None] * n_trans
+        clone._ready_at = [None] * n_trans
+        clone._group_count = [0] * n_groups
+        clone._group_stale = [False] * n_groups
+        clone._group_cand = [[] for _ in range(n_groups)]
+        clone._group_cum = [[] for _ in range(n_groups)]
+        clone._active_groups = set()
+        clone._group_mask = [0] * n_groups
+        clone._startable = [False] * n_trans
+        clone._n_startable = 0
+        clone._draw_stale = True
+        clone._candidates = []
+        clone._cum_weights = []
+        return clone
 
     def stream(
         self, until: float | None = None, max_events: int | None = None

@@ -30,6 +30,128 @@ from .engine import SimulationResult, Simulator
 _Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
 
 
+# ---------------------------------------------------------------------------
+# Forked-worker machinery
+# ---------------------------------------------------------------------------
+#
+# Extracted from Experiment.run(workers=N) so other CPU-bound fan-outs —
+# notably the repro.service job workers — reuse the same primitive. Fork
+# semantics matter everywhere it is used: the net (with its arbitrary
+# predicate / action / delay callables) and any compiled-net cache are
+# inherited by memory image, never pickled; only results return through
+# the pipe.
+
+
+def fork_available() -> bool:
+    """True when the platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ForkedTask:
+    """One callable running in a forked child, messages streamed to the parent.
+
+    The child runs ``fn(*args, emit=emit)``; every ``emit(payload)`` call
+    arrives in the parent as ``("msg", payload)``, the return value as
+    ``("ok", value)`` and an exception as ``("error", traceback_text)``.
+    :meth:`next_message` blocks on the pipe, so drive it from a worker
+    thread when the parent must stay responsive (the service does).
+    """
+
+    def __init__(self, fn: Callable[..., Any], args: tuple = (),
+                 label: str = "forked worker") -> None:
+        self.label = label
+        ctx = multiprocessing.get_context("fork")
+        self._receiver, sender = ctx.Pipe(duplex=False)
+        self._process = ctx.Process(
+            target=self._child_main, args=(sender, fn, args)
+        )
+        self._process.start()
+        sender.close()
+
+    @staticmethod
+    def _child_main(sender, fn, args) -> None:
+        try:
+            value = fn(*args, emit=lambda payload: sender.send(("msg", payload)))
+            sender.send(("ok", value))
+        except BaseException:  # noqa: BLE001 - full traceback to parent
+            sender.send(("error", traceback.format_exc()))
+        finally:
+            sender.close()
+
+    def next_message(self) -> tuple[str, Any]:
+        """Receive the next ``(kind, payload)``; blocks until one arrives.
+
+        A child that dies without reporting (killed, crashed interpreter)
+        surfaces as an ``("error", ...)`` message rather than hanging.
+        """
+        try:
+            return self._receiver.recv()
+        except EOFError:
+            return ("error", f"{self.label} died without a result")
+
+    def join(self) -> None:
+        self._process.join()
+        self._receiver.close()
+
+    #: How long terminate() waits for SIGTERM before escalating. Kept
+    #: short: callers may invoke it from latency-sensitive contexts
+    #: (the service cancels jobs from its event loop).
+    TERMINATE_GRACE = 2.0
+
+    def terminate(self) -> None:
+        """Kill the child (job cancellation); safe to call repeatedly.
+
+        SIGTERM first, then SIGKILL after :data:`TERMINATE_GRACE` — a
+        child whose inherited net installed its own signal handlers (nets
+        carry arbitrary callables) cannot stall the caller. Every join is
+        bounded; final reaping happens in :meth:`join`. The receiver is
+        left open on purpose: a thread blocked in :meth:`next_message`
+        wakes with EOF once the child dies.
+        """
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=self.TERMINATE_GRACE)
+            if self._process.is_alive():
+                self._process.kill()
+        self._process.join(timeout=self.TERMINATE_GRACE)
+
+
+def map_forked(
+    fn: Callable[..., Any],
+    arg_tuples: Sequence[tuple],
+    labels: Sequence[str] | None = None,
+) -> list[Any]:
+    """Run ``fn(*args, emit=...)`` once per tuple, one forked child each.
+
+    Returns the children's values in input order; the first failure is
+    raised as ``RuntimeError`` after every child has been joined.
+    Streamed ``emit`` messages are discarded here — use :class:`ForkedTask`
+    directly when they matter.
+    """
+    tasks = [
+        ForkedTask(fn, args,
+                   label=labels[i] if labels else f"forked worker {i}")
+        for i, args in enumerate(arg_tuples)
+    ]
+    values: list[Any] = [None] * len(tasks)
+    failure: str | None = None
+    for i, task in enumerate(tasks):
+        while True:
+            kind, payload = task.next_message()
+            if kind == "msg":
+                continue
+            if kind == "ok":
+                values[i] = payload
+            elif failure is None:
+                failure = payload
+            break
+    for task in tasks:
+        task.join()
+    if failure is not None:
+        raise RuntimeError(f"forked worker failed:\n{failure}")
+    return values
+
+
 @dataclass(frozen=True)
 class MetricSummary:
     """Replication statistics for one scalar metric."""
@@ -182,7 +304,7 @@ class Experiment:
         if workers < 1:
             raise ValueError("need at least one worker")
         workers = min(workers, replications)
-        if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+        if workers > 1 and fork_available():
             pairs = self._run_forked(replications, workers, keep_events)
         else:
             pairs = [
@@ -204,54 +326,28 @@ class Experiment:
     ) -> list[tuple[SimulationResult, dict[str, float]]]:
         """Fan replications across forked worker processes.
 
-        Fork semantics matter: the net (with its arbitrary predicate /
-        action / delay callables) is inherited by memory image, never
-        pickled. Only the per-replication results return through a pipe.
+        Each worker takes a strided chunk of replication indices; the
+        chunks map over :func:`map_forked` and the parent reassembles
+        the (result, values) pairs in replication order.
         """
-        ctx = multiprocessing.get_context("fork")
-        chunks = [list(range(w, replications, workers)) for w in range(workers)]
-        children = []
-        for chunk in chunks:
-            if not chunk:
-                continue
-            receiver, sender = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=self._child_main, args=(sender, chunk, keep_events)
-            )
-            process.start()
-            sender.close()
-            children.append((process, receiver, chunk))
-
+        chunks = [
+            chunk for chunk in
+            (list(range(w, replications, workers)) for w in range(workers))
+            if chunk
+        ]
+        payloads = map_forked(
+            self._replicate_chunk,
+            [(chunk, keep_events) for chunk in chunks],
+            labels=[f"worker for replications {chunk}" for chunk in chunks],
+        )
         indexed: dict[int, tuple[SimulationResult, dict[str, float]]] = {}
-        failure: str | None = None
-        for process, receiver, chunk in children:
-            try:
-                status, payload = receiver.recv()
-            except EOFError:
-                status, payload = "error", (
-                    f"worker for replications {chunk} died without a result"
-                )
-            if status == "ok":
-                for index, result, values in payload:
-                    indexed[index] = (result, values)
-            elif failure is None:
-                failure = payload
-            receiver.close()
-        for process, _receiver, _chunk in children:
-            process.join()
-        if failure is not None:
-            raise RuntimeError(f"experiment worker failed:\n{failure}")
+        for payload in payloads:
+            for index, result, values in payload:
+                indexed[index] = (result, values)
         return [indexed[i] for i in range(replications)]
 
-    def _child_main(self, sender, indices, keep_events: bool) -> None:
-        """Worker entry point (runs in the forked child)."""
-        try:
-            payload = []
-            for index in indices:
-                result, values = self._replicate(index, keep_events)
-                payload.append((index, result, values))
-            sender.send(("ok", payload))
-        except BaseException:  # noqa: BLE001 - full traceback to parent
-            sender.send(("error", traceback.format_exc()))
-        finally:
-            sender.close()
+    def _replicate_chunk(self, indices, keep_events: bool, emit) -> list:
+        """Run one worker's chunk of replications (in the forked child)."""
+        return [
+            (index, *self._replicate(index, keep_events)) for index in indices
+        ]

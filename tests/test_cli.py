@@ -60,6 +60,54 @@ class TestSim:
         assert "F t" in out
 
 
+class TestSimStreaming:
+    """``pnut sim`` as a pure stream: net on stdin, trace on stdout,
+    seed-pinned byte equivalence with the library path (the service path
+    is pinned against both in tests/test_service.py)."""
+
+    def test_stdin_to_stdout_matches_library_bytes(self):
+        from repro.sim import simulate
+        from repro.trace.serialize import write_trace
+
+        net_text = format_net(build_pipeline_net())
+        code, out, _err = run_cli(
+            ["sim", "-", "--until", "400", "--seed", "5"],
+            stdin_text=net_text,
+        )
+        assert code == 0
+        result = simulate(build_pipeline_net(), until=400, seed=5)
+        buffer = io.StringIO()
+        write_trace(buffer, result.header, result.events)
+        assert out == buffer.getvalue()
+
+    def test_piped_trace_equals_streaming_observer_stats(self):
+        """CLI sim | CLI stat --json must equal the zero-materialization
+        library path (keep_events=False + StatisticsObserver), byte for
+        byte."""
+        from repro.analysis.report import canonical_json, statistics_payload
+        from repro.analysis.stat import StatisticsObserver
+        from repro.sim import simulate
+
+        net_text = format_net(build_pipeline_net())
+        code, trace_text, _err = run_cli(
+            ["sim", "-", "--until", "600", "--seed", "9"],
+            stdin_text=net_text,
+        )
+        assert code == 0
+        code, stat_json, _err = run_cli(["stat", "-", "--json"],
+                                        stdin_text=trace_text)
+        assert code == 0
+
+        observer = StatisticsObserver(run_number=1)
+        streamed = simulate(build_pipeline_net(), until=600, seed=9,
+                            observers=[observer], keep_events=False)
+        assert streamed.events == []
+        library_json = canonical_json(
+            statistics_payload(observer.result())
+        ) + "\n"
+        assert stat_json == library_json
+
+
 class TestStat:
     def test_report_sections(self, trace_file):
         code, out, _err = run_cli(["stat", trace_file])
@@ -72,6 +120,24 @@ class TestStat:
         code, out, _err = run_cli(["stat", trace_file, "--troff"])
         assert code == 0
         assert ".TS" in out
+
+    def test_json_mode_is_canonical(self, trace_file):
+        import json
+
+        from repro.analysis.report import canonical_json, statistics_payload
+        from repro.analysis.stat import compute_statistics
+        from repro.trace.serialize import read_trace
+
+        code, out, _err = run_cli(["stat", trace_file, "--json"])
+        assert code == 0
+        with open(trace_file) as handle:
+            header, events = read_trace(handle)
+            stats = compute_statistics(events, run_number=header.run_number)
+        assert out == canonical_json(statistics_payload(stats)) + "\n"
+        payload = json.loads(out)
+        assert payload["run"]["run_number"] == 1
+        assert "Issue" in payload["transitions"]
+        assert "Bus_busy" in payload["places"]
 
 
 class TestFilter:
@@ -121,6 +187,24 @@ class TestCheck:
         code, _out, err = run_cli(["check", trace_file, "forall s in ["])
         assert code == 2
         assert "pnut:" in err
+
+    def test_json_verdict(self, trace_file):
+        import json
+
+        code, out, _err = run_cli(
+            ["check", trace_file, "--json",
+             "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]"]
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["holds"] is True
+        assert payload["states_checked"] > 0
+
+        code, out, _err = run_cli(
+            ["check", trace_file, "--json", "forall s in S [ Bus_free(s) = 1 ]"]
+        )
+        assert code == 1
+        assert json.loads(out)["holds"] is False
 
 
 class TestReach:

@@ -1,0 +1,521 @@
+"""The simulation service: protocol, cache, queue, server, client.
+
+The heavyweight guarantee under test is *byte identity*: a job run behind
+``pnut serve`` must produce exactly the trace bytes and statistics JSON
+of the in-process `simulate()` / CLI path, while the compiled-net cache
+and forked worker pool only change *how fast* that answer arrives.
+"""
+
+import asyncio
+import io
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.analysis.report import canonical_json, statistics_payload
+from repro.analysis.stat import compute_statistics
+from repro.cli import main as cli_main
+from repro.lang.format import format_net
+from repro.lang.parser import canonical_net_source, parse_net
+from repro.processor import build_pipeline_net
+from repro.service import (
+    CompiledNetCache,
+    JobQueue,
+    JobSpec,
+    ProtocolError,
+    QueueFullError,
+    RemoteError,
+    ServerThread,
+    decode,
+    encode,
+)
+from repro.service.queue import Job, JobState
+from repro.sim import ForkedTask, Simulator, fork_available, map_forked, simulate
+from repro.trace.serialize import write_trace
+
+SMALL_NET = """\
+net smallco
+place a = 3
+place free = 1
+work [fire=2]: a + free -> free + done
+drain [fire=1]: done -> 0
+"""
+
+
+def small_spec(**overrides):
+    fields = dict(net_source=SMALL_NET, until=50.0, seed=7)
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        frame = {"op": "submit", "id": 3, "net": "place a = 1\n", "until": 5}
+        assert decode(encode(frame)) == frame
+
+    def test_decode_rejects_bad_json(self):
+        with pytest.raises(ProtocolError):
+            decode(b"{nope\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode(b"[1, 2]\n")
+
+    def test_spec_requires_a_stop_condition(self):
+        with pytest.raises(ProtocolError):
+            JobSpec(net_source=SMALL_NET)
+
+    def test_spec_rejects_unknown_outputs(self):
+        with pytest.raises(ProtocolError):
+            JobSpec(net_source=SMALL_NET, until=1, outputs=("waveform",))
+
+    def test_payload_round_trip(self):
+        spec = JobSpec(net_source=SMALL_NET, until=100.0, seed=3,
+                       run_number=2, outputs=("stats", "trace"), priority=5)
+        assert JobSpec.from_payload(spec.to_payload()) == spec
+
+    @pytest.mark.parametrize("payload", [
+        {},
+        {"net": 7, "until": 1},
+        {"net": "place a = 1", "until": "soon"},
+        {"net": "place a = 1", "until": 1, "seed": 1.5},
+        {"net": "place a = 1", "until": 1, "outputs": "stats"},
+        {"net": "place a = 1", "until": 1, "priority": "high"},
+    ])
+    def test_from_payload_validation(self, payload):
+        with pytest.raises(ProtocolError):
+            JobSpec.from_payload(payload)
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization + compiled-net cache
+# ---------------------------------------------------------------------------
+
+
+class TestCanonicalSource:
+    def test_formatting_variants_share_a_canonical_form(self):
+        noisy = "# a comment\n" + SMALL_NET.replace(
+            "work [fire=2]: a + free -> free + done",
+            "work   [fire=2]:  a+free ->   free + done  # inline",
+        )
+        assert canonical_net_source(noisy) == canonical_net_source(SMALL_NET)
+
+    def test_canonical_form_is_a_fixed_point(self):
+        canonical = canonical_net_source(SMALL_NET)
+        assert canonical_net_source(canonical) == canonical
+
+
+class TestCompiledNetCache:
+    def test_miss_then_raw_hit(self):
+        cache = CompiledNetCache()
+        entry, outcome = cache.lookup(SMALL_NET)
+        assert outcome == "miss"
+        again, outcome = cache.lookup(SMALL_NET)
+        assert outcome == "hit"
+        assert again is entry
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_reformatted_source_is_a_canonical_hit(self):
+        cache = CompiledNetCache()
+        entry, _ = cache.lookup(SMALL_NET)
+        variant = "# reformatted\n" + SMALL_NET
+        aliased, outcome = cache.lookup(variant)
+        assert outcome == "canonical_hit"
+        assert aliased is entry
+        # The alias is now warm: same bytes -> raw hit.
+        assert cache.lookup(variant)[1] == "hit"
+
+    def test_options_are_part_of_the_key(self):
+        cache = CompiledNetCache()
+        a, _ = cache.lookup(SMALL_NET, immediate_budget=10_000)
+        b, outcome = cache.lookup(SMALL_NET, immediate_budget=99)
+        assert outcome == "miss"
+        assert a is not b
+
+    def test_alias_growth_is_bounded(self):
+        cache = CompiledNetCache()
+        cache.lookup(SMALL_NET)
+        for i in range(3 * CompiledNetCache.MAX_ALIASES_PER_ENTRY):
+            cache.lookup(f"# variant {i}\n" + SMALL_NET)
+        assert len(cache) == 1
+        assert len(cache._raw_alias) <= CompiledNetCache.MAX_ALIASES_PER_ENTRY
+        # Evicted aliases recompile as canonical hits, never as misses.
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_drops_aliases(self):
+        cache = CompiledNetCache(capacity=1)
+        cache.lookup(SMALL_NET)
+        other = SMALL_NET.replace("smallco", "other")
+        cache.lookup(other)
+        assert cache.stats.evictions == 1
+        assert len(cache) == 1
+        # The evicted net recompiles rather than resolving a stale alias.
+        assert cache.lookup(SMALL_NET)[1] == "miss"
+
+    def test_forked_runs_are_bit_identical_to_fresh_construction(self):
+        cache = CompiledNetCache()
+        entry, _ = cache.lookup(SMALL_NET)
+        fresh = Simulator(parse_net(SMALL_NET), seed=11).run(until=200)
+        for _ in range(2):  # the template is reusable run after run
+            forked = entry.simulator(seed=11).run(until=200)
+            assert [repr(e) for e in forked.events] == [
+                repr(e) for e in fresh.events
+            ]
+
+    def test_template_stays_pristine(self):
+        cache = CompiledNetCache()
+        entry, _ = cache.lookup(SMALL_NET)
+        entry.simulator(seed=1).run(until=10)
+        assert not entry.template._started
+
+
+class TestSimulatorFork:
+    def test_fork_after_run_is_rejected(self):
+        sim = Simulator(parse_net(SMALL_NET), seed=1)
+        sim.run(until=10)
+        from repro.core.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            sim.fork(seed=2)
+
+    def test_fork_matches_figure5_reference(self):
+        net = build_pipeline_net()
+        direct = simulate(net, until=2_000, seed=1988)
+        forked = Simulator(net).fork(seed=1988).run(until=2_000)
+        assert [repr(e) for e in direct.events] == [
+            repr(e) for e in forked.events
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Forked-task machinery (extracted from Experiment)
+# ---------------------------------------------------------------------------
+
+
+def _child_streams(n, emit):
+    for i in range(n):
+        emit({"i": i})
+    return n * 10
+
+
+def _child_fails(emit):
+    raise ValueError("deliberate failure")
+
+
+def _child_hangs(emit):
+    emit("alive")
+    time.sleep(600)
+
+
+@pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+class TestForkedTask:
+    def test_streams_then_result(self):
+        task = ForkedTask(_child_streams, (3,))
+        messages = []
+        while True:
+            kind, payload = task.next_message()
+            if kind != "msg":
+                break
+            messages.append(payload)
+        assert messages == [{"i": 0}, {"i": 1}, {"i": 2}]
+        assert (kind, payload) == ("ok", 30)
+        task.join()
+
+    def test_map_forked_orders_and_raises(self):
+        assert map_forked(_child_streams, [(2,), (5,)]) == [20, 50]
+        with pytest.raises(RuntimeError, match="deliberate failure"):
+            map_forked(_child_fails, [()])
+
+    def test_terminate_surfaces_as_error(self):
+        task = ForkedTask(_child_hangs, (), label="hanging job")
+        assert task.next_message() == ("msg", "alive")
+        task.terminate()
+        kind, payload = task.next_message()
+        assert kind == "error"
+        assert "hanging job" in payload
+        task.join()
+
+
+# ---------------------------------------------------------------------------
+# Job queue
+# ---------------------------------------------------------------------------
+
+
+class TestJobQueue:
+    def run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_priority_then_fifo(self):
+        async def scenario():
+            queue = JobQueue()
+            low = queue.submit(small_spec(priority=0))
+            high = queue.submit(small_spec(priority=5))
+            mid_a = queue.submit(small_spec(priority=1))
+            mid_b = queue.submit(small_spec(priority=1))
+            order = [await queue.get() for _ in range(4)]
+            assert [job.id for job in order] == [
+                high.id, mid_a.id, mid_b.id, low.id,
+            ]
+
+        self.run(scenario())
+
+    def test_backpressure(self):
+        async def scenario():
+            queue = JobQueue(max_pending=2)
+            queue.submit(small_spec())
+            queue.submit(small_spec())
+            with pytest.raises(QueueFullError):
+                queue.submit(small_spec())
+            # Draining one admits one more.
+            await queue.get()
+            queue.submit(small_spec())
+
+        self.run(scenario())
+
+    def test_cancel_queued_job_is_skipped(self):
+        async def scenario():
+            queue = JobQueue()
+            first = queue.submit(small_spec())
+            second = queue.submit(small_spec())
+            assert queue.cancel(first.id)
+            got = await queue.get()
+            assert got.id == second.id
+            assert first.state is JobState.CANCELLED
+            assert queue.to_payload()["cancelled"] == 1
+
+        self.run(scenario())
+
+    def test_slow_consumer_is_dropped_with_a_verdict(self, monkeypatch):
+        """A subscriber that stops draining gets evicted after the
+        timeout — backlog cleared, terminal error + end marker in its
+        place — instead of buffering a whole trace server-side."""
+        monkeypatch.setattr(Job, "SLOW_CONSUMER_TIMEOUT", 0.05)
+
+        async def scenario():
+            queue = JobQueue()
+            job = queue.submit(small_spec(outputs=("trace",)))
+            subscription = job.subscribe()
+            for i in range(Job.SUBSCRIBER_BUFFER_FRAMES):
+                await job.publish_stream({"type": "trace", "lines": [str(i)]})
+            assert subscription.full()
+            await job.publish_stream({"type": "trace", "lines": ["overflow"]})
+            assert subscription not in job._subscribers
+            frames = []
+            while True:
+                frame = subscription.get_nowait()
+                frames.append(frame)
+                if frame is None:
+                    break
+            assert frames[-2]["code"] == "slow-consumer"
+            # Terminal publish to the remaining (zero) subscribers is a
+            # no-op, not an error.
+            job.publish(None)
+
+        asyncio.run(scenario())
+
+    def test_cancel_unknown_or_finished(self):
+        async def scenario():
+            queue = JobQueue()
+            job = queue.submit(small_spec())
+            await queue.get()
+            queue.finish(job, {"summary": {}}, None)
+            assert not queue.cancel(job.id)
+            assert not queue.cancel("j999")
+
+        self.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: server + client
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def server():
+    thread = ServerThread(workers=2)
+    yield thread
+    thread.stop()
+
+
+@pytest.fixture(scope="module")
+def pipeline_source():
+    return format_net(build_pipeline_net())
+
+
+def run_cli(args, stdin_text=None):
+    old_out, old_in = sys.stdout, sys.stdin
+    sys.stdout = io.StringIO()
+    if stdin_text is not None:
+        sys.stdin = io.StringIO(stdin_text)
+    try:
+        code = cli_main(args)
+        return code, sys.stdout.getvalue()
+    finally:
+        sys.stdout, sys.stdin = old_out, old_in
+
+
+class TestServerEndToEnd:
+    def test_ping(self, server):
+        with server.client() as client:
+            assert client.ping()["type"] == "pong"
+
+    def test_stats_byte_identical_to_in_process(self, server,
+                                                pipeline_source):
+        with server.client() as client:
+            result = client.submit(pipeline_source, until=2_000, seed=1988)
+        local = simulate(build_pipeline_net(), until=2_000, seed=1988)
+        expected = canonical_json(
+            statistics_payload(compute_statistics(local.events))
+        )
+        assert result.stats_json() == expected
+        assert result.summary["events_started"] == local.events_started
+
+    def test_trace_byte_identical_to_cli_and_library(self, server,
+                                                     pipeline_source):
+        with server.client() as client:
+            result = client.submit(
+                pipeline_source, until=400, seed=5,
+                outputs=("trace",), collect_trace=True,
+            )
+        service_text = "\n".join(result.trace_lines) + "\n"
+
+        local = simulate(build_pipeline_net(), until=400, seed=5)
+        buffer = io.StringIO()
+        write_trace(buffer, local.header, local.events)
+        assert service_text == buffer.getvalue()
+
+        code, cli_text = run_cli(
+            ["sim", "-", "--until", "400", "--seed", "5"],
+            stdin_text=pipeline_source,
+        )
+        assert code == 0
+        assert service_text == cli_text
+
+    def test_warm_submission_hits_cache(self, server, pipeline_source):
+        with server.client() as client:
+            before = client.server_stats()["cache"]
+            first = client.submit(pipeline_source, until=100, seed=1)
+            warm = client.submit(pipeline_source, until=150, seed=2)
+            after = client.server_stats()["cache"]
+        assert warm.cached
+        assert after["hits"] > before["hits"]
+        # The model was already compiled by earlier tests in this module,
+        # so no new compile happened at all.
+        assert after["misses"] == before["misses"]
+        assert first.summary["cache_key"] == warm.summary["cache_key"]
+
+    def test_parse_error_is_reported(self, server):
+        with server.client() as client:
+            with pytest.raises(RemoteError) as excinfo:
+                client.submit("this is : not a net ->", until=10)
+        assert excinfo.value.code == "net-error"
+
+    def test_unknown_op_and_job(self, server):
+        with server.client() as client:
+            client._request("frobnicate")
+            with pytest.raises(RemoteError) as excinfo:
+                client._wait(client._next_id)
+            assert excinfo.value.code == "bad-request"
+            with pytest.raises(RemoteError) as excinfo:
+                client.status("j31337")
+            assert excinfo.value.code == "unknown-job"
+
+    def test_jobs_listing_and_status(self, server, pipeline_source):
+        with server.client() as client:
+            result = client.submit(pipeline_source, until=50, seed=3)
+            records = {record["job"]: record for record in client.jobs()}
+            assert records[result.job_id]["state"] == "done"
+            status = client.status(result.job_id)
+            assert status["state"] == "done"
+            assert status["seed"] == 3
+
+    def test_seed_variation_changes_the_trace(self, server, pipeline_source):
+        with server.client() as client:
+            a = client.submit(pipeline_source, until=300, seed=1)
+            b = client.submit(pipeline_source, until=300, seed=2)
+        assert a.trace_sha256 != b.trace_sha256
+
+
+@pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+class TestCancellationAndBackpressure:
+    def test_running_and_queued_jobs_cancel(self):
+        thread = ServerThread(workers=1, max_pending=1)
+        try:
+            with thread.client() as client:
+                # Worker busy with a very long job, one more queued: the
+                # next submission bounces off the backpressure bound.
+                running = client.submit_nowait(
+                    format_net(build_pipeline_net()),
+                    until=50_000_000, seed=1,
+                )
+                deadline = time.monotonic() + 10
+                while client.status(running)["state"] != "running":
+                    assert time.monotonic() < deadline
+                    time.sleep(0.02)
+                queued = client.submit_nowait(SMALL_NET, until=10_000_000)
+                with pytest.raises(RemoteError) as excinfo:
+                    client.submit_nowait(SMALL_NET, until=10)
+                assert excinfo.value.code == "backpressure"
+
+                assert client.cancel(queued)
+                assert client.cancel(running)
+                deadline = time.monotonic() + 15
+                while client.status(running)["state"] != "cancelled":
+                    assert time.monotonic() < deadline
+                    time.sleep(0.05)
+                assert client.status(queued)["state"] == "cancelled"
+                stats = client.server_stats()["queue"]
+                assert stats["cancelled"] == 2
+                # The worker survives: a fresh job still completes.
+                ok = client.submit(SMALL_NET, until=50, seed=1)
+                assert ok.summary["events_started"] > 0
+        finally:
+            thread.stop()
+
+    def test_cancel_unblocks_a_waiting_submit(self):
+        """A client blocked in submit() on a queued job must get a
+        'cancelled' verdict, not a socket timeout."""
+        thread = ServerThread(workers=1)
+        outcome = {}
+        try:
+            with thread.client() as control:
+                running = control.submit_nowait(
+                    format_net(build_pipeline_net()),
+                    until=50_000_000, seed=1,
+                )
+                deadline = time.monotonic() + 10
+                while control.status(running)["state"] != "running":
+                    assert time.monotonic() < deadline
+                    time.sleep(0.02)
+
+                def blocked_submit():
+                    try:
+                        with thread.client(timeout=30) as waiter:
+                            waiter.submit(SMALL_NET, until=10)
+                    except RemoteError as error:
+                        outcome["code"] = error.code
+
+                submitter = threading.Thread(target=blocked_submit)
+                submitter.start()
+                deadline = time.monotonic() + 10
+                queued_id = None
+                while queued_id is None:
+                    assert time.monotonic() < deadline
+                    queued_id = next(
+                        (record["job"] for record in control.jobs()
+                         if record["state"] == "queued"), None,
+                    ) or (time.sleep(0.02) or None)
+                assert control.cancel(queued_id)
+                submitter.join(timeout=10)
+                assert not submitter.is_alive()
+                assert outcome.get("code") == "cancelled"
+                control.cancel(running)
+        finally:
+            thread.stop()
