@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-co test-all serve-smoke
+.PHONY: test bench bench-co test-all serve-smoke lint
 
 ## tier-1: the unit/integration suite plus benchmarks (the repo gate),
 ## then the end-to-end service smoke (real `pnut serve` subprocess)
@@ -22,9 +22,15 @@ serve-smoke:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-## smoke check: benchmarks must at least collect cleanly
+## smoke check: benchmarks must collect cleanly and the perf-trajectory
+## file (BENCH_engine.json) must satisfy its schema
 bench-co:
 	$(PYTHON) -m pytest benchmarks -q --co
+	$(PYTHON) -m pytest benchmarks/test_bench_schema.py -q
+
+## static checks (ruff, pinned in requirements-dev.txt; config ruff.toml)
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples setup.py
 
 ## unit tests, then the benchmark collection smoke check
 test-all: bench-co

@@ -8,7 +8,6 @@ prefetches - stage 2 waits longer for operands and the instruction rate
 drops, while prefetch traffic (now unthrottled) rises.
 """
 
-import pytest
 
 from conftest import SEED, pipeline_stats
 

@@ -7,7 +7,6 @@ should grow with memory latency (the shared bus is the bottleneck being
 relieved).
 """
 
-import pytest
 
 from conftest import SEED
 

@@ -9,7 +9,7 @@ simulate -> trace -> stat.
 
 import pytest
 
-from conftest import PAPER_CYCLES, PAPER_FIGURE5, SEED, pipeline_stats
+from conftest import PAPER_FIGURE5, SEED, pipeline_stats
 
 from repro.analysis.report import full_report
 from repro.processor import FIGURE5_PLACES, figure5_transition_order

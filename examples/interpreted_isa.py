@@ -62,7 +62,7 @@ def main() -> None:
     extra_words = stats.transitions["get_extra_word"].ends
     operand_fetches = stats.transitions["end_fetch"].ends
     stores = stats.transitions["do_store"].ends
-    print(f"\nper-instruction realizations vs ISA-table expectations:")
+    print("\nper-instruction realizations vs ISA-table expectations:")
     print(f"  extra words:    {extra_words / issues:.3f} "
           f"(expected {isa.expected('extra_words'):.3f})")
     print(f"  memory operands: {operand_fetches / issues:.3f} "

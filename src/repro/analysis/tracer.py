@@ -94,7 +94,6 @@ class Signal:
         spans: list[tuple[float, float]] = []
         open_start: float | None = None
         for i, value in enumerate(self.values):
-            upper = self.times[i + 1] if i + 1 < len(self.times) else self.end_time
             if predicate(value):
                 if open_start is None:
                     open_start = self.times[i]
@@ -102,7 +101,6 @@ class Signal:
                 if open_start is not None:
                     spans.append((open_start, self.times[i]))
                     open_start = None
-            del upper
         if open_start is not None:
             spans.append((open_start, self.end_time))
         return spans

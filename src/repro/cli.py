@@ -24,6 +24,12 @@ The same workflow also runs against a long-lived simulation service
     pnut submit net.pn --until 10000 --seed 1988 --socket /tmp/pnut.sock
     pnut submit net.pn --until 10000 --seed 1988 --trace --socket /tmp/pnut.sock
     pnut jobs --socket /tmp/pnut.sock
+
+Multi-seed statistics sweeps share one compiled net across the whole
+seed grid (in-process, or as a single service job with --socket/--port)::
+
+    pnut sweep net.pn --until 10000 --seeds 1..32 --workers 4
+    pnut sweep net.pn --until 10000 --seeds 1..32 --socket /tmp/pnut.sock
 """
 
 from __future__ import annotations
@@ -69,6 +75,31 @@ def _split_names(value: str | None) -> list[str] | None:
     if value is None:
         return None
     return [name.strip() for name in value.split(",") if name.strip()]
+
+
+def parse_seed_grid(text: str) -> list[int]:
+    """Parse a seed grid: ``1..32``, ``1,2,7``, or a mix (``1..4,9``)."""
+    seeds: list[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            if ".." in part:
+                low_text, high_text = part.split("..", 1)
+                low, high = int(low_text), int(high_text)
+                if high < low:
+                    raise ValueError
+                seeds.extend(range(low, high + 1))
+            else:
+                seeds.append(int(part))
+        except ValueError:
+            raise ValueError(
+                f"bad seed grid {text!r}: use N, N..M, or a comma list"
+            ) from None
+    if not seeds:
+        raise ValueError(f"bad seed grid {text!r}: no seeds")
+    return seeds
 
 
 # ---------------------------------------------------------------------------
@@ -292,6 +323,84 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Vectorized multi-seed sweep: one compiled net, a seed grid.
+
+    Runs in-process by default (one forked-``Simulator`` skeleton shared
+    across the grid); with ``--socket``/``--port`` the same grid travels
+    to a pnut server as **one** sweep frame. Both paths print identical
+    bytes: one canonical-JSON line per seed (each byte-identical to what
+    ``pnut sim`` + ``pnut stat --json`` report for that seed alone),
+    then one aggregates line with cross-run mean/CI summaries.
+    """
+    try:
+        seeds = parse_seed_grid(args.seeds)
+    except ValueError as error:
+        print(f"pnut sweep: {error}", file=sys.stderr)
+        return 2
+    with _open_text(args.net) as handle:
+        net_source = handle.read()
+
+    if args.socket or args.port is not None:
+        client = _service_client(args)
+        if client is None:
+            return 2
+        with client:
+            outcome = client.sweep(
+                net_source,
+                seeds,
+                until=args.until,
+                max_events=args.max_events,
+                run_number=args.run,
+                priority=args.priority,
+            )
+        run_payloads = outcome.runs
+        n_runs = outcome.summary["runs"]
+        runs_sha256 = outcome.runs_sha256
+        aggregates = outcome.aggregates
+        origin = f"{outcome.job_id} " \
+                 f"{'cache-hit' if outcome.cached else 'cold'}"
+    else:
+        from .sim.sweep import run_sweep
+
+        net = parse_net(net_source)
+        try:
+            result = run_sweep(
+                Simulator(net),
+                seeds,
+                until=args.until,
+                max_events=args.max_events,
+                run_number=args.run,
+                workers=args.workers,
+            )
+        except (ValueError, RuntimeError) as error:
+            # Bad driver arguments (workers=0, missing --until) or a
+            # forked sweep-worker failure: report like every other CLI
+            # error instead of a raw traceback.
+            print(f"pnut sweep: {error}", file=sys.stderr)
+            return 2
+        run_payloads = [run.to_payload() for run in result.runs]
+        n_runs = len(result.runs)
+        runs_sha256 = result.runs_sha256()
+        aggregates = result.aggregates_payload()
+        origin = "in-process"
+
+    for payload in run_payloads:
+        print(canonical_json({"kind": "run", **payload}))
+    print(canonical_json({
+        "kind": "aggregates",
+        "runs": n_runs,
+        "runs_sha256": runs_sha256,
+        "metrics": aggregates,
+    }))
+    print(
+        f"pnut sweep: {origin} runs={n_runs} "
+        f"runs_sha256={runs_sha256}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_jobs(args: argparse.Namespace) -> int:
     client = _service_client(args)
     if client is None:
@@ -419,6 +528,23 @@ def build_parser() -> argparse.ArgumentParser:
                                "Figure-5 statistics JSON")
     _add_endpoint_arguments(p_submit)
     p_submit.set_defaults(fn=cmd_submit)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="vectorized multi-seed sweep (one compiled net, "
+                      "a seed grid; add --socket/--port to run it on a "
+                      "pnut server as one job)")
+    p_sweep.add_argument("net", help="net description file (- for stdin)")
+    p_sweep.add_argument("--seeds", required=True,
+                         help="seed grid: N, N..M, or a comma list (1..32)")
+    p_sweep.add_argument("--until", type=float, default=None)
+    p_sweep.add_argument("--max-events", type=int, default=None)
+    p_sweep.add_argument("--run", type=int, default=1)
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="forked sweep workers (in-process path only)")
+    p_sweep.add_argument("--priority", type=int, default=0,
+                         help="queue priority (service path only)")
+    _add_endpoint_arguments(p_sweep)
+    p_sweep.set_defaults(fn=cmd_sweep)
 
     p_jobs = sub.add_parser("jobs", help="list a pnut server's jobs")
     p_jobs.add_argument("--server-stats", action="store_true",

@@ -76,7 +76,7 @@ def validate_net(net: PetriNet) -> ValidationReport:
         inhibitors = net.inhibitors_of(tname)
         if not inputs and not outputs and not inhibitors:
             add(Diagnostic(Severity.ERROR, "T-ISOLATED",
-                           f"transition has no arcs", tname))
+                           "transition has no arcs", tname))
         if not inputs and not inhibitors:
             add(Diagnostic(Severity.WARNING, "T-SOURCE",
                            "transition has no pre-conditions; it is a token "

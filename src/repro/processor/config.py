@@ -21,7 +21,7 @@ the model-building code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..core.errors import NetDefinitionError
 

@@ -9,7 +9,7 @@ branching-time temporal-logic checker (:mod:`repro.reachability.ctl`).
 
 from __future__ import annotations
 
-from collections.abc import Callable, Hashable, Iterable, Iterator
+from collections.abc import Callable, Hashable, Iterator
 from dataclasses import dataclass, field
 
 

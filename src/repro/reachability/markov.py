@@ -22,15 +22,14 @@ implement the same semantics through entirely different code paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.errors import ReachabilityError
-from ..core.marking import Marking
 from ..core.net import PetriNet
 from .graph import ReachabilityGraph
-from .timed import ADVANCE, TimedExplorer, TimedState, build_timed_graph
+from .timed import ADVANCE, TimedState, build_timed_graph
 
 
 @dataclass(frozen=True)

@@ -21,9 +21,16 @@ clients over one process:
 """
 
 from .cache import CompiledNet, CompiledNetCache
-from .client import JobResult, RemoteError, ServiceClient
+from .client import JobResult, RemoteError, ServiceClient, SweepOutcome
 from .harness import ServerThread
-from .protocol import JobSpec, ProtocolError, ServiceError, decode, encode
+from .protocol import (
+    JobSpec,
+    ProtocolError,
+    ServiceError,
+    SweepSpec,
+    decode,
+    encode,
+)
 from .queue import Job, JobQueue, JobState, QueueFullError
 from .server import SimulationService, run_server
 
@@ -42,6 +49,8 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "SimulationService",
+    "SweepOutcome",
+    "SweepSpec",
     "decode",
     "encode",
     "run_server",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..analysis.report import canonical_json
-from .protocol import JobSpec, ServiceError, decode, encode
+from .protocol import JobSpec, ServiceError, SweepSpec, decode, encode
 
 
 class RemoteError(ServiceError):
@@ -45,6 +45,37 @@ class JobResult:
         if self.stats is None:
             raise ServiceError("job was submitted without the 'stats' output")
         return canonical_json(self.stats)
+
+
+@dataclass
+class SweepOutcome:
+    """A completed multi-seed sweep as seen by the client.
+
+    ``runs`` holds one payload per seed in submission order — each is
+    exactly the summary an individual submission of that seed would
+    report (``stats`` dict, ``trace_sha256``); ``aggregates`` carries
+    the server-computed cross-run mean/CI summaries.
+    """
+
+    job_id: str
+    cached: bool
+    summary: dict[str, Any]
+    aggregates: dict[str, Any]
+    runs: list[dict[str, Any]]
+
+    @property
+    def runs_sha256(self) -> str:
+        return self.summary["runs_sha256"]
+
+    def run_stats_json(self, index: int) -> str:
+        """Canonical JSON of one run's statistics — byte-comparable with
+        ``pnut stat --json`` over the same seed's standalone run."""
+        stats = self.runs[index].get("stats")
+        if stats is None:
+            raise ServiceError(
+                "sweep was submitted without the 'stats' output"
+            )
+        return canonical_json(stats)
 
 
 class ServiceClient:
@@ -182,6 +213,79 @@ class ServiceClient:
                 raise ServiceError(
                     f"unexpected frame {kind!r} while waiting for {job_id}"
                 )
+
+    def sweep(
+        self,
+        net_source: str,
+        seeds: tuple[int, ...] | list[int],
+        until: float | None = None,
+        max_events: int | None = None,
+        run_number: int = 1,
+        outputs: tuple[str, ...] = ("stats",),
+        priority: int = 0,
+        on_run: Callable[[int, dict[str, Any]], None] | None = None,
+    ) -> SweepOutcome:
+        """Submit one sweep frame for N seeds, block until its result.
+
+        Per-seed summaries stream through ``on_run(index, run_payload)``
+        as the server completes them and always accumulate in
+        :attr:`SweepOutcome.runs` (reassembled in submission order even
+        if frames interleave).
+        """
+        spec = SweepSpec(
+            net_source=net_source,
+            seeds=tuple(seeds),
+            until=until,
+            max_events=max_events,
+            run_number=run_number,
+            outputs=tuple(outputs),
+            priority=priority,
+        )
+        request_id = self._request("sweep", **spec.to_payload())
+        accepted = self._wait(request_id)
+        if accepted.get("type") != "accepted":
+            raise ServiceError(f"expected accepted frame, got {accepted!r}")
+        job_id = accepted["job"]
+        runs: dict[int, dict[str, Any]] = {}
+        while True:
+            frame = self._wait(request_id)
+            kind = frame.get("type")
+            if kind == "sweep-run":
+                index = frame["index"]
+                runs[index] = frame["run"]
+                if on_run is not None:
+                    on_run(index, frame["run"])
+            elif kind == "result":
+                missing = [i for i in range(len(spec.seeds)) if i not in runs]
+                if missing:
+                    raise ServiceError(
+                        f"sweep {job_id} finished without runs {missing}"
+                    )
+                return SweepOutcome(
+                    job_id=job_id,
+                    cached=bool(frame.get("cached")),
+                    summary=frame.get("summary", {}),
+                    aggregates=frame.get("aggregates", {}),
+                    runs=[runs[i] for i in range(len(spec.seeds))],
+                )
+            else:
+                raise ServiceError(
+                    f"unexpected frame {kind!r} while waiting for {job_id}"
+                )
+
+    def sweep_nowait(self, net_source: str, seeds, **kwargs: Any) -> str:
+        """Fire-and-forget sweep submission; returns the job id.
+
+        Like :meth:`submit_nowait`: poll :meth:`status` / :meth:`jobs`
+        to observe completion — used for queue-management flows
+        (cancelling a running sweep mid-grid).
+        """
+        spec = SweepSpec(net_source=net_source, seeds=tuple(seeds), **kwargs)
+        request_id = self._request("sweep", **spec.to_payload())
+        accepted = self._wait(request_id)
+        if accepted.get("type") != "accepted":
+            raise ServiceError(f"expected accepted frame, got {accepted!r}")
+        return accepted["job"]
 
     def submit_nowait(self, net_source: str, **kwargs: Any) -> str:
         """Fire-and-forget submission; returns the job id.

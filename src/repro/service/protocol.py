@@ -9,12 +9,14 @@ response for that request::
 
     {"op": "submit", "id": 1, "net": "...", "until": 10000, "seed": 1988,
      "outputs": ["stats", "trace"], "priority": 0}
-    {"op": "status", "id": 2, "job": "j1"}
-    {"op": "cancel", "id": 3, "job": "j1"}
-    {"op": "jobs", "id": 4}
-    {"op": "server-stats", "id": 5}
-    {"op": "ping", "id": 6}
-    {"op": "shutdown", "id": 7}
+    {"op": "sweep", "id": 2, "net": "...", "until": 10000,
+     "seeds": [1, 2, 3], "outputs": ["stats"], "priority": 0}
+    {"op": "status", "id": 3, "job": "j1"}
+    {"op": "cancel", "id": 4, "job": "j1"}
+    {"op": "jobs", "id": 5}
+    {"op": "server-stats", "id": 6}
+    {"op": "ping", "id": 7}
+    {"op": "shutdown", "id": 8}
 
 A ``submit`` answers ``{"type": "accepted", "job": "j1", ...}``, then —
 for subscribed outputs — streams ``{"type": "trace", "lines": [...]}``
@@ -23,12 +25,19 @@ batches as the forked worker produces them, and finishes with one
 inside results are rendered with
 :func:`repro.analysis.report.canonical_json`, byte-comparable with
 ``pnut stat --json``.
+
+A ``sweep`` is **one frame for N seeds** and travels the queue as one
+schedulable, cancellable job: after ``accepted`` the server streams one
+``{"type": "sweep-run", "index": i, "run": {...}}`` frame per completed
+seed (each ``run`` payload carries the same statistics dict and trace
+SHA-256 an individual ``submit`` of that seed would report) and
+finishes with a ``result`` frame holding the cross-run aggregates.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from ..core.errors import PnutError
@@ -51,6 +60,15 @@ VALID_OUTPUTS = ("stats", "trace")
 #: Trace lines are batched into frames of this many lines so the full
 #: trace is never materialized server-side (streaming granularity).
 TRACE_BATCH_LINES = 512
+
+#: Result channels a sweep may subscribe to. Traces are deliberately
+#: not streamable per sweep run — each run's summary pins its trace by
+#: SHA-256 instead; replay a seed through ``submit`` to see the bytes.
+VALID_SWEEP_OUTPUTS = ("stats",)
+
+#: Hard bound on seeds per sweep frame: one frame is one queue entry,
+#: so an absurd grid must be rejected up front, not scheduled.
+MAX_SWEEP_SEEDS = 4096
 
 
 def encode(message: dict[str, Any]) -> bytes:
@@ -156,6 +174,101 @@ class JobSpec:
         return payload
 
 
+@dataclass(frozen=True)
+class SweepSpec:
+    """One vectorized multi-seed sweep, as carried on the wire.
+
+    The seed grid shares one compiled net (and one forked ``Simulator``
+    skeleton) server-side; every run is pinned by its seed exactly as a
+    :class:`JobSpec` run would be, so per-seed results replay
+    bit-identically against N individual submissions. ``run_number``
+    applies to every run (default 1, matching a standalone
+    ``pnut sim``).
+    """
+
+    net_source: str
+    seeds: tuple[int, ...] = ()
+    until: float | None = None
+    max_events: int | None = None
+    run_number: int = 1
+    outputs: tuple[str, ...] = ("stats",)
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.until is None and self.max_events is None:
+            raise ProtocolError("sweep needs until=, max_events=, or both")
+        if self.until is not None:
+            # The wire carries `until` as a float; normalizing here makes
+            # a client-built spec identical to the server's reconstruction
+            # (and so per-run payloads byte-identical across paths).
+            object.__setattr__(self, "until", float(self.until))
+        if not self.seeds:
+            raise ProtocolError("sweep needs at least one seed")
+        if len(self.seeds) > MAX_SWEEP_SEEDS:
+            raise ProtocolError(
+                f"sweep of {len(self.seeds)} seeds exceeds the per-frame "
+                f"bound of {MAX_SWEEP_SEEDS}"
+            )
+        if not all(isinstance(seed, int) and not isinstance(seed, bool)
+                   for seed in self.seeds):
+            raise ProtocolError("sweep seeds must be integers")
+        bad = [o for o in self.outputs if o not in VALID_SWEEP_OUTPUTS]
+        if bad:
+            raise ProtocolError(
+                f"unknown sweep outputs {bad}; valid: "
+                f"{list(VALID_SWEEP_OUTPUTS)}"
+            )
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "SweepSpec":
+        net_source = _require(payload, "net", str, "the net source text")
+        seeds = payload.get("seeds")
+        if not isinstance(seeds, list):
+            raise ProtocolError("'seeds' must be a list of integers")
+        until = payload.get("until")
+        if until is not None and not isinstance(until, (int, float)):
+            raise ProtocolError("'until' must be a number")
+        max_events = payload.get("max_events")
+        if max_events is not None and not isinstance(max_events, int):
+            raise ProtocolError("'max_events' must be an integer")
+        run_number = payload.get("run", 1)
+        if not isinstance(run_number, int):
+            raise ProtocolError("'run' must be an integer")
+        outputs = payload.get("outputs", ["stats"])
+        if not isinstance(outputs, list) or not all(
+            isinstance(o, str) for o in outputs
+        ):
+            raise ProtocolError("'outputs' must be a list of channel names")
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int):
+            raise ProtocolError("'priority' must be an integer")
+        return cls(
+            net_source=net_source,
+            seeds=tuple(seeds),
+            until=float(until) if until is not None else None,
+            max_events=max_events,
+            run_number=run_number,
+            outputs=tuple(outputs),
+            priority=priority,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "net": self.net_source,
+            "seeds": list(self.seeds),
+        }
+        if self.until is not None:
+            payload["until"] = self.until
+        if self.max_events is not None:
+            payload["max_events"] = self.max_events
+        if self.run_number != 1:
+            payload["run"] = self.run_number
+        payload["outputs"] = list(self.outputs)
+        if self.priority:
+            payload["priority"] = self.priority
+        return payload
+
+
 # ---------------------------------------------------------------------------
 # Response frame constructors (server side; the client pattern-matches on
 # the ``type`` field).
@@ -183,6 +296,14 @@ def accepted_frame(request_id: Any, job_id: str,
 def trace_frame(request_id: Any, job_id: str,
                 lines: list[str]) -> dict[str, Any]:
     return {"type": "trace", "id": request_id, "job": job_id, "lines": lines}
+
+
+def sweep_run_frame(request_id: Any, job_id: str, index: int,
+                    run: dict[str, Any]) -> dict[str, Any]:
+    return {
+        "type": "sweep-run", "id": request_id, "job": job_id,
+        "index": index, "run": run,
+    }
 
 
 def result_frame(request_id: Any, job_id: str,

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Any, Callable
 
-from .protocol import JobSpec, ServiceError
+from .protocol import JobSpec, ServiceError, SweepSpec
 
 
 class QueueFullError(ServiceError):
@@ -57,7 +57,7 @@ class Job:
     SLOW_CONSUMER_TIMEOUT = 30.0
 
     id: str
-    spec: JobSpec
+    spec: JobSpec | SweepSpec
     seq: int
     state: JobState = JobState.QUEUED
     cached: bool = False
@@ -135,10 +135,15 @@ class Job:
             "job": self.id,
             "state": self.state.value,
             "priority": self.spec.priority,
-            "seed": self.spec.seed,
             "cached": self.cached,
             "submitted_at": self.submitted_at,
         }
+        # One-run jobs report their seed; sweep jobs report the grid
+        # size (one queue entry covers the whole grid).
+        if isinstance(self.spec, SweepSpec):
+            payload["runs"] = len(self.spec.seeds)
+        else:
+            payload["seed"] = self.spec.seed
         if self.started_at is not None:
             payload["started_at"] = self.started_at
         if self.finished_at is not None:
@@ -178,7 +183,7 @@ class JobQueue:
 
     # -- submission / retrieval -------------------------------------------
 
-    def submit(self, spec: JobSpec) -> Job:
+    def submit(self, spec: JobSpec | SweepSpec) -> Job:
         if self._pending >= self.max_pending:
             raise QueueFullError(
                 f"queue full: {self._pending} pending jobs "

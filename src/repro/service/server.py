@@ -25,6 +25,7 @@ from ..analysis.report import statistics_payload
 from ..analysis.stat import StatisticsObserver
 from ..core.errors import PnutError
 from ..sim.experiment import ForkedTask, fork_available
+from ..sim.sweep import run_sweep
 from ..trace.events import TraceHeader
 from ..trace.serialize import format_event, format_header
 from .cache import CompiledNet, CompiledNetCache
@@ -33,6 +34,7 @@ from .protocol import (
     TRACE_BATCH_LINES,
     JobSpec,
     ProtocolError,
+    SweepSpec,
     accepted_frame,
     decode,
     encode,
@@ -114,6 +116,50 @@ def execute_job(compiled: CompiledNet, spec: JobSpec, emit) -> dict[str, Any]:
     if stats_observer is not None:
         payload["stats"] = statistics_payload(stats_observer.result())
     return payload
+
+
+def execute_sweep_job(compiled: CompiledNet, spec: SweepSpec,
+                      emit) -> dict[str, Any]:
+    """Run one sweep job — the whole seed grid — to completion.
+
+    Runs inside a single forked child (one cancellable job, one cache
+    lookup, one fork of the compiled skeleton per *run* rather than one
+    job per seed), streaming one summary per completed seed through
+    ``emit``. Each per-run payload is exactly what an individual
+    ``submit`` of that seed would have reported (same statistics dict,
+    same trace SHA-256); the returned result frame body adds the
+    cross-run mean/CI aggregates.
+    """
+    want_stats = "stats" in spec.outputs
+
+    def on_run(index: int, summary) -> None:
+        emit({
+            "channel": "sweep-run", "index": index,
+            "run": summary.to_payload(),
+        })
+
+    result = run_sweep(
+        compiled.template,
+        spec.seeds,
+        until=spec.until,
+        max_events=spec.max_events,
+        run_number=spec.run_number,
+        workers=1,
+        want_stats=want_stats,
+        on_run=on_run,
+    )
+    return {
+        "summary": {
+            "net": compiled.net.name,
+            "runs": len(result.runs),
+            "seeds": list(spec.seeds),
+            "events_started": sum(r.events_started for r in result.runs),
+            "events_finished": sum(r.events_finished for r in result.runs),
+            "runs_sha256": result.runs_sha256(),
+            "cache_key": compiled.key,
+        },
+        "aggregates": result.aggregates_payload(),
+    }
 
 
 class SimulationService:
@@ -220,10 +266,12 @@ class SimulationService:
             self._finish(job, None, None)
             return
 
+        executor = (execute_sweep_job if isinstance(spec, SweepSpec)
+                    else execute_job)
         value: dict[str, Any] | None = None
         error_text: str | None = None
         if self.use_fork:
-            task = ForkedTask(execute_job, (compiled, spec),
+            task = ForkedTask(executor, (compiled, spec),
                               label=f"job {job.id}")
             job.cancel_hook = task.terminate
             try:
@@ -253,16 +301,22 @@ class SimulationService:
                 ).result()
 
             try:
-                value = await asyncio.to_thread(execute_job, compiled, spec,
+                value = await asyncio.to_thread(executor, compiled, spec,
                                                 emit)
             except PnutError as error:
                 error_text = str(error)
         self._finish(job, value, error_text)
 
     async def _publish_stream(self, job: Job, payload: dict[str, Any]) -> None:
-        if payload.get("channel") == "trace":
+        channel = payload.get("channel")
+        if channel == "trace":
             await job.publish_stream({
                 "type": "trace", "job": job.id, "lines": payload["lines"],
+            })
+        elif channel == "sweep-run":
+            await job.publish_stream({
+                "type": "sweep-run", "job": job.id,
+                "index": payload["index"], "run": payload["run"],
             })
 
     def _finish(self, job: Job, value: dict[str, Any] | None,
@@ -348,9 +402,10 @@ class SimulationService:
             await send({"type": "pong", "id": request_id,
                         "version": PROTOCOL_VERSION})
             return None
-        if op == "submit":
+        if op in ("submit", "sweep"):
+            spec_cls = JobSpec if op == "submit" else SweepSpec
             try:
-                spec = JobSpec.from_payload(message)
+                spec = spec_cls.from_payload(message)
             except ProtocolError as error:
                 await send(error_frame(request_id, str(error), "bad-request"))
                 return None

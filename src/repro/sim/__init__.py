@@ -11,6 +11,7 @@ from .experiment import (
     map_forked,
     summarize_metric,
 )
+from .sweep import SweepResult, SweepRunSummary, TraceHasher, run_sweep
 
 __all__ = [
     "CommandScript",
@@ -21,10 +22,14 @@ __all__ = [
     "Observer",
     "SimulationResult",
     "Simulator",
+    "SweepResult",
+    "SweepRunSummary",
+    "TraceHasher",
     "execute_commands",
     "fork_available",
     "map_forked",
     "run_script_text",
+    "run_sweep",
     "simulate",
     "summarize_metric",
 ]

@@ -21,6 +21,7 @@ import multiprocessing
 import traceback
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from typing import Any
 
 from ..analysis.stat import StatisticsObserver, TraceStatistics
 from ..core.net import PetriNet
@@ -77,6 +78,17 @@ class ForkedTask:
             sender.send(("error", traceback.format_exc()))
         finally:
             sender.close()
+
+    @property
+    def connection(self):
+        """The parent-side pipe end, for multiplexed waits.
+
+        :func:`multiprocessing.connection.wait` over several tasks'
+        connections tells the caller which child has a message ready, so
+        one thread can stream results from a whole worker fleet (the
+        sweep driver does) without blocking on any single pipe.
+        """
+        return self._receiver
 
     def next_message(self) -> tuple[str, Any]:
         """Receive the next ``(kind, payload)``; blocks until one arrives.
@@ -177,6 +189,18 @@ class MetricSummary:
             f"{int(self.confidence * 100)}% CI [{self.ci_low:.6g}, {self.ci_high:.6g}] "
             f"(n={len(self.values)})"
         )
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-ready form; floats verbatim, so equal summaries render
+        byte-equal through :func:`~repro.analysis.report.canonical_json`
+        no matter which path (in-process or service) computed them."""
+        return {
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "ci_half_width": self.ci_half_width,
+            "confidence": self.confidence,
+            "n": len(self.values),
+        }
 
 
 def summarize_metric(
@@ -320,6 +344,47 @@ class Experiment:
             for name in self._metric_names()
         }
         return ExperimentResult(runs, summaries)
+
+    def sweep(
+        self,
+        replications: int | None = None,
+        seeds: Sequence[int] | None = None,
+        workers: int = 1,
+        want_stats: bool = True,
+        on_run: Callable[[int, Any], Any] | None = None,
+    ):
+        """Run this experiment as a vectorized multi-seed sweep.
+
+        Built on :func:`repro.sim.sweep.run_sweep`: one compiled
+        :class:`Simulator` skeleton is shared (forked) across all runs
+        instead of recompiling the net per replication, per-run
+        summaries stream through ``on_run`` and nothing materializes a
+        trace. ``seeds`` defaults to ``base_seed + i`` like :meth:`run`,
+        so metric *values* match the classic path seed for seed (sweep
+        runs carry ``run_number=1``, matching a standalone ``pnut sim``
+        of the same seed). Returns a
+        :class:`~repro.sim.sweep.SweepResult` whose aggregates combine
+        the builtin summaries with this experiment's ``metrics`` and
+        ``stat_metrics``.
+        """
+        from .sweep import run_sweep
+
+        if seeds is None:
+            count = 5 if replications is None else replications
+            if count < 1:
+                raise ValueError("need at least one replication")
+            seeds = [self.base_seed + i for i in range(count)]
+        return run_sweep(
+            Simulator(self.net),
+            seeds,
+            until=self.until,
+            workers=workers,
+            want_stats=want_stats,
+            metrics=self.metrics,
+            stat_metrics=self.stat_metrics,
+            confidence=self.confidence,
+            on_run=on_run,
+        )
 
     def _run_forked(
         self, replications: int, workers: int, keep_events: bool

@@ -1,0 +1,364 @@
+"""Vectorized multi-seed sweeps over one compiled net.
+
+The paper's Figure-5 statistics run is only meaningful in aggregate —
+many seeds, many parameterizations. :func:`run_sweep` is the driver for
+exactly that workload: it takes **one** pristine :class:`Simulator`
+skeleton (or a net, compiled once) and a seed grid, shares the compiled
+static structure across every run via :meth:`Simulator.fork` (~15x
+cheaper than re-construction), and streams per-run summaries plus
+cross-run mean/CI aggregates without ever materializing a trace.
+
+Layout of one sweep:
+
+* each run forks the skeleton with its own seed, attaches a streaming
+  :class:`~repro.analysis.stat.StatisticsObserver` plus a
+  :class:`TraceHasher` (SHA-256 of the serialized trace), and runs with
+  ``keep_events=False`` — memory stays O(places + transitions) per run;
+* ``workers > 1`` fans *chunks* of runs over forked workers — one fork
+  per chunk, not one per run — and the parent multiplexes the children's
+  pipes so per-run summaries stream as they complete;
+* aggregates (mean / stdev / CI via the same
+  :func:`~repro.sim.experiment.summarize_metric` machinery as
+  :class:`Experiment`) are folded in ascending-seed order, so they are
+  byte-identical no matter how the seed grid was ordered or chunked.
+
+Determinism contract: a run's summary depends only on
+``(net, seed, run_number, until/max_events)`` — the same seed produces a
+bit-identical trace whether it ran alone (``pnut sim``), inside a sweep,
+serially or on a forked worker, in-process or behind the service.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from multiprocessing import connection as _mp_connection
+from typing import Any
+
+from ..analysis.report import statistics_payload
+from ..analysis.stat import StatisticsObserver, TraceStatistics
+from ..core.net import PetriNet
+from ..trace.events import TraceEvent, TraceHeader
+from ..trace.serialize import format_event, format_header
+from .engine import SimulationResult, Simulator
+from .experiment import (
+    ForkedTask,
+    MetricSummary,
+    fork_available,
+    summarize_metric,
+)
+
+#: Aggregate names the driver always computes from the run summaries.
+BUILTIN_AGGREGATES = ("events_started", "events_finished", "final_time")
+
+
+class TraceHasher:
+    """Stream a run's serialized trace into a SHA-256, keeping nothing.
+
+    Feeds on the same lines ``pnut sim`` writes — header lines first,
+    then one line per event, each ``\\n``-terminated — so the digest is
+    byte-comparable with hashing a ``pnut sim`` trace file.
+    """
+
+    def __init__(self, header: TraceHeader) -> None:
+        self._sha = hashlib.sha256()
+        self.events = 0
+        for line in format_header(header):
+            self._sha.update(line.encode("utf-8") + b"\n")
+
+    def on_event(self, event: TraceEvent) -> None:
+        self._sha.update(format_event(event).encode("utf-8") + b"\n")
+        self.events += 1
+
+    def hexdigest(self) -> str:
+        return self._sha.hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepRunSummary:
+    """One run of a sweep, reduced to its streamable summary.
+
+    ``stats`` is the full Figure-5 statistics payload (the dict behind
+    ``pnut stat --json``); ``trace_sha256`` pins the exact trace bytes
+    the run produced without the sweep ever materializing them.
+    """
+
+    seed: int
+    run_number: int
+    final_time: float
+    events_started: int
+    events_finished: int
+    trace_events: int
+    trace_sha256: str
+    stats: dict[str, Any] | None = None
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "seed": self.seed,
+            "run": self.run_number,
+            "final_time": self.final_time,
+            "events_started": self.events_started,
+            "events_finished": self.events_finished,
+            "trace_events": self.trace_events,
+            "trace_sha256": self.trace_sha256,
+        }
+        if self.stats is not None:
+            payload["stats"] = self.stats
+        return payload
+
+
+@dataclass
+class SweepResult:
+    """All runs (in input-seed order) plus the cross-run aggregates."""
+
+    runs: list[SweepRunSummary]
+    metrics: dict[str, MetricSummary]
+
+    def metric(self, name: str) -> MetricSummary:
+        return self.metrics[name]
+
+    def runs_sha256(self) -> str:
+        """SHA-256 over the per-run trace digests in ascending-seed
+        order: one hash pinning every trace of the sweep, independent of
+        how the seed grid was ordered or chunked."""
+        ordered = sorted(self.runs, key=lambda run: run.seed)
+        joined = "".join(run.trace_sha256 for run in ordered)
+        return hashlib.sha256(joined.encode("ascii")).hexdigest()
+
+    def aggregates_payload(self) -> dict[str, Any]:
+        return {name: m.to_payload() for name, m in self.metrics.items()}
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "runs": [run.to_payload() for run in self.runs],
+            "aggregates": self.aggregates_payload(),
+            "runs_sha256": self.runs_sha256(),
+        }
+
+    def pretty(self) -> str:
+        lines = [f"{len(self.runs)} run(s), "
+                 f"runs_sha256={self.runs_sha256()[:16]}..."]
+        lines += [m.pretty() for m in self.metrics.values()]
+        return "\n".join(lines)
+
+
+def _sweep_one(
+    skeleton: Simulator,
+    seed: int,
+    run_number: int,
+    until: float | None,
+    max_events: int | None,
+    want_stats: bool,
+    metrics: dict[str, Callable[[SimulationResult], float]],
+    stat_metrics: dict[str, Callable[[TraceStatistics], float]],
+) -> tuple[SweepRunSummary, dict[str, float]]:
+    """Fork the skeleton, run one seed, reduce to (summary, metric values)."""
+    observers: list[Any] = []
+    stats_observer = None
+    if want_stats or stat_metrics:
+        stats_observer = StatisticsObserver(run_number=run_number)
+        observers.append(stats_observer)
+    hasher = TraceHasher(TraceHeader(skeleton.net.name, run_number, seed))
+    observers.append(hasher.on_event)
+    sim = skeleton.fork(seed=seed, run_number=run_number, observers=observers)
+    result = sim.run(until=until, max_events=max_events, keep_events=False)
+    values = {name: fn(result) for name, fn in metrics.items()}
+    stats_dict = None
+    if stats_observer is not None:
+        statistics = stats_observer.result()
+        for name, fn in stat_metrics.items():
+            values[name] = fn(statistics)
+        if want_stats:
+            stats_dict = statistics_payload(statistics)
+    summary = SweepRunSummary(
+        seed=seed,
+        run_number=run_number,
+        final_time=result.final_time,
+        events_started=result.events_started,
+        events_finished=result.events_finished,
+        trace_events=hasher.events,
+        trace_sha256=hasher.hexdigest(),
+        stats=stats_dict,
+    )
+    return summary, values
+
+
+def _aggregate(
+    pairs: Sequence[tuple[SweepRunSummary, dict[str, float]]],
+    user_names: Sequence[str],
+    confidence: float,
+) -> dict[str, MetricSummary]:
+    """Cross-run mean/CI summaries, folded in ascending-seed order.
+
+    Sorting by seed (stable, so duplicate seeds keep input order) makes
+    every aggregate independent of how the sweep's seed grid was ordered
+    or chunked; the per-seed values themselves depend only on the seed.
+    """
+    ordered = sorted(
+        range(len(pairs)), key=lambda i: (pairs[i][0].seed, i)
+    )
+    runs = [pairs[i][0] for i in ordered]
+    values = [pairs[i][1] for i in ordered]
+
+    aggregates: dict[str, list[float]] = {
+        "events_started": [float(r.events_started) for r in runs],
+        "events_finished": [float(r.events_finished) for r in runs],
+        "final_time": [float(r.final_time) for r in runs],
+    }
+    if runs[0].stats is not None:
+        # Derived per-transition / per-place aggregates over the names
+        # present in every run (a transition that never fired under some
+        # seed has no row there).
+        for kind, section, field in (
+            ("throughput", "transitions", "throughput"),
+            ("avg_tokens", "places", "avg_tokens"),
+        ):
+            names = [
+                name for name in sorted(runs[0].stats[section])
+                if all(r.stats is not None and name in r.stats[section]
+                       for r in runs)
+            ]
+            for name in names:
+                aggregates[f"{kind}:{name}"] = [
+                    r.stats[section][name][field] for r in runs
+                ]
+    # User metrics ride on top; their names were checked against the
+    # scalar builtins up front and shadow any derived name.
+    for name in user_names:
+        aggregates[name] = [v[name] for v in values]
+    return {
+        name: summarize_metric(name, vals, confidence)
+        for name, vals in aggregates.items()
+    }
+
+
+def run_sweep(
+    skeleton: Simulator | PetriNet,
+    seeds: Sequence[int],
+    until: float | None = None,
+    max_events: int | None = None,
+    run_number: int = 1,
+    workers: int = 1,
+    want_stats: bool = True,
+    metrics: dict[str, Callable[[SimulationResult], float]] | None = None,
+    stat_metrics: dict[str, Callable[[TraceStatistics], float]] | None = None,
+    confidence: float = 0.95,
+    on_run: Callable[[int, SweepRunSummary], Any] | None = None,
+) -> SweepResult:
+    """Run one compiled net across a seed grid, sharing the skeleton.
+
+    ``skeleton`` is a pristine (never-run) :class:`Simulator` — or a
+    :class:`PetriNet`, compiled here once — forked per run. ``workers >
+    1`` batches runs into chunks, one forked child per chunk (falls back
+    to serial where fork is unavailable); summaries are byte-identical
+    either way. ``on_run(index, summary)`` streams each run's summary as
+    it completes (completion order is nondeterministic across workers;
+    the returned ``runs`` list is always in input order). ``metrics`` /
+    ``stat_metrics`` extend the builtin aggregates exactly as on
+    :class:`~repro.sim.experiment.Experiment`; every run is executed
+    with ``keep_events=False``, so ``metrics`` callables must not read
+    ``result.events``.
+    """
+    if isinstance(skeleton, PetriNet):
+        skeleton = Simulator(skeleton)
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if not all(isinstance(seed, int) and not isinstance(seed, bool)
+               for seed in seeds):
+        raise ValueError("sweep seeds must be integers")
+    if until is None and max_events is None:
+        raise ValueError("provide until=, max_events=, or both")
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    metrics = dict(metrics or {})
+    stat_metrics = dict(stat_metrics or {})
+    overlap = metrics.keys() & stat_metrics.keys()
+    if overlap:
+        raise ValueError(f"metric names declared twice: {sorted(overlap)}")
+    user_names = list(metrics) + list(stat_metrics)
+    reserved = set(user_names) & set(BUILTIN_AGGREGATES)
+    if reserved:
+        raise ValueError(
+            f"metric names collide with builtin aggregates: {sorted(reserved)}"
+        )
+
+    def run_one(position: int) -> tuple[SweepRunSummary, dict[str, float]]:
+        return _sweep_one(
+            skeleton, seeds[position], run_number, until, max_events,
+            want_stats, metrics, stat_metrics,
+        )
+
+    workers = min(workers, len(seeds))
+    if workers > 1 and fork_available():
+        pairs = _run_chunked(run_one, len(seeds), workers, on_run)
+    else:
+        pairs = []
+        for position in range(len(seeds)):
+            summary, values = run_one(position)
+            if on_run is not None:
+                on_run(position, summary)
+            pairs.append((summary, values))
+    return SweepResult(
+        runs=[summary for summary, _values in pairs],
+        metrics=_aggregate(pairs, user_names, confidence),
+    )
+
+
+def _run_chunked(
+    run_one: Callable[[int], tuple[SweepRunSummary, dict[str, float]]],
+    n_runs: int,
+    workers: int,
+    on_run: Callable[[int, SweepRunSummary], Any] | None,
+) -> list[tuple[SweepRunSummary, dict[str, float]]]:
+    """Fan run positions across forked workers, one fork per *chunk*.
+
+    Each child runs its strided chunk of positions and streams one
+    ``(position, summary, values)`` message per completed run; the
+    parent multiplexes the pipes so ``on_run`` fires as runs finish,
+    then reassembles everything in position order.
+    """
+    chunks = [
+        chunk for chunk in
+        (list(range(w, n_runs, workers)) for w in range(workers))
+        if chunk
+    ]
+
+    def chunk_main(positions: list[int], emit) -> None:
+        for position in positions:
+            summary, values = run_one(position)
+            emit((position, summary, values))
+
+    tasks = [
+        ForkedTask(chunk_main, (chunk,),
+                   label=f"sweep worker for runs {chunk}")
+        for chunk in chunks
+    ]
+    collected: dict[int, tuple[SweepRunSummary, dict[str, float]]] = {}
+    failure: str | None = None
+    pending = {task.connection: task for task in tasks}
+    while pending:
+        for conn in _mp_connection.wait(list(pending)):
+            task = pending[conn]
+            kind, payload = task.next_message()
+            if kind == "msg":
+                position, summary, values = payload
+                collected[position] = (summary, values)
+                if on_run is not None:
+                    on_run(position, summary)
+            elif kind == "ok":
+                del pending[conn]
+            else:
+                if failure is None:
+                    failure = payload
+                del pending[conn]
+    for task in tasks:
+        task.join()
+    if failure is not None:
+        raise RuntimeError(f"sweep worker failed:\n{failure}")
+    missing = [i for i in range(n_runs) if i not in collected]
+    if missing:
+        raise RuntimeError(f"sweep workers returned no result for runs "
+                           f"{missing}")
+    return [collected[i] for i in range(n_runs)]

@@ -12,7 +12,7 @@ from repro.processor.baseline import (
     run_baseline,
 )
 from repro.processor.cache import build_cached_pipeline_net
-from repro.processor.config import CacheConfig, PipelineConfig
+from repro.processor.config import CacheConfig
 from repro.processor.metrics import (
     compare_metrics,
     metrics_from_baseline,

@@ -293,3 +293,89 @@ class TestAnalyticBounds:
         code, _out, err = run_cli(["bounds", net_file])
         assert code == 2
         assert "inhibitor" in err
+
+
+class TestSweep:
+    """`pnut sweep`: per-seed lines byte-identical to standalone
+    `pnut sim` / `pnut stat --json` runs, on both execution paths."""
+
+    def sweep_lines(self, out):
+        import json
+
+        records = [json.loads(line) for line in out.splitlines()]
+        runs = [r for r in records if r["kind"] == "run"]
+        (aggregates,) = [r for r in records if r["kind"] == "aggregates"]
+        return runs, aggregates
+
+    def test_seed_grid_parsing(self):
+        from repro.cli import parse_seed_grid
+
+        assert parse_seed_grid("1..4") == [1, 2, 3, 4]
+        assert parse_seed_grid("7") == [7]
+        assert parse_seed_grid("1..3,9,20..21") == [1, 2, 3, 9, 20, 21]
+        for bad in ("", "x", "4..1", "1..z"):
+            with pytest.raises(ValueError):
+                parse_seed_grid(bad)
+
+    def test_bad_grid_exits_two(self, net_file):
+        code, _out, err = run_cli(
+            ["sweep", net_file, "--until", "10", "--seeds", "4..1"]
+        )
+        assert code == 2
+        assert "seed grid" in err
+
+    def test_per_seed_identity_with_sim_and_stat(self, net_file, tmp_path):
+        import hashlib
+
+        code, out, _err = run_cli(
+            ["sweep", net_file, "--until", "400", "--seeds", "2..4",
+             "--workers", "2"]
+        )
+        assert code == 0
+        runs, aggregates = self.sweep_lines(out)
+        assert [r["seed"] for r in runs] == [2, 3, 4]
+        assert aggregates["runs"] == 3
+        assert set(aggregates["metrics"]) >= {
+            "events_started", "events_finished", "final_time",
+        }
+        for record in runs:
+            code, trace, _err = run_cli(
+                ["sim", net_file, "--until", "400",
+                 "--seed", str(record["seed"])]
+            )
+            assert code == 0
+            sha = hashlib.sha256(trace.encode("utf-8")).hexdigest()
+            assert sha == record["trace_sha256"]
+            assert record["trace_events"] == sum(
+                1 for line in trace.splitlines()
+                if not line.startswith("#")
+            )
+
+            trace_path = tmp_path / f"run-{record['seed']}.trace"
+            trace_path.write_text(trace)
+            code, stats_json, _err = run_cli(
+                ["stat", str(trace_path), "--json"]
+            )
+            assert code == 0
+            from repro.analysis.report import canonical_json
+
+            assert stats_json.strip() == canonical_json(record["stats"])
+
+    def test_service_path_bytes_equal_in_process(self, net_file):
+        from repro.service import ServerThread
+
+        code, expected, _err = run_cli(
+            ["sweep", net_file, "--until", "300", "--seeds", "1..3"]
+        )
+        assert code == 0
+        thread = ServerThread(workers=1)
+        try:
+            code, via_service, err = run_cli(
+                ["sweep", net_file, "--until", "300", "--seeds", "1..3",
+                 "--socket", thread.socket_path]
+            )
+        finally:
+            thread.stop()
+        assert code == 0
+        assert via_service == expected
+        assert "pnut sweep:" in err

@@ -28,6 +28,7 @@ from repro.service import (
     QueueFullError,
     RemoteError,
     ServerThread,
+    SweepSpec,
     decode,
     encode,
 )
@@ -517,5 +518,144 @@ class TestCancellationAndBackpressure:
                 assert not submitter.is_alive()
                 assert outcome.get("code") == "cancelled"
                 control.cancel(running)
+        finally:
+            thread.stop()
+
+
+# ---------------------------------------------------------------------------
+# Sweeps: one frame, N seeds, one cancellable job
+# ---------------------------------------------------------------------------
+
+
+class TestSweepSpec:
+    def test_requires_seeds_and_stop_condition(self):
+        with pytest.raises(ProtocolError, match="seed"):
+            SweepSpec(net_source=SMALL_NET, until=10)
+        with pytest.raises(ProtocolError, match="until"):
+            SweepSpec(net_source=SMALL_NET, seeds=(1,))
+        with pytest.raises(ProtocolError, match="integers"):
+            SweepSpec(net_source=SMALL_NET, seeds=(1, "2"), until=10)
+        with pytest.raises(ProtocolError, match="integers"):
+            SweepSpec(net_source=SMALL_NET, seeds=(True,), until=10)
+
+    def test_rejects_oversized_grids_and_trace_output(self):
+        from repro.service.protocol import MAX_SWEEP_SEEDS
+
+        with pytest.raises(ProtocolError, match="exceeds"):
+            SweepSpec(net_source=SMALL_NET,
+                      seeds=tuple(range(MAX_SWEEP_SEEDS + 1)), until=10)
+        with pytest.raises(ProtocolError, match="outputs"):
+            SweepSpec(net_source=SMALL_NET, seeds=(1,), until=10,
+                      outputs=("trace",))
+
+    def test_payload_round_trip(self):
+        spec = SweepSpec(net_source=SMALL_NET, seeds=(3, 1, 4), until=50.0,
+                         run_number=2, priority=5)
+        assert SweepSpec.from_payload(spec.to_payload()) == spec
+
+    def test_from_payload_validation(self):
+        for payload in (
+            {"net": SMALL_NET, "until": 10},                  # no seeds
+            {"net": SMALL_NET, "seeds": "1..4", "until": 10},  # not a list
+            {"net": SMALL_NET, "seeds": [1], "until": "x"},
+            {"net": SMALL_NET, "seeds": [1], "until": 10, "outputs": "stats"},
+        ):
+            with pytest.raises(ProtocolError):
+                SweepSpec.from_payload(payload)
+
+
+class TestSweepEndToEnd:
+    def test_per_seed_byte_identity(self, server, pipeline_source):
+        """Every run of a service sweep reports exactly what a
+        standalone submission (and the in-process driver) would."""
+        from repro.sim import Simulator, run_sweep
+
+        seeds = [1, 2, 3]
+        streamed = []
+        with server.client() as client:
+            outcome = client.sweep(
+                pipeline_source, seeds, until=400,
+                on_run=lambda index, run: streamed.append(index),
+            )
+        assert sorted(streamed) == [0, 1, 2]
+        assert [run["seed"] for run in outcome.runs] == seeds
+
+        # until travels the wire as a float; match it for byte identity.
+        local = run_sweep(
+            Simulator(parse_net(pipeline_source)), seeds, until=400.0,
+        )
+        assert canonical_json(outcome.runs) == canonical_json(
+            [run.to_payload() for run in local.runs]
+        )
+        assert canonical_json(outcome.aggregates) == canonical_json(
+            local.aggregates_payload()
+        )
+        assert outcome.runs_sha256 == local.runs_sha256()
+
+        for index, seed in enumerate(seeds):
+            single = simulate(build_pipeline_net(), until=400, seed=seed)
+            expected = canonical_json(
+                statistics_payload(compute_statistics(single.events))
+            )
+            assert outcome.run_stats_json(index) == expected
+
+    def test_sweep_is_one_job(self, server, pipeline_source):
+        with server.client() as client:
+            before = client.server_stats()["queue"]["completed"]
+            outcome = client.sweep(pipeline_source, [1, 2, 3, 4], until=50)
+            after = client.server_stats()["queue"]["completed"]
+            record = client.status(outcome.job_id)
+        assert after == before + 1
+        assert record["state"] == "done"
+        assert record["runs"] == 4
+        assert "seed" not in record
+        assert outcome.summary["events_started"] == sum(
+            run["events_started"] for run in outcome.runs
+        )
+
+    def test_sweep_rides_the_compiled_net_cache(self, server,
+                                                pipeline_source):
+        with server.client() as client:
+            client.submit(pipeline_source, until=10, seed=1)  # ensure warm
+            before = client.server_stats()["cache"]
+            outcome = client.sweep(pipeline_source, [8, 9], until=50)
+            after = client.server_stats()["cache"]
+        assert outcome.cached
+        assert after["misses"] == before["misses"]
+        assert after["hits"] == before["hits"] + 1
+
+    def test_sweep_protocol_errors(self, server):
+        with server.client() as client:
+            with pytest.raises(RemoteError) as excinfo:
+                client._request("sweep", net=SMALL_NET, until=10)
+                client._wait(client._next_id)
+            assert excinfo.value.code == "bad-request"
+            with pytest.raises(RemoteError) as excinfo:
+                client.sweep("not a net ->", [1], until=10)
+            assert excinfo.value.code == "net-error"
+
+
+@pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+class TestSweepCancellation:
+    def test_running_sweep_cancels_as_one_job(self):
+        thread = ServerThread(workers=1)
+        try:
+            with thread.client() as client:
+                job_id = client.sweep_nowait(
+                    format_net(build_pipeline_net()),
+                    seeds=list(range(64)), until=50_000_000,
+                )
+                deadline = time.monotonic() + 10
+                while client.status(job_id)["state"] != "running":
+                    assert time.monotonic() < deadline
+                    time.sleep(0.02)
+                assert client.cancel(job_id)
+                deadline = time.monotonic() + 15
+                while client.status(job_id)["state"] != "cancelled":
+                    assert time.monotonic() < deadline
+                    time.sleep(0.05)
+                # The worker survives: a fresh sweep still completes.
+                outcome = client.sweep(SMALL_NET, [1, 2], until=50)
+                assert outcome.summary["runs"] == 2
         finally:
             thread.stop()

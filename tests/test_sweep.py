@@ -1,0 +1,215 @@
+"""The vectorized multi-seed sweep driver (repro.sim.sweep).
+
+The guarantees under test: a sweep's per-seed summaries are
+bit-identical to standalone runs of the same seeds (same trace SHA-256,
+same Figure-5 statistics payload), forked chunked execution changes
+nothing but wall-clock, and the cross-run aggregates are independent of
+how the seed grid was ordered or chunked.
+"""
+
+import hashlib
+import io
+
+import pytest
+
+from repro.analysis.report import canonical_json, statistics_payload
+from repro.analysis.stat import compute_statistics
+from repro.processor import build_pipeline_net
+from repro.sim import (
+    Experiment,
+    Simulator,
+    SweepResult,
+    run_sweep,
+    simulate,
+)
+from repro.sim import sweep as sweep_module
+from repro.trace.serialize import write_trace
+
+SMALL_NET_TEXT = """\
+net sweepco
+place a = 3
+place free = 1
+work [fire=2]: a + free -> free + done
+drain [fire=1]: done -> 0
+"""
+
+
+@pytest.fixture(scope="module")
+def pipeline_net():
+    return build_pipeline_net()
+
+
+def reference_run(seed: int, until: float = 400.0):
+    """One standalone run: (serialized-trace sha256, canonical stats)."""
+    result = simulate(build_pipeline_net(), until=until, seed=seed)
+    buffer = io.StringIO()
+    write_trace(buffer, result.header, result.events)
+    sha = hashlib.sha256(buffer.getvalue().encode("utf-8")).hexdigest()
+    stats = canonical_json(statistics_payload(compute_statistics(result.events)))
+    return sha, stats, result
+
+
+class TestPerSeedIdentity:
+    def test_summaries_match_standalone_runs(self, pipeline_net):
+        result = run_sweep(Simulator(pipeline_net), [1, 2, 3], until=400)
+        assert [run.seed for run in result.runs] == [1, 2, 3]
+        for run in result.runs:
+            sha, stats, local = reference_run(run.seed)
+            assert run.trace_sha256 == sha
+            assert canonical_json(run.stats) == stats
+            assert run.events_started == local.events_started
+            assert run.events_finished == local.events_finished
+            assert run.final_time == local.final_time
+            assert run.trace_events == len(local.events)
+
+    def test_accepts_a_net_and_compiles_once(self, pipeline_net):
+        by_net = run_sweep(pipeline_net, [7], until=200)
+        by_skeleton = run_sweep(Simulator(pipeline_net), [7], until=200)
+        assert canonical_json(by_net.to_payload()) == canonical_json(
+            by_skeleton.to_payload()
+        )
+
+    def test_skeleton_survives_for_more_sweeps(self, pipeline_net):
+        skeleton = Simulator(pipeline_net)
+        first = run_sweep(skeleton, [1, 2], until=200)
+        second = run_sweep(skeleton, [1, 2], until=200)
+        assert canonical_json(first.to_payload()) == canonical_json(
+            second.to_payload()
+        )
+
+
+class TestForkedChunks:
+    def test_forked_equals_serial(self, pipeline_net):
+        skeleton = Simulator(pipeline_net)
+        serial = run_sweep(skeleton, [1, 2, 3, 4, 5], until=300)
+        forked = run_sweep(skeleton, [1, 2, 3, 4, 5], until=300, workers=3)
+        assert canonical_json(serial.to_payload()) == canonical_json(
+            forked.to_payload()
+        )
+
+    def test_streaming_covers_every_run(self, pipeline_net):
+        streamed = []
+        run_sweep(
+            Simulator(pipeline_net), [1, 2, 3, 4], until=200, workers=2,
+            on_run=lambda index, summary: streamed.append(
+                (index, summary.seed)
+            ),
+        )
+        assert sorted(streamed) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_serial_fallback_without_fork(self, pipeline_net, monkeypatch):
+        skeleton = Simulator(pipeline_net)
+        expected = run_sweep(skeleton, [1, 2, 3], until=200)
+        monkeypatch.setattr(sweep_module, "fork_available", lambda: False)
+        fallback = run_sweep(skeleton, [1, 2, 3], until=200, workers=3)
+        assert canonical_json(expected.to_payload()) == canonical_json(
+            fallback.to_payload()
+        )
+
+    def test_worker_failure_is_raised(self, pipeline_net):
+        from repro.lang.parser import parse_net
+
+        # until=0 is rejected inside the forked child at run time.
+        net = parse_net(SMALL_NET_TEXT)
+        with pytest.raises(RuntimeError, match="sweep worker failed"):
+            run_sweep(Simulator(net), [1, 2], until=-1, workers=2)
+
+
+class TestAggregates:
+    def test_order_independent(self, pipeline_net):
+        skeleton = Simulator(pipeline_net)
+        ascending = run_sweep(skeleton, [1, 2, 3, 4], until=300)
+        shuffled = run_sweep(skeleton, [3, 1, 4, 2], until=300, workers=2)
+        assert canonical_json(ascending.aggregates_payload()) == \
+            canonical_json(shuffled.aggregates_payload())
+        assert ascending.runs_sha256() == shuffled.runs_sha256()
+        # The runs themselves stay in input order.
+        assert [run.seed for run in shuffled.runs] == [3, 1, 4, 2]
+
+    def test_builtin_and_derived_metrics(self, pipeline_net):
+        result = run_sweep(Simulator(pipeline_net), [1, 2, 3], until=300)
+        started = result.metric("events_started")
+        assert started.values == tuple(
+            float(run.events_started)
+            for run in sorted(result.runs, key=lambda r: r.seed)
+        )
+        bus = result.metric("avg_tokens:Bus_busy")
+        assert 0.0 < bus.mean < 1.0
+        issue = result.metric("throughput:Issue")
+        assert issue.mean > 0
+        payload = result.metric("final_time").to_payload()
+        assert payload["mean"] == 300.0
+        assert payload["n"] == 3
+
+    def test_user_metrics_and_collisions(self, pipeline_net):
+        result = run_sweep(
+            Simulator(pipeline_net), [1, 2], until=200,
+            metrics={"started2x": lambda r: 2.0 * r.events_started},
+            stat_metrics={"bus": lambda s: s.places["Bus_busy"].avg_tokens},
+        )
+        assert result.metric("started2x").mean == \
+            2.0 * result.metric("events_started").mean
+        assert result.metric("bus").values == \
+            result.metric("avg_tokens:Bus_busy").values
+        with pytest.raises(ValueError, match="builtin"):
+            run_sweep(Simulator(pipeline_net), [1], until=10,
+                      metrics={"events_started": lambda r: 0.0})
+        with pytest.raises(ValueError, match="twice"):
+            run_sweep(Simulator(pipeline_net), [1], until=10,
+                      metrics={"x": lambda r: 0.0},
+                      stat_metrics={"x": lambda s: 0.0})
+
+    def test_want_stats_false_skips_payloads(self, pipeline_net):
+        result = run_sweep(Simulator(pipeline_net), [1, 2], until=200,
+                           want_stats=False)
+        assert all(run.stats is None for run in result.runs)
+        assert set(result.metrics) == {
+            "events_started", "events_finished", "final_time",
+        }
+        assert "stats" not in result.runs[0].to_payload()
+
+
+class TestValidation:
+    def test_rejects_bad_arguments(self, pipeline_net):
+        skeleton = Simulator(pipeline_net)
+        with pytest.raises(ValueError, match="seed"):
+            run_sweep(skeleton, [], until=10)
+        with pytest.raises(ValueError, match="integers"):
+            run_sweep(skeleton, [1.5], until=10)
+        with pytest.raises(ValueError, match="integers"):
+            run_sweep(skeleton, [True], until=10)
+        with pytest.raises(ValueError, match="until"):
+            run_sweep(skeleton, [1])
+        with pytest.raises(ValueError, match="worker"):
+            run_sweep(skeleton, [1], until=10, workers=0)
+
+
+class TestExperimentSweep:
+    def test_metric_values_match_classic_replications(self, pipeline_net):
+        experiment = Experiment(
+            pipeline_net,
+            until=300,
+            metrics={"started": lambda r: r.events_started},
+            base_seed=11,
+            stat_metrics={
+                "bus": lambda s: s.places["Bus_busy"].avg_tokens,
+            },
+        )
+        classic = experiment.run(replications=4, keep_events=False)
+        swept = experiment.sweep(replications=4, workers=2)
+        assert isinstance(swept, SweepResult)
+        assert classic.metric("started").values == \
+            swept.metric("started").values
+        assert classic.metric("bus").values == swept.metric("bus").values
+        assert classic.metric("bus").ci_half_width == \
+            swept.metric("bus").ci_half_width
+
+    def test_explicit_seed_grid(self, pipeline_net):
+        experiment = Experiment(pipeline_net, until=200, metrics={})
+        result = experiment.sweep(seeds=[5, 9])
+        assert [run.seed for run in result.runs] == [5, 9]
+
+    def test_rejects_zero_replications(self, pipeline_net):
+        experiment = Experiment(pipeline_net, until=200, metrics={})
+        with pytest.raises(ValueError):
+            experiment.sweep(replications=0)
