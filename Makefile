@@ -5,18 +5,26 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-co test-all serve-smoke lint
+.PHONY: test bench bench-co test-all serve-smoke explore-smoke lint
 
 ## tier-1: the unit/integration suite plus benchmarks (the repo gate),
-## then the end-to-end service smoke (real `pnut serve` subprocess)
+## then the end-to-end service and exploration smokes (real
+## `pnut serve` subprocesses)
 test:
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) serve-smoke
+	$(MAKE) explore-smoke
 
 ## boot a pnut server, run the Figure-5 job, check the pinned trace
 ## SHA-256 and the compiled-net cache counters, shut down cleanly
 serve-smoke:
 	$(PYTHON) -m repro.service.smoke
+
+## boot a pnut server, run a 2x2 parameter grid through `pnut explore
+## --socket --store`, verify byte identity with the in-process path and
+## the result-store round trip
+explore-smoke:
+	$(PYTHON) -m repro.dse.smoke
 
 ## the benchmark/experiment suite only
 bench:

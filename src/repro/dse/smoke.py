@@ -1,0 +1,148 @@
+"""`make explore-smoke`: a tiny exploration through a real server.
+
+The deployment-shaped gate for the dse subsystem: boot a ``pnut serve``
+subprocess on a Unix socket, run a 2x2 parameter grid through ``pnut
+explore --socket`` with a result store, and verify the contracts the
+acceptance criteria pin:
+
+* the in-process and service paths print byte-identical cell/point
+  lines;
+* re-running with the same ``--store`` skips every completed cell (the
+  store round-trip) and reproduces the same bytes;
+* the store itself holds exactly the grid, keyed by net SHA-256.
+
+Run it directly::
+
+    python -m repro.dse.smoke
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+TEMPLATE = """\
+net smokegrid
+place pool = ${tokens}
+place free = 1
+work [fire=${delay}]: pool + free -> free + done
+drain [fire=1]: done -> 0
+"""
+
+GRID_ARGS = [
+    "--param", "tokens=2,4", "--param", "delay=1,2",
+    "--seeds", "1..2", "--until", "80",
+    "--frontier", "max:throughput:work",
+]
+
+#: 2 x 2 points x 2 seeds.
+EXPECTED_CELLS = 8
+
+
+def _fail(message: str) -> int:
+    print(f"explore-smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def _run_explore(args: list[str]) -> tuple[int, str, str]:
+    """One in-process ``pnut explore`` invocation, output captured."""
+    from ..cli import main
+
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(["explore"] + args)
+    return code, out.getvalue(), err.getvalue()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="pnut-explore-smoke-") as tmp:
+        template_path = str(Path(tmp) / "grid.pn")
+        Path(template_path).write_text(TEMPLATE)
+        store_path = str(Path(tmp) / "cells.db")
+        socket_path = str(Path(tmp) / "pnut.sock")
+
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--socket", socket_path, "--workers", "1"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while not Path(socket_path).exists():
+                if server.poll() is not None or time.monotonic() > deadline:
+                    output = server.stdout.read() if server.stdout else ""
+                    return _fail(f"server did not come up:\n{output}")
+                time.sleep(0.05)
+
+            base = [template_path] + GRID_ARGS
+            code, local_out, _err = _run_explore(base)
+            if code != 0:
+                return _fail(f"in-process exploration exited {code}")
+
+            remote = base + ["--socket", socket_path]
+            code, remote_out, remote_err = _run_explore(
+                remote + ["--store", store_path]
+            )
+            if code != 0:
+                return _fail(f"service exploration exited {code}")
+            if remote_out != local_out:
+                return _fail("service output diverged from the in-process "
+                             "bytes")
+            if "stored=0" not in remote_err:
+                return _fail(f"first run should store every cell: "
+                             f"{remote_err.strip()}")
+
+            # The round trip: the same command again must serve every
+            # cell from the store (no simulation) with identical bytes
+            # modulo the stored flag.
+            code, again_out, again_err = _run_explore(
+                remote + ["--store", store_path]
+            )
+            if code != 0:
+                return _fail(f"re-run exited {code}")
+            if f"stored={EXPECTED_CELLS}" not in again_err:
+                return _fail(f"re-run did not skip completed cells: "
+                             f"{again_err.strip()}")
+            if again_out.replace('"stored":true', '"stored":false') \
+                    != remote_out:
+                return _fail("re-run bytes diverged from the stored run")
+
+            from .store import open_store
+
+            with open_store(store_path) as store:
+                if len(store) != EXPECTED_CELLS:
+                    return _fail(f"store holds {len(store)} cells, "
+                                 f"expected {EXPECTED_CELLS}")
+                for (net_sha, _pk, _seed, _stop), payload in store.cells():
+                    if len(net_sha) != 64:
+                        return _fail(f"bad net sha key {net_sha!r}")
+                    if "trace_sha256" not in payload:
+                        return _fail("stored cell lacks its trace digest")
+
+            cells = [json.loads(line) for line in
+                     remote_out.splitlines()
+                     if json.loads(line)["kind"] == "cell"]
+            if len(cells) != EXPECTED_CELLS:
+                return _fail(f"expected {EXPECTED_CELLS} cell lines, got "
+                             f"{len(cells)}")
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+    print(
+        "explore-smoke: OK "
+        f"(2x2 grid x 2 seeds over a pnut serve subprocess: service == "
+        f"in-process bytes, store round-trip skipped "
+        f"{EXPECTED_CELLS}/{EXPECTED_CELLS} cells)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,345 @@
+"""Parameter spaces: the named axes a design-space exploration walks.
+
+The paper's opening question — how memory speed, buffer depth and
+instruction mix move pipeline performance — is a question about a *grid*
+of models, not one model. A :class:`ParamSpace` describes that grid as
+named axes (explicit value lists, integer spans, log-spaced sweeps)
+composed by Cartesian product, with selected axes optionally *zipped*
+(advanced in lockstep, the way "scale the clock against a fixed memory"
+pairs two parameters into one axis).
+
+A **point** is one assignment of every axis name to a value, rendered as
+a plain dict in axis-declaration order. Points are deterministic: the
+same space always enumerates the same points in the same order, and
+:func:`point_key` gives a canonical string identity used by the result
+store and the wire protocol.
+
+Spaces travel the wire (``pnut explore --socket``) via
+:meth:`ParamSpace.to_payload` / :meth:`ParamSpace.from_payload`, and the
+CLI grammar (``--param mem_cycles=2..10``) parses through
+:func:`parse_axis_spec`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from itertools import product
+from typing import Any
+
+from ..core.errors import PnutError
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*$")
+
+#: One frame / one exploration is bounded like a sweep frame: an absurd
+#: grid must be rejected up front, not enumerated.
+MAX_POINTS = 4096
+
+#: Axis values are scalars the net language (and JSON) can carry.
+Value = int | float | str | bool
+
+
+class ParamSpaceError(PnutError):
+    """A malformed axis, spec string, or space composition."""
+
+
+def point_key(point: dict[str, Any]) -> str:
+    """Canonical string identity of one point (sorted-key JSON)."""
+    return json.dumps(point, sort_keys=True, separators=(",", ":"))
+
+
+def _check_name(name: Any) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ParamSpaceError(f"bad parameter name {name!r}")
+    return name
+
+
+def _check_value(name: str, value: Any) -> Value:
+    if isinstance(value, bool) or isinstance(value, (int, float, str)):
+        return value
+    raise ParamSpaceError(
+        f"axis {name!r} has a non-scalar value {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class ParamAxis:
+    """One named axis: an ordered tuple of scalar values."""
+
+    name: str
+    values: tuple[Value, ...]
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+        if not self.values:
+            raise ParamSpaceError(f"axis {self.name!r} has no values")
+        for value in self.values:
+            _check_value(self.name, value)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"name": self.name, "values": list(self.values)}
+
+
+def _log_values(low: float, high: float, count: int) -> tuple[float, ...]:
+    """``count`` geometrically spaced values from ``low`` to ``high``."""
+    if low <= 0 or high <= 0:
+        raise ParamSpaceError("log axes need positive bounds")
+    if count < 2:
+        raise ParamSpaceError("log axes need count >= 2")
+    ratio = (high / low) ** (1.0 / (count - 1))
+    values = [low * ratio ** i for i in range(count)]
+    values[-1] = float(high)  # pin the endpoint against rounding drift
+    return tuple(values)
+
+
+class ParamSpace:
+    """Named axes plus composition: the domain of one exploration.
+
+    Build fluently — every axis method returns ``self``::
+
+        space = (ParamSpace()
+                 .span("memory_cycles", 2, 10, step=2)
+                 .values("buffer_words", [2, 4, 6])
+                 .log_span("clock_ratio", 1, 64, count=7))
+
+    Point enumeration is the Cartesian product of the axes in
+    declaration order (last axis fastest), except axes joined by
+    :meth:`zip`, which advance in lockstep as one product factor.
+    """
+
+    def __init__(self, axes: list[ParamAxis] | None = None,
+                 zip_groups: list[tuple[str, ...]] | None = None) -> None:
+        self._axes: list[ParamAxis] = []
+        self._zip_groups: list[tuple[str, ...]] = []
+        for axis in axes or []:
+            self.axis(axis)
+        for group in zip_groups or []:
+            self.zip(*group)
+
+    # -- construction ------------------------------------------------------
+
+    def axis(self, axis: ParamAxis) -> "ParamSpace":
+        if any(existing.name == axis.name for existing in self._axes):
+            raise ParamSpaceError(f"duplicate axis {axis.name!r}")
+        self._axes.append(axis)
+        return self
+
+    def values(self, name: str, values) -> "ParamSpace":
+        """An explicit value list."""
+        return self.axis(ParamAxis(name, tuple(values)))
+
+    def span(self, name: str, low: int, high: int,
+             step: int = 1) -> "ParamSpace":
+        """Integers ``low..high`` inclusive, by ``step``."""
+        if step < 1:
+            raise ParamSpaceError("span step must be >= 1")
+        if high < low:
+            raise ParamSpaceError(f"span {name!r}: {high} < {low}")
+        return self.axis(ParamAxis(name, tuple(range(low, high + 1, step))))
+
+    def log_span(self, name: str, low: float, high: float,
+                 count: int) -> "ParamSpace":
+        """``count`` geometrically spaced values from ``low`` to ``high``."""
+        return self.axis(ParamAxis(name, _log_values(low, high, count)))
+
+    def zip(self, *names: str) -> "ParamSpace":
+        """Advance the named axes in lockstep (one product factor).
+
+        All zipped axes must exist and have equal lengths; an axis may
+        belong to at most one zip group.
+        """
+        if len(names) < 2:
+            raise ParamSpaceError("zip needs at least two axis names")
+        axes = [self._axis(name) for name in names]
+        lengths = {len(axis.values) for axis in axes}
+        if len(lengths) != 1:
+            raise ParamSpaceError(
+                f"zipped axes {list(names)} have unequal lengths"
+            )
+        already = {n for group in self._zip_groups for n in group}
+        overlap = already & set(names)
+        if overlap:
+            raise ParamSpaceError(
+                f"axes {sorted(overlap)} already belong to a zip group"
+            )
+        if len(set(names)) != len(names):
+            raise ParamSpaceError("zip group repeats an axis")
+        self._zip_groups.append(tuple(names))
+        return self
+
+    def _axis(self, name: str) -> ParamAxis:
+        for axis in self._axes:
+            if axis.name == name:
+                return axis
+        raise ParamSpaceError(f"unknown axis {name!r}")
+
+    # -- enumeration -------------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        return [axis.name for axis in self._axes]
+
+    def _factors(self) -> list[tuple[ParamAxis, ...]]:
+        """Product factors in declaration order: zip groups collapse to
+        one factor anchored at their first member's position."""
+        grouped: dict[str, tuple[str, ...]] = {
+            name: group for group in self._zip_groups for name in group
+        }
+        factors: list[tuple[ParamAxis, ...]] = []
+        seen: set[str] = set()
+        for axis in self._axes:
+            if axis.name in seen:
+                continue
+            group = grouped.get(axis.name)
+            if group is None:
+                factors.append((axis,))
+                seen.add(axis.name)
+            else:
+                factors.append(tuple(self._axis(name) for name in group))
+                seen.update(group)
+        return factors
+
+    def __len__(self) -> int:
+        total = 1
+        for factor in self._factors():
+            total *= len(factor[0].values)
+        return total
+
+    def points(self) -> list[dict[str, Value]]:
+        """Every point, in deterministic enumeration order.
+
+        Each point maps every axis name to one value, with keys in axis
+        declaration order (so rendered points read like the space was
+        declared).
+        """
+        if not self._axes:
+            raise ParamSpaceError("parameter space has no axes")
+        if len(self) > MAX_POINTS:
+            raise ParamSpaceError(
+                f"space of {len(self)} points exceeds the bound of "
+                f"{MAX_POINTS}"
+            )
+        factors = self._factors()
+        indexed = [range(len(factor[0].values)) for factor in factors]
+        points: list[dict[str, Value]] = []
+        order = self.names
+        for choice in product(*indexed):
+            assignment: dict[str, Value] = {}
+            for factor, index in zip(factors, choice):
+                for axis in factor:
+                    assignment[axis.name] = axis.values[index]
+            points.append({name: assignment[name] for name in order})
+        return points
+
+    # -- wire format -------------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "axes": [axis.to_payload() for axis in self._axes],
+        }
+        if self._zip_groups:
+            payload["zip"] = [list(group) for group in self._zip_groups]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "ParamSpace":
+        if not isinstance(payload, dict):
+            raise ParamSpaceError("params payload must be an object")
+        axes = payload.get("axes")
+        if not isinstance(axes, list) or not axes:
+            raise ParamSpaceError("params payload needs a non-empty 'axes'")
+        space = cls()
+        for item in axes:
+            if not isinstance(item, dict):
+                raise ParamSpaceError(f"bad axis payload {item!r}")
+            values = item.get("values")
+            if not isinstance(values, list):
+                raise ParamSpaceError(
+                    f"axis payload needs a 'values' list, got {item!r}"
+                )
+            space.values(_check_name(item.get("name")), values)
+        zip_groups = payload.get("zip", [])
+        if not isinstance(zip_groups, list):
+            raise ParamSpaceError("'zip' must be a list of name lists")
+        for group in zip_groups:
+            if not isinstance(group, list):
+                raise ParamSpaceError(f"bad zip group {group!r}")
+            space.zip(*group)
+        return space
+
+
+# ---------------------------------------------------------------------------
+# CLI grammar
+# ---------------------------------------------------------------------------
+
+
+def _parse_scalar(text: str) -> Value:
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def parse_axis_spec(spec: str) -> ParamAxis:
+    """One ``--param`` argument -> axis.
+
+    Grammar (``NAME=SPEC``):
+
+    * ``NAME=2..10`` — integer span, optional step ``2..10:2``;
+    * ``NAME=2,4,6`` — explicit list (ints, floats, strings, booleans);
+    * ``NAME=log:1..64:7`` — 7 log-spaced values from 1 to 64;
+    * ``NAME=5`` — a single pinned value.
+    """
+    name, eq, body = spec.partition("=")
+    name = name.strip()
+    body = body.strip()
+    if not eq or not name or not body:
+        raise ParamSpaceError(
+            f"bad --param {spec!r}: use NAME=2..10, NAME=2,4,6 or "
+            f"NAME=log:LO..HI:COUNT"
+        )
+    _check_name(name)
+    if body.startswith("log:"):
+        rest = body[4:]
+        bounds, _, count_text = rest.rpartition(":")
+        low_text, sep, high_text = bounds.partition("..")
+        try:
+            low, high = float(low_text), float(high_text)
+            count = int(count_text)
+        except ValueError:
+            sep = ""
+        if not sep:
+            raise ParamSpaceError(
+                f"bad --param {spec!r}: log axes are NAME=log:LO..HI:COUNT"
+            )
+        return ParamAxis(name, _log_values(low, high, count))
+    if "," in body:
+        values = tuple(
+            _parse_scalar(part.strip())
+            for part in body.split(",") if part.strip()
+        )
+        return ParamAxis(name, values)
+    if ".." in body:
+        span, _, step_text = body.partition(":")
+        low_text, _, high_text = span.partition("..")
+        try:
+            low, high = int(low_text), int(high_text)
+            step = int(step_text) if step_text else 1
+        except ValueError:
+            raise ParamSpaceError(
+                f"bad --param {spec!r}: spans are NAME=LO..HI[:STEP]"
+            ) from None
+        if high < low or step < 1:
+            raise ParamSpaceError(f"bad --param {spec!r}: empty span")
+        return ParamAxis(name, tuple(range(low, high + 1, step)))
+    return ParamAxis(name, (_parse_scalar(body),))

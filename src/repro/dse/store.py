@@ -1,0 +1,230 @@
+"""The persistent result store: explorations are incremental.
+
+A design-space walk is expensive and repeats itself — the same (net,
+seed, horizon) cell shows up every time the grid is re-run with one more
+axis value. The store makes re-runs incremental: every completed cell is
+appended under a key that pins *exactly* what was simulated, a re-run
+skips keys it already holds, and because cell payloads are canonical
+JSON of a deterministic simulation, a recomputed cell can be checked for
+byte identity against the stored one (:meth:`ResultStore.put` with
+``verify=True`` does; the explore smoke gates on it).
+
+Key: ``(net_sha256, point_key, seed, stop_key)`` where ``net_sha256``
+hashes the *canonical* bound net source (identical nets reformatted
+share cells), ``point_key`` is the canonical rendering of the bound
+point (display/bookkeeping — the net hash alone already pins the
+model), and ``stop_key`` canonicalizes ``(until, max_events,
+run_number)``.
+
+Two backends behind one class, chosen by path: ``*.jsonl`` appends one
+JSON line per cell (greppable, diff-able, trivially mergeable);
+anything else is a SQLite database (stdlib ``sqlite3``), safe for
+concurrent readers and fast keyed lookups on big grids.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Any, Iterator
+
+from ..analysis.report import canonical_json
+from ..core.errors import PnutError
+
+
+class StoreError(PnutError):
+    """A corrupt store file or an identity violation."""
+
+
+def stop_key(until: float | None, max_events: int | None,
+             run_number: int, want_stats: bool = True,
+             metric_names=()) -> str:
+    """Canonical identity of a cell's stopping condition *and* payload
+    shape.
+
+    The measurement configuration is part of the key: a cell computed
+    with ``want_stats=False`` (no statistics payload) or with user
+    metric values attached must never be served to an exploration that
+    expects a different shape. The defaults render exactly the
+    pre-measurement-aware key, so existing stores stay valid for the
+    default configuration.
+    """
+    payload: dict[str, Any] = {"run": run_number}
+    if until is not None:
+        payload["until"] = float(until)
+    if max_events is not None:
+        payload["max_events"] = max_events
+    if not want_stats:
+        payload["stats"] = False
+    if metric_names:
+        payload["metrics"] = sorted(metric_names)
+    return canonical_json(payload)
+
+
+class ResultStore:
+    """Append-only store of completed exploration cells.
+
+    Open with :func:`open_store` (or directly); use as a context
+    manager. All writes go through :meth:`put`, which is idempotent for
+    identical payloads and — with ``verify=True`` — raises
+    :class:`StoreError` when a recomputed cell's bytes diverge from the
+    stored ones (a determinism violation worth failing loudly on).
+    """
+
+    #: Puts per SQLite commit: cell streams arrive at hundreds/sec, and
+    #: a synchronous commit (fsync) per cell would rival the simulation
+    #: itself; batching keeps append-only semantics at a fraction of the
+    #: I/O (the tail is flushed on :meth:`close`).
+    COMMIT_EVERY = 64
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._jsonl = self.path.endswith(".jsonl")
+        self._index: dict[tuple[str, str, int, str], str] = {}
+        self._pending_writes = 0
+        if self._jsonl:
+            self._load_jsonl()
+        else:
+            self._open_sqlite()
+
+    # -- backends ----------------------------------------------------------
+
+    def _load_jsonl(self) -> None:
+        self._connection = None
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = (record["net_sha256"], record["point_key"],
+                           record["seed"], record["stop_key"])
+                    payload = canonical_json(record["payload"])
+                except (json.JSONDecodeError, KeyError, TypeError) as error:
+                    raise StoreError(
+                        f"{self.path}:{line_no}: corrupt store line "
+                        f"({error!r})"
+                    ) from None
+                self._index[key] = payload
+
+    def _open_sqlite(self) -> None:
+        try:
+            self._connection = sqlite3.connect(self.path)
+            self._connection.execute(
+                "CREATE TABLE IF NOT EXISTS cells ("
+                " net_sha256 TEXT NOT NULL,"
+                " point_key TEXT NOT NULL,"
+                " seed INTEGER NOT NULL,"
+                " stop_key TEXT NOT NULL,"
+                " payload TEXT NOT NULL,"
+                " PRIMARY KEY (net_sha256, point_key, seed, stop_key))"
+            )
+            self._connection.commit()
+            rows = self._connection.execute(
+                "SELECT net_sha256, point_key, seed, stop_key, payload "
+                "FROM cells"
+            )
+            for net_sha, pkey, seed, stop, payload in rows:
+                self._index[(net_sha, pkey, seed, stop)] = payload
+        except sqlite3.Error as error:
+            # A stray non-SQLite file (e.g. a JSONL store without the
+            # .jsonl suffix) is a CLI error, not a traceback.
+            raise StoreError(
+                f"{self.path}: not a usable result store ({error})"
+            ) from None
+
+    # -- the store API -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def have(self, net_sha256: str, point_key: str, seed: int,
+             stop: str) -> bool:
+        return (net_sha256, point_key, seed, stop) in self._index
+
+    def get(self, net_sha256: str, point_key: str, seed: int,
+            stop: str) -> dict[str, Any] | None:
+        """The stored cell payload, or None."""
+        payload = self._index.get((net_sha256, point_key, seed, stop))
+        return None if payload is None else json.loads(payload)
+
+    def put(
+        self,
+        net_sha256: str,
+        point_key: str,
+        seed: int,
+        stop: str,
+        payload: dict[str, Any],
+        verify: bool = True,
+    ) -> bool:
+        """Store one completed cell; returns True when newly written.
+
+        A key that already exists is left untouched; with ``verify`` the
+        new payload must be byte-identical (canonical JSON) to the
+        stored one, so silent nondeterminism cannot rot the store.
+        """
+        key = (net_sha256, point_key, seed, stop)
+        encoded = canonical_json(payload)
+        existing = self._index.get(key)
+        if existing is not None:
+            if verify and existing != encoded:
+                raise StoreError(
+                    f"cell {key} recomputed differently: stored "
+                    f"{existing[:80]}... vs new {encoded[:80]}..."
+                )
+            return False
+        self._index[key] = encoded
+        if self._jsonl:
+            record = canonical_json({
+                "net_sha256": net_sha256,
+                "point_key": point_key,
+                "seed": seed,
+                "stop_key": stop,
+                "payload": payload,
+            })
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(record + "\n")
+        else:
+            assert self._connection is not None
+            self._connection.execute(
+                "INSERT OR IGNORE INTO cells VALUES (?, ?, ?, ?, ?)",
+                (net_sha256, point_key, seed, stop, encoded),
+            )
+            self._pending_writes += 1
+            if self._pending_writes >= self.COMMIT_EVERY:
+                self._connection.commit()
+                self._pending_writes = 0
+        return True
+
+    def cells(self) -> Iterator[tuple[tuple[str, str, int, str],
+                                      dict[str, Any]]]:
+        """Every stored (key, payload), in insertion-stable order."""
+        for key, payload in self._index.items():
+            yield key, json.loads(payload)
+
+    def close(self) -> None:
+        if self._connection is not None:
+            if self._pending_writes:
+                self._connection.commit()
+                self._pending_writes = 0
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_store(path: str) -> ResultStore:
+    """Open (creating if needed) the result store at ``path``.
+
+    ``*.jsonl`` selects the append-only JSON-lines backend; any other
+    path is a SQLite database.
+    """
+    return ResultStore(path)

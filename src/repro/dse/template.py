@@ -1,0 +1,146 @@
+"""Binding a parameter point into a runnable net description.
+
+Two binders, one contract: ``bind(point) -> net source text``. The
+source-text contract is what makes the whole exploration stack
+transport-agnostic — a bound point is an ordinary ``.pn`` program, so it
+compiles through the same :class:`~repro.service.cache.CompiledNetCache`
+in-process and server-side, and every cell's results are byte-identical
+to a standalone ``pnut sim`` / ``pnut stat --json`` of that source.
+
+* :class:`NetTemplate` — a textual net with ``${name}`` placeholders
+  substituted per point and validated through :mod:`repro.lang.parser`;
+* :class:`PipelineBinder` — points bound onto
+  :class:`~repro.processor.PipelineConfig` /
+  :class:`~repro.processor.CacheConfig` fields, the §2/§3 models rebuilt
+  per point and rendered back to canonical source.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import fields, replace
+from typing import Any, Protocol
+
+from ..core.errors import PnutError
+from ..lang.format import format_net
+from ..lang.parser import parse_net
+from ..processor import (
+    CacheConfig,
+    PipelineConfig,
+    build_cached_pipeline_net,
+    build_pipeline_net,
+)
+
+
+class TemplateError(PnutError):
+    """A malformed template or a point that does not fit it."""
+
+
+class Binder(Protocol):
+    """Anything that turns a point into net source text."""
+
+    def bind(self, point: dict[str, Any]) -> str: ...
+
+
+_PLACEHOLDER_RE = re.compile(r"\$\{([A-Za-z_][A-Za-z0-9_]*)\}")
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return str(value)
+
+
+class NetTemplate:
+    """A ``.pn`` source with ``${name}`` placeholders.
+
+    ``bind`` substitutes every placeholder with the point's value and
+    parses the result, so a bad bind fails at bind time with a language
+    error rather than deep inside a worker. The point must cover the
+    template's parameters exactly — a missing or unused name is a
+    mistake in the exploration, not something to guess around.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.params = frozenset(_PLACEHOLDER_RE.findall(source))
+        if not self.params:
+            raise TemplateError(
+                "template has no ${name} placeholders; use the net "
+                "source directly"
+            )
+
+    def bind(self, point: dict[str, Any]) -> str:
+        missing = self.params - point.keys()
+        if missing:
+            raise TemplateError(
+                f"point is missing template parameters {sorted(missing)}"
+            )
+        extra = point.keys() - self.params
+        if extra:
+            raise TemplateError(
+                f"point binds unknown template parameters {sorted(extra)}"
+            )
+        bound = _PLACEHOLDER_RE.sub(
+            lambda match: _render_value(point[match.group(1)]), self.source
+        )
+        parse_net(bound)  # fail fast, with the language error
+        return bound
+
+
+_PIPELINE_FIELDS = frozenset(f.name for f in fields(PipelineConfig))
+_CACHE_FIELDS = frozenset(f.name for f in fields(CacheConfig))
+
+
+class PipelineBinder:
+    """Points bound onto the paper's §2/§3 processor configurations.
+
+    Point names must be :class:`PipelineConfig` fields
+    (``memory_cycles``, ``buffer_words``, ...) or :class:`CacheConfig`
+    fields (``instruction_hit_ratio``, ...); any cache field in the
+    point (or a non-default base ``cache``) switches to the §3 cached
+    model. The bound net is rendered to canonical source, so cells
+    compile through the same cache and replay byte-identically as
+    standalone runs.
+    """
+
+    def __init__(self, base: PipelineConfig | None = None,
+                 cache: CacheConfig | None = None) -> None:
+        self.base = base or PipelineConfig()
+        self.cache = cache
+
+    def bind(self, point: dict[str, Any]) -> str:
+        pipeline_kwargs = {
+            name: value for name, value in point.items()
+            if name in _PIPELINE_FIELDS
+        }
+        cache_kwargs = {
+            name: value for name, value in point.items()
+            if name in _CACHE_FIELDS
+        }
+        unknown = point.keys() - _PIPELINE_FIELDS - _CACHE_FIELDS
+        if unknown:
+            raise TemplateError(
+                f"point names {sorted(unknown)} are neither "
+                f"PipelineConfig nor CacheConfig fields"
+            )
+        config = replace(self.base, **pipeline_kwargs)
+        if cache_kwargs or self.cache is not None:
+            cache = replace(self.cache or CacheConfig(), **cache_kwargs)
+            net = build_cached_pipeline_net(config, cache=cache)
+        else:
+            net = build_pipeline_net(config)
+        return format_net(net)
+
+
+def as_binder(template: "Binder | str") -> "Binder":
+    """Coerce a template argument: source text becomes a NetTemplate."""
+    if isinstance(template, str):
+        return NetTemplate(template)
+    if not hasattr(template, "bind"):
+        raise TemplateError(
+            f"expected a template source or binder, got {template!r}"
+        )
+    return template

@@ -21,9 +21,16 @@ clients over one process:
 """
 
 from .cache import CompiledNet, CompiledNetCache
-from .client import JobResult, RemoteError, ServiceClient, SweepOutcome
+from .client import (
+    ExploreOutcome,
+    JobResult,
+    RemoteError,
+    ServiceClient,
+    SweepOutcome,
+)
 from .harness import ServerThread
 from .protocol import (
+    ExploreSpec,
     JobSpec,
     ProtocolError,
     ServiceError,
@@ -37,6 +44,8 @@ from .server import SimulationService, run_server
 __all__ = [
     "CompiledNet",
     "CompiledNetCache",
+    "ExploreOutcome",
+    "ExploreSpec",
     "Job",
     "JobQueue",
     "JobResult",

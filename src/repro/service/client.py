@@ -14,7 +14,14 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..analysis.report import canonical_json
-from .protocol import JobSpec, ServiceError, SweepSpec, decode, encode
+from .protocol import (
+    ExploreSpec,
+    JobSpec,
+    ServiceError,
+    SweepSpec,
+    decode,
+    encode,
+)
 
 
 class RemoteError(ServiceError):
@@ -74,6 +81,37 @@ class SweepOutcome:
         if stats is None:
             raise ServiceError(
                 "sweep was submitted without the 'stats' output"
+            )
+        return canonical_json(stats)
+
+
+@dataclass
+class ExploreOutcome:
+    """A completed design-space exploration as seen by the client.
+
+    ``cells`` maps cell index (point-major grid order) to the cell
+    payload — exactly the summary an individual submission of that
+    point's bound net and seed would report. Cells the request listed in
+    ``skip`` are absent here; the caller (``pnut explore``) merges them
+    back from its result store.
+    """
+
+    job_id: str
+    cached: bool
+    summary: dict[str, Any]
+    cells: dict[int, dict[str, Any]]
+
+    @property
+    def net_shas(self) -> list[str]:
+        return self.summary["net_shas"]
+
+    def cell_stats_json(self, index: int) -> str:
+        """Canonical JSON of one cell's statistics — byte-comparable
+        with ``pnut stat --json`` over the bound net and seed."""
+        stats = self.cells[index].get("stats")
+        if stats is None:
+            raise ServiceError(
+                "exploration was submitted without the 'stats' output"
             )
         return canonical_json(stats)
 
@@ -272,6 +310,88 @@ class ServiceClient:
                 raise ServiceError(
                     f"unexpected frame {kind!r} while waiting for {job_id}"
                 )
+
+    def explore(
+        self,
+        net_source: str,
+        params: dict[str, Any],
+        seeds: tuple[int, ...] | list[int],
+        until: float | None = None,
+        max_events: int | None = None,
+        run_number: int = 1,
+        outputs: tuple[str, ...] = ("stats",),
+        priority: int = 0,
+        skip: tuple[tuple[int, int], ...] | list = (),
+        on_cell: Callable[[int, int, dict[str, Any]], None] | None = None,
+    ) -> ExploreOutcome:
+        """Submit one explore frame (template + parameter space + seeds),
+        block until its result.
+
+        Per-cell payloads stream through ``on_cell(index, point_index,
+        cell_payload)`` as the server completes them and accumulate in
+        :attr:`ExploreOutcome.cells` keyed by cell index (point-major
+        grid order). ``skip`` cells are never simulated server-side and
+        never appear here.
+        """
+        spec = ExploreSpec(
+            net_source=net_source,
+            params=params,
+            seeds=tuple(seeds),
+            until=until,
+            max_events=max_events,
+            run_number=run_number,
+            outputs=tuple(outputs),
+            priority=priority,
+            skip=tuple((int(p), int(s)) for p, s in skip),
+        )
+        request_id = self._request("explore", **spec.to_payload())
+        accepted = self._wait(request_id)
+        if accepted.get("type") != "accepted":
+            raise ServiceError(f"expected accepted frame, got {accepted!r}")
+        job_id = accepted["job"]
+        cells: dict[int, dict[str, Any]] = {}
+        while True:
+            frame = self._wait(request_id)
+            kind = frame.get("type")
+            if kind == "explore-cell":
+                index = frame["index"]
+                cells[index] = frame["cell"]
+                if on_cell is not None:
+                    on_cell(index, frame["point"], frame["cell"])
+            elif kind == "result":
+                summary = frame.get("summary", {})
+                expected = summary.get("cells_run")
+                if expected is not None and expected != len(cells):
+                    raise ServiceError(
+                        f"exploration {job_id} finished with "
+                        f"{len(cells)} of {expected} cells"
+                    )
+                return ExploreOutcome(
+                    job_id=job_id,
+                    cached=bool(frame.get("cached")),
+                    summary=summary,
+                    cells=cells,
+                )
+            else:
+                raise ServiceError(
+                    f"unexpected frame {kind!r} while waiting for {job_id}"
+                )
+
+    def explore_nowait(self, net_source: str, params: dict[str, Any],
+                       seeds, **kwargs: Any) -> str:
+        """Fire-and-forget explore submission; returns the job id.
+
+        Like :meth:`submit_nowait`: poll :meth:`status` / :meth:`jobs`
+        to observe completion — used for queue-management flows
+        (cancelling a running exploration mid-grid).
+        """
+        spec = ExploreSpec(net_source=net_source, params=params,
+                           seeds=tuple(seeds), **kwargs)
+        request_id = self._request("explore", **spec.to_payload())
+        accepted = self._wait(request_id)
+        if accepted.get("type") != "accepted":
+            raise ServiceError(f"expected accepted frame, got {accepted!r}")
+        return accepted["job"]
 
     def sweep_nowait(self, net_source: str, seeds, **kwargs: Any) -> str:
         """Fire-and-forget sweep submission; returns the job id.

@@ -32,15 +32,28 @@ schedulable, cancellable job: after ``accepted`` the server streams one
 seed (each ``run`` payload carries the same statistics dict and trace
 SHA-256 an individual ``submit`` of that seed would report) and
 finishes with a ``result`` frame holding the cross-run aggregates.
+
+An ``explore`` is one frame for a whole **parameter grid**: a templated
+net source plus a :class:`~repro.dse.space.ParamSpace` payload and a
+seed grid. It travels the queue as one cancellable job; the server
+binds and compiles every point through its net cache, streams one
+``{"type": "explore-cell", "index": i, "point": p, "cell": {...}}``
+frame per completed (point, seed) cell (each ``cell`` payload is
+exactly what a ``submit`` of the bound source with that seed would
+report) and finishes with a ``result`` frame summarizing the grid.
+``skip`` lists ``[point_index, seed]`` cells the client already holds
+(its result store), which the server never simulates — that is how
+re-runs stay incremental across the wire.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from ..core.errors import PnutError
+from ..dse.space import MAX_POINTS, ParamSpace, ParamSpaceError
 
 
 class ServiceError(PnutError):
@@ -69,6 +82,13 @@ VALID_SWEEP_OUTPUTS = ("stats",)
 #: Hard bound on seeds per sweep frame: one frame is one queue entry,
 #: so an absurd grid must be rejected up front, not scheduled.
 MAX_SWEEP_SEEDS = 4096
+
+#: Result channels an exploration may subscribe to (per-cell summaries
+#: always stream; traces are pinned by digest, replayed via ``submit``).
+VALID_EXPLORE_OUTPUTS = ("stats",)
+
+#: Hard bound on (point x seed) cells per explore frame.
+MAX_EXPLORE_CELLS = 8192
 
 
 def encode(message: dict[str, Any]) -> bytes:
@@ -266,6 +286,152 @@ class SweepSpec:
         payload["outputs"] = list(self.outputs)
         if self.priority:
             payload["priority"] = self.priority
+        return payload
+
+
+@dataclass(frozen=True)
+class ExploreSpec:
+    """One design-space exploration, as carried on the wire.
+
+    ``net_source`` is a *template* (``${name}`` placeholders) bound per
+    point of the :class:`~repro.dse.space.ParamSpace` described by
+    ``params``; every (point, seed) cell replays bit-identically against
+    an individual submission of the bound source. ``skip`` names cells
+    the client already holds — ``(point_index, seed)`` pairs the server
+    acknowledges in the result summary but never simulates.
+    """
+
+    net_source: str
+    params: dict[str, Any] = field(default_factory=dict)
+    seeds: tuple[int, ...] = ()
+    until: float | None = None
+    max_events: int | None = None
+    run_number: int = 1
+    outputs: tuple[str, ...] = ("stats",)
+    priority: int = 0
+    skip: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.until is None and self.max_events is None:
+            raise ProtocolError("explore needs until=, max_events=, or both")
+        if self.until is not None:
+            # Wire normalization, exactly as on SweepSpec: client-built
+            # and server-reconstructed specs must be identical so cell
+            # payloads are byte-identical across paths.
+            object.__setattr__(self, "until", float(self.until))
+        if not self.seeds:
+            raise ProtocolError("explore needs at least one seed")
+        if not all(isinstance(seed, int) and not isinstance(seed, bool)
+                   for seed in self.seeds):
+            raise ProtocolError("explore seeds must be integers")
+        try:
+            points = len(self.space())
+        except ParamSpaceError as error:
+            raise ProtocolError(f"bad explore params: {error}") from None
+        if points > MAX_POINTS:
+            # points() enforces this too, but only when the server binds
+            # — an absurd grid must be rejected up front, not scheduled
+            # and then failed as a misleading net-error.
+            raise ProtocolError(
+                f"exploration of {points} points exceeds the per-space "
+                f"bound of {MAX_POINTS}"
+            )
+        # Cached for status/jobs listings: the grid size is immutable
+        # once validated, so nothing should re-parse the space for it.
+        # (Not a dataclass field: equality and the wire payload are
+        # unaffected.)
+        object.__setattr__(self, "point_count", points)
+        cells = points * len(self.seeds)
+        if cells > MAX_EXPLORE_CELLS:
+            raise ProtocolError(
+                f"exploration of {cells} cells exceeds the per-frame "
+                f"bound of {MAX_EXPLORE_CELLS}"
+            )
+        seed_set = set(self.seeds)
+        for pair in self.skip:
+            ok = (
+                isinstance(pair, tuple) and len(pair) == 2
+                and all(isinstance(v, int) and not isinstance(v, bool)
+                        for v in pair)
+                and 0 <= pair[0] < points and pair[1] in seed_set
+            )
+            if not ok:
+                raise ProtocolError(
+                    f"bad skip entry {pair!r}: use [point_index, seed] "
+                    f"pairs inside the grid"
+                )
+        bad = [o for o in self.outputs if o not in VALID_EXPLORE_OUTPUTS]
+        if bad:
+            raise ProtocolError(
+                f"unknown explore outputs {bad}; valid: "
+                f"{list(VALID_EXPLORE_OUTPUTS)}"
+            )
+
+    def space(self) -> ParamSpace:
+        return ParamSpace.from_payload(self.params)
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ExploreSpec":
+        net_source = _require(payload, "net", str, "the net template text")
+        params = payload.get("params")
+        if not isinstance(params, dict):
+            raise ProtocolError("'params' must be a parameter-space object")
+        seeds = payload.get("seeds")
+        if not isinstance(seeds, list):
+            raise ProtocolError("'seeds' must be a list of integers")
+        until = payload.get("until")
+        if until is not None and not isinstance(until, (int, float)):
+            raise ProtocolError("'until' must be a number")
+        max_events = payload.get("max_events")
+        if max_events is not None and not isinstance(max_events, int):
+            raise ProtocolError("'max_events' must be an integer")
+        run_number = payload.get("run", 1)
+        if not isinstance(run_number, int):
+            raise ProtocolError("'run' must be an integer")
+        outputs = payload.get("outputs", ["stats"])
+        if not isinstance(outputs, list) or not all(
+            isinstance(o, str) for o in outputs
+        ):
+            raise ProtocolError("'outputs' must be a list of channel names")
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int):
+            raise ProtocolError("'priority' must be an integer")
+        skip = payload.get("skip", [])
+        if not isinstance(skip, list) or not all(
+            isinstance(pair, list) and len(pair) == 2 for pair in skip
+        ):
+            raise ProtocolError(
+                "'skip' must be a list of [point_index, seed] pairs"
+            )
+        return cls(
+            net_source=net_source,
+            params=params,
+            seeds=tuple(seeds),
+            until=float(until) if until is not None else None,
+            max_events=max_events,
+            run_number=run_number,
+            outputs=tuple(outputs),
+            priority=priority,
+            skip=tuple((pair[0], pair[1]) for pair in skip),
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "net": self.net_source,
+            "params": self.params,
+            "seeds": list(self.seeds),
+        }
+        if self.until is not None:
+            payload["until"] = self.until
+        if self.max_events is not None:
+            payload["max_events"] = self.max_events
+        if self.run_number != 1:
+            payload["run"] = self.run_number
+        payload["outputs"] = list(self.outputs)
+        if self.priority:
+            payload["priority"] = self.priority
+        if self.skip:
+            payload["skip"] = [list(pair) for pair in self.skip]
         return payload
 
 

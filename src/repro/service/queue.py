@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Any, Callable
 
-from .protocol import JobSpec, ServiceError, SweepSpec
+from .protocol import ExploreSpec, JobSpec, ServiceError, SweepSpec
 
 
 class QueueFullError(ServiceError):
@@ -57,7 +57,7 @@ class Job:
     SLOW_CONSUMER_TIMEOUT = 30.0
 
     id: str
-    spec: JobSpec | SweepSpec
+    spec: JobSpec | SweepSpec | ExploreSpec
     seq: int
     state: JobState = JobState.QUEUED
     cached: bool = False
@@ -138,9 +138,12 @@ class Job:
             "cached": self.cached,
             "submitted_at": self.submitted_at,
         }
-        # One-run jobs report their seed; sweep jobs report the grid
-        # size (one queue entry covers the whole grid).
-        if isinstance(self.spec, SweepSpec):
+        # One-run jobs report their seed; sweep/explore jobs report the
+        # grid size (one queue entry covers the whole grid).
+        if isinstance(self.spec, ExploreSpec):
+            payload["points"] = self.spec.point_count
+            payload["cells"] = payload["points"] * len(self.spec.seeds)
+        elif isinstance(self.spec, SweepSpec):
             payload["runs"] = len(self.spec.seeds)
         else:
             payload["seed"] = self.spec.seed
@@ -183,7 +186,7 @@ class JobQueue:
 
     # -- submission / retrieval -------------------------------------------
 
-    def submit(self, spec: JobSpec | SweepSpec) -> Job:
+    def submit(self, spec: JobSpec | SweepSpec | ExploreSpec) -> Job:
         if self._pending >= self.max_pending:
             raise QueueFullError(
                 f"queue full: {self._pending} pending jobs "

@@ -25,13 +25,14 @@ from ..analysis.report import statistics_payload
 from ..analysis.stat import StatisticsObserver
 from ..core.errors import PnutError
 from ..sim.experiment import ForkedTask, fork_available
-from ..sim.sweep import run_sweep
+from ..sim.sweep import TraceHasher, run_sweep
 from ..trace.events import TraceHeader
 from ..trace.serialize import format_event, format_header
 from .cache import CompiledNet, CompiledNetCache
 from .protocol import (
     PROTOCOL_VERSION,
     TRACE_BATCH_LINES,
+    ExploreSpec,
     JobSpec,
     ProtocolError,
     SweepSpec,
@@ -54,14 +55,17 @@ def execute_job(compiled: CompiledNet, spec: JobSpec, emit) -> dict[str, Any]:
     lines — while statistics accumulate in a streaming observer; the
     trace itself is never materialized (``keep_events=False``). The
     returned payload is the job's ``result`` frame body: a summary
-    (counters, final time, SHA-256 of the serialized trace) plus the
-    Figure-5 statistics when subscribed.
+    (counters, final time, the :class:`~repro.sim.sweep.TraceHasher`
+    digest of the event stream) plus the Figure-5 statistics when
+    subscribed. Text serialization is paid only when the ``trace``
+    output is subscribed; a stats-only job hashes the compact binary
+    event encoding and never formats a line.
     """
     want_stats = "stats" in spec.outputs
     want_trace = "trace" in spec.outputs
 
-    sha = hashlib.sha256()
-    lines_seen = 0
+    header = TraceHeader(compiled.net.name, spec.run_number, spec.seed)
+    hasher = TraceHasher(header)
     batch: list[str] = []
 
     def flush() -> None:
@@ -69,28 +73,20 @@ def execute_job(compiled: CompiledNet, spec: JobSpec, emit) -> dict[str, Any]:
             emit({"channel": "trace", "lines": list(batch)})
             batch.clear()
 
-    header = TraceHeader(compiled.net.name, spec.run_number, spec.seed)
-    for line in format_header(header):
-        sha.update(line.encode("utf-8") + b"\n")
-        if want_trace:
-            batch.append(line)
+    observers: list[Any] = [hasher.on_event]
+    if want_trace:
+        batch.extend(format_header(header))
 
-    def on_event(event) -> None:
-        nonlocal lines_seen
-        line = format_event(event)
-        sha.update(line.encode("utf-8") + b"\n")
-        lines_seen += 1
-        if want_trace:
-            batch.append(line)
+        def on_event(event) -> None:
+            batch.append(format_event(event))
             if len(batch) >= TRACE_BATCH_LINES:
                 flush()
 
-    observers: list[Any] = []
+        observers.append(on_event)
     stats_observer = None
     if want_stats:
         stats_observer = StatisticsObserver(run_number=spec.run_number)
-        observers.append(stats_observer)
-    observers.append(on_event)
+        observers.insert(0, stats_observer)
 
     simulator = compiled.simulator(
         seed=spec.seed, run_number=spec.run_number, observers=observers
@@ -108,14 +104,76 @@ def execute_job(compiled: CompiledNet, spec: JobSpec, emit) -> dict[str, Any]:
             "final_time": result.final_time,
             "events_started": result.events_started,
             "events_finished": result.events_finished,
-            "trace_events": lines_seen,
-            "trace_sha256": sha.hexdigest(),
+            "trace_events": hasher.events,
+            "trace_sha256": hasher.hexdigest(),
             "cache_key": compiled.key,
         }
     }
     if stats_observer is not None:
         payload["stats"] = statistics_payload(stats_observer.result())
     return payload
+
+
+def execute_explore_job(
+    prepared: list[tuple[dict[str, Any], CompiledNet, str]],
+    spec: ExploreSpec,
+    emit,
+) -> dict[str, Any]:
+    """Run one exploration job — the whole (point x seed) grid.
+
+    ``prepared`` carries one ``(point, compiled entry, net sha)`` triple
+    per grid point, bound and compiled on the event-loop side through
+    the server's net cache *before* the fork, so the child inherits
+    every skeleton by memory image and repeated explorations hit the
+    cache. Runs inside a single forked child (one cancellable job); each
+    non-skipped cell forks its point's skeleton and streams a payload
+    identical to what a ``submit`` of the bound source would report.
+    """
+    from ..sim.sweep import _sweep_one
+
+    want_stats = "stats" in spec.outputs
+    skip = set(spec.skip)
+    seeds = list(spec.seeds)
+    digests: list[tuple[int, int, str]] = []
+    events_started = events_finished = cells_run = 0
+    index = 0
+    for point_index, (_point, compiled, _sha) in enumerate(prepared):
+        for seed in seeds:
+            if (point_index, seed) not in skip:
+                summary, _values = _sweep_one(
+                    compiled.template, seed, spec.run_number, spec.until,
+                    spec.max_events, want_stats, {}, {},
+                )
+                emit({
+                    "channel": "explore-cell", "index": index,
+                    "point": point_index, "cell": summary.to_payload(),
+                })
+                digests.append((point_index, seed, summary.trace_sha256))
+                events_started += summary.events_started
+                events_finished += summary.events_finished
+                cells_run += 1
+            index += 1
+    # Digest over the cells actually run, folded in (point, seed) order
+    # so it is independent of the submitted seed ordering (and equals
+    # the in-process driver's cells_sha256 when nothing was skipped).
+    digests.sort(key=lambda item: (item[0], item[1]))
+    cells_sha = hashlib.sha256(
+        "".join(digest for _p, _s, digest in digests).encode("ascii")
+    ).hexdigest()
+    return {
+        "summary": {
+            "net": prepared[0][1].net.name if prepared else "",
+            "points": len(prepared),
+            "seeds": seeds,
+            "cells": index,
+            "cells_run": cells_run,
+            "cells_skipped": index - cells_run,
+            "events_started": events_started,
+            "events_finished": events_finished,
+            "run_cells_sha256": cells_sha,
+            "net_shas": [sha for _point, _compiled, sha in prepared],
+        },
+    }
 
 
 def execute_sweep_job(compiled: CompiledNet, spec: SweepSpec,
@@ -188,6 +246,40 @@ class SimulationService:
 
     # -- lifecycle ---------------------------------------------------------
 
+    def preload(self, directory: str) -> dict[str, Any]:
+        """Warm-start the net cache from every ``*.pn`` under a directory.
+
+        Compiles each net source through the cache (recursively, in
+        sorted path order for determinism), so the first job on a known
+        net pays the warm-hit latency instead of a cold compile. Parse
+        failures are collected, not fatal — a scratch file in the corpus
+        must not keep the server from starting. Returns a summary
+        (loaded/failed counts, per-file errors, cache counters) for the
+        startup log. Synchronous: call before serving traffic (or from a
+        thread).
+        """
+        from pathlib import Path
+
+        root = Path(directory)
+        loaded = 0
+        errors: list[dict[str, str]] = []
+        for path in sorted(root.rglob("*.pn")):
+            try:
+                source = path.read_text(encoding="utf-8")
+                self.cache.lookup(source, self.immediate_budget)
+                loaded += 1
+            except (OSError, ValueError, PnutError) as error:
+                # ValueError covers UnicodeDecodeError: a binary scratch
+                # file is a skip, not a startup crash.
+                errors.append({"file": str(path), "error": str(error)})
+        return {
+            "directory": str(root),
+            "loaded": loaded,
+            "failed": len(errors),
+            "errors": errors,
+            "cache": self.cache.to_payload(),
+        }
+
     async def start(
         self,
         host: str | None = None,
@@ -252,26 +344,56 @@ class SimulationService:
             except Exception as error:  # noqa: BLE001 - keep the pool alive
                 self._finish(job, None, f"internal error: {error!r}")
 
+    def _prepare_explore(
+        self, spec: ExploreSpec
+    ) -> tuple[list[tuple[dict[str, Any], Any, str]], bool]:
+        """Bind and compile every grid point through the net cache.
+
+        Runs on a thread *before* the job forks (via the same
+        :func:`~repro.dse.explore.bind_space` the in-process driver
+        uses, so net hashes match the client's skip keys exactly), which
+        means the child inherits all compiled skeletons by memory image
+        and a repeated exploration of an overlapping grid hits the
+        cache. Returns the prepared ``(point, compiled, net sha)``
+        triples plus whether every point was served from cache.
+        """
+        from ..dse.explore import bind_space
+
+        points, compiled, net_shas, outcomes = bind_space(
+            spec.net_source, spec.space(), self.cache,
+            immediate_budget=self.immediate_budget,
+        )
+        prepared = list(zip(points, compiled, net_shas))
+        return prepared, all(outcome != "miss" for outcome in outcomes)
+
     async def _execute(self, job: Job) -> None:
         spec = job.spec
         try:
-            compiled, outcome = await asyncio.to_thread(
-                self.cache.lookup, spec.net_source, self.immediate_budget
-            )
+            if isinstance(spec, ExploreSpec):
+                target, cached = await asyncio.to_thread(
+                    self._prepare_explore, spec
+                )
+                executor: Any = execute_explore_job
+            else:
+                target, outcome = await asyncio.to_thread(
+                    self.cache.lookup, spec.net_source,
+                    self.immediate_budget
+                )
+                cached = outcome != "miss"
+                executor = (execute_sweep_job
+                            if isinstance(spec, SweepSpec) else execute_job)
         except PnutError as error:
             self._finish(job, None, f"net error: {error}", code="net-error")
             return
-        job.cached = outcome != "miss"
+        job.cached = cached
         if job.state is JobState.CANCELLED:
             self._finish(job, None, None)
             return
 
-        executor = (execute_sweep_job if isinstance(spec, SweepSpec)
-                    else execute_job)
         value: dict[str, Any] | None = None
         error_text: str | None = None
         if self.use_fork:
-            task = ForkedTask(executor, (compiled, spec),
+            task = ForkedTask(executor, (target, spec),
                               label=f"job {job.id}")
             job.cancel_hook = task.terminate
             try:
@@ -301,7 +423,7 @@ class SimulationService:
                 ).result()
 
             try:
-                value = await asyncio.to_thread(executor, compiled, spec,
+                value = await asyncio.to_thread(executor, target, spec,
                                                 emit)
             except PnutError as error:
                 error_text = str(error)
@@ -317,6 +439,12 @@ class SimulationService:
             await job.publish_stream({
                 "type": "sweep-run", "job": job.id,
                 "index": payload["index"], "run": payload["run"],
+            })
+        elif channel == "explore-cell":
+            await job.publish_stream({
+                "type": "explore-cell", "job": job.id,
+                "index": payload["index"], "point": payload["point"],
+                "cell": payload["cell"],
             })
 
     def _finish(self, job: Job, value: dict[str, Any] | None,
@@ -402,8 +530,11 @@ class SimulationService:
             await send({"type": "pong", "id": request_id,
                         "version": PROTOCOL_VERSION})
             return None
-        if op in ("submit", "sweep"):
-            spec_cls = JobSpec if op == "submit" else SweepSpec
+        if op in ("submit", "sweep", "explore"):
+            spec_cls: Any = {
+                "submit": JobSpec, "sweep": SweepSpec,
+                "explore": ExploreSpec,
+            }[op]
             try:
                 spec = spec_cls.from_payload(message)
             except ProtocolError as error:
@@ -500,14 +631,25 @@ async def run_server(
     workers: int = 2,
     cache_capacity: int = 32,
     max_pending: int = 256,
+    preload_dir: str | None = None,
+    preload_callback=None,
     ready_callback=None,
 ) -> None:
-    """Start a service and serve until shutdown (the ``pnut serve`` body)."""
+    """Start a service and serve until shutdown (the ``pnut serve`` body).
+
+    ``preload_dir`` warm-starts the compiled-net cache from every
+    ``*.pn`` under the directory before the listener binds; the summary
+    (loaded/failed counts, cache counters) goes to ``preload_callback``.
+    """
     service = SimulationService(
         workers=workers,
         cache_capacity=cache_capacity,
         max_pending=max_pending,
     )
+    if preload_dir is not None:
+        summary = await asyncio.to_thread(service.preload, preload_dir)
+        if preload_callback is not None:
+            preload_callback(summary)
     address = await service.start(host=host, port=port, unix_path=unix_path)
     if ready_callback is not None:
         ready_callback(address)

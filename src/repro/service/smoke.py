@@ -14,6 +14,7 @@ Run it directly::
 
 from __future__ import annotations
 
+import hashlib
 import subprocess
 import sys
 import tempfile
@@ -60,18 +61,26 @@ def main() -> int:
                 time.sleep(0.05)
 
             with ServiceClient(unix_path=socket_path, timeout=300.0) as client:
+                # The streamed trace text is hashed client-side: the
+                # summary's trace_sha256 digests the binary event
+                # encoding, while this pin covers the exact bytes
+                # `pnut sim` would have written.
+                sha = hashlib.sha256()
                 cold = client.submit(
                     net_source, until=PAPER_CYCLES, seed=SEED,
-                    outputs=("stats", "trace"), collect_trace=False,
+                    outputs=("stats", "trace"),
+                    on_trace_line=lambda line: sha.update(
+                        line.encode("utf-8") + b"\n"
+                    ),
                 )
                 if cold.summary["trace_events"] != REFERENCE_EVENT_COUNT:
                     return _fail(
                         f"expected {REFERENCE_EVENT_COUNT} events, got "
                         f"{cold.summary['trace_events']}"
                     )
-                if cold.trace_sha256 != REFERENCE_TRACE_SHA256:
+                if sha.hexdigest() != REFERENCE_TRACE_SHA256:
                     return _fail(
-                        f"trace SHA-256 drifted: {cold.trace_sha256}"
+                        f"trace SHA-256 drifted: {sha.hexdigest()}"
                     )
                 if cold.cached:
                     return _fail("first submission reported a cache hit")
@@ -81,7 +90,7 @@ def main() -> int:
                 if not warm.cached:
                     return _fail("warm submission missed the compiled-net "
                                  "cache")
-                if warm.trace_sha256 != REFERENCE_TRACE_SHA256:
+                if warm.trace_sha256 != cold.trace_sha256:
                     return _fail("warm run trace diverged from the cold run")
                 counters = client.server_stats()["cache"]
                 if counters["misses"] != 1 or counters["hits"] < 1:

@@ -8,10 +8,17 @@ from .experiment import (
     ForkedTask,
     MetricSummary,
     fork_available,
+    map_chunked_forked,
     map_forked,
     summarize_metric,
 )
-from .sweep import SweepResult, SweepRunSummary, TraceHasher, run_sweep
+from .sweep import (
+    SweepResult,
+    SweepRunSummary,
+    TraceHasher,
+    run_sweep,
+    trace_digest,
+)
 
 __all__ = [
     "CommandScript",
@@ -27,9 +34,11 @@ __all__ = [
     "TraceHasher",
     "execute_commands",
     "fork_available",
+    "map_chunked_forked",
     "map_forked",
     "run_script_text",
     "run_sweep",
     "simulate",
     "summarize_metric",
+    "trace_digest",
 ]

@@ -128,6 +128,60 @@ class ForkedTask:
         self._process.join(timeout=self.TERMINATE_GRACE)
 
 
+def map_chunked_forked(
+    run_one: Callable[[int], Any],
+    chunks: Sequence[Sequence[int]],
+    on_result: Callable[[int, Any], Any] | None = None,
+    label: str = "chunk worker",
+) -> dict[int, Any]:
+    """Run ``run_one(position)`` across forked children, one per chunk.
+
+    Each child executes its positions in order and streams one
+    ``(position, result)`` message per completed call; the parent
+    multiplexes the children's pipes (so ``on_result`` fires as results
+    complete, in nondeterministic cross-chunk order) and returns
+    ``{position: result}``. The first child failure is raised as
+    ``RuntimeError`` after every child has been joined. This is the
+    shared fan-out loop under multi-seed sweeps and design-space
+    explorations; ``run_one`` and its closure are inherited by fork,
+    never pickled.
+    """
+    from multiprocessing import connection as _mp_connection
+
+    def chunk_main(positions, emit) -> None:
+        for position in positions:
+            emit((position, run_one(position)))
+
+    tasks = [
+        ForkedTask(chunk_main, (list(chunk),),
+                   label=f"{label} for positions {list(chunk)}")
+        for chunk in chunks if chunk
+    ]
+    collected: dict[int, Any] = {}
+    failure: str | None = None
+    pending = {task.connection: task for task in tasks}
+    while pending:
+        for conn in _mp_connection.wait(list(pending)):
+            task = pending[conn]
+            kind, payload = task.next_message()
+            if kind == "msg":
+                position, result = payload
+                collected[position] = result
+                if on_result is not None:
+                    on_result(position, result)
+            elif kind == "ok":
+                del pending[conn]
+            else:
+                if failure is None:
+                    failure = payload
+                del pending[conn]
+    for task in tasks:
+        task.join()
+    if failure is not None:
+        raise RuntimeError(f"{label} failed:\n{failure}")
+    return collected
+
+
 def map_forked(
     fn: Callable[..., Any],
     arg_tuples: Sequence[tuple],
@@ -384,6 +438,53 @@ class Experiment:
             stat_metrics=self.stat_metrics,
             confidence=self.confidence,
             on_run=on_run,
+        )
+
+    def explore(
+        self,
+        space,
+        template,
+        replications: int | None = None,
+        seeds: Sequence[int] | None = None,
+        workers: int = 1,
+        want_stats: bool = True,
+        store=None,
+        cache=None,
+        on_cell: Callable[[Any], Any] | None = None,
+    ):
+        """Run a design-space exploration with this experiment's design.
+
+        Built on :func:`repro.dse.run_exploration`: every point of
+        ``space`` is bound through ``template`` (a
+        :class:`~repro.dse.NetTemplate`, source text with ``${...}``
+        placeholders, or any binder) and crossed with the seed grid —
+        this experiment's net is *not* used, only its measurement
+        discipline: ``until``, ``metrics`` / ``stat_metrics`` (evaluated
+        per cell, persisted on the cell payload) and ``confidence`` for
+        the per-point aggregates. ``seeds`` defaults to ``base_seed +
+        i`` exactly like :meth:`run`. Returns an
+        :class:`~repro.dse.ExplorationResult`.
+        """
+        from ..dse.explore import run_exploration
+
+        if seeds is None:
+            count = 5 if replications is None else replications
+            if count < 1:
+                raise ValueError("need at least one replication")
+            seeds = [self.base_seed + i for i in range(count)]
+        return run_exploration(
+            template,
+            space,
+            seeds,
+            until=self.until,
+            workers=workers,
+            want_stats=want_stats,
+            metrics=self.metrics,
+            stat_metrics=self.stat_metrics,
+            confidence=self.confidence,
+            store=store,
+            cache=cache,
+            on_cell=on_cell,
         )
 
     def _run_forked(

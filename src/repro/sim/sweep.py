@@ -33,19 +33,18 @@ from __future__ import annotations
 import hashlib
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from multiprocessing import connection as _mp_connection
 from typing import Any
 
 from ..analysis.report import statistics_payload
 from ..analysis.stat import StatisticsObserver, TraceStatistics
 from ..core.net import PetriNet
 from ..trace.events import TraceEvent, TraceHeader
-from ..trace.serialize import format_event, format_header
+from ..trace.serialize import encode_event, encode_header
 from .engine import SimulationResult, Simulator
 from .experiment import (
-    ForkedTask,
     MetricSummary,
     fork_available,
+    map_chunked_forked,
     summarize_metric,
 )
 
@@ -54,25 +53,46 @@ BUILTIN_AGGREGATES = ("events_started", "events_finished", "final_time")
 
 
 class TraceHasher:
-    """Stream a run's serialized trace into a SHA-256, keeping nothing.
+    """Stream a run's trace into a SHA-256 digest, keeping nothing.
 
-    Feeds on the same lines ``pnut sim`` writes — header lines first,
-    then one line per event, each ``\\n``-terminated — so the digest is
-    byte-comparable with hashing a ``pnut sim`` trace file.
+    Hashes the compact binary rendering of each event tuple
+    (:func:`repro.trace.serialize.encode_event`) rather than the
+    formatted trace line — on short sweep runs the ``format_event`` text
+    path dominated the whole simulation. The digest therefore no longer
+    equals ``sha256`` of a trace *file*; it remains a stable identity of
+    the event stream: re-parsing a serialized trace
+    (:func:`~repro.trace.serialize.read_trace`) and hashing the parsed
+    events yields exactly the live run's digest (see
+    :func:`trace_digest`), so cross-path identity stays checkable.
     """
 
     def __init__(self, header: TraceHeader) -> None:
-        self._sha = hashlib.sha256()
+        self._sha = hashlib.sha256(encode_header(header))
+        # Token-delta sections memoized by arc-dict identity: the engine
+        # shares its static per-transition dicts across every event.
+        self._memo: dict = {}
         self.events = 0
-        for line in format_header(header):
-            self._sha.update(line.encode("utf-8") + b"\n")
 
     def on_event(self, event: TraceEvent) -> None:
-        self._sha.update(format_event(event).encode("utf-8") + b"\n")
+        self._sha.update(encode_event(event, self._memo))
         self.events += 1
 
     def hexdigest(self) -> str:
         return self._sha.hexdigest()
+
+
+def trace_digest(header: TraceHeader, events) -> str:
+    """Digest of a complete trace — live events or ``read_trace`` output.
+
+    The reference implementation the identity tests hash standalone runs
+    with: feeding a run's events (or the parsed lines of its trace file)
+    through one :class:`TraceHasher` must reproduce the ``trace_sha256``
+    a sweep/explore/service summary reported for the same seed.
+    """
+    hasher = TraceHasher(header)
+    for event in events:
+        hasher.on_event(event)
+    return hasher.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -80,8 +100,9 @@ class SweepRunSummary:
     """One run of a sweep, reduced to its streamable summary.
 
     ``stats`` is the full Figure-5 statistics payload (the dict behind
-    ``pnut stat --json``); ``trace_sha256`` pins the exact trace bytes
-    the run produced without the sweep ever materializing them.
+    ``pnut stat --json``); ``trace_sha256`` pins the run's exact event
+    stream (:func:`trace_digest`) without the sweep ever materializing
+    a trace.
     """
 
     seed: int
@@ -314,49 +335,17 @@ def _run_chunked(
 ) -> list[tuple[SweepRunSummary, dict[str, float]]]:
     """Fan run positions across forked workers, one fork per *chunk*.
 
-    Each child runs its strided chunk of positions and streams one
-    ``(position, summary, values)`` message per completed run; the
-    parent multiplexes the pipes so ``on_run`` fires as runs finish,
-    then reassembles everything in position order.
+    Each child runs its strided chunk of positions (via the shared
+    :func:`~repro.sim.experiment.map_chunked_forked` loop) and streams
+    one message per completed run; ``on_run`` fires as runs finish and
+    everything is reassembled in position order.
     """
-    chunks = [
-        chunk for chunk in
-        (list(range(w, n_runs, workers)) for w in range(workers))
-        if chunk
-    ]
-
-    def chunk_main(positions: list[int], emit) -> None:
-        for position in positions:
-            summary, values = run_one(position)
-            emit((position, summary, values))
-
-    tasks = [
-        ForkedTask(chunk_main, (chunk,),
-                   label=f"sweep worker for runs {chunk}")
-        for chunk in chunks
-    ]
-    collected: dict[int, tuple[SweepRunSummary, dict[str, float]]] = {}
-    failure: str | None = None
-    pending = {task.connection: task for task in tasks}
-    while pending:
-        for conn in _mp_connection.wait(list(pending)):
-            task = pending[conn]
-            kind, payload = task.next_message()
-            if kind == "msg":
-                position, summary, values = payload
-                collected[position] = (summary, values)
-                if on_run is not None:
-                    on_run(position, summary)
-            elif kind == "ok":
-                del pending[conn]
-            else:
-                if failure is None:
-                    failure = payload
-                del pending[conn]
-    for task in tasks:
-        task.join()
-    if failure is not None:
-        raise RuntimeError(f"sweep worker failed:\n{failure}")
+    chunks = [list(range(w, n_runs, workers)) for w in range(workers)]
+    on_result = None
+    if on_run is not None:
+        on_result = lambda position, pair: on_run(position, pair[0])  # noqa: E731
+    collected = map_chunked_forked(run_one, chunks, on_result,
+                                   label="sweep worker")
     missing = [i for i in range(n_runs) if i not in collected]
     if missing:
         raise RuntimeError(f"sweep workers returned no result for runs "

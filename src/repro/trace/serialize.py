@@ -21,6 +21,7 @@ variable updates. Values may be ints, floats, booleans or quoted strings.
 
 from __future__ import annotations
 
+import struct
 from collections.abc import Iterable, Iterator
 from typing import Any, TextIO
 
@@ -281,3 +282,132 @@ def read_trace(lines: Iterable[str]) -> tuple[TraceHeader, Iterator[TraceEvent]]
             seq += 1
 
     return header, events()
+
+
+# ---------------------------------------------------------------------------
+# Compact binary encoding for trace hashing
+# ---------------------------------------------------------------------------
+#
+# Hashing a trace through format_event pays for float repr and f-string
+# assembly on every event — on short sweep runs that formatting dominates
+# the whole simulation (ROADMAP Performance note). encode_event() is the
+# cheap alternative: an unambiguous binary rendering of the *event tuple*
+# (kind, time, transition, token deltas, variables) built from struct
+# packing and byte joins, with no text formatting anywhere.
+#
+# The encoding is canonical over everything the text format preserves and
+# nothing more: `seq` is excluded (trace files do not carry it) and
+# mappings are emitted in sorted order, so encoding a live engine event
+# and encoding the same event re-parsed from a trace file produce
+# identical bytes. Field separators sit outside the value alphabets
+# (names cannot contain NUL, counts are decimal ASCII, strings are
+# length-prefixed), so distinct event tuples never collide.
+
+_BIN_MAGIC = b"PNUT-BTRACE\x001\x00"
+_PACK_DOUBLE = struct.Struct("<d").pack
+_PACK_LEN = struct.Struct("<I").pack
+_KIND_TAG = {
+    EventKind.INIT: b"I",
+    EventKind.START: b"S",
+    EventKind.END: b"E",
+    EventKind.FIRE: b"F",
+    EventKind.DELTA: b"D",
+    EventKind.EOT: b"T",
+}
+
+
+def _encode_value(value: Any) -> bytes:
+    # bool first: it is an int subclass but round-trips as true/false.
+    if isinstance(value, bool):
+        return b"b1" if value else b"b0"
+    if isinstance(value, int):
+        return b"i%d" % value
+    if isinstance(value, float):
+        return b"f" + _PACK_DOUBLE(value)
+    text = str(value).encode("utf-8")
+    return b"s" + _PACK_LEN(len(text)) + text
+
+
+def encode_header(header: TraceHeader) -> bytes:
+    """Binary rendering of a trace header, for digest seeding."""
+    seed = b"-" if header.seed is None else b"%d" % header.seed
+    return b"\x00".join((
+        _BIN_MAGIC + b"%d" % header.version,
+        header.net_name.encode("utf-8"),
+        b"%d" % header.run_number,
+        seed,
+    )) + b"\x00"
+
+
+def _encode_mappings(removed: Any, added: Any) -> bytes:
+    """The two token-delta sections (each ``\\x02``-terminated)."""
+    parts: list[bytes] = []
+    append = parts.append
+    for mapping in (removed, added):
+        if mapping:
+            if len(mapping) == 1:
+                # The engine's common case: one place per side. Skip the
+                # sorted() list build on the hot path.
+                [(place, count)] = mapping.items()
+                append(place.encode("utf-8"))
+                append(b"\x01%d" % count)
+            else:
+                for place in sorted(mapping):
+                    append(place.encode("utf-8"))
+                    append(b"\x01%d" % mapping[place])
+        append(b"\x02")
+    return b"".join(parts)
+
+
+#: Mapping-memo bound: the engine's static arc dicts number in the
+#: hundreds, so a live stream never approaches this; hashing a *parsed*
+#: trace (fresh dicts per event) stops inserting past it instead of
+#: growing without bound.
+_MAPPING_MEMO_LIMIT = 8192
+
+
+def encode_event(
+    event: TraceEvent,
+    mapping_memo: dict[tuple[int, int], tuple[Any, Any, bytes]] | None = None,
+) -> bytes:
+    """Binary rendering of one event tuple (everything but ``seq``).
+
+    ``mapping_memo`` (used by a long-lived hasher) caches the token-delta
+    section by the *identity* of the removed/added dicts: the engine
+    shares its static per-transition arc dicts across millions of
+    events, so the sort-and-encode work is paid once per transition
+    instead of once per event. Entries keep references to the keyed
+    dicts, so an id can never be recycled while its entry is live.
+    """
+    transition = event.transition
+    removed = event.removed
+    added = event.added
+    if mapping_memo is None:
+        mappings = _encode_mappings(removed, added)
+    else:
+        key = (id(removed), id(added))
+        entry = mapping_memo.get(key)
+        if (entry is not None and entry[0] is removed
+                and entry[1] is added):
+            mappings = entry[2]
+        else:
+            mappings = _encode_mappings(removed, added)
+            if len(mapping_memo) < _MAPPING_MEMO_LIMIT:
+                mapping_memo[key] = (removed, added, mappings)
+    head = (
+        _KIND_TAG[event.kind]
+        + _PACK_DOUBLE(event.time)
+        + (transition.encode("utf-8") if transition else b"")
+        + b"\x00"
+        + mappings
+    )
+    variables = event.variables
+    if not variables:
+        return head + b"\x03"
+    parts = [head]
+    for name in sorted(variables):
+        parts.append(name.encode("utf-8"))
+        parts.append(b"\x01")
+        parts.append(_encode_value(variables[name]))
+    parts.append(b"\x03")
+    return b"".join(parts)

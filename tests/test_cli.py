@@ -325,7 +325,8 @@ class TestSweep:
         assert "seed grid" in err
 
     def test_per_seed_identity_with_sim_and_stat(self, net_file, tmp_path):
-        import hashlib
+        from repro.sim import trace_digest
+        from repro.trace.serialize import read_trace
 
         code, out, _err = run_cli(
             ["sweep", net_file, "--until", "400", "--seeds", "2..4",
@@ -344,7 +345,8 @@ class TestSweep:
                  "--seed", str(record["seed"])]
             )
             assert code == 0
-            sha = hashlib.sha256(trace.encode("utf-8")).hexdigest()
+            header, events = read_trace(iter(trace.splitlines()))
+            sha = trace_digest(header, events)
             assert sha == record["trace_sha256"]
             assert record["trace_events"] == sum(
                 1 for line in trace.splitlines()

@@ -22,6 +22,7 @@ from repro.lang.parser import canonical_net_source, parse_net
 from repro.processor import build_pipeline_net
 from repro.service import (
     CompiledNetCache,
+    ExploreSpec,
     JobQueue,
     JobSpec,
     ProtocolError,
@@ -656,6 +657,356 @@ class TestSweepCancellation:
                     time.sleep(0.05)
                 # The worker survives: a fresh sweep still completes.
                 outcome = client.sweep(SMALL_NET, [1, 2], until=50)
+                assert outcome.summary["runs"] == 2
+        finally:
+            thread.stop()
+
+
+# ---------------------------------------------------------------------------
+# Design-space explorations over the wire
+# ---------------------------------------------------------------------------
+
+EXPLORE_TEMPLATE = """\
+net gridco
+place pool = ${tokens}
+place free = 1
+work [fire=${delay}]: pool + free -> free + done
+drain [fire=1]: done -> 0
+"""
+
+
+def explore_params():
+    from repro.dse import ParamSpace
+
+    return (ParamSpace().values("tokens", [2, 4]).values("delay", [1, 2]))
+
+
+class TestExploreSpec:
+    def spec(self, **overrides):
+        fields = dict(
+            net_source=EXPLORE_TEMPLATE,
+            params=explore_params().to_payload(),
+            seeds=(1, 2),
+            until=50.0,
+        )
+        fields.update(overrides)
+        return ExploreSpec(**fields)
+
+    def test_payload_round_trip(self):
+        spec = self.spec(priority=2, run_number=3, skip=((0, 1), (3, 2)))
+        assert ExploreSpec.from_payload(spec.to_payload()) == spec
+
+    def test_wire_normalizes_until_to_float(self):
+        assert self.spec(until=50).until == 50.0
+
+    def test_requires_a_stop_condition_and_seeds(self):
+        with pytest.raises(ProtocolError, match="until"):
+            self.spec(until=None)
+        with pytest.raises(ProtocolError, match="seed"):
+            self.spec(seeds=())
+        with pytest.raises(ProtocolError, match="integers"):
+            self.spec(seeds=(1.5,))
+
+    def test_rejects_bad_params_and_skip(self):
+        with pytest.raises(ProtocolError, match="params"):
+            self.spec(params={"axes": []})
+        with pytest.raises(ProtocolError, match="skip"):
+            self.spec(skip=((99, 1),))
+        with pytest.raises(ProtocolError, match="skip"):
+            self.spec(skip=((0, 777),))  # seed outside the grid
+
+    def test_rejects_oversized_grids(self):
+        from repro.dse import ParamSpace
+
+        big = (ParamSpace().span("a", 1, 64).span("b", 1, 64))
+        with pytest.raises(ProtocolError, match="cells exceeds"):
+            self.spec(params=big.to_payload(), seeds=(1, 2, 3))
+        # Too many points is rejected up front too (even with one
+        # seed the frame must never be scheduled and fail late).
+        wide = (ParamSpace().span("a", 1, 80).span("b", 1, 64))
+        with pytest.raises(ProtocolError, match="points exceeds"):
+            self.spec(params=wide.to_payload(), seeds=(1,))
+
+    def test_rejects_unknown_outputs(self):
+        with pytest.raises(ProtocolError, match="outputs"):
+            self.spec(outputs=("trace",))
+
+    def test_from_payload_validation(self):
+        for payload in (
+            {"params": {}, "seeds": [1], "until": 10},
+            {"net": EXPLORE_TEMPLATE, "seeds": [1], "until": 10},
+            {"net": EXPLORE_TEMPLATE, "params": [], "seeds": [1],
+             "until": 10},
+            {"net": EXPLORE_TEMPLATE,
+             "params": explore_params().to_payload(), "seeds": [1],
+             "until": 10, "skip": [[0]]},
+        ):
+            with pytest.raises(ProtocolError):
+                ExploreSpec.from_payload(payload)
+
+
+class TestExploreEndToEnd:
+    def test_per_cell_byte_identity(self, server):
+        """Every cell of a service exploration reports exactly what the
+        in-process driver (and a standalone submission of the bound
+        net) would."""
+        from repro.dse import NetTemplate, run_exploration
+
+        space = explore_params()
+        seeds = [1, 2]
+        streamed = []
+        with server.client() as client:
+            outcome = client.explore(
+                EXPLORE_TEMPLATE, space.to_payload(), seeds, until=50,
+                on_cell=lambda index, point, cell: streamed.append(index),
+            )
+        assert sorted(streamed) == list(range(8))
+        assert outcome.summary["cells"] == 8
+        assert outcome.summary["cells_skipped"] == 0
+
+        local = run_exploration(EXPLORE_TEMPLATE, space, seeds, until=50.0)
+        for cell in local.cells:
+            assert canonical_json(outcome.cells[cell.index]) == \
+                canonical_json(cell.payload)
+        assert outcome.summary["run_cells_sha256"] == local.cells_sha256()
+        assert outcome.net_shas == local.net_shas
+
+        # One cell cross-checked against a standalone submission of the
+        # bound source: the exploration invents nothing.
+        template = NetTemplate(EXPLORE_TEMPLATE)
+        bound = template.bind(local.points[3])
+        with server.client() as client:
+            single = client.submit(bound, until=50, seed=2)
+        assert single.summary["trace_sha256"] == \
+            outcome.cells[7]["trace_sha256"]
+        assert single.stats_json() == canonical_json(
+            outcome.cells[7]["stats"]
+        )
+
+    def test_skip_cells_are_never_simulated(self, server):
+        space = explore_params()
+        with server.client() as client:
+            outcome = client.explore(
+                EXPLORE_TEMPLATE, space.to_payload(), [1, 2], until=50,
+                skip=[[0, 1], [3, 2]],
+            )
+        assert outcome.summary["cells_run"] == 6
+        assert outcome.summary["cells_skipped"] == 2
+        assert 0 not in outcome.cells and 7 not in outcome.cells
+        assert sorted(outcome.cells) == [1, 2, 3, 4, 5, 6]
+
+    def test_explore_is_one_job_and_rides_the_cache(self, server):
+        space = explore_params()
+        with server.client() as client:
+            before_queue = client.server_stats()["queue"]["completed"]
+            first = client.explore(EXPLORE_TEMPLATE, space.to_payload(),
+                                   [5], until=30)
+            cache_before = client.server_stats()["cache"]
+            second = client.explore(EXPLORE_TEMPLATE, space.to_payload(),
+                                    [5], until=30)
+            cache_after = client.server_stats()["cache"]
+            after_queue = client.server_stats()["queue"]["completed"]
+            record = client.status(second.job_id)
+        assert after_queue == before_queue + 2
+        assert second.cached
+        assert cache_after["misses"] == cache_before["misses"]
+        assert record["state"] == "done"
+        assert record["points"] == 4
+        assert record["cells"] == 4
+        assert "seed" not in record
+        assert canonical_json(first.cells) == canonical_json(second.cells)
+
+    def test_explore_net_errors(self, server):
+        with server.client() as client:
+            with pytest.raises(RemoteError) as excinfo:
+                client.explore("no placeholders here",
+                               explore_params().to_payload(), [1],
+                               until=10)
+            assert excinfo.value.code == "net-error"
+            with pytest.raises(RemoteError) as excinfo:
+                client.explore(
+                    "place a = ${tokens} ->",
+                    ParamSpaceFor("tokens"), [1], until=10,
+                )
+            assert excinfo.value.code == "net-error"
+
+
+def ParamSpaceFor(name):
+    from repro.dse import ParamSpace
+
+    return ParamSpace().values(name, [1]).to_payload()
+
+
+# ---------------------------------------------------------------------------
+# Cache warm-start (pnut serve --preload)
+# ---------------------------------------------------------------------------
+
+
+class TestPreload:
+    def test_preload_compiles_and_reports(self, tmp_path):
+        from repro.service import SimulationService
+
+        (tmp_path / "a.pn").write_text(SMALL_NET)
+        # A formatting variant of the same net: parsed, compile shared.
+        (tmp_path / "b.pn").write_text("# variant\n" + SMALL_NET)
+        (tmp_path / "nested").mkdir()
+        (tmp_path / "nested" / "fig.pn").write_text(
+            format_net(build_pipeline_net())
+        )
+        (tmp_path / "broken.pn").write_text("not a net ->")
+        (tmp_path / "binary.pn").write_bytes(b"\xff\xfe not utf-8 \x9c")
+        (tmp_path / "ignored.txt").write_text("not even close")
+
+        service = SimulationService(workers=1)
+        summary = service.preload(str(tmp_path))
+        assert summary["loaded"] == 3
+        assert summary["failed"] == 2
+        failed = sorted(item["file"] for item in summary["errors"])
+        assert failed[0].endswith("binary.pn")  # UnicodeDecodeError skip
+        assert failed[1].endswith("broken.pn")
+        cache = summary["cache"]
+        assert cache["entries"] == 2
+        assert cache["misses"] == 2
+        assert cache["canonical_hits"] == 1
+
+    def test_first_job_on_preloaded_net_hits_cache(self, tmp_path,
+                                                   pipeline_source):
+        (tmp_path / "fig.pn").write_text(pipeline_source)
+        thread = ServerThread(workers=1)
+        try:
+            assert thread.service is not None
+            summary = thread.service.preload(str(tmp_path))
+            assert summary["loaded"] == 1
+            with thread.client() as client:
+                result = client.submit(pipeline_source, until=20, seed=1)
+                assert result.cached
+                counters = client.server_stats()["cache"]
+                assert counters["misses"] == 1
+                assert counters["hits"] == 1
+        finally:
+            thread.stop()
+
+
+# ---------------------------------------------------------------------------
+# Cancellation edge cases: mid-chunk kills, partial-frame drains, and a
+# queue that stays open for business
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+class TestCancellationEdgeCases:
+    def _await_state(self, client, job_id, state, deadline=15.0):
+        limit = time.monotonic() + deadline
+        while client.status(job_id)["state"] != state:
+            assert time.monotonic() < limit, (
+                f"job {job_id} never reached {state}"
+            )
+            time.sleep(0.02)
+
+    def test_sweep_cancel_mid_grid_drains_partial_frames(self,
+                                                         pipeline_source):
+        """Cancel a sweep after some seeds completed: the streamed
+        partial sweep-run frames drain cleanly, the submitting
+        connection gets the cancelled verdict, and both the connection
+        and the queue keep working."""
+        thread = ServerThread(workers=1)
+        try:
+            with thread.client() as submitter, \
+                    thread.client() as controller:
+                spec = SweepSpec(
+                    net_source=pipeline_source,
+                    seeds=tuple(range(1, 65)), until=20_000.0,
+                )
+                request_id = submitter._request("sweep",
+                                                **spec.to_payload())
+                accepted = submitter._wait(request_id)
+                assert accepted["type"] == "accepted"
+                job_id = accepted["job"]
+                # Drain at least two per-seed frames mid-run, then kill.
+                seen = 0
+                while seen < 2:
+                    frame = submitter._wait(request_id)
+                    if frame.get("type") == "sweep-run":
+                        seen += 1
+                assert controller.cancel(job_id)
+                with pytest.raises(RemoteError) as excinfo:
+                    while True:
+                        submitter._wait(request_id)
+                assert excinfo.value.code == "cancelled"
+                self._await_state(controller, job_id, "cancelled")
+                # The forked chunk worker is dead, the pool is not: the
+                # same connection immediately runs a fresh job.
+                result = submitter.submit(SMALL_NET, until=50, seed=7)
+                assert result.summary["trace_events"] > 0
+                stats = controller.server_stats()["queue"]
+                assert stats["cancelled"] >= 1
+        finally:
+            thread.stop()
+
+    def test_explore_cancel_mid_grid(self):
+        """Cancelling a running exploration kills the forked child mid
+        (point x seed) grid and leaves the queue accepting new work."""
+        thread = ServerThread(workers=1)
+        try:
+            with thread.client() as submitter, \
+                    thread.client() as controller:
+                from repro.dse import ParamSpace
+
+                space = ParamSpace().values("tokens", [2, 3, 4, 5])
+                template = EXPLORE_TEMPLATE.replace("${delay}", "1")
+                spec = ExploreSpec(
+                    net_source=template,
+                    params=space.to_payload(),
+                    seeds=tuple(range(1, 9)),
+                    until=100_000_000.0,
+                )
+                request_id = submitter._request("explore",
+                                                **spec.to_payload())
+                accepted = submitter._wait(request_id)
+                job_id = accepted["job"]
+                self._await_state(controller, job_id, "running")
+                assert controller.cancel(job_id)
+                with pytest.raises(RemoteError) as excinfo:
+                    while True:
+                        submitter._wait(request_id)
+                assert excinfo.value.code == "cancelled"
+                self._await_state(controller, job_id, "cancelled")
+                outcome = submitter.explore(
+                    template, space.to_payload(), [1], until=40,
+                )
+                assert outcome.summary["cells_run"] == 4
+        finally:
+            thread.stop()
+
+    def test_queued_sweep_and_explore_cancel_before_running(self):
+        """Cancellation of still-queued grid jobs is lazy but complete:
+        the entries never run, their submitters get verdicts, and
+        later submissions schedule normally."""
+        thread = ServerThread(workers=1, max_pending=8)
+        try:
+            with thread.client() as client, \
+                    thread.client() as controller:
+                # The pipeline net never deadlocks, so this job really
+                # holds the single worker for the whole test.
+                blocker = client.submit_nowait(
+                    format_net(build_pipeline_net()),
+                    until=50_000_000.0, seed=1,
+                )
+                self._await_state(controller, blocker, "running")
+                queued_sweep = client.sweep_nowait(
+                    SMALL_NET, [1, 2, 3], until=100.0)
+                queued_explore = client.explore_nowait(
+                    EXPLORE_TEMPLATE, explore_params().to_payload(),
+                    [1], until=100.0)
+                assert controller.cancel(queued_sweep)
+                assert controller.cancel(queued_explore)
+                assert controller.status(queued_sweep)["state"] == \
+                    "cancelled"
+                assert controller.status(queued_explore)["state"] == \
+                    "cancelled"
+                assert controller.cancel(blocker)
+                self._await_state(controller, blocker, "cancelled")
+                outcome = controller.sweep(SMALL_NET, [1, 2], until=50)
                 assert outcome.summary["runs"] == 2
         finally:
             thread.stop()

@@ -7,7 +7,6 @@ nothing but wall-clock, and the cross-run aggregates are independent of
 how the seed grid was ordered or chunked.
 """
 
-import hashlib
 import io
 
 import pytest
@@ -21,9 +20,10 @@ from repro.sim import (
     SweepResult,
     run_sweep,
     simulate,
+    trace_digest,
 )
 from repro.sim import sweep as sweep_module
-from repro.trace.serialize import write_trace
+from repro.trace.serialize import read_trace, write_trace
 
 SMALL_NET_TEXT = """\
 net sweepco
@@ -40,11 +40,18 @@ def pipeline_net():
 
 
 def reference_run(seed: int, until: float = 400.0):
-    """One standalone run: (serialized-trace sha256, canonical stats)."""
+    """One standalone run: (trace digest, canonical stats).
+
+    The digest is computed over the run's *serialized then re-parsed*
+    trace — proving the sweep's streamed hash identifies exactly the
+    event stream a trace file round-trips.
+    """
     result = simulate(build_pipeline_net(), until=until, seed=seed)
     buffer = io.StringIO()
     write_trace(buffer, result.header, result.events)
-    sha = hashlib.sha256(buffer.getvalue().encode("utf-8")).hexdigest()
+    buffer.seek(0)
+    header, events = read_trace(buffer)
+    sha = trace_digest(header, events)
     stats = canonical_json(statistics_payload(compute_statistics(result.events)))
     return sha, stats, result
 
