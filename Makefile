@@ -5,7 +5,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-co test-all serve-smoke explore-smoke lint
+.PHONY: test bench bench-co bench-report perf-smoke test-all serve-smoke \
+        explore-smoke lint
 
 ## tier-1: the unit/integration suite plus benchmarks (the repo gate),
 ## then the end-to-end service and exploration smokes (real
@@ -35,6 +36,20 @@ bench:
 bench-co:
 	$(PYTHON) -m pytest benchmarks -q --co
 	$(PYTHON) -m pytest benchmarks/test_bench_schema.py -q
+
+## one-table summary of the BENCH_engine.json perf trajectory
+## (per-metric first vs latest, speedup column)
+bench-report:
+	$(PYTHON) benchmarks/bench_report.py
+
+## CI perf smoke: the engine hotpath + scheduler benchmarks at a short
+## horizon with 2x-slack regression gates (PERF_SMOKE=1), so a hot-path
+## regression fails the PR even on shared runners that are slower than
+## the reference container
+perf-smoke:
+	PERF_SMOKE=1 $(PYTHON) -m pytest -q \
+	    benchmarks/test_bench_engine_hotpath.py \
+	    benchmarks/test_bench_scheduler.py
 
 ## static checks (ruff, pinned in requirements-dev.txt; config ruff.toml)
 lint:

@@ -1,0 +1,151 @@
+"""Summarize the ``BENCH_engine.json`` perf trajectory as one table.
+
+Every benchmark module appends measurement records to the trajectory
+file (see ``conftest.append_trajectory``); this tool reduces the
+history to a per-metric view — first recorded value, latest value, and
+the latest/first speedup — so the perf story of the repo is readable
+without opening the JSON::
+
+    $ make bench-report
+    metric                                    runs      first     latest  change
+    events_per_sec_materialized                  9     222163     388609   1.75x
+    ...
+
+Pure stdlib; runs anywhere the repo checks out (CI invokes it right
+after uploading the trajectory artifact, so the table lands in the
+workflow log next to the uploaded file).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from datetime import datetime
+from pathlib import Path
+
+#: A key is a measurement when it ends in one of these (the same rule
+#: the schema gate applies) — everything else is envelope/context.
+MEASUREMENT_SUFFIXES = (
+    "_per_sec", "_per_sec_materialized", "_per_sec_streaming",
+    "_speedup_x", "_ms", "_kb", "_probes", "_instants", "_avoided",
+)
+
+#: Keys where growth is a cost, not a win (flagged instead of celebrated).
+LOWER_IS_BETTER = ("_ms", "_kb")
+
+
+def _is_measurement(key: str, value) -> bool:
+    return (
+        key.endswith(MEASUREMENT_SUFFIXES)
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    )
+
+
+def collect(history: list[dict]) -> list[dict]:
+    """Reduce the record list to one summary row per metric key."""
+    metrics: dict[str, dict] = {}
+    for entry in history:
+        stamp = entry.get("timestamp", "")
+        for key, value in entry.items():
+            if not _is_measurement(key, value):
+                continue
+            row = metrics.get(key)
+            if row is None:
+                metrics[key] = {
+                    "metric": key, "runs": 1,
+                    "first": value, "first_at": stamp,
+                    "latest": value, "latest_at": stamp,
+                }
+            else:
+                row["runs"] += 1
+                row["latest"] = value
+                row["latest_at"] = stamp
+    return [metrics[key] for key in sorted(metrics)]
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.2f}"
+    return f"{int(value)}"
+
+
+def _fmt_change(row: dict) -> str:
+    first, latest = row["first"], row["latest"]
+    if row["runs"] < 2:
+        return "-"
+    if not first:
+        return "n/a"
+    ratio = latest / first
+    flag = ""
+    if row["metric"].endswith(LOWER_IS_BETTER) and ratio > 1.25:
+        flag = " (!)"
+    return f"{ratio:.2f}x{flag}"
+
+
+def _fmt_date(stamp: str) -> str:
+    try:
+        return datetime.fromisoformat(stamp).strftime("%Y-%m-%d")
+    except ValueError:
+        return "?"
+
+
+def render(history: list[dict]) -> str:
+    rows = collect(history)
+    if not rows:
+        return "no measurements recorded"
+    header = ("metric", "runs", "first", "latest", "change", "last run")
+    table = [header] + [
+        (
+            row["metric"], str(row["runs"]), _fmt_value(row["first"]),
+            _fmt_value(row["latest"]), _fmt_change(row),
+            _fmt_date(row["latest_at"]),
+        )
+        for row in rows
+    ]
+    widths = [max(len(line[col]) for line in table)
+              for col in range(len(header))]
+    out = []
+    for line in table:
+        cells = [line[0].ljust(widths[0])]
+        cells += [line[col].rjust(widths[col])
+                  for col in range(1, len(header))]
+        out.append("  ".join(cells).rstrip())
+    span = "{} .. {}".format(
+        _fmt_date(history[0].get("timestamp", "")),
+        _fmt_date(history[-1].get("timestamp", "")),
+    )
+    out.append(f"({len(history)} trajectory records, {span})")
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    path = Path(args[0]) if args else (
+        Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    )
+    if not path.exists():
+        print(f"bench-report: {path} not found", file=sys.stderr)
+        return 2
+    try:
+        history = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"bench-report: {path} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 2
+    if not isinstance(history, list):
+        print(f"bench-report: {path} must hold a JSON list", file=sys.stderr)
+        return 2
+    try:
+        print(render(history))
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `make bench-report | head`) closed early:
+        # not an error. Point stdout at devnull so the interpreter's exit
+        # flush does not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

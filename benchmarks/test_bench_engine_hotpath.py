@@ -26,7 +26,15 @@ import resource
 import time
 from datetime import datetime, timezone
 
-from conftest import PAPER_CYCLES, SEED, append_trajectory
+from conftest import (
+    PAPER_CYCLES,
+    REFERENCE_CONTAINER,
+    SEED,
+    append_trajectory,
+    perf_gate,
+    perf_smoke,
+    runner_fingerprint,
+)
 
 from repro.analysis.stat import StatisticsObserver
 from repro.processor import (
@@ -36,8 +44,13 @@ from repro.processor import (
 )
 from repro.sim import simulate
 
-#: Seed-revision throughput on this machine (events/sec, materialized
-#: run of the Figure-5 reference workload; best of repeated runs).
+#: Seed-revision throughput (events/sec, materialized run of the
+#: Figure-5 reference workload; best of repeated runs). Recorded on the
+#: reference container (``conftest.REFERENCE_CONTAINER``) — runs on any
+#: other machine carry their own ``runner`` fingerprint in
+#: ``extra_info``/``BENCH_engine.json`` so a slower host is not misread
+#: as an engine regression (compare against trajectory entries with the
+#: same runner instead).
 SEED_BASELINE_EVENTS_PER_SEC = 78_888.0
 
 #: The Figure-5 reference run is immutable: 11 559 trace events whose
@@ -71,7 +84,9 @@ def _digest(events) -> str:
     return h.hexdigest()
 
 
-def _best_of(fn, rounds: int = 5) -> tuple[float, object]:
+def _best_of(fn, rounds: int | None = None) -> tuple[float, object]:
+    if rounds is None:
+        rounds = 3 if perf_smoke() else 5
     best = float("inf")
     result = None
     for _ in range(rounds):
@@ -109,26 +124,35 @@ def test_bench_engine_hotpath_throughput(benchmark):
     benchmark.extra_info["speedup_streaming"] = round(
         stream_rate / SEED_BASELINE_EVENTS_PER_SEC, 2
     )
+    benchmark.extra_info["reference_container"] = REFERENCE_CONTAINER
+    benchmark.extra_info["runner"] = runner_fingerprint()
 
-    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    append_trajectory({
-        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "model": "pipelined-processor",
-        "cycles": PAPER_CYCLES,
-        "events": n_events,
-        "events_per_sec_materialized": round(mat_rate),
-        "events_per_sec_streaming": round(stream_rate),
-        "seed_baseline_events_per_sec": SEED_BASELINE_EVENTS_PER_SEC,
-        "peak_rss_kb": peak_rss_kb,
-    })
+    if not perf_smoke():
+        peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        append_trajectory({
+            "timestamp": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "model": "pipelined-processor",
+            "cycles": PAPER_CYCLES,
+            "events": n_events,
+            "events_per_sec_materialized": round(mat_rate),
+            "events_per_sec_streaming": round(stream_rate),
+            "seed_baseline_events_per_sec": SEED_BASELINE_EVENTS_PER_SEC,
+            "reference_container": REFERENCE_CONTAINER,
+            "runner": runner_fingerprint(),
+            "peak_rss_kb": peak_rss_kb,
+        })
 
     # The engine must process the reference run at >= 3x the seed
     # revision's rate (streaming mode — the paper's "plug the simulator
     # into the analysis tools" pipeline), with the materialized path
-    # holding a >= 2x floor.
+    # holding a >= 2x floor. The baselines were recorded on the
+    # reference container; CI's PERF_SMOKE mode halves the gates for
+    # shared runners.
     assert n_events == REFERENCE_EVENT_COUNT
-    assert stream_rate >= 3.0 * SEED_BASELINE_EVENTS_PER_SEC
-    assert mat_rate >= 2.0 * SEED_BASELINE_EVENTS_PER_SEC
+    assert stream_rate >= perf_gate(3.0 * SEED_BASELINE_EVENTS_PER_SEC)
+    assert mat_rate >= perf_gate(2.0 * SEED_BASELINE_EVENTS_PER_SEC)
 
 
 def test_bench_engine_trace_identity(benchmark):

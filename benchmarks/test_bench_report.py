@@ -1,0 +1,85 @@
+"""Unit tests for the trajectory summarizer (``make bench-report``)."""
+
+from __future__ import annotations
+
+import json
+
+import bench_report
+
+
+HISTORY = [
+    {"timestamp": "2026-01-02T10:00:00+00:00", "model": "m",
+     "events_per_sec_streaming": 100_000, "peak_rss_kb": 50_000},
+    {"timestamp": "2026-03-04T10:00:00+00:00", "model": "m",
+     "events_per_sec_streaming": 250_000, "peak_rss_kb": 80_000,
+     "sweep_speedup_x": 2.5},
+    {"timestamp": "2026-05-06T10:00:00+00:00", "model": "m",
+     "events_per_sec_streaming": 300_000, "note": "not-a-measurement",
+     "runner": "somewhere-else"},
+]
+
+
+class TestCollect:
+    def test_first_latest_and_run_counts(self):
+        rows = {r["metric"]: r for r in bench_report.collect(HISTORY)}
+        stream = rows["events_per_sec_streaming"]
+        assert (stream["runs"], stream["first"], stream["latest"]) == (
+            3, 100_000, 300_000
+        )
+        assert stream["first_at"].startswith("2026-01-02")
+        assert stream["latest_at"].startswith("2026-05-06")
+        assert rows["sweep_speedup_x"]["runs"] == 1
+
+    def test_non_measurement_keys_ignored(self):
+        rows = {r["metric"] for r in bench_report.collect(HISTORY)}
+        assert "note" not in rows
+        assert "runner" not in rows
+        assert "model" not in rows
+
+
+class TestRender:
+    def test_table_carries_speedup_column(self):
+        out = bench_report.render(HISTORY)
+        line = next(s for s in out.splitlines()
+                    if s.startswith("events_per_sec_streaming"))
+        assert "3.00x" in line          # 300k over 100k
+        assert "2026-05-06" in line
+        assert "(3 trajectory records" in out
+
+    def test_single_run_metrics_show_no_change(self):
+        out = bench_report.render(HISTORY)
+        line = next(s for s in out.splitlines()
+                    if s.startswith("sweep_speedup_x"))
+        assert line.rstrip().split()[-2] == "-"
+
+    def test_cost_metrics_growth_is_flagged(self):
+        out = bench_report.render(HISTORY)
+        line = next(s for s in out.splitlines()
+                    if s.startswith("peak_rss_kb"))
+        assert "1.60x (!)" in line
+
+    def test_empty_history(self):
+        assert bench_report.render([]) == "no measurements recorded"
+
+
+class TestMain:
+    def test_reads_explicit_path(self, tmp_path, capsys):
+        path = tmp_path / "hist.json"
+        path.write_text(json.dumps(HISTORY))
+        assert bench_report.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "events_per_sec_streaming" in out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert bench_report.main([str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_malformed_json_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert bench_report.main([str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_default_path_is_repo_trajectory(self, capsys):
+        assert bench_report.main([]) == 0
+        assert "events_per_sec" in capsys.readouterr().out

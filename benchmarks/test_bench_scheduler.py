@@ -1,0 +1,170 @@
+"""Second-generation scheduler throughput: the PR-5 tentpole gate.
+
+PR 5 rebuilt the engine's scheduling core: a calendar-queue /
+integer-time-bucket future-event set (``repro.sim.schedule``, with a
+transparent heap fallback), fused per-instant END-completion batching,
+startable-bitmask draw memoization and a tuple-backed ``TraceEvent``.
+This benchmark regenerates the Figure-5 reference run and gates the
+result against the PR-4 engine's recorded rates — the same workload,
+seed and container as every prior entry in ``BENCH_engine.json``:
+
+* **PR-4 baseline** (recorded in the trajectory file): 222 163 events/sec
+  materialized, 315 100 events/sec streaming.
+* **Gate**: >= 1.5x on both modes (halved under ``PERF_SMOKE=1``, CI's
+  short-horizon run on shared runners — see ``conftest.perf_gate``).
+
+The trace is pinned: both schedule backends and the fused/sequential
+completion paths must reproduce the seed revision's event stream bit for
+bit, and the scheduler profile must show the bucket backend actually ran
+(fused instants > 0, zero heap fallbacks).
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from datetime import datetime, timezone
+
+from conftest import (
+    PAPER_CYCLES,
+    REFERENCE_CONTAINER,
+    SEED,
+    append_trajectory,
+    perf_gate,
+    perf_smoke,
+    runner_fingerprint,
+)
+from test_bench_engine_hotpath import REFERENCE_EVENT_SHA256, _digest
+
+from repro.processor import build_pipeline_net
+from repro.sim import Simulator, simulate
+
+#: The PR-4 engine's Figure-5 rates, as recorded in BENCH_engine.json on
+#: the reference container (see conftest.REFERENCE_CONTAINER).
+PR4_EVENTS_PER_SEC_MATERIALIZED = 222_163.0
+PR4_EVENTS_PER_SEC_STREAMING = 315_100.0
+
+#: The tentpole target: >= 1.5x events/sec over PR 4 on both modes.
+REQUIRED_SPEEDUP = 1.5
+
+#: CI perf smoke runs a short horizon; the full run is the paper's.
+CYCLES = 2_000 if perf_smoke() else PAPER_CYCLES
+
+
+def _best_of(fn, rounds: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_bench_scheduler_throughput(benchmark):
+    rounds = 3 if perf_smoke() else 5
+
+    def measure():
+        wall_mat, result = _best_of(
+            lambda: simulate(build_pipeline_net(), until=CYCLES, seed=SEED),
+            rounds,
+        )
+        wall_stream, _ = _best_of(
+            lambda: simulate(build_pipeline_net(), until=CYCLES, seed=SEED,
+                             keep_events=False),
+            rounds,
+        )
+        return wall_mat, wall_stream, result
+
+    wall_mat, wall_stream, result = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    n_events = len(result.events)
+    mat_rate = n_events / wall_mat
+    stream_rate = n_events / wall_stream
+
+    # One instrumented run for the scheduler counters.
+    profiled = Simulator(build_pipeline_net(), seed=SEED)
+    profiled.run(until=CYCLES, keep_events=False)
+    profile = profiled.scheduler_profile()
+
+    benchmark.extra_info.update({
+        "cycles": CYCLES,
+        "events": n_events,
+        "pr4_events_per_sec_materialized": PR4_EVENTS_PER_SEC_MATERIALIZED,
+        "pr4_events_per_sec_streaming": PR4_EVENTS_PER_SEC_STREAMING,
+        "events_per_sec_materialized": round(mat_rate),
+        "events_per_sec_streaming": round(stream_rate),
+        "speedup_materialized": round(
+            mat_rate / PR4_EVENTS_PER_SEC_MATERIALIZED, 2
+        ),
+        "speedup_streaming": round(
+            stream_rate / PR4_EVENTS_PER_SEC_STREAMING, 2
+        ),
+        "reference_container": REFERENCE_CONTAINER,
+        "runner": runner_fingerprint(),
+        "scheduler_backend": profile["backend"],
+        "fused_instants": profile["fused_instants"],
+        "settles_avoided": profile["settles_avoided"],
+        "bucket_probes": profile["bucket_probes"],
+    })
+
+    # The Figure-5 net is all-integer-delay and action-free: the bucket
+    # backend and the fused completion path must actually be exercised.
+    assert profile["declared_backend"] == "bucket"
+    assert profile["backend"] == "bucket"
+    assert profile["heap_fallbacks"] == 0
+    assert profile["bucket_pushes"] == profile["events_scheduled"] > 0
+    assert profile["fused_instants"] > 0
+    assert profile["settles_avoided"] > 0
+
+    if not perf_smoke():
+        peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        append_trajectory({
+            "timestamp": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "model": "pipelined-processor",
+            "cycles": CYCLES,
+            "events": n_events,
+            "scheduler_events_per_sec_materialized": round(mat_rate),
+            "scheduler_events_per_sec_streaming": round(stream_rate),
+            "scheduler_vs_pr4_speedup_x": round(
+                stream_rate / PR4_EVENTS_PER_SEC_STREAMING, 2
+            ),
+            "scheduler_backend": profile["backend"],
+            "scheduler_fused_instants": profile["fused_instants"],
+            "scheduler_settles_avoided": profile["settles_avoided"],
+            "reference_container": REFERENCE_CONTAINER,
+            "runner": runner_fingerprint(),
+            "peak_rss_kb": peak_rss_kb,
+        })
+
+    assert mat_rate >= perf_gate(
+        REQUIRED_SPEEDUP * PR4_EVENTS_PER_SEC_MATERIALIZED
+    )
+    assert stream_rate >= perf_gate(
+        REQUIRED_SPEEDUP * PR4_EVENTS_PER_SEC_STREAMING
+    )
+
+
+def test_bench_scheduler_backends_bit_identical(benchmark):
+    """Bucket, heap and sequential-completion runs: one trace, to the bit."""
+
+    def run_all():
+        auto = simulate(build_pipeline_net(), until=CYCLES, seed=SEED)
+        heap = simulate(build_pipeline_net(), until=CYCLES, seed=SEED,
+                        scheduler="heap")
+        unfused = simulate(build_pipeline_net(), until=CYCLES, seed=SEED,
+                           fused_completions=False)
+        return auto, heap, unfused
+
+    auto, heap, unfused = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    auto_digest = _digest(auto.events)
+    assert auto_digest == _digest(heap.events)
+    assert auto_digest == _digest(unfused.events)
+    if not perf_smoke():
+        # The full-horizon run is the immutable Figure-5 reference.
+        assert auto_digest == REFERENCE_EVENT_SHA256
+    benchmark.extra_info["event_sha256"] = auto_digest[:16]
+    benchmark.extra_info["cycles"] = CYCLES

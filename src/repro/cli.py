@@ -117,7 +117,8 @@ def parse_seed_grid(text: str) -> list[int]:
 
 def cmd_sim(args: argparse.Namespace) -> int:
     net = _load_net(args.net)
-    simulator = Simulator(net, seed=args.seed, run_number=args.run)
+    simulator = Simulator(net, seed=args.seed, run_number=args.run,
+                          scheduler=args.scheduler)
     out = sys.stdout if args.output == "-" else open(
         args.output, "w", encoding="utf-8")
     try:
@@ -129,6 +130,11 @@ def cmd_sim(args: argparse.Namespace) -> int:
     finally:
         if out is not sys.stdout:
             out.close()
+    if args.profile:
+        # Scheduler counters as canonical JSON on stderr: the trace on
+        # stdout stays byte-identical with and without --profile.
+        print(canonical_json(simulator.scheduler_profile()),
+              file=sys.stderr)
     return 0
 
 
@@ -582,6 +588,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=None)
     p_sim.add_argument("--run", type=int, default=1)
     p_sim.add_argument("-o", "--output", default="-")
+    p_sim.add_argument("--scheduler", default="auto",
+                       choices=("auto", "bucket", "heap"),
+                       help="future-event backend (trace-neutral; "
+                            "default: compile-time choice)")
+    p_sim.add_argument("--profile", action="store_true",
+                       help="emit scheduler counters as canonical JSON "
+                            "on stderr after the run")
     p_sim.set_defaults(fn=cmd_sim)
 
     p_filter = sub.add_parser("filter", help="project a trace")

@@ -24,11 +24,11 @@ The engine knows nothing about analysis: it emits a stream of
 optionally without ever materializing the trace (pass ``observers=`` and
 run with ``keep_events=False``).
 
-Incremental scheduling invariants
----------------------------------
+Scheduling invariants (second-generation hot path)
+--------------------------------------------------
 
 The hot path never rescans the whole transition set. Enablement and
-startability are maintained incrementally around four cached facts:
+startability are maintained incrementally around three cached facts:
 
 * ``_deficit[t]`` counts the unsatisfied structural conditions of *t*
   (input arcs below their weight, inhibitor places at/above their
@@ -39,21 +39,46 @@ startability are maintained incrementally around four cached facts:
 * ``_ready_at[t] is not None``  ⟺  *t* was fully enabled (deficit zero
   and predicate true) at the last settle that touched it;
   ``_ready_at[t]`` is the instant its enabling delay elapses.
-* ``_startable[t]``  ⟺  ``_ready_at[t]`` has been reached by the clock
-  and ``max_concurrent`` is not saturated.
-* Per conflict group (transitions sharing input places, see
-  :meth:`PetriNet.conflict_groups`) the engine lazily caches the
-  candidate list for conflict resolution; only groups whose members
-  flipped startability are rebuilt before a draw, so the weighted choice
-  renormalizes nothing but the group that changed.
+* ``_startable_mask`` holds one bit per transition (bit *i* set  ⟺
+  transition *i* is startable: ``_ready_at`` reached by the clock and
+  ``max_concurrent`` not saturated). Conflict resolution keys the memo
+  of (candidate list, cumulative frequency weights) pairs directly by
+  this mask, so recurring competing subsets cost one dict hit and the
+  weighted draw — a bit-compatible inline of ``random.Random.choices``
+  — renormalizes nothing. A single set bit short-circuits to the winner
+  without touching the RNG, exactly like the pre-mask engine's
+  singleton path.
+
+**Future events** live in a pluggable schedule (:mod:`repro.sim.schedule`)
+holding ``_END`` completions and ``_READY`` enabling-delay wake-ups,
+popped ordered by ``(time, END-before-READY, insertion order)``:
+
+* Nets whose declared delays are all integral compile to the
+  *bucket* backend — a calendar queue over integer time (one bucket per
+  instant, pushes are list appends, a whole instant pops at once). The
+  declaration scan is a prediction only: every pushed time is
+  re-checked, and the first non-integral sample (or a pending span past
+  ``schedule.MAX_RING``) migrates the pending set to the *heap* backend
+  mid-run. Traces are bit-identical across backends and migrations.
+* At each instant every ``_END`` completion is popped together. On
+  *fusable* nets (no transition actions, all enabling delays constant)
+  the whole batch applies its marking deltas and emits its ``END``
+  events first, then one fused settle pass re-derives enablement — the
+  per-completion intermediate settles are provably unobservable there
+  (deltas only add tokens, so enabledness crossings are monotone within
+  the batch; no RNG can be consumed because enabling delays are
+  constant; predicates are pure and the environment cannot change).
+  Nets with actions or sampled enabling delays keep the sequential
+  settle-per-completion path, as any interleaving difference would be
+  observable through the RNG or the environment.
 
 A transition *enters* the startable set when (a) a settle finds it newly
-enabled with zero enabling delay, (b) its ``_READY`` wake-up pops off the
-event heap once the enabling delay elapses, or (c) a completion drops its
-in-flight count below ``max_concurrent`` while it is still ready. It
-*leaves* the set when a settle finds its deficit positive or predicate
-false (the enabling clock resets), when starting a firing consumes its
-enablement, or when a start saturates ``max_concurrent``.
+enabled with zero enabling delay, (b) its ``_READY`` wake-up pops once
+the enabling delay elapses, or (c) a completion drops its in-flight
+count below ``max_concurrent`` while it is still ready. It *leaves* the
+set when a settle finds its deficit positive or predicate false (the
+enabling clock resets), when starting a firing consumes its enablement,
+or when a start saturates ``max_concurrent``.
 
 All deltas of one trace event are applied *before* the crossed
 transitions settle, so a place that dips and recovers within a single
@@ -62,9 +87,9 @@ pre-incremental engine's refresh-after-the-whole-delta behaviour.
 Settles run in the net's definition order, which keeps delay-sampling
 reproducible regardless of hash seeds. Predicates must be pure functions
 of the environment: they are evaluated once per settle (and after every
-environment change), not once per conflict-resolution scan, so a
-predicate that consumes randomness or depends on hidden mutable state
-would replay differently than under the pre-incremental engine.
+environment change), not once per conflict-resolution scan or per
+fused completion, so a predicate that consumes randomness or depends on
+hidden mutable state would replay differently across engine generations.
 """
 
 from __future__ import annotations
@@ -73,13 +98,10 @@ import random
 from bisect import bisect
 from collections.abc import Iterator
 from dataclasses import dataclass, field
-from heapq import heappop, heappush
-from itertools import accumulate
 from typing import Any, Callable
 
 from ..core.errors import ImmediateLoopError, SimulationError
 from ..core.inscription import (
-    Environment,
     always_true,
     check_predicate,
     no_action,
@@ -93,12 +115,17 @@ from ..trace.events import (
     TraceEvent,
     TraceHeader,
     _fast_event,
-    _obj_new,
-    _obj_set,
 )
+from .schedule import _POOL_CAP, make_schedule, select_backend
 
-_END = 0  # heap entry kinds; END before READY at equal (time, kind) rank
+_END = 0  # schedule entry kinds; END before READY at equal time
 _READY = 1
+
+#: Upper bound on memoized conflict-draw entries per net skeleton (the
+#: memo is shared across forks and otherwise append-only).
+_DRAW_MEMO_CAP = 4096
+
+_tuple_new = tuple.__new__
 
 
 def _discard(_event) -> None:
@@ -138,6 +165,16 @@ class Simulator:
     stream. ``observers`` attach streaming trace consumers (e.g.
     :class:`~repro.analysis.stat.StatisticsObserver`): each sees every
     event, including ``INIT`` and ``EOT``, as it is produced.
+
+    ``scheduler`` selects the future-event backend: ``"auto"`` (the
+    compile-time choice from the delay declarations — integer buckets
+    for all-integral nets, heap otherwise), or ``"bucket"``/``"heap"``
+    to force one (the bucket backend still falls back transparently on
+    the first non-integral sampled delay). ``fused_completions`` forces
+    the per-instant END-batch settle on (only legal where the automatic
+    safety analysis allows it) or off; ``None`` means automatic. Both
+    knobs are trace-neutral: every combination produces the bit-identical
+    trace for a given seed.
     """
 
     def __init__(
@@ -147,6 +184,8 @@ class Simulator:
         run_number: int = 1,
         immediate_budget: int = 10_000,
         observers: tuple[Observer, ...] | list[Observer] = (),
+        scheduler: str = "auto",
+        fused_completions: bool | None = None,
     ) -> None:
         self.net = net
         self.seed = seed
@@ -159,8 +198,6 @@ class Simulator:
         )
 
         self._time: float = 0.0
-        self._heap: list[tuple[float, int, int, int]] = []
-        self._heap_seq = 0
         self._trace_seq = 0
         self.events_started = 0
         self.events_finished = 0
@@ -172,7 +209,6 @@ class Simulator:
         self._pnames: list[str] = net.place_names()
         pindex = {p: i for i, p in enumerate(self._pnames)}
         self._tnames: list[str] = net.transition_names()
-        tindex = {t: i for i, t in enumerate(self._tnames)}
         n_places = len(self._pnames)
         n_trans = len(self._tnames)
 
@@ -214,8 +250,12 @@ class Simulator:
         self._out_arcs: list[tuple[tuple[int, int], ...]] = []
         self._inputs_dict: list[dict[str, int]] = []
         self._outputs_dict: list[dict[str, int]] = []
-        consumers: list[list[tuple[int, int]]] = [[] for _ in range(n_places)]
-        inhibited: list[list[tuple[int, int]]] = [[] for _ in range(n_places)]
+        consumers: list[list[tuple[int, int, int]]] = [
+            [] for _ in range(n_places)
+        ]
+        inhibited: list[list[tuple[int, int, int]]] = [
+            [] for _ in range(n_places)
+        ]
         self._deficit: list[int] = [0] * n_trans
         for ti, name in enumerate(self._tnames):
             inputs = dict(net.inputs_of(name))
@@ -232,20 +272,24 @@ class Simulator:
             deficit = 0
             for p, w in inputs.items():
                 pi = pindex[p]
-                consumers[pi].append((ti, w))
+                consumers[pi].append((ti, w, -1))
                 if self._tokens[pi] < w:
                     deficit += 1
             for p, thr in inhibitors.items():
                 pi = pindex[p]
-                inhibited[pi].append((ti, thr))
+                inhibited[pi].append((ti, thr, 1))
                 if self._tokens[pi] >= thr:
                     deficit += 1
             self._deficit[ti] = deficit
-        self._consumers: list[tuple[tuple[int, int], ...]] = [
-            tuple(arcs) for arcs in consumers
-        ]
-        self._inhibited: list[tuple[tuple[int, int], ...]] = [
-            tuple(arcs) for arcs in inhibited
+        # Per-place crossing watchers: input arcs and inhibitor arcs fold
+        # into one (transition, threshold, sign) table — when the place
+        # crosses ``threshold``, the watcher's deficit moves by ``sign``
+        # if the place ended at/above it, by ``-sign`` otherwise (sign is
+        # -1 for input arcs, +1 for inhibitors). One loop per place
+        # change instead of two.
+        self._watchers: list[tuple[tuple[int, int, int], ...]] = [
+            tuple(consumers[pi]) + tuple(inhibited[pi])
+            for pi in range(n_places)
         ]
         # Combined signed deltas for instantaneous firings: removal and
         # deposit fold into one pass (places whose net change is zero are
@@ -267,43 +311,73 @@ class Simulator:
                 tuple((pi, -w) for pi, w in self._in_arcs[ti])
             )
 
-        # Per-conflict-group candidate bookkeeping: membership is static;
-        # candidate lists are rebuilt lazily, only for groups whose
-        # members flipped startability since the last draw.
-        self._group_of: list[int] = [0] * n_trans
-        self._group_members: list[tuple[int, ...]] = []
-        for group in net.conflict_groups():
-            g = len(self._group_members)
-            members = tuple(sorted(tindex[t] for t in group))
-            self._group_members.append(members)
-            for ti in members:
-                self._group_of[ti] = g
-        n_groups = len(self._group_members)
-        self._group_count: list[int] = [0] * n_groups
-        self._group_stale: list[bool] = [False] * n_groups
-        self._group_cand: list[list[int]] = [[] for _ in range(n_groups)]
-        self._group_cum: list[list[float]] = [[] for _ in range(n_groups)]
-        self._active_groups: set[int] = set()
-        # Candidate-set memo: the same competing subsets of a group recur
-        # constantly, so (candidate list, cumulative weights) pairs are
-        # cached per group, keyed by the bitmask of startable members.
-        self._member_bit: list[int] = [0] * n_trans
-        for members in self._group_members:
-            for position, ti in enumerate(members):
-                self._member_bit[ti] = 1 << position
-        self._group_mask: list[int] = [0] * n_groups
-        self._group_memo: list[dict[int, tuple[list[int], list[float]]]] = [
-            {} for _ in range(n_groups)
-        ]
+        # Conflict resolution: (candidates, cumulative weights, total,
+        # bisect hi) entries are memoized per startable-set bitmask
+        # (append-only up to _DRAW_MEMO_CAP, shared across forks). The
+        # same competing subsets recur constantly, so a draw is one dict
+        # hit plus the inline weighted choice; pathological nets that
+        # visit too many distinct masks just rebuild past the cap.
         self._startable: list[bool] = [False] * n_trans
-        self._n_startable = 0
-        self._draw_stale = True
-        self._candidates: list[int] = []
-        self._cum_weights: list[float] = []
+        self._startable_mask = 0
+        self._draw_memo: dict[
+            int, tuple[list[int], list[float], float, int]
+        ] = {}
+        self._tbit: list[int] = [1 << i for i in range(n_trans)]
+
+        # Scheduling backend (compile-time selection, see module doc) and
+        # fused-completion safety analysis.
+        self._backend0, self._ring_size0 = self._resolve_backend(scheduler)
+        self._fusable_auto = not any(self._has_action) and all(
+            c is not None for c in self._enabling_const
+        )
+        self._fused = self._resolve_fused(fused_completions)
+        self._sched = make_schedule(self._backend0, self._ring_size0)
+
+        # Reused per-instant scratch buffers (no per-event allocation).
+        self._pend_buf: list[int] = []
+        self._ends_buf: list[int] = []
+        self._readys_buf: list[int] = []
+
+        # Scheduler profile counters (see scheduler_profile()). Push,
+        # probe and grow counts live on the schedule objects; migration
+        # harvests them into the _prof_* accumulators.
+        self._prof_instants = 0
+        self._prof_fallbacks = 0
+        self._prof_settles = 0
+        self._prof_fused_instants = 0
+        self._prof_fused_completions = 0
+        self._prof_settles_avoided = 0
+        self._prof_bucket_pushes = 0
+        self._prof_heap_pushes = 0
+        self._prof_bucket_probes = 0
+        self._prof_bucket_grows = 0
+
+    def _resolve_backend(self, scheduler: str) -> tuple[str, int]:
+        choice, size = select_backend(self._transitions)
+        if scheduler == "auto":
+            return choice, size
+        if scheduler == "heap":
+            return "heap", 0
+        if scheduler == "bucket":
+            return "bucket", size if choice == "bucket" else 0
+        raise SimulationError(
+            f"unknown scheduler {scheduler!r}: use 'auto', 'bucket' or 'heap'"
+        )
+
+    def _resolve_fused(self, fused_completions: bool | None) -> bool:
+        if fused_completions is None:
+            return self._fusable_auto
+        if fused_completions and not self._fusable_auto:
+            raise SimulationError(
+                "fused_completions=True requires a net with no transition "
+                "actions and only constant enabling delays; this net's "
+                "completions must settle sequentially"
+            )
+        return fused_completions
 
     # Attributes derived purely from the net: shared by reference between
-    # a skeleton and its forks (immutable tuples/dicts, or — for
-    # ``_group_memo`` — append-only caches of immutable entries).
+    # a skeleton and its forks (immutable tuples/dicts, scalars, or — for
+    # ``_draw_memo`` — an append-only cache of immutable entries).
     _SKELETON_ATTRS = (
         "net",
         "_pnames",
@@ -321,14 +395,14 @@ class Simulator:
         "_out_arcs",
         "_inputs_dict",
         "_outputs_dict",
-        "_consumers",
-        "_inhibited",
+        "_watchers",
         "_fire_arcs",
         "_start_arcs",
-        "_group_of",
-        "_group_members",
-        "_member_bit",
-        "_group_memo",
+        "_draw_memo",
+        "_tbit",
+        "_backend0",
+        "_ring_size0",
+        "_fusable_auto",
     )
 
     # -- public API ---------------------------------------------------------
@@ -342,18 +416,23 @@ class Simulator:
         run_number: int = 1,
         immediate_budget: int | None = None,
         observers: tuple[Observer, ...] | list[Observer] = (),
+        scheduler: str | None = None,
+        fused_completions: bool | None = None,
     ) -> "Simulator":
         """Clone this (never-run) simulator as a fresh run over the same net.
 
-        The compiled static structure — arc tables, conflict groups,
-        frequencies, compiled predicates/actions and the conflict-draw
-        memo — is shared by reference; only the per-run mutable state
-        (marking, deficits, heap, RNG, environment) is reinitialized. A
-        fork therefore costs O(places + transitions) list copies instead
-        of the full arc-table compilation, yet its trace is bit-identical
-        to ``Simulator(net, seed=seed, ...)``. This is how a compiled-net
-        cache (:mod:`repro.service`) or a multi-run sweep amortizes one
-        skeleton across many runs.
+        The compiled static structure — arc tables, frequencies, compiled
+        predicates/actions, the conflict-draw memo and the schedule
+        backend selection — is shared by reference; only the per-run
+        mutable state (marking, deficits, schedule, RNG, environment) is
+        reinitialized. A fork therefore costs O(places + transitions)
+        list copies instead of the full arc-table compilation, yet its
+        trace is bit-identical to ``Simulator(net, seed=seed, ...)``.
+        This is how a compiled-net cache (:mod:`repro.service`) or a
+        multi-run sweep amortizes one skeleton across many runs.
+
+        ``scheduler``/``fused_completions`` default to the skeleton's
+        resolved policy; pass them to override for this fork only.
         """
         if self._started:
             raise SimulationError(
@@ -375,8 +454,6 @@ class Simulator:
             o.on_event if hasattr(o, "on_event") else o for o in observers
         )
         clone._time = 0.0
-        clone._heap = []
-        clone._heap_seq = 0
         clone._trace_seq = 0
         clone.events_started = 0
         clone.events_finished = 0
@@ -388,22 +465,71 @@ class Simulator:
         clone._tokens = list(self._tokens)
         clone._deficit = list(self._deficit)
         n_trans = len(self._tnames)
-        n_groups = len(self._group_members)
         clone._in_flight = [0] * n_trans
         clone._enabled_since = [None] * n_trans
         clone._ready_at = [None] * n_trans
-        clone._group_count = [0] * n_groups
-        clone._group_stale = [False] * n_groups
-        clone._group_cand = [[] for _ in range(n_groups)]
-        clone._group_cum = [[] for _ in range(n_groups)]
-        clone._active_groups = set()
-        clone._group_mask = [0] * n_groups
         clone._startable = [False] * n_trans
-        clone._n_startable = 0
-        clone._draw_stale = True
-        clone._candidates = []
-        clone._cum_weights = []
+        clone._startable_mask = 0
+        if scheduler is not None:
+            clone._backend0, clone._ring_size0 = clone._resolve_backend(
+                scheduler
+            )
+        clone._fused = (
+            self._fused if fused_completions is None
+            else clone._resolve_fused(fused_completions)
+        )
+        clone._sched = make_schedule(clone._backend0, clone._ring_size0)
+        clone._pend_buf = []
+        clone._ends_buf = []
+        clone._readys_buf = []
+        clone._prof_instants = 0
+        clone._prof_fallbacks = 0
+        clone._prof_settles = 0
+        clone._prof_fused_instants = 0
+        clone._prof_fused_completions = 0
+        clone._prof_settles_avoided = 0
+        clone._prof_bucket_pushes = 0
+        clone._prof_heap_pushes = 0
+        clone._prof_bucket_probes = 0
+        clone._prof_bucket_grows = 0
         return clone
+
+    def scheduler_profile(self) -> dict[str, Any]:
+        """Scheduler counters for this run, as a plain JSON-able dict.
+
+        Exposed by ``pnut sim --profile``; the counters make the perf
+        characteristics of a run inspectable without a profiler: which
+        backend ran (and whether the bucket ring fell back to the heap),
+        how events clustered per instant, and how many settle passes the
+        fused-completion batching avoided.
+        """
+        sched = self._sched
+        bucket_pushes = self._prof_bucket_pushes
+        heap_pushes = self._prof_heap_pushes
+        probes = self._prof_bucket_probes
+        grows = self._prof_bucket_grows
+        if sched.backend == "bucket":
+            bucket_pushes += sched.pushes
+            probes += sched.probes
+            grows += sched.grows
+        else:
+            heap_pushes += sched.pushes
+        return {
+            "backend": sched.backend,
+            "declared_backend": self._backend0,
+            "fused_enabled": self._fused,
+            "events_scheduled": bucket_pushes + heap_pushes,
+            "bucket_pushes": bucket_pushes,
+            "heap_pushes": heap_pushes,
+            "heap_fallbacks": self._prof_fallbacks,
+            "bucket_probes": probes,
+            "bucket_grows": grows,
+            "instants": self._prof_instants,
+            "settles": self._prof_settles,
+            "fused_instants": self._prof_fused_instants,
+            "fused_completions": self._prof_fused_completions,
+            "settles_avoided": self._prof_settles_avoided,
+        }
 
     def stream(
         self, until: float | None = None, max_events: int | None = None
@@ -424,8 +550,8 @@ class Simulator:
         self._process_instant()
         yield from self._drain(out)
 
-        while self._heap:
-            next_time = self._heap[0][0]
+        while self._sched:
+            next_time = self._sched.next_time()
             if until is not None and next_time > until:
                 break
             if max_events is not None and self.events_started >= max_events:
@@ -449,8 +575,8 @@ class Simulator:
         is false (observers still see every event).
 
         This is the specialized fast path: the whole event loop (conflict
-        resolution, firing, completion, settling) runs in one function
-        with engine state bound to locals exactly once per run.
+        resolution, firing, completion batching, settling) runs in one
+        function with engine state bound to locals exactly once per run.
         :meth:`stream` is its lazily-yielding twin built from the shared
         out-of-line building blocks; both produce identical traces (a
         parity test pins this).
@@ -462,11 +588,9 @@ class Simulator:
         self._settle(list(range(len(self._tnames))))
 
         # -- one-time local binding of all engine state --------------------
-        heap = self._heap
         tokens = self._tokens
         deficit = self._deficit
-        consumers = self._consumers
-        inhibited = self._inhibited
+        watchers = self._watchers
         enabled_since = self._enabled_since
         ready_at = self._ready_at
         enabling_const = self._enabling_const
@@ -474,16 +598,9 @@ class Simulator:
         startable_flags = self._startable
         in_flight = self._in_flight
         max_concurrent = self._max_concurrent
-        group_of = self._group_of
-        group_count = self._group_count
-        group_stale = self._group_stale
-        group_cand = self._group_cand
-        group_members = self._group_members
-        group_mask = self._group_mask
-        member_bit = self._member_bit
-        active_groups = self._active_groups
         predicated = self._predicated
         predicated_ids = self._predicated_ids
+        tbit = self._tbit
         has_action = self._has_action
         tnames = self._tnames
         start_arcs = self._start_arcs
@@ -491,6 +608,7 @@ class Simulator:
         fire_arcs = self._fire_arcs
         inputs_dict = self._inputs_dict
         outputs_dict = self._outputs_dict
+        draw_memo_get = self._draw_memo.get
         emit = self._emit
         # With no consumers at all, events need not even be constructed;
         # counters, marking and variables still evolve identically.
@@ -500,105 +618,105 @@ class Simulator:
         start_kind = EventKind.START
         end_kind = EventKind.END
         immediate_budget = self.immediate_budget
+        fused = self._fused
+        until_lim = float("inf") if until is None else until
+        events_lim = float("inf") if max_events is None else max_events
         empty: dict[str, Any] = {}
-        n_startable = self._n_startable
-        draw_stale = self._draw_stale
         trace_seq = self._trace_seq
         events_started = self.events_started
         events_finished = self.events_finished
         time_ = self._time
+        startable_mask = self._startable_mask
 
-        def settle_pend(pend: list[int]) -> None:
-            # Closure twin of _settle, sharing the bound locals.
-            nonlocal n_startable, draw_stale
-            if len(pend) > 1:
-                pend.sort()
-            prev = -1
-            now = time_
-            for tj in pend:
-                if tj == prev:
-                    continue
-                prev = tj
-                if deficit[tj] == 0:
-                    if predicated[tj]:
-                        enabled = check_predicate(
-                            self._predicates[tj], self.env, tnames[tj]
-                        )
-                    else:
-                        enabled = True
-                else:
-                    enabled = False
-                if enabled:
-                    if enabled_since[tj] is None:
-                        delay = enabling_const[tj]
-                        if delay == 0:
-                            enabled_since[tj] = now
-                            ready_at[tj] = now
-                        else:
-                            self._begin_enablement(tj, now, delay)
-                elif enabled_since[tj] is not None:
-                    enabled_since[tj] = None
-                    ready_at[tj] = None
-                ready = ready_at[tj]
-                if ready is None or ready > now:
-                    startable = False
-                else:
-                    cap = max_concurrent[tj]
-                    startable = cap is None or in_flight[tj] < cap
-                if startable != startable_flags[tj]:
-                    startable_flags[tj] = startable
-                    g = group_of[tj]
-                    count = group_count[g]
-                    if startable:
-                        n_startable += 1
-                        group_count[g] = count + 1
-                        if count == 0:
-                            active_groups.add(g)
-                    else:
-                        n_startable -= 1
-                        group_count[g] = count - 1
-                        if count == 1:
-                            active_groups.discard(g)
-                    group_mask[g] ^= member_bit[tj]
-                    group_stale[g] = True
-                    draw_stale = True
+        # Schedule bindings. The bucket backend is fully inlined (ring,
+        # cursor and pending count live in locals, synced back on every
+        # exit); the heap backend goes through the schedule's methods.
+        # ``slow_push`` is the shared slow path: ring growth, and the
+        # transparent migration to the heap backend the moment a push is
+        # refused (non-integral sampled delay / span overflow).
+        sched = self._sched
+        is_bucket = sched.backend == "bucket"
+        if is_bucket:
+            ring = sched.ring
+            rmask = sched.mask
+            ring_size = sched.size
+            pool = sched.pool
+            cursor = sched.cursor
+            pending = sched.count
+        else:
+            ring = pool = None
+            rmask = ring_size = cursor = pending = 0
+        sched_push = sched.push
+        sched_next = sched.next_time
+        sched_pop = sched.pop_instant
+        pool_cap = _POOL_CAP
+        bpushes = 0
+        probes = 0
 
-        heap_end_seq = 0  # END-entry tiebreak; never compared against the
-        # READY entries' self._heap_seq because the kind field differs.
-        pend: list[int] = []  # reused crossing buffer, cleared per event
+        # Profile counters (synced back in _sync_counters).
+        instants = 0
+        settles = 0
+        fused_instants = 0
+        fused_completions = 0
+        settles_avoided = 0
+
+        def sync_bucket() -> None:
+            # Fold the inlined bucket state back into the object.
+            nonlocal bpushes, probes
+            sched.cursor = cursor
+            sched.count = pending
+            sched.pushes += bpushes
+            sched.probes += probes
+            bpushes = 0
+            probes = 0
+
+        def slow_push(time: float, kind: int, ti: int) -> None:
+            # Bucket miss: either the ring must grow (integral time, span
+            # below MAX_RING — the object's push handles it) or the run
+            # migrates to the heap backend, order-preserving.
+            nonlocal sched, sched_push, sched_next, sched_pop, is_bucket
+            nonlocal ring, rmask, ring_size, pending
+            sync_bucket()
+            if sched.push(time, kind, ti):
+                ring = sched.ring
+                rmask = sched.mask
+                ring_size = sched.size
+                pending = sched.count
+            else:
+                self._harvest_sched()
+                sched = self._sched = sched.into_heap()
+                self._prof_fallbacks += 1
+                is_bucket = False
+                sched_push = sched.push
+                sched_next = sched.next_time
+                sched_pop = sched.pop_instant
+                sched_push(time, kind, ti)
+
+        pend: list[int] = []      # reused crossing buffer, cleared per event
+        ends_buf: list[int] = []   # heap-mode per-instant completion batch
+        readys_buf: list[int] = []  # heap-mode per-instant wake-up batch
         while True:
             # -- fire startable transitions at this instant ----------------
-            if n_startable:
+            if startable_mask:
                 budget = immediate_budget
                 fired: list[int] = []
-                while n_startable:
-                    if n_startable == 1:
-                        # Singleton: the only startable transition wins
-                        # outright — no RNG draw, no draw preparation.
-                        g = next(iter(active_groups))
-                        if group_stale[g]:
-                            for ti in group_members[g]:
-                                if startable_flags[ti]:
-                                    break
-                        else:
-                            ti = group_cand[g][0]
+                while startable_mask:
+                    m = startable_mask
+                    if m & (m - 1):
+                        # Competing set: memoized candidates + cumulative
+                        # weights, then a bit-compatible inline of
+                        # rng.choices(candidates, weights, k=1)[0].
+                        entry = draw_memo_get(m)
+                        if entry is None:
+                            entry = self._draw_entry(m)
+                        candidates, cum, total, hi = entry
+                        ti = candidates[bisect(
+                            cum, rng_random() * total, 0, hi
+                        )]
                     else:
-                        if draw_stale:
-                            self._n_startable = n_startable
-                            self._prepare_draw()
-                            draw_stale = False
-                        candidates = self._candidates
-                        if len(candidates) == 1:
-                            ti = candidates[0]
-                        else:
-                            # Bit-compatible inline of rng.choices(...):
-                            # one uniform draw over the cached cumulative
-                            # weights of the competing set.
-                            cum = self._cum_weights
-                            total = cum[-1] + 0.0
-                            ti = candidates[bisect(
-                                cum, rng_random() * total, 0, len(candidates) - 1
-                            )]
+                        # Singleton: the only startable transition wins
+                        # outright — no RNG draw, no candidate lookup.
+                        ti = m.bit_length() - 1
                     duration = firing_const[ti]
                     if duration is None:
                         duration = self._sample_delay(
@@ -620,13 +738,9 @@ class Simulator:
                                 f"{self._pnames[pi]!r} negative"
                             )
                         tokens[pi] = new
-                        for tj, tw in consumers[pi]:
-                            if (old >= tw) != (new >= tw):
-                                deficit[tj] += 1 if old >= tw else -1
-                                pend.append(tj)
-                        for tj, thr in inhibited[pi]:
+                        for tj, thr, sign in watchers[pi]:
                             if (old >= thr) != (new >= thr):
-                                deficit[tj] += 1 if new >= thr else -1
+                                deficit[tj] += sign if new >= thr else -sign
                                 pend.append(tj)
                     events_started += 1
                     # The enablement is consumed; a fresh enabling period
@@ -645,16 +759,11 @@ class Simulator:
                         seq = trace_seq
                         trace_seq = seq + 1
                         if make_events:
-                            # Inline of _fast_event (hot path).
-                            event = _obj_new(TraceEvent)
-                            _obj_set(event, "seq", seq)
-                            _obj_set(event, "time", time_)
-                            _obj_set(event, "kind", fire_kind)
-                            _obj_set(event, "transition", tnames[ti])
-                            _obj_set(event, "removed", inputs_dict[ti])
-                            _obj_set(event, "added", outputs_dict[ti])
-                            _obj_set(event, "variables", var_updates)
-                            emit(event)
+                            emit(_tuple_new(TraceEvent, (
+                                seq, time_, fire_kind, tnames[ti],
+                                inputs_dict[ti], outputs_dict[ti],
+                                var_updates,
+                            )))
                         if (
                             len(pend) == 1
                             and not predicated[ti]
@@ -667,62 +776,307 @@ class Simulator:
                             # nothing else changed.
                             enabled_since[ti] = time_
                             ready_at[ti] = time_
-                        else:
-                            settle_pend(pend)
+                            fired.append(ti)
+                            budget -= 1
+                            if budget <= 0:
+                                self._startable_mask = startable_mask
+                                if is_bucket:
+                                    sync_bucket()
+                                self._sync_counters(
+                                    time_, trace_seq, events_started, events_finished,
+                                    instants, settles, fused_instants, fused_completions,
+                                    settles_avoided,
+                                )
+                                raise ImmediateLoopError(
+                                    time_, [tnames[t] for t in fired], immediate_budget
+                                )
+                            continue
                     else:
                         in_flight[ti] += 1
                         seq = trace_seq
                         trace_seq = seq + 1
                         if make_events:
-                            # Inline of _fast_event (hot path).
-                            event = _obj_new(TraceEvent)
-                            _obj_set(event, "seq", seq)
-                            _obj_set(event, "time", time_)
-                            _obj_set(event, "kind", start_kind)
-                            _obj_set(event, "transition", tnames[ti])
-                            _obj_set(event, "removed", inputs_dict[ti])
-                            _obj_set(event, "added", empty)
-                            _obj_set(event, "variables", empty)
-                            emit(event)
-                        settle_pend(pend)
-                        heap_end_seq += 1
-                        heappush(heap, (time_ + duration, _END, heap_end_seq, ti))
+                            emit(_tuple_new(TraceEvent, (
+                                seq, time_, start_kind, tnames[ti],
+                                inputs_dict[ti], empty, empty,
+                            )))
+                        t_end = time_ + duration
+                        if is_bucket:
+                            key = int(t_end)
+                            if key == t_end and key - cursor < ring_size:
+                                slot = key & rmask
+                                b = ring[slot]
+                                if b is None:
+                                    ring[slot] = b = (
+                                        pool.pop() if pool else ([], [])
+                                    )
+                                b[0].append(ti)
+                                pending += 1
+                                bpushes += 1
+                            else:
+                                slow_push(t_end, _END, ti)
+                        else:
+                            sched_push(t_end, _END, ti)
+                    # -- settle the crossed transitions --------------
+                    # NOTE: this settle body appears THREE times in run()
+                    # (here, the fused settle, the sequential-completion
+                    # settle) and once out of line (_settle). They MUST
+                    # stay in lockstep — the differential harness and the
+                    # pinned digests catch divergence. The duplication is
+                    # deliberate: a shared closure forces the hot
+                    # variables (time_, startable_mask, deficit, ...)
+                    # into cell slots, measured at ~8% of the whole run.
+                    settles += 1
+                    if len(pend) > 1:
+                        pend.sort()
+                    prev = -1
+                    for tj in pend:
+                        if tj == prev:
+                            continue
+                        prev = tj
+                        if deficit[tj] == 0:
+                            if predicated[tj]:
+                                enabled = check_predicate(
+                                    self._predicates[tj], self.env,
+                                    tnames[tj]
+                                )
+                            else:
+                                enabled = True
+                        else:
+                            enabled = False
+                        if enabled:
+                            if enabled_since[tj] is None:
+                                delay = enabling_const[tj]
+                                if delay == 0:
+                                    enabled_since[tj] = time_
+                                    ready_at[tj] = time_
+                                else:
+                                    if delay is None:
+                                        enabled_since[tj] = time_
+                                        delay = self._sample_delay(
+                                            self._transitions[tj]
+                                            .enabling_time
+                                        )
+                                        if delay < 0:
+                                            raise SimulationError(
+                                                f"enabling delay of "
+                                                f"{tnames[tj]!r} sampled "
+                                                f"negative: {delay}"
+                                            )
+                                        if delay == 0:
+                                            ready_at[tj] = time_
+                                            ready = None
+                                        else:
+                                            ready = time_ + delay
+                                    else:
+                                        enabled_since[tj] = time_
+                                        ready = time_ + delay
+                                    if ready is not None:
+                                        ready_at[tj] = ready
+                                        if is_bucket:
+                                            key = int(ready)
+                                            if (key == ready
+                                                    and key - cursor
+                                                    < ring_size):
+                                                slot = key & rmask
+                                                b = ring[slot]
+                                                if b is None:
+                                                    ring[slot] = b = (
+                                                        pool.pop() if pool
+                                                        else ([], [])
+                                                    )
+                                                b[1].append(tj)
+                                                pending += 1
+                                                bpushes += 1
+                                            else:
+                                                slow_push(ready, _READY, tj)
+                                        else:
+                                            sched_push(ready, _READY, tj)
+                        elif enabled_since[tj] is not None:
+                            enabled_since[tj] = None
+                            ready_at[tj] = None
+                        ready = ready_at[tj]
+                        if ready is None or ready > time_:
+                            startable = False
+                        else:
+                            cap = max_concurrent[tj]
+                            startable = cap is None or in_flight[tj] < cap
+                        if startable != startable_flags[tj]:
+                            startable_flags[tj] = startable
+                            startable_mask ^= tbit[tj]
                     fired.append(ti)
                     budget -= 1
                     if budget <= 0:
+                        self._startable_mask = startable_mask
+                        if is_bucket:
+                            sync_bucket()
                         self._sync_counters(
-                            time_, trace_seq, events_started,
-                            events_finished, n_startable, draw_stale,
+                            time_, trace_seq, events_started, events_finished,
+                            instants, settles, fused_instants, fused_completions,
+                            settles_avoided,
                         )
                         raise ImmediateLoopError(
                             time_, [tnames[t] for t in fired], immediate_budget
                         )
             # -- advance the clock to the next scheduled instant -----------
-            if not heap:
+            bucket = None
+            if is_bucket:
+                if not pending:
+                    break
+                # Scan the ring forward from the last processed instant;
+                # the pending count guarantees a hit within the ring.
+                t_int = cursor + 1
+                slot = t_int & rmask
+                bucket = ring[slot]
+                while bucket is None:
+                    t_int += 1
+                    slot = t_int & rmask
+                    bucket = ring[slot]
+                probes += t_int - cursor - 1
+                next_time = float(t_int)
+            else:
+                next_time = sched_next()
+                if next_time is None:
+                    break
+            if next_time > until_lim:
                 break
-            next_time = heap[0][0]
-            if until is not None and next_time > until:
-                break
-            if max_events is not None and events_started >= max_events:
+            if events_started >= events_lim:
                 break
             time_ = next_time
-            self._time = next_time
-            while heap and heap[0][0] == next_time:
-                _t, kind, _s, ti = heappop(heap)
-                if kind == _END:
-                    # Inline twin of _complete_firing.
+            if is_bucket:
+                cursor = t_int
+                ring[slot] = None
+                ends, readys = bucket
+                pending -= len(ends) + len(readys)
+            else:
+                ends = ends_buf
+                readys = readys_buf
+                ends.clear()
+                readys.clear()
+                sched_pop(ends, readys)
+            instants += 1
+            if fused:
+                # Fused completion batching: all END deltas of this
+                # instant apply (emitting their events in pop order),
+                # then ONE settle pass re-derives enablement. Legal only
+                # on nets where the skipped intermediate settles are
+                # unobservable — see the module docstring.
+                n_ends = len(ends)
+                if n_ends > 1:
+                    fused_instants += 1
+                    fused_completions += n_ends
+                    settles_avoided += n_ends - 1
+                pend.clear()
+                for ti in ends:
+                    for pi, w in out_arcs[ti]:
+                        old = tokens[pi]
+                        new = old + w
+                        tokens[pi] = new
+                        for tj, thr, sign in watchers[pi]:
+                            if (old >= thr) != (new >= thr):
+                                deficit[tj] += sign if new >= thr else -sign
+                                pend.append(tj)
+                    remaining = in_flight[ti] - 1
+                    if remaining < 0:
+                        raise SimulationError(
+                            f"END without START for {tnames[ti]!r}"
+                        )
+                    in_flight[ti] = remaining
+                    events_finished += 1
+                    pend.append(ti)
+                    seq = trace_seq
+                    trace_seq = seq + 1
+                    if make_events:
+                        emit(_tuple_new(TraceEvent, (
+                            seq, time_, end_kind, tnames[ti],
+                            empty, outputs_dict[ti], empty,
+                        )))
+                if pend:
+                    # -- fused settle (inline; see the lockstep NOTE) -----
+                    settles += 1
+                    if len(pend) > 1:
+                        pend.sort()
+                    prev = -1
+                    for tj in pend:
+                        if tj == prev:
+                            continue
+                        prev = tj
+                        if deficit[tj] == 0:
+                            if predicated[tj]:
+                                enabled = check_predicate(
+                                    self._predicates[tj], self.env, tnames[tj]
+                                )
+                            else:
+                                enabled = True
+                        else:
+                            enabled = False
+                        if enabled:
+                            if enabled_since[tj] is None:
+                                delay = enabling_const[tj]
+                                if delay == 0:
+                                    enabled_since[tj] = time_
+                                    ready_at[tj] = time_
+                                else:
+                                    if delay is None:
+                                        enabled_since[tj] = time_
+                                        delay = self._sample_delay(
+                                            self._transitions[tj].enabling_time
+                                        )
+                                        if delay < 0:
+                                            raise SimulationError(
+                                                f"enabling delay of {tnames[tj]!r} "
+                                                f"sampled negative: {delay}"
+                                            )
+                                        if delay == 0:
+                                            ready_at[tj] = time_
+                                            ready = None
+                                        else:
+                                            ready = time_ + delay
+                                    else:
+                                        enabled_since[tj] = time_
+                                        ready = time_ + delay
+                                    if ready is not None:
+                                        ready_at[tj] = ready
+                                        if is_bucket:
+                                            key = int(ready)
+                                            if key == ready and key - cursor < ring_size:
+                                                slot = key & rmask
+                                                b = ring[slot]
+                                                if b is None:
+                                                    ring[slot] = b = (
+                                                        pool.pop() if pool else ([], [])
+                                                    )
+                                                b[1].append(tj)
+                                                pending += 1
+                                                bpushes += 1
+                                            else:
+                                                slow_push(ready, _READY, tj)
+                                        else:
+                                            sched_push(ready, _READY, tj)
+                        elif enabled_since[tj] is not None:
+                            enabled_since[tj] = None
+                            ready_at[tj] = None
+                        ready = ready_at[tj]
+                        if ready is None or ready > time_:
+                            startable = False
+                        else:
+                            cap = max_concurrent[tj]
+                            startable = cap is None or in_flight[tj] < cap
+                        if startable != startable_flags[tj]:
+                            startable_flags[tj] = startable
+                            startable_mask ^= tbit[tj]
+            else:
+                for ti in ends:
+                    # Sequential completion: delta, action, event, settle
+                    # per END (inline twin of _complete_firing).
                     pend.clear()
                     for pi, w in out_arcs[ti]:
                         old = tokens[pi]
                         new = old + w
                         tokens[pi] = new
-                        for tj, tw in consumers[pi]:
-                            if (old >= tw) != (new >= tw):
-                                deficit[tj] += 1 if old >= tw else -1
-                                pend.append(tj)
-                        for tj, thr in inhibited[pi]:
+                        for tj, thr, sign in watchers[pi]:
                             if (old >= thr) != (new >= thr):
-                                deficit[tj] += 1 if new >= thr else -1
+                                deficit[tj] += sign if new >= thr else -sign
                                 pend.append(tj)
                     remaining = in_flight[ti] - 1
                     if remaining < 0:
@@ -741,49 +1095,113 @@ class Simulator:
                     seq = trace_seq
                     trace_seq = seq + 1
                     if make_events:
-                        # Inline of _fast_event (hot path).
-                        event = _obj_new(TraceEvent)
-                        _obj_set(event, "seq", seq)
-                        _obj_set(event, "time", time_)
-                        _obj_set(event, "kind", end_kind)
-                        _obj_set(event, "transition", tnames[ti])
-                        _obj_set(event, "removed", empty)
-                        _obj_set(event, "added", outputs_dict[ti])
-                        _obj_set(event, "variables", var_updates)
-                        emit(event)
-                    settle_pend(pend)
-                else:
-                    # _READY wake-up: the enabling delay may have elapsed.
-                    # Startability is re-derived from _ready_at, so stale
-                    # entries are harmless.
-                    ready = ready_at[ti]
-                    if ready is None or ready > time_:
-                        startable = False
-                    else:
-                        cap = max_concurrent[ti]
-                        startable = cap is None or in_flight[ti] < cap
-                    if startable != startable_flags[ti]:
-                        startable_flags[ti] = startable
-                        g = group_of[ti]
-                        count = group_count[g]
-                        if startable:
-                            n_startable += 1
-                            group_count[g] = count + 1
-                            if count == 0:
-                                active_groups.add(g)
+                        emit(_tuple_new(TraceEvent, (
+                            seq, time_, end_kind, tnames[ti],
+                            empty, outputs_dict[ti], var_updates,
+                        )))
+                    # -- per-completion settle (inline; lockstep NOTE) ---
+                    settles += 1
+                    if len(pend) > 1:
+                        pend.sort()
+                    prev = -1
+                    for tj in pend:
+                        if tj == prev:
+                            continue
+                        prev = tj
+                        if deficit[tj] == 0:
+                            if predicated[tj]:
+                                enabled = check_predicate(
+                                    self._predicates[tj], self.env, tnames[tj]
+                                )
+                            else:
+                                enabled = True
                         else:
-                            n_startable -= 1
-                            group_count[g] = count - 1
-                            if count == 1:
-                                active_groups.discard(g)
-                        group_mask[g] ^= member_bit[ti]
-                        group_stale[g] = True
-                        draw_stale = True
+                            enabled = False
+                        if enabled:
+                            if enabled_since[tj] is None:
+                                delay = enabling_const[tj]
+                                if delay == 0:
+                                    enabled_since[tj] = time_
+                                    ready_at[tj] = time_
+                                else:
+                                    if delay is None:
+                                        enabled_since[tj] = time_
+                                        delay = self._sample_delay(
+                                            self._transitions[tj].enabling_time
+                                        )
+                                        if delay < 0:
+                                            raise SimulationError(
+                                                f"enabling delay of {tnames[tj]!r} "
+                                                f"sampled negative: {delay}"
+                                            )
+                                        if delay == 0:
+                                            ready_at[tj] = time_
+                                            ready = None
+                                        else:
+                                            ready = time_ + delay
+                                    else:
+                                        enabled_since[tj] = time_
+                                        ready = time_ + delay
+                                    if ready is not None:
+                                        ready_at[tj] = ready
+                                        if is_bucket:
+                                            key = int(ready)
+                                            if key == ready and key - cursor < ring_size:
+                                                slot = key & rmask
+                                                b = ring[slot]
+                                                if b is None:
+                                                    ring[slot] = b = (
+                                                        pool.pop() if pool else ([], [])
+                                                    )
+                                                b[1].append(tj)
+                                                pending += 1
+                                                bpushes += 1
+                                            else:
+                                                slow_push(ready, _READY, tj)
+                                        else:
+                                            sched_push(ready, _READY, tj)
+                        elif enabled_since[tj] is not None:
+                            enabled_since[tj] = None
+                            ready_at[tj] = None
+                        ready = ready_at[tj]
+                        if ready is None or ready > time_:
+                            startable = False
+                        else:
+                            cap = max_concurrent[tj]
+                            startable = cap is None or in_flight[tj] < cap
+                        if startable != startable_flags[tj]:
+                            startable_flags[tj] = startable
+                            startable_mask ^= tbit[tj]
+            for tj in readys:
+                # _READY wake-up: the enabling delay may have elapsed.
+                # Startability is re-derived from _ready_at, so stale
+                # entries are harmless.
+                ready = ready_at[tj]
+                if ready is None or ready > time_:
+                    startable = False
+                else:
+                    cap = max_concurrent[tj]
+                    startable = cap is None or in_flight[tj] < cap
+                if startable != startable_flags[tj]:
+                    startable_flags[tj] = startable
+                    startable_mask ^= tbit[tj]
+            if bucket is not None:
+                # Recycle the popped bucket pair (the lists may already
+                # belong to an abandoned ring after a mid-instant
+                # migration — recycling is then a harmless no-op).
+                ends.clear()
+                readys.clear()
+                if len(pool) < pool_cap:
+                    pool.append(bucket)
 
         final_time = until if until is not None else time_
+        self._startable_mask = startable_mask
+        if is_bucket:
+            sync_bucket()
         self._sync_counters(
             final_time, trace_seq, events_started, events_finished,
-            n_startable, draw_stale,
+            instants, settles, fused_instants, fused_completions,
+            settles_avoided,
         )
         self._emit(TraceEvent.eot(self._next_seq(), final_time))
         return SimulationResult(
@@ -802,16 +1220,32 @@ class Simulator:
         trace_seq: int,
         events_started: int,
         events_finished: int,
-        n_startable: int,
-        draw_stale: bool,
+        instants: int = 0,
+        settles: int = 0,
+        fused_instants: int = 0,
+        fused_completions: int = 0,
+        settles_avoided: int = 0,
     ) -> None:
         """Fold run()'s loop-local counters back into engine state."""
         self._time = time_
         self._trace_seq = trace_seq
         self.events_started = events_started
         self.events_finished = events_finished
-        self._n_startable = n_startable
-        self._draw_stale = draw_stale
+        self._prof_instants += instants
+        self._prof_settles += settles
+        self._prof_fused_instants += fused_instants
+        self._prof_fused_completions += fused_completions
+        self._prof_settles_avoided += settles_avoided
+
+    def _harvest_sched(self) -> None:
+        """Accumulate the current schedule's counters before replacing it."""
+        sched = self._sched
+        if sched.backend == "bucket":
+            self._prof_bucket_pushes += sched.pushes
+            self._prof_bucket_probes += sched.probes
+            self._prof_bucket_grows += sched.grows
+        else:
+            self._prof_heap_pushes += sched.pushes
 
     @property
     def now(self) -> float:
@@ -867,22 +1301,55 @@ class Simulator:
         ))
 
     def _advance_one_instant(self, now: float) -> None:
-        """Drain every heap entry scheduled at ``now``, then fire."""
-        heap = self._heap
-        while heap and heap[0][0] == now:
-            _time, kind, _seq, ti = heappop(heap)
-            if kind == _END:
+        """Pop the whole instant at ``now``, complete, wake, then fire."""
+        ends = self._ends_buf
+        readys = self._readys_buf
+        ends.clear()
+        readys.clear()
+        self._sched.pop_instant(ends, readys)
+        self._prof_instants += 1
+        if self._fused:
+            n_ends = len(ends)
+            if n_ends > 1:
+                self._prof_fused_instants += 1
+                self._prof_fused_completions += n_ends
+                self._prof_settles_avoided += n_ends - 1
+            pend = self._pend_buf
+            pend.clear()
+            for ti in ends:
+                self._apply_delta(self._out_arcs[ti], pend)
+                remaining = self._in_flight[ti] - 1
+                if remaining < 0:
+                    raise SimulationError(
+                        f"END without START for {self._tnames[ti]!r}"
+                    )
+                self._in_flight[ti] = remaining
+                self.events_finished += 1
+                pend.append(ti)
+                self._emit(_fast_event(
+                    self._next_seq(), now, EventKind.END, self._tnames[ti],
+                    {}, self._outputs_dict[ti], {},
+                ))
+            if pend:
+                self._settle(pend)
+        else:
+            for ti in ends:
                 self._complete_firing(ti)
-            else:
-                # _READY wake-up: the enabling delay may have elapsed.
-                # Startability is re-derived from _ready_at, so entries
-                # made stale by an intervening disable are harmless.
-                self._update_startable(ti)
+        for ti in readys:
+            # _READY wake-up: the enabling delay may have elapsed.
+            # Startability is re-derived from _ready_at, so entries
+            # made stale by an intervening disable are harmless.
+            self._update_startable(ti)
         self._process_instant()
 
     def _schedule(self, time: float, kind: int, ti: int) -> None:
-        self._heap_seq += 1
-        heappush(self._heap, (time, kind, self._heap_seq, ti))
+        """Cold-path push with the transparent heap fallback."""
+        sched = self._sched
+        if not sched.push(time, kind, ti):
+            self._harvest_sched()
+            self._sched = sched.into_heap()
+            self._prof_fallbacks += 1
+            self._sched.push(time, kind, ti)
 
     # -- enablement tracking ------------------------------------------------------
 
@@ -894,6 +1361,7 @@ class Simulator:
         in-flight count changed; they settle in definition order so any
         delay sampling stays reproducible.
         """
+        self._prof_settles += 1
         if len(pend) > 1:
             pend = sorted(set(pend))
         now = self._time
@@ -905,10 +1373,6 @@ class Simulator:
         startable_flags = self._startable
         in_flight = self._in_flight
         max_concurrent = self._max_concurrent
-        group_of = self._group_of
-        group_count = self._group_count
-        group_stale = self._group_stale
-        active_groups = self._active_groups
         for ti in pend:
             if deficit[ti] == 0:
                 if predicated[ti]:
@@ -930,8 +1394,7 @@ class Simulator:
             elif enabled_since[ti] is not None:
                 enabled_since[ti] = None
                 ready_at[ti] = None
-            # Inline startability sync (see _update_startable) and
-            # conflict-group flip accounting (see _flip_startable).
+            # Inline startability sync (see _update_startable).
             ready = ready_at[ti]
             if ready is None or ready > now:
                 startable = False
@@ -940,21 +1403,7 @@ class Simulator:
                 startable = cap is None or in_flight[ti] < cap
             if startable != startable_flags[ti]:
                 startable_flags[ti] = startable
-                g = group_of[ti]
-                count = group_count[g]
-                if startable:
-                    self._n_startable += 1
-                    group_count[g] = count + 1
-                    if count == 0:
-                        active_groups.add(g)
-                else:
-                    self._n_startable -= 1
-                    group_count[g] = count - 1
-                    if count == 1:
-                        active_groups.discard(g)
-                self._group_mask[g] ^= self._member_bit[ti]
-                group_stale[g] = True
-                self._draw_stale = True
+                self._startable_mask ^= 1 << ti
 
     def _update_startable(self, ti: int) -> None:
         """Sync the cached startability flag of one transition."""
@@ -966,25 +1415,7 @@ class Simulator:
             startable = cap is None or self._in_flight[ti] < cap
         if startable != self._startable[ti]:
             self._startable[ti] = startable
-            self._flip_startable(ti, startable)
-
-    def _flip_startable(self, ti: int, startable: bool) -> None:
-        """Account a startability flip in the conflict-group indexes."""
-        g = self._group_of[ti]
-        count = self._group_count[g]
-        if startable:
-            self._n_startable += 1
-            self._group_count[g] = count + 1
-            if count == 0:
-                self._active_groups.add(g)
-        else:
-            self._n_startable -= 1
-            self._group_count[g] = count - 1
-            if count == 1:
-                self._active_groups.discard(g)
-        self._group_mask[g] ^= self._member_bit[ti]
-        self._group_stale[g] = True
-        self._draw_stale = True
+            self._startable_mask ^= 1 << ti
 
     def _sample_delay(self, delay) -> float:
         contextual = getattr(delay, "sample_in_context", None)
@@ -1011,79 +1442,52 @@ class Simulator:
 
     # -- firing ----------------------------------------------------------------------
 
-    def _prepare_draw(self) -> None:
-        """Bind the competing set for the next conflict-resolution draw.
+    def _draw_entry(
+        self, mask: int
+    ) -> tuple[list[int], list[float], float, int]:
+        """Build (and memoize) the competing set for a startable bitmask:
+        ``(candidates, cumulative weights, total, bisect hi)``.
 
-        Rebuilds only the stale conflict groups; with one active group
-        its candidate list is used directly, otherwise the active groups
-        merge into one definition-ordered list. Cumulative weights are
-        derived exactly as :func:`random.Random.choices` would.
+        Candidates are in ascending transition index (= the net's
+        definition order, which the pre-mask engine's merged group lists
+        also used); the running total reproduces ``itertools.accumulate``
+        (and hence :func:`random.Random.choices`) bit for bit. Memoized
+        lists are shared and must never be mutated in place. The memo is
+        capped: a memoized and a rebuilt entry are identical, so skipping
+        the store past ``_DRAW_MEMO_CAP`` trades only speed, never the
+        draw — without the cap a long-lived skeleton (the service's
+        compiled-net cache) could accumulate one entry per *combination*
+        of group states.
         """
-        active = self._active_groups
-        group_cand = self._group_cand
-        group_cum = self._group_cum
-        group_stale = self._group_stale
-        if len(active) == 1:
-            g = next(iter(active))
-            if group_stale[g]:
-                self._rebuild_group(g)
-            self._candidates = group_cand[g]
-            self._cum_weights = group_cum[g]
-        else:
-            merged: list[int] = []
-            for g in active:
-                if group_stale[g]:
-                    self._rebuild_group(g)
-                merged.extend(group_cand[g])
-            merged.sort()
-            freq = self._freq
-            self._candidates = merged
-            self._cum_weights = list(
-                accumulate([freq[ti] for ti in merged])
-            )
-        self._draw_stale = False
-
-    def _rebuild_group(self, g: int) -> None:
-        """Re-derive one group's candidate list and cumulative weights,
-        memoized by the bitmask of its startable members.
-
-        The running total reproduces ``itertools.accumulate`` (and hence
-        :func:`random.Random.choices`) bit for bit: adding the first
-        weight to +0.0 is exact, and subsequent additions associate
-        left-to-right identically. Memoized lists are shared and must
-        never be mutated in place.
-        """
-        memo = self._group_memo[g]
-        mask = self._group_mask[g]
-        entry = memo.get(mask)
-        if entry is None:
-            startable = self._startable
-            freq = self._freq
-            cand: list[int] = []
-            cum: list[float] = []
-            total = 0.0
-            for ti in self._group_members[g]:
-                if startable[ti]:
-                    cand.append(ti)
-                    total += freq[ti]
-                    cum.append(total)
-            entry = (cand, cum)
-            memo[mask] = entry
-        self._group_cand[g] = entry[0]
-        self._group_cum[g] = entry[1]
-        self._group_stale[g] = False
+        freq = self._freq
+        cand: list[int] = []
+        cum: list[float] = []
+        total = 0.0
+        m = mask
+        while m:
+            bit = m & -m
+            tj = bit.bit_length() - 1
+            cand.append(tj)
+            total += freq[tj]
+            cum.append(total)
+            m ^= bit
+        entry = (cand, cum, cum[-1] + 0.0, len(cand) - 1)
+        if len(self._draw_memo) < _DRAW_MEMO_CAP:
+            self._draw_memo[mask] = entry
+        return entry
 
     def _process_instant(self) -> None:
         """Fire startable transitions at the current instant until quiescent.
 
-        This is THE hot loop: conflict resolution, token-delta application
-        with deficit-crossing detection, event emission and the settle of
-        crossed transitions are all inlined with one-time local binding.
-        The out-of-line building blocks (:meth:`_prepare_draw`,
-        :meth:`_settle`, :meth:`_run_action`, :meth:`_begin_enablement`)
-        keep the exact same semantics for the cold paths that share them.
+        This is the stream()-path hot loop: conflict resolution, token-
+        delta application with deficit-crossing detection, event emission
+        and the settle of crossed transitions are all inlined with
+        one-time local binding and reused scratch buffers. The
+        out-of-line building blocks (:meth:`_draw_entry`, :meth:`_settle`,
+        :meth:`_run_action`, :meth:`_begin_enablement`) keep the exact
+        same semantics for the cold paths that share them.
         """
-        if not self._n_startable:
+        if not self._startable_mask:
             return
         budget = self.immediate_budget
         fired: list[int] = []
@@ -1091,22 +1495,11 @@ class Simulator:
         now = self._time
         tokens = self._tokens
         deficit = self._deficit
-        consumers = self._consumers
-        inhibited = self._inhibited
+        watchers = self._watchers
         enabled_since = self._enabled_since
         ready_at = self._ready_at
         enabling_const = self._enabling_const
         firing_const = self._firing_const
-        startable_flags = self._startable
-        in_flight = self._in_flight
-        max_concurrent = self._max_concurrent
-        group_of = self._group_of
-        group_count = self._group_count
-        group_stale = self._group_stale
-        group_cand = self._group_cand
-        group_mask = self._group_mask
-        member_bit = self._member_bit
-        active_groups = self._active_groups
         predicated = self._predicated
         has_action = self._has_action
         tnames = self._tnames
@@ -1114,37 +1507,27 @@ class Simulator:
         fire_arcs = self._fire_arcs
         inputs_dict = self._inputs_dict
         outputs_dict = self._outputs_dict
+        draw_memo_get = self._draw_memo.get
         emit = self._emit
         fire_kind = EventKind.FIRE
         start_kind = EventKind.START
-        n_startable = self._n_startable
-        draw_stale = self._draw_stale
-        while n_startable:
+        pend = self._pend_buf
+        while self._startable_mask:
             # -- conflict resolution ---------------------------------------
-            if n_startable == 1:
-                # Singleton fast path: the only startable transition wins
-                # outright (no RNG draw), skipping full draw preparation.
-                g = next(iter(active_groups))
-                if group_stale[g]:
-                    self._prepare_draw()
-                    draw_stale = False
-                ti = group_cand[g][0]
+            m = self._startable_mask
+            if m & (m - 1):
+                entry = draw_memo_get(m)
+                if entry is None:
+                    entry = self._draw_entry(m)
+                # Bit-compatible inline of rng.choices(candidates,
+                # weights, k=1)[0]: one uniform draw over the cached
+                # cumulative weights of the competing set.
+                candidates, cum, total, hi = entry
+                ti = candidates[bisect(cum, rng_random() * total, 0, hi)]
             else:
-                if draw_stale:
-                    self._prepare_draw()
-                    draw_stale = False
-                candidates = self._candidates
-                if len(candidates) == 1:
-                    ti = candidates[0]
-                else:
-                    # Bit-compatible inline of rng.choices(candidates,
-                    # weights, k=1)[0]: one uniform draw over the cached
-                    # cumulative weights of the competing set.
-                    cum = self._cum_weights
-                    total = cum[-1] + 0.0
-                    ti = candidates[
-                        bisect(cum, rng_random() * total, 0, len(candidates) - 1)
-                    ]
+                # Singleton fast path: the only startable transition wins
+                # outright (no RNG draw, no candidate lookup).
+                ti = m.bit_length() - 1
             # -- fire the winner -------------------------------------------
             duration = firing_const[ti]
             if duration is None:
@@ -1154,7 +1537,7 @@ class Simulator:
                         f"firing time of {tnames[ti]!r} sampled "
                         f"negative: {duration}"
                     )
-            pend: list[int] = []
+            pend.clear()
             if duration == 0:
                 # Atomic firing: removal and deposit in one trace delta
                 # (precombined signed arcs), so zero-time token moves
@@ -1172,13 +1555,9 @@ class Simulator:
                         f"{self._pnames[pi]!r} negative"
                     )
                 tokens[pi] = new
-                for tj, tw in consumers[pi]:
-                    if (old >= tw) != (new >= tw):
-                        deficit[tj] += 1 if old >= tw else -1
-                        pend.append(tj)
-                for tj, thr in inhibited[pi]:
+                for tj, thr, sign in watchers[pi]:
                     if (old >= thr) != (new >= thr):
-                        deficit[tj] += 1 if new >= thr else -1
+                        deficit[tj] += sign if new >= thr else -sign
                         pend.append(tj)
             self.events_started += 1
             # The enablement that allowed this firing is consumed; if the
@@ -1194,104 +1573,53 @@ class Simulator:
                         pend.extend(self._predicated_ids)
                 else:
                     var_updates = {}
-                seq = self._trace_seq
-                self._trace_seq = seq + 1
                 emit(_fast_event(
-                    seq, now, fire_kind, tnames[ti],
+                    self._next_seq(), now, fire_kind, tnames[ti],
                     inputs_dict[ti], outputs_dict[ti], var_updates,
                 ))
+                if (
+                    len(pend) == 1
+                    and not predicated[ti]
+                    and enabling_const[ti] == 0
+                ):
+                    # Nothing crossed and the enabling delay is zero:
+                    # re-arm the winner directly (its startable flag was
+                    # true and stays true).
+                    enabled_since[ti] = now
+                    ready_at[ti] = now
+                else:
+                    self._settle(pend)
             else:
-                in_flight[ti] += 1
-                seq = self._trace_seq
-                self._trace_seq = seq + 1
+                self._in_flight[ti] += 1
                 emit(_fast_event(
-                    seq, now, start_kind, tnames[ti], inputs_dict[ti], {}, {},
+                    self._next_seq(), now, start_kind, tnames[ti],
+                    inputs_dict[ti], {}, {},
                 ))
-            # -- settle crossed transitions (inline of _settle) ------------
-            if len(pend) > 1:
-                pend.sort()
-            prev = -1
-            for tj in pend:
-                if tj == prev:
-                    continue
-                prev = tj
-                if deficit[tj] == 0:
-                    if predicated[tj]:
-                        enabled = check_predicate(
-                            self._predicates[tj], self.env, tnames[tj]
-                        )
-                    else:
-                        enabled = True
-                else:
-                    enabled = False
-                if enabled:
-                    if enabled_since[tj] is None:
-                        delay = enabling_const[tj]
-                        if delay == 0:
-                            enabled_since[tj] = now
-                            ready_at[tj] = now
-                        else:
-                            self._begin_enablement(tj, now, delay)
-                elif enabled_since[tj] is not None:
-                    enabled_since[tj] = None
-                    ready_at[tj] = None
-                ready = ready_at[tj]
-                if ready is None or ready > now:
-                    startable = False
-                else:
-                    cap = max_concurrent[tj]
-                    startable = cap is None or in_flight[tj] < cap
-                if startable != startable_flags[tj]:
-                    startable_flags[tj] = startable
-                    g = group_of[tj]
-                    count = group_count[g]
-                    if startable:
-                        n_startable += 1
-                        group_count[g] = count + 1
-                        if count == 0:
-                            active_groups.add(g)
-                    else:
-                        n_startable -= 1
-                        group_count[g] = count - 1
-                        if count == 1:
-                            active_groups.discard(g)
-                    group_mask[g] ^= member_bit[tj]
-                    group_stale[g] = True
-                    draw_stale = True
-            if duration != 0:
+                self._settle(pend)
                 self._schedule(now + duration, _END, ti)
             fired.append(ti)
             budget -= 1
             if budget <= 0:
-                self._n_startable = n_startable
-                self._draw_stale = draw_stale
                 raise ImmediateLoopError(
                     self._time,
                     [tnames[t] for t in fired],
                     self.immediate_budget,
                 )
-        self._n_startable = n_startable
-        self._draw_stale = draw_stale
 
     def _apply_delta(self, arcs, pend: list[int]) -> None:
         """Apply one (signed-weight) token delta, recording deficit
         crossings in ``pend``. Used by the completion path; the firing
         paths inline the same loop."""
         tokens = self._tokens
-        consumers = self._consumers
-        inhibited = self._inhibited
+        watchers = self._watchers
         deficit = self._deficit
         for pi, w in arcs:
             old = tokens[pi]
             new = old + w
             tokens[pi] = new
-            for tj, tw in consumers[pi]:
-                if (old >= tw) != (new >= tw):
-                    deficit[tj] += 1 if old >= tw else -1
-                    pend.append(tj)
-            for tj, thr in inhibited[pi]:
+            for tj, thr, sign in watchers[pi]:
                 if (old >= thr) != (new >= thr):
-                    deficit[tj] += 1 if new >= thr else -1
+                    deficit[tj] += sign if new >= thr else -sign
                     pend.append(tj)
 
     def _run_action(self, ti: int) -> dict[str, Any]:
@@ -1345,6 +1673,8 @@ def simulate(
     immediate_budget: int = 10_000,
     observers: tuple[Observer, ...] | list[Observer] = (),
     keep_events: bool = True,
+    scheduler: str = "auto",
+    fused_completions: bool | None = None,
 ) -> SimulationResult:
     """One-call convenience: build a :class:`Simulator` and run it.
 
@@ -1353,5 +1683,6 @@ def simulate(
     memory, the paper's "plug the simulator into the analysis tools").
     """
     sim = Simulator(net, seed=seed, run_number=run_number,
-                    immediate_budget=immediate_budget, observers=observers)
+                    immediate_budget=immediate_budget, observers=observers,
+                    scheduler=scheduler, fused_completions=fused_completions)
     return sim.run(until=until, max_events=max_events, keep_events=keep_events)

@@ -1,0 +1,327 @@
+"""Event schedules for the simulator: integer-time buckets with a heap
+fallback (the second-generation scheduling core, PR 5).
+
+The paper's §4.1 simulator is a discrete-event loop; its future-event set
+was a single binary heap of ``(time, kind, seq, transition)`` tuples.
+Processor models overwhelmingly use *integer* delays (cycle counts), and
+their events cluster on shared instants (every completion of a pipeline
+stage lands on a clock edge), so the heap's per-event tuple allocation
+and O(log n) sift is mostly wasted work. This module provides two
+interchangeable backends:
+
+:class:`BucketSchedule`
+    A calendar queue over integer time: a power-of-two ring of buckets
+    indexed by ``time & mask``, one bucket per *instant* holding two
+    plain lists (``END`` completions, ``READY`` wake-ups) in insertion
+    order. Pushing is a list append; popping returns the whole instant
+    at once (which is what enables fused END-completion batching in the
+    engine). The ring grows geometrically while the pending-time span
+    fits :data:`MAX_RING`; bucket list pairs are pooled and reused so a
+    steady-state run allocates nothing per event.
+
+:class:`HeapSchedule`
+    The classic ``heapq`` future-event set, used for nets with
+    non-integer delays and as the transparent fallback target.
+
+**Ordering contract** (what makes traces bit-identical across backends):
+events pop ordered by ``(time, kind, insertion order)`` with ``END``
+before ``READY`` at the same instant. Both backends implement exactly
+this order, and :meth:`BucketSchedule.into_heap` preserves it when a
+run migrates mid-flight.
+
+**Backend selection** happens per net at compile time from the delay
+declarations (:func:`select_backend`): constant and discrete delays with
+integral values vote for buckets, continuous distributions force the
+heap, and unknown delay types (``DataDelay``, custom ``Delay``
+implementations) are treated optimistically. Because the declaration
+scan is only a prediction, every push *re-checks the sampled value*:
+:meth:`BucketSchedule.push` refuses non-integral times (and spans beyond
+:data:`MAX_RING`), and the engine responds by migrating the pending set
+to a :class:`HeapSchedule` and carrying on — the trace cannot tell the
+difference.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from ..core.time_model import (
+    ConstantDelay,
+    DiscreteDelay,
+    ExponentialDelay,
+    UniformDelay,
+)
+
+#: Heap-entry / bucket kinds. END completions outrank READY wake-ups at
+#: the same instant (a completion may unblock the transition the wake-up
+#: belongs to; processing ENDs first reproduces the original engine).
+END = 0
+READY = 1
+
+#: Hard cap on the bucket ring (slots). A pending-time span beyond this
+#: would make empty-slot scans pathological, so pushes past it trigger
+#: the heap fallback instead of growing further.
+MAX_RING = 1 << 13
+
+_MIN_RING = 64
+_POOL_CAP = 32
+
+
+class HeapSchedule:
+    """The ``heapq`` future-event set: tuples of ``(time, kind, seq, ti)``.
+
+    ``seq`` counters are per-kind; they are never compared across kinds
+    because the ``kind`` field differs, and within a kind monotone
+    insertion numbering is all the ordering contract needs.
+    """
+
+    backend = "heap"
+
+    __slots__ = ("heap", "end_seq", "ready_seq", "pushes")
+
+    def __init__(self) -> None:
+        self.heap: list[tuple[float, int, int, int]] = []
+        self.end_seq = 0
+        self.ready_seq = 0
+        self.pushes = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.heap)
+
+    def pending(self) -> int:
+        return len(self.heap)
+
+    def push(self, time: float, kind: int, ti: int) -> bool:
+        """Schedule ``ti``; a heap accepts any time, so always True."""
+        if kind == END:
+            self.end_seq += 1
+            seq = self.end_seq
+        else:
+            self.ready_seq += 1
+            seq = self.ready_seq
+        heappush(self.heap, (time, kind, seq, ti))
+        self.pushes += 1
+        return True
+
+    def next_time(self) -> float | None:
+        heap = self.heap
+        return heap[0][0] if heap else None
+
+    def pop_instant(self, ends: list[int], readys: list[int]) -> float:
+        """Drain every entry at the minimum time into the given lists."""
+        heap = self.heap
+        time = heap[0][0]
+        while heap and heap[0][0] == time:
+            _t, kind, _s, ti = heappop(heap)
+            if kind == END:
+                ends.append(ti)
+            else:
+                readys.append(ti)
+        return time
+
+
+class BucketSchedule:
+    """Integer-time calendar queue: a ring of per-instant buckets.
+
+    A bucket is a ``(ends, readys)`` pair of plain lists appended in
+    schedule order; slot ``time & mask`` holds the bucket for ``time``
+    (collision-free while the pending span is below the ring size, which
+    :meth:`push` maintains by growing). ``cursor`` is the last processed
+    instant; all pushes are strictly in its future. Popped bucket pairs
+    return to a small pool via :meth:`release` so steady-state traffic
+    reuses the same list objects.
+    """
+
+    backend = "bucket"
+
+    __slots__ = (
+        "ring", "mask", "size", "cursor", "count", "pool",
+        "pushes", "probes", "grows", "_peek",
+    )
+
+    def __init__(self, size: int = _MIN_RING, cursor: int = 0) -> None:
+        size = max(size, _MIN_RING)
+        if size & (size - 1):
+            raise ValueError(f"ring size must be a power of two: {size}")
+        self.ring: list[tuple[list[int], list[int]] | None] = [None] * size
+        self.mask = size - 1
+        self.size = size
+        self.cursor = cursor
+        self.count = 0          # pending events
+        self.pool: list[tuple[list[int], list[int]]] = []
+        self.pushes = 0         # events accepted (bucket hits)
+        self.probes = 0         # empty slots scanned looking for the next instant
+        self.grows = 0
+        self._peek: int | None = None
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def pending(self) -> int:
+        return self.count
+
+    def push(self, time: float, kind: int, ti: int) -> bool:
+        """Schedule ``ti`` at ``time``; False if the bucket ring cannot
+        hold it (non-integral time, or span beyond :data:`MAX_RING`) —
+        the caller must then migrate via :meth:`into_heap`."""
+        key = int(time)
+        if key != time:
+            return False
+        span = key - self.cursor
+        if span <= 0:
+            # At or behind the cursor: the ring would file the event into
+            # a wrapped future slot. No legal caller schedules into the
+            # past (delays are positive), so refuse instead of corrupting
+            # the timeline; the caller's fallback (a heap) orders any
+            # time correctly.
+            return False
+        if span >= self.size:
+            if span >= MAX_RING:
+                return False
+            self._grow(span)
+        slot = key & self.mask
+        bucket = self.ring[slot]
+        if bucket is None:
+            pool = self.pool
+            bucket = pool.pop() if pool else ([], [])
+            self.ring[slot] = bucket
+        bucket[kind].append(ti)
+        self.count += 1
+        self.pushes += 1
+        if self._peek is not None and key < self._peek:
+            self._peek = key
+        return True
+
+    def next_time(self) -> float | None:
+        if not self.count:
+            return None
+        peek = self._peek
+        if peek is None:
+            ring = self.ring
+            mask = self.mask
+            t = self.cursor + 1
+            while ring[t & mask] is None:
+                t += 1
+            self.probes += t - self.cursor - 1
+            self._peek = peek = t
+        return float(peek)
+
+    def pop_instant(self, ends: list[int], readys: list[int]) -> float:
+        """Move the whole next instant into the given lists."""
+        time = self.next_time()
+        t = self._peek
+        assert t is not None
+        slot = t & self.mask
+        bucket = self.ring[slot]
+        self.ring[slot] = None
+        b_ends, b_readys = bucket
+        ends.extend(b_ends)
+        readys.extend(b_readys)
+        self.count -= len(b_ends) + len(b_readys)
+        self.cursor = t
+        self._peek = None
+        self.release(bucket)
+        return time
+
+    def release(self, bucket: tuple[list[int], list[int]]) -> None:
+        """Return a popped bucket pair to the pool (lists are cleared)."""
+        bucket[0].clear()
+        bucket[1].clear()
+        if len(self.pool) < _POOL_CAP:
+            self.pool.append(bucket)
+
+    def _grow(self, span: int) -> None:
+        size = self.size
+        while size <= span:
+            size <<= 1
+        old_ring = self.ring
+        old_mask = self.mask
+        new_ring: list[tuple[list[int], list[int]] | None] = [None] * size
+        new_mask = size - 1
+        cursor = self.cursor
+        for t in range(cursor + 1, cursor + self.size + 1):
+            bucket = old_ring[t & old_mask]
+            if bucket is not None:
+                new_ring[t & new_mask] = bucket
+        self.ring = new_ring
+        self.mask = new_mask
+        self.size = size
+        self.grows += 1
+
+    def into_heap(self) -> HeapSchedule:
+        """Migrate every pending entry to a heap, preserving the
+        ``(time, kind, insertion order)`` pop order exactly."""
+        heap = HeapSchedule()
+        cursor = self.cursor
+        ring = self.ring
+        mask = self.mask
+        remaining = self.count
+        t = cursor
+        while remaining:
+            t += 1
+            bucket = ring[t & mask]
+            if bucket is None:
+                continue
+            time = float(t)
+            for ti in bucket[END]:
+                heap.push(time, END, ti)
+            for ti in bucket[READY]:
+                heap.push(time, READY, ti)
+            remaining -= len(bucket[END]) + len(bucket[READY])
+        heap.pushes = 0  # migrated entries are not fresh pushes
+        self.ring = [None] * self.size
+        self.count = 0
+        self._peek = None
+        return heap
+
+
+def _integral_delay(delay) -> bool | None:
+    """Whether every sample of ``delay`` is guaranteed integral.
+
+    True/False for the known distribution types; None for unknown ones
+    (``DataDelay``, custom ``Delay`` implementations), which the caller
+    treats optimistically — the per-push recheck catches liars.
+    """
+    if isinstance(delay, ConstantDelay):
+        return float(delay.value).is_integer()
+    if isinstance(delay, DiscreteDelay):
+        return all(float(v).is_integer() for v in delay.values)
+    if isinstance(delay, (UniformDelay, ExponentialDelay)):
+        # Continuous distributions: almost surely non-integral. (A
+        # degenerate UniformDelay(k, k) still samples through
+        # rng.uniform and must consume the RNG either way.)
+        return False
+    return None
+
+
+def select_backend(transitions) -> tuple[str, int]:
+    """Choose the schedule backend for a net at compile time.
+
+    Returns ``("bucket", ring_size)`` when every declared enabling and
+    firing delay is integral (or of unknown type — the per-value recheck
+    in :meth:`BucketSchedule.push` guards the optimism), sized from the
+    largest declared constant; ``("heap", 0)`` otherwise.
+    """
+    max_delay = 1
+    for transition in transitions:
+        for delay in (transition.enabling_time, transition.firing_time):
+            verdict = _integral_delay(delay)
+            if verdict is False:
+                return "heap", 0
+            if isinstance(delay, ConstantDelay):
+                max_delay = max(max_delay, int(delay.value))
+            elif isinstance(delay, DiscreteDelay):
+                max_delay = max(max_delay, int(max(delay.values)))
+    if max_delay >= MAX_RING:
+        return "heap", 0
+    size = _MIN_RING
+    while size <= max_delay:
+        size <<= 1
+    return "bucket", size
+
+
+def make_schedule(backend: str, ring_size: int = _MIN_RING):
+    """Instantiate a fresh schedule for one run."""
+    if backend == "bucket":
+        return BucketSchedule(ring_size)
+    return HeapSchedule()

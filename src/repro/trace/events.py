@@ -30,9 +30,9 @@ Event kinds:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Mapping
+from typing import Any, Mapping, NamedTuple
 
 
 class EventKind(Enum):
@@ -44,8 +44,17 @@ class EventKind(Enum):
     EOT = "EOT"
 
 
-@dataclass(frozen=True, slots=True)
-class TraceEvent:
+class _TraceEventBase(NamedTuple):
+    seq: int
+    time: float
+    kind: EventKind
+    transition: str | None = None
+    removed: Mapping[str, int] = {}
+    added: Mapping[str, int] = {}
+    variables: Mapping[str, Any] = {}
+
+
+class TraceEvent(_TraceEventBase):
     """One line of a trace.
 
     ``removed``/``added`` are place -> positive token counts. For ``INIT``,
@@ -56,24 +65,33 @@ class TraceEvent:
     ``removed``/``added``/``variables``. Plain ``dict`` arguments are
     stored without copying (the simulator emits millions of events and
     shares its static per-transition arc dicts across them); any other
-    mapping type is defensively copied.
+    mapping type is defensively copied by the constructor.
+
+    The class is tuple-backed (a ``NamedTuple`` subclass) so the
+    simulator's per-event allocation is a single ``tuple.__new__`` (see
+    :func:`_fast_event`) instead of one attribute store per field; the
+    field order, defaults and ``repr`` match the earlier frozen-dataclass
+    form exactly.
     """
 
-    seq: int
-    time: float
-    kind: EventKind
-    transition: str | None = None
-    removed: Mapping[str, int] = field(default_factory=dict)
-    added: Mapping[str, int] = field(default_factory=dict)
-    variables: Mapping[str, Any] = field(default_factory=dict)
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if type(self.removed) is not dict:
-            object.__setattr__(self, "removed", dict(self.removed))
-        if type(self.added) is not dict:
-            object.__setattr__(self, "added", dict(self.added))
-        if type(self.variables) is not dict:
-            object.__setattr__(self, "variables", dict(self.variables))
+    def __new__(
+        cls,
+        seq: int,
+        time: float,
+        kind: EventKind,
+        transition: str | None = None,
+        removed: Mapping[str, int] | None = None,
+        added: Mapping[str, int] | None = None,
+        variables: Mapping[str, Any] | None = None,
+    ) -> "TraceEvent":
+        return _TraceEventBase.__new__(
+            cls, seq, time, kind, transition,
+            _as_dict(removed) if removed else {},
+            _as_dict(added) if added else {},
+            _as_dict(variables) if variables else {},
+        )
 
     def touched_places(self) -> set[str]:
         return set(self.removed) | set(self.added)
@@ -118,8 +136,7 @@ class TraceEvent:
         return _fast_event(seq, time, EventKind.EOT, None, {}, {}, {})
 
 
-_obj_new = object.__new__
-_obj_set = object.__setattr__
+_tuple_new = tuple.__new__
 
 
 def _as_dict(mapping):
@@ -129,21 +146,16 @@ def _as_dict(mapping):
 
 
 def _fast_event(seq, time, kind, transition, removed, added, variables):
-    """Build a TraceEvent without __init__/defensive-copy overhead.
+    """Build a TraceEvent without constructor/defensive-copy overhead.
 
     The trusted fast path for event producers: mappings are stored as
     given (engine arc dicts are shared, never copied) and must not be
-    mutated afterwards.
+    mutated afterwards. One C-level ``tuple.__new__`` call, no per-field
+    attribute stores.
     """
-    event = _obj_new(TraceEvent)
-    _obj_set(event, "seq", seq)
-    _obj_set(event, "time", time)
-    _obj_set(event, "kind", kind)
-    _obj_set(event, "transition", transition)
-    _obj_set(event, "removed", removed)
-    _obj_set(event, "added", added)
-    _obj_set(event, "variables", variables)
-    return event
+    return _tuple_new(TraceEvent, (
+        seq, time, kind, transition, removed, added, variables,
+    ))
 
 
 @dataclass(frozen=True)

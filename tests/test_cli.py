@@ -59,6 +59,37 @@ class TestSim:
         assert code == 0
         assert "F t" in out
 
+    def test_scheduler_backends_are_trace_neutral(self, net_file):
+        base = run_cli(["sim", net_file, "--until", "200", "--seed", "9"])
+        for backend in ("bucket", "heap"):
+            code, out, _err = run_cli(
+                ["sim", net_file, "--until", "200", "--seed", "9",
+                 "--scheduler", backend]
+            )
+            assert code == 0
+            assert out == base[1]
+
+    def test_profile_emits_canonical_json_on_stderr(self, net_file):
+        import json
+
+        base = run_cli(["sim", net_file, "--until", "200", "--seed", "9"])
+        code, out, err = run_cli(
+            ["sim", net_file, "--until", "200", "--seed", "9", "--profile"]
+        )
+        assert code == 0
+        assert out == base[1]  # the trace itself is untouched
+        profile = json.loads(err)
+        assert profile["backend"] == "bucket"
+        assert profile["heap_fallbacks"] == 0
+        assert profile["events_scheduled"] == profile["bucket_pushes"] > 0
+        assert profile["fused_enabled"] is True
+        assert profile["settles_avoided"] >= 0
+        assert profile["instants"] > 0
+        # Canonical form: sorted keys, no spaces.
+        assert err.strip() == json.dumps(
+            profile, sort_keys=True, separators=(",", ":")
+        )
+
 
 class TestSimStreaming:
     """``pnut sim`` as a pure stream: net on stdin, trace on stdout,

@@ -1,0 +1,209 @@
+"""Unit tests for the schedule backends (repro.sim.schedule).
+
+The engine-facing contract is pinned by the differential harness
+(test_schedule_differential.py); these tests cover the data structures
+directly: pop ordering, ring growth, heap migration, pooling, and the
+compile-time backend selection rules.
+"""
+
+import pytest
+
+from repro.core.builder import NetBuilder
+from repro.core.time_model import (
+    ConstantDelay,
+    DataDelay,
+    DiscreteDelay,
+    ExponentialDelay,
+    UniformDelay,
+)
+from repro.sim.schedule import (
+    END,
+    MAX_RING,
+    READY,
+    BucketSchedule,
+    HeapSchedule,
+    make_schedule,
+    select_backend,
+)
+
+
+def drain(sched):
+    """Pop every instant as (time, ends, readys) triples."""
+    out = []
+    while sched:
+        ends: list[int] = []
+        readys: list[int] = []
+        time = sched.pop_instant(ends, readys)
+        out.append((time, list(ends), list(readys)))
+    return out
+
+
+class TestHeapSchedule:
+    def test_orders_by_time_kind_insertion(self):
+        s = HeapSchedule()
+        assert s.push(5.0, READY, 1)
+        assert s.push(3.0, END, 2)
+        assert s.push(5.0, END, 3)
+        assert s.push(5.0, END, 4)
+        assert s.push(3.0, READY, 5)
+        assert drain(s) == [(3.0, [2], [5]), (5.0, [3, 4], [1])]
+
+    def test_accepts_fractional_times(self):
+        s = HeapSchedule()
+        assert s.push(2.5, END, 1)
+        assert s.push(2.25, END, 2)
+        assert drain(s) == [(2.25, [2], []), (2.5, [1], [])]
+
+    def test_empty_peek(self):
+        s = HeapSchedule()
+        assert s.next_time() is None
+        assert not s
+        assert s.pending() == 0
+
+
+class TestBucketSchedule:
+    def test_orders_by_time_kind_insertion(self):
+        s = BucketSchedule()
+        assert s.push(5.0, READY, 1)
+        assert s.push(3.0, END, 2)
+        assert s.push(5.0, END, 3)
+        assert s.push(5.0, END, 4)
+        assert s.push(3.0, READY, 5)
+        assert s.pending() == 5
+        assert drain(s) == [(3.0, [2], [5]), (5.0, [3, 4], [1])]
+
+    def test_rejects_fractional_time(self):
+        s = BucketSchedule()
+        assert not s.push(2.5, END, 1)
+        assert s.pending() == 0
+
+    def test_rejects_time_at_or_behind_cursor(self):
+        # A push into the past would land in a wrapped future slot and
+        # silently corrupt the timeline; the ring must refuse (the heap
+        # fallback orders any time correctly).
+        s = BucketSchedule()
+        s.push(5.0, END, 1)
+        s.pop_instant([], [])          # cursor is now 5
+        assert not s.push(3.0, END, 2)
+        assert not s.push(5.0, END, 3)
+        assert s.push(6.0, END, 4)
+        assert s.pending() == 1
+
+    def test_rejects_span_past_max_ring(self):
+        s = BucketSchedule()
+        assert not s.push(float(MAX_RING + 10), END, 1)
+        assert s.push(float(MAX_RING - 1), END, 2)  # grows, still in range
+
+    def test_ring_grows_preserving_entries(self):
+        s = BucketSchedule(size=64)
+        for t in (1.0, 63.0, 100.0, 700.0):
+            assert s.push(t, END, int(t))
+        assert s.size > 64
+        assert s.grows >= 1
+        assert drain(s) == [
+            (1.0, [1], []), (63.0, [63], []),
+            (100.0, [100], []), (700.0, [700], []),
+        ]
+
+    def test_wraparound_after_pops(self):
+        # Push/pop cycles far past the ring size: slots are reused.
+        s = BucketSchedule(size=64)
+        expected = []
+        for t in range(1, 500, 7):
+            assert s.push(float(t), END, t)
+        for t in range(1, 500, 7):
+            expected.append((float(t), [t], []))
+        assert drain(s) == expected
+        assert s.cursor == 498
+
+    def test_peek_is_cached_and_invalidated(self):
+        s = BucketSchedule()
+        s.push(9.0, END, 1)
+        assert s.next_time() == 9.0
+        s.push(4.0, READY, 2)  # earlier than the cached peek
+        assert s.next_time() == 4.0
+
+    def test_pool_reuses_bucket_pairs(self):
+        s = BucketSchedule()
+        s.push(1.0, END, 1)
+        ends: list[int] = []
+        readys: list[int] = []
+        s.pop_instant(ends, readys)
+        assert s.pool  # the popped pair was recycled
+        recycled = s.pool[-1]
+        s.push(2.0, END, 2)
+        assert s.ring[2 & s.mask] is recycled
+
+    def test_into_heap_preserves_order(self):
+        s = BucketSchedule()
+        s.push(5.0, READY, 1)
+        s.push(3.0, END, 2)
+        s.push(5.0, END, 3)
+        s.push(5.0, END, 4)
+        heap = s.into_heap()
+        assert isinstance(heap, HeapSchedule)
+        assert not s  # drained
+        assert drain(heap) == [(3.0, [2], []), (5.0, [3, 4], [1])]
+
+    def test_into_heap_then_fractional_push(self):
+        s = BucketSchedule()
+        s.push(3.0, END, 1)
+        heap = s.into_heap()
+        assert heap.push(2.5, END, 2)
+        assert drain(heap) == [(2.5, [2], []), (3.0, [1], [])]
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(ValueError):
+            BucketSchedule(size=100)
+
+
+def _net_with_delays(firing, enabling=0):
+    b = NetBuilder()
+    b.place("a", tokens=1)
+    b.event("t", inputs={"a": 1}, outputs={"a": 1},
+            firing_time=firing, enabling_time=enabling)
+    return b.build()
+
+
+class TestSelectBackend:
+    def _transitions(self, net):
+        return [net.transition(t) for t in net.transition_names()]
+
+    def test_integer_constants_pick_bucket(self):
+        net = _net_with_delays(5, enabling=3)
+        backend, size = select_backend(self._transitions(net))
+        assert backend == "bucket"
+        assert size >= 8  # ring covers the largest declared delay
+
+    def test_fractional_constant_picks_heap(self):
+        net = _net_with_delays(2.5)
+        assert select_backend(self._transitions(net))[0] == "heap"
+
+    def test_continuous_distributions_pick_heap(self):
+        for delay in (UniformDelay(1, 3), ExponentialDelay(2.0)):
+            net = _net_with_delays(delay)
+            assert select_backend(self._transitions(net))[0] == "heap"
+
+    def test_integral_discrete_picks_bucket(self):
+        net = _net_with_delays(DiscreteDelay([1, 2, 50], [1, 1, 1]))
+        backend, size = select_backend(self._transitions(net))
+        assert backend == "bucket"
+        assert size > 50
+
+    def test_fractional_discrete_picks_heap(self):
+        net = _net_with_delays(DiscreteDelay([1, 2.5], [1, 1]))
+        assert select_backend(self._transitions(net))[0] == "heap"
+
+    def test_unknown_delay_is_optimistic(self):
+        # DataDelay samples are unknown at compile time: pick buckets and
+        # rely on the per-push recheck.
+        net = _net_with_delays(DataDelay(lambda env: 3))
+        assert select_backend(self._transitions(net))[0] == "bucket"
+
+    def test_huge_constant_picks_heap(self):
+        net = _net_with_delays(ConstantDelay(MAX_RING + 1))
+        assert select_backend(self._transitions(net))[0] == "heap"
+
+    def test_make_schedule(self):
+        assert make_schedule("bucket", 128).backend == "bucket"
+        assert make_schedule("heap").backend == "heap"

@@ -1,0 +1,225 @@
+"""Differential harness: calendar-queue vs heap scheduling must be
+byte-identical on every net the engine accepts.
+
+A randomized-net generator (hypothesis) draws small Timed Petri Nets
+across the axes that exercise the scheduler: delay mixes (integer
+constants, fractional constants, discrete tables, continuous
+distributions), inhibitor arcs, immediate transitions, conflicting
+frequencies and ``max_concurrent`` saturation. Every generated net runs
+under the bucket backend, the heap backend, and (where legal) with
+fused completions disabled — all three must produce the identical event
+stream, the identical ``trace_digest``, and the identical final state.
+Nets that livelock must raise the identical ``ImmediateLoopError`` on
+every backend.
+
+Targeted (non-random) cases pin the migration machinery: a ``DataDelay``
+that turns fractional mid-run must fall back to the heap transparently,
+and the fallback must be visible in the scheduler profile while the
+trace stays fixed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import NetBuilder
+from repro.core.errors import ImmediateLoopError
+from repro.core.time_model import (
+    DataDelay,
+    DiscreteDelay,
+    ExponentialDelay,
+    UniformDelay,
+)
+from repro.sim import Simulator, trace_digest
+
+#: Delay specs by mix flavor; (kind, payload) pairs keep the strategy
+#: hashable/reprable for hypothesis shrinking.
+INTEGER_DELAYS = [
+    ("const", 0), ("const", 0), ("const", 1), ("const", 2), ("const", 5),
+    ("discrete-int", (1, 2, 4)),
+]
+MIXED_DELAYS = INTEGER_DELAYS + [
+    ("const", 0.5), ("const", 2.5),
+    ("uniform", (0, 2)), ("expo", 1.3),
+    ("discrete-frac", (0.5, 2)),
+]
+
+
+def _mk_delay(spec):
+    kind, payload = spec
+    if kind == "const":
+        return payload
+    if kind == "discrete-int" or kind == "discrete-frac":
+        return DiscreteDelay(list(payload), [1.0] * len(payload))
+    if kind == "uniform":
+        return UniformDelay(*payload)
+    if kind == "expo":
+        return ExponentialDelay(payload)
+    raise AssertionError(kind)
+
+
+@st.composite
+def net_specs(draw, delays):
+    n_places = draw(st.integers(2, 5))
+    n_trans = draw(st.integers(1, 5))
+    place = st.integers(0, n_places - 1)
+    weight = st.integers(1, 2)
+    tokens = draw(st.lists(st.integers(0, 3), min_size=n_places,
+                           max_size=n_places))
+    transitions = []
+    for _ in range(n_trans):
+        inputs = draw(st.dictionaries(place, weight, min_size=1, max_size=2))
+        outputs = draw(st.dictionaries(place, weight, max_size=2))
+        inhibitors = draw(st.dictionaries(place, weight, max_size=1))
+        transitions.append({
+            "inputs": inputs,
+            "outputs": outputs,
+            "inhibitors": {p: t for p, t in inhibitors.items()
+                           if p not in inputs},
+            "firing": draw(st.sampled_from(delays)),
+            "enabling": draw(st.sampled_from(delays)),
+            "frequency": draw(st.sampled_from([0.5, 1.0, 2.5])),
+            "max_concurrent": draw(st.sampled_from([None, None, 1, 2])),
+        })
+    seed = draw(st.integers(0, 2**16))
+    return {"tokens": tokens, "transitions": transitions, "seed": seed}
+
+
+def build_net(spec):
+    b = NetBuilder("differential")
+    for pi, n in enumerate(spec["tokens"]):
+        b.place(f"p{pi}", tokens=n)
+    for ti, t in enumerate(spec["transitions"]):
+        b.event(
+            f"t{ti}",
+            inputs={f"p{p}": w for p, w in t["inputs"].items()},
+            outputs={f"p{p}": w for p, w in t["outputs"].items()},
+            inhibitors={f"p{p}": w for p, w in t["inhibitors"].items()},
+            firing_time=_mk_delay(t["firing"]),
+            enabling_time=_mk_delay(t["enabling"]),
+            frequency=t["frequency"],
+            max_concurrent=t["max_concurrent"],
+        )
+    return b.build()
+
+
+#: Generated nets may be supercritical (output weights exceeding input
+#: weights breed tokens), and continuous delays advance the clock by
+#: arbitrarily small steps — without an event cap a single example could
+#: fire without bound before ``until`` elapses.
+MAX_EVENTS = 400
+
+
+def run_fingerprint(spec, **sim_kwargs):
+    """One run reduced to a comparable fingerprint (or its livelock)."""
+    sim = Simulator(build_net(spec), seed=spec["seed"],
+                    immediate_budget=200, **sim_kwargs)
+    try:
+        result = sim.run(until=40, max_events=MAX_EVENTS)
+    except ImmediateLoopError as exc:
+        return ("livelock", str(exc), sim.events_started)
+    return (
+        "ok",
+        trace_digest(sim.header(), result.events),
+        [repr(e) for e in result.events],
+        sorted(result.final_marking.items()),
+        result.events_started,
+        result.events_finished,
+        result.final_time,
+    )
+
+
+class TestDifferentialRandomNets:
+    @settings(max_examples=60, deadline=None)
+    @given(net_specs(INTEGER_DELAYS))
+    def test_integer_delay_nets(self, spec):
+        bucket = run_fingerprint(spec, scheduler="bucket")
+        heap = run_fingerprint(spec, scheduler="heap")
+        assert bucket == heap
+        unfused = run_fingerprint(spec, scheduler="bucket",
+                                  fused_completions=False)
+        assert unfused == bucket
+
+    @settings(max_examples=60, deadline=None)
+    @given(net_specs(MIXED_DELAYS))
+    def test_mixed_delay_nets(self, spec):
+        # Forcing the bucket backend on fractional-delay nets exercises
+        # the per-push recheck + transparent heap migration.
+        bucket = run_fingerprint(spec, scheduler="bucket")
+        heap = run_fingerprint(spec, scheduler="heap")
+        auto = run_fingerprint(spec)
+        assert bucket == heap
+        assert auto == heap
+
+    @settings(max_examples=30, deadline=None)
+    @given(net_specs(INTEGER_DELAYS))
+    def test_run_matches_stream(self, spec):
+        run_fp = run_fingerprint(spec, scheduler="bucket")
+        sim = Simulator(build_net(spec), seed=spec["seed"],
+                        immediate_budget=200, scheduler="heap")
+        try:
+            events = list(sim.stream(until=40, max_events=MAX_EVENTS))
+        except ImmediateLoopError as exc:
+            assert run_fp == ("livelock", str(exc), sim.events_started)
+            return
+        assert run_fp[0] == "ok"
+        assert run_fp[2] == [repr(e) for e in events]
+
+
+def _two_phase_delay(env):
+    """Integral for the first three samples, then fractional."""
+    env["n"] = n = env["n"] + 1
+    return 2 if n <= 3 else 2.5
+
+
+class TestMigration:
+    def _net(self):
+        b = NetBuilder("migrating")
+        b.variable("n", 0)
+        b.place("a", tokens=1)
+        b.event("t", inputs={"a": 1}, outputs={"a": 1},
+                firing_time=DataDelay(_two_phase_delay, "two-phase"))
+        return b.build()
+
+    def test_data_delay_migrates_mid_run(self):
+        sim = Simulator(self._net(), seed=7)
+        result = sim.run(until=30)
+        profile = sim.scheduler_profile()
+        assert profile["declared_backend"] == "bucket"
+        assert profile["backend"] == "heap"
+        assert profile["heap_fallbacks"] == 1
+        assert profile["bucket_pushes"] >= 3
+        # Time advances in 2.5 steps after the switch.
+        assert result.final_time == 30
+        assert any(e.time % 1 for e in result.events)
+
+    def test_migrating_trace_equals_heap_trace(self):
+        mig = Simulator(self._net(), seed=7).run(until=30)
+        heap = Simulator(self._net(), seed=7, scheduler="heap").run(until=30)
+        assert [repr(e) for e in mig.events] == [repr(e) for e in heap.events]
+
+    def test_forced_bucket_on_continuous_delays(self):
+        b = NetBuilder()
+        b.place("a", tokens=1)
+        b.event("t", inputs={"a": 1}, outputs={"a": 1},
+                firing_time=UniformDelay(0.5, 1.5))
+        bucket = Simulator(b.build(), seed=3, scheduler="bucket")
+        heap = Simulator(b.build(), seed=3, scheduler="heap")
+        rb = bucket.run(until=20)
+        rh = heap.run(until=20)
+        assert [repr(e) for e in rb.events] == [repr(e) for e in rh.events]
+        assert bucket.scheduler_profile()["backend"] == "heap"
+
+    def test_fused_force_rejected_on_unsafe_net(self):
+        from repro.core.errors import SimulationError
+        b = NetBuilder()
+        b.variable("x", 0)
+        b.place("a", tokens=1)
+
+        def bump(env):
+            env["x"] = env["x"] + 1
+
+        b.event("t", inputs={"a": 1}, outputs={"a": 1}, firing_time=1,
+                action=bump)
+        with pytest.raises(SimulationError):
+            Simulator(b.build(), fused_completions=True)
