@@ -6,15 +6,16 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-co bench-report perf-smoke test-all serve-smoke \
-        explore-smoke lint
+        explore-smoke chaos-smoke lint
 
 ## tier-1: the unit/integration suite plus benchmarks (the repo gate),
-## then the end-to-end service and exploration smokes (real
-## `pnut serve` subprocesses)
+## then the end-to-end service, exploration and fault-injection smokes
+## (real `pnut serve` subprocesses)
 test:
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) serve-smoke
 	$(MAKE) explore-smoke
+	$(MAKE) chaos-smoke
 
 ## boot a pnut server, run the Figure-5 job, check the pinned trace
 ## SHA-256 and the compiled-net cache counters, shut down cleanly
@@ -26,6 +27,13 @@ serve-smoke:
 ## the result-store round trip
 explore-smoke:
 	$(PYTHON) -m repro.dse.smoke
+
+## fault injection against a real server: SIGKILL the worker mid
+## Figure-5 job (retry must reproduce the pinned trace SHA-256), stall a
+## worker past its deadline (job-timeout, child reaped), drain on
+## shutdown (queued jobs finish before exit)
+chaos-smoke:
+	$(PYTHON) -m repro.service.chaos
 
 ## the benchmark/experiment suite only
 bench:

@@ -258,10 +258,11 @@ def _service_client(args: argparse.Namespace):
 
     try:
         if args.socket:
-            return ServiceClient(unix_path=args.socket, timeout=args.timeout)
+            return ServiceClient(unix_path=args.socket,
+                                 timeout=args.io_timeout)
         if args.port is not None:
             return ServiceClient(host=args.host, port=args.port,
-                                 timeout=args.timeout)
+                                 timeout=args.io_timeout)
     except OSError as error:
         print(f"pnut: cannot connect to server: {error}", file=sys.stderr)
         return None
@@ -274,8 +275,18 @@ def _add_endpoint_arguments(parser: argparse.ArgumentParser) -> None:
                         help="Unix socket path of the server")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=None)
-    parser.add_argument("--timeout", type=float, default=300.0,
-                        help="client I/O timeout in seconds")
+    parser.add_argument("--io-timeout", type=float, default=300.0,
+                        help="client I/O timeout in seconds (socket reads; "
+                             "not the job deadline)")
+
+
+def _add_supervision_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-job wall-clock deadline in seconds, "
+                             "enforced server-side (error code job-timeout)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="crash-retry budget for this job "
+                             "(default: the server's setting)")
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -313,6 +324,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache_capacity=args.cache_size,
             max_pending=args.max_pending,
+            max_retries=args.max_retries,
+            drain_grace=args.drain_grace,
             preload_dir=args.preload,
             preload_callback=preloaded,
             ready_callback=ready,
@@ -337,6 +350,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
             run_number=args.run,
             outputs=("trace",) if args.trace else ("stats",),
             priority=args.priority,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+            key=args.key,
+            reconnect=args.reconnect,
             on_trace_line=print if args.trace else None,
         )
         if not args.trace:
@@ -383,6 +400,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 max_events=args.max_events,
                 run_number=args.run,
                 priority=args.priority,
+                timeout=args.timeout,
+                max_retries=args.max_retries,
             )
         run_payloads = outcome.runs
         n_runs = outcome.summary["runs"]
@@ -469,7 +488,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
     with _open_text(args.net) as handle:
         template_source = handle.read()
 
-    store = open_store(args.store) if args.store else None
+    store = (open_store(args.store, skip_corrupt=args.store_skip_corrupt)
+             if args.store else None)
     try:
         if args.socket or args.port is not None:
             # The whole grid travels as one explore frame; the store is
@@ -491,6 +511,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
                         max_events=args.max_events,
                         run_number=args.run,
                         priority=args.priority,
+                        timeout=args.timeout,
+                        max_retries=args.max_retries,
                         skip=[list(grid[index])
                               for index in sorted(stored)],
                     )
@@ -551,6 +573,24 @@ def cmd_explore(args: argparse.Namespace) -> int:
         f"cells_sha256={result.cells_sha256()}",
         file=sys.stderr,
     )
+    return 0
+
+
+def cmd_shutdown(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    if client is None:
+        return 2
+    with client:
+        bye = client.shutdown(drain=args.drain, grace=args.grace)
+    if args.drain:
+        drained = bye.get("drained")
+        cancelled = bye.get("cancelled", 0)
+        detail = ("all jobs completed" if drained
+                  else f"{cancelled} job(s) cancelled at the deadline")
+        print(f"pnut shutdown: server drained and stopped ({detail})",
+              file=sys.stderr)
+        return 0 if drained else 1
+    print("pnut shutdown: server stopped", file=sys.stderr)
     return 0
 
 
@@ -673,6 +713,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="compiled-net cache capacity")
     p_serve.add_argument("--max-pending", type=int, default=256,
                          help="queued-job bound before backpressure")
+    p_serve.add_argument("--max-retries", type=int, default=2,
+                         help="default crash-retry budget per job")
+    p_serve.add_argument("--drain-grace", type=float, default=30.0,
+                         help="seconds a graceful drain (SIGTERM or "
+                              "shutdown drain=true) waits for active jobs")
     p_serve.add_argument("--preload", default=None, metavar="DIR",
                          help="compile every *.pn under DIR into the net "
                               "cache at startup (warm-start)")
@@ -689,6 +734,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--trace", action="store_true",
                           help="stream the trace to stdout instead of the "
                                "Figure-5 statistics JSON")
+    p_submit.add_argument("--key", default=None,
+                          help="idempotency key: resubmitting the same "
+                               "spec+key attaches to the original job")
+    p_submit.add_argument("--reconnect", type=int, default=0, metavar="N",
+                          help="reconnect and resubmit up to N times if "
+                               "the connection drops (idempotent via --key, "
+                               "auto-generated when omitted)")
+    _add_supervision_arguments(p_submit)
     _add_endpoint_arguments(p_submit)
     p_submit.set_defaults(fn=cmd_submit)
 
@@ -706,6 +759,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="forked sweep workers (in-process path only)")
     p_sweep.add_argument("--priority", type=int, default=0,
                          help="queue priority (service path only)")
+    _add_supervision_arguments(p_sweep)
     _add_endpoint_arguments(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 
@@ -741,6 +795,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "max:throughput:Issue,min:avg_tokens:Bus_busy")
     p_explore.add_argument("--priority", type=int, default=0,
                            help="queue priority (service path only)")
+    p_explore.add_argument("--store-skip-corrupt", action="store_true",
+                           help="skip (and warn about) corrupt result-store "
+                                "records instead of failing the run")
+    _add_supervision_arguments(p_explore)
     _add_endpoint_arguments(p_explore)
     p_explore.set_defaults(fn=cmd_explore)
 
@@ -749,6 +807,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print cache/queue counters instead")
     _add_endpoint_arguments(p_jobs)
     p_jobs.set_defaults(fn=cmd_jobs)
+
+    p_shutdown = sub.add_parser(
+        "shutdown", help="stop a pnut server (optionally draining first)")
+    p_shutdown.add_argument("--drain", action="store_true",
+                            help="finish active jobs before stopping "
+                                 "(exit 1 if any had to be cancelled)")
+    p_shutdown.add_argument("--grace", type=float, default=None,
+                            help="drain deadline in seconds "
+                                 "(default: the server's --drain-grace)")
+    _add_endpoint_arguments(p_shutdown)
+    p_shutdown.set_defaults(fn=cmd_shutdown)
 
     return parser
 

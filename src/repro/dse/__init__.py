@@ -51,7 +51,7 @@ from .space import (
     parse_axis_spec,
     point_key,
 )
-from .store import ResultStore, StoreError, open_store, stop_key
+from .store import ResultStore, StoreError, StoreWarning, open_store, stop_key
 from .template import (
     Binder,
     NetTemplate,
@@ -74,6 +74,7 @@ __all__ = [
     "PipelineBinder",
     "ResultStore",
     "StoreError",
+    "StoreWarning",
     "TemplateError",
     "aggregate_cells",
     "as_binder",

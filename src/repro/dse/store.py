@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import warnings
 from typing import Any, Iterator
 
 from ..analysis.report import canonical_json
@@ -35,6 +36,10 @@ from ..core.errors import PnutError
 
 class StoreError(PnutError):
     """A corrupt store file or an identity violation."""
+
+
+class StoreWarning(UserWarning):
+    """A corrupt record skipped in ``skip_corrupt`` mode."""
 
 
 def stop_key(until: float | None, max_events: int | None,
@@ -78,8 +83,11 @@ class ResultStore:
     #: I/O (the tail is flushed on :meth:`close`).
     COMMIT_EVERY = 64
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, skip_corrupt: bool = False) -> None:
         self.path = str(path)
+        self.skip_corrupt = skip_corrupt
+        #: Corrupt records skipped at load (``skip_corrupt`` mode only).
+        self.skipped_records = 0
         self._jsonl = self.path.endswith(".jsonl")
         self._index: dict[tuple[str, str, int, str], str] = {}
         self._pending_writes = 0
@@ -87,6 +95,18 @@ class ResultStore:
             self._load_jsonl()
         else:
             self._open_sqlite()
+
+    def _corrupt_record(self, what: str) -> None:
+        """Fail loudly on a corrupt record — or skip and warn when the
+        store was opened with ``skip_corrupt`` (the cell just recomputes
+        and is re-stored on the next run)."""
+        if not self.skip_corrupt:
+            raise StoreError(
+                f"{what} (re-open with skip_corrupt / "
+                f"--store-skip-corrupt to drop such records)"
+            ) from None
+        self.skipped_records += 1
+        warnings.warn(f"skipping {what}", StoreWarning, stacklevel=3)
 
     # -- backends ----------------------------------------------------------
 
@@ -105,10 +125,11 @@ class ResultStore:
                            record["seed"], record["stop_key"])
                     payload = canonical_json(record["payload"])
                 except (json.JSONDecodeError, KeyError, TypeError) as error:
-                    raise StoreError(
+                    self._corrupt_record(
                         f"{self.path}:{line_no}: corrupt store line "
                         f"({error!r})"
-                    ) from None
+                    )
+                    continue
                 self._index[key] = payload
 
     def _open_sqlite(self) -> None:
@@ -127,14 +148,39 @@ class ResultStore:
             rows = self._connection.execute(
                 "SELECT net_sha256, point_key, seed, stop_key, payload "
                 "FROM cells"
-            )
+            ).fetchall()
+            corrupt_keys = []
             for net_sha, pkey, seed, stop, payload in rows:
+                try:
+                    json.loads(payload)
+                except (json.JSONDecodeError, TypeError) as error:
+                    # A torn write survived into the table: name the
+                    # exact cell so the record can be repaired/purged.
+                    self._corrupt_record(
+                        f"{self.path}: corrupt payload for cell "
+                        f"({net_sha}, {pkey}, {seed}, {stop}): {error}"
+                    )
+                    corrupt_keys.append((net_sha, pkey, seed, stop))
+                    continue
                 self._index[(net_sha, pkey, seed, stop)] = payload
+            if corrupt_keys:
+                # Purge the skipped rows (skip_corrupt mode only — the
+                # default raised above) so the recomputed cells are not
+                # shadowed by INSERT OR IGNORE on the next put.
+                self._connection.executemany(
+                    "DELETE FROM cells WHERE net_sha256 = ? AND "
+                    "point_key = ? AND seed = ? AND stop_key = ?",
+                    corrupt_keys,
+                )
+                self._connection.commit()
         except sqlite3.Error as error:
             # A stray non-SQLite file (e.g. a JSONL store without the
-            # .jsonl suffix) is a CLI error, not a traceback.
+            # .jsonl suffix) or a truncated database is a CLI error,
+            # not a traceback. Unlike per-record corruption this is not
+            # skippable: there is no usable store underneath.
             raise StoreError(
-                f"{self.path}: not a usable result store ({error})"
+                f"{self.path}: not a usable result store ({error}); "
+                f"expected a SQLite database (or use a .jsonl path)"
             ) from None
 
     # -- the store API -----------------------------------------------------
@@ -221,10 +267,13 @@ class ResultStore:
         self.close()
 
 
-def open_store(path: str) -> ResultStore:
+def open_store(path: str, skip_corrupt: bool = False) -> ResultStore:
     """Open (creating if needed) the result store at ``path``.
 
     ``*.jsonl`` selects the append-only JSON-lines backend; any other
-    path is a SQLite database.
+    path is a SQLite database. Corrupt records fail loudly by default
+    (:class:`StoreError` naming the offending line/cell); with
+    ``skip_corrupt`` they are skipped with a :class:`StoreWarning`
+    instead — the affected cells simply recompute.
     """
-    return ResultStore(path)
+    return ResultStore(path, skip_corrupt=skip_corrupt)

@@ -17,17 +17,25 @@ clients over one process:
   machinery of :mod:`repro.sim.experiment` for CPU-bound runs;
 * :mod:`~repro.service.client` — a thin synchronous client
   (``pnut submit`` / ``pnut jobs``) producing output byte-identical to
-  the in-process path.
+  the in-process path;
+* :mod:`~repro.service.faults` — env-gated fault injection (kill the
+  forked child mid-job, stall a worker past its deadline, drop a client
+  connection mid-stream) driven by the chaos tests to prove the
+  supervision layer: crashed jobs retry with backoff and reproduce the
+  clean run's trace SHA-256, deadline overruns fail as ``job-timeout``,
+  and ``shutdown drain=true`` finishes active work before exit.
 """
 
 from .cache import CompiledNet, CompiledNetCache
 from .client import (
+    ClientDisconnected,
     ExploreOutcome,
     JobResult,
     RemoteError,
     ServiceClient,
     SweepOutcome,
 )
+from .faults import Fault, FaultConfigError, parse_faults
 from .harness import ServerThread
 from .protocol import (
     ExploreSpec,
@@ -36,16 +44,20 @@ from .protocol import (
     ServiceError,
     SweepSpec,
     decode,
+    dedupe_identity,
     encode,
 )
 from .queue import Job, JobQueue, JobState, QueueFullError
 from .server import SimulationService, run_server
 
 __all__ = [
+    "ClientDisconnected",
     "CompiledNet",
     "CompiledNetCache",
     "ExploreOutcome",
     "ExploreSpec",
+    "Fault",
+    "FaultConfigError",
     "Job",
     "JobQueue",
     "JobResult",
@@ -61,6 +73,8 @@ __all__ = [
     "SweepOutcome",
     "SweepSpec",
     "decode",
+    "dedupe_identity",
     "encode",
+    "parse_faults",
     "run_server",
 ]

@@ -1,0 +1,238 @@
+"""`make chaos-smoke`: fault injection against a real server, pinned.
+
+Where `make serve-smoke` proves the happy path end to end, this drives
+the supervision layer through a real ``pnut serve`` subprocess with
+:mod:`repro.service.faults` armed, and pins the recovery guarantees:
+
+1. **Crash recovery** — the forked worker is SIGKILLed mid Figure-5 job
+   (``kill-child=2000:once``); the job must auto-retry and the retried
+   run's streamed trace must hash to the same reference SHA-256 as a
+   clean run. Recovery is not "a result came back", it is *the* result.
+2. **Deadlines** — a stalled worker (``stall-worker``) must fail the job
+   with error code ``job-timeout`` at its ``timeout``, and the stalled
+   forked child must be reaped (no zombies in the server's process
+   table).
+3. **Graceful drain** — ``shutdown drain=true`` with jobs queued must
+   finish every one of them before the server exits 0.
+
+Run it directly::
+
+    python -m repro.service.chaos
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from ..lang.format import format_net
+from ..processor import build_pipeline_net
+from .client import RemoteError, ServiceClient
+from .faults import FAULTS_ENV, STATE_DIR_ENV
+from .smoke import (
+    PAPER_CYCLES,
+    REFERENCE_EVENT_COUNT,
+    REFERENCE_TRACE_SHA256,
+    SEED,
+)
+
+
+def _fail(message: str) -> int:
+    print(f"chaos-smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+class _Server:
+    """One ``pnut serve`` subprocess on a private Unix socket."""
+
+    def __init__(self, tmp: str, name: str, faults: str | None = None,
+                 extra_args: tuple[str, ...] = ()) -> None:
+        self.socket_path = str(Path(tmp) / f"{name}.sock")
+        env = dict(os.environ)
+        env.pop(FAULTS_ENV, None)
+        env.pop(STATE_DIR_ENV, None)
+        if faults is not None:
+            env[FAULTS_ENV] = faults
+            env[STATE_DIR_ENV] = tmp
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--socket", self.socket_path, "--workers", "1", *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env,
+        )
+
+    def wait_ready(self, budget: float = 30.0) -> str | None:
+        """None when the socket is up; otherwise the captured output."""
+        deadline = time.monotonic() + budget
+        while not Path(self.socket_path).exists():
+            if self.process.poll() is not None or time.monotonic() > deadline:
+                return (self.process.stdout.read()
+                        if self.process.stdout else "")
+            time.sleep(0.05)
+        return None
+
+    def forked_children(self) -> list[int]:
+        """PIDs of the server's live forked children (via /proc)."""
+        pid = self.process.pid
+        try:
+            text = Path(f"/proc/{pid}/task/{pid}/children").read_text()
+        except OSError:
+            return []
+        return [int(part) for part in text.split()]
+
+    def expect_clean_exit(self) -> int | None:
+        try:
+            code = self.process.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            return None
+        return code
+
+    def stop(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait()
+
+
+def _scenario_crash_retry(tmp: str, net_source: str) -> int:
+    """SIGKILL the worker mid-job; the retry must reproduce the trace."""
+    server = _Server(tmp, "crash", faults="kill-child=2000:once")
+    try:
+        boot = server.wait_ready()
+        if boot is not None:
+            return _fail(f"crash-scenario server did not come up:\n{boot}")
+        sha = [hashlib.sha256()]
+        retries: list[dict[str, Any]] = []
+
+        def on_retry(frame: dict[str, Any]) -> None:
+            retries.append(frame)
+            sha[0] = hashlib.sha256()  # the dead attempt's bytes are void
+
+        with ServiceClient(unix_path=server.socket_path,
+                           timeout=300.0) as client:
+            result = client.submit(
+                net_source, until=PAPER_CYCLES, seed=SEED,
+                outputs=("stats", "trace"),
+                on_trace_line=lambda line: sha[0].update(
+                    line.encode("utf-8") + b"\n"
+                ),
+                on_retry=on_retry,
+            )
+            counters = client.server_stats()["queue"]
+            client.shutdown()
+        if not retries:
+            return _fail("kill-child fault never produced a retry frame")
+        if result.summary["trace_events"] != REFERENCE_EVENT_COUNT:
+            return _fail(
+                f"recovered run produced {result.summary['trace_events']} "
+                f"events, expected {REFERENCE_EVENT_COUNT}"
+            )
+        if sha[0].hexdigest() != REFERENCE_TRACE_SHA256:
+            return _fail(
+                f"recovered trace SHA-256 diverged from the clean run: "
+                f"{sha[0].hexdigest()}"
+            )
+        if counters["retried"] < 1:
+            return _fail(f"retried counter not bumped: {counters}")
+        if counters["crashed"] != 0 or counters["failed"] != 0:
+            return _fail(f"recovered job left failure counters: {counters}")
+        code = server.expect_clean_exit()
+        if code != 0:
+            return _fail(f"crash-scenario server exit: {code}")
+    finally:
+        server.stop()
+    print("chaos-smoke: crash retry reproduced "
+          f"sha256={REFERENCE_TRACE_SHA256[:16]}... after "
+          f"{len(retries)} retry", flush=True)
+    return 0
+
+
+def _scenario_deadline(tmp: str, net_source: str) -> int:
+    """A stalled worker must time out cleanly and leave no zombie."""
+    server = _Server(tmp, "stall", faults="stall-worker=60")
+    try:
+        boot = server.wait_ready()
+        if boot is not None:
+            return _fail(f"stall-scenario server did not come up:\n{boot}")
+        with ServiceClient(unix_path=server.socket_path,
+                           timeout=300.0) as client:
+            try:
+                client.submit(net_source, until=PAPER_CYCLES, seed=SEED,
+                              timeout=1.0)
+            except RemoteError as error:
+                if error.code != "job-timeout":
+                    return _fail(
+                        f"expected error code job-timeout, got "
+                        f"{error.code}: {error}"
+                    )
+            else:
+                return _fail("stalled job finished despite its deadline")
+            deadline = time.monotonic() + 10.0
+            while server.forked_children():
+                if time.monotonic() > deadline:
+                    return _fail(
+                        f"timed-out child never reaped: "
+                        f"{server.forked_children()}"
+                    )
+                time.sleep(0.1)
+            counters = client.server_stats()["queue"]
+            if counters["timed_out"] != 1:
+                return _fail(f"timed_out counter not bumped: {counters}")
+            client.shutdown()
+        code = server.expect_clean_exit()
+        if code != 0:
+            return _fail(f"stall-scenario server exit: {code}")
+    finally:
+        server.stop()
+    print("chaos-smoke: deadline enforced (job-timeout, child reaped)",
+          flush=True)
+    return 0
+
+
+def _scenario_drain(tmp: str, net_source: str) -> int:
+    """shutdown drain=true finishes queued jobs before the server exits."""
+    server = _Server(tmp, "drain")
+    try:
+        boot = server.wait_ready()
+        if boot is not None:
+            return _fail(f"drain-scenario server did not come up:\n{boot}")
+        with ServiceClient(unix_path=server.socket_path,
+                           timeout=300.0) as client:
+            for offset in range(3):
+                client.submit_nowait(net_source, until=PAPER_CYCLES,
+                                     seed=SEED + offset)
+            bye = client.shutdown(drain=True, grace=120.0)
+        if not bye.get("drained") or bye.get("cancelled"):
+            return _fail(f"drain left work behind: {bye}")
+        code = server.expect_clean_exit()
+        if code != 0:
+            return _fail(f"drain-scenario server exit: {code}")
+    finally:
+        server.stop()
+    print("chaos-smoke: drain completed 3 queued jobs before exit",
+          flush=True)
+    return 0
+
+
+def main() -> int:
+    net_source = format_net(build_pipeline_net())
+    scenarios = (_scenario_crash_retry, _scenario_deadline, _scenario_drain)
+    with tempfile.TemporaryDirectory(prefix="pnut-chaos-") as tmp:
+        for scenario in scenarios:
+            # A private subdirectory per scenario keeps :once latch files
+            # and sockets from leaking between fault configurations.
+            code = scenario(tempfile.mkdtemp(dir=tmp), net_source)
+            if code:
+                return code
+    print("chaos-smoke: OK (crash retry bit-identical, deadline enforced "
+          "with the child reaped, drain completed all jobs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,9 @@ without changing their output.
 
 from __future__ import annotations
 
+import os
 import socket
+import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -30,6 +32,18 @@ class RemoteError(ServiceError):
     def __init__(self, message: str, code: str = "error") -> None:
         super().__init__(message)
         self.code = code
+
+
+class ClientDisconnected(ServiceError):
+    """The server connection died mid-conversation (EOF, reset, timeout).
+
+    ``last_state`` describes the last thing the client knew about the
+    in-flight request — so a caller that sees this mid-job knows what
+    was confirmed before the link went down."""
+
+    def __init__(self, message: str, last_state: str | None = None) -> None:
+        super().__init__(message)
+        self.last_state = last_state
 
 
 @dataclass
@@ -119,6 +133,11 @@ class ExploreOutcome:
 class ServiceClient:
     """Blocking NDJSON client over a Unix or TCP socket."""
 
+    #: Reconnect backoff: min(cap, base * 2^(attempt-1)) seconds between
+    #: reconnection attempts after a dropped connection.
+    RECONNECT_BACKOFF_BASE = 0.2
+    RECONNECT_BACKOFF_CAP = 2.0
+
     def __init__(
         self,
         unix_path: str | None = None,
@@ -128,36 +147,88 @@ class ServiceClient:
     ) -> None:
         if (unix_path is None) == (host is None):
             raise ValueError("provide either unix_path or host/port")
-        if unix_path is not None:
-            self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            if timeout is not None:
-                self._socket.settimeout(timeout)
-            self._socket.connect(unix_path)
-        else:
-            self._socket = socket.create_connection((host, port),
-                                                    timeout=timeout)
-        self._file = self._socket.makefile("rwb")
+        self._unix_path = unix_path
+        self._host = host
+        self._port = port
+        self._timeout = timeout
         self._next_id = 0
+        self._connect()
 
     # -- plumbing ----------------------------------------------------------
+
+    def _connect(self) -> None:
+        if self._unix_path is not None:
+            self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            if self._timeout is not None:
+                self._socket.settimeout(self._timeout)
+            self._socket.connect(self._unix_path)
+        else:
+            self._socket = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+        self._file = self._socket.makefile("rwb")
+
+    def _reestablish(self, attempt: int) -> None:
+        """Close the dead socket and reconnect after a capped backoff."""
+        try:
+            self.close()
+        except OSError:
+            pass
+        time.sleep(min(self.RECONNECT_BACKOFF_CAP,
+                       self.RECONNECT_BACKOFF_BASE * 2 ** (attempt - 1)))
+        try:
+            self._connect()
+        except OSError as error:
+            raise ClientDisconnected(
+                f"reconnect attempt {attempt} failed: {error}"
+            ) from None
 
     def _request(self, op: str, **fields: Any) -> int:
         self._next_id += 1
         frame = {"op": op, "id": self._next_id, **fields}
-        self._file.write(encode(frame))
-        self._file.flush()
+        try:
+            self._file.write(encode(frame))
+            self._file.flush()
+        except OSError as error:
+            raise ClientDisconnected(
+                f"server connection lost while sending {op!r}: {error}"
+            ) from None
         return self._next_id
 
     def _read_frame(self) -> dict[str, Any]:
-        line = self._file.readline()
+        try:
+            line = self._file.readline()
+        except TimeoutError:
+            raise ClientDisconnected(
+                "timed out waiting for a server frame"
+            ) from None
+        except OSError as error:
+            raise ClientDisconnected(
+                f"server connection lost: {error}"
+            ) from None
         if not line:
-            raise ServiceError("connection closed by server")
+            raise ClientDisconnected("connection closed by server")
         return decode(line)
 
-    def _wait(self, request_id: int) -> dict[str, Any]:
-        """Next frame for this request; raises on error frames."""
+    def _wait(self, request_id: int,
+              last_state: str | None = None) -> dict[str, Any]:
+        """Next frame for this request; raises on error frames.
+
+        ``last_state`` (when given) is folded into the
+        :class:`ClientDisconnected` raised if the server goes away while
+        waiting, so mid-job failures report what was last confirmed
+        instead of hanging or failing opaquely.
+        """
         while True:
-            frame = self._read_frame()
+            try:
+                frame = self._read_frame()
+            except ClientDisconnected as error:
+                if last_state is None:
+                    raise
+                raise ClientDisconnected(
+                    f"{error} (last seen: {last_state})",
+                    last_state=last_state,
+                ) from None
             if frame.get("id") != request_id:
                 continue  # a frame for an abandoned request
             if frame.get("type") == "error":
@@ -168,6 +239,8 @@ class ServiceClient:
     def close(self) -> None:
         try:
             self._file.close()
+        except OSError:
+            pass  # closing flushes; a dead server makes that a no-op
         finally:
             self._socket.close()
 
@@ -194,8 +267,18 @@ class ServiceClient:
     def cancel(self, job_id: str) -> bool:
         return bool(self._wait(self._request("cancel", job=job_id))["ok"])
 
-    def shutdown(self) -> None:
-        self._wait(self._request("shutdown"))
+    def shutdown(self, drain: bool = False,
+                 grace: float | None = None) -> dict[str, Any]:
+        """Stop the server; with ``drain=True`` it first finishes every
+        active job (bounded by ``grace`` seconds, server default when
+        omitted) and the returned ``bye`` frame reports the drain
+        summary (``drained``/``cancelled``)."""
+        fields: dict[str, Any] = {}
+        if drain:
+            fields["drain"] = True
+            if grace is not None:
+                fields["grace"] = grace
+        return self._wait(self._request("shutdown", **fields))
 
     def submit(
         self,
@@ -206,7 +289,12 @@ class ServiceClient:
         run_number: int = 1,
         outputs: tuple[str, ...] = ("stats",),
         priority: int = 0,
+        timeout: float | None = None,
+        max_retries: int | None = None,
+        key: str | None = None,
+        reconnect: int = 0,
         on_trace_line: Callable[[str], None] | None = None,
+        on_retry: Callable[[dict[str, Any]], None] | None = None,
         collect_trace: bool = False,
     ) -> JobResult:
         """Submit one job and block until its result.
@@ -214,7 +302,25 @@ class ServiceClient:
         Trace lines (when the ``trace`` output is subscribed) stream
         through ``on_trace_line`` as batches arrive and/or accumulate in
         ``JobResult.trace_lines`` when ``collect_trace`` is true.
+
+        ``timeout`` is the server-enforced per-job deadline;
+        ``max_retries`` bounds server-side crash retries (None uses the
+        server default). When the server retries a crashed job it sends
+        one ``retry`` frame per attempt — any partially collected trace
+        is discarded (the retry restreams from the first line) and
+        ``on_retry`` observes the frame.
+
+        ``reconnect`` allows that many reconnect-and-resubmit rounds
+        after a dropped connection. Resubmission is idempotent: it rides
+        on ``key`` (auto-generated when reconnecting without one), which
+        the server dedupes on — a retry lands on the original job
+        instead of double-running it. Trace lines streamed before the
+        drop are not re-delivered, so combine ``reconnect`` with the
+        server-computed ``trace_sha256`` rather than client-side trace
+        collection when byte-level provenance matters.
         """
+        if reconnect > 0 and key is None:
+            key = f"auto-{os.urandom(16).hex()}"
         spec = JobSpec(
             net_source=net_source,
             until=until,
@@ -223,15 +329,41 @@ class ServiceClient:
             run_number=run_number,
             outputs=tuple(outputs),
             priority=priority,
+            timeout=timeout,
+            max_retries=max_retries,
+            key=key,
         )
+        last_error: ClientDisconnected | None = None
+        for attempt in range(reconnect + 1):
+            try:
+                if attempt:
+                    self._reestablish(attempt)
+                return self._submit_once(spec, on_trace_line, on_retry,
+                                         collect_trace)
+            except ClientDisconnected as error:
+                if spec.key is None:
+                    raise  # resubmission without a key could double-run
+                last_error = error
+        assert last_error is not None
+        raise last_error
+
+    def _submit_once(
+        self,
+        spec: JobSpec,
+        on_trace_line: Callable[[str], None] | None,
+        on_retry: Callable[[dict[str, Any]], None] | None,
+        collect_trace: bool,
+    ) -> JobResult:
+        last_state = "submit sent, not yet accepted"
         request_id = self._request("submit", **spec.to_payload())
-        accepted = self._wait(request_id)
+        accepted = self._wait(request_id, last_state)
         if accepted.get("type") != "accepted":
             raise ServiceError(f"expected accepted frame, got {accepted!r}")
         job_id = accepted["job"]
+        last_state = f"job {job_id} accepted"
         trace_lines: list[str] | None = [] if collect_trace else None
         while True:
-            frame = self._wait(request_id)
+            frame = self._wait(request_id, last_state)
             kind = frame.get("type")
             if kind == "trace":
                 for line in frame.get("lines", ()):
@@ -239,6 +371,20 @@ class ServiceClient:
                         on_trace_line(line)
                     if trace_lines is not None:
                         trace_lines.append(line)
+                if trace_lines is not None:
+                    last_state = (f"job {job_id} streaming "
+                                  f"({len(trace_lines)} trace lines)")
+                else:
+                    last_state = f"job {job_id} streaming"
+            elif kind == "retry":
+                # The server lost this job's worker and is re-running it;
+                # everything streamed so far belongs to the dead attempt.
+                if trace_lines is not None:
+                    trace_lines.clear()
+                last_state = (f"job {job_id} retrying "
+                              f"(attempt {frame.get('attempt')} crashed)")
+                if on_retry is not None:
+                    on_retry(frame)
             elif kind == "result":
                 return JobResult(
                     job_id=job_id,
@@ -261,6 +407,9 @@ class ServiceClient:
         run_number: int = 1,
         outputs: tuple[str, ...] = ("stats",),
         priority: int = 0,
+        timeout: float | None = None,
+        max_retries: int | None = None,
+        key: str | None = None,
         on_run: Callable[[int, dict[str, Any]], None] | None = None,
     ) -> SweepOutcome:
         """Submit one sweep frame for N seeds, block until its result.
@@ -278,21 +427,28 @@ class ServiceClient:
             run_number=run_number,
             outputs=tuple(outputs),
             priority=priority,
+            timeout=timeout,
+            max_retries=max_retries,
+            key=key,
         )
         request_id = self._request("sweep", **spec.to_payload())
-        accepted = self._wait(request_id)
+        accepted = self._wait(request_id, "sweep sent, not yet accepted")
         if accepted.get("type") != "accepted":
             raise ServiceError(f"expected accepted frame, got {accepted!r}")
         job_id = accepted["job"]
         runs: dict[int, dict[str, Any]] = {}
         while True:
-            frame = self._wait(request_id)
+            frame = self._wait(
+                request_id, f"sweep {job_id}: {len(runs)} runs seen"
+            )
             kind = frame.get("type")
             if kind == "sweep-run":
                 index = frame["index"]
                 runs[index] = frame["run"]
                 if on_run is not None:
                     on_run(index, frame["run"])
+            elif kind == "retry":
+                runs.clear()  # the retried attempt restreams every run
             elif kind == "result":
                 missing = [i for i in range(len(spec.seeds)) if i not in runs]
                 if missing:
@@ -322,6 +478,9 @@ class ServiceClient:
         outputs: tuple[str, ...] = ("stats",),
         priority: int = 0,
         skip: tuple[tuple[int, int], ...] | list = (),
+        timeout: float | None = None,
+        max_retries: int | None = None,
+        key: str | None = None,
         on_cell: Callable[[int, int, dict[str, Any]], None] | None = None,
     ) -> ExploreOutcome:
         """Submit one explore frame (template + parameter space + seeds),
@@ -343,21 +502,28 @@ class ServiceClient:
             outputs=tuple(outputs),
             priority=priority,
             skip=tuple((int(p), int(s)) for p, s in skip),
+            timeout=timeout,
+            max_retries=max_retries,
+            key=key,
         )
         request_id = self._request("explore", **spec.to_payload())
-        accepted = self._wait(request_id)
+        accepted = self._wait(request_id, "explore sent, not yet accepted")
         if accepted.get("type") != "accepted":
             raise ServiceError(f"expected accepted frame, got {accepted!r}")
         job_id = accepted["job"]
         cells: dict[int, dict[str, Any]] = {}
         while True:
-            frame = self._wait(request_id)
+            frame = self._wait(
+                request_id, f"explore {job_id}: {len(cells)} cells seen"
+            )
             kind = frame.get("type")
             if kind == "explore-cell":
                 index = frame["index"]
                 cells[index] = frame["cell"]
                 if on_cell is not None:
                     on_cell(index, frame["point"], frame["cell"])
+            elif kind == "retry":
+                cells.clear()  # the retried attempt restreams every cell
             elif kind == "result":
                 summary = frame.get("summary", {})
                 expected = summary.get("cells_run")

@@ -1,0 +1,180 @@
+"""Fault injection for the service robustness suite.
+
+Production code cannot be proven crash-safe by reading it; the failure
+paths have to *run*. This module defines the gated injection points the
+chaos tests (and ``make chaos-smoke``) drive:
+
+* ``kill-child`` — SIGKILL the forked worker child mid-job, after N
+  trace events (default 100): exercises crash detection, bounded retry
+  with backoff, and the bit-identical-recovery contract;
+* ``stall-worker`` — sleep N seconds (default 30) at job start inside
+  the child: exercises per-job deadlines (``job-timeout``);
+* ``drop-connection`` — abort the submitting client's transport after
+  N streamed frames (default 0, i.e. before the first): exercises
+  client reconnect and idempotent resubmission.
+
+Faults are configured through the environment so they reach every
+process in the service tree (the asyncio server *and* its forked
+children inherit them)::
+
+    PNUT_FAULTS="kill-child=2000:once,stall-worker=5"
+    PNUT_FAULT_DIR=/tmp/pnut-faults   # required for :once latches
+
+Each entry is ``point[=arg][:once]``. A ``:once`` fault fires exactly
+one time across the whole process tree: firing claims an ``O_EXCL``
+latch file under ``PNUT_FAULT_DIR``, so a killed child's retry runs
+clean — which is precisely what the recovery tests need. Without any
+``PNUT_FAULTS`` value every probe below is a dictionary miss and the
+service hot path pays nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.errors import PnutError
+
+FAULTS_ENV = "PNUT_FAULTS"
+STATE_DIR_ENV = "PNUT_FAULT_DIR"
+
+#: The injection points the service implements (parse-time validation:
+#: a typo in PNUT_FAULTS must fail loudly, not silently never fire).
+KNOWN_POINTS = ("kill-child", "stall-worker", "drop-connection")
+
+
+class FaultConfigError(PnutError):
+    """A malformed ``PNUT_FAULTS`` value or a missing latch directory."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One configured injection point."""
+
+    point: str
+    arg: str | None = None
+    once: bool = False
+
+
+def parse_faults(text: str) -> dict[str, Fault]:
+    """Parse a ``PNUT_FAULTS`` value into ``{point: Fault}``."""
+    faults: dict[str, Fault] = {}
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        once = entry.endswith(":once")
+        if once:
+            entry = entry[: -len(":once")]
+        point, _, arg = entry.partition("=")
+        point = point.strip()
+        if point not in KNOWN_POINTS:
+            raise FaultConfigError(
+                f"unknown fault point {point!r}; known: {list(KNOWN_POINTS)}"
+            )
+        faults[point] = Fault(point, arg.strip() or None, once)
+    return faults
+
+
+def planned(point: str) -> Fault | None:
+    """The configured fault for ``point``, or None when inactive.
+
+    Re-reads the environment every call on purpose: the configuration
+    must be visible to forked children and to servers whose tests set
+    it after import. The inactive probe is one ``os.environ.get``.
+    """
+    text = os.environ.get(FAULTS_ENV)
+    if not text:
+        return None
+    return parse_faults(text).get(point)
+
+
+def claim(point: str) -> Fault | None:
+    """Claim one firing of ``point``; None when it must not fire now.
+
+    Non-``once`` faults always fire when planned. A ``:once`` fault
+    atomically creates a latch file (``O_CREAT | O_EXCL``) under
+    ``PNUT_FAULT_DIR`` so exactly one claimant across the whole process
+    tree — parent, forked children, retried children — wins.
+    """
+    fault = planned(point)
+    if fault is None:
+        return None
+    if not fault.once:
+        return fault
+    directory = os.environ.get(STATE_DIR_ENV)
+    if not directory:
+        raise FaultConfigError(
+            f"fault {point}:once needs {STATE_DIR_ENV} set to a shared "
+            f"latch directory"
+        )
+    latch = os.path.join(directory, f"pnut-fault-{point}.fired")
+    try:
+        fd = os.open(latch, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return None
+    os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+    os.close(fd)
+    return fault
+
+
+# ---------------------------------------------------------------------------
+# The concrete injection points (called from the job execution path).
+# ---------------------------------------------------------------------------
+
+
+def event_saboteur() -> Callable | None:
+    """A trace observer that SIGKILLs this process mid-job, or None.
+
+    Returned only when the ``kill-child`` fault is planned; attach it to
+    the job's observer list inside the forked child. The kill fires at
+    the configured event count (default 100) — far enough in that work
+    was genuinely lost, early enough that retries stay cheap. SIGKILL is
+    deliberate: no Python cleanup, no pipe message, exactly the OOM-kill
+    shape the crash-recovery path must survive.
+    """
+    fault = planned("kill-child")
+    if fault is None:
+        return None
+    threshold = int(fault.arg) if fault.arg else 100
+    state = {"events": 0}
+
+    def saboteur(_event) -> None:
+        state["events"] += 1
+        if state["events"] == threshold and claim("kill-child") is not None:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return saboteur
+
+
+def stall_worker() -> None:
+    """Sleep past any reasonable deadline when ``stall-worker`` fires."""
+    fault = claim("stall-worker")
+    if fault is not None:
+        time.sleep(float(fault.arg) if fault.arg else 30.0)
+
+
+def connection_dropper() -> Callable[[], bool] | None:
+    """A per-connection countdown for the ``drop-connection`` fault.
+
+    Returns None when inactive; otherwise a callable the frame pump
+    invokes per streamed frame — it answers True exactly when the
+    transport should be aborted (after the configured number of frames
+    has been forwarded, default 0, honoring a ``:once`` latch).
+    """
+    fault = planned("drop-connection")
+    if fault is None:
+        return None
+    threshold = int(fault.arg) if fault.arg else 0
+    state = {"frames": 0}
+
+    def should_drop() -> bool:
+        state["frames"] += 1
+        if state["frames"] <= threshold:
+            return False
+        return claim("drop-connection") is not None
+
+    return should_drop

@@ -16,7 +16,21 @@ response for that request::
     {"op": "jobs", "id": 5}
     {"op": "server-stats", "id": 6}
     {"op": "ping", "id": 7}
-    {"op": "shutdown", "id": 8}
+    {"op": "shutdown", "id": 8, "drain": true, "grace": 30.0}
+
+Specs may carry supervision fields: ``timeout`` (per-job wall-clock
+deadline, enforced server-side as error code ``job-timeout``),
+``max_retries`` (crash-retry budget; None uses the server default) and
+``key`` (opts into idempotent resubmission — a keyed spec resubmitted
+after a dropped connection attaches to the original job instead of
+double-running; see :func:`dedupe_identity`). When a forked worker
+crashes and the job is retried, subscribers receive one
+``{"type": "retry", "job": ..., "attempt": n, "max_retries": m,
+"delay": s, "error": ...}`` frame per attempt — the signal to discard
+any partially streamed trace, because the retry restreams from the
+start. A ``shutdown`` with ``drain=true`` stops accepting new work,
+finishes running and pending jobs up to ``grace`` seconds (server
+default when omitted), and only then answers ``bye`` and exits.
 
 A ``submit`` answers ``{"type": "accepted", "job": "j1", ...}``, then —
 for subscribed outputs — streams ``{"type": "trace", "lines": [...]}``
@@ -48,6 +62,7 @@ re-runs stay incremental across the wire.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any
@@ -64,7 +79,11 @@ class ProtocolError(ServiceError):
     """A malformed frame or request payload."""
 
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: Job keys (idempotent resubmission) are opaque client strings; bound
+#: so a hostile key cannot bloat frames or the server's dedupe index.
+MAX_KEY_LENGTH = 200
 
 #: Result channels a job may subscribe to. ``summary`` (counters, final
 #: time, trace SHA-256) is always included in the result frame.
@@ -118,6 +137,60 @@ def _require(payload: dict, key: str, kinds, what: str):
     return value
 
 
+def _check_supervision_fields(spec, what: str) -> None:
+    """Validate/normalize the fields every spec kind shares with the
+    supervision layer: per-job ``timeout``, crash-retry budget
+    ``max_retries`` (None defers to the server default), and the
+    client-supplied idempotency ``key``."""
+    if spec.timeout is not None:
+        if (not isinstance(spec.timeout, (int, float))
+                or isinstance(spec.timeout, bool) or spec.timeout <= 0):
+            raise ProtocolError(
+                f"{what} 'timeout' must be a positive number of seconds"
+            )
+        object.__setattr__(spec, "timeout", float(spec.timeout))
+    if spec.max_retries is not None:
+        if (not isinstance(spec.max_retries, int)
+                or isinstance(spec.max_retries, bool)
+                or spec.max_retries < 0):
+            raise ProtocolError(
+                f"{what} 'max_retries' must be a non-negative integer"
+            )
+    if spec.key is not None:
+        if (not isinstance(spec.key, str) or not spec.key
+                or len(spec.key) > MAX_KEY_LENGTH):
+            raise ProtocolError(
+                f"{what} 'key' must be a non-empty string of at most "
+                f"{MAX_KEY_LENGTH} characters"
+            )
+
+
+def _supervision_to_payload(spec, payload: dict[str, Any]) -> None:
+    if spec.timeout is not None:
+        payload["timeout"] = spec.timeout
+    if spec.max_retries is not None:
+        payload["max_retries"] = spec.max_retries
+    if spec.key is not None:
+        payload["key"] = spec.key
+
+
+def dedupe_identity(spec) -> str | None:
+    """The server-side dedupe identity of a keyed spec, or None.
+
+    Only keyed specs participate in idempotent resubmission. The
+    identity is SHA-256 over the spec's full canonical wire payload —
+    which embeds the net source bytes and the key — so a resubmission
+    after a dropped connection lands on the original job exactly when
+    *everything* about it matches, and two different jobs that happen
+    to reuse a key never collide silently.
+    """
+    if spec.key is None:
+        return None
+    encoded = json.dumps(spec.to_payload(), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """Everything one simulation job needs, as carried on the wire.
@@ -126,6 +199,10 @@ class JobSpec:
     ``priority`` orders the queue (higher first, FIFO within a level);
     ``seed`` pins the run — the service never invents seeds, so a spec
     replays bit-identically in-process and behind the service.
+    ``timeout`` is the per-job wall-clock deadline enforced server-side
+    (``job-timeout`` error code); ``max_retries`` bounds automatic
+    crash retries (None defers to the server default); ``key`` opts the
+    spec into idempotent resubmission (see :func:`dedupe_identity`).
     """
 
     net_source: str
@@ -135,6 +212,9 @@ class JobSpec:
     run_number: int = 1
     outputs: tuple[str, ...] = ("stats",)
     priority: int = 0
+    timeout: float | None = None
+    max_retries: int | None = None
+    key: str | None = None
 
     def __post_init__(self) -> None:
         if self.until is None and self.max_events is None:
@@ -144,6 +224,7 @@ class JobSpec:
             raise ProtocolError(
                 f"unknown outputs {bad}; valid: {list(VALID_OUTPUTS)}"
             )
+        _check_supervision_fields(self, "job")
 
     @classmethod
     def from_payload(cls, payload: dict[str, Any]) -> "JobSpec":
@@ -176,6 +257,9 @@ class JobSpec:
             run_number=run_number,
             outputs=tuple(outputs),
             priority=priority,
+            timeout=payload.get("timeout"),
+            max_retries=payload.get("max_retries"),
+            key=payload.get("key"),
         )
 
     def to_payload(self) -> dict[str, Any]:
@@ -191,6 +275,7 @@ class JobSpec:
         payload["outputs"] = list(self.outputs)
         if self.priority:
             payload["priority"] = self.priority
+        _supervision_to_payload(self, payload)
         return payload
 
 
@@ -213,6 +298,9 @@ class SweepSpec:
     run_number: int = 1
     outputs: tuple[str, ...] = ("stats",)
     priority: int = 0
+    timeout: float | None = None
+    max_retries: int | None = None
+    key: str | None = None
 
     def __post_init__(self) -> None:
         if self.until is None and self.max_events is None:
@@ -238,6 +326,7 @@ class SweepSpec:
                 f"unknown sweep outputs {bad}; valid: "
                 f"{list(VALID_SWEEP_OUTPUTS)}"
             )
+        _check_supervision_fields(self, "sweep")
 
     @classmethod
     def from_payload(cls, payload: dict[str, Any]) -> "SweepSpec":
@@ -270,6 +359,9 @@ class SweepSpec:
             run_number=run_number,
             outputs=tuple(outputs),
             priority=priority,
+            timeout=payload.get("timeout"),
+            max_retries=payload.get("max_retries"),
+            key=payload.get("key"),
         )
 
     def to_payload(self) -> dict[str, Any]:
@@ -286,6 +378,7 @@ class SweepSpec:
         payload["outputs"] = list(self.outputs)
         if self.priority:
             payload["priority"] = self.priority
+        _supervision_to_payload(self, payload)
         return payload
 
 
@@ -310,6 +403,9 @@ class ExploreSpec:
     outputs: tuple[str, ...] = ("stats",)
     priority: int = 0
     skip: tuple[tuple[int, int], ...] = ()
+    timeout: float | None = None
+    max_retries: int | None = None
+    key: str | None = None
 
     def __post_init__(self) -> None:
         if self.until is None and self.max_events is None:
@@ -366,6 +462,7 @@ class ExploreSpec:
                 f"unknown explore outputs {bad}; valid: "
                 f"{list(VALID_EXPLORE_OUTPUTS)}"
             )
+        _check_supervision_fields(self, "explore")
 
     def space(self) -> ParamSpace:
         return ParamSpace.from_payload(self.params)
@@ -413,6 +510,9 @@ class ExploreSpec:
             outputs=tuple(outputs),
             priority=priority,
             skip=tuple((pair[0], pair[1]) for pair in skip),
+            timeout=payload.get("timeout"),
+            max_retries=payload.get("max_retries"),
+            key=payload.get("key"),
         )
 
     def to_payload(self) -> dict[str, Any]:
@@ -432,6 +532,7 @@ class ExploreSpec:
             payload["priority"] = self.priority
         if self.skip:
             payload["skip"] = [list(pair) for pair in self.skip]
+        _supervision_to_payload(self, payload)
         return payload
 
 

@@ -62,7 +62,18 @@ class Job:
     state: JobState = JobState.QUEUED
     cached: bool = False
     error: str | None = None
+    #: Stable terminal error code (``job-timeout``, ``worker-crashed``,
+    #: ``internal-error``, ...) kept so a keyed resubmission of a
+    #: finished job can replay the exact terminal frame.
+    error_code: str | None = None
     result: dict[str, Any] | None = None
+    #: Execution attempts started (1 on first run; crash retries bump).
+    attempts: int = 0
+    #: Effective crash-retry budget, resolved by the server from the
+    #: spec (falling back to the server default) at submission.
+    max_retries: int = 0
+    #: Dedupe identity for keyed specs (see ``protocol.dedupe_identity``).
+    identity: str | None = None
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -147,12 +158,22 @@ class Job:
             payload["runs"] = len(self.spec.seeds)
         else:
             payload["seed"] = self.spec.seed
+        if self.attempts:
+            payload["attempts"] = self.attempts
+        if self.max_retries:
+            payload["max_retries"] = self.max_retries
+        if self.spec.timeout is not None:
+            payload["timeout"] = self.spec.timeout
+        if self.spec.key is not None:
+            payload["key"] = self.spec.key
         if self.started_at is not None:
             payload["started_at"] = self.started_at
         if self.finished_at is not None:
             payload["finished_at"] = self.finished_at
         if self.error is not None:
             payload["error"] = self.error
+        if self.error_code is not None:
+            payload["code"] = self.error_code
         return payload
 
 
@@ -176,25 +197,43 @@ class JobQueue:
         self._heap: list[tuple[int, int, Job]] = []
         self._available = asyncio.Semaphore(0)
         self._jobs: dict[str, Job] = {}
+        self._identity: dict[str, str] = {}
         self._order: list[str] = []
         self._seq = 0
         self._pending = 0
+        self._running = 0
         self.submitted = 0
         self.completed = 0
         self.failed = 0
         self.cancelled = 0
+        self.retried = 0
+        self.crashed = 0
+        self.timed_out = 0
+        self.deduped = 0
+
+    @property
+    def active(self) -> int:
+        """Jobs not yet finished: queued (incl. awaiting retry) + running.
+
+        The drain loop waits for this to reach zero."""
+        return self._pending + self._running
 
     # -- submission / retrieval -------------------------------------------
 
-    def submit(self, spec: JobSpec | SweepSpec | ExploreSpec) -> Job:
+    def submit(self, spec: JobSpec | SweepSpec | ExploreSpec,
+               max_retries: int = 0,
+               identity: str | None = None) -> Job:
         if self._pending >= self.max_pending:
             raise QueueFullError(
                 f"queue full: {self._pending} pending jobs "
                 f"(max_pending={self.max_pending})"
             )
         self._seq += 1
-        job = Job(id=f"j{self._seq}", spec=spec, seq=self._seq)
+        job = Job(id=f"j{self._seq}", spec=spec, seq=self._seq,
+                  max_retries=max_retries, identity=identity)
         self._jobs[job.id] = job
+        if identity is not None:
+            self._identity[identity] = job.id
         self._order.append(job.id)
         self._trim_history()
         heappush(self._heap, (-spec.priority, self._seq, job))
@@ -203,14 +242,22 @@ class JobQueue:
         self._available.release()
         return job
 
+    def find_duplicate(self, identity: str | None) -> Job | None:
+        """The live/remembered job carrying this dedupe identity, if any."""
+        if identity is None:
+            return None
+        job_id = self._identity.get(identity)
+        return self._jobs.get(job_id) if job_id is not None else None
+
     async def get(self) -> Job:
         """Next runnable job by (priority, FIFO); skips cancelled entries."""
         while True:
             await self._available.acquire()
             _neg_priority, _seq, job = heappop(self._heap)
-            if job.state is JobState.CANCELLED:
+            if job.state is not JobState.QUEUED:
                 continue
             self._pending -= 1
+            self._running += 1
             job.state = JobState.RUNNING
             job.started_at = time.time()
             return job
@@ -251,20 +298,49 @@ class JobQueue:
         return True
 
     def finish(self, job: Job, result: dict[str, Any] | None,
-               error: str | None) -> None:
+               error: str | None, code: str | None = None) -> None:
         """Worker-side completion (also closes out cancelled runs)."""
+        self._running -= 1
         if job.state is JobState.CANCELLED:
             pass  # state and counter already set by cancel()
         elif error is not None:
             job.state = JobState.FAILED
             job.error = error
+            job.error_code = code
             self.failed += 1
+            if code == "job-timeout":
+                self.timed_out += 1
+            elif code == "worker-crashed":
+                self.crashed += 1
         else:
             job.state = JobState.DONE
             job.result = result
             self.completed += 1
         job.finished_at = time.time()
         job.cancel_hook = None
+
+    def defer(self, job: Job) -> None:
+        """Park a crashed RUNNING job for retry: it becomes QUEUED again
+        (so ``cancel`` keeps working while the backoff sleeps) but is not
+        yet in the heap — :meth:`requeue` re-arms it after the delay."""
+        assert job.state is JobState.RUNNING
+        self._running -= 1
+        self._pending += 1
+        self.retried += 1
+        job.state = JobState.QUEUED
+        job.cancel_hook = None
+
+    def requeue(self, job: Job) -> bool:
+        """Put a deferred job back into the heap after its backoff.
+
+        No-op (False) unless the job is still QUEUED — a cancellation
+        that landed during the backoff wins and the entry is never
+        re-armed."""
+        if job.state is not JobState.QUEUED:
+            return False
+        heappush(self._heap, (-job.spec.priority, job.seq, job))
+        self._available.release()
+        return True
 
     def _trim_history(self) -> None:
         while len(self._order) > self.HISTORY_LIMIT:
@@ -274,13 +350,21 @@ class JobQueue:
             self._order.pop(0)
             if oldest is not None:
                 del self._jobs[oldest.id]
+                if (oldest.identity is not None
+                        and self._identity.get(oldest.identity) == oldest.id):
+                    del self._identity[oldest.identity]
 
     def to_payload(self) -> dict[str, Any]:
         return {
             "pending": self._pending,
+            "running": self._running,
             "max_pending": self.max_pending,
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
             "cancelled": self.cancelled,
+            "retried": self.retried,
+            "crashed": self.crashed,
+            "timed_out": self.timed_out,
+            "deduped": self.deduped,
         }

@@ -19,6 +19,9 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import logging
+import signal
+import time
 from typing import Any
 
 from ..analysis.report import statistics_payload
@@ -28,6 +31,7 @@ from ..sim.experiment import ForkedTask, fork_available
 from ..sim.sweep import TraceHasher, run_sweep
 from ..trace.events import TraceHeader
 from ..trace.serialize import format_event, format_header
+from . import faults
 from .cache import CompiledNet, CompiledNetCache
 from .protocol import (
     PROTOCOL_VERSION,
@@ -38,10 +42,13 @@ from .protocol import (
     SweepSpec,
     accepted_frame,
     decode,
+    dedupe_identity,
     encode,
     error_frame,
 )
 from .queue import Job, JobQueue, JobState, QueueFullError
+
+log = logging.getLogger("repro.service")
 
 #: StreamReader line limit: net sources and trace batches are long lines.
 _LINE_LIMIT = 16 * 1024 * 1024
@@ -61,6 +68,7 @@ def execute_job(compiled: CompiledNet, spec: JobSpec, emit) -> dict[str, Any]:
     output is subscribed; a stats-only job hashes the compact binary
     event encoding and never formats a line.
     """
+    faults.stall_worker()  # chaos hook: hold the deadline path to the fire
     want_stats = "stats" in spec.outputs
     want_trace = "trace" in spec.outputs
 
@@ -87,6 +95,9 @@ def execute_job(compiled: CompiledNet, spec: JobSpec, emit) -> dict[str, Any]:
     if want_stats:
         stats_observer = StatisticsObserver(run_number=spec.run_number)
         observers.insert(0, stats_observer)
+    saboteur = faults.event_saboteur()
+    if saboteur is not None:
+        observers.append(saboteur)  # chaos hook: SIGKILL this child mid-run
 
     simulator = compiled.simulator(
         seed=spec.seed, run_number=spec.run_number, observers=observers
@@ -223,6 +234,12 @@ def execute_sweep_job(compiled: CompiledNet, spec: SweepSpec,
 class SimulationService:
     """One server instance: cache + queue + worker pool + listeners."""
 
+    #: Crash-retry backoff: delay = min(cap, base * 2^(attempt-1)) plus a
+    #: deterministic jitter derived from (job id, attempt) — reproducible
+    #: in tests, yet crash storms still de-synchronize across jobs.
+    RETRY_BACKOFF_BASE = 0.1
+    RETRY_BACKOFF_CAP = 5.0
+
     def __init__(
         self,
         workers: int = 2,
@@ -230,14 +247,25 @@ class SimulationService:
         max_pending: int = 256,
         immediate_budget: int = 10_000,
         use_fork: bool | None = None,
+        max_retries: int = 2,
+        drain_grace: float = 30.0,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.cache = CompiledNetCache(capacity=cache_capacity)
         self.queue = JobQueue(max_pending=max_pending)
         self.workers = workers
         self.immediate_budget = immediate_budget
         self.use_fork = fork_available() if use_fork is None else use_fork
+        #: Default crash-retry budget for specs that don't set their own.
+        self.max_retries = max_retries
+        #: Default drain deadline (seconds) for ``shutdown drain=true``.
+        self.drain_grace = drain_grace
+        self.draining = False
+        self._retry_tasks: set[asyncio.Task] = set()
+        self._pump_tasks: set[asyncio.Task] = set()
         self._worker_tasks: list[asyncio.Task] = []
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
@@ -320,14 +348,49 @@ class SimulationService:
         if self._loop is not None:
             self._loop.call_soon_threadsafe(self._shutdown.set)
 
+    async def drain(self, grace: float | None = None) -> dict[str, Any]:
+        """Stop accepting work; wait for active jobs, bounded by ``grace``.
+
+        Turns on :attr:`draining` (new submissions are rejected with
+        error code ``draining``; keyed resubmissions of known jobs still
+        attach), then waits for every queued, retrying, and running job
+        to finish. Jobs still active when the grace period (default
+        :attr:`drain_grace`) expires are cancelled. Returns a summary —
+        ``drained`` is True when nothing had to be cancelled.
+        """
+        self.draining = True
+        budget = self.drain_grace if grace is None else grace
+        deadline = time.monotonic() + budget
+        while self.queue.active > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        expired = self.queue.active
+        if expired:
+            log.warning("drain grace (%.1fs) expired with %d active jobs; "
+                        "cancelling them", budget, expired)
+            for job in self.queue.jobs():
+                if not job.state.finished:
+                    self.queue.cancel(job.id)
+        # A finished job is only drained once its verdict has been
+        # *delivered*: wait (within the same grace) for the in-flight
+        # result pumps to flush to their subscribers, so a job that
+        # completed just as the drain started doesn't lose its result
+        # to the server exiting underneath the stream.
+        while self._pump_tasks and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        return {"drained": expired == 0, "cancelled": expired}
+
     async def _close(self) -> None:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        # Kill running children, then the worker tasks themselves.
+        # Kill running children, stop pending retries, then the worker
+        # tasks themselves.
         for job in self.queue.jobs():
             if job.state is JobState.RUNNING:
                 self.queue.cancel(job.id)
+        for task in list(self._retry_tasks):
+            task.cancel()
+        await asyncio.gather(*self._retry_tasks, return_exceptions=True)
         for task in self._worker_tasks:
             task.cancel()
         await asyncio.gather(*self._worker_tasks, return_exceptions=True)
@@ -341,8 +404,16 @@ class SimulationService:
                 await self._execute(job)
             except asyncio.CancelledError:
                 raise
-            except Exception as error:  # noqa: BLE001 - keep the pool alive
-                self._finish(job, None, f"internal error: {error!r}")
+            except Exception:  # noqa: BLE001 - keep the pool alive
+                # Full traceback server-side; clients get a stable code
+                # (this is a server bug, not a problem with their net).
+                log.exception("internal error executing job %s", job.id)
+                self._finish(
+                    job, None,
+                    f"internal server error while running job {job.id}; "
+                    f"see the server log for the traceback",
+                    code="internal-error",
+                )
 
     def _prepare_explore(
         self, spec: ExploreSpec
@@ -392,13 +463,37 @@ class SimulationService:
 
         value: dict[str, Any] | None = None
         error_text: str | None = None
+        crash: dict[str, Any] | None = None
+        timed_out = False
+        job.attempts += 1
         if self.use_fork:
             task = ForkedTask(executor, (target, spec),
                               label=f"job {job.id}")
             job.cancel_hook = task.terminate
+            deadline = (time.monotonic() + spec.timeout
+                        if spec.timeout is not None else None)
             try:
                 while True:
-                    kind, payload = await asyncio.to_thread(task.next_message)
+                    budget = None
+                    if deadline is not None:
+                        budget = deadline - time.monotonic()
+                        if budget <= 0:
+                            timed_out = True
+                            task.terminate()
+                            break
+                    try:
+                        kind, payload = await asyncio.wait_for(
+                            asyncio.to_thread(task.next_message),
+                            timeout=budget,
+                        )
+                    except asyncio.TimeoutError:
+                        # Deadline expired mid-read. Terminate the child;
+                        # the abandoned reader thread wakes on the pipe
+                        # EOF and exits harmlessly (its "crashed" verdict
+                        # lands on a cancelled future and is dropped).
+                        timed_out = True
+                        task.terminate()
+                        break
                     if kind == "msg":
                         # Awaiting here pauses the pipe drain, which
                         # blocks the child once the pipe fills: streamed
@@ -406,6 +501,9 @@ class SimulationService:
                         await self._publish_stream(job, payload)
                     elif kind == "ok":
                         value = payload
+                        break
+                    elif kind == "crashed":
+                        crash = payload
                         break
                     else:
                         error_text = payload
@@ -427,7 +525,66 @@ class SimulationService:
                                                 emit)
             except PnutError as error:
                 error_text = str(error)
+        if job.state is JobState.CANCELLED:
+            # Cancel wins over everything — including a crash whose
+            # SIGKILL *was* the cancellation, and an expired deadline.
+            self._finish(job, None, None)
+            return
+        if timed_out:
+            self._finish(
+                job, None,
+                f"job {job.id} exceeded its {spec.timeout:g}s deadline "
+                f"(attempt {job.attempts})",
+                code="job-timeout",
+            )
+            return
+        if crash is not None:
+            if job.attempts <= job.max_retries:
+                self._retry(job, crash)
+                return
+            self._finish(
+                job, None,
+                f"{crash.get('error', 'worker crashed')} "
+                f"(gave up after {job.attempts} attempts)",
+                code="worker-crashed",
+            )
+            return
         self._finish(job, value, error_text)
+
+    def _retry(self, job: Job, crash: dict[str, Any]) -> None:
+        """Park a crashed job and re-arm it after an exponential backoff."""
+        self.queue.defer(job)
+        delay = self._backoff_delay(job)
+        log.warning(
+            "job %s crashed (%s); retrying (attempt %d of %d) in %.2fs",
+            job.id, crash.get("error", "worker crashed"),
+            job.attempts + 1, job.max_retries + 1, delay,
+        )
+        # The retry frame tells subscribers to discard partial streams:
+        # the next attempt restreams the trace from the very first line.
+        job.publish({
+            "type": "retry", "job": job.id, "attempt": job.attempts,
+            "max_retries": job.max_retries, "delay": delay,
+            "error": crash.get("error", "worker crashed"),
+        })
+        task = asyncio.create_task(
+            self._requeue_later(job, delay), name=f"pnut-retry-{job.id}"
+        )
+        self._retry_tasks.add(task)
+        task.add_done_callback(self._retry_tasks.discard)
+
+    def _backoff_delay(self, job: Job) -> float:
+        base = self.RETRY_BACKOFF_BASE
+        delay = min(self.RETRY_BACKOFF_CAP, base * 2 ** (job.attempts - 1))
+        token = hashlib.sha256(
+            f"{job.id}:{job.attempts}".encode("ascii")
+        ).hexdigest()[:8]
+        return delay + int(token, 16) / 0xFFFFFFFF * base * 0.5
+
+    async def _requeue_later(self, job: Job, delay: float) -> None:
+        await asyncio.sleep(delay)
+        # No-op if a cancellation landed during the backoff: cancel wins.
+        self.queue.requeue(job)
 
     async def _publish_stream(self, job: Job, payload: dict[str, Any]) -> None:
         channel = payload.get("channel")
@@ -450,24 +607,29 @@ class SimulationService:
     def _finish(self, job: Job, value: dict[str, Any] | None,
                 error_text: str | None, code: str = "job-failed") -> None:
         cancelled = job.state is JobState.CANCELLED
-        self.queue.finish(job, value, None if cancelled else error_text)
-        if cancelled:
-            job.publish({
+        self.queue.finish(job, value, None if cancelled else error_text,
+                          code=None if cancelled else code)
+        job.publish(self._terminal_frame(job))
+        job.publish(None)
+
+    def _terminal_frame(self, job: Job) -> dict[str, Any]:
+        """The terminal frame for a finished job (publish or replay)."""
+        if job.state is JobState.CANCELLED:
+            return {
                 "type": "error", "job": job.id, "code": "cancelled",
                 "error": f"job {job.id} cancelled",
-            })
-        elif error_text is not None:
-            job.publish({
-                "type": "error", "job": job.id, "code": code,
-                "error": error_text,
-            })
-        else:
-            assert value is not None
-            job.publish({
-                "type": "result", "job": job.id, "cached": job.cached,
-                **value,
-            })
-        job.publish(None)
+            }
+        if job.state is JobState.FAILED:
+            return {
+                "type": "error", "job": job.id,
+                "code": job.error_code or "job-failed",
+                "error": job.error or f"job {job.id} failed",
+            }
+        assert job.result is not None
+        return {
+            "type": "result", "job": job.id, "cached": job.cached,
+            **job.result,
+        }
 
     # -- connections -------------------------------------------------------
 
@@ -503,6 +665,12 @@ class SimulationService:
                     # submitting many jobs doesn't accumulate dead tasks.
                     pumps = [p for p in pumps if not p.done()]
                     pumps.append(pump)
+        except asyncio.CancelledError:
+            # Loop teardown at shutdown cancels connection handlers; end
+            # the task cleanly — a handler left in cancelled state makes
+            # asyncio's stream done-callback (task.exception() on a
+            # cancelled task) log a spurious "Exception in callback".
+            pass
         finally:
             for pump in pumps:
                 pump.cancel()
@@ -540,8 +708,44 @@ class SimulationService:
             except ProtocolError as error:
                 await send(error_frame(request_id, str(error), "bad-request"))
                 return None
+            # Keyed resubmission: attach to the original job instead of
+            # double-running. Checked before the draining gate so a
+            # client retrying over a fresh connection still lands during
+            # a drain.
+            identity = dedupe_identity(spec)
+            duplicate = self.queue.find_duplicate(identity)
+            if duplicate is not None:
+                self.queue.deduped += 1
+                accepted = accepted_frame(
+                    request_id, duplicate.id,
+                    position=self.queue.to_payload()["pending"],
+                )
+                accepted["deduped"] = True
+                # Subscribe before the first await so no frame can be
+                # missed; a finished job has no live stream left, so its
+                # terminal frame is replayed instead.
+                subscription = duplicate.subscribe()
+                if duplicate.state.finished:
+                    duplicate.unsubscribe(subscription)
+                    await send(accepted)
+                    await send({**self._terminal_frame(duplicate),
+                                "id": request_id})
+                    return None
+                await send(accepted)
+                return self._start_pump(duplicate, subscription, request_id,
+                                        writer, write_lock)
+            if self.draining:
+                await send(error_frame(
+                    request_id,
+                    "server is draining and not accepting new jobs",
+                    "draining",
+                ))
+                return None
+            max_retries = (spec.max_retries if spec.max_retries is not None
+                           else self.max_retries)
             try:
-                job = self.queue.submit(spec)
+                job = self.queue.submit(spec, max_retries=max_retries,
+                                        identity=identity)
             except QueueFullError as error:
                 await send(error_frame(request_id, str(error), "backpressure"))
                 return None
@@ -551,9 +755,8 @@ class SimulationService:
                 request_id, job.id,
                 position=self.queue.to_payload()["pending"],
             ))
-            return asyncio.create_task(
-                self._pump(job, subscription, request_id, writer, write_lock)
-            )
+            return self._start_pump(job, subscription, request_id, writer,
+                                    write_lock)
         if op == "status":
             job = self.queue.job(str(message.get("job")))
             if job is None:
@@ -581,16 +784,52 @@ class SimulationService:
                 "version": PROTOCOL_VERSION,
                 "workers": self.workers,
                 "fork": self.use_fork,
+                "draining": self.draining,
+                "max_retries": self.max_retries,
                 "cache": self.cache.to_payload(),
                 "queue": self.queue.to_payload(),
             })
             return None
         if op == "shutdown":
-            await send({"type": "bye", "id": request_id})
+            if message.get("drain"):
+                grace = message.get("grace")
+                if grace is not None and (
+                    not isinstance(grace, (int, float))
+                    or isinstance(grace, bool) or grace <= 0
+                ):
+                    await send(error_frame(
+                        request_id, "'grace' must be a positive number",
+                        "bad-request",
+                    ))
+                    return None
+                summary = await self.drain(
+                    None if grace is None else float(grace)
+                )
+                await send({"type": "bye", "id": request_id, **summary})
+            else:
+                await send({"type": "bye", "id": request_id})
             await self.shutdown()
             return None
         await send(error_frame(request_id, f"unknown op {op!r}", "bad-request"))
         return None
+
+    def _start_pump(
+        self,
+        job: Job,
+        subscription: asyncio.Queue,
+        request_id: Any,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> asyncio.Task:
+        """Spawn a result pump, tracked so :meth:`drain` can wait for
+        in-flight result frames to reach their subscribers — a job is
+        only truly drained once its verdict has been *delivered*."""
+        task = asyncio.create_task(
+            self._pump(job, subscription, request_id, writer, write_lock)
+        )
+        self._pump_tasks.add(task)
+        task.add_done_callback(self._pump_tasks.discard)
+        return task
 
     async def _pump(
         self,
@@ -601,10 +840,16 @@ class SimulationService:
         write_lock: asyncio.Lock,
     ) -> None:
         """Forward one job's frames to the submitting connection."""
+        dropper = faults.connection_dropper()
         try:
             while True:
                 frame = await subscription.get()
                 if frame is None:
+                    break
+                if dropper is not None and dropper():
+                    # Chaos hook: hard-abort the transport mid-stream,
+                    # exactly like a network partition would.
+                    writer.transport.abort()
                     break
                 await self._send(writer, write_lock,
                                  {**frame, "id": request_id})
@@ -631,6 +876,8 @@ async def run_server(
     workers: int = 2,
     cache_capacity: int = 32,
     max_pending: int = 256,
+    max_retries: int = 2,
+    drain_grace: float = 30.0,
     preload_dir: str | None = None,
     preload_callback=None,
     ready_callback=None,
@@ -640,17 +887,45 @@ async def run_server(
     ``preload_dir`` warm-starts the compiled-net cache from every
     ``*.pn`` under the directory before the listener binds; the summary
     (loaded/failed counts, cache counters) goes to ``preload_callback``.
+    SIGTERM triggers a graceful drain (finish active jobs up to
+    ``drain_grace`` seconds) before exiting; use SIGINT/SIGKILL for an
+    immediate stop.
     """
     service = SimulationService(
         workers=workers,
         cache_capacity=cache_capacity,
         max_pending=max_pending,
+        max_retries=max_retries,
+        drain_grace=drain_grace,
     )
     if preload_dir is not None:
         summary = await asyncio.to_thread(service.preload, preload_dir)
         if preload_callback is not None:
             preload_callback(summary)
+
+    async def _drain_then_stop() -> None:
+        await service.drain()
+        await service.shutdown()
+
+    loop = asyncio.get_running_loop()
+    sigterm_tasks: list[asyncio.Task] = []  # keep a strong reference
+    try:
+        loop.add_signal_handler(
+            signal.SIGTERM,
+            lambda: sigterm_tasks.append(
+                asyncio.ensure_future(_drain_then_stop())
+            ),
+        )
+    except (NotImplementedError, RuntimeError):
+        pass  # platform without signal handlers (or non-main thread)
+
     address = await service.start(host=host, port=port, unix_path=unix_path)
     if ready_callback is not None:
         ready_callback(address)
-    await service.serve_forever()
+    try:
+        await service.serve_forever()
+    finally:
+        try:
+            loop.remove_signal_handler(signal.SIGTERM)
+        except (NotImplementedError, RuntimeError):
+            pass

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import signal
 import traceback
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
@@ -54,8 +55,13 @@ class ForkedTask:
     The child runs ``fn(*args, emit=emit)``; every ``emit(payload)`` call
     arrives in the parent as ``("msg", payload)``, the return value as
     ``("ok", value)`` and an exception as ``("error", traceback_text)``.
-    :meth:`next_message` blocks on the pipe, so drive it from a worker
-    thread when the parent must stay responsive (the service does).
+    A child that dies without reporting at all — SIGKILLed, OOM-killed,
+    interpreter crash — surfaces as ``("crashed", info)`` where ``info``
+    classifies the death by exit code / signal (see :meth:`exit_status`),
+    so supervisors can distinguish a crash worth retrying from an
+    ordinary exception. :meth:`next_message` blocks on the pipe, so
+    drive it from a worker thread when the parent must stay responsive
+    (the service does).
     """
 
     def __init__(self, fn: Callable[..., Any], args: tuple = (),
@@ -90,16 +96,42 @@ class ForkedTask:
         """
         return self._receiver
 
+    def exit_status(self) -> tuple[int | None, str | None]:
+        """``(exitcode, signal_name)`` of the dead/dying child.
+
+        Joins briefly so the exit code is collected (and the child
+        reaped); a negative exit code is translated to its signal name
+        (``"SIGKILL"``), the classification crash supervisors key on.
+        """
+        self._process.join(timeout=self.TERMINATE_GRACE)
+        code = self._process.exitcode
+        if code is not None and code < 0:
+            try:
+                name = signal.Signals(-code).name
+            except ValueError:
+                name = f"signal {-code}"
+            return code, name
+        return code, None
+
     def next_message(self) -> tuple[str, Any]:
         """Receive the next ``(kind, payload)``; blocks until one arrives.
 
         A child that dies without reporting (killed, crashed interpreter)
-        surfaces as an ``("error", ...)`` message rather than hanging.
+        surfaces as a ``("crashed", info)`` message rather than hanging:
+        ``info`` carries the exit code, the killing signal's name (or
+        None for a plain exit), and a human-readable ``error`` line.
         """
         try:
             return self._receiver.recv()
         except EOFError:
-            return ("error", f"{self.label} died without a result")
+            exitcode, signal_name = self.exit_status()
+            detail = (f"killed by {signal_name}" if signal_name
+                      else f"exit code {exitcode}")
+            return ("crashed", {
+                "exitcode": exitcode,
+                "signal": signal_name,
+                "error": f"{self.label} died without a result ({detail})",
+            })
 
     def join(self) -> None:
         self._process.join()
@@ -173,7 +205,8 @@ def map_chunked_forked(
                 del pending[conn]
             else:
                 if failure is None:
-                    failure = payload
+                    failure = (payload["error"] if kind == "crashed"
+                               else payload)
                 del pending[conn]
     for task in tasks:
         task.join()
@@ -209,7 +242,8 @@ def map_forked(
             if kind == "ok":
                 values[i] = payload
             elif failure is None:
-                failure = payload
+                failure = (payload["error"] if kind == "crashed"
+                           else payload)
             break
     for task in tasks:
         task.join()

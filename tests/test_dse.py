@@ -21,6 +21,7 @@ from repro.dse import (
     ParamSpaceError,
     PipelineBinder,
     StoreError,
+    StoreWarning,
     TemplateError,
     open_store,
     parse_axis_spec,
@@ -233,6 +234,54 @@ def test_non_sqlite_file_raises_store_error(tmp_path):
     path.write_text("this is not a database\n" * 10)
     with pytest.raises(StoreError, match="not a usable result store"):
         open_store(str(path))
+
+
+def test_corrupt_error_names_the_escape_hatch(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("{torn write\n")
+    with pytest.raises(StoreError, match="--store-skip-corrupt"):
+        open_store(str(path))
+
+
+def test_skip_corrupt_jsonl_warns_and_keeps_good_records(tmp_path):
+    path = tmp_path / "mixed.jsonl"
+    with open_store(str(path)) as store:
+        store.put("sha", "pk", 1, "stop", {"x": 1})
+        store.put("sha", "pk", 2, "stop", {"x": 2})
+    text = path.read_text()
+    lines = text.splitlines()
+    path.write_text("\n".join([lines[0], "{torn write", lines[1]]) + "\n")
+    with pytest.warns(StoreWarning, match="mixed.jsonl:2"):
+        with open_store(str(path), skip_corrupt=True) as store:
+            assert store.skipped_records == 1
+            assert len(store) == 2
+            assert store.get("sha", "pk", 1, "stop") == {"x": 1}
+            assert store.get("sha", "pk", 2, "stop") == {"x": 2}
+
+
+def test_skip_corrupt_sqlite_warns_and_keeps_good_records(tmp_path):
+    import sqlite3
+
+    path = tmp_path / "cells.db"
+    with open_store(str(path)) as store:
+        store.put("sha", "pk", 1, "stop", {"x": 1})
+    connection = sqlite3.connect(str(path))
+    connection.execute(
+        "INSERT INTO cells VALUES ('sha', 'pk', 2, 'stop', '{torn')"
+    )
+    connection.commit()
+    connection.close()
+    with pytest.raises(StoreError, match="corrupt payload for cell"):
+        open_store(str(path))
+    with pytest.warns(StoreWarning, match="corrupt payload"):
+        with open_store(str(path), skip_corrupt=True) as store:
+            assert store.skipped_records == 1
+            assert len(store) == 1
+            assert store.get("sha", "pk", 1, "stop") == {"x": 1}
+            # The skipped cell simply recomputes and re-stores.
+            assert store.put("sha", "pk", 2, "stop", {"x": 2})
+    with open_store(str(path)) as store:
+        assert store.get("sha", "pk", 2, "stop") == {"x": 2}
 
 
 # ---------------------------------------------------------------------------

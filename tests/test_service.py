@@ -235,13 +235,15 @@ class TestForkedTask:
         with pytest.raises(RuntimeError, match="deliberate failure"):
             map_forked(_child_fails, [()])
 
-    def test_terminate_surfaces_as_error(self):
+    def test_terminate_surfaces_as_crash(self):
         task = ForkedTask(_child_hangs, (), label="hanging job")
         assert task.next_message() == ("msg", "alive")
         task.terminate()
         kind, payload = task.next_message()
-        assert kind == "error"
-        assert "hanging job" in payload
+        assert kind == "crashed"
+        assert "hanging job" in payload["error"]
+        assert payload["signal"] in ("SIGTERM", "SIGKILL")
+        assert payload["exitcode"] is not None and payload["exitcode"] < 0
         task.join()
 
 
