@@ -6,7 +6,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-co bench-report perf-smoke test-all serve-smoke \
-        explore-smoke chaos-smoke lint
+        explore-smoke chaos-smoke obs-smoke lint
 
 ## tier-1: the unit/integration suite plus benchmarks (the repo gate),
 ## then the end-to-end service, exploration and fault-injection smokes
@@ -16,6 +16,7 @@ test:
 	$(MAKE) serve-smoke
 	$(MAKE) explore-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) obs-smoke
 
 ## boot a pnut server, run the Figure-5 job, check the pinned trace
 ## SHA-256 and the compiled-net cache counters, shut down cleanly
@@ -34,6 +35,13 @@ explore-smoke:
 ## shutdown (queued jobs finish before exit)
 chaos-smoke:
 	$(PYTHON) -m repro.service.chaos
+
+## end-to-end observability: boot a server with --obs-log, run the
+## Figure-5 job, assert the `metrics` op schema (canonical JSON +
+## Prometheus text), validate the span JSONL, render a live `pnut top`
+## frame
+obs-smoke:
+	$(PYTHON) -m repro.obs.smoke
 
 ## the benchmark/experiment suite only
 bench:

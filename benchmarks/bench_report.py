@@ -43,11 +43,28 @@ def _is_measurement(key: str, value) -> bool:
     )
 
 
+def _runner(entry: dict) -> str:
+    """The machine fingerprint a record was measured on.
+
+    Records predating the fingerprint (and pytest-benchmark exports,
+    which nest it under ``extra_info``) default to ``"unknown"`` rather
+    than crashing or silently comparing across machines.
+    """
+    runner = entry.get("runner")
+    if not isinstance(runner, str) or not runner:
+        extra = entry.get("extra_info")
+        runner = extra.get("runner") if isinstance(extra, dict) else None
+    if not isinstance(runner, str) or not runner:
+        return "unknown"
+    return runner
+
+
 def collect(history: list[dict]) -> list[dict]:
     """Reduce the record list to one summary row per metric key."""
     metrics: dict[str, dict] = {}
     for entry in history:
         stamp = entry.get("timestamp", "")
+        runner = _runner(entry)
         for key, value in entry.items():
             if not _is_measurement(key, value):
                 continue
@@ -56,12 +73,15 @@ def collect(history: list[dict]) -> list[dict]:
                 metrics[key] = {
                     "metric": key, "runs": 1,
                     "first": value, "first_at": stamp,
+                    "first_runner": runner,
                     "latest": value, "latest_at": stamp,
+                    "latest_runner": runner,
                 }
             else:
                 row["runs"] += 1
                 row["latest"] = value
                 row["latest_at"] = stamp
+                row["latest_runner"] = runner
     return [metrics[key] for key in sorted(metrics)]
 
 
@@ -69,6 +89,10 @@ def _fmt_value(value) -> str:
     if isinstance(value, float) and not value.is_integer():
         return f"{value:.2f}"
     return f"{int(value)}"
+
+
+def _cross_runner(row: dict) -> bool:
+    return row["runs"] >= 2 and row["first_runner"] != row["latest_runner"]
 
 
 def _fmt_change(row: dict) -> str:
@@ -81,6 +105,8 @@ def _fmt_change(row: dict) -> str:
     flag = ""
     if row["metric"].endswith(LOWER_IS_BETTER) and ratio > 1.25:
         flag = " (!)"
+    if _cross_runner(row):
+        flag += "*"
     return f"{ratio:.2f}x{flag}"
 
 
@@ -117,6 +143,17 @@ def render(history: list[dict]) -> str:
         _fmt_date(history[-1].get("timestamp", "")),
     )
     out.append(f"({len(history)} trajectory records, {span})")
+    crossed = [row for row in rows if _cross_runner(row)]
+    if crossed:
+        out.append(
+            "* first/latest measured on different machines ({}); the "
+            "change ratio is not an engine comparison".format(
+                ", ".join(sorted({
+                    f"{row['first_runner']} -> {row['latest_runner']}"
+                    for row in crossed
+                }))
+            )
+        )
     return "\n".join(out)
 
 

@@ -36,6 +36,22 @@ class TestCollect:
         assert "runner" not in rows
         assert "model" not in rows
 
+    def test_runner_defaults_to_unknown(self):
+        rows = {r["metric"]: r for r in bench_report.collect(HISTORY)}
+        stream = rows["events_per_sec_streaming"]
+        assert stream["first_runner"] == "unknown"  # record predates it
+        assert stream["latest_runner"] == "somewhere-else"
+        # Both records of peak_rss_kb lack a fingerprint: not a change.
+        rss = rows["peak_rss_kb"]
+        assert rss["first_runner"] == rss["latest_runner"] == "unknown"
+
+    def test_runner_nested_in_extra_info(self):
+        entry = {"extra_info": {"runner": "ci-box"}}
+        assert bench_report._runner(entry) == "ci-box"
+        assert bench_report._runner({"extra_info": "bogus"}) == "unknown"
+        assert bench_report._runner({"runner": ""}) == "unknown"
+        assert bench_report._runner({}) == "unknown"
+
 
 class TestRender:
     def test_table_carries_speedup_column(self):
@@ -57,6 +73,16 @@ class TestRender:
         line = next(s for s in out.splitlines()
                     if s.startswith("peak_rss_kb"))
         assert "1.60x (!)" in line
+
+    def test_cross_runner_changes_are_starred(self):
+        out = bench_report.render(HISTORY)
+        line = next(s for s in out.splitlines()
+                    if s.startswith("events_per_sec_streaming"))
+        assert "3.00x*" in line  # first on unknown, latest elsewhere
+        assert "unknown -> somewhere-else" in out  # footnote names them
+        rss_line = next(s for s in out.splitlines()
+                        if s.startswith("peak_rss_kb"))
+        assert "*" not in rss_line  # same (unknown) runner throughout
 
     def test_empty_history(self):
         assert bench_report.render([]) == "no measurements recorded"

@@ -329,6 +329,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             preload_dir=args.preload,
             preload_callback=preloaded,
             ready_callback=ready,
+            obs_log=args.obs_log,
+            obs_interval=args.obs_interval,
         ))
     except KeyboardInterrupt:
         pass
@@ -594,6 +596,52 @@ def cmd_shutdown(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """One (or a watched stream of) metrics snapshots from a server.
+
+    Default output is the canonical-JSON registry snapshot; ``--prom``
+    prints the Prometheus text exposition rendering instead (the same
+    bytes the server's ``metrics`` op computed). ``--watch`` repeats
+    every ``--interval`` seconds until interrupted.
+    """
+    import time as _time
+
+    client = _service_client(args)
+    if client is None:
+        return 2
+    with client:
+        try:
+            while True:
+                frame = client.metrics()
+                if args.prom:
+                    sys.stdout.write(frame["text"])
+                else:
+                    print(canonical_json(frame["metrics"]))
+                sys.stdout.flush()
+                if not args.watch:
+                    return 0
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a running pnut server."""
+    from .obs.dashboard import run_top
+
+    client = _service_client(args)
+    if client is None:
+        return 2
+    with client:
+        painted = run_top(
+            client,
+            interval=args.interval,
+            iterations=args.iterations,
+            clear=not args.no_clear,
+        )
+    return 0 if painted else 1
+
+
 def cmd_jobs(args: argparse.Namespace) -> int:
     client = _service_client(args)
     if client is None:
@@ -721,6 +769,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--preload", default=None, metavar="DIR",
                          help="compile every *.pn under DIR into the net "
                               "cache at startup (warm-start)")
+    p_serve.add_argument("--obs-log", default=None, metavar="DIR",
+                         help="write per-job span timelines (JSONL) under "
+                              "DIR; see README 'Observing the service'")
+    p_serve.add_argument("--obs-interval", type=float, default=None,
+                         metavar="SECONDS",
+                         help="log a metrics snapshot every SECONDS "
+                              "(appended to DIR/metrics-<pid>.jsonl when "
+                              "--obs-log is set)")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -807,6 +863,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print cache/queue counters instead")
     _add_endpoint_arguments(p_jobs)
     p_jobs.set_defaults(fn=cmd_jobs)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="fetch a pnut server's metrics snapshot")
+    p_metrics.add_argument("--prom", action="store_true",
+                           help="Prometheus text exposition format instead "
+                                "of canonical JSON")
+    p_metrics.add_argument("--watch", action="store_true",
+                           help="repeat every --interval seconds until "
+                                "interrupted")
+    p_metrics.add_argument("--interval", type=float, default=2.0,
+                           help="seconds between --watch polls")
+    _add_endpoint_arguments(p_metrics)
+    p_metrics.set_defaults(fn=cmd_metrics)
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard: queue depth, cache hit rate, "
+                    "events/sec, job latency percentiles")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between repaints")
+    p_top.add_argument("--iterations", type=int, default=None, metavar="N",
+                       help="stop after N frames (default: run until ^C)")
+    p_top.add_argument("--no-clear", action="store_true",
+                       help="append frames instead of repainting "
+                            "(scrolling-log mode, e.g. when piped)")
+    _add_endpoint_arguments(p_top)
+    p_top.set_defaults(fn=cmd_top)
 
     p_shutdown = sub.add_parser(
         "shutdown", help="stop a pnut server (optionally draining first)")

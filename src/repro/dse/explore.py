@@ -341,6 +341,7 @@ def run_exploration(
     store: ResultStore | None = None,
     cache: CompiledNetCache | None = None,
     on_cell: Callable[[CellOutcome], Any] | None = None,
+    registry=None,
 ) -> ExplorationResult:
     """Run one design-space exploration: every point x every seed.
 
@@ -355,6 +356,11 @@ def run_exploration(
     on the payload, so stored cells aggregate without re-running the
     callables; they must not read ``result.events`` (cells run with
     ``keep_events=False``).
+
+    ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`; note
+    the separate ``metrics`` parameter is the per-cell metric
+    *callables*) receives grid-level counters at completion: cells run
+    fresh, cells served from the store, points bound.
     """
     seeds = list(seeds)
     if not seeds:
@@ -443,4 +449,8 @@ def run_exploration(
         confidence=confidence,
     )
     assert len(result.cells) == len(points) * n_seeds
+    if registry is not None:
+        registry.counter("dse_cells_run_total").inc(result.fresh_cells)
+        registry.counter("dse_cells_stored_total").inc(result.stored_cells)
+        registry.counter("dse_points_total").inc(len(points))
     return result

@@ -1,0 +1,30 @@
+"""repro.obs — the unified observability layer.
+
+One :class:`MetricsRegistry` for counters/gauges/histograms across the
+engine, service, and DSE; per-job :mod:`spans <repro.obs.spans>` written
+as JSONL timelines; and the ``pnut top`` terminal
+:mod:`dashboard <repro.obs.dashboard>`.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+    peak_rss_kb,
+)
+from repro.obs.spans import SpanLog, mint_trace_id, read_spans, spans_by_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanLog",
+    "histogram_quantile",
+    "mint_trace_id",
+    "peak_rss_kb",
+    "read_spans",
+    "spans_by_trace",
+]

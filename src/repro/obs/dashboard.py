@@ -1,0 +1,205 @@
+"""``pnut top`` — a live, curses-free terminal dashboard for a server.
+
+Polls the ``metrics`` service op (and ``jobs`` for the in-flight table)
+on an interval, derives rates from counter deltas between polls, and
+repaints the screen with plain ANSI escapes — no curses, no deps, works
+in any terminal and degrades to a scrolling log when piped.
+
+Split so the interesting part is testable without a terminal or timer:
+:func:`render` is a pure function of two snapshots and the job list;
+:func:`run_top` owns the poll/clear/print loop.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.obs.metrics import histogram_quantile
+
+__all__ = ["compute_rates", "render", "run_top"]
+
+#: Clear screen + home cursor (plain ANSI; fine on every modern terminal).
+CLEAR = "\x1b[2J\x1b[H"
+
+#: Counters worth a per-second rate line, with their display labels.
+RATED_COUNTERS = (
+    ("engine_events_started_total", "events/s"),
+    ("jobs_completed_total", "jobs done/s"),
+)
+
+
+def compute_rates(
+    previous: dict[str, Any] | None, current: dict[str, Any]
+) -> dict[str, float]:
+    """Per-second rates from two successive snapshots' counters.
+
+    Returns an empty dict on the first poll (no baseline yet) or when
+    the snapshots' clocks are unusable; a counter that went *down*
+    (server restart) yields no rate rather than a negative one.
+    """
+    if previous is None:
+        return {}
+    dt = current.get("time", 0.0) - previous.get("time", 0.0)
+    if dt <= 0:
+        return {}
+    rates: dict[str, float] = {}
+    prev_counters = previous.get("counters", {})
+    for name, value in current.get("counters", {}).items():
+        delta = value - prev_counters.get(name, 0)
+        if delta >= 0:
+            rates[name] = delta / dt
+    return rates
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds < 1:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def _fmt_rate(value: float) -> str:
+    if value >= 10_000:
+        return f"{value / 1000:.1f}k"
+    if value >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def render(
+    snapshot: dict[str, Any],
+    rates: dict[str, float],
+    jobs: list[dict[str, Any]],
+    now: float | None = None,
+) -> str:
+    """One full dashboard frame as a string (no escapes; pure text)."""
+    now = time.time() if now is None else now
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    info = snapshot.get("info", {})
+
+    lines: list[str] = []
+    uptime = gauges.get("uptime_seconds", 0.0)
+    lines.append(
+        f"pnut top — up {_fmt_duration(uptime)}  "
+        f"workers {int(gauges.get('workers', 0))}  "
+        f"fork {'on' if info.get('fork') else 'off'}  "
+        f"rss {int(gauges.get('server_rss_kb', 0))}kB"
+    )
+    lines.append("")
+
+    lines.append(
+        "queue    "
+        f"pending {int(gauges.get('queue_pending', 0))}  "
+        f"deferred {int(gauges.get('queue_deferred', 0))}  "
+        f"running {int(gauges.get('queue_running', 0))}  "
+        f"max {int(gauges.get('queue_max_pending', 0))}"
+    )
+    lines.append(
+        "jobs     "
+        f"done {counters.get('jobs_completed_total', 0)}  "
+        f"failed {counters.get('jobs_failed_total', 0)}  "
+        f"cancelled {counters.get('jobs_cancelled_total', 0)}  "
+        f"retried {counters.get('jobs_retried_total', 0)}  "
+        f"crashed {counters.get('jobs_crashed_total', 0)}  "
+        f"timeout {counters.get('jobs_timed_out_total', 0)}  "
+        f"deduped {counters.get('jobs_deduped_total', 0)}"
+    )
+
+    hits = counters.get("cache_hits_total", 0)
+    canonical = counters.get("cache_canonical_hits_total", 0)
+    misses = counters.get("cache_misses_total", 0)
+    lookups = hits + canonical + misses
+    hit_rate = 100.0 * (hits + canonical) / lookups if lookups else 0.0
+    lines.append(
+        "cache    "
+        f"entries {int(gauges.get('cache_entries', 0))}/"
+        f"{int(gauges.get('cache_capacity', 0))}  "
+        f"hit rate {hit_rate:.0f}%  "
+        f"(hits {hits} canonical {canonical} misses {misses} "
+        f"evictions {counters.get('cache_evictions_total', 0)})"
+    )
+
+    rate_bits = [
+        f"{label} {_fmt_rate(rates[name])}"
+        for name, label in RATED_COUNTERS if name in rates
+    ]
+    lines.append(
+        "rate     " + ("  ".join(rate_bits) if rate_bits else "(first poll)")
+    )
+
+    latency = histograms.get("job_total_seconds")
+    if latency and latency.get("count"):
+        lines.append(
+            "latency  "
+            f"p50 {_fmt_duration(histogram_quantile(latency, 0.50))}  "
+            f"p95 {_fmt_duration(histogram_quantile(latency, 0.95))}  "
+            f"p99 {_fmt_duration(histogram_quantile(latency, 0.99))}  "
+            f"(n={latency['count']})"
+        )
+    else:
+        lines.append("latency  (no finished jobs yet)")
+
+    in_flight = [
+        job for job in jobs
+        if job.get("state") in ("queued", "running")
+    ]
+    lines.append("")
+    lines.append(f"in-flight jobs ({len(in_flight)})")
+    if in_flight:
+        lines.append("  job        state     age      attempts")
+        for job in in_flight[:20]:
+            age = now - job.get("submitted_at", now)
+            state = job.get("state", "?")
+            if job.get("deferred"):
+                state = "deferred"
+            lines.append(
+                f"  {job.get('job', '?'):<10} {state:<9} "
+                f"{_fmt_duration(max(0.0, age)):<8} "
+                f"{job.get('attempts', 0)}"
+            )
+        if len(in_flight) > 20:
+            lines.append(f"  ... and {len(in_flight) - 20} more")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    client,
+    interval: float = 2.0,
+    iterations: int | None = None,
+    out=None,
+    clear: bool = True,
+) -> int:
+    """Poll-and-repaint loop over an open
+    :class:`~repro.service.client.ServiceClient`.
+
+    ``iterations`` bounds the number of frames (None = until
+    interrupted) so smokes and tests can run a finite dashboard;
+    ``clear=False`` turns the repaint into a scrolling log (useful when
+    piped). Returns the number of frames painted.
+    """
+    import sys
+
+    out = sys.stdout if out is None else out
+    previous: dict[str, Any] | None = None
+    painted = 0
+    try:
+        while iterations is None or painted < iterations:
+            snapshot = client.metrics().get("metrics", {})
+            jobs = client.jobs()
+            frame = render(snapshot, compute_rates(previous, snapshot), jobs)
+            out.write((CLEAR if clear else "") + frame)
+            out.flush()
+            previous = snapshot
+            painted += 1
+            if iterations is not None and painted >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return painted

@@ -1,0 +1,359 @@
+"""The unified metrics layer: counters, gauges, log2-bucket histograms.
+
+One :class:`MetricsRegistry` is the single instrumentation surface for
+the whole stack — the scheduler counters behind ``pnut sim --profile``,
+the service queue and compiled-net-cache counters, and the new job
+latency/backoff histograms all publish into (or are collected by) a
+registry instead of growing another ad-hoc counter dict. Two renderings
+fall out of one snapshot: canonical JSON (byte-stable through
+:func:`repro.analysis.report.canonical_json`) and the Prometheus text
+exposition format, so the same numbers feed ``pnut metrics``, the
+``pnut top`` dashboard, and any external scraper.
+
+Design constraints, in order:
+
+* **Zero cost when off.** Nothing in a simulation hot path consults a
+  registry per event — instruments are published at run/job granularity
+  (the engine's loop-local counters fold into ``_prof_*`` exactly as
+  before; a registry only reads them afterwards). A registry built with
+  ``enabled=False`` additionally hands out shared no-op instruments, so
+  call sites never branch.
+* **Fork-aware.** A forked worker records into its own (copy-on-write)
+  registry and ships :meth:`MetricsRegistry.deltas` back over the
+  existing :class:`~repro.sim.experiment.ForkedTask` result pipe; the
+  parent folds them in with :meth:`MetricsRegistry.merge` (counters and
+  histogram buckets add, gauges last-write-wins).
+* **No deps.** Histograms use fixed log2 buckets (upper bound
+  ``2**e``), so observe() is a :func:`math.frexp` plus one dict bump and
+  snapshots stay tiny (only non-empty buckets travel).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, Callable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "histogram_quantile",
+    "peak_rss_kb",
+]
+
+#: Histogram bucket exponents: upper bounds 2**e for e in this range
+#: cover ~1 microsecond to ~36 hours when observing seconds, and 1 to
+#: ~1e12 when observing counts. Observations outside clamp to the edges.
+HIST_MIN_EXP = -20
+HIST_MAX_EXP = 40
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time numeric metric (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed log2-bucket histogram (count, sum, sparse bucket counts).
+
+    Bucket ``e`` counts observations in ``(2**(e-1), 2**e]``; values at
+    or below ``2**HIST_MIN_EXP`` land in the lowest bucket, values above
+    ``2**HIST_MAX_EXP`` in the highest. Only touched buckets occupy
+    memory or travel in snapshots.
+    """
+
+    __slots__ = ("name", "count", "sum", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value <= 0:
+            exp = HIST_MIN_EXP
+        else:
+            # frexp: value = m * 2**e with 0.5 <= m < 1, so 2**(e-1) <
+            # value <= 2**e unless m == 0.5 exactly (value == 2**(e-1)).
+            mantissa, exp = math.frexp(value)
+            if mantissa == 0.5:
+                exp -= 1
+            exp = min(max(exp, HIST_MIN_EXP), HIST_MAX_EXP)
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": [[e, self.buckets[e]] for e in sorted(self.buckets)],
+        }
+
+
+def histogram_quantile(payload: dict[str, Any], q: float) -> float:
+    """Estimate the ``q`` quantile from a histogram snapshot payload.
+
+    Walks the cumulative bucket counts and interpolates linearly inside
+    the bucket containing the target rank (between the bucket's lower
+    and upper log2 bounds), the standard estimate for fixed-bucket
+    histograms. Returns 0.0 for an empty histogram.
+    """
+    count = payload.get("count", 0)
+    buckets = payload.get("buckets", [])
+    if not count or not buckets:
+        return 0.0
+    target = q * count
+    cumulative = 0
+    for exp, n in buckets:
+        previous = cumulative
+        cumulative += n
+        if cumulative >= target:
+            low, high = 2.0 ** (exp - 1), 2.0 ** exp
+            if exp == HIST_MIN_EXP:
+                low = 0.0
+            fraction = (target - previous) / n
+            return low + (high - low) * fraction
+    return 2.0 ** buckets[-1][0]
+
+
+class _NoopInstrument:
+    """Shared do-nothing counter/gauge/histogram for disabled registries."""
+
+    __slots__ = ()
+    name = "noop"
+    value = 0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NOOP = _NoopInstrument()
+
+
+class MetricsRegistry:
+    """Registry of named instruments with one snapshot/merge discipline.
+
+    Thread-safe at the granularity call sites need: instrument creation
+    and snapshot/merge hold a lock; individual ``inc``/``observe`` calls
+    are plain int/float ops (atomic enough under the GIL, and the
+    service only writes from its event-loop thread anyway).
+
+    ``collectors`` are pull hooks run at snapshot time — subsystems that
+    already keep authoritative counters (the job queue, the compiled-net
+    cache) register one and copy their numbers into the registry instead
+    of double-bookkeeping on every operation.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._info: dict[str, Any] = {}
+        self._collectors: list[Callable[["MetricsRegistry"], None]] = []
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter | _NoopInstrument:
+        if not self.enabled:
+            return _NOOP
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge | _NoopInstrument:
+        if not self.enabled:
+            return _NOOP
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram | _NoopInstrument:
+        if not self.enabled:
+            return _NOOP
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name)
+            return instrument
+
+    def set_info(self, name: str, value: Any) -> None:
+        """Non-numeric annotation (backend name, fork mode, version)."""
+        if self.enabled:
+            self._info[name] = value
+
+    def add_collector(
+        self, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Register a pull hook run at every :meth:`snapshot`."""
+        if self.enabled:
+            self._collectors.append(collector)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments as one canonical-JSON-ready payload."""
+        for collector in self._collectors:
+            collector(self)
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.value for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.to_payload()
+                    for name, h in sorted(self._histograms.items())
+                },
+                "info": dict(sorted(self._info.items())),
+                "time": time.time(),
+            }
+
+    def deltas(self) -> dict[str, Any]:
+        """This registry's contents, shaped for :meth:`merge`.
+
+        What a forked worker ships back over its result pipe: since the
+        child's registry starts empty (created post-fork) every value
+        *is* a delta relative to the parent.
+        """
+        payload = self.snapshot()
+        payload.pop("time", None)
+        return payload
+
+    def merge(self, deltas: dict[str, Any]) -> None:
+        """Fold a child registry's deltas in: counters and histogram
+        buckets add, gauges and info entries last-write-win."""
+        if not self.enabled or not isinstance(deltas, dict):
+            return
+        for name, value in deltas.get("counters", {}).items():
+            if isinstance(value, int) and not isinstance(value, bool):
+                self.counter(name).inc(value)
+        for name, value in deltas.get("gauges", {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.gauge(name).set(value)
+        for name, payload in deltas.get("histograms", {}).items():
+            if not isinstance(payload, dict):
+                continue
+            histogram = self.histogram(name)
+            with self._lock:
+                histogram.count += int(payload.get("count", 0))
+                histogram.sum += float(payload.get("sum", 0.0))
+                for pair in payload.get("buckets", []):
+                    exp, n = int(pair[0]), int(pair[1])
+                    histogram.buckets[exp] = histogram.buckets.get(exp, 0) + n
+        for name, value in deltas.get("info", {}).items():
+            self.set_info(name, value)
+
+    # -- Prometheus text exposition ----------------------------------------
+
+    @staticmethod
+    def _escape_label(value: Any) -> str:
+        return (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+
+    @classmethod
+    def render_prometheus(cls, snapshot: dict[str, Any],
+                          prefix: str = "pnut_") -> str:
+        """A snapshot in the Prometheus text exposition format (0.0.4).
+
+        A classmethod over the snapshot payload (not the live registry)
+        so clients can render server snapshots identically — ``pnut
+        metrics --prom`` and the server's ``metrics`` op produce the
+        same bytes from the same snapshot.
+        """
+        lines: list[str] = []
+        for name, value in snapshot.get("counters", {}).items():
+            full = prefix + name
+            lines.append(f"# TYPE {full} counter")
+            lines.append(f"{full} {value}")
+        for name, value in snapshot.get("gauges", {}).items():
+            full = prefix + name
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {_format_number(value)}")
+        for name, payload in snapshot.get("histograms", {}).items():
+            full = prefix + name
+            lines.append(f"# TYPE {full} histogram")
+            cumulative = 0
+            for exp, n in payload.get("buckets", []):
+                cumulative += n
+                le = _format_number(2.0 ** exp)
+                lines.append(f'{full}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f'{full}_bucket{{le="+Inf"}} '
+                         f'{payload.get("count", 0)}')
+            lines.append(f"{full}_sum {_format_number(payload.get('sum', 0))}")
+            lines.append(f"{full}_count {payload.get('count', 0)}")
+        info = snapshot.get("info", {})
+        if info:
+            labels = ",".join(
+                f'{key}="{cls._escape_label(value)}"'
+                for key, value in sorted(info.items())
+            )
+            lines.append(f"# TYPE {prefix}server_info gauge")
+            lines.append(f"{prefix}server_info{{{labels}}} 1")
+        return "\n".join(lines) + "\n"
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process in KiB (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover
+        rss //= 1024
+    return int(rss)

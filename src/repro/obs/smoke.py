@@ -1,0 +1,184 @@
+"""`make obs-smoke`: end-to-end observability against a real server.
+
+Boots a ``pnut serve`` subprocess with ``--obs-log`` on a Unix socket,
+runs the paper's Figure-5 reference job through it, and verifies the
+whole observability surface:
+
+* the ``metrics`` op returns a schema-valid canonical-JSON snapshot
+  (counters/gauges/histograms/info) whose numbers reflect the job that
+  just ran, plus a Prometheus text rendering that parses line-by-line;
+* the span JSONL under ``--obs-log`` round-trips: exactly one
+  ``span-start``/``span-end`` pair per job, matching trace ids on the
+  wire frames, correct verdict and attempt count;
+* ``pnut top --iterations`` renders a live dashboard frame against the
+  same server (finite, non-interactive).
+
+Run it directly::
+
+    python -m repro.obs.smoke
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from ..lang.format import format_net
+from ..processor import build_pipeline_net
+from ..service.client import ServiceClient
+from .spans import read_spans, spans_by_trace
+
+PAPER_CYCLES = 10_000
+SEED = 1988
+
+#: One Prometheus exposition line: comment, or `name{labels} value`.
+_PROM_LINE = re.compile(
+    r"^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+)$"
+)
+
+
+def _fail(message: str) -> int:
+    print(f"obs-smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check_snapshot_schema(snapshot: dict) -> str | None:
+    """None if the metrics snapshot has the documented shape, else why."""
+    for section in ("counters", "gauges", "histograms", "info"):
+        if not isinstance(snapshot.get(section), dict):
+            return f"snapshot section {section!r} missing or not a dict"
+    if not isinstance(snapshot.get("time"), (int, float)):
+        return "snapshot 'time' missing"
+    for name, value in snapshot["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            return f"counter {name}={value!r} is not a non-negative int"
+    for name, value in snapshot["gauges"].items():
+        if not isinstance(value, (int, float)):
+            return f"gauge {name}={value!r} is not numeric"
+    for name, payload in snapshot["histograms"].items():
+        if not isinstance(payload, dict):
+            return f"histogram {name} is not a dict"
+        if not isinstance(payload.get("count"), int):
+            return f"histogram {name} has no integer 'count'"
+        if not isinstance(payload.get("sum"), (int, float)):
+            return f"histogram {name} has no numeric 'sum'"
+        buckets = payload.get("buckets")
+        if not isinstance(buckets, list):
+            return f"histogram {name} has no bucket list"
+        if sum(n for _e, n in buckets) != payload["count"]:
+            return f"histogram {name} bucket counts do not sum to count"
+    return None
+
+
+def main() -> int:
+    net_source = format_net(build_pipeline_net())
+    with tempfile.TemporaryDirectory(prefix="pnut-obs-smoke-") as tmp:
+        socket_path = str(Path(tmp) / "pnut.sock")
+        obs_dir = Path(tmp) / "obs"
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--socket", socket_path, "--workers", "2",
+             "--obs-log", str(obs_dir)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while not Path(socket_path).exists():
+                if server.poll() is not None or time.monotonic() > deadline:
+                    output = server.stdout.read() if server.stdout else ""
+                    return _fail(f"server did not come up:\n{output}")
+                time.sleep(0.05)
+
+            with ServiceClient(unix_path=socket_path, timeout=300.0) as client:
+                result = client.submit(net_source, until=PAPER_CYCLES,
+                                       seed=SEED)
+                if not result.trace_id:
+                    return _fail("result frame carried no trace id")
+
+                frame = client.metrics()
+                snapshot = frame.get("metrics")
+                problem = check_snapshot_schema(snapshot or {})
+                if problem:
+                    return _fail(f"metrics snapshot: {problem}")
+                counters = snapshot["counters"]
+                if counters.get("jobs_completed_total", 0) < 1:
+                    return _fail(f"no completed jobs in counters: {counters}")
+                if counters.get("engine_events_started_total", 0) < 1_000:
+                    return _fail(
+                        "engine event counters did not flow back from the "
+                        f"forked worker: {counters}"
+                    )
+                latency = snapshot["histograms"].get("job_total_seconds")
+                if not latency or latency["count"] < 1:
+                    return _fail("job_total_seconds histogram is empty")
+
+                text = frame.get("text", "")
+                if "pnut_jobs_completed_total" not in text:
+                    return _fail("Prometheus text lacks pnut_ counters")
+                for line in text.splitlines():
+                    if line and not _PROM_LINE.match(line):
+                        return _fail(f"unparseable Prometheus line: {line!r}")
+
+                # The snapshot must be canonical-JSON-stable (sorted keys,
+                # compact separators round-trip byte-identically).
+                encoded = json.dumps(snapshot, sort_keys=True,
+                                     separators=(",", ":"))
+                if json.loads(encoded) != snapshot:
+                    return _fail("snapshot does not round-trip through JSON")
+
+                top = subprocess.run(
+                    [sys.executable, "-m", "repro.cli", "top",
+                     "--socket", socket_path, "--iterations", "2",
+                     "--interval", "0.2", "--no-clear"],
+                    capture_output=True, text=True, timeout=60.0,
+                )
+                if top.returncode != 0:
+                    return _fail(f"pnut top failed:\n{top.stderr}")
+                if "pnut top" not in top.stdout or "queue" not in top.stdout:
+                    return _fail(
+                        f"pnut top rendered no dashboard:\n{top.stdout}"
+                    )
+                if "events/s" not in top.stdout:
+                    return _fail("pnut top second frame reported no rates")
+
+                client.shutdown()
+
+            try:
+                code = server.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                return _fail("server did not exit after shutdown")
+            if code != 0:
+                return _fail(f"server exited with status {code}")
+
+            records = read_spans(obs_dir)
+            timelines = spans_by_trace(records)
+            timeline = timelines.get(result.trace_id)
+            if not timeline:
+                return _fail(
+                    f"no span timeline for trace {result.trace_id}; "
+                    f"have {sorted(timelines)}"
+                )
+            events = [record["event"] for record in timeline]
+            if events != ["span-start", "span-end"]:
+                return _fail(f"unexpected span timeline events: {events}")
+            end = timeline[-1]
+            if end.get("verdict") != "done" or end.get("attempts") != 1:
+                return _fail(f"unexpected span-end record: {end}")
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+    print(
+        "obs-smoke: OK (metrics op schema + Prometheus text parse, "
+        "span JSONL round-trip, live `pnut top` frame)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

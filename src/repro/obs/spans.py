@@ -1,0 +1,143 @@
+"""Per-job tracing spans: structured JSONL timelines for service jobs.
+
+Every job admitted by the service gets a ``trace_id`` minted at submit
+(or carried over from the client if it sent one — unknown protocol-2
+keys are ignored by old peers, so the field is a compatible extension).
+The span covers the job's whole life *including retries*: a crash retry
+is an annotation on the one span, not a second span, so a chaos run
+reads back as a single timeline per job.
+
+Records land in ``--obs-log DIR/spans-<pid>.jsonl``, one canonical-JSON
+object per line, flushed per record so a timeline survives a crashed or
+killed server. Three record shapes share the envelope
+``{"ts", "trace_id", "job", "event"}``:
+
+* ``span-start`` — at submit; adds ``op`` and, for sim jobs, the
+  workload coordinates (``cycles``/``seed``).
+* ``annotation`` — mid-span event; adds ``kind`` (``retry``,
+  ``timeout``, ``fault`` ...) and kind-specific fields.
+* ``span-end`` — terminal; adds ``verdict`` (``done``/``failed``/
+  ``cancelled``), ``attempts``, and measured ``queued_s``/``run_s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, TextIO
+
+__all__ = ["SpanLog", "mint_trace_id", "read_spans", "spans_by_trace"]
+
+
+def mint_trace_id() -> str:
+    """A 16-hex-char trace id; random, not derived, so resubmissions of
+    an identical spec still get distinct timelines."""
+    return os.urandom(8).hex()
+
+
+class SpanLog:
+    """Append-only JSONL span writer for one process.
+
+    File name includes the pid so a forked or restarted server never
+    interleaves half-written lines with a sibling; readers just glob
+    ``spans-*.jsonl``. Never raises out of the record methods — tracing
+    must not be able to take the service down.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            pass  # _write's open() fails quietly; records drop, not us
+        self.path = self.directory / f"spans-{os.getpid()}.jsonl"
+        self._fh: TextIO | None = None
+
+    def _write(self, record: dict[str, Any]) -> None:
+        try:
+            if self._fh is None:
+                self._fh = self.path.open("a", encoding="utf-8")
+            self._fh.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            self._fh.flush()
+        except OSError:
+            pass
+
+    def start(self, trace_id: str, job_id: str, op: str,
+              **fields: Any) -> None:
+        self._write({
+            "ts": time.time(),
+            "trace_id": trace_id,
+            "job": job_id,
+            "event": "span-start",
+            "op": op,
+            **fields,
+        })
+
+    def annotate(self, trace_id: str, job_id: str, kind: str,
+                 **fields: Any) -> None:
+        self._write({
+            "ts": time.time(),
+            "trace_id": trace_id,
+            "job": job_id,
+            "event": "annotation",
+            "kind": kind,
+            **fields,
+        })
+
+    def end(self, trace_id: str, job_id: str, verdict: str,
+            **fields: Any) -> None:
+        self._write({
+            "ts": time.time(),
+            "trace_id": trace_id,
+            "job": job_id,
+            "event": "span-end",
+            "verdict": verdict,
+            **fields,
+        })
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+
+def read_spans(directory: str | Path) -> list[dict[str, Any]]:
+    """All span records under ``directory``, in timestamp order.
+
+    Tolerates a trailing partial line (a server killed mid-write) by
+    skipping anything that does not parse as a JSON object.
+    """
+    records: list[dict[str, Any]] = []
+    for path in sorted(Path(directory).glob("spans-*.jsonl")):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    records.sort(key=lambda r: r.get("ts", 0.0))
+    return records
+
+
+def spans_by_trace(
+    records: list[dict[str, Any]],
+) -> dict[str, list[dict[str, Any]]]:
+    """Group span records into per-trace timelines (insertion-ordered)."""
+    timelines: dict[str, list[dict[str, Any]]] = {}
+    for record in records:
+        trace_id = record.get("trace_id")
+        if isinstance(trace_id, str):
+            timelines.setdefault(trace_id, []).append(record)
+    return timelines

@@ -196,3 +196,15 @@ class CompiledNetCache:
                 "capacity": self.capacity,
                 **self.stats.to_payload(),
             }
+
+    def publish(self, registry) -> None:
+        """Copy the cache counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (collector-style:
+        the cache stays the source of truth; counters here are absolute,
+        gauges current)."""
+        payload = self.to_payload()
+        for name in ("hits", "canonical_hits", "misses", "evictions"):
+            counter = registry.counter("cache_" + name + "_total")
+            counter.inc(payload[name] - counter.value)
+        registry.gauge("cache_entries").set(payload["entries"])
+        registry.gauge("cache_capacity").set(payload["capacity"])

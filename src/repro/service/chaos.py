@@ -8,6 +8,8 @@ the supervision layer through a real ``pnut serve`` subprocess with
    (``kill-child=2000:once``); the job must auto-retry and the retried
    run's streamed trace must hash to the same reference SHA-256 as a
    clean run. Recovery is not "a result came back", it is *the* result.
+   The ``--obs-log`` span JSONL must record the whole episode as ONE
+   span with a ``retry`` annotation and ``attempts=2``.
 2. **Deadlines** — a stalled worker (``stall-worker``) must fail the job
    with error code ``job-timeout`` at its ``timeout``, and the stalled
    forked child must be reaped (no zombies in the server's process
@@ -32,6 +34,7 @@ from pathlib import Path
 from typing import Any
 
 from ..lang.format import format_net
+from ..obs.spans import read_spans, spans_by_trace
 from ..processor import build_pipeline_net
 from .client import RemoteError, ServiceClient
 from .faults import FAULTS_ENV, STATE_DIR_ENV
@@ -101,7 +104,9 @@ class _Server:
 
 def _scenario_crash_retry(tmp: str, net_source: str) -> int:
     """SIGKILL the worker mid-job; the retry must reproduce the trace."""
-    server = _Server(tmp, "crash", faults="kill-child=2000:once")
+    obs_dir = Path(tmp) / "obs"
+    server = _Server(tmp, "crash", faults="kill-child=2000:once",
+                     extra_args=("--obs-log", str(obs_dir)))
     try:
         boot = server.wait_ready()
         if boot is not None:
@@ -144,11 +149,32 @@ def _scenario_crash_retry(tmp: str, net_source: str) -> int:
         code = server.expect_clean_exit()
         if code != 0:
             return _fail(f"crash-scenario server exit: {code}")
+
+        # The crash-and-retry must be ONE span: a retry is an annotation
+        # inside the job's span, never a second span.
+        timeline = spans_by_trace(read_spans(obs_dir)).get(result.trace_id)
+        if not timeline:
+            return _fail(f"no span recorded for trace {result.trace_id}")
+        events = [record["event"] for record in timeline]
+        if (events.count("span-start") != 1
+                or events.count("span-end") != 1):
+            return _fail(f"retried job did not stay one span: {events}")
+        annotations = [record for record in timeline
+                       if record["event"] == "annotation"
+                       and record.get("kind") == "retry"]
+        if len(annotations) != len(retries):
+            return _fail(
+                f"{len(retries)} retry frame(s) but "
+                f"{len(annotations)} retry annotation(s)"
+            )
+        end = timeline[-1]
+        if end.get("verdict") != "done" or end.get("attempts") != 2:
+            return _fail(f"unexpected span-end after retry: {end}")
     finally:
         server.stop()
     print("chaos-smoke: crash retry reproduced "
           f"sha256={REFERENCE_TRACE_SHA256[:16]}... after "
-          f"{len(retries)} retry", flush=True)
+          f"{len(retries)} retry (one span, attempts=2)", flush=True)
     return 0
 
 

@@ -55,6 +55,8 @@ class JobResult:
     summary: dict[str, Any]
     stats: dict[str, Any] | None = None
     trace_lines: list[str] | None = None
+    #: Tracing span id the server minted (or echoed) for this job.
+    trace_id: str | None = None
 
     @property
     def trace_sha256(self) -> str:
@@ -258,6 +260,12 @@ class ServiceClient:
     def server_stats(self) -> dict[str, Any]:
         return self._wait(self._request("server-stats"))
 
+    def metrics(self) -> dict[str, Any]:
+        """One metrics snapshot: ``{"metrics": {...}, "text": "..."}``
+        with the canonical-JSON registry snapshot and its Prometheus
+        text rendering (see ``pnut metrics``)."""
+        return self._wait(self._request("metrics"))
+
     def jobs(self) -> list[dict[str, Any]]:
         return self._wait(self._request("jobs"))["jobs"]
 
@@ -392,6 +400,7 @@ class ServiceClient:
                     summary=frame.get("summary", {}),
                     stats=frame.get("stats"),
                     trace_lines=trace_lines,
+                    trace_id=frame.get("trace"),
                 )
             else:
                 raise ServiceError(

@@ -163,6 +163,13 @@ def _check_supervision_fields(spec, what: str) -> None:
                 f"{what} 'key' must be a non-empty string of at most "
                 f"{MAX_KEY_LENGTH} characters"
             )
+    if spec.trace_id is not None:
+        if (not isinstance(spec.trace_id, str) or not spec.trace_id
+                or len(spec.trace_id) > MAX_KEY_LENGTH):
+            raise ProtocolError(
+                f"{what} 'trace' must be a non-empty string of at most "
+                f"{MAX_KEY_LENGTH} characters"
+            )
 
 
 def _supervision_to_payload(spec, payload: dict[str, Any]) -> None:
@@ -172,6 +179,8 @@ def _supervision_to_payload(spec, payload: dict[str, Any]) -> None:
         payload["max_retries"] = spec.max_retries
     if spec.key is not None:
         payload["key"] = spec.key
+    if spec.trace_id is not None:
+        payload["trace"] = spec.trace_id
 
 
 def dedupe_identity(spec) -> str | None:
@@ -182,12 +191,15 @@ def dedupe_identity(spec) -> str | None:
     which embeds the net source bytes and the key — so a resubmission
     after a dropped connection lands on the original job exactly when
     *everything* about it matches, and two different jobs that happen
-    to reuse a key never collide silently.
+    to reuse a key never collide silently. The tracing ``trace`` id is
+    excluded: a resubmission carries a fresh trace id by design, and it
+    must still attach to the original job.
     """
     if spec.key is None:
         return None
-    encoded = json.dumps(spec.to_payload(), sort_keys=True,
-                         separators=(",", ":"))
+    payload = spec.to_payload()
+    payload.pop("trace", None)
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
@@ -215,6 +227,10 @@ class JobSpec:
     timeout: float | None = None
     max_retries: int | None = None
     key: str | None = None
+    #: Client-supplied tracing span id (``trace`` on the wire); the
+    #: server mints one at submit when absent. A protocol-2-compatible
+    #: extension: peers that predate it ignore the key.
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.until is None and self.max_events is None:
@@ -260,6 +276,7 @@ class JobSpec:
             timeout=payload.get("timeout"),
             max_retries=payload.get("max_retries"),
             key=payload.get("key"),
+            trace_id=payload.get("trace"),
         )
 
     def to_payload(self) -> dict[str, Any]:
@@ -301,6 +318,7 @@ class SweepSpec:
     timeout: float | None = None
     max_retries: int | None = None
     key: str | None = None
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.until is None and self.max_events is None:
@@ -362,6 +380,7 @@ class SweepSpec:
             timeout=payload.get("timeout"),
             max_retries=payload.get("max_retries"),
             key=payload.get("key"),
+            trace_id=payload.get("trace"),
         )
 
     def to_payload(self) -> dict[str, Any]:
@@ -406,6 +425,7 @@ class ExploreSpec:
     timeout: float | None = None
     max_retries: int | None = None
     key: str | None = None
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.until is None and self.max_events is None:
@@ -513,6 +533,7 @@ class ExploreSpec:
             timeout=payload.get("timeout"),
             max_retries=payload.get("max_retries"),
             key=payload.get("key"),
+            trace_id=payload.get("trace"),
         )
 
     def to_payload(self) -> dict[str, Any]:

@@ -74,6 +74,13 @@ class Job:
     max_retries: int = 0
     #: Dedupe identity for keyed specs (see ``protocol.dedupe_identity``).
     identity: str | None = None
+    #: Tracing span id minted at submit (or supplied by the client);
+    #: echoed as ``trace`` on every frame this job produces.
+    trace_id: str | None = None
+    #: True while the job sits in backoff between crash retries: QUEUED
+    #: (so cancel works) but not armed in the heap. Reported separately
+    #: from ``pending`` so queue depth adds up for observers.
+    deferred: bool = False
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -158,6 +165,10 @@ class Job:
             payload["runs"] = len(self.spec.seeds)
         else:
             payload["seed"] = self.spec.seed
+        if self.trace_id is not None:
+            payload["trace"] = self.trace_id
+        if self.deferred:
+            payload["deferred"] = True
         if self.attempts:
             payload["attempts"] = self.attempts
         if self.max_retries:
@@ -202,6 +213,11 @@ class JobQueue:
         self._seq = 0
         self._pending = 0
         self._running = 0
+        self._deferred = 0
+        #: Optional terminal-state hook, invoked once per job as it
+        #: reaches DONE/FAILED/CANCELLED (the server uses it to close
+        #: tracing spans and record latency histograms).
+        self.on_finished: Callable[[Job], None] | None = None
         self.submitted = 0
         self.completed = 0
         self.failed = 0
@@ -279,15 +295,23 @@ class JobQueue:
             job.state = JobState.CANCELLED
             job.finished_at = time.time()
             self._pending -= 1
+            if job.deferred:
+                self._deferred -= 1
+                job.deferred = False
             self.cancelled += 1
             # Terminal frame first so a client blocked in submit() gets a
             # verdict, then end-of-stream (same shape as a running-job
             # cancellation reported by the worker).
-            job.publish({
+            frame = {
                 "type": "error", "job": job.id, "code": "cancelled",
                 "error": f"job {job.id} cancelled",
-            })
+            }
+            if job.trace_id is not None:
+                frame["trace"] = job.trace_id
+            job.publish(frame)
             job.publish(None)
+            if self.on_finished is not None:
+                self.on_finished(job)
             return True
         # Running: kill the forked child; the executing worker observes
         # the state change and closes the job out.
@@ -318,6 +342,8 @@ class JobQueue:
             self.completed += 1
         job.finished_at = time.time()
         job.cancel_hook = None
+        if self.on_finished is not None:
+            self.on_finished(job)
 
     def defer(self, job: Job) -> None:
         """Park a crashed RUNNING job for retry: it becomes QUEUED again
@@ -326,8 +352,10 @@ class JobQueue:
         assert job.state is JobState.RUNNING
         self._running -= 1
         self._pending += 1
+        self._deferred += 1
         self.retried += 1
         job.state = JobState.QUEUED
+        job.deferred = True
         job.cancel_hook = None
 
     def requeue(self, job: Job) -> bool:
@@ -338,6 +366,8 @@ class JobQueue:
         re-armed."""
         if job.state is not JobState.QUEUED:
             return False
+        self._deferred -= 1
+        job.deferred = False
         heappush(self._heap, (-job.spec.priority, job.seq, job))
         self._available.release()
         return True
@@ -355,8 +385,12 @@ class JobQueue:
                     del self._identity[oldest.identity]
 
     def to_payload(self) -> dict[str, Any]:
+        # `pending` is armed-and-waiting only; jobs parked in retry
+        # backoff report as `deferred` so depth adds up for observers
+        # (pending + deferred + running == active).
         return {
-            "pending": self._pending,
+            "pending": self._pending - self._deferred,
+            "deferred": self._deferred,
             "running": self._running,
             "max_pending": self.max_pending,
             "submitted": self.submitted,

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import json
 import logging
+import os
 import signal
 import time
 from typing import Any
@@ -27,6 +29,8 @@ from typing import Any
 from ..analysis.report import statistics_payload
 from ..analysis.stat import StatisticsObserver
 from ..core.errors import PnutError
+from ..obs.metrics import MetricsRegistry, peak_rss_kb
+from ..obs.spans import SpanLog, mint_trace_id
 from ..sim.experiment import ForkedTask, fork_available
 from ..sim.sweep import TraceHasher, run_sweep
 from ..trace.events import TraceHeader
@@ -52,6 +56,34 @@ log = logging.getLogger("repro.service")
 
 #: StreamReader line limit: net sources and trace batches are long lines.
 _LINE_LIMIT = 16 * 1024 * 1024
+
+
+def _emit_obs_deltas(emit, elapsed: float, *, events_started: int,
+                     events_finished: int, runs: int,
+                     simulator=None, extra: dict[str, int] | None = None,
+                     ) -> None:
+    """Ship one metrics delta from the executing child to the server.
+
+    The child builds a fresh registry post-fork, so every value is a
+    pure delta; it rides the existing result pipe as one ``obs`` frame
+    the server folds into its registry and never forwards to clients —
+    result streams stay byte-identical with or without observability.
+    """
+    obs = MetricsRegistry()
+    obs.counter("engine_events_started_total").inc(events_started)
+    obs.counter("engine_events_finished_total").inc(events_finished)
+    obs.counter("engine_runs_total").inc(runs)
+    obs.histogram("engine_run_seconds").observe(elapsed)
+    if elapsed > 0:
+        obs.gauge("worker_events_per_sec").set(
+            round(events_started / elapsed, 3)
+        )
+    obs.gauge("worker_rss_kb").set(peak_rss_kb())
+    if simulator is not None:
+        simulator.publish_profile(obs, prefix="sched_")
+    for name, value in (extra or {}).items():
+        obs.counter(name).inc(value)
+    emit({"channel": "obs", "deltas": obs.deltas()})
 
 
 def execute_job(compiled: CompiledNet, spec: JobSpec, emit) -> dict[str, Any]:
@@ -102,10 +134,18 @@ def execute_job(compiled: CompiledNet, spec: JobSpec, emit) -> dict[str, Any]:
     simulator = compiled.simulator(
         seed=spec.seed, run_number=spec.run_number, observers=observers
     )
+    run_started = time.perf_counter()
     result = simulator.run(
         until=spec.until, max_events=spec.max_events, keep_events=False
     )
+    elapsed = time.perf_counter() - run_started
     flush()
+    _emit_obs_deltas(
+        emit, elapsed,
+        events_started=result.events_started,
+        events_finished=result.events_finished,
+        runs=1, simulator=simulator,
+    )
 
     payload: dict[str, Any] = {
         "summary": {
@@ -148,6 +188,7 @@ def execute_explore_job(
     digests: list[tuple[int, int, str]] = []
     events_started = events_finished = cells_run = 0
     index = 0
+    run_started = time.perf_counter()
     for point_index, (_point, compiled, _sha) in enumerate(prepared):
         for seed in seeds:
             if (point_index, seed) not in skip:
@@ -171,6 +212,13 @@ def execute_explore_job(
     cells_sha = hashlib.sha256(
         "".join(digest for _p, _s, digest in digests).encode("ascii")
     ).hexdigest()
+    _emit_obs_deltas(
+        emit, time.perf_counter() - run_started,
+        events_started=events_started, events_finished=events_finished,
+        runs=cells_run,
+        extra={"dse_cells_run_total": cells_run,
+               "dse_cells_skipped_total": index - cells_run},
+    )
     return {
         "summary": {
             "net": prepared[0][1].net.name if prepared else "",
@@ -207,6 +255,7 @@ def execute_sweep_job(compiled: CompiledNet, spec: SweepSpec,
             "run": summary.to_payload(),
         })
 
+    run_started = time.perf_counter()
     result = run_sweep(
         compiled.template,
         spec.seeds,
@@ -216,6 +265,13 @@ def execute_sweep_job(compiled: CompiledNet, spec: SweepSpec,
         workers=1,
         want_stats=want_stats,
         on_run=on_run,
+    )
+    _emit_obs_deltas(
+        emit, time.perf_counter() - run_started,
+        events_started=sum(r.events_started for r in result.runs),
+        events_finished=sum(r.events_finished for r in result.runs),
+        runs=len(result.runs),
+        extra={"sweep_runs_total": len(result.runs)},
     )
     return {
         "summary": {
@@ -249,6 +305,8 @@ class SimulationService:
         use_fork: bool | None = None,
         max_retries: int = 2,
         drain_grace: float = 30.0,
+        obs_log: str | None = None,
+        obs_interval: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -264,13 +322,86 @@ class SimulationService:
         #: Default drain deadline (seconds) for ``shutdown drain=true``.
         self.drain_grace = drain_grace
         self.draining = False
+        #: The unified observability registry (always on: instruments
+        #: only tick at job granularity, so the cost is one dict bump
+        #: per job, not per event).
+        self.metrics = MetricsRegistry()
+        self.metrics.set_info("protocol", PROTOCOL_VERSION)
+        self.metrics.set_info("fork", self.use_fork)
+        self.metrics.add_collector(self._collect_metrics)
+        #: Span JSONL writer when ``--obs-log`` names a directory.
+        self.spans = SpanLog(obs_log) if obs_log else None
+        self.obs_interval = obs_interval
+        self.queue.on_finished = self._job_finished
+        self._started_at = time.time()
         self._retry_tasks: set[asyncio.Task] = set()
         self._pump_tasks: set[asyncio.Task] = set()
         self._worker_tasks: list[asyncio.Task] = []
+        self._obs_task: asyncio.Task | None = None
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
         self._loop: asyncio.AbstractEventLoop | None = None
         self.address: str | None = None
+
+    # -- observability -----------------------------------------------------
+
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Snapshot-time pull of queue/cache/process state (the queue and
+        cache stay the sources of truth for their own counters)."""
+        queue_payload = self.queue.to_payload()
+        for name in ("submitted", "completed", "failed", "cancelled",
+                     "retried", "crashed", "timed_out", "deduped"):
+            counter = registry.counter(f"jobs_{name}_total")
+            counter.inc(queue_payload[name] - counter.value)
+        registry.gauge("queue_pending").set(queue_payload["pending"])
+        registry.gauge("queue_deferred").set(queue_payload["deferred"])
+        registry.gauge("queue_running").set(queue_payload["running"])
+        registry.gauge("queue_max_pending").set(queue_payload["max_pending"])
+        registry.gauge("workers").set(self.workers)
+        registry.gauge("server_rss_kb").set(peak_rss_kb())
+        registry.gauge("uptime_seconds").set(
+            round(time.time() - self._started_at, 3)
+        )
+        self.cache.publish(registry)
+
+    def _job_finished(self, job: Job) -> None:
+        """Terminal-state hook: latency histograms + span-end record."""
+        now = job.finished_at or time.time()
+        queued_s = max(0.0, (job.started_at or now) - job.submitted_at)
+        run_s = (max(0.0, now - job.started_at)
+                 if job.started_at is not None else 0.0)
+        self.metrics.histogram("job_queued_seconds").observe(queued_s)
+        self.metrics.histogram("job_run_seconds").observe(run_s)
+        self.metrics.histogram("job_total_seconds").observe(
+            max(0.0, now - job.submitted_at)
+        )
+        if self.spans is not None and job.trace_id is not None:
+            fields: dict[str, Any] = {
+                "attempts": job.attempts,
+                "queued_s": round(queued_s, 6),
+                "run_s": round(run_s, 6),
+            }
+            if job.error_code is not None:
+                fields["code"] = job.error_code
+            self.spans.end(job.trace_id, job.id, job.state.value, **fields)
+
+    async def _obs_snapshots(self) -> None:
+        """Periodic snapshot loop (``--obs-interval``): one canonical-JSON
+        line per tick to the server log, and — when ``--obs-log`` is set —
+        appended to ``metrics-<pid>.jsonl`` beside the span files."""
+        path = (self.spans.directory / f"metrics-{os.getpid()}.jsonl"
+                if self.spans is not None else None)
+        while True:
+            await asyncio.sleep(self.obs_interval)
+            line = json.dumps(self.metrics.snapshot(), sort_keys=True,
+                              separators=(",", ":"))
+            log.info("metrics %s", line)
+            if path is not None:
+                try:
+                    with path.open("a", encoding="utf-8") as fh:
+                        fh.write(line + "\n")
+                except OSError:
+                    pass
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -322,6 +453,10 @@ class SimulationService:
             asyncio.create_task(self._worker(), name=f"pnut-worker-{i}")
             for i in range(self.workers)
         ]
+        if self.obs_interval is not None and self.obs_interval > 0:
+            self._obs_task = asyncio.create_task(
+                self._obs_snapshots(), name="pnut-obs"
+            )
         if unix_path is not None:
             self._server = await asyncio.start_unix_server(
                 self._handle_client, path=unix_path, limit=_LINE_LIMIT
@@ -394,6 +529,11 @@ class SimulationService:
         for task in self._worker_tasks:
             task.cancel()
         await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        if self._obs_task is not None:
+            self._obs_task.cancel()
+            await asyncio.gather(self._obs_task, return_exceptions=True)
+        if self.spans is not None:
+            self.spans.close()
 
     # -- worker pool -------------------------------------------------------
 
@@ -531,6 +671,11 @@ class SimulationService:
             self._finish(job, None, None)
             return
         if timed_out:
+            if self.spans is not None and job.trace_id is not None:
+                self.spans.annotate(
+                    job.trace_id, job.id, "timeout",
+                    attempt=job.attempts, deadline=spec.timeout,
+                )
             self._finish(
                 job, None,
                 f"job {job.id} exceeded its {spec.timeout:g}s deadline "
@@ -560,13 +705,25 @@ class SimulationService:
             job.id, crash.get("error", "worker crashed"),
             job.attempts + 1, job.max_retries + 1, delay,
         )
+        self.metrics.histogram("job_retry_backoff_seconds").observe(delay)
+        # A retry stays inside the job's one span: the crash is an
+        # annotation on the timeline, not a new span.
+        if self.spans is not None and job.trace_id is not None:
+            self.spans.annotate(
+                job.trace_id, job.id, "retry",
+                attempt=job.attempts, delay=round(delay, 6),
+                error=crash.get("error", "worker crashed"),
+            )
         # The retry frame tells subscribers to discard partial streams:
         # the next attempt restreams the trace from the very first line.
-        job.publish({
+        retry_frame: dict[str, Any] = {
             "type": "retry", "job": job.id, "attempt": job.attempts,
             "max_retries": job.max_retries, "delay": delay,
             "error": crash.get("error", "worker crashed"),
-        })
+        }
+        if job.trace_id is not None:
+            retry_frame["trace"] = job.trace_id
+        job.publish(retry_frame)
         task = asyncio.create_task(
             self._requeue_later(job, delay), name=f"pnut-retry-{job.id}"
         )
@@ -588,21 +745,32 @@ class SimulationService:
 
     async def _publish_stream(self, job: Job, payload: dict[str, Any]) -> None:
         channel = payload.get("channel")
+        if channel == "obs":
+            # Worker-side metrics deltas: folded into the server registry,
+            # never forwarded — client-visible streams are byte-identical
+            # with or without observability.
+            self.metrics.merge(payload.get("deltas") or {})
+            return
         if channel == "trace":
-            await job.publish_stream({
+            frame: dict[str, Any] = {
                 "type": "trace", "job": job.id, "lines": payload["lines"],
-            })
+            }
         elif channel == "sweep-run":
-            await job.publish_stream({
+            frame = {
                 "type": "sweep-run", "job": job.id,
                 "index": payload["index"], "run": payload["run"],
-            })
+            }
         elif channel == "explore-cell":
-            await job.publish_stream({
+            frame = {
                 "type": "explore-cell", "job": job.id,
                 "index": payload["index"], "point": payload["point"],
                 "cell": payload["cell"],
-            })
+            }
+        else:
+            return
+        if job.trace_id is not None:
+            frame["trace"] = job.trace_id
+        await job.publish_stream(frame)
 
     def _finish(self, job: Job, value: dict[str, Any] | None,
                 error_text: str | None, code: str = "job-failed") -> None:
@@ -615,21 +783,25 @@ class SimulationService:
     def _terminal_frame(self, job: Job) -> dict[str, Any]:
         """The terminal frame for a finished job (publish or replay)."""
         if job.state is JobState.CANCELLED:
-            return {
+            frame: dict[str, Any] = {
                 "type": "error", "job": job.id, "code": "cancelled",
                 "error": f"job {job.id} cancelled",
             }
-        if job.state is JobState.FAILED:
-            return {
+        elif job.state is JobState.FAILED:
+            frame = {
                 "type": "error", "job": job.id,
                 "code": job.error_code or "job-failed",
                 "error": job.error or f"job {job.id} failed",
             }
-        assert job.result is not None
-        return {
-            "type": "result", "job": job.id, "cached": job.cached,
-            **job.result,
-        }
+        else:
+            assert job.result is not None
+            frame = {
+                "type": "result", "job": job.id, "cached": job.cached,
+                **job.result,
+            }
+        if job.trace_id is not None:
+            frame["trace"] = job.trace_id
+        return frame
 
     # -- connections -------------------------------------------------------
 
@@ -721,6 +893,8 @@ class SimulationService:
                     position=self.queue.to_payload()["pending"],
                 )
                 accepted["deduped"] = True
+                if duplicate.trace_id is not None:
+                    accepted["trace"] = duplicate.trace_id
                 # Subscribe before the first await so no frame can be
                 # missed; a finished job has no live stream left, so its
                 # terminal frame is replayed instead.
@@ -749,12 +923,30 @@ class SimulationService:
             except QueueFullError as error:
                 await send(error_frame(request_id, str(error), "backpressure"))
                 return None
+            # Every admitted job gets a span: the trace id is minted
+            # here (or carried over from the client) and echoed on every
+            # frame the job produces from now on.
+            job.trace_id = spec.trace_id or mint_trace_id()
+            if self.spans is not None:
+                fields: dict[str, Any] = {"priority": spec.priority}
+                if isinstance(spec, ExploreSpec):
+                    fields["cells"] = spec.point_count * len(spec.seeds)
+                elif isinstance(spec, SweepSpec):
+                    fields["runs"] = len(spec.seeds)
+                else:
+                    if spec.seed is not None:
+                        fields["seed"] = spec.seed
+                    if spec.until is not None:
+                        fields["until"] = spec.until
+                self.spans.start(job.trace_id, job.id, op, **fields)
             # Subscribe before the first await so no frame can be missed.
             subscription = job.subscribe()
-            await send(accepted_frame(
+            accepted = accepted_frame(
                 request_id, job.id,
                 position=self.queue.to_payload()["pending"],
-            ))
+            )
+            accepted["trace"] = job.trace_id
+            await send(accepted)
             return self._start_pump(job, subscription, request_id, writer,
                                     write_lock)
         if op == "status":
@@ -776,6 +968,14 @@ class SimulationService:
             await send({
                 "type": "jobs", "id": request_id,
                 "jobs": [job.to_payload() for job in self.queue.jobs()],
+            })
+            return None
+        if op == "metrics":
+            snapshot = self.metrics.snapshot()
+            await send({
+                "type": "metrics", "id": request_id,
+                "metrics": snapshot,
+                "text": MetricsRegistry.render_prometheus(snapshot),
             })
             return None
         if op == "server-stats":
@@ -881,6 +1081,8 @@ async def run_server(
     preload_dir: str | None = None,
     preload_callback=None,
     ready_callback=None,
+    obs_log: str | None = None,
+    obs_interval: float | None = None,
 ) -> None:
     """Start a service and serve until shutdown (the ``pnut serve`` body).
 
@@ -889,7 +1091,9 @@ async def run_server(
     (loaded/failed counts, cache counters) goes to ``preload_callback``.
     SIGTERM triggers a graceful drain (finish active jobs up to
     ``drain_grace`` seconds) before exiting; use SIGINT/SIGKILL for an
-    immediate stop.
+    immediate stop. ``obs_log`` names a directory for span JSONL
+    timelines; ``obs_interval`` logs a metrics snapshot every that many
+    seconds (and appends it beside the spans when both are set).
     """
     service = SimulationService(
         workers=workers,
@@ -897,6 +1101,8 @@ async def run_server(
         max_pending=max_pending,
         max_retries=max_retries,
         drain_grace=drain_grace,
+        obs_log=obs_log,
+        obs_interval=obs_interval,
     )
     if preload_dir is not None:
         summary = await asyncio.to_thread(service.preload, preload_dir)

@@ -110,6 +110,7 @@ from ..core.inscription import (
 from ..core.marking import Marking
 from ..core.net import PetriNet
 from ..core.time_model import ConstantDelay
+from ..obs.metrics import MetricsRegistry
 from ..trace.events import (
     EventKind,
     TraceEvent,
@@ -494,6 +495,42 @@ class Simulator:
         clone._prof_bucket_grows = 0
         return clone
 
+    def publish_profile(self, registry, prefix: str = "") -> None:
+        """Publish this run's scheduler counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        The single source of truth for scheduler telemetry: both
+        ``pnut sim --profile`` (via :meth:`scheduler_profile`) and the
+        service's per-job metrics deltas read the counters through here,
+        so the two surfaces can never drift apart. Non-numeric facts
+        (backend names, fusion flag) go in as registry info entries.
+        """
+        live = self._sched.profile_counters()
+        counters = {
+            "bucket_pushes":
+                self._prof_bucket_pushes + live.get("bucket_pushes", 0),
+            "heap_pushes":
+                self._prof_heap_pushes + live.get("heap_pushes", 0),
+            "bucket_probes":
+                self._prof_bucket_probes + live.get("bucket_probes", 0),
+            "bucket_grows":
+                self._prof_bucket_grows + live.get("bucket_grows", 0),
+            "heap_fallbacks": self._prof_fallbacks,
+            "instants": self._prof_instants,
+            "settles": self._prof_settles,
+            "fused_instants": self._prof_fused_instants,
+            "fused_completions": self._prof_fused_completions,
+            "settles_avoided": self._prof_settles_avoided,
+        }
+        counters["events_scheduled"] = (
+            counters["bucket_pushes"] + counters["heap_pushes"]
+        )
+        for name, value in counters.items():
+            registry.counter(prefix + name).inc(value)
+        registry.set_info(prefix + "backend", self._sched.backend)
+        registry.set_info(prefix + "declared_backend", self._backend0)
+        registry.set_info(prefix + "fused_enabled", self._fused)
+
     def scheduler_profile(self) -> dict[str, Any]:
         """Scheduler counters for this run, as a plain JSON-able dict.
 
@@ -501,35 +538,16 @@ class Simulator:
         characteristics of a run inspectable without a profiler: which
         backend ran (and whether the bucket ring fell back to the heap),
         how events clustered per instant, and how many settle passes the
-        fused-completion batching avoided.
+        fused-completion batching avoided. Assembled by round-tripping
+        :meth:`publish_profile` through a throwaway registry so the
+        profile is exactly what the observability layer sees.
         """
-        sched = self._sched
-        bucket_pushes = self._prof_bucket_pushes
-        heap_pushes = self._prof_heap_pushes
-        probes = self._prof_bucket_probes
-        grows = self._prof_bucket_grows
-        if sched.backend == "bucket":
-            bucket_pushes += sched.pushes
-            probes += sched.probes
-            grows += sched.grows
-        else:
-            heap_pushes += sched.pushes
-        return {
-            "backend": sched.backend,
-            "declared_backend": self._backend0,
-            "fused_enabled": self._fused,
-            "events_scheduled": bucket_pushes + heap_pushes,
-            "bucket_pushes": bucket_pushes,
-            "heap_pushes": heap_pushes,
-            "heap_fallbacks": self._prof_fallbacks,
-            "bucket_probes": probes,
-            "bucket_grows": grows,
-            "instants": self._prof_instants,
-            "settles": self._prof_settles,
-            "fused_instants": self._prof_fused_instants,
-            "fused_completions": self._prof_fused_completions,
-            "settles_avoided": self._prof_settles_avoided,
-        }
+        registry = MetricsRegistry()
+        self.publish_profile(registry)
+        snapshot = registry.snapshot()
+        profile: dict[str, Any] = dict(snapshot["info"])
+        profile.update(snapshot["counters"])
+        return profile
 
     def stream(
         self, until: float | None = None, max_events: int | None = None
@@ -1239,13 +1257,9 @@ class Simulator:
 
     def _harvest_sched(self) -> None:
         """Accumulate the current schedule's counters before replacing it."""
-        sched = self._sched
-        if sched.backend == "bucket":
-            self._prof_bucket_pushes += sched.pushes
-            self._prof_bucket_probes += sched.probes
-            self._prof_bucket_grows += sched.grows
-        else:
-            self._prof_heap_pushes += sched.pushes
+        for name, value in self._sched.profile_counters().items():
+            attr = "_prof_" + name
+            setattr(self, attr, getattr(self, attr) + value)
 
     @property
     def now(self) -> float:

@@ -399,6 +399,7 @@ class Experiment:
         replications: int = 5,
         workers: int = 1,
         keep_events: bool = True,
+        registry=None,
     ) -> ExperimentResult:
         """Run all replications, serially or across forked workers.
 
@@ -410,6 +411,11 @@ class Experiment:
         ``stat_metrics`` or counter-based ``metrics`` then); it also
         keeps the parallel path cheap, since events never cross the
         process boundary.
+
+        ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`)
+        receives experiment-level counters when given — replications
+        run, events started/finished — at completion, never inside the
+        simulation loop, so a disabled or absent registry costs nothing.
         """
         if replications < 1:
             raise ValueError("need at least one replication")
@@ -423,6 +429,14 @@ class Experiment:
                 self._replicate(i, keep_events) for i in range(replications)
             ]
         runs = [result for result, _values in pairs]
+        if registry is not None:
+            registry.counter("experiment_replications_total").inc(len(runs))
+            registry.counter("engine_events_started_total").inc(
+                sum(run.events_started for run in runs)
+            )
+            registry.counter("engine_events_finished_total").inc(
+                sum(run.events_finished for run in runs)
+            )
         summaries = {
             name: summarize_metric(
                 name,

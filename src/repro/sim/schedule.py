@@ -119,6 +119,10 @@ class HeapSchedule:
                 readys.append(ti)
         return time
 
+    def profile_counters(self) -> dict[str, int]:
+        """This backend's live counters, keyed by profile metric name."""
+        return {"heap_pushes": self.pushes}
+
 
 class BucketSchedule:
     """Integer-time calendar queue: a ring of per-instant buckets.
@@ -222,6 +226,14 @@ class BucketSchedule:
         self._peek = None
         self.release(bucket)
         return time
+
+    def profile_counters(self) -> dict[str, int]:
+        """This backend's live counters, keyed by profile metric name."""
+        return {
+            "bucket_pushes": self.pushes,
+            "bucket_probes": self.probes,
+            "bucket_grows": self.grows,
+        }
 
     def release(self, bucket: tuple[list[int], list[int]]) -> None:
         """Return a popped bucket pair to the pool (lists are cleared)."""

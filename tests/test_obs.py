@@ -1,0 +1,478 @@
+"""The observability layer: registry, spans, dashboard, service wiring.
+
+Unit coverage for :mod:`repro.obs` (metrics semantics, span JSONL round
+trips, dashboard rendering) plus the service integration contracts: the
+``metrics`` op, trace-id propagation on wire frames, the deferred queue
+accounting, and dedupe ignoring the trace key.
+"""
+
+import asyncio
+import io
+import json
+import time
+
+import pytest
+
+from repro.analysis.report import canonical_json
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SpanLog,
+    histogram_quantile,
+    mint_trace_id,
+    peak_rss_kb,
+    read_spans,
+    spans_by_trace,
+)
+from repro.obs.dashboard import compute_rates, render, run_top
+from repro.obs.metrics import HIST_MAX_EXP, HIST_MIN_EXP
+from repro.lang import parse_net
+from repro.service import JobQueue, JobSpec, ServerThread, dedupe_identity
+from repro.sim import Simulator
+
+SMALL_NET = """\
+net tiny
+place a = 2
+work [fire=1]: a -> done
+"""
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("jobs")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("depth")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    @pytest.mark.parametrize("value,exp", [
+        (1.0, 0),        # exactly 2**0 -> bucket 0 covers (0.5, 1]
+        (1.001, 1),      # just above 2**0 -> next bucket
+        (0.75, 0),
+        (0.5, -1),       # exactly 2**-1
+        (2.0, 1),
+        (1024.0, 10),
+        (0.0, HIST_MIN_EXP),
+        (-3.0, HIST_MIN_EXP),
+        (2.0 ** 100, HIST_MAX_EXP),
+        (2.0 ** -100, HIST_MIN_EXP),
+    ])
+    def test_histogram_bucket_edges(self, value, exp):
+        histogram = Histogram("h")
+        histogram.observe(value)
+        assert histogram.buckets == {exp: 1}
+
+    def test_histogram_payload_is_sorted_and_sparse(self):
+        histogram = Histogram("h")
+        for value in (8.0, 0.25, 8.0):
+            histogram.observe(value)
+        payload = histogram.to_payload()
+        assert payload["count"] == 3
+        assert payload["sum"] == pytest.approx(16.25)
+        assert payload["buckets"] == [[-2, 1], [3, 2]]
+
+    def test_quantile_interpolates_within_bucket(self):
+        histogram = Histogram("h")
+        for _ in range(100):
+            histogram.observe(3.0)  # bucket 2: (2, 4]
+        payload = histogram.to_payload()
+        assert 2.0 < histogram_quantile(payload, 0.5) <= 4.0
+        assert histogram_quantile(payload, 1.0) == pytest.approx(4.0)
+
+    def test_quantile_empty_histogram_is_zero(self):
+        assert histogram_quantile({"count": 0, "buckets": []}, 0.5) == 0.0
+
+    def test_quantile_orders_across_buckets(self):
+        histogram = Histogram("h")
+        for _ in range(90):
+            histogram.observe(0.9)
+        for _ in range(10):
+            histogram.observe(100.0)
+        payload = histogram.to_payload()
+        assert histogram_quantile(payload, 0.5) <= 1.0
+        assert histogram_quantile(payload, 0.99) > 64.0
+
+    def test_peak_rss_is_positive_on_posix(self):
+        assert peak_rss_kb() > 0
+
+
+# ---------------------------------------------------------------------------
+# Registry: snapshot, deltas/merge, disabled mode, Prometheus text
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_snapshot_shape_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc(2)
+        registry.counter("a_total").inc(1)
+        registry.gauge("depth").set(4)
+        registry.histogram("lat").observe(0.5)
+        registry.set_info("backend", "bucket")
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a_total", "b_total"]
+        assert snapshot["gauges"] == {"depth": 4}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+        assert snapshot["info"] == {"backend": "bucket"}
+        assert snapshot["time"] == pytest.approx(time.time(), abs=5.0)
+        # The snapshot must survive canonical JSON (the wire format).
+        assert json.loads(canonical_json(snapshot)) == snapshot
+
+    def test_disabled_registry_hands_out_shared_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("x")
+        counter.inc(100)
+        registry.gauge("y").set(5)
+        registry.histogram("z").observe(1.0)
+        registry.set_info("k", "v")
+        assert registry.counter("other") is counter  # shared singleton
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+        assert snapshot["info"] == {}
+
+    def test_merge_adds_counters_and_histograms(self):
+        parent = MetricsRegistry()
+        parent.counter("runs_total").inc(1)
+        parent.histogram("lat").observe(1.0)
+        child = MetricsRegistry()
+        child.counter("runs_total").inc(2)
+        child.counter("events_total").inc(50)
+        child.gauge("rss").set(1234)
+        child.histogram("lat").observe(2.0)
+        child.histogram("lat").observe(2.0)
+        parent.merge(child.deltas())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"] == {"events_total": 50, "runs_total": 3}
+        assert snapshot["gauges"] == {"rss": 1234}
+        lat = snapshot["histograms"]["lat"]
+        assert lat["count"] == 3
+        assert lat["sum"] == pytest.approx(5.0)
+        assert lat["buckets"] == [[0, 1], [1, 2]]
+
+    def test_merge_ignores_malformed_deltas(self):
+        registry = MetricsRegistry()
+        registry.merge("nonsense")
+        registry.merge({"counters": {"bad": "x", "worse": True},
+                        "gauges": {"bad": None},
+                        "histograms": {"bad": 7}})
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+
+    def test_deltas_have_no_clock(self):
+        assert "time" not in MetricsRegistry().deltas()
+
+    def test_collectors_run_at_snapshot(self):
+        registry = MetricsRegistry()
+        registry.add_collector(
+            lambda r: r.gauge("pulled").set(42)
+        )
+        assert registry.snapshot()["gauges"] == {"pulled": 42}
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total").inc(3)
+        registry.gauge("depth").set(2.0)
+        histogram = registry.histogram("lat")
+        histogram.observe(0.75)
+        histogram.observe(3.0)
+        registry.set_info("backend", 'buck"et')
+        text = MetricsRegistry.render_prometheus(registry.snapshot())
+        lines = text.splitlines()
+        assert "# TYPE pnut_jobs_total counter" in lines
+        assert "pnut_jobs_total 3" in lines
+        assert "pnut_depth 2" in lines  # int-valued float renders as int
+        assert 'pnut_lat_bucket{le="1"} 1' in lines
+        assert 'pnut_lat_bucket{le="4"} 2' in lines
+        assert 'pnut_lat_bucket{le="+Inf"} 2' in lines
+        assert "pnut_lat_sum 3.75" in lines
+        assert "pnut_lat_count 2" in lines
+        assert 'pnut_server_info{backend="buck\\"et"} 1' in lines
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_trace_ids_are_unique_hex(self):
+        ids = {mint_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(t) == 16 and int(t, 16) >= 0 for t in ids)
+
+    def test_round_trip_one_job(self, tmp_path):
+        log = SpanLog(tmp_path / "obs")
+        trace = mint_trace_id()
+        log.start(trace, "j1", "sim", seed=7)
+        log.annotate(trace, "j1", "retry", attempt=1)
+        log.end(trace, "j1", "done", attempts=2)
+        log.close()
+        timeline = spans_by_trace(read_spans(tmp_path / "obs"))[trace]
+        assert [r["event"] for r in timeline] == [
+            "span-start", "annotation", "span-end",
+        ]
+        assert timeline[0]["op"] == "sim"
+        assert timeline[0]["seed"] == 7
+        assert timeline[1]["kind"] == "retry"
+        assert timeline[2]["verdict"] == "done"
+        assert timeline[2]["attempts"] == 2
+        assert all(r["job"] == "j1" for r in timeline)
+
+    def test_reader_skips_garbage_lines(self, tmp_path):
+        log = SpanLog(tmp_path)
+        log.start("t1", "j1", "sim")
+        log.close()
+        span_file = next(tmp_path.glob("spans-*.jsonl"))
+        with span_file.open("a") as handle:
+            handle.write("not json\n{\"also\": \"not a span\"\n")
+        records = read_spans(tmp_path)
+        assert len(records) == 1
+        assert records[0]["trace_id"] == "t1"
+
+    def test_writer_never_raises_on_bad_directory(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("in the way")
+        log = SpanLog(blocker / "nope")
+        log.start("t1", "j1", "sim")  # must not raise
+        log.close()
+
+    def test_read_spans_of_missing_directory_is_empty(self, tmp_path):
+        assert read_spans(tmp_path / "never-created") == []
+
+
+# ---------------------------------------------------------------------------
+# Dashboard
+# ---------------------------------------------------------------------------
+
+
+def _snapshot(counters=None, gauges=None, histograms=None, info=None,
+              at=1000.0):
+    return {"counters": counters or {}, "gauges": gauges or {},
+            "histograms": histograms or {}, "info": info or {}, "time": at}
+
+
+class TestDashboard:
+    def test_rates_need_a_baseline(self):
+        assert compute_rates(None, _snapshot()) == {}
+
+    def test_rates_are_per_second_deltas(self):
+        previous = _snapshot(counters={"engine_events_started_total": 100},
+                             at=1000.0)
+        current = _snapshot(counters={"engine_events_started_total": 300},
+                            at=1002.0)
+        rates = compute_rates(previous, current)
+        assert rates["engine_events_started_total"] == pytest.approx(100.0)
+
+    def test_rates_drop_counters_that_went_backwards(self):
+        previous = _snapshot(counters={"x": 100}, at=1000.0)
+        current = _snapshot(counters={"x": 5}, at=1002.0)
+        assert compute_rates(previous, current) == {}
+
+    def test_render_first_poll(self):
+        frame = render(_snapshot(), {}, [], now=1000.0)
+        assert "pnut top" in frame
+        assert "(first poll)" in frame
+        assert "(no finished jobs yet)" in frame
+        assert "in-flight jobs (0)" in frame
+
+    def test_render_full_frame(self):
+        histogram = Histogram("job_total_seconds")
+        for _ in range(20):
+            histogram.observe(0.4)
+        snapshot = _snapshot(
+            counters={"jobs_completed_total": 9, "cache_hits_total": 3,
+                      "cache_misses_total": 1},
+            gauges={"uptime_seconds": 90.0, "workers": 2,
+                    "queue_pending": 1, "queue_running": 1},
+            histograms={"job_total_seconds": histogram.to_payload()},
+            info={"fork": True},
+        )
+        jobs = [
+            {"job": "job-1", "state": "running", "submitted_at": 995.0,
+             "attempts": 1},
+            {"job": "job-2", "state": "queued", "submitted_at": 999.0,
+             "attempts": 0, "deferred": True},
+            {"job": "job-3", "state": "done", "submitted_at": 990.0},
+        ]
+        frame = render(
+            snapshot, {"jobs_completed_total": 4.5}, jobs, now=1000.0,
+        )
+        assert "workers 2" in frame
+        assert "fork on" in frame
+        assert "hit rate 75%" in frame
+        assert "jobs done/s 4.50" in frame
+        assert "p95" in frame
+        assert "in-flight jobs (2)" in frame  # the done job is excluded
+        assert "deferred" in frame  # job-2 shows its backoff state
+        assert "job-1" in frame and "job-3" not in frame
+
+    def test_run_top_paints_finite_frames(self):
+        class FakeClient:
+            def __init__(self):
+                self.polls = 0
+
+            def metrics(self):
+                self.polls += 1
+                return {"metrics": _snapshot(
+                    counters={"engine_events_started_total":
+                              100 * self.polls},
+                    at=1000.0 + self.polls,
+                )}
+
+            def jobs(self):
+                return []
+
+        out = io.StringIO()
+        painted = run_top(FakeClient(), interval=0.01, iterations=2,
+                          out=out, clear=False)
+        assert painted == 2
+        text = out.getvalue()
+        assert text.count("pnut top") == 2
+        assert "(first poll)" in text
+        assert "events/s 100" in text  # second frame has a baseline
+
+
+# ---------------------------------------------------------------------------
+# Service integration
+# ---------------------------------------------------------------------------
+
+
+class TestQueueAccounting:
+    def test_deferred_jobs_reported_separately(self):
+        async def scenario():
+            queue = JobQueue(max_pending=8)
+            job = queue.submit(JobSpec(net_source=SMALL_NET, until=50.0))
+            assert queue.to_payload()["pending"] == 1
+            await queue.get()
+            queue.defer(job)
+            payload = queue.to_payload()
+            assert payload["pending"] == 0
+            assert payload["deferred"] == 1
+            assert job.to_payload()["deferred"] is True
+            queue.requeue(job)
+            payload = queue.to_payload()
+            assert payload["pending"] == 1
+            assert payload["deferred"] == 0
+            assert "deferred" not in job.to_payload()
+
+        asyncio.run(scenario())
+
+    def test_cancel_during_backoff_clears_deferred(self):
+        async def scenario():
+            queue = JobQueue(max_pending=8)
+            job = queue.submit(JobSpec(net_source=SMALL_NET, until=50.0))
+            await queue.get()
+            queue.defer(job)
+            assert queue.cancel(job.id)
+            assert queue.to_payload()["deferred"] == 0
+
+        asyncio.run(scenario())
+
+    def test_finished_callback_fires(self):
+        async def scenario():
+            queue = JobQueue(max_pending=8)
+            finished = []
+            queue.on_finished = finished.append
+            job = queue.submit(JobSpec(net_source=SMALL_NET, until=50.0))
+            await queue.get()
+            queue.finish(job, {"summary": {}}, None)
+            assert finished == [job]
+
+        asyncio.run(scenario())
+
+
+class TestTracePropagation:
+    def test_dedupe_identity_ignores_trace(self):
+        base = JobSpec(net_source=SMALL_NET, until=50.0, key="k")
+        traced = JobSpec(net_source=SMALL_NET, until=50.0, key="k",
+                         trace_id=mint_trace_id())
+        assert dedupe_identity(base) == dedupe_identity(traced)
+
+    def test_trace_survives_payload_round_trip(self):
+        spec = JobSpec(net_source=SMALL_NET, until=50.0, trace_id="abc123")
+        assert spec.to_payload()["trace"] == "abc123"
+        assert JobSpec.from_payload(spec.to_payload()).trace_id == "abc123"
+
+    def test_untraced_spec_keeps_trace_off_the_wire(self):
+        assert "trace" not in JobSpec(net_source=SMALL_NET, until=50.0).to_payload()
+
+
+class TestServiceMetricsOp:
+    @pytest.fixture(scope="class")
+    def server(self):
+        with ServerThread(workers=1, use_fork=False) as thread:
+            yield thread
+
+    def test_metrics_op_schema_and_text(self, server):
+        with server.client() as client:
+            result = client.submit(SMALL_NET, until=50, seed=7)
+            frame = client.metrics()
+        assert result.trace_id
+        snapshot = frame["metrics"]
+        counters = snapshot["counters"]
+        assert counters["jobs_submitted_total"] >= 1
+        assert counters["jobs_completed_total"] >= 1
+        assert counters["engine_runs_total"] >= 1
+        assert counters["engine_events_started_total"] > 0
+        assert snapshot["gauges"]["workers"] == 1
+        assert snapshot["histograms"]["job_total_seconds"]["count"] >= 1
+        assert snapshot["info"]["fork"] is False
+        assert json.loads(canonical_json(snapshot)) == snapshot
+        assert "pnut_jobs_completed_total" in frame["text"]
+        assert 'le="+Inf"' in frame["text"]
+
+    def test_status_frames_carry_the_trace(self, server):
+        with server.client() as client:
+            job_id = client.submit_nowait(SMALL_NET, until=50, seed=8)
+            status = client.status(job_id)
+        assert status.get("trace")
+
+    def test_dedupe_attaches_to_original_trace(self, server):
+        with server.client() as client:
+            first = client.submit(SMALL_NET, until=50, seed=9, key="obs-k")
+            second = client.submit(SMALL_NET, until=50, seed=9, key="obs-k")
+            counters = client.metrics()["metrics"]["counters"]
+        assert first.trace_id == second.trace_id
+        assert counters["jobs_deduped_total"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Engine profile counters flow through the registry (one source of truth)
+# ---------------------------------------------------------------------------
+
+
+class TestEngineProfilePublish:
+    def test_publish_profile_matches_scheduler_profile(self):
+        simulator = Simulator(parse_net(SMALL_NET), seed=3)
+        simulator.run(until=50)
+        profile = simulator.scheduler_profile()
+        registry = MetricsRegistry()
+        simulator.publish_profile(registry, prefix="sched_")
+        snapshot = registry.snapshot()
+        for name, value in snapshot["counters"].items():
+            assert name.startswith("sched_")
+            assert profile[name.removeprefix("sched_")] == value
+        assert snapshot["info"]["sched_backend"] == profile["backend"]
+
+    def test_publish_into_disabled_registry_is_free(self):
+        simulator = Simulator(parse_net(SMALL_NET), seed=3)
+        simulator.run(until=50)
+        registry = MetricsRegistry(enabled=False)
+        simulator.publish_profile(registry)
+        assert registry.snapshot()["counters"] == {}

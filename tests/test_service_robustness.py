@@ -16,6 +16,7 @@ import time
 import pytest
 
 from repro.lang.format import format_net
+from repro.obs.spans import read_spans, spans_by_trace
 from repro.processor import build_pipeline_net
 from repro.service import (
     ClientDisconnected,
@@ -270,6 +271,40 @@ class TestCrashRecovery:
         assert "\n".join(result.trace_lines) + "\n" == buffer.getvalue()
         assert stats["retried"] == 1
         assert stats["crashed"] == 0
+
+    def test_killed_worker_retry_is_one_span(self, monkeypatch, tmp_path,
+                                             pipeline_source):
+        # Span discipline under fault injection: a crash-and-retry is
+        # ONE span (the retry is an annotation inside it), ending with
+        # attempts=2 — never a second span-start for the second attempt.
+        monkeypatch.setenv(FAULTS_ENV, "kill-child=500:once")
+        monkeypatch.setenv(STATE_DIR_ENV, str(tmp_path))
+        obs_dir = tmp_path / "obs"
+        thread = ServerThread(workers=1, obs_log=str(obs_dir))
+        try:
+            with thread.client() as client:
+                result = client.submit(pipeline_source, until=2_000,
+                                       seed=1988)
+        finally:
+            thread.stop()
+        assert result.trace_id
+        timelines = spans_by_trace(read_spans(obs_dir))
+        timeline = timelines[result.trace_id]
+        events = [record["event"] for record in timeline]
+        assert events.count("span-start") == 1
+        assert events.count("span-end") == 1
+        retry_notes = [record for record in timeline
+                       if record["event"] == "annotation"
+                       and record["kind"] == "retry"]
+        assert len(retry_notes) == 1
+        assert retry_notes[0]["attempt"] == 1
+        assert "SIGKILL" in retry_notes[0]["error"]
+        end = timeline[-1]
+        assert end["event"] == "span-end"
+        assert end["verdict"] == "done"
+        assert end["attempts"] == 2
+        assert end["queued_s"] >= 0
+        assert end["run_s"] > 0
 
     def test_repeated_crashes_quarantine_the_job(self, monkeypatch,
                                                  pipeline_source):
