@@ -5,8 +5,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-co bench-report perf-smoke test-all serve-smoke \
-        explore-smoke chaos-smoke obs-smoke lint
+.PHONY: test bench bench-co bench-report perf-smoke differential \
+        coverage test-all serve-smoke explore-smoke chaos-smoke \
+        obs-smoke lint
 
 ## tier-1: the unit/integration suite plus benchmarks (the repo gate),
 ## then the end-to-end service, exploration and fault-injection smokes
@@ -54,18 +55,40 @@ bench-co:
 	$(PYTHON) -m pytest benchmarks/test_bench_schema.py -q
 
 ## one-table summary of the BENCH_engine.json perf trajectory
-## (per-metric first vs latest, speedup column)
+## (per-metric first vs latest, speedup column); CHECK=1 turns it into
+## a gate — the latest record of each metric may not regress more than
+## 25% against its predecessor on the same runner fingerprint
+## (cross-runner pairs, the starred rows, are exempt)
 bench-report:
-	$(PYTHON) benchmarks/bench_report.py
+	$(PYTHON) benchmarks/bench_report.py $(if $(CHECK),--check)
 
-## CI perf smoke: the engine hotpath + scheduler benchmarks at a short
-## horizon with 2x-slack regression gates (PERF_SMOKE=1), so a hot-path
-## regression fails the PR even on shared runners that are slower than
-## the reference container
+## the randomized differential harness at CI strength: hypothesis's
+## `ci` profile (more examples, derandomized so a red run reproduces
+## locally with HYPOTHESIS_PROFILE=ci), slowest examples printed —
+## scalar-bucket vs scalar-heap vs lockstep must stay bit-identical
+differential:
+	HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -q --durations=10 \
+	    tests/test_schedule_differential.py \
+	    tests/test_lockstep.py \
+	    tests/test_properties.py
+
+## tier-1 under coverage.py (pinned in requirements-dev.txt; config
+## .coveragerc): line coverage over src/repro with an 80% floor, plus
+## the HTML report CI uploads as an artifact (htmlcov/)
+coverage:
+	$(PYTHON) -m coverage run -m pytest -x -q
+	$(PYTHON) -m coverage report --fail-under=80
+	$(PYTHON) -m coverage html
+
+## CI perf smoke: the engine hotpath, scheduler and lockstep benchmarks
+## at a short horizon with 2x-slack regression gates (PERF_SMOKE=1), so
+## a hot-path regression fails the PR even on shared runners that are
+## slower than the reference container
 perf-smoke:
 	PERF_SMOKE=1 $(PYTHON) -m pytest -q \
 	    benchmarks/test_bench_engine_hotpath.py \
-	    benchmarks/test_bench_scheduler.py
+	    benchmarks/test_bench_scheduler.py \
+	    benchmarks/test_bench_lockstep.py
 
 ## static checks (ruff, pinned in requirements-dev.txt; config ruff.toml)
 lint:

@@ -14,6 +14,14 @@ without opening the JSON::
 Pure stdlib; runs anywhere the repo checks out (CI invokes it right
 after uploading the trajectory artifact, so the table lands in the
 workflow log next to the uploaded file).
+
+``--check`` turns the summary into a regression gate: for every metric
+whose two most recent records were measured on the *same* runner
+fingerprint, the latest value may not regress more than 25% against its
+predecessor (drop for rate/speedup metrics, growth for cost metrics
+like ``_ms``/``_kb``). Pairs spanning different runners — the starred
+rows of the table — are exempt: a slower machine is not a slower
+engine.
 """
 
 from __future__ import annotations
@@ -83,6 +91,65 @@ def collect(history: list[dict]) -> list[dict]:
                 row["latest_at"] = stamp
                 row["latest_runner"] = runner
     return [metrics[key] for key in sorted(metrics)]
+
+
+#: ``--check``: a metric may lose at most this fraction against its
+#: previous same-runner record before the gate fails.
+CHECK_TOLERANCE = 0.25
+
+#: Keys the gate never judges. ``peak_rss_kb`` is ``ru_maxrss`` of the
+#: whole pytest process, so its value depends on which tests ran in the
+#: process before the benchmark (a standalone bench run vs the full
+#: suite differ 2x without any engine change) — same-runner is not
+#: same-config for it. It stays in the table for eyeballing.
+CHECK_EXEMPT = frozenset({"peak_rss_kb"})
+
+
+def check(history: list[dict]) -> list[str]:
+    """Same-runner regression check; returns the violation messages.
+
+    For each measurement key, the comparison pair is the latest record
+    carrying the key and the most recent *earlier* record carrying it
+    on the same runner fingerprint. No same-runner predecessor (first
+    measurement, or a machine change — the table's starred rows) means
+    nothing to compare, never a failure; records without a fingerprint
+    (``"unknown"``) cannot claim to share a machine and are likewise
+    exempt, as are the process-wide cost keys in :data:`CHECK_EXEMPT`.
+    """
+    series: dict[str, list[tuple[str, float, str]]] = {}
+    for entry in history:
+        runner = _runner(entry)
+        stamp = entry.get("timestamp", "")
+        for key, value in entry.items():
+            if _is_measurement(key, value):
+                series.setdefault(key, []).append((runner, value, stamp))
+    violations = []
+    for key in sorted(series):
+        if key in CHECK_EXEMPT:
+            continue
+        records = series[key]
+        runner, latest, stamp = records[-1]
+        if runner == "unknown":
+            continue
+        previous = next(
+            (value for r, value, _s in reversed(records[:-1]) if r == runner),
+            None,
+        )
+        if previous is None or previous <= 0:
+            continue
+        if key.endswith(LOWER_IS_BETTER):
+            regressed = latest > previous * (1 + CHECK_TOLERANCE)
+            direction = "grew"
+        else:
+            regressed = latest < previous * (1 - CHECK_TOLERANCE)
+            direction = "dropped"
+        if regressed:
+            violations.append(
+                f"{key}: {direction} {_fmt_value(previous)} -> "
+                f"{_fmt_value(latest)} on {runner} ({stamp or 'undated'}), "
+                f"beyond the {CHECK_TOLERANCE:.0%} tolerance"
+            )
+    return violations
 
 
 def _fmt_value(value) -> str:
@@ -159,6 +226,8 @@ def render(history: list[dict]) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
+    run_check = "--check" in args
+    args = [a for a in args if a != "--check"]
     path = Path(args[0]) if args else (
         Path(__file__).resolve().parent.parent / "BENCH_engine.json"
     )
@@ -176,6 +245,14 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     try:
         print(render(history))
+        if run_check:
+            violations = check(history)
+            if violations:
+                print("bench-check: regression beyond tolerance:")
+                for line in violations:
+                    print(f"  {line}")
+                return 1
+            print("bench-check: no same-runner regressions")
     except BrokenPipeError:
         # Downstream pipe (e.g. `make bench-report | head`) closed early:
         # not an error. Point stdout at devnull so the interpreter's exit

@@ -109,3 +109,101 @@ class TestMain:
     def test_default_path_is_repo_trajectory(self, capsys):
         assert bench_report.main([]) == 0
         assert "events_per_sec" in capsys.readouterr().out
+
+
+def _rec(stamp_day, runner=None, **measurements):
+    entry = {"timestamp": f"2026-01-{stamp_day:02d}T10:00:00+00:00",
+             "model": "m", **measurements}
+    if runner is not None:
+        entry["runner"] = runner
+    return entry
+
+
+class TestCheck:
+    def test_within_tolerance_passes(self):
+        history = [
+            _rec(1, "box-a", runs_per_sec=100.0),
+            _rec(2, "box-a", runs_per_sec=80.0),  # -20%, inside 25%
+        ]
+        assert bench_report.check(history) == []
+
+    def test_same_runner_regression_fails(self):
+        history = [
+            _rec(1, "box-a", runs_per_sec=100.0),
+            _rec(2, "box-a", runs_per_sec=70.0),  # -30%
+        ]
+        violations = bench_report.check(history)
+        assert len(violations) == 1
+        assert "runs_per_sec" in violations[0]
+        assert "box-a" in violations[0]
+
+    def test_cross_runner_pair_is_exempt(self):
+        history = [
+            _rec(1, "box-a", runs_per_sec=100.0),
+            _rec(2, "box-b", runs_per_sec=10.0),  # slower machine, not a bug
+        ]
+        assert bench_report.check(history) == []
+
+    def test_compares_against_last_same_runner_record(self):
+        # box-b's slow interlude must not shield box-a's regression.
+        history = [
+            _rec(1, "box-a", runs_per_sec=100.0),
+            _rec(2, "box-b", runs_per_sec=10.0),
+            _rec(3, "box-a", runs_per_sec=60.0),  # -40% vs day 1
+        ]
+        assert len(bench_report.check(history)) == 1
+
+    def test_cost_metrics_fail_on_growth(self):
+        history = [
+            _rec(1, "box-a", cold_lookup_ms=1.0),
+            _rec(2, "box-a", cold_lookup_ms=1.4),  # +40%
+        ]
+        violations = bench_report.check(history)
+        assert len(violations) == 1 and "grew" in violations[0]
+        shrinking = [
+            _rec(1, "box-a", cold_lookup_ms=1.0),
+            _rec(2, "box-a", cold_lookup_ms=0.4),  # shrinking is fine
+        ]
+        assert bench_report.check(shrinking) == []
+
+    def test_process_wide_rss_is_never_judged(self):
+        # peak_rss_kb is ru_maxrss of the whole pytest process: a bench
+        # run standalone vs inside the full suite differs 2x with no
+        # engine change, so same-runner is not same-config for it.
+        history = [
+            _rec(1, "box-a", peak_rss_kb=50_000),
+            _rec(2, "box-a", peak_rss_kb=130_000),
+        ]
+        assert bench_report.check(history) == []
+
+    def test_first_measurement_has_nothing_to_compare(self):
+        assert bench_report.check([_rec(1, "box-a", runs_per_sec=5.0)]) == []
+
+    def test_unfingerprinted_records_are_exempt(self):
+        # Pre-fingerprint records all read "unknown"; two unknowns may
+        # be two different machines, so they never form a gate pair.
+        history = [
+            _rec(1, runs_per_sec=100.0),
+            _rec(2, runs_per_sec=10.0),
+        ]
+        assert bench_report.check(history) == []
+
+    def test_main_check_flag_gates(self, tmp_path, capsys):
+        path = tmp_path / "hist.json"
+        path.write_text(json.dumps([
+            _rec(1, "box-a", runs_per_sec=100.0),
+            _rec(2, "box-a", runs_per_sec=70.0),
+        ]))
+        assert bench_report.main([str(path), "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "regression beyond tolerance" in out
+        path.write_text(json.dumps([
+            _rec(1, "box-a", runs_per_sec=100.0),
+            _rec(2, "box-a", runs_per_sec=95.0),
+        ]))
+        assert bench_report.main([str(path), "--check"]) == 0
+        assert "no same-runner regressions" in capsys.readouterr().out
+
+    def test_repo_trajectory_is_clean(self, capsys):
+        assert bench_report.main(["--check"]) == 0
+        assert "no same-runner regressions" in capsys.readouterr().out

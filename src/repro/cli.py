@@ -404,6 +404,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 priority=args.priority,
                 timeout=args.timeout,
                 max_retries=args.max_retries,
+                backend=args.backend,
             )
         run_payloads = outcome.runs
         n_runs = outcome.summary["runs"]
@@ -411,6 +412,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         aggregates = outcome.aggregates
         origin = f"{outcome.job_id} " \
                  f"{'cache-hit' if outcome.cached else 'cold'}"
+        if args.profile:
+            # Server-side selection lands in the service obs counters
+            # (sweep_backend_*); the client only knows what it asked for.
+            print(f"pnut sweep: backend requested={args.backend} "
+                  f"(resolved server-side; see sweep_backend_* counters)",
+                  file=sys.stderr)
     else:
         from .sim.sweep import run_sweep
 
@@ -423,6 +430,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 max_events=args.max_events,
                 run_number=args.run,
                 workers=args.workers,
+                backend=args.backend,
             )
         except (ValueError, RuntimeError) as error:
             # Bad driver arguments (workers=0, missing --until) or a
@@ -435,6 +443,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         runs_sha256 = result.runs_sha256()
         aggregates = result.aggregates_payload()
         origin = "in-process"
+        if args.profile:
+            print(f"pnut sweep: backend requested={result.backend_requested} "
+                  f"selected={result.backend} "
+                  f"reason={result.backend_reason}",
+                  file=sys.stderr)
 
     for payload in run_payloads:
         print(canonical_json({"kind": "run", **payload}))
@@ -517,6 +530,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
                         max_retries=args.max_retries,
                         skip=[list(grid[index])
                               for index in sorted(stored)],
+                        backend=args.backend,
                     )
                 outcomes.append(outcome)
                 return outcome.cells
@@ -544,6 +558,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
                     run_number=args.run,
                     workers=args.workers,
                     store=store,
+                    backend=args.backend,
                 )
             except (ValueError, RuntimeError, PnutError) as error:
                 print(f"pnut explore: {error}", file=sys.stderr)
@@ -813,6 +828,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--run", type=int, default=1)
     p_sweep.add_argument("--workers", type=int, default=1,
                          help="forked sweep workers (in-process path only)")
+    p_sweep.add_argument("--backend", default="auto",
+                         choices=("auto", "scalar", "lockstep"),
+                         help="per-run engine: auto (lockstep codegen when "
+                              "the net is in its safe class, scalar "
+                              "otherwise), scalar, or lockstep (same silent "
+                              "fallback); results are bit-identical")
+    p_sweep.add_argument("--profile", action="store_true",
+                         help="report the backend selection (and fallback "
+                              "reason) on stderr")
     p_sweep.add_argument("--priority", type=int, default=0,
                          help="queue priority (service path only)")
     _add_supervision_arguments(p_sweep)
@@ -842,6 +866,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--run", type=int, default=1)
     p_explore.add_argument("--workers", type=int, default=1,
                            help="forked cell workers (in-process path only)")
+    p_explore.add_argument("--backend", default="auto",
+                           choices=("auto", "scalar", "lockstep"),
+                           help="per-cell engine, resolved per point "
+                                "(see pnut sweep --backend)")
     p_explore.add_argument("--store", default=None,
                            help="persistent result store (SQLite, or "
                                 "*.jsonl): completed cells are skipped on "

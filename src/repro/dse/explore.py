@@ -342,6 +342,7 @@ def run_exploration(
     cache: CompiledNetCache | None = None,
     on_cell: Callable[[CellOutcome], Any] | None = None,
     registry=None,
+    backend: str = "auto",
 ) -> ExplorationResult:
     """Run one design-space exploration: every point x every seed.
 
@@ -360,7 +361,13 @@ def run_exploration(
     ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`; note
     the separate ``metrics`` parameter is the per-cell metric
     *callables*) receives grid-level counters at completion: cells run
-    fresh, cells served from the store, points bound.
+    fresh, cells served from the store, points bound, and the backend
+    selected per point.
+
+    ``backend`` selects the per-cell engine exactly as on
+    :func:`~repro.sim.sweep.run_sweep`, resolved per *point* (each
+    bound template compiles separately, so safe-class eligibility can
+    differ across points); cell payloads are bit-identical either way.
     """
     seeds = list(seeds)
     if not seeds:
@@ -398,12 +405,25 @@ def run_exploration(
     missing = [index for index in range(len(grid))
                if index not in outcomes]
 
+    from ..sim.lockstep import resolve_backend
+
+    resolutions = [
+        resolve_backend(entry.template, backend) for entry in compiled
+    ]
+
     def run_cell(index: int) -> dict[str, Any]:
         point_index, seed = grid[index]
-        summary, values = _sweep_one(
-            compiled[point_index].template, seed, run_number, until,
-            max_events, want_stats, metrics, stat_metrics,
-        )
+        program = resolutions[point_index][0]
+        if program is not None:
+            summary, values = program.run_seed(
+                seed, run_number, until, max_events, want_stats,
+                metrics, stat_metrics,
+            )
+        else:
+            summary, values = _sweep_one(
+                compiled[point_index].template, seed, run_number, until,
+                max_events, want_stats, metrics, stat_metrics,
+            )
         payload = summary.to_payload()
         if values:
             payload["metrics"] = {
@@ -453,4 +473,11 @@ def run_exploration(
         registry.counter("dse_cells_run_total").inc(result.fresh_cells)
         registry.counter("dse_cells_stored_total").inc(result.stored_cells)
         registry.counter("dse_points_total").inc(len(points))
+        for _program, selected, reason in resolutions:
+            registry.counter(f"explore_backend_{selected}_total").inc()
+            if reason not in ("ok", "requested"):
+                registry.counter(
+                    "explore_backend_fallback_"
+                    f"{reason.replace('-', '_')}_total"
+                ).inc()
     return result

@@ -420,13 +420,16 @@ class ServiceClient:
         max_retries: int | None = None,
         key: str | None = None,
         on_run: Callable[[int, dict[str, Any]], None] | None = None,
+        backend: str = "auto",
     ) -> SweepOutcome:
         """Submit one sweep frame for N seeds, block until its result.
 
         Per-seed summaries stream through ``on_run(index, run_payload)``
         as the server completes them and always accumulate in
         :attr:`SweepOutcome.runs` (reassembled in submission order even
-        if frames interleave).
+        if frames interleave). ``backend`` requests the server-side
+        engine (``"auto"``/``"scalar"``/``"lockstep"``); results are
+        bit-identical across backends.
         """
         spec = SweepSpec(
             net_source=net_source,
@@ -439,6 +442,7 @@ class ServiceClient:
             timeout=timeout,
             max_retries=max_retries,
             key=key,
+            backend=backend,
         )
         request_id = self._request("sweep", **spec.to_payload())
         accepted = self._wait(request_id, "sweep sent, not yet accepted")
@@ -491,6 +495,7 @@ class ServiceClient:
         max_retries: int | None = None,
         key: str | None = None,
         on_cell: Callable[[int, int, dict[str, Any]], None] | None = None,
+        backend: str = "auto",
     ) -> ExploreOutcome:
         """Submit one explore frame (template + parameter space + seeds),
         block until its result.
@@ -514,6 +519,7 @@ class ServiceClient:
             timeout=timeout,
             max_retries=max_retries,
             key=key,
+            backend=backend,
         )
         request_id = self._request("explore", **spec.to_payload())
         accepted = self._wait(request_id, "explore sent, not yet accepted")

@@ -109,6 +109,14 @@ VALID_EXPLORE_OUTPUTS = ("stats",)
 #: Hard bound on (point x seed) cells per explore frame.
 MAX_EXPLORE_CELLS = 8192
 
+#: Engine backends a sweep/explore frame may request (mirrors
+#: ``repro.sim.lockstep.BACKEND_CHOICES`` without importing the sim
+#: stack into the wire layer). "auto"/"lockstep" select the codegen
+#: backend when the net is in its safe class and silently fall back to
+#: the scalar engine otherwise — results are bit-identical either way,
+#: so the field never changes payload bytes, only execution speed.
+VALID_BACKENDS = ("auto", "scalar", "lockstep")
+
 
 def encode(message: dict[str, Any]) -> bytes:
     """One message -> one NDJSON frame (UTF-8 bytes including ``\\n``)."""
@@ -319,10 +327,16 @@ class SweepSpec:
     max_retries: int | None = None
     key: str | None = None
     trace_id: str | None = None
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.until is None and self.max_events is None:
             raise ProtocolError("sweep needs until=, max_events=, or both")
+        if self.backend not in VALID_BACKENDS:
+            raise ProtocolError(
+                f"unknown backend {self.backend!r}: use one of "
+                f"{list(VALID_BACKENDS)}"
+            )
         if self.until is not None:
             # The wire carries `until` as a float; normalizing here makes
             # a client-built spec identical to the server's reconstruction
@@ -369,6 +383,9 @@ class SweepSpec:
         priority = payload.get("priority", 0)
         if not isinstance(priority, int):
             raise ProtocolError("'priority' must be an integer")
+        backend = payload.get("backend", "auto")
+        if not isinstance(backend, str):
+            raise ProtocolError("'backend' must be a string")
         return cls(
             net_source=net_source,
             seeds=tuple(seeds),
@@ -381,6 +398,7 @@ class SweepSpec:
             max_retries=payload.get("max_retries"),
             key=payload.get("key"),
             trace_id=payload.get("trace"),
+            backend=backend,
         )
 
     def to_payload(self) -> dict[str, Any]:
@@ -397,6 +415,8 @@ class SweepSpec:
         payload["outputs"] = list(self.outputs)
         if self.priority:
             payload["priority"] = self.priority
+        if self.backend != "auto":
+            payload["backend"] = self.backend
         _supervision_to_payload(self, payload)
         return payload
 
@@ -426,10 +446,16 @@ class ExploreSpec:
     max_retries: int | None = None
     key: str | None = None
     trace_id: str | None = None
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.until is None and self.max_events is None:
             raise ProtocolError("explore needs until=, max_events=, or both")
+        if self.backend not in VALID_BACKENDS:
+            raise ProtocolError(
+                f"unknown backend {self.backend!r}: use one of "
+                f"{list(VALID_BACKENDS)}"
+            )
         if self.until is not None:
             # Wire normalization, exactly as on SweepSpec: client-built
             # and server-reconstructed specs must be identical so cell
@@ -520,6 +546,9 @@ class ExploreSpec:
             raise ProtocolError(
                 "'skip' must be a list of [point_index, seed] pairs"
             )
+        backend = payload.get("backend", "auto")
+        if not isinstance(backend, str):
+            raise ProtocolError("'backend' must be a string")
         return cls(
             net_source=net_source,
             params=params,
@@ -534,6 +563,7 @@ class ExploreSpec:
             max_retries=payload.get("max_retries"),
             key=payload.get("key"),
             trace_id=payload.get("trace"),
+            backend=backend,
         )
 
     def to_payload(self) -> dict[str, Any]:
@@ -553,6 +583,8 @@ class ExploreSpec:
             payload["priority"] = self.priority
         if self.skip:
             payload["skip"] = [list(pair) for pair in self.skip]
+        if self.backend != "auto":
+            payload["backend"] = self.backend
         _supervision_to_payload(self, payload)
         return payload
 

@@ -86,6 +86,23 @@ def _emit_obs_deltas(emit, elapsed: float, *, events_started: int,
     emit({"channel": "obs", "deltas": obs.deltas()})
 
 
+def _count_backend(extra: dict[str, int], surface: str,
+                   selected: str, reason: str) -> None:
+    """Fold one backend selection into an obs-counter delta dict.
+
+    ``<surface>_backend_<selected>_total`` counts what actually ran;
+    a safe-class fallback additionally bumps
+    ``<surface>_backend_fallback_<reason>_total`` (reason slugs like
+    ``transition-actions`` become Prometheus-safe underscores).
+    """
+    key = f"{surface}_backend_{selected}_total"
+    extra[key] = extra.get(key, 0) + 1
+    if reason not in ("ok", "requested"):
+        fallback = (f"{surface}_backend_fallback_"
+                    f"{reason.replace('-', '_')}_total")
+        extra[fallback] = extra.get(fallback, 0) + 1
+
+
 def execute_job(compiled: CompiledNet, spec: JobSpec, emit) -> dict[str, Any]:
     """Run one job to completion; the CPU-bound leaf of the service.
 
@@ -180,6 +197,7 @@ def execute_explore_job(
     non-skipped cell forks its point's skeleton and streams a payload
     identical to what a ``submit`` of the bound source would report.
     """
+    from ..sim.lockstep import resolve_backend
     from ..sim.sweep import _sweep_one
 
     want_stats = "stats" in spec.outputs
@@ -189,13 +207,27 @@ def execute_explore_job(
     events_started = events_finished = cells_run = 0
     index = 0
     run_started = time.perf_counter()
+    # Backend resolution is per *point*: each bound template compiles to
+    # its own skeleton, and eligibility (the lockstep safe class) can
+    # differ across points. Cell payloads are bit-identical either way.
+    resolutions = [
+        resolve_backend(compiled.template, spec.backend)
+        for _point, compiled, _sha in prepared
+    ]
     for point_index, (_point, compiled, _sha) in enumerate(prepared):
+        program = resolutions[point_index][0]
         for seed in seeds:
             if (point_index, seed) not in skip:
-                summary, _values = _sweep_one(
-                    compiled.template, seed, spec.run_number, spec.until,
-                    spec.max_events, want_stats, {}, {},
-                )
+                if program is not None:
+                    summary, _values = program.run_seed(
+                        seed, spec.run_number, spec.until,
+                        spec.max_events, want_stats, {}, {},
+                    )
+                else:
+                    summary, _values = _sweep_one(
+                        compiled.template, seed, spec.run_number,
+                        spec.until, spec.max_events, want_stats, {}, {},
+                    )
                 emit({
                     "channel": "explore-cell", "index": index,
                     "point": point_index, "cell": summary.to_payload(),
@@ -212,12 +244,15 @@ def execute_explore_job(
     cells_sha = hashlib.sha256(
         "".join(digest for _p, _s, digest in digests).encode("ascii")
     ).hexdigest()
+    extra = {"dse_cells_run_total": cells_run,
+             "dse_cells_skipped_total": index - cells_run}
+    for _program, selected, reason in resolutions:
+        _count_backend(extra, "explore", selected, reason)
     _emit_obs_deltas(
         emit, time.perf_counter() - run_started,
         events_started=events_started, events_finished=events_finished,
         runs=cells_run,
-        extra={"dse_cells_run_total": cells_run,
-               "dse_cells_skipped_total": index - cells_run},
+        extra=extra,
     )
     return {
         "summary": {
@@ -265,13 +300,16 @@ def execute_sweep_job(compiled: CompiledNet, spec: SweepSpec,
         workers=1,
         want_stats=want_stats,
         on_run=on_run,
+        backend=spec.backend,
     )
+    extra = {"sweep_runs_total": len(result.runs)}
+    _count_backend(extra, "sweep", result.backend, result.backend_reason)
     _emit_obs_deltas(
         emit, time.perf_counter() - run_started,
         events_started=sum(r.events_started for r in result.runs),
         events_finished=sum(r.events_finished for r in result.runs),
         runs=len(result.runs),
-        extra={"sweep_runs_total": len(result.runs)},
+        extra=extra,
     )
     return {
         "summary": {

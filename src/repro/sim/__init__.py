@@ -12,6 +12,14 @@ from .experiment import (
     map_forked,
     summarize_metric,
 )
+from .lockstep import (
+    BACKEND_CHOICES,
+    LockstepDecision,
+    LockstepProgram,
+    classify,
+    compile_lockstep,
+    resolve_backend,
+)
 from .sweep import (
     SweepResult,
     SweepRunSummary,
@@ -21,10 +29,13 @@ from .sweep import (
 )
 
 __all__ = [
+    "BACKEND_CHOICES",
     "CommandScript",
     "Experiment",
     "ExperimentResult",
     "ForkedTask",
+    "LockstepDecision",
+    "LockstepProgram",
     "MetricSummary",
     "Observer",
     "SimulationResult",
@@ -32,8 +43,11 @@ __all__ = [
     "SweepResult",
     "SweepRunSummary",
     "TraceHasher",
+    "classify",
+    "compile_lockstep",
     "execute_commands",
     "fork_available",
+    "resolve_backend",
     "map_chunked_forked",
     "map_forked",
     "run_script_text",

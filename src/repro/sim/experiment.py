@@ -454,6 +454,7 @@ class Experiment:
         workers: int = 1,
         want_stats: bool = True,
         on_run: Callable[[int, Any], Any] | None = None,
+        backend: str = "auto",
     ):
         """Run this experiment as a vectorized multi-seed sweep.
 
@@ -467,7 +468,9 @@ class Experiment:
         of the same seed). Returns a
         :class:`~repro.sim.sweep.SweepResult` whose aggregates combine
         the builtin summaries with this experiment's ``metrics`` and
-        ``stat_metrics``.
+        ``stat_metrics``. ``backend`` selects the per-run engine exactly
+        as on :func:`~repro.sim.sweep.run_sweep` (``"auto"`` uses the
+        lockstep codegen backend when the net is in its safe class).
         """
         from .sweep import run_sweep
 
@@ -486,6 +489,7 @@ class Experiment:
             stat_metrics=self.stat_metrics,
             confidence=self.confidence,
             on_run=on_run,
+            backend=backend,
         )
 
     def explore(

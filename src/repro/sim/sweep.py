@@ -131,10 +131,22 @@ class SweepRunSummary:
 
 @dataclass
 class SweepResult:
-    """All runs (in input-seed order) plus the cross-run aggregates."""
+    """All runs (in input-seed order) plus the cross-run aggregates.
+
+    ``backend`` records which engine actually ran (``"scalar"`` or
+    ``"lockstep"``), ``backend_requested`` what the caller asked for and
+    ``backend_reason`` why the selection landed there (``"ok"``,
+    ``"requested"``, or a safe-class fallback reason such as
+    ``"transition-actions"``). These are execution provenance only —
+    :meth:`to_payload` excludes them, so payload bytes are identical
+    across backends, exactly like the per-run summaries themselves.
+    """
 
     runs: list[SweepRunSummary]
     metrics: dict[str, MetricSummary]
+    backend: str = "scalar"
+    backend_requested: str = "scalar"
+    backend_reason: str = "requested"
 
     def metric(self, name: str) -> MetricSummary:
         return self.metrics[name]
@@ -266,6 +278,7 @@ def run_sweep(
     stat_metrics: dict[str, Callable[[TraceStatistics], float]] | None = None,
     confidence: float = 0.95,
     on_run: Callable[[int, SweepRunSummary], Any] | None = None,
+    backend: str = "auto",
 ) -> SweepResult:
     """Run one compiled net across a seed grid, sharing the skeleton.
 
@@ -280,6 +293,14 @@ def run_sweep(
     :class:`~repro.sim.experiment.Experiment`; every run is executed
     with ``keep_events=False``, so ``metrics`` callables must not read
     ``result.events``.
+
+    ``backend`` picks the per-run engine: ``"auto"`` (default) compiles
+    the net-specialized lockstep loop when the net is in its safe class
+    and falls back to the scalar engine otherwise, ``"lockstep"`` asks
+    for it explicitly (same silent fallback — the selection is recorded
+    on the result, never an error), ``"scalar"`` forces the classic
+    engine. Per-seed summaries are bit-identical across backends; see
+    :mod:`repro.sim.lockstep`.
     """
     if isinstance(skeleton, PetriNet):
         skeleton = Simulator(skeleton)
@@ -305,11 +326,35 @@ def run_sweep(
             f"metric names collide with builtin aggregates: {sorted(reserved)}"
         )
 
-    def run_one(position: int) -> tuple[SweepRunSummary, dict[str, float]]:
-        return _sweep_one(
-            skeleton, seeds[position], run_number, until, max_events,
-            want_stats, metrics, stat_metrics,
-        )
+    # Lazily imported: lockstep pulls the codegen layer in only when a
+    # sweep actually asks for it (and "scalar" never does).
+    program = None
+    selected, reason = "scalar", "requested"
+    if backend != "scalar":
+        from .lockstep import resolve_backend
+
+        # Raises ValueError on an unknown backend name.
+        program, selected, reason = resolve_backend(skeleton, backend)
+
+    if program is not None:
+        matrix = program.matrix(len(seeds))
+
+        def run_one(
+            position: int,
+        ) -> tuple[SweepRunSummary, dict[str, float]]:
+            return program.run_seed(
+                seeds[position], run_number, until, max_events,
+                want_stats, metrics, stat_metrics,
+                matrix=matrix, index=position,
+            )
+    else:
+        def run_one(
+            position: int,
+        ) -> tuple[SweepRunSummary, dict[str, float]]:
+            return _sweep_one(
+                skeleton, seeds[position], run_number, until, max_events,
+                want_stats, metrics, stat_metrics,
+            )
 
     workers = min(workers, len(seeds))
     if workers > 1 and fork_available():
@@ -324,6 +369,9 @@ def run_sweep(
     return SweepResult(
         runs=[summary for summary, _values in pairs],
         metrics=_aggregate(pairs, user_names, confidence),
+        backend=selected,
+        backend_requested=backend,
+        backend_reason=reason,
     )
 
 

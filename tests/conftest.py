@@ -1,0 +1,32 @@
+"""Shared test configuration: hypothesis profiles selected by env.
+
+Two profiles cover the two places the suite runs:
+
+``dev`` (default)
+    The hypothesis defaults — fast enough for the inner loop, random
+    examples so local runs keep probing new corners.
+
+``ci``
+    What the pipeline's ``differential`` job runs: more examples,
+    ``derandomize=True`` so every CI run draws the identical example
+    sequence (a red build reproduces locally with
+    ``HYPOTHESIS_PROFILE=ci``), and no deadline — shared runners
+    stall unpredictably and a deadline flake teaches nothing.
+
+Select with ``HYPOTHESIS_PROFILE=ci pytest tests``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile("dev", settings.default)
+settings.register_profile(
+    "ci",
+    max_examples=150,
+    derandomize=True,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

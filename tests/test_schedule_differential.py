@@ -16,6 +16,13 @@ Targeted (non-random) cases pin the migration machinery: a ``DataDelay``
 that turns fractional mid-run must fall back to the heap transparently,
 and the fallback must be visible in the scheduler profile while the
 trace stays fixed.
+
+The three-way class extends the same generator to the lockstep codegen
+backend: every net in the lockstep safe class must reduce to the
+identical sweep summary (trace digest, statistics payload, final
+marking) under scalar-bucket, scalar-heap, and the compiled lockstep
+loop; nets outside the class must resolve to the scalar engine with a
+truthful reason.
 """
 
 import pytest
@@ -30,7 +37,8 @@ from repro.core.time_model import (
     ExponentialDelay,
     UniformDelay,
 )
-from repro.sim import Simulator, trace_digest
+from repro.sim import Simulator, resolve_backend, trace_digest
+from repro.sim.sweep import _sweep_one
 
 #: Delay specs by mix flavor; (kind, payload) pairs keep the strategy
 #: hashable/reprable for hypothesis shrinking.
@@ -59,7 +67,8 @@ def _mk_delay(spec):
 
 
 @st.composite
-def net_specs(draw, delays):
+def net_specs(draw, delays, enabling=None):
+    enabling = delays if enabling is None else enabling
     n_places = draw(st.integers(2, 5))
     n_trans = draw(st.integers(1, 5))
     place = st.integers(0, n_places - 1)
@@ -77,7 +86,7 @@ def net_specs(draw, delays):
             "inhibitors": {p: t for p, t in inhibitors.items()
                            if p not in inputs},
             "firing": draw(st.sampled_from(delays)),
-            "enabling": draw(st.sampled_from(delays)),
+            "enabling": draw(st.sampled_from(enabling)),
             "frequency": draw(st.sampled_from([0.5, 1.0, 2.5])),
             "max_concurrent": draw(st.sampled_from([None, None, 1, 2])),
         })
@@ -164,6 +173,69 @@ class TestDifferentialRandomNets:
             return
         assert run_fp[0] == "ok"
         assert run_fp[2] == [repr(e) for e in events]
+
+
+#: Enabling delays restricted to constants keep a generated net inside
+#: the lockstep safe class (firing delays may still draw from the full
+#: mixed set — constant, discrete, uniform, exponential are all
+#: compiled).
+CONSTANT_ENABLING = [("const", 0), ("const", 0), ("const", 1), ("const", 2)]
+
+
+def sweep_fingerprint(spec, **sim_kwargs):
+    """One seed reduced to its sweep summary (or its livelock)."""
+    sk = Simulator(build_net(spec), immediate_budget=200, **sim_kwargs)
+    try:
+        summary, _ = _sweep_one(sk, spec["seed"], 1, 40.0, MAX_EVENTS,
+                                True, {}, {})
+    except ImmediateLoopError as exc:
+        return ("livelock", str(exc))
+    return ("ok", summary.to_payload())
+
+
+def lockstep_fingerprint(spec):
+    """The same seed through the compiled lockstep loop, or None when
+    the net falls outside the safe class."""
+    sk = Simulator(build_net(spec), immediate_budget=200)
+    program, selected, _reason = resolve_backend(sk, "auto")
+    if program is None:
+        assert selected == "scalar"
+        return None
+    try:
+        summary, _ = program.run_seed(spec["seed"], 1, 40.0, MAX_EVENTS,
+                                      True, {}, {})
+    except ImmediateLoopError as exc:
+        return ("livelock", str(exc))
+    return ("ok", summary.to_payload())
+
+
+class TestDifferentialThreeWay:
+    """scalar-bucket vs scalar-heap vs lockstep, one summary."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(net_specs(MIXED_DELAYS, enabling=CONSTANT_ENABLING))
+    def test_safe_class_nets(self, spec):
+        bucket = sweep_fingerprint(spec, scheduler="bucket")
+        heap = sweep_fingerprint(spec, scheduler="heap")
+        assert bucket == heap
+        lock = lockstep_fingerprint(spec)
+        # Constant enabling + builder nets (no actions, no predicates)
+        # are in the safe class by construction.
+        assert lock is not None
+        assert lock == bucket
+
+    @settings(max_examples=40, deadline=None)
+    @given(net_specs(MIXED_DELAYS))
+    def test_mixed_eligibility_nets(self, spec):
+        # The unrestricted generator may draw non-constant enabling
+        # delays; the resolver must then fall back (fingerprint None)
+        # rather than produce a divergent run.
+        bucket = sweep_fingerprint(spec, scheduler="bucket")
+        heap = sweep_fingerprint(spec, scheduler="heap")
+        assert bucket == heap
+        lock = lockstep_fingerprint(spec)
+        if lock is not None:
+            assert lock == bucket
 
 
 def _two_phase_delay(env):
