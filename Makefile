@@ -7,7 +7,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-co bench-report perf-smoke differential \
         coverage test-all serve-smoke explore-smoke chaos-smoke \
-        obs-smoke lint
+        obs-smoke spans-smoke lint
 
 ## tier-1: the unit/integration suite plus benchmarks (the repo gate),
 ## then the end-to-end service, exploration and fault-injection smokes
@@ -18,6 +18,7 @@ test:
 	$(MAKE) explore-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) spans-smoke
 
 ## boot a pnut server, run the Figure-5 job, check the pinned trace
 ## SHA-256 and the compiled-net cache counters, shut down cleanly
@@ -43,6 +44,13 @@ chaos-smoke:
 ## frame
 obs-smoke:
 	$(PYTHON) -m repro.obs.smoke
+
+## hierarchical spans end to end: a sweep and a twice-run 2x2
+## exploration (second pass all store skips) must land one child
+## cell-span per seed/cell under the job's trace, then round-trip
+## through `pnut spans` (Gantt) and `pnut spans --stats --json`
+spans-smoke:
+	$(PYTHON) -m repro.obs.spans_smoke
 
 ## the benchmark/experiment suite only
 bench:

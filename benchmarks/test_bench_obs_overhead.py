@@ -36,13 +36,17 @@ from conftest import (
     runner_fingerprint,
 )
 
-from repro.obs import MetricsRegistry, peak_rss_kb
+from repro.obs import MetricsRegistry, SpanLog, mint_trace_id, peak_rss_kb
 from repro.processor import build_pipeline_net
 from repro.sim import Simulator, simulate
+from repro.sim.sweep import run_sweep
 
 #: Max allowed (obs off / baseline) wall-time ratio.
 MAX_OBS_OFF_OVERHEAD = 0.02
 SMOKE_OBS_OFF_OVERHEAD = 0.10
+
+#: The child-span benchmark's seed grid (one cell span per seed).
+SWEEP_SEEDS = list(range(1, 25))
 
 
 def _run_baseline() -> None:
@@ -155,3 +159,72 @@ def test_bench_obs_overhead(benchmark):
         f"(allowed {100 * allowed:.0f}%): the disabled registry leaked "
         f"cost into the hot path"
     )
+
+
+def test_bench_sweep_child_spans(benchmark, tmp_path):
+    """What the hierarchical span layer costs a 24-seed sweep.
+
+    Interleaves the plain sweep against the same sweep with one
+    ``cell-span`` JSONL record written per seed (the record build plus
+    the :class:`~repro.obs.spans.SpanLog` append — the per-cell work the
+    worker's ``on_run`` hook adds). Not gated: recorded to
+    ``BENCH_engine.json`` as ``obs_spans_on_events_per_sec`` so the
+    trajectory shows the per-cell span tax alongside the registry
+    numbers above.
+    """
+    rounds = 2 if perf_smoke() else 4
+    net = build_pipeline_net()
+    log = SpanLog(tmp_path / "obs")
+    trace = mint_trace_id()
+
+    def emit_cell(_index: int, summary) -> None:
+        elapsed = summary.elapsed_s
+        log.cell(
+            trace, "bench", "sweep-run", seed=summary.seed, attempt=1,
+            backend="lockstep", backend_reason="ok", skipped=False,
+            elapsed_s=round(elapsed, 6), events=summary.events_started,
+            events_per_sec=(round(summary.events_started / elapsed)
+                            if elapsed > 0 else 0),
+        )
+
+    def measure():
+        best = {"off": float("inf"), "on": float("inf")}
+        events = {"off": 0, "on": 0}
+        for _ in range(rounds):
+            for name, on_run in (("off", None), ("on", emit_cell)):
+                start = time.perf_counter()
+                result = run_sweep(net, SWEEP_SEEDS, until=PAPER_CYCLES,
+                                   want_stats=False, on_run=on_run)
+                best[name] = min(best[name],
+                                 time.perf_counter() - start)
+                events[name] = sum(r.events_started for r in result.runs)
+        return best, events
+
+    (best, events) = benchmark.pedantic(measure, rounds=1, iterations=1)
+    log.close()
+    assert events["on"] == events["off"]  # spans never change the runs
+
+    spans_overhead = best["on"] / best["off"] - 1.0
+    per_sec = {name: round(events[name] / wall)
+               for name, wall in best.items()}
+    benchmark.extra_info["obs_spans_on_events_per_sec"] = per_sec["on"]
+    benchmark.extra_info["obs_spans_off_events_per_sec"] = per_sec["off"]
+    benchmark.extra_info["obs_spans_overhead_pct"] = round(
+        100 * spans_overhead, 2
+    )
+    benchmark.extra_info["runner"] = runner_fingerprint()
+
+    if not perf_smoke():
+        append_trajectory({
+            "timestamp": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "model": "pipelined-processor-obs-spans",
+            "cycles": PAPER_CYCLES,
+            "seeds": len(SWEEP_SEEDS),
+            "obs_spans_off_events_per_sec": per_sec["off"],
+            "obs_spans_on_events_per_sec": per_sec["on"],
+            "obs_spans_overhead_pct": round(100 * spans_overhead, 2),
+            "reference_container": REFERENCE_CONTAINER,
+            "runner": runner_fingerprint(),
+        })

@@ -302,6 +302,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     def ready(address: str) -> None:
         print(f"pnut serve: listening on {address}", flush=True)
 
+    def http_ready(url: str) -> None:
+        print(f"pnut serve: http observability on {url}", flush=True)
+
     def preloaded(summary: dict) -> None:
         cache = summary["cache"]
         print(
@@ -331,6 +334,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             ready_callback=ready,
             obs_log=args.obs_log,
             obs_interval=args.obs_interval,
+            http_port=args.http,
+            http_host=args.http_host,
+            http_ready_callback=http_ready,
         ))
     except KeyboardInterrupt:
         pass
@@ -611,50 +617,136 @@ def cmd_shutdown(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_client(args: argparse.Namespace):
+    """The metrics/jobs reader for an observability command: the HTTP
+    plane when ``--http URL`` is given, the native socket op otherwise."""
+    if getattr(args, "http", None):
+        from .obs.httpd import HttpObsClient
+
+        return HttpObsClient(args.http, timeout=args.io_timeout)
+    return _service_client(args)
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """One (or a watched stream of) metrics snapshots from a server.
 
     Default output is the canonical-JSON registry snapshot; ``--prom``
     prints the Prometheus text exposition rendering instead (the same
-    bytes the server's ``metrics`` op computed). ``--watch`` repeats
-    every ``--interval`` seconds until interrupted.
+    bytes the server's ``metrics`` op computed — and the same bytes
+    ``GET /metrics`` serves, with ``--http``). ``--watch`` repeats
+    every ``--interval`` seconds until interrupted, surviving server
+    restarts with a ``DISCONNECTED`` notice instead of a traceback.
     """
     import time as _time
 
-    client = _service_client(args)
+    from .obs.dashboard import RECONNECT_BACKOFF_BASE, RECONNECT_BACKOFF_CAP
+    from .service.client import ClientDisconnected, ServiceError
+
+    client = _obs_client(args)
     if client is None:
         return 2
-    with client:
-        try:
-            while True:
+    backoff = RECONNECT_BACKOFF_BASE
+    try:
+        while True:
+            try:
                 frame = client.metrics()
-                if args.prom:
-                    sys.stdout.write(frame["text"])
-                else:
-                    print(canonical_json(frame["metrics"]))
-                sys.stdout.flush()
+            except (ClientDisconnected, ServiceError, OSError) as error:
                 if not args.watch:
-                    return 0
-                _time.sleep(args.interval)
-        except KeyboardInterrupt:
-            return 0
+                    print(f"pnut metrics: {error}", file=sys.stderr)
+                    return 1
+                print(
+                    f"pnut metrics: DISCONNECTED ({error}); "
+                    f"retrying in {backoff:.1f}s",
+                    file=sys.stderr, flush=True,
+                )
+                _time.sleep(backoff)
+                backoff = min(RECONNECT_BACKOFF_CAP, backoff * 2)
+                try:
+                    client.close()
+                except (ServiceError, OSError):
+                    pass
+                fresh = _obs_client(args)
+                if fresh is not None:
+                    client = fresh
+                continue
+            backoff = RECONNECT_BACKOFF_BASE
+            if args.prom:
+                sys.stdout.write(frame["text"])
+            else:
+                print(canonical_json(frame["metrics"]))
+            sys.stdout.flush()
+            if not args.watch:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        try:
+            client.close()
+        except (ServiceError, OSError):
+            pass
 
 
 def cmd_top(args: argparse.Namespace) -> int:
     """Live terminal dashboard over a running pnut server."""
     from .obs.dashboard import run_top
 
-    client = _service_client(args)
+    client = _obs_client(args)
     if client is None:
         return 2
+
+    def reconnect():
+        fresh = _obs_client(args)
+        if fresh is None:
+            raise OSError("cannot rebuild client")
+        return fresh
+
     with client:
         painted = run_top(
             client,
             interval=args.interval,
             iterations=args.iterations,
             clear=not args.no_clear,
+            reconnect=reconnect,
         )
     return 0 if painted else 1
+
+
+def cmd_spans(args: argparse.Namespace) -> int:
+    """Render span timelines from an ``--obs-log`` directory."""
+    from .obs.spanview import (
+        follow_spans,
+        format_record,
+        load_timelines,
+        render_gantt,
+        render_stats,
+        stats_payload,
+    )
+
+    if args.follow:
+        try:
+            for record in follow_spans(args.log, poll=args.interval):
+                if args.trace and record.get("trace_id") != args.trace:
+                    continue
+                print(format_record(record), flush=True)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    timelines = load_timelines(args.log, trace=args.trace)
+    if not timelines:
+        where = f"trace {args.trace!r}" if args.trace else "any trace"
+        print(f"pnut spans: no span records for {where} under {args.log}",
+              file=sys.stderr)
+        return 1
+    if args.stats:
+        payload = stats_payload(timelines)
+        if args.json:
+            print(canonical_json(payload))
+        else:
+            sys.stdout.write(render_stats(payload))
+        return 0
+    sys.stdout.write(render_gantt(timelines, width=args.width))
+    return 0
 
 
 def cmd_jobs(args: argparse.Namespace) -> int:
@@ -792,6 +884,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="log a metrics snapshot every SECONDS "
                               "(appended to DIR/metrics-<pid>.jsonl when "
                               "--obs-log is set)")
+    p_serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                         help="HTTP observability sidecar on PORT (0 picks "
+                              "a free port): GET /metrics (Prometheus), "
+                              "/healthz, /jobs, /spans/<trace_id>")
+    p_serve.add_argument("--http-host", default="127.0.0.1",
+                         help="bind address for --http "
+                              "(default 127.0.0.1; 0.0.0.0 to expose)")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -902,6 +1001,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "interrupted")
     p_metrics.add_argument("--interval", type=float, default=2.0,
                            help="seconds between --watch polls")
+    p_metrics.add_argument("--http", default=None, metavar="URL",
+                           help="read the server's HTTP observability "
+                                "plane (pnut serve --http) instead of the "
+                                "socket op")
     _add_endpoint_arguments(p_metrics)
     p_metrics.set_defaults(fn=cmd_metrics)
 
@@ -915,8 +1018,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_top.add_argument("--no-clear", action="store_true",
                        help="append frames instead of repainting "
                             "(scrolling-log mode, e.g. when piped)")
+    p_top.add_argument("--http", default=None, metavar="URL",
+                       help="read the server's HTTP observability plane "
+                            "(pnut serve --http) instead of the socket op")
     _add_endpoint_arguments(p_top)
     p_top.set_defaults(fn=cmd_top)
+
+    p_spans = sub.add_parser(
+        "spans", help="span timelines from an --obs-log directory: "
+                      "ASCII Gantt per trace (queue wait, run, retries, "
+                      "child cells), --stats aggregates, --follow tail")
+    p_spans.add_argument("--log", required=True, metavar="DIR",
+                         help="the server's --obs-log directory")
+    p_spans.add_argument("--trace", default=None, metavar="ID",
+                         help="only this trace id")
+    p_spans.add_argument("--stats", action="store_true",
+                         help="aggregates instead of the Gantt chart: "
+                              "p50/p95 cell latency per point, backend "
+                              "mix, cache-hit ratio")
+    p_spans.add_argument("--json", action="store_true",
+                         help="canonical JSON (with --stats)")
+    p_spans.add_argument("--follow", action="store_true",
+                         help="tail the directory, one line per record")
+    p_spans.add_argument("--interval", type=float, default=0.5,
+                         help="seconds between --follow polls")
+    p_spans.add_argument("--width", type=int, default=72,
+                         help="Gantt bar canvas width in characters")
+    p_spans.set_defaults(fn=cmd_spans)
 
     p_shutdown = sub.add_parser(
         "shutdown", help="stop a pnut server (optionally draining first)")

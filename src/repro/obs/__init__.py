@@ -14,7 +14,14 @@ from repro.obs.metrics import (
     histogram_quantile,
     peak_rss_kb,
 )
-from repro.obs.spans import SpanLog, mint_trace_id, read_spans, spans_by_trace
+from repro.obs.spans import (
+    SpanLog,
+    cell_span_id,
+    cell_spans,
+    mint_trace_id,
+    read_spans,
+    spans_by_trace,
+)
 
 __all__ = [
     "Counter",
@@ -22,6 +29,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SpanLog",
+    "cell_span_id",
+    "cell_spans",
     "histogram_quantile",
     "mint_trace_id",
     "peak_rss_kb",

@@ -168,30 +168,71 @@ def render(
     return "\n".join(lines) + "\n"
 
 
+#: Reconnect backoff while the server is away: base doubling to cap.
+RECONNECT_BACKOFF_BASE = 0.5
+RECONNECT_BACKOFF_CAP = 5.0
+
+
 def run_top(
     client,
     interval: float = 2.0,
     iterations: int | None = None,
     out=None,
     clear: bool = True,
+    reconnect=None,
 ) -> int:
     """Poll-and-repaint loop over an open
-    :class:`~repro.service.client.ServiceClient`.
+    :class:`~repro.service.client.ServiceClient` (or an
+    :class:`~repro.obs.httpd.HttpObsClient` — anything with the same
+    ``metrics()``/``jobs()`` surface).
 
     ``iterations`` bounds the number of frames (None = until
     interrupted) so smokes and tests can run a finite dashboard;
     ``clear=False`` turns the repaint into a scrolling log (useful when
-    piped). Returns the number of frames painted.
+    piped). ``reconnect`` (a zero-argument factory returning a fresh
+    client) makes the loop survive a server restart or drain: instead
+    of a traceback, it paints a ``DISCONNECTED`` banner and retries
+    with doubling backoff until the server is back. Returns the number
+    of frames painted (banner frames included).
     """
     import sys
+
+    from ..service.client import ClientDisconnected, ServiceError
 
     out = sys.stdout if out is None else out
     previous: dict[str, Any] | None = None
     painted = 0
+    backoff = RECONNECT_BACKOFF_BASE
     try:
         while iterations is None or painted < iterations:
-            snapshot = client.metrics().get("metrics", {})
-            jobs = client.jobs()
+            try:
+                snapshot = client.metrics().get("metrics", {})
+                jobs = client.jobs()
+            except (ClientDisconnected, ServiceError, OSError) as error:
+                if reconnect is None:
+                    raise
+                out.write(
+                    (CLEAR if clear else "")
+                    + f"pnut top — DISCONNECTED ({error}); "
+                    f"retrying in {backoff:.1f}s\n"
+                )
+                out.flush()
+                painted += 1
+                previous = None
+                if iterations is not None and painted >= iterations:
+                    break
+                time.sleep(backoff)
+                backoff = min(RECONNECT_BACKOFF_CAP, backoff * 2)
+                try:
+                    client.close()
+                except (ServiceError, OSError):
+                    pass
+                try:
+                    client = reconnect()
+                except (ClientDisconnected, ServiceError, OSError):
+                    pass  # still down; the next poll shows the banner
+                continue
+            backoff = RECONNECT_BACKOFF_BASE
             frame = render(snapshot, compute_rates(previous, snapshot), jobs)
             out.write((CLEAR if clear else "") + frame)
             out.flush()

@@ -1,0 +1,273 @@
+"""The HTTP observability plane: a stdlib asyncio sidecar for scraping.
+
+``pnut serve --http PORT`` starts this tiny HTTP/1.1 server on the same
+event loop as the NDJSON service, so real Prometheus/k8s deployments
+scrape a pnut server without speaking its native protocol:
+
+==================  =====================================================
+``GET /metrics``    Prometheus text exposition — the *same bytes* the
+                    ``metrics`` op renders from the same snapshot.
+``GET /metrics.json``  The canonical-JSON registry snapshot (what
+                    ``pnut metrics`` prints without ``--prom``).
+``GET /healthz``    ``200 {"status":"ok"}`` while serving; ``503``
+                    with ``"draining"`` once a drain started — the
+                    readiness-probe contract.
+``GET /jobs``       The job table as canonical JSON.
+``GET /spans/<trace_id>``  One trace's span timeline (parent records
+                    plus child cell spans) read back from the
+                    ``--obs-log`` directory; 404 when unknown (or the
+                    server runs without ``--obs-log``).
+==================  =====================================================
+
+No routing framework, no threads: one ``asyncio.start_server`` handler
+that reads a request, writes one ``Connection: close`` response, and
+hangs up. The server is decoupled from the service through plain
+callables so it is unit-testable without a service behind it.
+
+:class:`HttpObsClient` is the read side used by ``pnut metrics --http``
+and ``pnut top --http`` — a blocking ``urllib`` client exposing the
+same ``metrics()``/``jobs()`` surface as the native
+:class:`~repro.service.client.ServiceClient`, raising the same
+:class:`~repro.service.client.ClientDisconnected` when the plane goes
+away so the reconnect loops upstream treat both transports alike.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+from collections.abc import Callable
+from typing import Any
+
+from ..service.client import ClientDisconnected, RemoteError
+from .metrics import MetricsRegistry
+
+__all__ = ["HttpObsClient", "ObsHttpServer"]
+
+#: Request-line length bound (paths here are tiny; anything bigger is junk).
+_MAX_REQUEST_LINE = 8 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+#: The content type Prometheus expects for the text exposition format.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _canonical(payload: Any) -> bytes:
+    return (json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+class ObsHttpServer:
+    """The scrape sidecar: four read-only routes over service callables.
+
+    ``snapshot`` returns the live metrics registry snapshot (the
+    Prometheus text is rendered from it with the exact classmethod the
+    ``metrics`` op uses, which is what makes the two byte-identical);
+    ``health`` returns ``(ready, payload)``; ``jobs`` the job table;
+    ``spans_lookup`` maps a trace id to its span records or ``None``.
+    """
+
+    def __init__(
+        self,
+        snapshot: Callable[[], dict[str, Any]],
+        health: Callable[[], tuple[bool, dict[str, Any]]],
+        jobs: Callable[[], list[dict[str, Any]]],
+        spans_lookup: Callable[[str], list[dict[str, Any]] | None]
+        | None = None,
+    ) -> None:
+        self.snapshot = snapshot
+        self.health = health
+        self.jobs = jobs
+        self.spans_lookup = spans_lookup
+        self._server: asyncio.AbstractServer | None = None
+        self.address: str | None = None
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> str:
+        """Bind and return the scrape URL (``http://host:port``)."""
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.address = f"http://{bound[0]}:{bound[1]}"
+        return self.address
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling --------------------------------------------------
+
+    def _route(self, path: str) -> tuple[int, str, bytes]:
+        """(status, content type, body) for one GET path."""
+        if path == "/metrics":
+            text = MetricsRegistry.render_prometheus(self.snapshot())
+            return 200, PROM_CONTENT_TYPE, text.encode("utf-8")
+        if path == "/metrics.json":
+            return 200, "application/json", _canonical(self.snapshot())
+        if path == "/healthz":
+            ready, payload = self.health()
+            return (200 if ready else 503, "application/json",
+                    _canonical(payload))
+        if path == "/jobs":
+            return 200, "application/json", _canonical(
+                {"jobs": self.jobs()}
+            )
+        if path.startswith("/spans/") and self.spans_lookup is not None:
+            trace_id = path[len("/spans/"):]
+            records = self.spans_lookup(trace_id) if trace_id else None
+            if records:
+                return 200, "application/json", _canonical(
+                    {"trace": trace_id, "records": records}
+                )
+            return 404, "application/json", _canonical(
+                {"error": f"unknown trace {trace_id!r}"}
+            )
+        return 404, "application/json", _canonical(
+            {"error": f"no route for {path!r}"}
+        )
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await reader.readuntil(b"\r\n")
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                    ConnectionResetError):
+                return
+            if len(request) > _MAX_REQUEST_LINE:
+                await self._respond(writer, 400, "text/plain",
+                                    b"request line too long\n")
+                return
+            parts = request.decode("latin-1").split()
+            if len(parts) != 3:
+                await self._respond(writer, 400, "text/plain",
+                                    b"malformed request line\n")
+                return
+            method, target, _version = parts
+            # Drain (and ignore) the header block so the client's socket
+            # isn't reset while it is still sending.
+            while True:
+                try:
+                    line = await reader.readuntil(b"\r\n")
+                except (asyncio.IncompleteReadError,
+                        asyncio.LimitOverrunError, ConnectionResetError):
+                    break
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if method not in ("GET", "HEAD"):
+                await self._respond(writer, 405, "text/plain",
+                                    b"read-only plane: GET only\n")
+                return
+            path = target.split("?", 1)[0]
+            status, content_type, body = self._route(path)
+            await self._respond(writer, status, content_type, body,
+                                head=method == "HEAD")
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       content_type: str, body: bytes,
+                       head: bool = False) -> None:
+        head_block = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head_block if head else head_block + body)
+        await writer.drain()
+
+
+class HttpObsClient:
+    """Blocking reader for the HTTP plane (``pnut metrics/top --http``).
+
+    Quacks like the subset of :class:`~repro.service.client.ServiceClient`
+    the dashboards use — ``metrics()`` returning ``{"metrics", "text"}``
+    and ``jobs()`` — and maps transport failures to
+    :class:`~repro.service.client.ClientDisconnected`, so the reconnect
+    loops in ``pnut top`` / ``pnut metrics --watch`` work identically
+    over both transports.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        if "://" not in self.base_url:
+            self.base_url = "http://" + self.base_url
+        self.timeout = timeout
+
+    def _get(self, path: str) -> tuple[int, bytes]:
+        url = self.base_url + path
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as error:
+            # Non-2xx still carries a body (e.g. a draining /healthz).
+            return error.code, error.read()
+        except (urllib.error.URLError, OSError, TimeoutError) as error:
+            raise ClientDisconnected(
+                f"HTTP observability plane unreachable at {url}: {error}"
+            ) from None
+
+    def _get_json(self, path: str) -> Any:
+        status, body = self._get(path)
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise RemoteError(
+                f"non-JSON response ({status}) from {path}", "bad-response"
+            ) from None
+        if status != 200:
+            raise RemoteError(
+                f"{path} returned {status}: {payload}", "http-error"
+            )
+        return payload
+
+    def metrics(self) -> dict[str, Any]:
+        snapshot = self._get_json("/metrics.json")
+        status, text = self._get("/metrics")
+        if status != 200:
+            raise RemoteError(f"/metrics returned {status}", "http-error")
+        return {"metrics": snapshot, "text": text.decode("utf-8")}
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._get_json("/jobs")["jobs"]
+
+    def healthz(self) -> tuple[int, dict[str, Any]]:
+        status, body = self._get("/healthz")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            payload = {}
+        return status, payload
+
+    def spans(self, trace_id: str) -> list[dict[str, Any]]:
+        return self._get_json(f"/spans/{trace_id}")["records"]
+
+    def close(self) -> None:  # symmetry with ServiceClient
+        pass
+
+    def __enter__(self) -> HttpObsClient:
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -31,6 +31,7 @@ Design constraints, in order:
 from __future__ import annotations
 
 import math
+import re
 import threading
 import time
 from typing import Any, Callable
@@ -42,6 +43,7 @@ __all__ = [
     "MetricsRegistry",
     "histogram_quantile",
     "peak_rss_kb",
+    "validate_exposition",
 ]
 
 #: Histogram bucket exponents: upper bounds 2**e for e in this range
@@ -342,6 +344,87 @@ def _format_number(value: float) -> str:
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return repr(value)
+
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})? "
+    r"(?P<value>[^ ]+)$"
+)
+
+
+def validate_exposition(text: str) -> str | None:
+    """Strictly parse a Prometheus text exposition; None when it holds.
+
+    Stricter than a per-line regex (the scrape-path gate in
+    ``make obs-smoke``): every sample must belong to the family the
+    preceding ``# TYPE`` declared (``_bucket``/``_sum``/``_count`` for
+    histograms), values must parse as finite numbers, counters may not
+    be negative, and a histogram's cumulative bucket counts must be
+    non-decreasing with the ``+Inf`` bucket equal to its ``_count``.
+    Returns a one-line diagnosis of the first violation otherwise.
+    """
+    family: str | None = None
+    family_type: str | None = None
+    buckets: list[float] = []
+    hist_count: dict[str, float] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            return f"line {number}: blank line inside the exposition"
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _METRIC_NAME.match(parts[2]):
+                return f"line {number}: malformed TYPE line {line!r}"
+            family, family_type = parts[2], parts[3]
+            if family_type not in ("counter", "gauge", "histogram"):
+                return (f"line {number}: unknown metric type "
+                        f"{family_type!r}")
+            buckets = []
+            continue
+        if line.startswith("#"):
+            continue  # HELP/comment lines are legal, unchecked
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            return f"line {number}: unparseable sample line {line!r}"
+        name, labels = match.group("name"), match.group("labels")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            return (f"line {number}: non-numeric value "
+                    f"{match.group('value')!r}")
+        if value != value or value in (float("inf"), float("-inf")):
+            return f"line {number}: non-finite value in {line!r}"
+        if family is None:
+            return f"line {number}: sample {name!r} before any TYPE line"
+        if family_type == "histogram":
+            if name == f"{family}_bucket":
+                if not labels or 'le="' not in labels:
+                    return (f"line {number}: histogram bucket without an "
+                            f"le label: {line!r}")
+                if buckets and value < buckets[-1]:
+                    return (f"line {number}: bucket counts of {family} "
+                            f"are not cumulative")
+                buckets.append(value)
+                if 'le="+Inf"' in labels:
+                    hist_count[family] = value
+            elif name == f"{family}_sum":
+                pass
+            elif name == f"{family}_count":
+                if hist_count.get(family) != value:
+                    return (f"line {number}: {family}_count {value:g} != "
+                            f"its +Inf bucket {hist_count.get(family)}")
+            else:
+                return (f"line {number}: sample {name!r} outside "
+                        f"histogram family {family!r}")
+        elif name != family:
+            return (f"line {number}: sample {name!r} does not match the "
+                    f"declared family {family!r}")
+        elif family_type == "counter" and value < 0:
+            return f"line {number}: negative counter {line!r}"
+    if not hist_count and family is None:
+        return "empty exposition"
+    return None
 
 
 def peak_rss_kb() -> int:

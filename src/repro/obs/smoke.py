@@ -6,7 +6,11 @@ whole observability surface:
 
 * the ``metrics`` op returns a schema-valid canonical-JSON snapshot
   (counters/gauges/histograms/info) whose numbers reflect the job that
-  just ran, plus a Prometheus text rendering that parses line-by-line;
+  just ran, plus a Prometheus text rendering that passes the strict
+  exposition parser (:func:`~repro.obs.metrics.validate_exposition`);
+* the HTTP plane (``--http``) serves the same exposition over
+  ``GET /metrics`` — byte-identical to the op's text modulo the two
+  time-derived gauges — plus a ``200 /healthz`` and ``/metrics.json``;
 * the span JSONL under ``--obs-log`` round-trips: exactly one
   ``span-start``/``span-end`` pair per job, matching trace ids on the
   wire frames, correct verdict and attempt count;
@@ -21,25 +25,33 @@ Run it directly::
 from __future__ import annotations
 
 import json
-import re
 import subprocess
 import sys
 import tempfile
 import time
+import urllib.request
 from pathlib import Path
 
 from ..lang.format import format_net
 from ..processor import build_pipeline_net
 from ..service.client import ServiceClient
+from .metrics import validate_exposition
 from .spans import read_spans, spans_by_trace
 
 PAPER_CYCLES = 10_000
 SEED = 1988
 
-#: One Prometheus exposition line: comment, or `name{labels} value`.
-_PROM_LINE = re.compile(
-    r"^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+)$"
-)
+#: Gauges recomputed per snapshot from the clock/kernel — the only lines
+#: allowed to differ between two back-to-back renders of the server.
+VOLATILE_GAUGES = ("pnut_uptime_seconds", "pnut_server_rss_kb")
+
+
+def stable_lines(text: str) -> list[str]:
+    """The exposition minus the two time-derived gauge sample lines."""
+    return [
+        line for line in text.splitlines()
+        if not line.split(" ", 1)[0].startswith(VOLATILE_GAUGES)
+    ]
 
 
 def _fail(message: str) -> int:
@@ -83,7 +95,7 @@ def main() -> int:
         server = subprocess.Popen(
             [sys.executable, "-m", "repro.cli", "serve",
              "--socket", socket_path, "--workers", "2",
-             "--obs-log", str(obs_dir)],
+             "--obs-log", str(obs_dir), "--http", "0"],
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         )
         try:
@@ -93,6 +105,16 @@ def main() -> int:
                     output = server.stdout.read() if server.stdout else ""
                     return _fail(f"server did not come up:\n{output}")
                 time.sleep(0.05)
+            # Both ready lines are printed (and flushed) before the
+            # socket accepts, so these reads cannot block for long.
+            http_url = None
+            for _ in range(8):
+                line = server.stdout.readline()
+                if "http observability on " in line:
+                    http_url = line.rsplit(" ", 1)[-1].strip()
+                    break
+            if not http_url:
+                return _fail("server never announced its --http address")
 
             with ServiceClient(unix_path=socket_path, timeout=300.0) as client:
                 result = client.submit(net_source, until=PAPER_CYCLES,
@@ -120,9 +142,47 @@ def main() -> int:
                 text = frame.get("text", "")
                 if "pnut_jobs_completed_total" not in text:
                     return _fail("Prometheus text lacks pnut_ counters")
-                for line in text.splitlines():
-                    if line and not _PROM_LINE.match(line):
-                        return _fail(f"unparseable Prometheus line: {line!r}")
+                problem = validate_exposition(text)
+                if problem:
+                    return _fail(f"metrics-op exposition: {problem}")
+
+                # The HTTP plane: /metrics must render the same bytes
+                # the op does (same snapshot pipeline; only the two
+                # clock-derived gauges may move between the two calls),
+                # /healthz must be a ready 200, /metrics.json the
+                # canonical snapshot.
+                with urllib.request.urlopen(http_url + "/metrics",
+                                            timeout=30.0) as resp:
+                    if resp.status != 200:
+                        return _fail(f"/metrics returned {resp.status}")
+                    content_type = resp.headers.get("Content-Type", "")
+                    http_text = resp.read().decode("utf-8")
+                if "version=0.0.4" not in content_type:
+                    return _fail(
+                        f"/metrics content type {content_type!r} is not "
+                        f"the 0.0.4 text exposition"
+                    )
+                problem = validate_exposition(http_text)
+                if problem:
+                    return _fail(f"HTTP /metrics exposition: {problem}")
+                if stable_lines(http_text) != stable_lines(text):
+                    return _fail(
+                        "HTTP /metrics diverged from the metrics op's "
+                        "Prometheus text beyond the volatile gauges"
+                    )
+                with urllib.request.urlopen(http_url + "/healthz",
+                                            timeout=30.0) as resp:
+                    health = json.loads(resp.read().decode("utf-8"))
+                    if resp.status != 200 or health.get("status") != "ok":
+                        return _fail(
+                            f"/healthz not ready: {resp.status} {health}"
+                        )
+                with urllib.request.urlopen(http_url + "/metrics.json",
+                                            timeout=30.0) as resp:
+                    http_snapshot = json.loads(resp.read().decode("utf-8"))
+                problem = check_snapshot_schema(http_snapshot)
+                if problem:
+                    return _fail(f"/metrics.json snapshot: {problem}")
 
                 # The snapshot must be canonical-JSON-stable (sorted keys,
                 # compact separators round-trip byte-identically).
@@ -174,8 +234,9 @@ def main() -> int:
                 server.kill()
                 server.wait()
     print(
-        "obs-smoke: OK (metrics op schema + Prometheus text parse, "
-        "span JSONL round-trip, live `pnut top` frame)"
+        "obs-smoke: OK (metrics op schema + strict Prometheus parse, "
+        "HTTP /metrics byte-parity + /healthz, span JSONL round-trip, "
+        "live `pnut top` frame)"
     )
     return 0
 

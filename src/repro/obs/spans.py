@@ -18,23 +18,53 @@ killed server. Three record shapes share the envelope
   ``timeout``, ``fault`` ...) and kind-specific fields.
 * ``span-end`` — terminal; adds ``verdict`` (``done``/``failed``/
   ``cancelled``), ``attempts``, and measured ``queued_s``/``run_s``.
+* ``cell-span`` — one *child* span per sweep seed / explore cell,
+  linked to the parent timeline by ``trace_id`` and identified by a
+  deterministic ``span_id`` (:func:`cell_span_id`): a crash-retry
+  re-emits the same id with a higher ``attempt``, so readers collapse
+  retries to one span per cell (:func:`cell_spans`) exactly like the
+  parent's one-span-per-job contract. Carries the cell's coordinates
+  (``seed`` and, for explorations, ``point``), the ``backend`` that
+  ran it (+ fallback reason), ``skipped`` for store-served cells, and
+  measured ``elapsed_s``/``events``/``events_per_sec``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
 from pathlib import Path
 from typing import Any, TextIO
 
-__all__ = ["SpanLog", "mint_trace_id", "read_spans", "spans_by_trace"]
+__all__ = [
+    "SpanLog",
+    "cell_span_id",
+    "cell_spans",
+    "mint_trace_id",
+    "read_spans",
+    "spans_by_trace",
+]
 
 
 def mint_trace_id() -> str:
     """A 16-hex-char trace id; random, not derived, so resubmissions of
     an identical spec still get distinct timelines."""
     return os.urandom(8).hex()
+
+
+def cell_span_id(trace_id: str, kind: str, point: int | None,
+                 seed: int) -> str:
+    """The deterministic child-span id for one cell of a grid job.
+
+    Derived from the parent trace plus the cell's coordinates — not
+    minted — so every attempt of the same cell (a crash-retry re-runs
+    the whole grid) lands on the same id and the timeline stays one
+    span per cell no matter how many times the worker died.
+    """
+    token = f"{trace_id}/{kind}/{'-' if point is None else point}/{seed}"
+    return hashlib.sha256(token.encode("ascii")).hexdigest()[:16]
 
 
 class SpanLog:
@@ -89,6 +119,25 @@ class SpanLog:
             **fields,
         })
 
+    def cell(self, trace_id: str, job_id: str, kind: str, *,
+             seed: int, point: int | None = None,
+             **fields: Any) -> None:
+        """One child span for a sweep seed / explore cell (see module
+        docstring; ``span_id`` is derived, never minted)."""
+        record: dict[str, Any] = {
+            "ts": time.time(),
+            "trace_id": trace_id,
+            "job": job_id,
+            "event": "cell-span",
+            "span_id": cell_span_id(trace_id, kind, point, seed),
+            "kind": kind,
+            "seed": seed,
+            **fields,
+        }
+        if point is not None:
+            record["point"] = point
+        self._write(record)
+
     def end(self, trace_id: str, job_id: str, verdict: str,
             **fields: Any) -> None:
         self._write({
@@ -134,10 +183,46 @@ def read_spans(directory: str | Path) -> list[dict[str, Any]]:
 def spans_by_trace(
     records: list[dict[str, Any]],
 ) -> dict[str, list[dict[str, Any]]]:
-    """Group span records into per-trace timelines (insertion-ordered)."""
+    """Group span records into per-trace timelines (insertion-ordered).
+
+    Child ``cell-span`` records are *excluded*: the parent timeline
+    keeps its PR-7 shape (one span-start/span-end pair per job, retries
+    as annotations); readers get the children from :func:`cell_spans`.
+    """
     timelines: dict[str, list[dict[str, Any]]] = {}
     for record in records:
         trace_id = record.get("trace_id")
-        if isinstance(trace_id, str):
+        if isinstance(trace_id, str) and record.get("event") != "cell-span":
             timelines.setdefault(trace_id, []).append(record)
     return timelines
+
+
+def cell_spans(
+    records: list[dict[str, Any]],
+) -> dict[str, list[dict[str, Any]]]:
+    """Per-trace child spans, collapsed to one record per cell.
+
+    A crash-retry re-runs the whole grid and re-emits every cell under
+    the *same* deterministic ``span_id``; the read side keeps the
+    record with the highest ``(attempt, ts)`` so a chaos run reads
+    back as exactly one span per cell, mirroring the parent's
+    one-span-per-job contract.
+    """
+    latest: dict[str, dict[str, dict[str, Any]]] = {}
+    for record in records:
+        trace_id = record.get("trace_id")
+        span_id = record.get("span_id")
+        if (record.get("event") != "cell-span"
+                or not isinstance(trace_id, str)
+                or not isinstance(span_id, str)):
+            continue
+        cells = latest.setdefault(trace_id, {})
+        seen = cells.get(span_id)
+        key = (record.get("attempt", 0), record.get("ts", 0.0))
+        if seen is None or key >= (seen.get("attempt", 0),
+                                   seen.get("ts", 0.0)):
+            cells[span_id] = record
+    return {
+        trace_id: sorted(cells.values(), key=lambda r: r.get("ts", 0.0))
+        for trace_id, cells in latest.items()
+    }

@@ -1,0 +1,210 @@
+"""`make spans-smoke`: child cell spans round-tripped through `pnut spans`.
+
+The deployment-shaped gate for the hierarchical-span layer: boot a
+``pnut serve --obs-log`` subprocess, run a multi-seed sweep and a
+2x2-point exploration (twice, with a result store, so the second pass
+is all cache skips) through the real CLI, then verify:
+
+* every sweep seed and every explore cell appears as exactly one
+  ``cell-span`` child record under its job's ``trace_id``, carrying
+  the backend that ran it and the store-skip status;
+* ``pnut spans --log DIR`` renders a Gantt with the job bar and one
+  nested row per cell;
+* ``pnut spans --log DIR --stats --json`` aggregates match the grid:
+  cell counts, backend mix summing to the cells run, and a non-zero
+  cache-hit ratio from the skipped second exploration.
+
+Run it directly::
+
+    python -m repro.obs.spans_smoke
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from ..lang.format import format_net
+from ..processor import build_pipeline_net
+from .spans import cell_spans, read_spans, spans_by_trace
+
+SWEEP_SEEDS = 6
+
+TEMPLATE = """\
+net spangrid
+place pool = ${tokens}
+place free = 1
+work [fire=${delay}]: pool + free -> free + done
+drain [fire=1]: done -> 0
+"""
+
+GRID_ARGS = [
+    "--param", "tokens=2,4", "--param", "delay=1,2",
+    "--seeds", "1..2", "--until", "80",
+]
+
+#: 2 x 2 points x 2 seeds.
+EXPECTED_CELLS = 8
+
+
+def _fail(message: str) -> int:
+    print(f"spans-smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def _cli(*args: str, timeout: float = 120.0) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="pnut-spans-smoke-") as tmp:
+        root = Path(tmp)
+        socket_path = str(root / "pnut.sock")
+        obs_dir = root / "obs"
+        template_path = str(root / "grid.pn")
+        Path(template_path).write_text(TEMPLATE)
+        store_path = str(root / "cells.db")
+
+        net_path = str(root / "pipeline.pn")
+        Path(net_path).write_text(format_net(build_pipeline_net()))
+
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--socket", socket_path, "--workers", "1",
+             "--obs-log", str(obs_dir)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while not Path(socket_path).exists():
+                if server.poll() is not None or time.monotonic() > deadline:
+                    output = server.stdout.read() if server.stdout else ""
+                    return _fail(f"server did not come up:\n{output}")
+                time.sleep(0.05)
+
+            sweep = _cli("sweep", net_path, "--socket", socket_path,
+                         "--seeds", f"1..{SWEEP_SEEDS}", "--until", "500")
+            if sweep.returncode != 0:
+                return _fail(f"pnut sweep failed:\n{sweep.stderr}")
+
+            for attempt in ("cold", "stored"):
+                explore = _cli("explore", template_path,
+                               "--socket", socket_path,
+                               "--store", store_path, *GRID_ARGS)
+                if explore.returncode != 0:
+                    return _fail(
+                        f"pnut explore ({attempt}) failed:\n"
+                        f"{explore.stderr}"
+                    )
+
+            down = _cli("shutdown", "--socket", socket_path, "--drain")
+            if down.returncode != 0:
+                return _fail(f"pnut shutdown failed:\n{down.stderr}")
+            try:
+                server.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                return _fail("server did not exit after shutdown")
+
+            records = read_spans(obs_dir)
+            parents = spans_by_trace(records)
+            children = cell_spans(records)
+            if len(parents) != 3:
+                return _fail(f"expected 3 job spans, have {len(parents)}")
+
+            by_op: dict[str, list] = {}
+            for trace_id, timeline in parents.items():
+                events = [r["event"] for r in timeline]
+                if events != ["span-start", "span-end"]:
+                    return _fail(
+                        f"parent {trace_id} is not one clean span: {events}"
+                    )
+                by_op.setdefault(timeline[0].get("op", "?"), []).append(
+                    trace_id
+                )
+            if len(by_op.get("sweep", [])) != 1:
+                return _fail(f"expected one sweep trace: {by_op}")
+            if len(by_op.get("explore", [])) != 2:
+                return _fail(f"expected two explore traces: {by_op}")
+
+            sweep_cells = children.get(by_op["sweep"][0], [])
+            if len(sweep_cells) != SWEEP_SEEDS:
+                return _fail(
+                    f"sweep grew {len(sweep_cells)} child spans, "
+                    f"expected {SWEEP_SEEDS}"
+                )
+            if sorted(c["seed"] for c in sweep_cells) != list(
+                    range(1, SWEEP_SEEDS + 1)):
+                return _fail(f"sweep cell seeds wrong: {sweep_cells}")
+            for cell in sweep_cells:
+                if cell.get("backend") not in ("lockstep", "scalar"):
+                    return _fail(f"cell span without a backend: {cell}")
+                if cell.get("skipped") or cell.get("elapsed_s", 0) <= 0:
+                    return _fail(f"sweep cell looks skipped/empty: {cell}")
+
+            cold, stored = by_op["explore"]
+            for trace_id, want_skipped in ((cold, False), (stored, True)):
+                cells = children.get(trace_id, [])
+                if len(cells) != EXPECTED_CELLS:
+                    return _fail(
+                        f"explore {trace_id} has {len(cells)} child "
+                        f"spans, expected {EXPECTED_CELLS}"
+                    )
+                skipped = [c for c in cells if c.get("skipped")]
+                if want_skipped and len(skipped) != EXPECTED_CELLS:
+                    return _fail(
+                        f"stored re-run was not all store-skips: "
+                        f"{len(skipped)}/{EXPECTED_CELLS}"
+                    )
+                if not want_skipped and skipped:
+                    return _fail(f"cold run reported skips: {skipped}")
+                if any("point" not in c for c in cells):
+                    return _fail(f"explore cell without a point: {cells}")
+
+            gantt = _cli("spans", "--log", str(obs_dir))
+            if gantt.returncode != 0:
+                return _fail(f"pnut spans failed:\n{gantt.stderr}")
+            if gantt.stdout.count("trace ") != 3:
+                return _fail(
+                    f"Gantt did not render 3 traces:\n{gantt.stdout}"
+                )
+            if "#" not in gantt.stdout or "seed " not in gantt.stdout:
+                return _fail(f"Gantt has no cell rows:\n{gantt.stdout}")
+
+            stats = _cli("spans", "--log", str(obs_dir),
+                         "--stats", "--json")
+            if stats.returncode != 0:
+                return _fail(f"pnut spans --stats failed:\n{stats.stderr}")
+            payload = json.loads(stats.stdout)
+            total = SWEEP_SEEDS + 2 * EXPECTED_CELLS
+            if payload["cells"] != total:
+                return _fail(f"stats counted {payload['cells']} cells, "
+                             f"expected {total}")
+            if payload["cells_skipped"] != EXPECTED_CELLS:
+                return _fail(f"stats cache accounting wrong: {payload}")
+            if abs(payload["cache_hit_ratio"]
+                   - EXPECTED_CELLS / total) > 1e-3:
+                return _fail(f"cache-hit ratio wrong: {payload}")
+            if sum(payload["backends"].values()) != total - EXPECTED_CELLS:
+                return _fail(f"backend mix wrong: {payload}")
+            if not payload["cell_latency"]:
+                return _fail(f"no per-point latency aggregates: {payload}")
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+    print(
+        "spans-smoke: OK (sweep seeds + explore cells as child spans, "
+        "store skips flagged, `pnut spans` Gantt + --stats round-trip)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,392 @@
+"""``pnut spans`` — span timelines as ASCII Gantt charts and aggregates.
+
+The write side (:mod:`repro.obs.spans`) appends JSONL records; this is
+the read side that turns an ``--obs-log`` directory into the primary
+debugging surface:
+
+* :func:`build_timelines` folds raw records into one
+  :class:`JobTimeline` per trace — parent span (queue wait, run time,
+  retry annotations, verdict) plus the child cell spans, already
+  collapsed to one per cell across crash retries.
+* :func:`render_gantt` draws the timelines to scale: ``.`` for queue
+  wait, ``=`` for the parent's run segment, ``#`` for a child cell's
+  run, ``x`` for a cache-skipped cell, ``!`` where a retry landed.
+* :func:`stats_payload`/:func:`render_stats` aggregate across traces:
+  p50/p95 cell latency per grid point, the backend mix, and the
+  cache-hit ratio.
+* :func:`follow_spans` tails the directory for live records
+  (``pnut spans --follow``), surviving file rotation on server restart.
+
+Everything here is pure read-side tooling: no server, no sockets — a
+directory of JSONL in, text out — so the whole module unit-tests
+without a service behind it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from .spans import cell_spans, read_spans, spans_by_trace
+
+__all__ = [
+    "CellSpan",
+    "JobTimeline",
+    "build_timelines",
+    "follow_spans",
+    "format_record",
+    "load_timelines",
+    "render_gantt",
+    "render_stats",
+    "stats_payload",
+]
+
+#: Minimum drawable bar width; labels get whatever is left of --width.
+_MIN_CANVAS = 10
+
+
+@dataclass
+class CellSpan:
+    """One child span (sweep seed / explore cell), retry-collapsed."""
+
+    span_id: str
+    kind: str
+    seed: int
+    point: int | None
+    attempt: int
+    end_ts: float
+    elapsed_s: float
+    backend: str
+    backend_reason: str
+    skipped: bool
+    events: int
+    events_per_sec: float
+
+    @property
+    def start_ts(self) -> float:
+        return self.end_ts - self.elapsed_s
+
+
+@dataclass
+class JobTimeline:
+    """One job's whole life: the parent span plus its child cells."""
+
+    trace_id: str
+    job: str
+    op: str
+    start_ts: float
+    end_ts: float
+    verdict: str | None
+    attempts: int
+    queued_s: float
+    run_s: float
+    annotations: list[dict[str, Any]] = field(default_factory=list)
+    cells: list[CellSpan] = field(default_factory=list)
+
+
+def _cell_from_record(record: dict[str, Any]) -> CellSpan:
+    return CellSpan(
+        span_id=str(record.get("span_id", "")),
+        kind=str(record.get("kind", "cell")),
+        seed=int(record.get("seed", 0)),
+        point=record.get("point"),
+        attempt=int(record.get("attempt", 0)),
+        end_ts=float(record.get("ts", 0.0)),
+        elapsed_s=float(record.get("elapsed_s", 0.0)),
+        backend=str(record.get("backend", "?")),
+        backend_reason=str(record.get("backend_reason", "")),
+        skipped=bool(record.get("skipped", False)),
+        events=int(record.get("events", 0)),
+        events_per_sec=float(record.get("events_per_sec", 0.0)),
+    )
+
+
+def build_timelines(records: list[dict[str, Any]]) -> list[JobTimeline]:
+    """Fold raw span records into per-trace timelines, start-time order.
+
+    Tolerates truncated timelines (a killed server may leave a span
+    with no ``span-end``): the verdict stays ``None`` and the end time
+    falls back to the last record seen on the trace.
+    """
+    children = cell_spans(records)
+    timelines: list[JobTimeline] = []
+    for trace_id, timeline in spans_by_trace(records).items():
+        start = next((r for r in timeline if r.get("event") == "span-start"),
+                     None)
+        if start is None:
+            continue
+        end = next((r for r in reversed(timeline)
+                    if r.get("event") == "span-end"), None)
+        last_ts = max((r.get("ts", 0.0) for r in timeline), default=0.0)
+        cells = sorted(
+            (_cell_from_record(r) for r in children.get(trace_id, [])),
+            key=lambda cell: (cell.start_ts, cell.seed),
+        )
+        if cells:
+            last_ts = max(last_ts, max(cell.end_ts for cell in cells))
+        timelines.append(JobTimeline(
+            trace_id=trace_id,
+            job=str(start.get("job", "?")),
+            op=str(start.get("op", "?")),
+            start_ts=float(start.get("ts", 0.0)),
+            end_ts=float(end.get("ts", last_ts)) if end else last_ts,
+            verdict=end.get("verdict") if end else None,
+            attempts=int(end.get("attempts", 1)) if end else 1,
+            queued_s=float(end.get("queued_s", 0.0)) if end else 0.0,
+            run_s=float(end.get("run_s", 0.0)) if end else 0.0,
+            annotations=[r for r in timeline
+                         if r.get("event") == "annotation"],
+            cells=cells,
+        ))
+    timelines.sort(key=lambda tl: tl.start_ts)
+    return timelines
+
+
+# -- the Gantt chart -------------------------------------------------------
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds < 1:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 120:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 60:.1f}m"
+
+
+def _bar(canvas: list[str], t0: float, span: float, width: int,
+         start: float, end: float, glyph: str) -> None:
+    """Paint [start, end) onto the canvas, at least one cell wide."""
+    if span <= 0:
+        return
+    lo = int((start - t0) / span * (width - 1))
+    hi = max(lo + 1, int((end - t0) / span * (width - 1)) + 1)
+    for i in range(max(0, lo), min(width, hi)):
+        canvas[i] = glyph
+
+
+def _cell_label(cell: CellSpan) -> str:
+    where = (f"p{cell.point} s{cell.seed}" if cell.point is not None
+             else f"seed {cell.seed}")
+    if cell.skipped:
+        return f"{where} (store)"
+    return f"{where} {cell.backend}"
+
+
+def render_gantt(timelines: list[JobTimeline], width: int = 72,
+                 max_cells: int = 64) -> str:
+    """The timelines drawn to a shared scale, one block per trace.
+
+    ``width`` is the bar canvas in characters; ``max_cells`` bounds the
+    child rows per job (the elided count is printed, never silently
+    dropped).
+    """
+    if not timelines:
+        return "pnut spans: no span timelines found\n"
+    width = max(_MIN_CANVAS, width)
+    t0 = min(tl.start_ts for tl in timelines)
+    t1 = max(tl.end_ts for tl in timelines)
+    span = t1 - t0
+    out: list[str] = []
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(t0))
+    out.append(
+        f"pnut spans — {len(timelines)} trace(s), {stamp}, "
+        f"window {_fmt_s(max(span, 0.0))}"
+    )
+    label_w = 18
+    for tl in timelines:
+        out.append("")
+        verdict = tl.verdict or "(no span-end)"
+        out.append(
+            f"trace {tl.trace_id}  {tl.job}  {tl.op}  {verdict}  "
+            f"attempts={tl.attempts}  queued {_fmt_s(tl.queued_s)}  "
+            f"run {_fmt_s(tl.run_s)}"
+        )
+        canvas = [" "] * width
+        run_start = tl.start_ts + tl.queued_s
+        _bar(canvas, t0, span, width, tl.start_ts, run_start, ".")
+        _bar(canvas, t0, span, width, run_start, tl.end_ts, "=")
+        for note in tl.annotations:
+            if note.get("kind") == "retry":
+                _bar(canvas, t0, span, width, note.get("ts", t0),
+                     note.get("ts", t0), "!")
+        out.append(f"  {'job':<{label_w}} |{''.join(canvas)}|")
+        for cell in tl.cells[:max_cells]:
+            canvas = [" "] * width
+            glyph = "x" if cell.skipped else "#"
+            _bar(canvas, t0, span, width, cell.start_ts, cell.end_ts,
+                 glyph)
+            note = "" if cell.attempt <= 1 else f"  attempt {cell.attempt}"
+            out.append(
+                f"  {_cell_label(cell):<{label_w}} "
+                f"|{''.join(canvas)}|{note}"
+            )
+        if len(tl.cells) > max_cells:
+            out.append(f"  ... and {len(tl.cells) - max_cells} more "
+                       f"cell(s)")
+    return "\n".join(out) + "\n"
+
+
+# -- aggregates ------------------------------------------------------------
+
+
+def _quantile(values: list[float], q: float) -> float:
+    """Linear-interpolated quantile of a non-empty sorted list."""
+    if not values:
+        return 0.0
+    pos = q * (len(values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(values) - 1)
+    return values[lo] + (values[hi] - values[lo]) * (pos - lo)
+
+
+def stats_payload(timelines: list[JobTimeline]) -> dict[str, Any]:
+    """Cross-trace aggregates as a canonical-JSON-ready dict."""
+    verdicts: dict[str, int] = {}
+    backends: dict[str, int] = {}
+    fallbacks: dict[str, int] = {}
+    per_point: dict[str, list[float]] = {}
+    cells = skipped = 0
+    for tl in timelines:
+        verdicts[tl.verdict or "open"] = (
+            verdicts.get(tl.verdict or "open", 0) + 1
+        )
+        for cell in tl.cells:
+            cells += 1
+            if cell.skipped:
+                skipped += 1
+                continue
+            backends[cell.backend] = backends.get(cell.backend, 0) + 1
+            if cell.backend_reason not in ("ok", "requested", ""):
+                fallbacks[cell.backend_reason] = (
+                    fallbacks.get(cell.backend_reason, 0) + 1
+                )
+            key = ("point-" + str(cell.point) if cell.point is not None
+                   else cell.kind)
+            per_point.setdefault(key, []).append(cell.elapsed_s)
+    latency = {}
+    for key, values in sorted(per_point.items()):
+        values.sort()
+        latency[key] = {
+            "n": len(values),
+            "p50_s": round(_quantile(values, 0.50), 6),
+            "p95_s": round(_quantile(values, 0.95), 6),
+        }
+    return {
+        "traces": len(timelines),
+        "jobs": verdicts,
+        "cells": cells,
+        "cells_run": cells - skipped,
+        "cells_skipped": skipped,
+        "cache_hit_ratio": round(skipped / cells, 4) if cells else 0.0,
+        "backends": backends,
+        "backend_fallbacks": fallbacks,
+        "cell_latency": latency,
+    }
+
+
+def render_stats(payload: dict[str, Any]) -> str:
+    """The ``--stats`` aggregates as aligned text."""
+    lines = [
+        f"traces   {payload['traces']}  "
+        + "  ".join(f"{k} {v}" for k, v in sorted(payload["jobs"].items())),
+        f"cells    {payload['cells']} "
+        f"(run {payload['cells_run']}, "
+        f"store-skipped {payload['cells_skipped']}, "
+        f"cache hit {100 * payload['cache_hit_ratio']:.0f}%)",
+    ]
+    mix = "  ".join(
+        f"{name} {count}"
+        for name, count in sorted(payload["backends"].items())
+    )
+    lines.append(f"backends {mix if mix else '(no cells run)'}")
+    for reason, count in sorted(payload["backend_fallbacks"].items()):
+        lines.append(f"         fallback {reason}: {count}")
+    if payload["cell_latency"]:
+        lines.append("latency  per point (p50 / p95):")
+        for key, row in payload["cell_latency"].items():
+            lines.append(
+                f"  {key:<12} {_fmt_s(row['p50_s'])} / "
+                f"{_fmt_s(row['p95_s'])}  (n={row['n']})"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# -- live tail -------------------------------------------------------------
+
+
+def format_record(record: dict[str, Any]) -> str:
+    """One span record as a stable one-liner (the ``--follow`` stream)."""
+    stamp = time.strftime(
+        "%H:%M:%S", time.localtime(record.get("ts", 0.0))
+    )
+    trace = str(record.get("trace_id", "?"))[:16]
+    event = record.get("event", "?")
+    rest: str
+    if event == "span-start":
+        rest = f"op={record.get('op')}"
+    elif event == "span-end":
+        rest = (f"verdict={record.get('verdict')} "
+                f"attempts={record.get('attempts')} "
+                f"run={_fmt_s(float(record.get('run_s', 0.0)))}")
+    elif event == "cell-span":
+        where = (f"p{record['point']} " if "point" in record else "")
+        rest = (f"{record.get('kind')} {where}seed={record.get('seed')} "
+                f"backend={record.get('backend')}"
+                + (" skipped" if record.get("skipped") else
+                   f" {_fmt_s(float(record.get('elapsed_s', 0.0)))}"))
+    elif event == "annotation":
+        rest = f"kind={record.get('kind')}"
+    else:
+        rest = json.dumps(record, sort_keys=True)
+    return f"{stamp} {trace} {record.get('job', '?'):<6} {event:<10} {rest}"
+
+
+def follow_spans(
+    directory: str | Path,
+    poll: float = 0.5,
+    stop: Any = None,
+) -> Iterator[dict[str, Any]]:
+    """Yield span records as they are appended under ``directory``.
+
+    Tails every ``spans-*.jsonl`` by byte offset (new files — a
+    restarted server writes ``spans-<newpid>.jsonl`` — are picked up on
+    the next poll) and never terminates on its own; pass ``stop`` (a
+    zero-argument callable) to end the loop, or interrupt it.
+    """
+    root = Path(directory)
+    offsets: dict[Path, int] = {}
+    while True:
+        for path in sorted(root.glob("spans-*.jsonl")):
+            offset = offsets.get(path, 0)
+            try:
+                with path.open("r", encoding="utf-8") as fh:
+                    fh.seek(offset)
+                    chunk = fh.read()
+                    offsets[path] = fh.tell()
+            except OSError:
+                continue
+            for line in chunk.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+        if stop is not None and stop():
+            return
+        time.sleep(poll)
+
+
+def load_timelines(directory: str | Path,
+                   trace: str | None = None) -> list[JobTimeline]:
+    """Read an ``--obs-log`` directory into timelines (CLI entry)."""
+    records = read_spans(directory)
+    if trace is not None:
+        records = [r for r in records if r.get("trace_id") == trace]
+    return build_timelines(records)

@@ -85,6 +85,7 @@ class SweepOutcome:
     summary: dict[str, Any]
     aggregates: dict[str, Any]
     runs: list[dict[str, Any]]
+    trace_id: str | None = None
 
     @property
     def runs_sha256(self) -> str:
@@ -116,6 +117,7 @@ class ExploreOutcome:
     cached: bool
     summary: dict[str, Any]
     cells: dict[int, dict[str, Any]]
+    trace_id: str | None = None
 
     @property
     def net_shas(self) -> list[str]:
@@ -474,6 +476,7 @@ class ServiceClient:
                     summary=frame.get("summary", {}),
                     aggregates=frame.get("aggregates", {}),
                     runs=[runs[i] for i in range(len(spec.seeds))],
+                    trace_id=frame.get("trace"),
                 )
             else:
                 raise ServiceError(
@@ -552,6 +555,7 @@ class ServiceClient:
                     cached=bool(frame.get("cached")),
                     summary=summary,
                     cells=cells,
+                    trace_id=frame.get("trace"),
                 )
             else:
                 raise ServiceError(

@@ -30,7 +30,7 @@ from ..analysis.report import statistics_payload
 from ..analysis.stat import StatisticsObserver
 from ..core.errors import PnutError
 from ..obs.metrics import MetricsRegistry, peak_rss_kb
-from ..obs.spans import SpanLog, mint_trace_id
+from ..obs.spans import SpanLog, mint_trace_id, read_spans
 from ..sim.experiment import ForkedTask, fork_available
 from ..sim.sweep import TraceHasher, run_sweep
 from ..trace.events import TraceHeader
@@ -84,6 +84,43 @@ def _emit_obs_deltas(emit, elapsed: float, *, events_started: int,
     for name, value in (extra or {}).items():
         obs.counter(name).inc(value)
     emit({"channel": "obs", "deltas": obs.deltas()})
+
+
+def _emit_cell_span(emit, kind: str, *, seed: int,
+                    point: int | None = None, summary=None,
+                    backend: str, backend_reason: str,
+                    skipped: bool = False) -> None:
+    """Ship one child-span record from the executing child to the server.
+
+    Like the ``obs`` deltas, the record rides the result pipe on its own
+    ``span`` channel and is never forwarded to clients — the server
+    stamps the parent identity (``trace_id``/``job``/``attempt``, which
+    only it knows) and writes the ``cell-span`` JSONL record. Skipped
+    cells (served from the client's ResultStore) still get a span, with
+    ``skipped: true`` and zero duration, so readers can compute the
+    cache-hit ratio from the timeline alone.
+    """
+    record: dict[str, Any] = {
+        "kind": kind,
+        "seed": seed,
+        "backend": backend,
+        "backend_reason": backend_reason,
+        "skipped": skipped,
+    }
+    if point is not None:
+        record["point"] = point
+    if summary is not None:
+        elapsed = summary.elapsed_s
+        record["elapsed_s"] = round(elapsed, 6)
+        record["events"] = summary.events_started
+        record["events_per_sec"] = (
+            round(summary.events_started / elapsed, 3) if elapsed > 0
+            else 0.0
+        )
+    else:
+        record["elapsed_s"] = 0.0
+        record["events"] = 0
+    emit({"channel": "span", "record": record})
 
 
 def _count_backend(extra: dict[str, int], surface: str,
@@ -215,7 +252,7 @@ def execute_explore_job(
         for _point, compiled, _sha in prepared
     ]
     for point_index, (_point, compiled, _sha) in enumerate(prepared):
-        program = resolutions[point_index][0]
+        program, selected, reason = resolutions[point_index]
         for seed in seeds:
             if (point_index, seed) not in skip:
                 if program is not None:
@@ -232,10 +269,24 @@ def execute_explore_job(
                     "channel": "explore-cell", "index": index,
                     "point": point_index, "cell": summary.to_payload(),
                 })
+                _emit_cell_span(
+                    emit, "explore-cell", seed=seed, point=point_index,
+                    summary=summary, backend=selected,
+                    backend_reason=reason,
+                )
                 digests.append((point_index, seed, summary.trace_sha256))
                 events_started += summary.events_started
                 events_finished += summary.events_finished
                 cells_run += 1
+            else:
+                # Cache-skipped cells are part of the grid's timeline
+                # too: a zero-length span flagged `skipped` is what the
+                # cache-hit ratio in `pnut spans --stats` counts.
+                _emit_cell_span(
+                    emit, "explore-cell", seed=seed, point=point_index,
+                    backend=selected, backend_reason=reason,
+                    skipped=True,
+                )
             index += 1
     # Digest over the cells actually run, folded in (point, seed) order
     # so it is independent of the submitted seed ordering (and equals
@@ -282,13 +333,33 @@ def execute_sweep_job(compiled: CompiledNet, spec: SweepSpec,
     same trace SHA-256); the returned result frame body adds the
     cross-run mean/CI aggregates.
     """
+    from ..sim.lockstep import resolve_backend
+
+    faults.stall_worker()  # chaos hook: hold the deadline path to the fire
     want_stats = "stats" in spec.outputs
+    # Resolved here only to label the child spans as runs stream out;
+    # compilation is cached on the skeleton, so `run_sweep`'s own
+    # resolution below reuses the same program — no double codegen.
+    _program, selected, reason = resolve_backend(
+        compiled.template, spec.backend
+    )
+    # chaos hook: the lockstep backend has no per-event observers, so the
+    # kill-child budget is drained at run granularity — the SIGKILL lands
+    # between seeds, after that seed's summary and cell-span streamed.
+    saboteur = faults.event_saboteur()
 
     def on_run(index: int, summary) -> None:
         emit({
             "channel": "sweep-run", "index": index,
             "run": summary.to_payload(),
         })
+        _emit_cell_span(
+            emit, "sweep-run", seed=summary.seed, summary=summary,
+            backend=selected, backend_reason=reason,
+        )
+        if saboteur is not None:
+            for _ in range(summary.events_started):
+                saboteur(None)
 
     run_started = time.perf_counter()
     result = run_sweep(
@@ -345,6 +416,8 @@ class SimulationService:
         drain_grace: float = 30.0,
         obs_log: str | None = None,
         obs_interval: float | None = None,
+        http_port: int | None = None,
+        http_host: str = "127.0.0.1",
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -370,6 +443,15 @@ class SimulationService:
         #: Span JSONL writer when ``--obs-log`` names a directory.
         self.spans = SpanLog(obs_log) if obs_log else None
         self.obs_interval = obs_interval
+        #: The HTTP scrape sidecar (``--http``): None until
+        #: :meth:`start` binds it on the same event loop. (The class is
+        #: imported there, not here: httpd shares the client's exception
+        #: types, and importing it at module scope would close an import
+        #: cycle through the service package.)
+        self.http_port = http_port
+        self.http_host = http_host
+        self.http: Any = None
+        self.http_address: str | None = None
         self.queue.on_finished = self._job_finished
         self._started_at = time.time()
         self._retry_tasks: set[asyncio.Task] = set()
@@ -422,6 +504,26 @@ class SimulationService:
             if job.error_code is not None:
                 fields["code"] = job.error_code
             self.spans.end(job.trace_id, job.id, job.state.value, **fields)
+
+    def _health(self) -> tuple[bool, dict[str, Any]]:
+        """The ``/healthz`` readiness contract: not-ready once draining."""
+        ready = not self.draining
+        return ready, {
+            "status": "ok" if ready else "draining",
+            "draining": self.draining,
+            "version": PROTOCOL_VERSION,
+            "uptime_s": round(time.time() - self._started_at, 3),
+        }
+
+    def _spans_lookup(self, trace_id: str) -> list[dict[str, Any]] | None:
+        """One trace's records (parent + cells) for ``/spans/<id>``."""
+        if self.spans is None:
+            return None
+        records = [
+            record for record in read_spans(self.spans.directory)
+            if record.get("trace_id") == trace_id
+        ]
+        return records or None
 
     async def _obs_snapshots(self) -> None:
         """Periodic snapshot loop (``--obs-interval``): one canonical-JSON
@@ -506,6 +608,20 @@ class SimulationService:
             )
             bound = self._server.sockets[0].getsockname()
             self.address = f"tcp:{bound[0]}:{bound[1]}"
+        if self.http_port is not None:
+            from ..obs.httpd import ObsHttpServer
+
+            self.http = ObsHttpServer(
+                snapshot=self.metrics.snapshot,
+                health=self._health,
+                jobs=lambda: [job.to_payload()
+                              for job in self.queue.jobs()],
+                spans_lookup=(self._spans_lookup
+                              if self.spans is not None else None),
+            )
+            self.http_address = await self.http.start(
+                host=self.http_host, port=self.http_port
+            )
         return self.address
 
     async def serve_forever(self) -> None:
@@ -556,6 +672,8 @@ class SimulationService:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self.http is not None:
+            await self.http.close()
         # Kill running children, stop pending retries, then the worker
         # tasks themselves.
         for job in self.queue.jobs():
@@ -788,6 +906,22 @@ class SimulationService:
             # never forwarded — client-visible streams are byte-identical
             # with or without observability.
             self.metrics.merge(payload.get("deltas") or {})
+            return
+        if channel == "span":
+            # Child-span records from the executing cell: the server
+            # stamps the parent identity (the child never learns the
+            # trace id — it lives on the Job, not the spec, so result
+            # payloads stay byte-identical) and writes the JSONL line.
+            # Never forwarded to clients, exactly like obs deltas.
+            if self.spans is not None and job.trace_id is not None:
+                record = dict(payload.get("record") or {})
+                kind = record.pop("kind", "cell")
+                seed = record.pop("seed", 0)
+                point = record.pop("point", None)
+                self.spans.cell(
+                    job.trace_id, job.id, kind, seed=seed, point=point,
+                    attempt=job.attempts, **record,
+                )
             return
         if channel == "trace":
             frame: dict[str, Any] = {
@@ -1121,6 +1255,9 @@ async def run_server(
     ready_callback=None,
     obs_log: str | None = None,
     obs_interval: float | None = None,
+    http_port: int | None = None,
+    http_host: str = "127.0.0.1",
+    http_ready_callback=None,
 ) -> None:
     """Start a service and serve until shutdown (the ``pnut serve`` body).
 
@@ -1132,6 +1269,9 @@ async def run_server(
     immediate stop. ``obs_log`` names a directory for span JSONL
     timelines; ``obs_interval`` logs a metrics snapshot every that many
     seconds (and appends it beside the spans when both are set).
+    ``http_port`` (0 picks a free port) binds the HTTP observability
+    sidecar on the same loop; its scrape URL goes to
+    ``http_ready_callback``.
     """
     service = SimulationService(
         workers=workers,
@@ -1141,6 +1281,8 @@ async def run_server(
         drain_grace=drain_grace,
         obs_log=obs_log,
         obs_interval=obs_interval,
+        http_port=http_port,
+        http_host=http_host,
     )
     if preload_dir is not None:
         summary = await asyncio.to_thread(service.preload, preload_dir)
@@ -1166,6 +1308,8 @@ async def run_server(
     address = await service.start(host=host, port=port, unix_path=unix_path)
     if ready_callback is not None:
         ready_callback(address)
+    if http_ready_callback is not None and service.http_address is not None:
+        http_ready_callback(service.http_address)
     try:
         await service.serve_forever()
     finally:

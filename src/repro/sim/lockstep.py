@@ -61,6 +61,7 @@ import hashlib
 import math
 import os
 import random
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import Any
@@ -1264,8 +1265,10 @@ class LockstepProgram:
             )))
             self._init_cache = init_cache
         sha.update(init_cache[1])
+        run_started = time.perf_counter()
         out = self._fn(need_stats)(rng, until, max_events,
                                    sk.immediate_budget)
+        elapsed_s = time.perf_counter() - run_started
         (final_time, events_started, events_finished, n_events,
          tokens, tail, stat_state) = out
         sha.update(tail)
@@ -1316,6 +1319,7 @@ class LockstepProgram:
             trace_events=n_events + 2,
             trace_sha256=sha.hexdigest(),
             stats=stats_dict,
+            elapsed_s=elapsed_s,
         )
         return summary, values
 

@@ -31,6 +31,7 @@ serially or on a forked worker, in-process or behind the service.
 from __future__ import annotations
 
 import hashlib
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import Any
@@ -102,7 +103,10 @@ class SweepRunSummary:
     ``stats`` is the full Figure-5 statistics payload (the dict behind
     ``pnut stat --json``); ``trace_sha256`` pins the run's exact event
     stream (:func:`trace_digest`) without the sweep ever materializing
-    a trace.
+    a trace. ``elapsed_s`` is the measured wall time of the run —
+    execution provenance for the observability layer (per-cell spans),
+    excluded from :meth:`to_payload` so payload bytes stay identical
+    across backends, workers and repeat runs.
     """
 
     seed: int
@@ -113,6 +117,7 @@ class SweepRunSummary:
     trace_events: int
     trace_sha256: str
     stats: dict[str, Any] | None = None
+    elapsed_s: float = 0.0
 
     def to_payload(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -195,7 +200,9 @@ def _sweep_one(
     hasher = TraceHasher(TraceHeader(skeleton.net.name, run_number, seed))
     observers.append(hasher.on_event)
     sim = skeleton.fork(seed=seed, run_number=run_number, observers=observers)
+    run_started = time.perf_counter()
     result = sim.run(until=until, max_events=max_events, keep_events=False)
+    elapsed_s = time.perf_counter() - run_started
     values = {name: fn(result) for name, fn in metrics.items()}
     stats_dict = None
     if stats_observer is not None:
@@ -213,6 +220,7 @@ def _sweep_one(
         trace_events=hasher.events,
         trace_sha256=hasher.hexdigest(),
         stats=stats_dict,
+        elapsed_s=elapsed_s,
     )
     return summary, values
 

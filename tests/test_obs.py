@@ -9,7 +9,10 @@ accounting, and dedupe ignoring the trace key.
 import asyncio
 import io
 import json
+import threading
 import time
+import urllib.error
+import urllib.request
 
 import pytest
 
@@ -20,16 +23,35 @@ from repro.obs import (
     Histogram,
     MetricsRegistry,
     SpanLog,
+    cell_span_id,
+    cell_spans,
     histogram_quantile,
     mint_trace_id,
     peak_rss_kb,
     read_spans,
     spans_by_trace,
 )
+from repro.obs import dashboard as dashboard_module
 from repro.obs.dashboard import compute_rates, render, run_top
-from repro.obs.metrics import HIST_MAX_EXP, HIST_MIN_EXP
+from repro.obs.httpd import HttpObsClient, ObsHttpServer
+from repro.obs.metrics import HIST_MAX_EXP, HIST_MIN_EXP, validate_exposition
+from repro.obs.spanview import (
+    build_timelines,
+    follow_spans,
+    format_record,
+    render_gantt,
+    render_stats,
+    stats_payload,
+)
 from repro.lang import parse_net
-from repro.service import JobQueue, JobSpec, ServerThread, dedupe_identity
+from repro.service import (
+    ClientDisconnected,
+    JobQueue,
+    JobSpec,
+    RemoteError,
+    ServerThread,
+    dedupe_identity,
+)
 from repro.sim import Simulator
 
 SMALL_NET = """\
@@ -93,6 +115,31 @@ class TestInstruments:
 
     def test_quantile_empty_histogram_is_zero(self):
         assert histogram_quantile({"count": 0, "buckets": []}, 0.5) == 0.0
+
+    def test_quantile_missing_or_empty_buckets_is_zero(self):
+        # A count with no buckets (or vice versa) must degrade to 0.0,
+        # not divide by zero — merged remote snapshots can be partial.
+        assert histogram_quantile({"count": 5, "buckets": []}, 0.5) == 0.0
+        assert histogram_quantile({"count": 0, "buckets": [[0, 3]]},
+                                  0.9) == 0.0
+        assert histogram_quantile({}, 0.5) == 0.0
+
+    def test_quantile_extremes_bound_the_single_bucket(self):
+        histogram = Histogram("h")
+        for _ in range(7):
+            histogram.observe(3.0)  # bucket 2: (2, 4]
+        payload = histogram.to_payload()
+        assert histogram_quantile(payload, 0.0) == pytest.approx(2.0)
+        assert histogram_quantile(payload, 1.0) == pytest.approx(4.0)
+
+    def test_quantile_min_bucket_starts_at_zero(self):
+        histogram = Histogram("h")
+        histogram.observe(0.0)  # clamps into the minimum bucket
+        payload = histogram.to_payload()
+        assert histogram_quantile(payload, 0.0) == 0.0
+        assert histogram_quantile(payload, 1.0) == pytest.approx(
+            2.0 ** HIST_MIN_EXP
+        )
 
     def test_quantile_orders_across_buckets(self):
         histogram = Histogram("h")
@@ -346,6 +393,415 @@ class TestDashboard:
         assert text.count("pnut top") == 2
         assert "(first poll)" in text
         assert "events/s 100" in text  # second frame has a baseline
+
+    def test_render_zero_jobs_and_stale_counters(self):
+        # A server that finished everything long ago: counters present
+        # but unmoving (empty rates), zero cache lookups, no in-flight
+        # jobs. Every section must still render — no division by zero,
+        # no missing lines.
+        snapshot = _snapshot(
+            counters={"jobs_completed_total": 12, "cache_hits_total": 0,
+                      "cache_misses_total": 0},
+            gauges={"uptime_seconds": 3600.0, "workers": 2},
+        )
+        frame = render(snapshot, {}, [], now=1000.0)
+        assert "done 12" in frame
+        assert "hit rate 0%" in frame
+        assert "(first poll)" in frame  # stale counters -> no rates
+        assert "(no finished jobs yet)" in frame
+        assert "in-flight jobs (0)" in frame
+
+    def test_run_top_reconnects_after_disconnect(self, monkeypatch):
+        monkeypatch.setattr(dashboard_module, "RECONNECT_BACKOFF_BASE",
+                            0.01)
+
+        class FlakyClient:
+            def __init__(self, fail):
+                self.fail = fail
+                self.closed = False
+
+            def metrics(self):
+                if self.fail:
+                    raise ClientDisconnected("server went away")
+                return {"metrics": _snapshot()}
+
+            def jobs(self):
+                return []
+
+            def close(self):
+                self.closed = True
+
+        first = FlakyClient(fail=True)
+        replacement = FlakyClient(fail=False)
+        out = io.StringIO()
+        painted = run_top(first, interval=0.01, iterations=3, out=out,
+                          clear=False, reconnect=lambda: replacement)
+        assert painted == 3  # the banner frame counts
+        text = out.getvalue()
+        assert "DISCONNECTED" in text
+        assert "server went away" in text
+        assert "retrying in" in text
+        assert first.closed  # the dead client was released
+        assert text.count("pnut top — up") == 2  # frames after reconnect
+
+    def test_run_top_keeps_banner_while_reconnect_fails(self, monkeypatch):
+        monkeypatch.setattr(dashboard_module, "RECONNECT_BACKOFF_BASE",
+                            0.01)
+
+        class DeadClient:
+            def metrics(self):
+                raise ClientDisconnected("still down")
+
+            def jobs(self):
+                return []
+
+            def close(self):
+                pass
+
+        def reconnect():
+            raise ClientDisconnected("connect refused")
+
+        out = io.StringIO()
+        painted = run_top(DeadClient(), interval=0.01, iterations=3,
+                          out=out, clear=False, reconnect=reconnect)
+        assert painted == 3
+        assert out.getvalue().count("DISCONNECTED") == 3
+
+    def test_run_top_without_reconnect_raises(self):
+        class DeadClient:
+            def metrics(self):
+                raise ClientDisconnected("gone")
+
+            def jobs(self):
+                return []
+
+        with pytest.raises(ClientDisconnected):
+            run_top(DeadClient(), interval=0.01, iterations=1,
+                    out=io.StringIO(), clear=False)
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical cell spans (write side + reader dedupe)
+# ---------------------------------------------------------------------------
+
+
+class TestCellSpans:
+    def test_cell_span_ids_are_deterministic(self):
+        span = cell_span_id("t1", "sweep-run", None, 7)
+        assert span == cell_span_id("t1", "sweep-run", None, 7)
+        assert len(span) == 16 and int(span, 16) >= 0
+        assert span != cell_span_id("t1", "sweep-run", None, 8)
+        assert span != cell_span_id("t2", "sweep-run", None, 7)
+        assert (cell_span_id("t1", "explore-cell", 0, 7)
+                != cell_span_id("t1", "explore-cell", 1, 7))
+
+    def test_cell_round_trip_under_a_parent(self, tmp_path):
+        log = SpanLog(tmp_path)
+        log.start("t1", "j1", "sweep")
+        log.cell("t1", "j1", "sweep-run", seed=3, attempt=1,
+                 backend="lockstep", backend_reason="ok", skipped=False,
+                 elapsed_s=0.25, events=100, events_per_sec=400.0)
+        log.end("t1", "j1", "done", attempts=1)
+        log.close()
+        records = read_spans(tmp_path)
+        cells = cell_spans(records)["t1"]
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell["span_id"] == cell_span_id("t1", "sweep-run", None, 3)
+        assert cell["kind"] == "sweep-run"
+        assert cell["seed"] == 3
+        assert cell["backend"] == "lockstep"
+        assert "point" not in cell  # sweep cells have no grid point
+        # The parent timeline keeps its PR-7 two-record shape: child
+        # spans never leak into spans_by_trace.
+        timeline = spans_by_trace(records)["t1"]
+        assert [r["event"] for r in timeline] == ["span-start", "span-end"]
+
+    def test_explore_cell_carries_its_point(self, tmp_path):
+        log = SpanLog(tmp_path)
+        log.cell("t1", "j1", "explore-cell", seed=2, point=3, attempt=1,
+                 backend="scalar", backend_reason="requested", skipped=True)
+        log.close()
+        cell = cell_spans(read_spans(tmp_path))["t1"][0]
+        assert cell["point"] == 3
+        assert cell["skipped"] is True
+        assert cell["span_id"] == cell_span_id("t1", "explore-cell", 3, 2)
+
+    def test_retry_duplicates_collapse_to_highest_attempt(self):
+        span = cell_span_id("t", "sweep-run", None, 1)
+        records = [
+            {"event": "cell-span", "trace_id": "t", "span_id": span,
+             "seed": 1, "attempt": 1, "ts": 10.0, "elapsed_s": 0.5},
+            {"event": "cell-span", "trace_id": "t", "span_id": span,
+             "seed": 1, "attempt": 2, "ts": 12.0, "elapsed_s": 0.4},
+            {"event": "cell-span", "trace_id": "t",
+             "span_id": cell_span_id("t", "sweep-run", None, 2),
+             "seed": 2, "attempt": 2, "ts": 11.0, "elapsed_s": 0.1},
+        ]
+        cells = cell_spans(records)["t"]
+        assert [cell["seed"] for cell in cells] == [2, 1]  # ts order
+        assert cells[-1]["attempt"] == 2  # the retry's emission won
+        assert cells[-1]["elapsed_s"] == 0.4
+
+
+# ---------------------------------------------------------------------------
+# Strict Prometheus exposition parsing
+# ---------------------------------------------------------------------------
+
+
+class TestExposition:
+    def test_registry_rendering_passes_the_strict_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_completed_total").inc(3)
+        registry.gauge("queue_pending").set(1)
+        registry.histogram("job_total_seconds").observe(0.5)
+        text = MetricsRegistry.render_prometheus(registry.snapshot())
+        assert validate_exposition(text) is None
+
+    @pytest.mark.parametrize("text", [
+        "pnut_x 1\n",                                    # sample before TYPE
+        "# TYPE pnut_x counter\npnut_x -1\n",            # negative counter
+        "# TYPE pnut_x gauge\npnut_x wat\n",             # non-numeric value
+        "# TYPE pnut_x counter\npnut_x nan\n",           # non-finite value
+        "# TYPE pnut_x wibble\npnut_x 1\n",              # unknown family
+        "# TYPE pnut_x counter\n\npnut_x 1\n",           # blank line
+        "# TYPE pnut_x counter\npnut_y 1\n",             # undeclared name
+        # histogram whose cumulative buckets go backwards
+        ('# TYPE pnut_h histogram\n'
+         'pnut_h_bucket{le="1"} 5\n'
+         'pnut_h_bucket{le="+Inf"} 3\n'
+         'pnut_h_sum 1\npnut_h_count 3\n'),
+        # histogram whose _count disagrees with the +Inf bucket
+        ('# TYPE pnut_h histogram\n'
+         'pnut_h_bucket{le="+Inf"} 5\n'
+         'pnut_h_sum 1\npnut_h_count 4\n'),
+    ])
+    def test_strict_parser_rejects(self, text):
+        assert validate_exposition(text) is not None
+
+
+# ---------------------------------------------------------------------------
+# `pnut spans`: timelines, Gantt, aggregates, follow
+# ---------------------------------------------------------------------------
+
+
+TRACE_A = "a" * 16
+
+
+def _span_records():
+    """One sweep job: two seeds run (one retried), one store-skipped."""
+    return [
+        {"event": "span-start", "trace_id": TRACE_A, "job": "j1",
+         "op": "sweep", "ts": 100.0, "seed": None},
+        {"event": "cell-span", "trace_id": TRACE_A, "job": "j1",
+         "span_id": cell_span_id(TRACE_A, "sweep-run", None, 1),
+         "kind": "sweep-run", "seed": 1, "attempt": 2, "ts": 102.0,
+         "elapsed_s": 1.0, "backend": "lockstep", "backend_reason": "ok",
+         "skipped": False, "events": 500, "events_per_sec": 500.0},
+        {"event": "cell-span", "trace_id": TRACE_A, "job": "j1",
+         "span_id": cell_span_id(TRACE_A, "sweep-run", None, 2),
+         "kind": "sweep-run", "seed": 2, "attempt": 1, "ts": 102.5,
+         "elapsed_s": 0.5, "backend": "scalar",
+         "backend_reason": "immediate-arcs", "skipped": False,
+         "events": 500, "events_per_sec": 1000.0},
+        {"event": "cell-span", "trace_id": TRACE_A, "job": "j1",
+         "span_id": cell_span_id(TRACE_A, "sweep-run", None, 3),
+         "kind": "sweep-run", "seed": 3, "attempt": 1, "ts": 102.6,
+         "elapsed_s": 0.0, "backend": "lockstep", "backend_reason": "ok",
+         "skipped": True, "events": 0, "events_per_sec": 0.0},
+        {"event": "span-end", "trace_id": TRACE_A, "job": "j1",
+         "verdict": "done", "attempts": 2, "ts": 103.0,
+         "queued_s": 0.5, "run_s": 2.5},
+    ]
+
+
+class TestSpanView:
+    def test_build_timelines_folds_one_trace(self):
+        timelines = build_timelines(_span_records())
+        assert len(timelines) == 1
+        tl = timelines[0]
+        assert tl.trace_id == TRACE_A
+        assert tl.op == "sweep"
+        assert tl.verdict == "done"
+        assert tl.attempts == 2
+        assert tl.start_ts == 100.0 and tl.end_ts == 103.0
+        assert [cell.seed for cell in tl.cells] == [1, 2, 3]
+        assert tl.cells[0].start_ts == pytest.approx(101.0)
+        assert tl.cells[0].attempt == 2
+        assert tl.cells[2].skipped
+
+    def test_build_timelines_tolerates_a_truncated_span(self):
+        records = [r for r in _span_records()
+                   if r["event"] != "span-end"]
+        tl = build_timelines(records)[0]
+        assert tl.verdict is None
+        assert tl.end_ts == 102.6  # falls back to the last record seen
+
+    def test_render_gantt_draws_job_and_cell_rows(self):
+        text = render_gantt(build_timelines(_span_records()), width=40)
+        assert "pnut spans — 1 trace(s)" in text
+        assert f"trace {TRACE_A}" in text
+        assert "attempts=2" in text
+        assert "seed 1 lockstep" in text
+        assert "seed 2 scalar" in text
+        assert "seed 3 (store)" in text
+        assert "attempt 2" in text  # the retried cell is flagged
+        assert "#" in text and "=" in text
+        assert "x" in text.split("seed 3 (store)")[1].splitlines()[0]
+
+    def test_render_gantt_empty_and_elided(self):
+        assert "no span timelines" in render_gantt([])
+        text = render_gantt(build_timelines(_span_records()), width=40,
+                            max_cells=1)
+        assert "and 2 more cell(s)" in text
+
+    def test_stats_payload_aggregates(self):
+        payload = stats_payload(build_timelines(_span_records()))
+        assert payload["traces"] == 1
+        assert payload["jobs"] == {"done": 1}
+        assert payload["cells"] == 3
+        assert payload["cells_run"] == 2
+        assert payload["cells_skipped"] == 1
+        assert payload["cache_hit_ratio"] == pytest.approx(1 / 3, abs=1e-3)
+        assert payload["backends"] == {"lockstep": 1, "scalar": 1}
+        # A scalar fallback (reason not ok/requested) is counted.
+        assert payload["backend_fallbacks"] == {"immediate-arcs": 1}
+        latency = payload["cell_latency"]["sweep-run"]
+        assert latency["n"] == 2
+        assert latency["p50_s"] == pytest.approx(0.75)
+        assert latency["p95_s"] <= 1.0
+
+    def test_explore_points_get_their_own_latency_keys(self):
+        records = [
+            {"event": "span-start", "trace_id": "t", "job": "j1",
+             "op": "explore", "ts": 1.0},
+            {"event": "cell-span", "trace_id": "t", "job": "j1",
+             "span_id": cell_span_id("t", "explore-cell", 0, 1),
+             "kind": "explore-cell", "seed": 1, "point": 0, "attempt": 1,
+             "ts": 2.0, "elapsed_s": 0.5, "backend": "lockstep",
+             "backend_reason": "ok", "skipped": False},
+            {"event": "span-end", "trace_id": "t", "job": "j1",
+             "verdict": "done", "attempts": 1, "ts": 3.0,
+             "queued_s": 0.0, "run_s": 2.0},
+        ]
+        payload = stats_payload(build_timelines(records))
+        assert list(payload["cell_latency"]) == ["point-0"]
+        assert render_stats(payload).startswith("traces   1")
+
+    def test_format_record_one_liners(self):
+        records = _span_records()
+        assert "op=sweep" in format_record(records[0])
+        cell_line = format_record(records[1])
+        assert "cell-span" in cell_line and "seed=1" in cell_line
+        assert "backend=lockstep" in cell_line
+        assert "skipped" in format_record(records[3])
+        assert "verdict=done" in format_record(records[-1])
+
+    def test_follow_reads_existing_records_then_stops(self, tmp_path):
+        log = SpanLog(tmp_path)
+        log.start("t1", "j1", "sweep")
+        log.cell("t1", "j1", "sweep-run", seed=1, attempt=1,
+                 backend="lockstep", backend_reason="ok", skipped=False)
+        log.close()
+        got = list(follow_spans(tmp_path, poll=0.01, stop=lambda: True))
+        assert [r["event"] for r in got] == ["span-start", "cell-span"]
+
+
+# ---------------------------------------------------------------------------
+# The HTTP observability plane
+# ---------------------------------------------------------------------------
+
+
+def _http_server(draining=False, spans=None):
+    registry = MetricsRegistry()
+    registry.counter("jobs_completed_total").inc(2)
+    status = "draining" if draining else "ok"
+    return ObsHttpServer(
+        snapshot=registry.snapshot,
+        health=lambda: (not draining, {"status": status}),
+        jobs=lambda: [{"job": "j1", "state": "queued"}],
+        spans_lookup=spans.get if spans is not None else None,
+    )
+
+
+class TestHttpPlane:
+    def test_route_metrics_is_the_op_rendering(self):
+        status, content_type, body = _http_server()._route("/metrics")
+        assert status == 200
+        assert "version=0.0.4" in content_type
+        text = body.decode("utf-8")
+        assert "pnut_jobs_completed_total 2" in text
+        assert validate_exposition(text) is None
+
+    def test_route_healthz_flips_to_503_on_drain(self):
+        assert _http_server()._route("/healthz")[0] == 200
+        status, _ctype, body = _http_server(draining=True)._route(
+            "/healthz"
+        )
+        assert status == 503
+        assert json.loads(body)["status"] == "draining"
+
+    def test_route_spans_and_unknown_paths(self):
+        spans = {"t1": [{"event": "span-start", "trace_id": "t1"}]}
+        server = _http_server(spans=spans)
+        status, _ctype, body = server._route("/spans/t1")
+        assert status == 200
+        assert json.loads(body)["records"][0]["trace_id"] == "t1"
+        assert server._route("/spans/missing")[0] == 404
+        assert server._route("/nope")[0] == 404
+        # Without --obs-log there is no lookup: any /spans/ path is 404.
+        assert _http_server()._route("/spans/t1")[0] == 404
+
+    def test_client_round_trip_over_a_real_socket(self):
+        server = _http_server(
+            spans={"t1": [{"event": "span-start", "trace_id": "t1"}]}
+        )
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+        url: dict[str, str] = {}
+
+        def runner():
+            asyncio.set_event_loop(loop)
+            url["base"] = loop.run_until_complete(server.start(port=0))
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        assert started.wait(10.0)
+        try:
+            with HttpObsClient(url["base"]) as client:
+                frame = client.metrics()
+                assert frame["metrics"]["counters"][
+                    "jobs_completed_total"] == 2
+                assert "pnut_jobs_completed_total 2" in frame["text"]
+                assert client.jobs() == [{"job": "j1", "state": "queued"}]
+                status, payload = client.healthz()
+                assert status == 200 and payload["status"] == "ok"
+                assert client.spans("t1") == [
+                    {"event": "span-start", "trace_id": "t1"}
+                ]
+                with pytest.raises(RemoteError):
+                    client.spans("missing")
+            # The plane is read-only: anything but GET/HEAD is a 405.
+            request = urllib.request.Request(url["base"] + "/metrics",
+                                             data=b"x")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10.0)
+            assert excinfo.value.code == 405
+        finally:
+            asyncio.run_coroutine_threadsafe(
+                server.close(), loop
+            ).result(10.0)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(10.0)
+            loop.close()
+
+    def test_client_maps_refused_connection_to_disconnected(self):
+        client = HttpObsClient("127.0.0.1:9", timeout=2.0)
+        assert client.base_url.startswith("http://")  # scheme defaulted
+        with pytest.raises(ClientDisconnected):
+            client.metrics()
 
 
 # ---------------------------------------------------------------------------

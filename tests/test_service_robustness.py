@@ -16,7 +16,7 @@ import time
 import pytest
 
 from repro.lang.format import format_net
-from repro.obs.spans import read_spans, spans_by_trace
+from repro.obs.spans import cell_spans, read_spans, spans_by_trace
 from repro.processor import build_pipeline_net
 from repro.service import (
     ClientDisconnected,
@@ -305,6 +305,49 @@ class TestCrashRecovery:
         assert end["attempts"] == 2
         assert end["queued_s"] >= 0
         assert end["run_s"] > 0
+
+    def test_killed_sweep_cell_spans_dedupe_across_retry(
+            self, monkeypatch, tmp_path, pipeline_source):
+        # The hierarchical layer under the same fault: the crash lands
+        # mid-sweep, after at least one seed already streamed its
+        # cell-span, so the retry re-emits those seeds under the SAME
+        # deterministic span ids. The reader must collapse them to one
+        # span per seed (highest attempt wins) while the parent stays a
+        # single span-start/span-end pair.
+        monkeypatch.setenv(FAULTS_ENV, "kill-child=500:once")
+        monkeypatch.setenv(STATE_DIR_ENV, str(tmp_path))
+        seeds = [1, 2, 3, 4]
+        obs_dir = tmp_path / "obs"
+        thread = ServerThread(workers=1, obs_log=str(obs_dir))
+        try:
+            with thread.client() as client:
+                outcome = client.sweep(pipeline_source, seeds, until=300)
+        finally:
+            thread.stop()
+        assert outcome.trace_id
+        records = read_spans(obs_dir)
+
+        parent = spans_by_trace(records)[outcome.trace_id]
+        events = [record["event"] for record in parent]
+        assert events.count("span-start") == 1
+        assert events.count("span-end") == 1
+        assert parent[-1]["attempts"] == 2
+
+        raw = [record for record in records
+               if record.get("event") == "cell-span"
+               and record.get("trace_id") == outcome.trace_id]
+        assert len(raw) > len(seeds)  # attempt-1 duplicates were logged
+
+        cells = cell_spans(records)[outcome.trace_id]
+        assert sorted(cell["seed"] for cell in cells) == seeds
+        assert len({cell["span_id"] for cell in cells}) == len(seeds)
+        for cell in cells:
+            assert cell["attempt"] == 2  # retry's emission won the dedupe
+            assert cell["kind"] == "sweep-run"
+            assert cell["backend"] in ("lockstep", "scalar")
+            assert cell["backend_reason"]
+            assert not cell["skipped"]
+            assert cell["elapsed_s"] > 0
 
     def test_repeated_crashes_quarantine_the_job(self, monkeypatch,
                                                  pipeline_source):
