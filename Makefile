@@ -7,7 +7,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-co bench-report perf-smoke differential \
         coverage test-all serve-smoke explore-smoke chaos-smoke \
-        obs-smoke spans-smoke lint
+        restart-smoke obs-smoke spans-smoke lint
 
 ## tier-1: the unit/integration suite plus benchmarks (the repo gate),
 ## then the end-to-end service, exploration and fault-injection smokes
@@ -17,6 +17,7 @@ test:
 	$(MAKE) serve-smoke
 	$(MAKE) explore-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) restart-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) spans-smoke
 
@@ -34,9 +35,18 @@ explore-smoke:
 ## fault injection against a real server: SIGKILL the worker mid
 ## Figure-5 job (retry must reproduce the pinned trace SHA-256), stall a
 ## worker past its deadline (job-timeout, child reaped), drain on
-## shutdown (queued jobs finish before exit)
+## shutdown (queued jobs finish before exit), SIGKILL the whole server
+## between accepts (restart on the same --state/--store must resume
+## byte-identically), and recover past a torn journal tail
 chaos-smoke:
 	$(PYTHON) -m repro.service.chaos
+
+## durability end to end: SIGKILL a real `pnut serve --state --store`
+## subprocess mid-sweep (no fault injection — an external kill), restart
+## on the same directories, and require the journal-recovered sweep to
+## resume the checkpointed cells with a byte-identical runs_sha256
+restart-smoke:
+	$(PYTHON) -m repro.service.restart_smoke
 
 ## end-to-end observability: boot a server with --obs-log, run the
 ## Figure-5 job, assert the `metrics` op schema (canonical JSON +

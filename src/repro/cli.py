@@ -337,6 +337,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             http_port=args.http,
             http_host=args.http_host,
             http_ready_callback=http_ready,
+            state_dir=args.state,
+            store_path=args.store,
+            store_skip_corrupt=args.store_skip_corrupt,
         ))
     except KeyboardInterrupt:
         pass
@@ -891,6 +894,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--http-host", default="127.0.0.1",
                          help="bind address for --http "
                               "(default 127.0.0.1; 0.0.0.0 to expose)")
+    p_serve.add_argument("--state", default=None, metavar="DIR",
+                         help="durable state: write-ahead job journal "
+                              "under DIR; queued and in-flight jobs are "
+                              "re-armed after a restart")
+    p_serve.add_argument("--store", default=None, metavar="PATH",
+                         help="server-side shared result store (SQLite): "
+                              "sweep/explore cells checkpoint as they "
+                              "complete and re-runs resume from it")
+    p_serve.add_argument("--store-skip-corrupt", action="store_true",
+                         help="treat unreadable --store cells as misses "
+                              "instead of failing")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_submit = sub.add_parser(

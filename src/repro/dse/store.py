@@ -27,8 +27,9 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import time
 import warnings
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from ..analysis.report import canonical_json
 from ..core.errors import PnutError
@@ -40,6 +41,13 @@ class StoreError(PnutError):
 
 class StoreWarning(UserWarning):
     """A corrupt record skipped in ``skip_corrupt`` mode."""
+
+
+#: The ``point_key`` of a sweep cell. Sweeps have no parameter axes, so
+#: every run of a net shares one synthetic empty grid point — which puts
+#: sweep cells in the same keyspace as explore cells: a parameterless
+#: exploration and a sweep of the same net genuinely share results.
+SWEEP_POINT_KEY = "{}"
 
 
 def stop_key(until: float | None, max_events: int | None,
@@ -80,12 +88,25 @@ class ResultStore:
     #: Puts per SQLite commit: cell streams arrive at hundreds/sec, and
     #: a synchronous commit (fsync) per cell would rival the simulation
     #: itself; batching keeps append-only semantics at a fraction of the
-    #: I/O (the tail is flushed on :meth:`close`).
+    #: I/O (the tail is flushed on :meth:`close`). The server opens its
+    #: shared store with ``commit_every=1`` instead: a checkpoint that
+    #: is not yet committed is not a checkpoint.
     COMMIT_EVERY = 64
+    #: How long SQLite itself blocks on a locked database before
+    #: surfacing SQLITE_BUSY (seconds), and how many retry rounds the
+    #: store layers on top of that for writes. Multiple server
+    #: processes sharing one store (--store on several serves) are
+    #: concurrent writers; WAL mode plus this budget make their commits
+    #: queue instead of fail.
+    BUSY_TIMEOUT_S = 5.0
+    WRITE_RETRIES = 8
 
-    def __init__(self, path: str, skip_corrupt: bool = False) -> None:
+    def __init__(self, path: str, skip_corrupt: bool = False,
+                 commit_every: int | None = None) -> None:
         self.path = str(path)
         self.skip_corrupt = skip_corrupt
+        self.commit_every = (self.COMMIT_EVERY if commit_every is None
+                             else max(1, int(commit_every)))
         #: Corrupt records skipped at load (``skip_corrupt`` mode only).
         self.skipped_records = 0
         self._jsonl = self.path.endswith(".jsonl")
@@ -134,7 +155,24 @@ class ResultStore:
 
     def _open_sqlite(self) -> None:
         try:
-            self._connection = sqlite3.connect(self.path)
+            self._connection = sqlite3.connect(
+                self.path, timeout=self.BUSY_TIMEOUT_S
+            )
+            try:
+                # WAL lets concurrent writers (several serve processes
+                # sharing --store) append without blocking readers; on
+                # filesystems that refuse WAL (some network mounts) the
+                # rollback journal still works, just more serialized.
+                self._connection.execute("PRAGMA journal_mode=WAL")
+            except sqlite3.Error:
+                pass
+            self._connection.execute(
+                f"PRAGMA busy_timeout={int(self.BUSY_TIMEOUT_S * 1000)}"
+            )
+            # NORMAL is safe under WAL (a crash loses at most the
+            # un-checkpointed tail, never corrupts) and keeps the
+            # per-commit fsync cost off the cell hot path.
+            self._connection.execute("PRAGMA synchronous=NORMAL")
             self._connection.execute(
                 "CREATE TABLE IF NOT EXISTS cells ("
                 " net_sha256 TEXT NOT NULL,"
@@ -182,6 +220,29 @@ class ResultStore:
                 f"{self.path}: not a usable result store ({error}); "
                 f"expected a SQLite database (or use a .jsonl path)"
             ) from None
+
+    def _write_retry(self, action: Callable[[], None]) -> None:
+        """Run a SQLite write, retrying bounded-ly on SQLITE_BUSY.
+
+        The connection's own ``busy_timeout`` already absorbs ordinary
+        lock contention; this layer catches the residue (a writer that
+        held the lock past the timeout) with exponential backoff before
+        giving up loudly.
+        """
+        for attempt in range(self.WRITE_RETRIES):
+            try:
+                action()
+                return
+            except sqlite3.OperationalError as error:
+                message = str(error).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                if attempt == self.WRITE_RETRIES - 1:
+                    raise StoreError(
+                        f"{self.path}: store stayed locked through "
+                        f"{self.WRITE_RETRIES} retries ({error})"
+                    ) from None
+                time.sleep(0.01 * (2 ** attempt))
 
     # -- the store API -----------------------------------------------------
 
@@ -235,14 +296,15 @@ class ResultStore:
             with open(self.path, "a", encoding="utf-8") as handle:
                 handle.write(record + "\n")
         else:
-            assert self._connection is not None
-            self._connection.execute(
+            connection = self._connection
+            assert connection is not None
+            self._write_retry(lambda: connection.execute(
                 "INSERT OR IGNORE INTO cells VALUES (?, ?, ?, ?, ?)",
                 (net_sha256, point_key, seed, stop, encoded),
-            )
+            ))
             self._pending_writes += 1
-            if self._pending_writes >= self.COMMIT_EVERY:
-                self._connection.commit()
+            if self._pending_writes >= self.commit_every:
+                self._write_retry(connection.commit)
                 self._pending_writes = 0
         return True
 
@@ -255,7 +317,7 @@ class ResultStore:
     def close(self) -> None:
         if self._connection is not None:
             if self._pending_writes:
-                self._connection.commit()
+                self._write_retry(self._connection.commit)
                 self._pending_writes = 0
             self._connection.close()
             self._connection = None
@@ -267,13 +329,17 @@ class ResultStore:
         self.close()
 
 
-def open_store(path: str, skip_corrupt: bool = False) -> ResultStore:
+def open_store(path: str, skip_corrupt: bool = False,
+               commit_every: int | None = None) -> ResultStore:
     """Open (creating if needed) the result store at ``path``.
 
     ``*.jsonl`` selects the append-only JSON-lines backend; any other
     path is a SQLite database. Corrupt records fail loudly by default
     (:class:`StoreError` naming the offending line/cell); with
     ``skip_corrupt`` they are skipped with a :class:`StoreWarning`
-    instead — the affected cells simply recompute.
+    instead — the affected cells simply recompute. ``commit_every``
+    overrides the SQLite commit batching (the server checkpoints with
+    1).
     """
-    return ResultStore(path, skip_corrupt=skip_corrupt)
+    return ResultStore(path, skip_corrupt=skip_corrupt,
+                       commit_every=commit_every)

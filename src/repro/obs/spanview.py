@@ -10,7 +10,8 @@ debugging surface:
   collapsed to one per cell across crash retries.
 * :func:`render_gantt` draws the timelines to scale: ``.`` for queue
   wait, ``=`` for the parent's run segment, ``#`` for a child cell's
-  run, ``x`` for a cache-skipped cell, ``!`` where a retry landed.
+  run, ``x`` for a cache-skipped cell, ``!`` where a retry landed,
+  ``r`` where a journal recovery re-armed the job after a restart.
 * :func:`stats_payload`/:func:`render_stats` aggregate across traces:
   p50/p95 cell latency per grid point, the backend mix, and the
   cache-hit ratio.
@@ -212,6 +213,9 @@ def render_gantt(timelines: list[JobTimeline], width: int = 72,
             if note.get("kind") == "retry":
                 _bar(canvas, t0, span, width, note.get("ts", t0),
                      note.get("ts", t0), "!")
+            elif note.get("kind") == "recovered":
+                _bar(canvas, t0, span, width, note.get("ts", t0),
+                     note.get("ts", t0), "r")
         out.append(f"  {'job':<{label_w}} |{''.join(canvas)}|")
         for cell in tl.cells[:max_cells]:
             canvas = [" "] * width

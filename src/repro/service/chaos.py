@@ -16,6 +16,16 @@ the supervision layer through a real ``pnut serve`` subprocess with
    table).
 3. **Graceful drain** — ``shutdown drain=true`` with jobs queued must
    finish every one of them before the server exits 0.
+4. **Restart resume** — the whole server is SIGKILLed
+   (``kill-server=2:once``) right after accepting a keyed sweep; a
+   restart on the same ``--state``/``--store`` must re-arm the journaled
+   job, serve the already-checkpointed cells from the store, and the
+   keyed re-submit must attach to the recovered job with a
+   ``runs_sha256`` byte-identical to a cold in-process sweep.
+5. **Corrupt journal tail** — a journal truncated mid-record
+   (``corrupt-journal=2:once``) must not poison recovery: the restarted
+   server skips the torn record with a warning (``skipped_records``)
+   and still re-arms every intact one.
 
 Run it directly::
 
@@ -26,6 +36,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import signal
 import subprocess
 import sys
 import tempfile
@@ -36,7 +47,8 @@ from typing import Any
 from ..lang.format import format_net
 from ..obs.spans import read_spans, spans_by_trace
 from ..processor import build_pipeline_net
-from .client import RemoteError, ServiceClient
+from ..sim.sweep import run_sweep
+from .client import ClientDisconnected, RemoteError, ServiceClient
 from .faults import FAULTS_ENV, STATE_DIR_ENV
 from .smoke import (
     PAPER_CYCLES,
@@ -245,9 +257,134 @@ def _scenario_drain(tmp: str, net_source: str) -> int:
     return 0
 
 
+def _scenario_restart_resume(tmp: str, net_source: str) -> int:
+    """SIGKILL the server between accepts; restart must resume the sweep."""
+    state = Path(tmp) / "state"
+    state.mkdir()
+    store = str(state / "results.sqlite")
+    seeds = (SEED, SEED + 1, SEED + 2)
+    server = _Server(tmp, "resume-a", faults="kill-server=2:once",
+                     extra_args=("--state", str(state), "--store", store))
+    try:
+        boot = server.wait_ready()
+        if boot is not None:
+            return _fail(f"resume-scenario server did not come up:\n{boot}")
+        with ServiceClient(unix_path=server.socket_path,
+                           timeout=300.0) as client:
+            first = client.sweep(net_source, seeds=seeds[:2],
+                                 until=PAPER_CYCLES)
+            if first.resumed_cells:
+                return _fail(
+                    f"cold sweep reported resumed cells: {first.summary}"
+                )
+            try:
+                client.sweep(net_source, seeds=seeds, until=PAPER_CYCLES,
+                             key="resume")
+            except ClientDisconnected:
+                pass  # the fault SIGKILLed the server on this accept
+            else:
+                return _fail("kill-server fault never killed the server")
+        code = server.process.wait(timeout=30.0)
+        if code != -signal.SIGKILL:
+            return _fail(f"expected SIGKILL exit (-9), got {code}")
+    finally:
+        server.stop()
+
+    # The pinned truth: a cold in-process sweep over the same grid.
+    expected = run_sweep(build_pipeline_net(), list(seeds),
+                         until=PAPER_CYCLES).runs_sha256()
+
+    server = _Server(tmp, "resume-b",
+                     extra_args=("--state", str(state), "--store", store))
+    try:
+        boot = server.wait_ready()
+        if boot is not None:
+            return _fail(f"restarted server did not come up:\n{boot}")
+        with ServiceClient(unix_path=server.socket_path,
+                           timeout=300.0) as client:
+            outcome = client.sweep(net_source, seeds=seeds,
+                                   until=PAPER_CYCLES, key="resume")
+            stats = client.server_stats()
+            client.shutdown()
+        if not outcome.recovered:
+            return _fail("keyed re-submit did not attach to the "
+                         "journal-recovered job")
+        if outcome.runs_sha256 != expected:
+            return _fail(
+                f"resumed sweep diverged from the cold run: "
+                f"{outcome.runs_sha256} != {expected}"
+            )
+        if outcome.resumed_cells != 2:
+            return _fail(
+                f"expected 2 store-resumed cells, got "
+                f"{outcome.resumed_cells}: {outcome.summary}"
+            )
+        if stats["queue"]["recovered"] != 1:
+            return _fail(f"recovered counter not bumped: {stats['queue']}")
+        code = server.expect_clean_exit()
+        if code != 0:
+            return _fail(f"restarted server exit: {code}")
+    finally:
+        server.stop()
+    print("chaos-smoke: restart resumed the journaled sweep "
+          f"(2 cells from the store, runs_sha256={expected[:16]}... "
+          "byte-identical)", flush=True)
+    return 0
+
+
+def _scenario_corrupt_journal(tmp: str, net_source: str) -> int:
+    """A torn journal tail must be skipped with a warning, not fatal."""
+    state = Path(tmp) / "state"
+    state.mkdir()
+    server = _Server(tmp, "corrupt-a", faults="corrupt-journal=2:once",
+                     extra_args=("--state", str(state)))
+    try:
+        boot = server.wait_ready()
+        if boot is not None:
+            return _fail(f"corrupt-scenario server did not come up:\n{boot}")
+        with ServiceClient(unix_path=server.socket_path,
+                           timeout=300.0) as client:
+            client.submit_nowait(net_source, until=PAPER_CYCLES, seed=SEED)
+            client.submit_nowait(net_source, until=PAPER_CYCLES,
+                                 seed=SEED + 1)
+        # Crash before either job journals its terminal record; the
+        # fault already tore the tail off the second accept record.
+        server.process.kill()
+        server.process.wait()
+    finally:
+        server.stop()
+
+    server = _Server(tmp, "corrupt-b", extra_args=("--state", str(state)))
+    try:
+        boot = server.wait_ready()
+        if boot is not None:
+            return _fail(f"restarted server did not come up:\n{boot}")
+        with ServiceClient(unix_path=server.socket_path,
+                           timeout=300.0) as client:
+            stats = client.server_stats()
+            client.shutdown()
+        journal = stats.get("journal") or {}
+        if journal.get("skipped_records", 0) < 1:
+            return _fail(f"torn record not counted as skipped: {journal}")
+        if stats["queue"]["recovered"] != 1:
+            return _fail(
+                f"intact record not recovered past the torn one: "
+                f"{stats['queue']}"
+            )
+        code = server.expect_clean_exit()
+        if code != 0:
+            return _fail(f"restarted server exit: {code}")
+    finally:
+        server.stop()
+    print("chaos-smoke: torn journal tail skipped with a warning; the "
+          "intact job still recovered", flush=True)
+    return 0
+
+
 def main() -> int:
     net_source = format_net(build_pipeline_net())
-    scenarios = (_scenario_crash_retry, _scenario_deadline, _scenario_drain)
+    scenarios = (_scenario_crash_retry, _scenario_deadline, _scenario_drain,
+                 _scenario_restart_resume, _scenario_corrupt_journal)
     with tempfile.TemporaryDirectory(prefix="pnut-chaos-") as tmp:
         for scenario in scenarios:
             # A private subdirectory per scenario keeps :once latch files
@@ -256,7 +393,9 @@ def main() -> int:
             if code:
                 return code
     print("chaos-smoke: OK (crash retry bit-identical, deadline enforced "
-          "with the child reaped, drain completed all jobs)")
+          "with the child reaped, drain completed all jobs, restart "
+          "resumed the journaled sweep byte-identically, torn journal "
+          "tail skipped)")
     return 0
 
 

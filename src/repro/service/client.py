@@ -57,6 +57,9 @@ class JobResult:
     trace_lines: list[str] | None = None
     #: Tracing span id the server minted (or echoed) for this job.
     trace_id: str | None = None
+    #: True when the server re-armed this job from its write-ahead
+    #: journal after a restart (``pnut serve --state``).
+    recovered: bool = False
 
     @property
     def trace_sha256(self) -> str:
@@ -86,6 +89,15 @@ class SweepOutcome:
     aggregates: dict[str, Any]
     runs: list[dict[str, Any]]
     trace_id: str | None = None
+    #: True when the server re-armed this job from its write-ahead
+    #: journal after a restart (``pnut serve --state``).
+    recovered: bool = False
+
+    @property
+    def resumed_cells(self) -> int:
+        """Runs served from the server-side result store instead of
+        being re-simulated (0 on a cold run or a store-less server)."""
+        return int(self.summary.get("resumed_cells", 0))
 
     @property
     def runs_sha256(self) -> str:
@@ -118,6 +130,15 @@ class ExploreOutcome:
     summary: dict[str, Any]
     cells: dict[int, dict[str, Any]]
     trace_id: str | None = None
+    #: True when the server re-armed this job from its write-ahead
+    #: journal after a restart (``pnut serve --state``).
+    recovered: bool = False
+
+    @property
+    def resumed_cells(self) -> int:
+        """Cells served from the server-side result store instead of
+        being re-simulated (0 on a cold run or a store-less server)."""
+        return int(self.summary.get("resumed_cells", 0))
 
     @property
     def net_shas(self) -> list[str]:
@@ -403,6 +424,8 @@ class ServiceClient:
                     stats=frame.get("stats"),
                     trace_lines=trace_lines,
                     trace_id=frame.get("trace"),
+                    recovered=bool(frame.get("recovered")
+                                   or accepted.get("recovered")),
                 )
             else:
                 raise ServiceError(
@@ -477,6 +500,8 @@ class ServiceClient:
                     aggregates=frame.get("aggregates", {}),
                     runs=[runs[i] for i in range(len(spec.seeds))],
                     trace_id=frame.get("trace"),
+                    recovered=bool(frame.get("recovered")
+                                   or accepted.get("recovered")),
                 )
             else:
                 raise ServiceError(
@@ -545,6 +570,10 @@ class ServiceClient:
             elif kind == "result":
                 summary = frame.get("summary", {})
                 expected = summary.get("cells_run")
+                if expected is not None:
+                    # Store-resumed cells stream as explore-cell frames
+                    # too, so the client sees fresh + resumed together.
+                    expected += int(summary.get("resumed_cells", 0))
                 if expected is not None and expected != len(cells):
                     raise ServiceError(
                         f"exploration {job_id} finished with "
@@ -556,6 +585,8 @@ class ServiceClient:
                     summary=summary,
                     cells=cells,
                     trace_id=frame.get("trace"),
+                    recovered=bool(frame.get("recovered")
+                                   or accepted.get("recovered")),
                 )
             else:
                 raise ServiceError(

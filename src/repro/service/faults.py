@@ -11,7 +11,13 @@ chaos tests (and ``make chaos-smoke``) drive:
   the child: exercises per-job deadlines (``job-timeout``);
 * ``drop-connection`` — abort the submitting client's transport after
   N streamed frames (default 0, i.e. before the first): exercises
-  client reconnect and idempotent resubmission.
+  client reconnect and idempotent resubmission;
+* ``kill-server`` — SIGKILL the *server* process itself after N
+  accepted jobs (default 1): exercises the write-ahead job journal and
+  restart recovery (``pnut serve --state``);
+* ``corrupt-journal`` — truncate the job journal's tail mid-record
+  after N appended records (default 1): exercises the skip-and-warn
+  recovery contract for torn journal writes.
 
 Faults are configured through the environment so they reach every
 process in the service tree (the asyncio server *and* its forked
@@ -43,7 +49,8 @@ STATE_DIR_ENV = "PNUT_FAULT_DIR"
 
 #: The injection points the service implements (parse-time validation:
 #: a typo in PNUT_FAULTS must fail loudly, not silently never fire).
-KNOWN_POINTS = ("kill-child", "stall-worker", "drop-connection")
+KNOWN_POINTS = ("kill-child", "stall-worker", "drop-connection",
+                "kill-server", "corrupt-journal")
 
 
 class FaultConfigError(PnutError):
@@ -178,3 +185,57 @@ def connection_dropper() -> Callable[[], bool] | None:
         return claim("drop-connection") is not None
 
     return should_drop
+
+
+def server_saboteur() -> Callable[[], None] | None:
+    """A per-server accept countdown for the ``kill-server`` fault.
+
+    Returns None when inactive; otherwise a callable the server invokes
+    once per freshly accepted job — at the configured count (default 1,
+    i.e. the first accept) it SIGKILLs the *server process itself*,
+    honoring a ``:once`` latch. SIGKILL is deliberate, exactly as for
+    ``kill-child``: no drain, no journal close, no socket unlink — the
+    hard-crash shape that ``--state`` recovery must survive.
+    """
+    fault = planned("kill-server")
+    if fault is None:
+        return None
+    threshold = int(fault.arg) if fault.arg else 1
+    state = {"accepts": 0}
+
+    def on_accept() -> None:
+        state["accepts"] += 1
+        if (state["accepts"] >= threshold
+                and claim("kill-server") is not None):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return on_accept
+
+
+def journal_corrupter() -> Callable[[str], None] | None:
+    """A per-journal append countdown for the ``corrupt-journal`` fault.
+
+    Returns None when inactive; otherwise a callable the job journal
+    invokes after each appended record, passing the journal path — at
+    the configured count (default 1) it chops the last few bytes off
+    the file, honoring a ``:once`` latch. That leaves the final record
+    torn mid-JSON: precisely the shape of a write interrupted by a
+    crash, which recovery must skip-and-warn past, never choke on.
+    """
+    fault = planned("corrupt-journal")
+    if fault is None:
+        return None
+    threshold = int(fault.arg) if fault.arg else 1
+    state = {"appends": 0}
+
+    def maybe_truncate(path: str) -> None:
+        state["appends"] += 1
+        if (state["appends"] >= threshold
+                and claim("corrupt-journal") is not None):
+            try:
+                size = os.path.getsize(path)
+                os.truncate(path, max(0, size - 10))
+            except OSError:
+                pass
+
+    return maybe_truncate

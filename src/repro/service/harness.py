@@ -22,9 +22,12 @@ from .server import SimulationService
 class ServerThread:
     """A :class:`SimulationService` on a private event loop."""
 
-    def __init__(self, **service_kwargs) -> None:
+    def __init__(self, socket_path: str | None = None,
+                 **service_kwargs) -> None:
         self.tmp = tempfile.mkdtemp(prefix="pnut-serve-")
-        self.socket_path = os.path.join(self.tmp, "pnut.sock")
+        # Restart tests pin the socket path so a successor server binds
+        # where the predecessor lived; the temp dir is still ours to rm.
+        self.socket_path = socket_path or os.path.join(self.tmp, "pnut.sock")
         self.service: SimulationService | None = None
         self._ready = threading.Event()
         self._kwargs = service_kwargs

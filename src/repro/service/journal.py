@@ -1,0 +1,246 @@
+"""The write-ahead job journal behind ``pnut serve --state DIR``.
+
+One append-only JSONL file (``DIR/journal.jsonl``) records every job's
+admission and its lifecycle transitions, so a restarted server can
+re-arm the work a crash dropped instead of forgetting it:
+
+* ``accept`` — the full spec payload plus everything the queue resolved
+  at admission (op kind, crash-retry budget, dedupe identity, priority,
+  trace id). Written *before* the client sees the ``accepted`` frame:
+  if the client was told the job exists, the journal already knows.
+* ``retry`` — the attempt counter after a worker crash, so a recovered
+  job resumes with its retry budget where it left off.
+* ``end`` — the terminal state. A job with an ``end`` record needs no
+  recovery; everything else (queued, deferred, mid-run) does.
+
+Recovery is a single forward scan: the live set is "accepts without
+ends", in admission order. A corrupt line — the torn tail of a record
+that was mid-write when the process died — is skipped with a warning
+and counted, exactly the ``--store-skip-corrupt`` contract of the
+result store: losing one record must never poison startup.
+
+Appends are flushed per record but **not** fsynced: the journal guards
+against process death (SIGKILL, OOM), where the OS page cache survives,
+not against power loss — that trade keeps the accept path within the
+service's latency budget (the benchmark suite gates it).
+
+Compaction bounds the file: after :data:`JobJournal.COMPACT_EVERY`
+terminal records the journal is rewritten with only the live accepts
+(attempt counters folded in) via a temp file + ``os.replace``, so a
+long-lived server's journal stays proportional to its live jobs, not
+its history.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from typing import Any
+
+from . import faults
+
+log = logging.getLogger("repro.service")
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+class JobJournal:
+    """Append-only JSONL write-ahead log of job lifecycle transitions."""
+
+    #: Terminal records between compactions: small enough that the file
+    #: stays bounded under churn, large enough that compaction I/O is
+    #: negligible against the jobs themselves.
+    COMPACT_EVERY = 64
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, JOURNAL_NAME)
+        #: Records appended this lifetime (all kinds).
+        self.records = 0
+        #: Compactions performed this lifetime.
+        self.compactions = 0
+        #: Corrupt lines skipped during :meth:`recover`.
+        self.skipped_records = 0
+        self._live: dict[str, dict[str, Any]] = {}
+        self._terminals = 0
+        self._fh: Any = None
+        # JSON-escaping the net source dominates an accept record's
+        # serialization cost (fleet workloads resubmit the same net over
+        # and over); the escaped form is cached and spliced into the
+        # line so repeat accepts stay within the latency budget.
+        self._net_cache: dict[str, str] = {}
+        # Chaos hook: the corrupt-journal fault truncates the file tail
+        # mid-record after N appends — the torn-write shape recovery
+        # must degrade gracefully on.
+        self._corrupter = faults.journal_corrupter()
+
+    # -- write path --------------------------------------------------------
+
+    def _encode(self, record: dict[str, Any]) -> str:
+        """One JSONL line; the ``net`` field rides the escape cache."""
+        net = record.get("net")
+        if net is None:
+            return json.dumps(record, sort_keys=True,
+                              separators=(",", ":")) + "\n"
+        encoded = self._net_cache.get(net)
+        if encoded is None:
+            encoded = json.dumps(net)
+            if len(self._net_cache) >= 32:
+                self._net_cache.clear()
+            self._net_cache[net] = encoded
+        rest = {key: value for key, value in record.items() if key != "net"}
+        head = json.dumps(rest, sort_keys=True, separators=(",", ":"))
+        return head[:-1] + ',"net":' + encoded + "}\n"
+
+    def _append(self, record: dict[str, Any]) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(self._encode(record))
+        self._fh.flush()
+        self.records += 1
+        if self._corrupter is not None:
+            self._corrupter(self.path)
+
+    def accept(self, job: Any, op: str) -> None:
+        """Journal one admission; call before answering ``accepted``."""
+        spec_payload = job.spec.to_payload()
+        # The net source is journalled as its own top-level field so the
+        # (cached) escaped form can be spliced in; recovery folds it
+        # back into the spec payload.
+        net_source = spec_payload.pop("net", None)
+        record: dict[str, Any] = {
+            "rec": "accept",
+            "job": job.id,
+            "op": op,
+            "spec": spec_payload,
+            "net": net_source,
+            "priority": job.spec.priority,
+            "max_retries": job.max_retries,
+            "attempts": job.attempts,
+            "trace": job.trace_id,
+            "ts": round(time.time(), 3),
+        }
+        if job.identity is not None:
+            record["identity"] = job.identity
+        if job.recovered:
+            record["recovered"] = True
+        self._live[job.id] = record
+        self._append(record)
+
+    def retry(self, job: Any) -> None:
+        """Journal a crash retry so recovery keeps the attempt count."""
+        live = self._live.get(job.id)
+        if live is None:
+            return
+        live["attempts"] = job.attempts
+        self._append({
+            "rec": "retry", "job": job.id, "attempts": job.attempts,
+            "ts": round(time.time(), 3),
+        })
+
+    def end(self, job: Any) -> None:
+        """Journal a terminal transition; compacts periodically."""
+        if self._live.pop(job.id, None) is None:
+            return
+        self._append({
+            "rec": "end", "job": job.id, "state": job.state.value,
+            "ts": round(time.time(), 3),
+        })
+        self._terminals += 1
+        if self._terminals >= self.COMPACT_EVERY:
+            self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the journal with only the live accept records.
+
+        The live records carry their folded attempt counters, so a
+        compacted journal recovers identically to the full history.
+        Atomic: written to a temp file, fsynced, then ``os.replace``d —
+        a crash mid-compaction leaves the old journal intact.
+        """
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for record in self._live.values():
+                fh.write(self._encode(record))
+            fh.flush()
+            os.fsync(fh.fileno())
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        os.replace(tmp, self.path)
+        self._terminals = 0
+        self.compactions += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self) -> list[dict[str, Any]]:
+        """Replay the journal; the live accept records, admission order.
+
+        Folds ``retry`` records into their accept's ``attempts`` and
+        drops every job with an ``end``. Unparseable or malformed lines
+        (the torn tail of an interrupted write, or a truncation fault)
+        are skipped with a warning and counted in
+        :attr:`skipped_records` — never a startup failure.
+
+        The returned records belong to the *previous* lifetime; the
+        caller re-admits them (under fresh job ids) and normally calls
+        :meth:`compact` afterwards so the old lifetime's records don't
+        accumulate across restarts.
+        """
+        entries: dict[str, dict[str, Any]] = {}
+        order: list[str] = []
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    rec = record["rec"]
+                    job_id = record["job"]
+                    if not isinstance(job_id, str):
+                        raise TypeError("job id must be a string")
+                    if rec == "accept" and not isinstance(
+                        record.get("spec"), dict
+                    ):
+                        raise TypeError("accept without a spec payload")
+                except (json.JSONDecodeError, KeyError, TypeError) as error:
+                    self.skipped_records += 1
+                    log.warning(
+                        "%s:%d: skipping corrupt journal record (%r)",
+                        self.path, line_no, error,
+                    )
+                    continue
+                if rec == "accept":
+                    net = record.pop("net", None)
+                    if isinstance(net, str):
+                        record["spec"] = {**record["spec"], "net": net}
+                    if job_id not in entries:
+                        order.append(job_id)
+                    entries[job_id] = record
+                elif rec == "retry" and job_id in entries:
+                    attempts = record.get("attempts")
+                    if isinstance(attempts, int):
+                        entries[job_id]["attempts"] = attempts
+                elif rec == "end":
+                    entries.pop(job_id, None)
+        return [entries[job_id] for job_id in order if job_id in entries]
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "live": len(self._live),
+            "records": self.records,
+            "compactions": self.compactions,
+            "skipped_records": self.skipped_records,
+        }

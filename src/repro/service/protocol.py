@@ -79,7 +79,13 @@ class ProtocolError(ServiceError):
     """A malformed frame or request payload."""
 
 
-PROTOCOL_VERSION = 2
+#: Version 3 adds durable-state signals: jobs recovered from the write-
+#: ahead journal after a server restart (or attached to one) carry
+#: ``"recovered": true`` on their ``accepted``/terminal frames, and
+#: sweep/explore result summaries report ``resumed_cells`` — how many
+#: cells were served from the server-side result store instead of
+#: simulated. Both are additive; a version-2 client simply ignores them.
+PROTOCOL_VERSION = 3
 
 #: Job keys (idempotent resubmission) are opaque client strings; bound
 #: so a hostile key cannot bloat frames or the server's dedupe index.

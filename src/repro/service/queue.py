@@ -81,6 +81,13 @@ class Job:
     #: (so cancel works) but not armed in the heap. Reported separately
     #: from ``pending`` so queue depth adds up for observers.
     deferred: bool = False
+    #: True for jobs re-armed from the write-ahead journal after a
+    #: server restart; echoed on accepted/terminal frames (protocol 3).
+    recovered: bool = False
+    #: Server-side result-store context for this job, resolved before
+    #: execution: ``(net_shas, point_keys, stop_key)`` plus whatever the
+    #: executor needs to checkpoint cells as their frames stream.
+    store_ctx: Any = None
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -167,6 +174,8 @@ class Job:
             payload["seed"] = self.spec.seed
         if self.trace_id is not None:
             payload["trace"] = self.trace_id
+        if self.recovered:
+            payload["recovered"] = True
         if self.deferred:
             payload["deferred"] = True
         if self.attempts:
@@ -226,6 +235,11 @@ class JobQueue:
         self.crashed = 0
         self.timed_out = 0
         self.deduped = 0
+        #: Jobs re-armed from the journal at startup (durable state).
+        self.recovered = 0
+        #: Sweep/explore cells served from the server-side result store
+        #: instead of simulated, summed across finished jobs.
+        self.resumed_cells = 0
 
     @property
     def active(self) -> int:
@@ -401,4 +415,6 @@ class JobQueue:
             "crashed": self.crashed,
             "timed_out": self.timed_out,
             "deduped": self.deduped,
+            "recovered": self.recovered,
+            "resumed_cells": self.resumed_cells,
         }

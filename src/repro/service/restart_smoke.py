@@ -1,0 +1,167 @@
+"""`make restart-smoke`: SIGKILL a durable server mid-sweep, resume it.
+
+The durability contract under test: a ``pnut serve --state DIR --store
+PATH`` subprocess is SIGKILLed from the *outside* while a keyed Figure-5
+seed sweep is streaming (no fault injection, no cooperation from the
+server), then restarted on the same directories. The write-ahead journal
+must re-arm the sweep, the restarted run must serve every cell the dead
+server had already checkpointed from the result store (a client-observed
+``sweep-run`` frame implies a committed checkpoint — the server commits
+before it forwards), and the keyed re-submission must attach to the
+recovered job with a ``runs_sha256`` byte-identical to a cold in-process
+sweep over the same grid.
+
+Run it directly::
+
+    python -m repro.service.restart_smoke
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from ..lang.format import format_net
+from ..processor import build_pipeline_net
+from ..sim.sweep import run_sweep
+from .client import ClientDisconnected, ServiceClient
+from .smoke import PAPER_CYCLES, SEED
+
+#: Seeds in the interrupted sweep: enough that the SIGKILL (delivered on
+#: the third streamed run) always lands mid-sweep, never after the end.
+SWEEP_SEEDS = tuple(range(SEED, SEED + 8))
+#: Streamed runs observed before the kill — each implies a committed
+#: store checkpoint, so the restarted sweep must resume at least this
+#: many cells.
+KILL_AFTER_RUNS = 3
+JOB_KEY = "restart-smoke-sweep"
+
+
+def _fail(message: str) -> int:
+    print(f"restart-smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def _start_server(socket_path: str, state: str, store: str):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--socket", socket_path, "--workers", "1",
+         "--state", state, "--store", store],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def _wait_ready(server, socket_path: str, budget: float = 30.0) -> str | None:
+    deadline = time.monotonic() + budget
+    while not Path(socket_path).exists():
+        if server.poll() is not None or time.monotonic() > deadline:
+            return server.stdout.read() if server.stdout else ""
+        time.sleep(0.05)
+    return None
+
+
+def main() -> int:
+    net_source = format_net(build_pipeline_net())
+    expected = run_sweep(build_pipeline_net(), list(SWEEP_SEEDS),
+                         until=PAPER_CYCLES).runs_sha256()
+    with tempfile.TemporaryDirectory(prefix="pnut-restart-") as tmp:
+        state = str(Path(tmp) / "state")
+        store = str(Path(tmp) / "results.sqlite")
+        os.mkdir(state)
+
+        # -- first life: stream a few runs, then SIGKILL from outside --
+        socket_a = str(Path(tmp) / "a.sock")
+        server = _start_server(socket_a, state, store)
+        observed: list[int] = []
+        try:
+            boot = _wait_ready(server, socket_a)
+            if boot is not None:
+                return _fail(f"server did not come up:\n{boot}")
+
+            def on_run(index: int, run: dict[str, Any]) -> None:
+                observed.append(index)
+                if len(observed) == KILL_AFTER_RUNS:
+                    os.kill(server.pid, signal.SIGKILL)
+
+            try:
+                with ServiceClient(unix_path=socket_a,
+                                   timeout=300.0) as client:
+                    client.sweep(net_source, seeds=SWEEP_SEEDS,
+                                 until=PAPER_CYCLES, key=JOB_KEY,
+                                 on_run=on_run)
+            except ClientDisconnected:
+                pass  # the SIGKILL severed the stream, as intended
+            else:
+                return _fail("sweep finished before the kill landed; "
+                             "grow SWEEP_SEEDS")
+            if len(observed) < KILL_AFTER_RUNS:
+                return _fail(
+                    f"only {len(observed)} run(s) streamed before the "
+                    f"connection died"
+                )
+            code = server.wait(timeout=30.0)
+            if code != -signal.SIGKILL:
+                return _fail(f"expected SIGKILL exit (-9), got {code}")
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+
+        # -- second life: same --state/--store, journal re-arms the job --
+        socket_b = str(Path(tmp) / "b.sock")
+        server = _start_server(socket_b, state, store)
+        try:
+            boot = _wait_ready(server, socket_b)
+            if boot is not None:
+                return _fail(f"restarted server did not come up:\n{boot}")
+            with ServiceClient(unix_path=socket_b, timeout=300.0) as client:
+                outcome = client.sweep(net_source, seeds=SWEEP_SEEDS,
+                                       until=PAPER_CYCLES, key=JOB_KEY)
+                stats = client.server_stats()
+                client.shutdown()
+            if not outcome.recovered:
+                return _fail("keyed re-submit did not attach to the "
+                             "journal-recovered job")
+            if outcome.resumed_cells < KILL_AFTER_RUNS:
+                return _fail(
+                    f"resumed only {outcome.resumed_cells} cell(s); every "
+                    f"observed frame ({len(observed)}) implies a committed "
+                    f"checkpoint"
+                )
+            if outcome.runs_sha256 != expected:
+                return _fail(
+                    f"resumed sweep diverged from the cold run: "
+                    f"{outcome.runs_sha256} != {expected}"
+                )
+            if stats["queue"]["recovered"] != 1:
+                return _fail(
+                    f"recovered counter not bumped: {stats['queue']}"
+                )
+            try:
+                code = server.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                return _fail("restarted server did not exit after shutdown")
+            if code != 0:
+                return _fail(f"restarted server exited with status {code}")
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+    print(
+        "restart-smoke: OK "
+        f"(SIGKILL after {KILL_AFTER_RUNS} of {len(SWEEP_SEEDS)} runs; "
+        f"restart resumed {outcome.resumed_cells} cell(s) from the store, "
+        f"runs_sha256={expected[:16]}... byte-identical, "
+        f"recovered={stats['queue']['recovered']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,10 +29,16 @@ from typing import Any
 from ..analysis.report import statistics_payload
 from ..analysis.stat import StatisticsObserver
 from ..core.errors import PnutError
+from ..dse.store import SWEEP_POINT_KEY, StoreError, open_store, stop_key
 from ..obs.metrics import MetricsRegistry, peak_rss_kb
 from ..obs.spans import SpanLog, mint_trace_id, read_spans
 from ..sim.experiment import ForkedTask, fork_available
-from ..sim.sweep import TraceHasher, run_sweep
+from ..sim.sweep import (
+    TraceHasher,
+    _aggregate,
+    run_sweep,
+    summary_from_payload,
+)
 from ..trace.events import TraceHeader
 from ..trace.serialize import format_event, format_header
 from . import faults
@@ -50,6 +56,7 @@ from .protocol import (
     encode,
     error_frame,
 )
+from .journal import JobJournal
 from .queue import Job, JobQueue, JobState, QueueFullError
 
 log = logging.getLogger("repro.service")
@@ -222,6 +229,7 @@ def execute_job(compiled: CompiledNet, spec: JobSpec, emit) -> dict[str, Any]:
 def execute_explore_job(
     prepared: list[tuple[dict[str, Any], CompiledNet, str]],
     spec: ExploreSpec,
+    stored,
     emit,
 ) -> dict[str, Any]:
     """Run one exploration job — the whole (point x seed) grid.
@@ -233,15 +241,22 @@ def execute_explore_job(
     cache. Runs inside a single forked child (one cancellable job); each
     non-skipped cell forks its point's skeleton and streams a payload
     identical to what a ``submit`` of the bound source would report.
+
+    ``stored`` maps grid indices to checkpointed cell payloads the
+    server pulled from its shared result store before the fork; they
+    replay as ordinary ``explore-cell`` frames (so the submitting client
+    still receives every cell it didn't client-side skip) without
+    simulating, and count as ``resumed_cells`` on the summary.
     """
     from ..sim.lockstep import resolve_backend
     from ..sim.sweep import _sweep_one
 
     want_stats = "stats" in spec.outputs
     skip = set(spec.skip)
+    stored = stored or {}
     seeds = list(spec.seeds)
     digests: list[tuple[int, int, str]] = []
-    events_started = events_finished = cells_run = 0
+    events_started = events_finished = cells_run = resumed_cells = 0
     index = 0
     run_started = time.perf_counter()
     # Backend resolution is per *point*: each bound template compiles to
@@ -254,7 +269,21 @@ def execute_explore_job(
     for point_index, (_point, compiled, _sha) in enumerate(prepared):
         program, selected, reason = resolutions[point_index]
         for seed in seeds:
-            if (point_index, seed) not in skip:
+            if index in stored and (point_index, seed) not in skip:
+                # Server-store hit: replay the checkpointed cell as an
+                # ordinary frame — byte-identical to a fresh run's — and
+                # a zero-length skipped span, without simulating.
+                emit({
+                    "channel": "explore-cell", "index": index,
+                    "point": point_index, "cell": stored[index],
+                })
+                _emit_cell_span(
+                    emit, "explore-cell", seed=seed, point=point_index,
+                    backend=selected, backend_reason=reason,
+                    skipped=True,
+                )
+                resumed_cells += 1
+            elif (point_index, seed) not in skip:
                 if program is not None:
                     summary, _values = program.run_seed(
                         seed, spec.run_number, spec.until,
@@ -296,7 +325,8 @@ def execute_explore_job(
         "".join(digest for _p, _s, digest in digests).encode("ascii")
     ).hexdigest()
     extra = {"dse_cells_run_total": cells_run,
-             "dse_cells_skipped_total": index - cells_run}
+             "dse_cells_resumed_total": resumed_cells,
+             "dse_cells_skipped_total": index - cells_run - resumed_cells}
     for _program, selected, reason in resolutions:
         _count_backend(extra, "explore", selected, reason)
     _emit_obs_deltas(
@@ -312,7 +342,8 @@ def execute_explore_job(
             "seeds": seeds,
             "cells": index,
             "cells_run": cells_run,
-            "cells_skipped": index - cells_run,
+            "cells_skipped": index - cells_run - resumed_cells,
+            "resumed_cells": resumed_cells,
             "events_started": events_started,
             "events_finished": events_finished,
             "run_cells_sha256": cells_sha,
@@ -321,7 +352,7 @@ def execute_explore_job(
     }
 
 
-def execute_sweep_job(compiled: CompiledNet, spec: SweepSpec,
+def execute_sweep_job(compiled: CompiledNet, spec: SweepSpec, stored,
                       emit) -> dict[str, Any]:
     """Run one sweep job — the whole seed grid — to completion.
 
@@ -332,25 +363,57 @@ def execute_sweep_job(compiled: CompiledNet, spec: SweepSpec,
     ``submit`` of that seed would have reported (same statistics dict,
     same trace SHA-256); the returned result frame body adds the
     cross-run mean/CI aggregates.
+
+    ``stored`` maps seed positions to checkpointed run payloads the
+    server pulled from its result store *before* the fork (SQLite
+    handles must not cross a fork, so the child never touches the store
+    itself). Stored runs replay as ordinary ``sweep-run`` frames first —
+    byte-identical to a fresh run's frame — then only the missing seeds
+    simulate; the result frame merges both so a resumed sweep's runs,
+    aggregates and ``runs_sha256`` are bit-identical to a cold one.
     """
     from ..sim.lockstep import resolve_backend
 
     faults.stall_worker()  # chaos hook: hold the deadline path to the fire
     want_stats = "stats" in spec.outputs
+    stored = stored or {}
+    seeds = list(spec.seeds)
+    missing = [position for position in range(len(seeds))
+               if position not in stored]
     # Resolved here only to label the child spans as runs stream out;
     # compilation is cached on the skeleton, so `run_sweep`'s own
-    # resolution below reuses the same program — no double codegen.
-    _program, selected, reason = resolve_backend(
-        compiled.template, spec.backend
-    )
+    # resolution below reuses the same program — no double codegen. A
+    # fully resumed sweep never resolves: nothing left to compile for.
+    selected, reason = "scalar", "resumed"
+    if missing:
+        _program, selected, reason = resolve_backend(
+            compiled.template, spec.backend
+        )
     # chaos hook: the lockstep backend has no per-event observers, so the
     # kill-child budget is drained at run granularity — the SIGKILL lands
     # between seeds, after that seed's summary and cell-span streamed.
     saboteur = faults.event_saboteur()
 
-    def on_run(index: int, summary) -> None:
+    pairs: dict[int, tuple[Any, dict]] = {}
+    for position in sorted(stored):
+        summary = summary_from_payload(stored[position])
+        pairs[position] = (summary, {})
         emit({
-            "channel": "sweep-run", "index": index,
+            "channel": "sweep-run", "index": position,
+            "run": summary.to_payload(),
+        })
+        # A resumed run is a cache hit on the grid timeline, exactly
+        # like an explore cell the client's store already held.
+        _emit_cell_span(
+            emit, "sweep-run", seed=summary.seed,
+            backend=selected, backend_reason=reason, skipped=True,
+        )
+
+    def on_run(slot: int, summary) -> None:
+        position = missing[slot]
+        pairs[position] = (summary, {})
+        emit({
+            "channel": "sweep-run", "index": position,
             "run": summary.to_payload(),
         })
         _emit_cell_span(
@@ -362,35 +425,50 @@ def execute_sweep_job(compiled: CompiledNet, spec: SweepSpec,
                 saboteur(None)
 
     run_started = time.perf_counter()
-    result = run_sweep(
-        compiled.template,
-        spec.seeds,
-        until=spec.until,
-        max_events=spec.max_events,
-        run_number=spec.run_number,
-        workers=1,
-        want_stats=want_stats,
-        on_run=on_run,
-        backend=spec.backend,
+    if missing:
+        run_sweep(
+            compiled.template,
+            [seeds[position] for position in missing],
+            until=spec.until,
+            max_events=spec.max_events,
+            run_number=spec.run_number,
+            workers=1,
+            want_stats=want_stats,
+            on_run=on_run,
+            backend=spec.backend,
+        )
+    # Merge stored + fresh in position order; `_aggregate` folds in
+    # ascending-seed order underneath, so the merged aggregates (and
+    # the runs digest) are byte-identical to a cold full run.
+    from ..sim.sweep import SweepResult
+
+    merged = [pairs[position] for position in range(len(seeds))]
+    result = SweepResult(
+        runs=[summary for summary, _values in merged],
+        metrics=_aggregate(merged, [], 0.95),
+        resumed=len(stored),
     )
-    extra = {"sweep_runs_total": len(result.runs)}
-    _count_backend(extra, "sweep", result.backend, result.backend_reason)
+    extra = {"sweep_runs_total": len(missing),
+             "sweep_runs_resumed_total": len(stored)}
+    if missing:
+        _count_backend(extra, "sweep", selected, reason)
     _emit_obs_deltas(
         emit, time.perf_counter() - run_started,
         events_started=sum(r.events_started for r in result.runs),
         events_finished=sum(r.events_finished for r in result.runs),
-        runs=len(result.runs),
+        runs=len(missing),
         extra=extra,
     )
     return {
         "summary": {
             "net": compiled.net.name,
             "runs": len(result.runs),
-            "seeds": list(spec.seeds),
+            "seeds": seeds,
             "events_started": sum(r.events_started for r in result.runs),
             "events_finished": sum(r.events_finished for r in result.runs),
             "runs_sha256": result.runs_sha256(),
             "cache_key": compiled.key,
+            "resumed_cells": result.resumed,
         },
         "aggregates": result.aggregates_payload(),
     }
@@ -418,6 +496,9 @@ class SimulationService:
         obs_interval: float | None = None,
         http_port: int | None = None,
         http_host: str = "127.0.0.1",
+        state_dir: str | None = None,
+        store_path: str | None = None,
+        store_skip_corrupt: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -425,6 +506,25 @@ class SimulationService:
             raise ValueError("max_retries must be >= 0")
         self.cache = CompiledNetCache(capacity=cache_capacity)
         self.queue = JobQueue(max_pending=max_pending)
+        #: Write-ahead job journal (``--state DIR``): every accept /
+        #: retry / terminal transition is durably recorded, and
+        #: :meth:`start` re-arms the previous lifetime's unfinished jobs.
+        self.journal = JobJournal(state_dir) if state_dir else None
+        #: Server-side shared result store (``--store PATH``): sweep and
+        #: explore cells checkpoint as their frames stream (commit per
+        #: cell — a checkpoint that isn't committed isn't a checkpoint),
+        #: so any client's re-run of any grid is incremental fleet-wide.
+        self.store = (
+            open_store(store_path, skip_corrupt=store_skip_corrupt,
+                       commit_every=1)
+            if store_path else None
+        )
+        #: Chaos hook: SIGKILL this server process after N accepts.
+        self._kill_server = faults.server_saboteur()
+        #: True while :meth:`_close` force-cancels running jobs, so
+        #: those shutdown-time cancellations do NOT journal terminal
+        #: records — the jobs are still live work for the next lifetime.
+        self._closing = False
         self.workers = workers
         self.immediate_budget = immediate_budget
         self.use_fork = fork_available() if use_fork is None else use_fork
@@ -470,9 +570,21 @@ class SimulationService:
         cache stay the sources of truth for their own counters)."""
         queue_payload = self.queue.to_payload()
         for name in ("submitted", "completed", "failed", "cancelled",
-                     "retried", "crashed", "timed_out", "deduped"):
+                     "retried", "crashed", "timed_out", "deduped",
+                     "recovered"):
             counter = registry.counter(f"jobs_{name}_total")
             counter.inc(queue_payload[name] - counter.value)
+        resumed = registry.counter("store_resumed_cells_total")
+        resumed.inc(queue_payload["resumed_cells"] - resumed.value)
+        if self.journal is not None:
+            payload = self.journal.to_payload()
+            registry.gauge("journal_live_jobs").set(payload["live"])
+            registry.gauge("journal_records").set(payload["records"])
+            registry.gauge("journal_compactions").set(
+                payload["compactions"]
+            )
+        if self.store is not None:
+            registry.gauge("store_cells").set(len(self.store))
         registry.gauge("queue_pending").set(queue_payload["pending"])
         registry.gauge("queue_deferred").set(queue_payload["deferred"])
         registry.gauge("queue_running").set(queue_payload["running"])
@@ -504,6 +616,12 @@ class SimulationService:
             if job.error_code is not None:
                 fields["code"] = job.error_code
             self.spans.end(job.trace_id, job.id, job.state.value, **fields)
+        # Shutdown-time force-cancels are NOT terminal for the journal:
+        # the work is still owed, and the next lifetime recovers it.
+        if self.journal is not None and not (
+            self._closing and job.state is JobState.CANCELLED
+        ):
+            self.journal.end(job)
 
     def _health(self) -> tuple[bool, dict[str, Any]]:
         """The ``/healthz`` readiness contract: not-ready once draining."""
@@ -589,6 +707,11 @@ class SimulationService:
         if (unix_path is None) == (host is None):
             raise ValueError("provide either unix_path or host/port")
         self._loop = asyncio.get_running_loop()
+        if self.journal is not None:
+            # Recover before the worker pool exists: re-armed jobs land
+            # in the queue in their original admission order, ahead of
+            # anything the fresh listener accepts.
+            self._recover_jobs()
         self._worker_tasks = [
             asyncio.create_task(self._worker(), name=f"pnut-worker-{i}")
             for i in range(self.workers)
@@ -668,7 +791,82 @@ class SimulationService:
             await asyncio.sleep(0.02)
         return {"drained": expired == 0, "cancelled": expired}
 
+    def _recover_jobs(self) -> dict[str, Any]:
+        """Re-arm the previous lifetime's unfinished jobs from the journal.
+
+        Each live accept record resubmits under a fresh job id with its
+        spec, priority, crash-retry budget, folded attempt count, dedupe
+        identity and trace id intact — a keyed client reconnecting after
+        the restart attaches to the recovered job exactly as it would
+        have to the original. A record that no longer parses (protocol
+        drift, manual edits) is skipped with a warning, never a startup
+        failure; afterwards the journal is rewritten with only the new
+        lifetime's records.
+        """
+        assert self.journal is not None
+        spec_classes: dict[str, Any] = {
+            "submit": JobSpec, "sweep": SweepSpec, "explore": ExploreSpec,
+        }
+        recovered: list[tuple[Job, str]] = []
+        for record in self.journal.recover():
+            op = str(record.get("op"))
+            spec_cls = spec_classes.get(op)
+            if spec_cls is None:
+                log.warning("journal: skipping job %s with unknown op %r",
+                            record.get("job"), op)
+                continue
+            try:
+                spec = spec_cls.from_payload(record["spec"])
+            except ProtocolError as error:
+                log.warning("journal: skipping unrecoverable job %s (%s)",
+                            record.get("job"), error)
+                continue
+            max_retries = record.get("max_retries")
+            if not isinstance(max_retries, int) or max_retries < 0:
+                max_retries = self.max_retries
+            identity = record.get("identity")
+            try:
+                job = self.queue.submit(
+                    spec, max_retries=max_retries,
+                    identity=identity if isinstance(identity, str) else None,
+                )
+            except QueueFullError as error:
+                log.warning("journal: dropping job %s at recovery (%s)",
+                            record.get("job"), error)
+                continue
+            attempts = record.get("attempts")
+            if isinstance(attempts, int) and attempts > 0:
+                job.attempts = attempts
+            trace = record.get("trace")
+            job.trace_id = trace if isinstance(trace, str) else mint_trace_id()
+            job.recovered = True
+            self.queue.recovered += 1
+            if self.spans is not None:
+                self.spans.start(job.trace_id, job.id, op,
+                                 priority=spec.priority, recovered=True)
+                self.spans.annotate(job.trace_id, job.id, "recovered",
+                                    from_job=record.get("job"),
+                                    attempts=job.attempts)
+            recovered.append((job, op))
+            log.info("journal: recovered job %s as %s (op=%s, attempts=%d)",
+                     record.get("job"), job.id, op, job.attempts)
+        # Re-journal under the fresh ids and compact the old lifetime
+        # away — the journal now describes exactly the live queue.
+        for job, op in recovered:
+            self.journal.accept(job, op)
+        self.journal.compact()
+        summary = {
+            "recovered": len(recovered),
+            "skipped_records": self.journal.skipped_records,
+        }
+        if recovered or summary["skipped_records"]:
+            log.info("journal: recovery complete (%d job(s) re-armed, "
+                     "%d corrupt record(s) skipped)",
+                     summary["recovered"], summary["skipped_records"])
+        return summary
+
     async def _close(self) -> None:
+        self._closing = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -690,6 +888,10 @@ class SimulationService:
             await asyncio.gather(self._obs_task, return_exceptions=True)
         if self.spans is not None:
             self.spans.close()
+        if self.journal is not None:
+            self.journal.close()
+        if self.store is not None:
+            self.store.close()
 
     # -- worker pool -------------------------------------------------------
 
@@ -733,6 +935,56 @@ class SimulationService:
         prepared = list(zip(points, compiled, net_shas))
         return prepared, all(outcome != "miss" for outcome in outcomes)
 
+    def _consult_store(self, job: Job, spec: Any,
+                       target: Any) -> dict[int, dict[str, Any]]:
+        """Scan the server store for this job's already-completed cells.
+
+        Runs on the event loop *before* the fork (SQLite handles must
+        not cross one, and the in-memory index lookup is cheap), once
+        per attempt — so a retry after a worker crash resumes from
+        every cell the crashed attempt managed to checkpoint. Also
+        stamps ``job.store_ctx``, the keying context the frame path
+        (:meth:`_publish_stream`) and keyed re-attach replay use.
+        """
+        assert self.store is not None
+        want_stats = "stats" in spec.outputs
+        skey = stop_key(spec.until, spec.max_events, spec.run_number,
+                        want_stats, ())
+        stored: dict[int, dict[str, Any]] = {}
+        if isinstance(spec, SweepSpec):
+            net_sha = hashlib.sha256(
+                target.source.encode("utf-8")
+            ).hexdigest()
+            seeds = list(spec.seeds)
+            job.store_ctx = {"kind": "sweep", "net_sha": net_sha,
+                             "skey": skey, "seeds": seeds}
+            for position, seed in enumerate(seeds):
+                payload = self.store.get(net_sha, SWEEP_POINT_KEY, seed,
+                                         skey)
+                if payload is not None:
+                    stored[position] = payload
+        else:
+            from ..dse.explore import grid_cells
+            from ..dse.space import point_key
+
+            grid = grid_cells(len(target), spec.seeds)
+            net_shas = [sha for _point, _compiled, sha in target]
+            point_keys = [point_key(point)
+                          for point, _compiled, _sha in target]
+            skip = set(spec.skip)
+            job.store_ctx = {"kind": "explore", "net_shas": net_shas,
+                             "point_keys": point_keys, "skey": skey,
+                             "grid": grid}
+            for index, (point_index, seed) in enumerate(grid):
+                if (point_index, seed) in skip:
+                    continue
+                payload = self.store.get(net_shas[point_index],
+                                         point_keys[point_index], seed,
+                                         skey)
+                if payload is not None:
+                    stored[index] = payload
+        return stored
+
     async def _execute(self, job: Job) -> None:
         spec = job.spec
         try:
@@ -757,13 +1009,22 @@ class SimulationService:
             self._finish(job, None, None)
             return
 
+        # Grid jobs consult the shared store per attempt: a crash retry
+        # (or a restart-recovered job) resumes from whatever cells the
+        # previous attempt already checkpointed.
+        args: tuple = (target, spec)
+        if isinstance(spec, (SweepSpec, ExploreSpec)):
+            stored = (self._consult_store(job, spec, target)
+                      if self.store is not None else {})
+            args = (target, spec, stored)
+
         value: dict[str, Any] | None = None
         error_text: str | None = None
         crash: dict[str, Any] | None = None
         timed_out = False
         job.attempts += 1
         if self.use_fork:
-            task = ForkedTask(executor, (target, spec),
+            task = ForkedTask(executor, args,
                               label=f"job {job.id}")
             job.cancel_hook = task.terminate
             deadline = (time.monotonic() + spec.timeout
@@ -817,8 +1078,7 @@ class SimulationService:
                 ).result()
 
             try:
-                value = await asyncio.to_thread(executor, target, spec,
-                                                emit)
+                value = await asyncio.to_thread(executor, *args, emit)
             except PnutError as error:
                 error_text = str(error)
         if job.state is JobState.CANCELLED:
@@ -855,6 +1115,10 @@ class SimulationService:
     def _retry(self, job: Job, crash: dict[str, Any]) -> None:
         """Park a crashed job and re-arm it after an exponential backoff."""
         self.queue.defer(job)
+        if self.journal is not None:
+            # Durably fold the attempt count: a server that dies during
+            # the backoff recovers the job with its budget spent.
+            self.journal.retry(job)
         delay = self._backoff_delay(job)
         log.warning(
             "job %s crashed (%s); retrying (attempt %d of %d) in %.2fs",
@@ -928,11 +1192,13 @@ class SimulationService:
                 "type": "trace", "job": job.id, "lines": payload["lines"],
             }
         elif channel == "sweep-run":
+            self._checkpoint_cell(job, payload["index"], payload["run"])
             frame = {
                 "type": "sweep-run", "job": job.id,
                 "index": payload["index"], "run": payload["run"],
             }
         elif channel == "explore-cell":
+            self._checkpoint_cell(job, payload["index"], payload["cell"])
             frame = {
                 "type": "explore-cell", "job": job.id,
                 "index": payload["index"], "point": payload["point"],
@@ -944,9 +1210,40 @@ class SimulationService:
             frame["trace"] = job.trace_id
         await job.publish_stream(frame)
 
+    def _checkpoint_cell(self, job: Job, index: int,
+                         payload: dict[str, Any]) -> None:
+        """Write one streamed cell into the shared store, pre-forward.
+
+        Ordering is the durability contract: a frame a client observed
+        implies a committed checkpoint (the server store commits per
+        put), so a crash after the frame can never lose the cell. A
+        divergent recomputation (the store's byte-identity verify) is
+        logged and skipped, never fatal to the job.
+        """
+        if self.store is None or job.store_ctx is None:
+            return
+        ctx = job.store_ctx
+        try:
+            if ctx["kind"] == "sweep":
+                self.store.put(ctx["net_sha"], SWEEP_POINT_KEY,
+                               ctx["seeds"][index], ctx["skey"], payload)
+            else:
+                point_index, seed = ctx["grid"][index]
+                self.store.put(ctx["net_shas"][point_index],
+                               ctx["point_keys"][point_index], seed,
+                               ctx["skey"], payload)
+        except StoreError as error:
+            log.warning("store: dropping checkpoint for job %s cell %d "
+                        "(%s)", job.id, index, error)
+
     def _finish(self, job: Job, value: dict[str, Any] | None,
                 error_text: str | None, code: str = "job-failed") -> None:
         cancelled = job.state is JobState.CANCELLED
+        if (value is not None and not cancelled
+                and isinstance(value.get("summary"), dict)):
+            resumed = value["summary"].get("resumed_cells")
+            if isinstance(resumed, int):
+                self.queue.resumed_cells += resumed
         self.queue.finish(job, value, None if cancelled else error_text,
                           code=None if cancelled else code)
         job.publish(self._terminal_frame(job))
@@ -971,6 +1268,8 @@ class SimulationService:
                 "type": "result", "job": job.id, "cached": job.cached,
                 **job.result,
             }
+        if job.recovered:
+            frame["recovered"] = True
         if job.trace_id is not None:
             frame["trace"] = job.trace_id
         return frame
@@ -1065,19 +1364,30 @@ class SimulationService:
                     position=self.queue.to_payload()["pending"],
                 )
                 accepted["deduped"] = True
+                if duplicate.recovered:
+                    accepted["recovered"] = True
                 if duplicate.trace_id is not None:
                     accepted["trace"] = duplicate.trace_id
                 # Subscribe before the first await so no frame can be
                 # missed; a finished job has no live stream left, so its
-                # terminal frame is replayed instead.
+                # terminal frame is replayed instead. With the shared
+                # store enabled, the job's checkpointed cell frames are
+                # replayed from it first: an attaching client missed the
+                # cells streamed before it arrived (cells streamed after
+                # the subscription arrive live and simply duplicate a
+                # replayed frame — harmless, the client keys by index).
                 subscription = duplicate.subscribe()
                 if duplicate.state.finished:
                     duplicate.unsubscribe(subscription)
                     await send(accepted)
+                    for frame in self._stored_frames(duplicate):
+                        await send({**frame, "id": request_id})
                     await send({**self._terminal_frame(duplicate),
                                 "id": request_id})
                     return None
                 await send(accepted)
+                for frame in self._stored_frames(duplicate):
+                    await send({**frame, "id": request_id})
                 return self._start_pump(duplicate, subscription, request_id,
                                         writer, write_lock)
             if self.draining:
@@ -1111,6 +1421,11 @@ class SimulationService:
                     if spec.until is not None:
                         fields["until"] = spec.until
                 self.spans.start(job.trace_id, job.id, op, **fields)
+            # Journal before the client learns the job exists: if the
+            # accepted frame was observed, a restarted server recovers
+            # the job.
+            if self.journal is not None:
+                self.journal.accept(job, op)
             # Subscribe before the first await so no frame can be missed.
             subscription = job.subscribe()
             accepted = accepted_frame(
@@ -1119,6 +1434,11 @@ class SimulationService:
             )
             accepted["trace"] = job.trace_id
             await send(accepted)
+            if self._kill_server is not None:
+                # Chaos hook: SIGKILL this server process after N
+                # accepted jobs — after the accept was journaled AND
+                # acknowledged, the exact window recovery must cover.
+                self._kill_server()
             return self._start_pump(job, subscription, request_id, writer,
                                     write_lock)
         if op == "status":
@@ -1151,7 +1471,7 @@ class SimulationService:
             })
             return None
         if op == "server-stats":
-            await send({
+            stats = {
                 "type": "server-stats", "id": request_id,
                 "version": PROTOCOL_VERSION,
                 "workers": self.workers,
@@ -1160,7 +1480,16 @@ class SimulationService:
                 "max_retries": self.max_retries,
                 "cache": self.cache.to_payload(),
                 "queue": self.queue.to_payload(),
-            })
+            }
+            if self.journal is not None:
+                stats["journal"] = self.journal.to_payload()
+            if self.store is not None:
+                stats["store"] = {
+                    "path": self.store.path,
+                    "cells": len(self.store),
+                    "skipped_records": self.store.skipped_records,
+                }
+            await send(stats)
             return None
         if op == "shutdown":
             if message.get("drain"):
@@ -1184,6 +1513,45 @@ class SimulationService:
             return None
         await send(error_frame(request_id, f"unknown op {op!r}", "bad-request"))
         return None
+
+    def _stored_frames(self, job: Job) -> list[dict[str, Any]]:
+        """This job's checkpointed cell frames, rebuilt from the store.
+
+        Used when a keyed resubmission attaches to a sweep/explore job:
+        the attaching client missed every cell streamed before it
+        arrived, but with the server store those cells are durable —
+        replaying them (byte-identical to the original frames) makes
+        re-attach lossless, including across a server restart. Returns
+        nothing when the store is off or the job never consulted it.
+        """
+        if self.store is None or job.store_ctx is None:
+            return []
+        ctx = job.store_ctx
+        frames: list[dict[str, Any]] = []
+        if ctx["kind"] == "sweep":
+            for position, seed in enumerate(ctx["seeds"]):
+                payload = self.store.get(ctx["net_sha"], SWEEP_POINT_KEY,
+                                         seed, ctx["skey"])
+                if payload is not None:
+                    frames.append({
+                        "type": "sweep-run", "job": job.id,
+                        "index": position, "run": payload,
+                    })
+        else:
+            for index, (point_index, seed) in enumerate(ctx["grid"]):
+                payload = self.store.get(ctx["net_shas"][point_index],
+                                         ctx["point_keys"][point_index],
+                                         seed, ctx["skey"])
+                if payload is not None:
+                    frames.append({
+                        "type": "explore-cell", "job": job.id,
+                        "index": index, "point": point_index,
+                        "cell": payload,
+                    })
+        if job.trace_id is not None:
+            for frame in frames:
+                frame["trace"] = job.trace_id
+        return frames
 
     def _start_pump(
         self,
@@ -1258,6 +1626,9 @@ async def run_server(
     http_port: int | None = None,
     http_host: str = "127.0.0.1",
     http_ready_callback=None,
+    state_dir: str | None = None,
+    store_path: str | None = None,
+    store_skip_corrupt: bool = False,
 ) -> None:
     """Start a service and serve until shutdown (the ``pnut serve`` body).
 
@@ -1271,7 +1642,9 @@ async def run_server(
     seconds (and appends it beside the spans when both are set).
     ``http_port`` (0 picks a free port) binds the HTTP observability
     sidecar on the same loop; its scrape URL goes to
-    ``http_ready_callback``.
+    ``http_ready_callback``. ``state_dir`` turns on the write-ahead job
+    journal (and restart recovery); ``store_path`` the server-side
+    shared result store — see :mod:`repro.service.journal`.
     """
     service = SimulationService(
         workers=workers,
@@ -1283,6 +1656,9 @@ async def run_server(
         obs_interval=obs_interval,
         http_port=http_port,
         http_host=http_host,
+        state_dir=state_dir,
+        store_path=store_path,
+        store_skip_corrupt=store_skip_corrupt,
     )
     if preload_dir is not None:
         summary = await asyncio.to_thread(service.preload, preload_dir)

@@ -134,6 +134,26 @@ class SweepRunSummary:
         return payload
 
 
+def summary_from_payload(payload: dict[str, Any]) -> SweepRunSummary:
+    """Rebuild a :class:`SweepRunSummary` from its :meth:`to_payload`.
+
+    The inverse the result store needs: a checkpointed cell payload
+    round-trips into a summary whose own ``to_payload`` is byte-identical
+    (JSON floats round-trip exactly; ``elapsed_s`` was never in the
+    payload and stays 0.0 — it is execution provenance, not identity).
+    """
+    return SweepRunSummary(
+        seed=payload["seed"],
+        run_number=payload["run"],
+        final_time=payload["final_time"],
+        events_started=payload["events_started"],
+        events_finished=payload["events_finished"],
+        trace_events=payload["trace_events"],
+        trace_sha256=payload["trace_sha256"],
+        stats=payload.get("stats"),
+    )
+
+
 @dataclass
 class SweepResult:
     """All runs (in input-seed order) plus the cross-run aggregates.
@@ -152,6 +172,10 @@ class SweepResult:
     backend: str = "scalar"
     backend_requested: str = "scalar"
     backend_reason: str = "requested"
+    #: Runs served from a result store instead of simulated (execution
+    #: provenance, like ``backend`` — excluded from :meth:`to_payload`,
+    #: so a resumed sweep's payload is byte-identical to a cold one).
+    resumed: int = 0
 
     def metric(self, name: str) -> MetricSummary:
         return self.metrics[name]
@@ -287,6 +311,7 @@ def run_sweep(
     confidence: float = 0.95,
     on_run: Callable[[int, SweepRunSummary], Any] | None = None,
     backend: str = "auto",
+    store=None,
 ) -> SweepResult:
     """Run one compiled net across a seed grid, sharing the skeleton.
 
@@ -309,6 +334,17 @@ def run_sweep(
     on the result, never an error), ``"scalar"`` forces the classic
     engine. Per-seed summaries are bit-identical across backends; see
     :mod:`repro.sim.lockstep`.
+
+    ``store`` (a :class:`~repro.dse.store.ResultStore`) makes sweeps
+    incremental exactly like explorations: seeds whose cells the store
+    already holds are served from it (``on_run`` still fires, in seed
+    position order, before any fresh run), only the missing seeds
+    simulate, and fresh summaries are checkpointed as they complete.
+    Sweep cells share the explore keyspace under the synthetic empty
+    grid point (:data:`~repro.dse.store.SWEEP_POINT_KEY`), so a sweep
+    resumed from a store is byte-identical to a cold one — the
+    ``resumed`` count on the result is the only difference, and it is
+    excluded from the payload.
     """
     if isinstance(skeleton, PetriNet):
         skeleton = Simulator(skeleton)
@@ -334,52 +370,107 @@ def run_sweep(
             f"metric names collide with builtin aggregates: {sorted(reserved)}"
         )
 
+    # Store scan first: stored cells never simulate. Keyed exactly like
+    # an exploration cell of the empty point — net hash over the
+    # canonical source, stop key carrying the payload shape — so sweeps
+    # and service jobs and explores of the same net share checkpoints.
+    store_ctx = None
+    stored_pairs: dict[int, tuple[SweepRunSummary, dict[str, float]]] = {}
+    if store is not None:
+        from ..dse.store import SWEEP_POINT_KEY, stop_key
+        from ..lang.format import format_net
+        from ..lang.parser import canonical_net_source
+
+        source = canonical_net_source(format_net(skeleton.net))
+        net_sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        skey = stop_key(until, max_events, run_number, want_stats,
+                        user_names)
+        store_ctx = (net_sha, skey)
+        for position, seed in enumerate(seeds):
+            payload = store.get(net_sha, SWEEP_POINT_KEY, seed, skey)
+            if payload is None:
+                continue
+            values = {
+                name: float(payload["metrics"][name])
+                for name in user_names
+            } if user_names else {}
+            stored_pairs[position] = (summary_from_payload(payload), values)
+        for position in sorted(stored_pairs):
+            if on_run is not None:
+                on_run(position, stored_pairs[position][0])
+    run_positions = [position for position in range(len(seeds))
+                     if position not in stored_pairs]
+
     # Lazily imported: lockstep pulls the codegen layer in only when a
-    # sweep actually asks for it (and "scalar" never does).
+    # sweep actually asks for it (and "scalar" never does). A fully
+    # resumed sweep skips backend resolution outright — there is
+    # nothing left to run, so nothing to compile for.
     program = None
     selected, reason = "scalar", "requested"
-    if backend != "scalar":
+    if backend != "scalar" and run_positions:
         from .lockstep import resolve_backend
 
         # Raises ValueError on an unknown backend name.
         program, selected, reason = resolve_backend(skeleton, backend)
+    elif backend != "scalar":
+        selected, reason = "scalar", "resumed"
 
     if program is not None:
-        matrix = program.matrix(len(seeds))
+        matrix = program.matrix(len(run_positions))
 
         def run_one(
-            position: int,
+            slot: int,
         ) -> tuple[SweepRunSummary, dict[str, float]]:
             return program.run_seed(
-                seeds[position], run_number, until, max_events,
+                seeds[run_positions[slot]], run_number, until, max_events,
                 want_stats, metrics, stat_metrics,
-                matrix=matrix, index=position,
+                matrix=matrix, index=slot,
             )
     else:
         def run_one(
-            position: int,
+            slot: int,
         ) -> tuple[SweepRunSummary, dict[str, float]]:
             return _sweep_one(
-                skeleton, seeds[position], run_number, until, max_events,
-                want_stats, metrics, stat_metrics,
+                skeleton, seeds[run_positions[slot]], run_number, until,
+                max_events, want_stats, metrics, stat_metrics,
             )
 
-    workers = min(workers, len(seeds))
-    if workers > 1 and fork_available():
-        pairs = _run_chunked(run_one, len(seeds), workers, on_run)
+    def settle(slot: int,
+               pair: tuple[SweepRunSummary, dict[str, float]]) -> None:
+        """Checkpoint + stream one fresh run (parent process only)."""
+        position = run_positions[slot]
+        summary, values = pair
+        if store_ctx is not None:
+            payload = summary.to_payload()
+            if values:
+                payload["metrics"] = {
+                    name: float(value) for name, value in values.items()
+                }
+            store.put(store_ctx[0], SWEEP_POINT_KEY, seeds[position],
+                      store_ctx[1], payload)
+        if on_run is not None:
+            on_run(position, summary)
+
+    workers = min(workers, max(1, len(run_positions)))
+    if len(run_positions) > 1 and workers > 1 and fork_available():
+        fresh = _run_chunked(run_one, len(run_positions), workers, settle)
     else:
-        pairs = []
-        for position in range(len(seeds)):
-            summary, values = run_one(position)
-            if on_run is not None:
-                on_run(position, summary)
-            pairs.append((summary, values))
+        fresh = []
+        for slot in range(len(run_positions)):
+            pair = run_one(slot)
+            settle(slot, pair)
+            fresh.append(pair)
+    pairs = list(stored_pairs.items())
+    pairs += [(run_positions[slot], pair)
+              for slot, pair in enumerate(fresh)]
+    pairs = [pair for _position, pair in sorted(pairs)]
     return SweepResult(
         runs=[summary for summary, _values in pairs],
         metrics=_aggregate(pairs, user_names, confidence),
         backend=selected,
         backend_requested=backend,
         backend_reason=reason,
+        resumed=len(stored_pairs),
     )
 
 
@@ -387,20 +478,18 @@ def _run_chunked(
     run_one: Callable[[int], tuple[SweepRunSummary, dict[str, float]]],
     n_runs: int,
     workers: int,
-    on_run: Callable[[int, SweepRunSummary], Any] | None,
+    on_pair: Callable[[int, tuple[SweepRunSummary, dict[str, float]]], Any],
 ) -> list[tuple[SweepRunSummary, dict[str, float]]]:
     """Fan run positions across forked workers, one fork per *chunk*.
 
     Each child runs its strided chunk of positions (via the shared
     :func:`~repro.sim.experiment.map_chunked_forked` loop) and streams
-    one message per completed run; ``on_run`` fires as runs finish and
-    everything is reassembled in position order.
+    one message per completed run; ``on_pair`` fires in the *parent* as
+    runs finish (so store checkpointing and ``on_run`` streaming happen
+    exactly once) and everything is reassembled in position order.
     """
     chunks = [list(range(w, n_runs, workers)) for w in range(workers)]
-    on_result = None
-    if on_run is not None:
-        on_result = lambda position, pair: on_run(position, pair[0])  # noqa: E731
-    collected = map_chunked_forked(run_one, chunks, on_result,
+    collected = map_chunked_forked(run_one, chunks, on_pair,
                                    label="sweep worker")
     missing = [i for i in range(n_runs) if i not in collected]
     if missing:

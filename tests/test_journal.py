@@ -1,0 +1,241 @@
+"""The write-ahead job journal behind ``pnut serve --state``.
+
+Pure file-level contract tests — no server, no sockets: records written
+before a (simulated) crash must recover exactly, corrupt tails must be
+skipped with a warning, and compaction must preserve recovery semantics
+while bounding the file.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.service.journal import JOURNAL_NAME, JobJournal
+from repro.service.protocol import ExploreSpec, JobSpec, SweepSpec
+from repro.service.queue import Job, JobState
+
+SMALL_NET = """\
+net smallco
+place a = 3
+place free = 1
+work [fire=2]: a + free -> free + done
+drain [fire=1]: done -> 0
+"""
+
+
+def make_job(job_id="j1", spec=None, **fields):
+    spec = spec or JobSpec(net_source=SMALL_NET, until=50.0, seed=7)
+    job = Job(id=job_id, spec=spec, seq=int(job_id[1:]), max_retries=2)
+    job.trace_id = f"trace-{job_id}"
+    for name, value in fields.items():
+        setattr(job, name, value)
+    return job
+
+
+class TestJournalRoundTrip:
+    def test_accept_recovers_the_full_admission(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        spec = JobSpec(net_source=SMALL_NET, until=50.0, seed=7,
+                       priority=3, key="dedupe-me")
+        journal.accept(make_job(spec=spec, identity="submit:abc",
+                                attempts=1), "submit")
+        journal.close()
+
+        records = JobJournal(str(tmp_path)).recover()
+        assert len(records) == 1
+        record = records[0]
+        assert record["op"] == "submit"
+        assert record["max_retries"] == 2
+        assert record["attempts"] == 1
+        assert record["identity"] == "submit:abc"
+        assert record["trace"] == "trace-j1"
+        assert record["priority"] == 3
+        # The spec payload round-trips through from_payload, net source
+        # and all (the journal splices the net in as its own field).
+        recovered = JobSpec.from_payload(record["spec"])
+        assert recovered.net_source == SMALL_NET
+        assert recovered.to_payload() == spec.to_payload()
+
+    def test_sweep_and_explore_specs_round_trip(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        sweep = SweepSpec(net_source=SMALL_NET, seeds=(1, 2, 3), until=50.0)
+        explore = ExploreSpec(
+            net_source="net t\nplace p = ${tokens}\nwork: p -> 0\n",
+            params={"axes": [{"name": "tokens", "values": [1, 2]}]},
+            seeds=(1,), until=10.0,
+        )
+        journal.accept(make_job("j1", spec=sweep), "sweep")
+        journal.accept(make_job("j2", spec=explore), "explore")
+        journal.close()
+
+        records = JobJournal(str(tmp_path)).recover()
+        assert [r["op"] for r in records] == ["sweep", "explore"]
+        assert SweepSpec.from_payload(records[0]["spec"]).seeds == (1, 2, 3)
+        back = ExploreSpec.from_payload(records[1]["spec"])
+        assert back.to_payload() == explore.to_payload()
+
+    def test_end_removes_the_job_from_recovery(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        done = make_job("j1")
+        live = make_job("j2")
+        journal.accept(done, "submit")
+        journal.accept(live, "submit")
+        done.state = JobState.DONE
+        journal.end(done)
+        journal.close()
+
+        records = JobJournal(str(tmp_path)).recover()
+        assert [r["job"] for r in records] == ["j2"]
+
+    def test_retry_folds_attempts_into_recovery(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        job = make_job("j1")
+        journal.accept(job, "submit")
+        job.attempts = 2
+        journal.retry(job)
+        journal.close()
+
+        records = JobJournal(str(tmp_path)).recover()
+        assert records[0]["attempts"] == 2
+
+    def test_recovery_preserves_admission_order(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        for n in range(5):
+            journal.accept(make_job(f"j{n}"), "submit")
+        journal.close()
+        records = JobJournal(str(tmp_path)).recover()
+        assert [r["job"] for r in records] == [f"j{n}" for n in range(5)]
+
+    def test_recovered_flag_is_journalled(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        journal.accept(make_job(recovered=True), "submit")
+        journal.close()
+        records = JobJournal(str(tmp_path)).recover()
+        assert records[0]["recovered"] is True
+
+
+class TestJournalCorruption:
+    def test_torn_tail_is_skipped_with_a_warning(self, tmp_path, caplog):
+        journal = JobJournal(str(tmp_path))
+        journal.accept(make_job("j1"), "submit")
+        journal.accept(make_job("j2"), "submit")
+        journal.close()
+        # Tear the tail off the last record, the shape a SIGKILL
+        # mid-write (or the corrupt-journal fault) leaves behind.
+        path = tmp_path / JOURNAL_NAME
+        path.write_bytes(path.read_bytes()[:-10])
+
+        fresh = JobJournal(str(tmp_path))
+        with caplog.at_level(logging.WARNING, logger="repro.service"):
+            records = fresh.recover()
+        assert [r["job"] for r in records] == ["j1"]
+        assert fresh.skipped_records == 1
+        assert any("corrupt journal record" in m for m in caplog.messages)
+
+    def test_garbage_and_blank_lines_never_fail_startup(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        path.write_text(
+            "\n"
+            "not json at all\n"
+            '{"rec": "accept", "job": 42}\n'          # non-string job id
+            '{"rec": "accept", "job": "j9"}\n'        # accept without spec
+            '{"rec": "end"}\n'                        # missing job key
+        )
+        journal = JobJournal(str(tmp_path))
+        assert journal.recover() == []
+        assert journal.skipped_records == 4
+
+    def test_missing_file_recovers_empty(self, tmp_path):
+        assert JobJournal(str(tmp_path)).recover() == []
+
+
+class TestJournalCompaction:
+    def test_compaction_bounds_the_file_and_keeps_live_jobs(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        survivor = make_job("j999")
+        journal.accept(survivor, "submit")
+        for n in range(journal.COMPACT_EVERY):
+            job = make_job(f"j{n}")
+            journal.accept(job, "submit")
+            job.state = JobState.DONE
+            journal.end(job)
+        assert journal.compactions == 1
+        journal.close()
+
+        path = tmp_path / JOURNAL_NAME
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1  # only the survivor remains on disk
+        records = JobJournal(str(tmp_path)).recover()
+        assert [r["job"] for r in records] == ["j999"]
+
+    def test_compacted_journal_recovers_identically(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        job = make_job("j1", identity="submit:xyz")
+        journal.accept(job, "submit")
+        job.attempts = 3
+        journal.retry(job)
+        before = JobJournal(str(tmp_path)).recover()
+        journal.compact()
+        journal.close()
+        after = JobJournal(str(tmp_path)).recover()
+        assert before == after
+
+    def test_compaction_line_is_valid_json_with_the_net(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        journal.accept(make_job("j1"), "submit")
+        journal.compact()
+        journal.close()
+        line = (tmp_path / JOURNAL_NAME).read_text().strip()
+        record = json.loads(line)
+        assert record["net"] == SMALL_NET
+
+    def test_stats_payload(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        journal.accept(make_job("j1"), "submit")
+        payload = journal.to_payload()
+        assert payload["live"] == 1
+        assert payload["records"] == 1
+        assert payload["compactions"] == 0
+        assert payload["skipped_records"] == 0
+
+
+class TestJournalEncoding:
+    def test_net_escape_cache_is_bounded(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        for n in range(40):
+            spec = JobSpec(net_source=f"net n{n}\nplace p = 1\n"
+                                      "work: p -> 0\n", until=5.0)
+            journal.accept(make_job(f"j{n}", spec=spec), "submit")
+        assert len(journal._net_cache) <= 32
+        journal.close()
+        # Every record still recovers despite the cache resets.
+        assert len(JobJournal(str(tmp_path)).recover()) == 40
+
+    def test_every_line_is_standalone_json(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        job = make_job("j1")
+        journal.accept(job, "submit")
+        job.attempts = 2
+        journal.retry(job)
+        job.state = JobState.FAILED
+        journal.end(job)
+        journal.close()
+        lines = (tmp_path / JOURNAL_NAME).read_text().strip().splitlines()
+        kinds = [json.loads(line)["rec"] for line in lines]
+        assert kinds == ["accept", "retry", "end"]
+
+
+@pytest.mark.parametrize("spec_cls,payload_extra", [
+    (JobSpec, {"until": 5.0}),
+    (SweepSpec, {"seeds": (5, 6), "until": 5.0}),
+])
+def test_specs_without_optional_fields_round_trip(tmp_path, spec_cls,
+                                                  payload_extra):
+    journal = JobJournal(str(tmp_path))
+    spec = spec_cls(net_source=SMALL_NET, **payload_extra)
+    journal.accept(make_job(spec=spec), "submit")
+    journal.close()
+    record = JobJournal(str(tmp_path)).recover()[0]
+    assert spec_cls.from_payload(record["spec"]).to_payload() == \
+        spec.to_payload()

@@ -649,6 +649,17 @@ class TestSpanView:
         assert "#" in text and "=" in text
         assert "x" in text.split("seed 3 (store)")[1].splitlines()[0]
 
+    def test_render_gantt_marks_journal_recovery(self):
+        records = _span_records()
+        records.insert(1, {
+            "event": "annotation", "trace_id": TRACE_A, "job": "j1",
+            "kind": "recovered", "ts": 100.5,
+        })
+        text = render_gantt(build_timelines(records), width=40)
+        job_row = [line for line in text.splitlines()
+                   if line.lstrip().startswith("job ")][0]
+        assert "r" in job_row.split("|", 1)[1]
+
     def test_render_gantt_empty_and_elided(self):
         assert "no span timelines" in render_gantt([])
         text = render_gantt(build_timelines(_span_records()), width=40,

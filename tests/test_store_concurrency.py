@@ -1,0 +1,132 @@
+"""Multi-process contention on the shared SQLite result store.
+
+``pnut serve --store`` makes the store a fleet-wide shared resource:
+several server processes (and ``pnut explore --store`` clients) append
+checkpoints to one database concurrently. The WAL + busy_timeout +
+retry-on-busy hardening must make those writers queue, never fail, and
+never lose a committed cell.
+"""
+
+import multiprocessing
+import sqlite3
+
+import pytest
+
+from repro.dse.store import (
+    SWEEP_POINT_KEY,
+    ResultStore,
+    StoreError,
+    open_store,
+    stop_key,
+)
+
+STOP = stop_key(50.0, None, 1)
+
+
+def _writer(path: str, worker: int, cells: int,
+            errors) -> None:
+    """One process appending a disjoint range of cells, commit-per-put."""
+    try:
+        with open_store(path, commit_every=1) as store:
+            for n in range(cells):
+                seed = worker * 1000 + n
+                store.put(f"net-{worker}", SWEEP_POINT_KEY, seed, STOP,
+                          {"seed": seed, "worker": worker})
+    except BaseException as error:  # noqa: BLE001 - surfaced in the parent
+        errors.put(f"worker {worker}: {error!r}")
+
+
+class TestConcurrentWriters:
+    def test_parallel_processes_commit_disjoint_cells(self, tmp_path):
+        path = str(tmp_path / "shared.sqlite")
+        workers, cells = 4, 25
+        context = multiprocessing.get_context("fork")
+        errors = context.Queue()
+        processes = [
+            context.Process(target=_writer, args=(path, w, cells, errors))
+            for w in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        assert errors.empty(), errors.get()
+
+        # Reopen cold: every committed cell must be there.
+        with open_store(path) as store:
+            assert len(store) == workers * cells
+            for w in range(workers):
+                payload = store.get(f"net-{w}", SWEEP_POINT_KEY,
+                                    w * 1000, STOP)
+                assert payload == {"seed": w * 1000, "worker": w}
+
+    def test_writer_survives_a_held_reader(self, tmp_path):
+        """A long-lived reader connection must not starve writers (WAL
+        readers don't block writers)."""
+        path = str(tmp_path / "shared.sqlite")
+        with open_store(path, commit_every=1) as store:
+            store.put("net-a", SWEEP_POINT_KEY, 1, STOP, {"seed": 1})
+        reader = sqlite3.connect(path)
+        reader.execute("SELECT COUNT(*) FROM cells").fetchone()
+        try:
+            with open_store(path, commit_every=1) as store:
+                store.put("net-a", SWEEP_POINT_KEY, 2, STOP, {"seed": 2})
+        finally:
+            reader.close()
+        with open_store(path) as store:
+            assert len(store) == 2
+
+    def test_wal_mode_is_active(self, tmp_path):
+        path = str(tmp_path / "shared.sqlite")
+        with open_store(path, commit_every=1) as store:
+            store.put("net-a", SWEEP_POINT_KEY, 1, STOP, {"seed": 1})
+            mode = store._connection.execute(
+                "PRAGMA journal_mode"
+            ).fetchone()[0]
+        assert mode == "wal"
+
+
+class TestWriteRetry:
+    """The SQLITE_BUSY retry layer every store write rides through."""
+
+    def _store(self, tmp_path):
+        return open_store(str(tmp_path / "busy.sqlite"), commit_every=1)
+
+    def test_busy_errors_are_retried_until_success(self, tmp_path):
+        store = self._store(tmp_path)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise sqlite3.OperationalError("database is locked")
+
+        store._write_retry(flaky)
+        assert len(attempts) == 3
+        store.close()
+
+    def test_persistent_lock_surfaces_a_store_error(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setattr(ResultStore, "WRITE_RETRIES", 2)
+        # Collapse the backoff so the failure path stays fast.
+        import repro.dse.store as store_module
+        monkeypatch.setattr(store_module.time, "sleep", lambda _s: None)
+        store = self._store(tmp_path)
+
+        def always_locked():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(StoreError, match="stayed locked"):
+            store._write_retry(always_locked)
+        store.close()
+
+    def test_non_busy_operational_errors_propagate(self, tmp_path):
+        store = self._store(tmp_path)
+
+        def broken():
+            raise sqlite3.OperationalError("no such table: cells")
+
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            store._write_retry(broken)
+        store.close()
